@@ -1,0 +1,18 @@
+"""Report emission helper shared by the benchmark modules.
+
+Each experiment writes a plain-text report (the rows/series it regenerates) to
+``benchmarks/reports/<name>.txt`` and echoes it to stdout, so the structural
+results survive regardless of pytest's output capturing.
+"""
+
+from pathlib import Path
+
+REPORT_DIR = Path(__file__).parent / "reports"
+
+
+def emit_report(name: str, text: str) -> None:
+    """Print ``text`` and persist it under ``benchmarks/reports/<name>.txt``."""
+    REPORT_DIR.mkdir(exist_ok=True)
+    (REPORT_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    print(f"\n[{name}]")
+    print(text)

@@ -1,0 +1,73 @@
+"""Experiment E10 — cost and scaling of the conversion algorithms themselves.
+
+Algorithm 1 (dataflow → Gamma) and Algorithm 2 (Gamma → dataflow) are run on
+randomly generated expression DAGs of growing size; the report relates graph
+size to reaction count (always one reaction per operator vertex, one initial
+element per root out-edge) and the timings show the conversions scale roughly
+linearly in the graph size.
+"""
+
+import pytest
+
+from _report import emit_report
+from repro.analysis import format_table
+from repro.core import dataflow_to_gamma, program_to_graphs, reduce_program
+from repro.workloads.expressions import ExpressionSpec, random_expression_graph
+
+SIZES = (8, 32, 128, 512)
+
+
+def _graph(size):
+    return random_expression_graph(
+        ExpressionSpec(num_inputs=max(2, size // 4), num_operations=size, seed=size)
+    )
+
+
+def test_report_conversion_scaling(benchmark):
+    benchmark(dataflow_to_gamma, _graph(32))
+    rows = []
+    for size in SIZES:
+        graph = _graph(size)
+        conversion = dataflow_to_gamma(graph)
+        back = program_to_graphs(conversion.program)
+        reduced = reduce_program(conversion.program)
+        rows.append([
+            size,
+            len(graph),
+            len(conversion.program),
+            len(conversion.initial),
+            sum(len(rg.graph) for rg in back.values()),
+            len(reduced.program),
+        ])
+    emit_report(
+        "E10_conversion_scaling",
+        format_table(
+            ["operators", "graph vertices", "reactions (Alg. 1)", "initial elements",
+             "vertices regenerated (Alg. 2)", "reactions after reduction"],
+            rows,
+            title="E10: conversion output sizes vs. input graph size",
+        ),
+    )
+    for size, row in zip(SIZES, rows):
+        assert row[2] == size  # one reaction per operator vertex
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_bench_algorithm1(benchmark, size):
+    graph = _graph(size)
+    conversion = benchmark(dataflow_to_gamma, graph)
+    assert len(conversion.program) == size
+
+
+@pytest.mark.parametrize("size", (8, 32, 128))
+def test_bench_algorithm2(benchmark, size):
+    conversion = dataflow_to_gamma(_graph(size))
+    graphs = benchmark(program_to_graphs, conversion.program)
+    assert len(graphs) == size
+
+
+@pytest.mark.parametrize("size", (8, 32, 128))
+def test_bench_reduction_scaling(benchmark, size):
+    conversion = dataflow_to_gamma(_graph(size))
+    reduced = benchmark(reduce_program, conversion.program)
+    assert len(reduced.program) <= size

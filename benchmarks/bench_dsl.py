@@ -1,0 +1,70 @@
+"""Experiment E4 — the Fig. 3 grammar: parsing, compiling and round-tripping.
+
+Every Gamma listing printed in the paper is parsed, compiled, executed and
+pretty-printed back; the report lists the reaction counts recovered from each
+listing and confirms the round trip, and the timings cover the parser on the
+largest listing and on synthetically repeated sources.
+"""
+
+import pytest
+
+from _report import emit_report
+from repro.analysis import format_table
+from repro.gamma import run as run_gamma
+from repro.gamma.dsl import compile_source, format_program, parse_program
+from repro.workloads.paper_listings import (
+    ALL_LISTINGS,
+    EXAMPLE1_INIT,
+    EXAMPLE1_REACTIONS,
+    EXAMPLE2_INIT,
+    EXAMPLE2_REACTIONS,
+)
+
+
+def test_report_listings(benchmark):
+    program = benchmark(lambda: compile_source(EXAMPLE2_INIT + EXAMPLE2_REACTIONS))
+    assert len(program) == 9
+
+    rows = []
+    for name, source in sorted(ALL_LISTINGS.items()):
+        compiled = compile_source(source, name=name)
+        text = format_program(compiled, include_init=False)
+        reparsed = compile_source(text, name=name)
+        rows.append([
+            name,
+            len(compiled),
+            sum(r.arity for r in compiled) / len(compiled),
+            "yes" if reparsed.reaction_names() == compiled.reaction_names() else "NO",
+        ])
+    emit_report(
+        "E4_dsl_listings",
+        format_table(
+            ["listing", "reactions", "mean arity", "pretty-print round-trips"],
+            rows,
+            title="E4: the paper's Gamma listings through the Fig. 3 grammar",
+        ),
+    )
+
+
+def test_bench_parse_example2(benchmark):
+    syntax = benchmark(parse_program, EXAMPLE2_REACTIONS)
+    assert len(syntax.reactions) == 9
+
+
+def test_bench_compile_and_run_example1(benchmark):
+    def compile_and_run():
+        program = compile_source(EXAMPLE1_INIT + EXAMPLE1_REACTIONS)
+        return run_gamma(program, engine="sequential")
+
+    result = benchmark(compile_and_run)
+    assert result.final.values_with_label("m") == [0]
+
+
+@pytest.mark.parametrize("copies", [10, 50])
+def test_bench_parser_scaling(benchmark, copies):
+    """Parser throughput on a source with many reactions (renamed copies of R1)."""
+    source = "\n".join(
+        f"R{i} = replace [a,'A{i}'], [b,'B{i}'] by [a + b, 'C{i}']" for i in range(copies)
+    )
+    program = benchmark(compile_source, source)
+    assert len(program) == copies

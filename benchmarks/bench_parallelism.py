@@ -1,0 +1,48 @@
+"""Experiment E9(a) — parallelism profiles of the same program in both models.
+
+For the paper's loop example and the other loop kernels, the multi-PE dataflow
+simulator and the PE-bounded parallel Gamma scheduler are run with the same
+unbounded budget; the report shows per-step firings (work), steps and
+average parallelism on both sides.  The equivalence predicts — and the
+measurements confirm — identical work and identical step counts.
+"""
+
+import pytest
+
+from _report import emit_report
+from repro.analysis import compare_parallelism, format_profile, format_table
+from repro.workloads import LOOP_KERNELS
+from repro.workloads.paper_examples import example2_graph
+
+
+def test_report_parallelism_profiles(benchmark):
+    benchmark(lambda: compare_parallelism(example2_graph(y=1, z=4, x=0), num_pes=None, seed=0))
+    rows = []
+    for name, maker in sorted(LOOP_KERNELS.items()):
+        graph = maker().graph()
+        comparison = compare_parallelism(graph, num_pes=None, seed=0)
+        rows.append([
+            name,
+            comparison.dataflow.work, comparison.gamma.work,
+            comparison.dataflow.steps, comparison.gamma.steps,
+            round(comparison.dataflow.average_parallelism, 2),
+            round(comparison.gamma.average_parallelism, 2),
+            "yes" if comparison.profiles_match else "NO",
+        ])
+    text = format_table(
+        ["kernel", "df work", "gm work", "df steps", "gm steps", "df avg par", "gm avg par", "match"],
+        rows,
+        title="E9(a): dataflow vs Gamma parallelism on identical programs (unbounded PEs)",
+    )
+    example = compare_parallelism(example2_graph(y=1, z=6, x=0), num_pes=None, seed=0)
+    text += "\n\n" + format_profile(example.dataflow.profile, "Example 2 dataflow profile")
+    text += "\n" + format_profile(example.gamma.profile, "Example 2 Gamma profile")
+    emit_report("E9a_parallelism", text)
+    assert all(row[-1] == "yes" for row in rows)
+
+
+@pytest.mark.parametrize("kernel_name", ["accumulation", "factorial", "fibonacci"])
+def test_bench_compare_parallelism(benchmark, kernel_name):
+    graph = LOOP_KERNELS[kernel_name]().graph()
+    comparison = benchmark(compare_parallelism, graph, None, 0)
+    assert comparison.profiles_match

@@ -1,0 +1,84 @@
+"""Experiment E3 — Section III-A3 reductions (granularity ablation).
+
+Compares, for both worked examples, the original reaction set produced by
+Algorithm 1, the automatically reduced set (producer-into-consumer fusion),
+the paper's hand-reduced listings (Rd1, Rd11–Rd16) and the re-expanded set:
+reaction count, arity, firings, available parallelism and the probability that
+a random element combination satisfies some condition — the two costs the
+paper attributes to reductions.
+"""
+
+import pytest
+
+from _report import emit_report
+from repro.analysis import format_table, granularity_report
+from repro.core import dataflow_to_gamma, expand_program, reduce_program
+from repro.gamma import run as run_gamma
+from repro.gamma.dsl import compile_source
+from repro.workloads.paper_examples import example1_graph, example2_graph
+from repro.workloads.paper_listings import (
+    EXAMPLE1_INIT,
+    EXAMPLE1_REDUCED,
+    EXAMPLE2_INIT,
+    EXAMPLE2_REDUCED,
+)
+
+
+def _rows(reports):
+    return [
+        [r.name, r.reactions, r.mean_arity, r.firings, r.max_parallelism,
+         r.average_parallelism, r.match_probability]
+        for r in reports
+    ]
+
+
+HEADERS = ["variant", "reactions", "mean arity", "firings", "max par", "avg par", "match prob"]
+
+
+def test_report_example1_granularity(benchmark):
+    conversion = dataflow_to_gamma(example1_graph())
+    reduced = benchmark(lambda: reduce_program(conversion.program))
+    expanded = expand_program(reduced.program)
+    paper_rd1 = compile_source(EXAMPLE1_INIT + EXAMPLE1_REDUCED, name="paper_rd1")
+
+    reports = [
+        granularity_report("original (R1-R3)", conversion.program, conversion.initial),
+        granularity_report("auto-reduced", reduced.program, conversion.initial),
+        granularity_report("paper Rd1", paper_rd1, paper_rd1.initial),
+        granularity_report("re-expanded", expanded.program, conversion.initial),
+    ]
+    emit_report(
+        "E3_example1_granularity",
+        format_table(HEADERS, _rows(reports), title="E3: Example 1 granularity ablation"),
+    )
+    assert reports[1].reactions == 1          # Rd1
+    assert reports[1].max_parallelism == 1    # fusion destroys parallelism
+    assert reports[0].max_parallelism >= 2
+    assert reports[1].match_probability < reports[0].match_probability
+
+
+def test_report_example2_granularity(benchmark):
+    conversion = dataflow_to_gamma(example2_graph())
+    paper_reduced = compile_source(EXAMPLE2_INIT + EXAMPLE2_REDUCED, name="paper_rd11_16")
+    reports = [
+        granularity_report("original (R11-R19)", conversion.program, conversion.initial),
+        granularity_report("paper Rd11-Rd16", paper_reduced, paper_reduced.initial),
+    ]
+    benchmark(lambda: run_gamma(paper_reduced, engine="chaotic", seed=0))
+    emit_report(
+        "E3_example2_granularity",
+        format_table(HEADERS, _rows(reports), title="E3: Example 2 granularity ablation"),
+    )
+    assert reports[0].reactions == 9
+    assert reports[1].reactions == 6
+    # Both compute the same accumulator value (16 with the default inputs).
+    result = run_gamma(paper_reduced, engine="chaotic", seed=1)
+    assert result.final.values_with_label("C12") == [16]
+
+
+@pytest.mark.parametrize("variant", ["original", "reduced"])
+def test_bench_example1_variants(benchmark, variant):
+    conversion = dataflow_to_gamma(example1_graph())
+    program = conversion.program if variant == "original" else reduce_program(conversion.program).program
+    result = benchmark(lambda: run_gamma(program, conversion.initial, engine="chaotic", seed=0))
+    assert result.final.values_with_label("m") == [0]

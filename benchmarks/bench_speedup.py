@@ -1,0 +1,65 @@
+"""Experiment E9(b) — PE-count speedup curves for both models.
+
+Sweeps the number of processing elements for the dataflow simulator and the
+parallel Gamma scheduler running the same converted program; speedups are
+work/steps relative to the 1-PE schedule.  The shapes coincide (the available
+parallelism is a property of the program, not of the model) and saturate at
+the program's average parallelism.
+"""
+
+import pytest
+
+from _report import emit_report
+from repro.analysis import format_table
+from repro.core import dataflow_to_gamma
+from repro.gamma.stdlib import sum_reduction, values_multiset
+from repro.runtime import GammaSimulator, simulate_graph, simulate_program
+from repro.workloads.paper_examples import example2_graph
+
+PE_COUNTS = (1, 2, 4, 8)
+
+
+def test_report_speedup_curves(benchmark):
+    benchmark(lambda: simulate_graph(example2_graph(y=1, z=12, x=0), num_pes=4, seed=0))
+    graph = example2_graph(y=1, z=12, x=0)
+    conversion = dataflow_to_gamma(graph)
+    rows = []
+    for pes in PE_COUNTS:
+        df = simulate_graph(graph, num_pes=pes, seed=0).metrics
+        gm = simulate_program(conversion.program, conversion.initial, num_pes=pes, seed=0).metrics
+        rows.append([pes, round(df.speedup, 3), round(gm.speedup, 3),
+                     round(df.utilization, 3), round(gm.utilization, 3)])
+    text = format_table(
+        ["PEs", "dataflow speedup", "gamma speedup", "df utilization", "gm utilization"],
+        rows,
+        title="E9(b): PE sweep on the converted Example 2 loop (z=12)",
+    )
+
+    # A wide, flat workload for contrast: the sum reduction over 64 values.
+    program = sum_reduction()
+    initial = values_multiset(range(1, 65))
+    rows2 = []
+    for pes in PE_COUNTS + (16, 32):
+        gm = simulate_program(program, initial, num_pes=pes, seed=0).metrics
+        rows2.append([pes, gm.steps, round(gm.speedup, 2), round(gm.utilization, 3)])
+    text += "\n\n" + format_table(
+        ["PEs", "steps", "speedup", "utilization"],
+        rows2,
+        title="sum reduction over 64 elements (Gamma simulator)",
+    )
+    emit_report("E9b_speedup", text)
+
+
+@pytest.mark.parametrize("pes", PE_COUNTS)
+def test_bench_dataflow_simulator(benchmark, pes):
+    graph = example2_graph(y=1, z=12, x=0)
+    result = benchmark(simulate_graph, graph, pes, 0)
+    assert result.output_values("Cout") == [12]
+
+
+@pytest.mark.parametrize("pes", PE_COUNTS)
+def test_bench_gamma_simulator(benchmark, pes):
+    conversion = dataflow_to_gamma(example2_graph(y=1, z=12, x=0))
+    simulator = GammaSimulator(conversion.program, num_pes=pes, seed=0)
+    result = benchmark(simulator.run, conversion.initial)
+    assert result.final.values_with_label("Cout") == [12]

@@ -1,0 +1,11 @@
+"""Pytest configuration for the benchmark/experiment harness.
+
+The benchmark modules live in files named ``bench_*.py`` (one per experiment
+of EXPERIMENTS.md); this conftest only makes the shared ``_report`` helper
+importable when the suite is invoked from the repository root.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,76 @@
+"""Algorithm 2 and Fig. 4: from Gamma reactions back to dataflow graphs.
+
+Takes Gamma code written in the paper's syntax, converts each reaction to a
+dataflow subgraph (Algorithm 2, step 1), shows the Fig. 4 replication of a
+reaction graph over an initial multiset, and finally executes a whole Gamma
+program using nothing but repeated rounds of replicated dataflow graphs,
+checking the result against the native Gamma engine.
+
+Run with::
+
+    python examples/gamma_to_dataflow.py
+"""
+
+from repro.analysis import format_table
+from repro.core import (
+    check_gamma_vs_dataflow,
+    execute_via_dataflow,
+    instantiate_round,
+    reaction_to_graph,
+)
+from repro.dataflow.dot import to_dot
+from repro.gamma import run as run_gamma
+from repro.gamma.dsl import compile_source, load_reaction
+from repro.gamma.stdlib import sum_reduction, values_multiset
+
+GAMMA_SOURCE = """
+# Example 1 of the paper, as Gamma source code.
+init { [1,'A1',0], [5,'B1',0], [3,'C1',0], [2,'D1',0] }
+
+R1 = replace [id1, 'A1'], [id2, 'B1'] by [id1 + id2, 'B2']
+R2 = replace [id1, 'C1'], [id2, 'D1'] by [id1 * id2, 'C2']
+R3 = replace [id1, 'B2'], [id2, 'C2'] by [id1 - id2, 'm']
+"""
+
+
+def main() -> None:
+    # 1. One reaction -> one dataflow subgraph (Algorithm 2, step 1).
+    reaction = load_reaction("R1 = replace [id1, 'A1'], [id2, 'B1'] by [id1 + id2, 'B2']")
+    rg = reaction_to_graph(reaction)
+    print("Reaction R1 becomes a graph with vertices:", rg.graph.counts_by_kind())
+    print(to_dot(rg.graph))
+
+    # The idiom recognizers recover steer / inctag vertices from reaction shape
+    # (the paper leaves this detection as future work).
+    steer = load_reaction(
+        "R16 = replace [d,'B13',v], [c,'B15',v] by [d,'B17',v] if c == 1 by 0 else"
+    )
+    print("Steer-shaped reaction becomes:", reaction_to_graph(steer).graph.counts_by_kind())
+    inctag = load_reaction(
+        "R11 = replace [a,x,v] by [a,'A12',v+1] if (x=='A1') or (x=='A11')"
+    )
+    print("Inctag-shaped reaction becomes:", reaction_to_graph(inctag).graph.counts_by_kind())
+
+    # 2. Fig. 4: replicate a binary reaction over a six-element multiset.
+    instanced = instantiate_round(sum_reduction(), values_multiset([1, 2, 3, 4, 5, 6]))
+    print(f"\nFig. 4 instancing: {instanced.num_instances} instances "
+          f"({len(instanced.graph)} vertices total, {len(instanced.leftover)} leftover elements)")
+
+    # 3. A whole Gamma program executed through dataflow rounds only.
+    program = compile_source(GAMMA_SOURCE, name="example1_source")
+    native = run_gamma(program, engine="sequential")
+    emulated = execute_via_dataflow(program, program.initial, seed=0)
+    rows = [
+        ["native Gamma engine", str(native.final.to_tuples())],
+        ["Algorithm 2 + instancing rounds", str(emulated.final.to_tuples())],
+        ["rounds / instances", f"{emulated.rounds} / {emulated.total_instances}"],
+    ]
+    print("\n" + format_table(["execution", "stable multiset"], rows,
+                              title="Example 1 executed on both sides"))
+
+    report = check_gamma_vs_dataflow(program, program.initial, seeds=(0, 1, 2))
+    print("\n" + report.summary())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e . --no-use-pep517`` works in offline environments that lack
+the ``wheel`` package required by the PEP 517 editable-install path.
+"""
+
+from setuptools import setup
+
+setup()

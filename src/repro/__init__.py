@@ -1,0 +1,32 @@
+"""repro — executable equivalence between dynamic dataflow and Gamma.
+
+Reproduction of Mello Jr. et al., *Exploring the Equivalence between Dynamic
+Dataflow Model and Gamma — General Abstract Model for Multiset mAnipulation*
+(IPPS 2019 / arXiv:1811.00607).
+
+The package provides:
+
+* :mod:`repro.multiset`  — tagged elements and counted multisets,
+* :mod:`repro.gamma`     — the Gamma model (reactions, programs, engines, DSL),
+* :mod:`repro.dataflow`  — the dynamic dataflow model (graphs, tagged tokens, interpreter),
+* :mod:`repro.frontend`  — a small imperative language compiled to dataflow graphs,
+* :mod:`repro.core`      — the paper's contribution: the conversion algorithms
+  (dataflow → Gamma, Gamma → dataflow), reductions and the equivalence checker,
+* :mod:`repro.runtime`   — simulated parallel runtimes (multi-PE dataflow simulator,
+  parallel Gamma scheduler, distributed multiset),
+* :mod:`repro.analysis`  — parallelism / granularity / memoization analyses,
+* :mod:`repro.workloads` — workload generators for the benchmark harness.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "multiset",
+    "gamma",
+    "dataflow",
+    "frontend",
+    "core",
+    "runtime",
+    "analysis",
+    "workloads",
+]

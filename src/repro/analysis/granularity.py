@@ -1,0 +1,132 @@
+"""Granularity study: the effect of the Section III-A3 reductions.
+
+The paper notes that fusing reactions "decreases the opportunity to explore
+the parallelism of reactions" and lowers "the chance of the reaction condition
+occurring" (a coarser reaction needs more specific element combinations to be
+drawn at once).  This module quantifies both effects for a program and its
+reduced/expanded variants:
+
+* available parallelism (unbounded profile) and firings to completion,
+* matching probability: the fraction of uniformly drawn element tuples of the
+  right arity that satisfy some reaction condition in the initial multiset —
+  a direct operationalization of the paper's "chance of the reactions
+  condition occurring".
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..core.reduction import granularity_metrics
+from ..gamma.matching import Matcher
+from ..gamma.program import GammaProgram
+from ..multiset.multiset import Multiset
+from .parallelism import gamma_parallelism
+
+__all__ = ["GranularityReport", "matching_probability", "granularity_report", "compare_granularity"]
+
+
+def matching_probability(
+    program: GammaProgram,
+    multiset: Multiset,
+    samples: int = 2000,
+    seed: Optional[int] = 0,
+) -> float:
+    """Probability that a uniformly drawn tuple of elements enables some reaction.
+
+    For each sample a reaction is drawn uniformly, then ``arity`` distinct
+    element occurrences are drawn uniformly from the multiset (without
+    replacement) and assigned to the replace list in order; the sample counts
+    as a success when the reaction's condition accepts the assignment.
+    This follows the paper's intuition that coarser reactions make the
+    "right" combination less likely under nondeterministic drawing.
+    """
+    rng = random.Random(seed)
+    elements = list(multiset)
+    if not elements:
+        return 0.0
+    successes = 0
+    reactions = list(program.reactions)
+    for _ in range(samples):
+        reaction = rng.choice(reactions)
+        if reaction.arity > len(elements):
+            continue
+        drawn = rng.sample(range(len(elements)), reaction.arity)
+        binding: Optional[dict] = {}
+        for pattern, index in zip(reaction.replace, drawn):
+            binding = pattern.match(elements[index], binding)
+            if binding is None:
+                break
+        if binding is not None and reaction.is_enabled(binding):
+            successes += 1
+    return successes / samples
+
+
+@dataclass
+class GranularityReport:
+    """All granularity indicators for one program variant."""
+
+    name: str
+    reactions: int
+    mean_arity: float
+    max_arity: float
+    firings: int
+    steps: int
+    max_parallelism: int
+    average_parallelism: float
+    match_probability: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "reactions": float(self.reactions),
+            "mean_arity": self.mean_arity,
+            "max_arity": self.max_arity,
+            "firings": float(self.firings),
+            "steps": float(self.steps),
+            "max_parallelism": float(self.max_parallelism),
+            "average_parallelism": self.average_parallelism,
+            "match_probability": self.match_probability,
+        }
+
+
+def granularity_report(
+    name: str,
+    program: GammaProgram,
+    initial: Optional[Multiset] = None,
+    seed: Optional[int] = 0,
+    probability_samples: int = 2000,
+) -> GranularityReport:
+    """Measure one program variant (structure, execution, matching probability)."""
+    initial = initial if initial is not None else program.initial
+    if initial is None:
+        raise ValueError("an initial multiset is required")
+    structure = granularity_metrics(program)
+    metrics = gamma_parallelism(program, initial, num_pes=None, seed=seed)
+    probability = matching_probability(
+        program, initial, samples=probability_samples, seed=seed
+    )
+    return GranularityReport(
+        name=name,
+        reactions=int(structure["reactions"]),
+        mean_arity=structure["mean_arity"],
+        max_arity=structure["max_arity"],
+        firings=int(metrics.work),
+        steps=int(metrics.steps),
+        max_parallelism=int(metrics.max_parallelism),
+        average_parallelism=metrics.average_parallelism,
+        match_probability=probability,
+    )
+
+
+def compare_granularity(
+    variants: Sequence, seed: Optional[int] = 0
+) -> List[GranularityReport]:
+    """Measure several ``(name, program, initial)`` variants with one call."""
+    reports = []
+    for name, program, initial in variants:
+        reports.append(granularity_report(name, program, initial, seed=seed))
+    return reports

@@ -1,0 +1,74 @@
+"""Plain-text table formatting for the experiment harness.
+
+The benchmark scripts print the same row/series structure the paper's
+artifacts imply (reaction counts per example, parallelism profiles, speedup
+curves); this module keeps the formatting in one place so every experiment
+reads the same way in ``bench_output.txt`` and in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+__all__ = ["format_table", "format_profile", "format_dict", "section"]
+
+Cell = Union[str, int, float]
+
+
+def _format_cell(value: Cell) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}".rstrip("0").rstrip(".") if value == value else "nan"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    rendered_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers)))
+    parts.append(line(["-" * w for w in widths]))
+    parts.extend(line(row) for row in rendered_rows)
+    return "\n".join(parts)
+
+
+def format_profile(profile: Sequence[int], title: str = "parallelism profile") -> str:
+    """Render a per-step parallelism profile as a compact bar chart."""
+    if not profile:
+        return f"{title}: (empty)"
+    peak = max(profile)
+    lines = [f"{title} (peak {peak}):"]
+    for step, width in enumerate(profile):
+        bar = "#" * width
+        lines.append(f"  step {step:3d} |{bar} {width}")
+    return "\n".join(lines)
+
+
+def format_dict(data: Mapping[str, Cell], title: Optional[str] = None) -> str:
+    """Render a flat mapping as ``key: value`` lines."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    width = max((len(k) for k in data), default=0)
+    for key, value in data.items():
+        lines.append(f"  {key.ljust(width)} : {_format_cell(value)}")
+    return "\n".join(lines)
+
+
+def section(title: str, char: str = "=") -> str:
+    """A section header used by the benchmark harness output."""
+    bar = char * max(len(title), 8)
+    return f"\n{bar}\n{title}\n{bar}"

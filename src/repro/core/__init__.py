@@ -1,0 +1,53 @@
+"""The paper's contribution: conversions between dynamic dataflow and Gamma.
+
+* :func:`dataflow_to_gamma` — Algorithm 1 (graph → reactions + initial multiset),
+* :func:`reaction_to_graph` / :func:`program_to_graphs` — Algorithm 2, step 1,
+* :func:`instantiate_round` / :func:`execute_via_dataflow` — Algorithm 2, step 2
+  (the Fig. 4 replication) and the iterative execution driver,
+* :func:`reduce_program` / :func:`expand_program` — the Section III-A3
+  granularity transformations,
+* :func:`check_dataflow_vs_gamma` / :func:`check_gamma_vs_dataflow` /
+  :func:`check_roundtrip` — mechanical equivalence checking,
+* :func:`roundtrip_dataflow` / :func:`roundtrip_gamma` — one-call drivers
+  returning all intermediate artifacts.
+"""
+
+from .df_to_gamma import ConversionError, DataflowToGammaResult, dataflow_to_gamma
+from .equivalence import (
+    CheckOutcome,
+    EquivalenceReport,
+    check_dataflow_vs_gamma,
+    check_gamma_vs_dataflow,
+    check_roundtrip,
+)
+from .expansion import ExpansionResult, expand_program, expand_reaction
+from .gamma_to_df import (
+    ReactionConversionError,
+    ReactionGraph,
+    program_to_graphs,
+    reaction_to_graph,
+)
+from .instancing import (
+    DataflowEmulationResult,
+    InstancedGraph,
+    InstanceInfo,
+    execute_via_dataflow,
+    instantiate_over_multiset,
+    instantiate_round,
+)
+from .labels import TAG_VARIABLE, LabelAllocator
+from .reduction import ReductionResult, fuse_once, granularity_metrics, reduce_program
+from .roundtrip import RoundTripArtifacts, roundtrip_dataflow, roundtrip_gamma
+
+__all__ = [
+    "dataflow_to_gamma", "DataflowToGammaResult", "ConversionError",
+    "reaction_to_graph", "program_to_graphs", "ReactionGraph", "ReactionConversionError",
+    "instantiate_round", "instantiate_over_multiset", "execute_via_dataflow",
+    "InstancedGraph", "InstanceInfo", "DataflowEmulationResult",
+    "reduce_program", "fuse_once", "granularity_metrics", "ReductionResult",
+    "expand_program", "expand_reaction", "ExpansionResult",
+    "check_dataflow_vs_gamma", "check_gamma_vs_dataflow", "check_roundtrip",
+    "EquivalenceReport", "CheckOutcome",
+    "roundtrip_dataflow", "roundtrip_gamma", "RoundTripArtifacts",
+    "LabelAllocator", "TAG_VARIABLE",
+]

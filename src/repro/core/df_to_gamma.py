@@ -1,0 +1,276 @@
+"""Algorithm 1 of the paper: convert a dynamic dataflow graph into a Gamma program.
+
+The conversion follows Section III-B / Algorithm 1, with the edge-label
+convention of the worked examples (Section III-A1):
+
+* every **root vertex** contributes one initial multiset element per outgoing
+  edge: ``[value, edge label, 0]``;
+* every **non-root vertex** becomes one reaction whose
+
+  - *replace list* has one pattern per input port, requiring the label of the
+    incoming edge and binding the value to ``id1, id2, ...`` and the tag to the
+    shared variable ``v`` (all consumed elements must carry the same tag — the
+    dynamic dataflow matching rule);
+  - *by list* produces one element per outgoing edge, labelled with that
+    edge's label:
+
+    * arithmetic vertices produce ``[id1 op id2, label, v]`` (Algorithm 1
+      lines 29–33),
+    * comparison vertices produce ``[1, label, v]`` under the comparison and
+      ``[0, label, v]`` otherwise (lines 23–28),
+    * steer vertices produce the data value on the labels of their ``true``
+      port when the control value is 1 and on the labels of their ``false``
+      port otherwise (lines 13–19) — an empty port yields the paper's
+      ``by 0``,
+    * inctag vertices reproduce the value with ``v + 1`` as tag (lines 20–22);
+
+* an input port fed by **several** edges (the merge at the entry of a loop,
+  e.g. ``A1``/``A11`` feeding R11 in Fig. 2) binds the consumed label to a
+  variable and adds the disjunctive guard ``(x == 'A1') or (x == 'A11')`` —
+  the paper's label-discrimination idiom.
+
+The result bundles the Gamma program, the initial multiset, and bookkeeping
+maps used by the equivalence checker and the analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..dataflow.graph import DataflowGraph, Edge
+from ..dataflow.nodes import (
+    PORT_FALSE,
+    PORT_TRUE,
+    ArithmeticNode,
+    ComparisonNode,
+    CopyNode,
+    IncTagNode,
+    Node,
+    RootNode,
+    SteerNode,
+)
+from ..gamma.expr import BinOp, BoolOp, Compare, Const, Expr, Not, Var
+from ..gamma.pattern import ElementPattern, ElementTemplate
+from ..gamma.program import GammaProgram
+from ..gamma.reaction import Branch, Reaction
+from ..multiset.element import Element
+from ..multiset.multiset import Multiset
+from .labels import TAG_VARIABLE, value_variable
+
+__all__ = ["ConversionError", "DataflowToGammaResult", "dataflow_to_gamma"]
+
+
+class ConversionError(ValueError):
+    """Raised when a graph contains a construct the conversion cannot express."""
+
+
+@dataclass
+class DataflowToGammaResult:
+    """Output of :func:`dataflow_to_gamma`."""
+
+    program: GammaProgram
+    initial: Multiset
+    #: node id -> reaction name (identity for operational nodes).
+    node_to_reaction: Dict[str, str]
+    #: labels of the graph's dangling output edges (the observable results).
+    output_labels: List[str]
+    #: source graph, kept for cross-checking and round-trip experiments.
+    graph: DataflowGraph = field(repr=False, default=None)
+
+    @property
+    def reactions(self) -> Tuple[Reaction, ...]:
+        return self.program.reactions
+
+    def reaction_for(self, node_id: str) -> Reaction:
+        """The reaction generated for dataflow vertex ``node_id``."""
+        return self.program[self.node_to_reaction[node_id]]
+
+
+# ---------------------------------------------------------------------------
+# Per-node translation helpers
+# ---------------------------------------------------------------------------
+
+def _replace_list(
+    graph: DataflowGraph, node: Node
+) -> Tuple[List[ElementPattern], Optional[Expr], Dict[str, Var]]:
+    """Build the replace list for ``node``.
+
+    Returns ``(patterns, guard, port_vars)`` where ``port_vars`` maps each
+    input port to the variable bound to the value consumed on that port, and
+    ``guard`` carries the label-discrimination disjunction for merged ports
+    (``None`` when every port has a single producer edge).
+    """
+    patterns: List[ElementPattern] = []
+    guard: Optional[Expr] = None
+    port_vars: Dict[str, Var] = {}
+    for position, port in enumerate(node.input_ports()):
+        edges = graph.in_edges(node.node_id, port)
+        if not edges:
+            raise ConversionError(
+                f"node {node.node_id!r} input port {port!r} has no incoming edge; "
+                f"validate the graph before converting"
+            )
+        value_var = Var(value_variable(position))
+        port_vars[port] = value_var
+        if len(edges) == 1:
+            label_expr: Expr = Const(edges[0].label)
+        else:
+            # Merged port: the consumed element may carry any of the incoming
+            # edge labels — bind the label and guard on the disjunction.
+            label_expr = Var(f"x{position}" if position else "x")
+            disjunction: Optional[Expr] = None
+            for edge in edges:
+                clause = Compare("==", label_expr, Const(edge.label))
+                disjunction = clause if disjunction is None else BoolOp("or", disjunction, clause)
+            guard = disjunction if guard is None else BoolOp("and", guard, disjunction)
+        patterns.append(
+            ElementPattern(value=value_var, label=label_expr, tag=Var(TAG_VARIABLE))
+        )
+    return patterns, guard, port_vars
+
+
+def _productions_for_port(
+    graph: DataflowGraph, node: Node, port: str, value_expr: Expr, tag_expr: Expr
+) -> List[ElementTemplate]:
+    """One production per outgoing edge of ``port``, labelled by the edge label."""
+    return [
+        ElementTemplate(value=value_expr, label=Const(edge.label), tag=tag_expr)
+        for edge in graph.out_edges(node.node_id, port)
+    ]
+
+
+def _convert_operator(
+    graph: DataflowGraph, node: Node, patterns, guard, port_vars
+) -> Reaction:
+    """Arithmetic / comparison / copy vertices (Algorithm 1 lines 23–33)."""
+    tag_expr: Expr = Var(TAG_VARIABLE)
+
+    if isinstance(node, (ArithmeticNode, ComparisonNode)):
+        if node.immediate is None:
+            left: Expr = port_vars["a"]
+            right: Expr = port_vars["b"]
+        else:
+            side, value = node.immediate
+            operand = port_vars["in"]
+            left, right = (operand, Const(value)) if side == "right" else (Const(value), operand)
+
+        if isinstance(node, ArithmeticNode):
+            value_expr: Expr = BinOp(node.op, left, right)
+            productions = []
+            for port in node.output_ports():
+                productions.extend(
+                    _productions_for_port(graph, node, port, value_expr, tag_expr)
+                )
+            branches = [Branch(productions=productions)]
+            return Reaction(node.node_id, patterns, branches, guard=guard)
+
+        # Comparison: produce 1 under the condition, 0 otherwise (lines 25–27).
+        condition = Compare(node.op, left, right)
+        true_productions: List[ElementTemplate] = []
+        false_productions: List[ElementTemplate] = []
+        for port in node.output_ports():
+            true_productions.extend(
+                _productions_for_port(graph, node, port, Const(1), tag_expr)
+            )
+            false_productions.extend(
+                _productions_for_port(graph, node, port, Const(0), tag_expr)
+            )
+        branches = [
+            Branch(productions=true_productions, condition=condition),
+            Branch(productions=false_productions, condition=None),
+        ]
+        return Reaction(node.node_id, patterns, branches, guard=guard)
+
+    if isinstance(node, CopyNode):
+        value_expr = port_vars["in"]
+        productions = []
+        for port in node.output_ports():
+            productions.extend(_productions_for_port(graph, node, port, value_expr, tag_expr))
+        return Reaction(node.node_id, patterns, [Branch(productions=productions)], guard=guard)
+
+    raise ConversionError(f"unsupported operator node {node!r}")
+
+
+def _convert_steer(graph: DataflowGraph, node: SteerNode, patterns, guard, port_vars) -> Reaction:
+    """Steer vertices (Algorithm 1 lines 13–19)."""
+    tag_expr: Expr = Var(TAG_VARIABLE)
+    data_var = port_vars["data"]
+    control_var = port_vars["control"]
+    true_productions = _productions_for_port(graph, node, PORT_TRUE, data_var, tag_expr)
+    false_productions = _productions_for_port(graph, node, PORT_FALSE, data_var, tag_expr)
+    branches = [
+        Branch(productions=true_productions, condition=Compare("==", control_var, Const(1))),
+        Branch(productions=false_productions, condition=None),
+    ]
+    return Reaction(node.node_id, patterns, branches, guard=guard)
+
+
+def _convert_inctag(graph: DataflowGraph, node: IncTagNode, patterns, guard, port_vars) -> Reaction:
+    """Inctag vertices (Algorithm 1 lines 20–22)."""
+    tag_expr: Expr = BinOp("+", Var(TAG_VARIABLE), Const(node.delta))
+    value_expr = port_vars["in"]
+    productions: List[ElementTemplate] = []
+    for port in node.output_ports():
+        productions.extend(_productions_for_port(graph, node, port, value_expr, tag_expr))
+    return Reaction(node.node_id, patterns, [Branch(productions=productions)], guard=guard)
+
+
+# ---------------------------------------------------------------------------
+# Whole-graph conversion
+# ---------------------------------------------------------------------------
+
+def dataflow_to_gamma(
+    graph: DataflowGraph,
+    program_name: Optional[str] = None,
+    root_values: Optional[Dict[str, object]] = None,
+) -> DataflowToGammaResult:
+    """Convert ``graph`` into a Gamma program plus its initial multiset.
+
+    ``root_values`` optionally overrides the values injected by root vertices
+    (keyed by node id), mirroring
+    :meth:`repro.dataflow.interpreter.DataflowInterpreter.run`.
+    """
+    reactions: List[Reaction] = []
+    node_to_reaction: Dict[str, str] = {}
+    initial = Multiset()
+
+    values = {node.node_id: node.value for node in graph.roots()}
+    if root_values:
+        unknown = set(root_values) - set(values)
+        if unknown:
+            raise ConversionError(f"root_values for unknown roots: {sorted(unknown)}")
+        values.update(root_values)
+
+    for node in graph.nodes:
+        if isinstance(node, RootNode):
+            # Line 9: the initial multiset holds one element per initial edge.
+            for edge in graph.out_edges(node.node_id):
+                initial.add(Element(value=values[node.node_id], label=edge.label, tag=0))
+            continue
+
+        patterns, guard, port_vars = _replace_list(graph, node)
+        if isinstance(node, SteerNode):
+            reaction = _convert_steer(graph, node, patterns, guard, port_vars)
+        elif isinstance(node, IncTagNode):
+            reaction = _convert_inctag(graph, node, patterns, guard, port_vars)
+        else:
+            reaction = _convert_operator(graph, node, patterns, guard, port_vars)
+        reactions.append(reaction)
+        node_to_reaction[node.node_id] = reaction.name
+
+    if not reactions:
+        raise ConversionError("graph has no operational vertices; nothing to convert")
+
+    program = GammaProgram(
+        reactions,
+        initial=initial,
+        name=program_name or f"gamma({graph.name})",
+    )
+    return DataflowToGammaResult(
+        program=program,
+        initial=initial,
+        node_to_reaction=node_to_reaction,
+        output_labels=graph.output_labels(),
+        graph=graph,
+    )

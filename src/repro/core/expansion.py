@@ -1,0 +1,176 @@
+"""Reaction expansion: the inverse of the Section III-A3 reduction.
+
+Where :mod:`repro.core.reduction` fuses chains of reactions into coarser ones,
+expansion splits a reaction whose production evaluates a *composite*
+arithmetic expression into a chain of binary reactions connected by fresh
+intermediate labels.  Applied to the paper's Rd1::
+
+    Rd1 = replace [id1,'A1'], [id2,'B1'], [id3,'C1'], [id4,'D1']
+          by [(id1+id2)-(id3*id4), 'm']
+
+expansion regenerates a three-reaction program with the same shape as R1–R3
+(up to label names), restoring the finer-grained parallelism.  The paper
+mentions "reductions or expansions can be performed"; this is the expansion
+direction, used by the granularity ablation (experiment E3) to sweep
+granularity in both directions.
+
+Only unconditional single-branch reactions are expanded; conditional reactions
+are returned unchanged (splitting under a condition would have to replicate
+the guard, changing the matching probabilities the ablation is measuring).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..gamma.expr import BinOp, Const, Expr, Var
+from ..gamma.pattern import ElementPattern, ElementTemplate
+from ..gamma.program import GammaProgram
+from ..gamma.reaction import Branch, Reaction
+from .labels import TAG_VARIABLE, LabelAllocator
+
+__all__ = ["ExpansionResult", "expand_reaction", "expand_program"]
+
+
+@dataclass
+class ExpansionResult:
+    """Outcome of :func:`expand_program`."""
+
+    program: GammaProgram
+    #: original reaction name -> names of the reactions it was split into.
+    provenance: Dict[str, List[str]] = field(default_factory=dict)
+
+    @property
+    def reaction_count(self) -> int:
+        return len(self.program)
+
+
+def _is_expandable(reaction: Reaction) -> bool:
+    if reaction.guard is not None or len(reaction.branches) != 1:
+        return False
+    branch = reaction.branches[0]
+    if branch.condition is not None:
+        return False
+    # At least one production must contain a nested arithmetic expression.
+    return any(_depth(t.value) > 1 for t in branch.productions)
+
+
+def _depth(expr: Expr) -> int:
+    if isinstance(expr, BinOp):
+        return 1 + max(_depth(expr.left), _depth(expr.right))
+    return 0
+
+
+def expand_reaction(
+    reaction: Reaction,
+    labels: LabelAllocator,
+    names: LabelAllocator,
+) -> List[Reaction]:
+    """Split one reaction into a chain of binary reactions.
+
+    The splitting walks each production's expression tree bottom-up: every
+    internal :class:`BinOp` whose operands are not both leaves becomes its own
+    reaction producing a fresh intermediate label, which the parent then
+    consumes.
+    """
+    if not _is_expandable(reaction):
+        return [reaction]
+
+    new_reactions: List[Reaction] = []
+    branch = reaction.branches[0]
+
+    # Map from variable name to the pattern that binds it, so generated
+    # sub-reactions can consume exactly the elements their operands need.
+    pattern_for_var: Dict[str, ElementPattern] = {}
+    for pattern in reaction.replace:
+        if isinstance(pattern.value, Var):
+            pattern_for_var[pattern.value.name] = pattern
+
+    def lower_top(expr: Expr) -> Tuple[Expr, List[ElementPattern]]:
+        """Keep the top operation in place, extracting non-leaf operands as sub-reactions."""
+        if isinstance(expr, (Var, Const)):
+            patterns = []
+            if isinstance(expr, Var) and expr.name in pattern_for_var:
+                patterns.append(pattern_for_var[expr.name])
+            return expr, patterns
+        if isinstance(expr, BinOp):
+            left_expr, left_patterns = lower_operand(expr.left)
+            right_expr, right_patterns = lower_operand(expr.right)
+            return BinOp(expr.op, left_expr, right_expr), left_patterns + right_patterns
+        return expr, []
+
+    def lower_operand(expr: Expr) -> Tuple[Expr, List[ElementPattern]]:
+        """Lower an operand: leaves stay, nested operations become their own reaction.
+
+        The emitted reaction produces a fresh intermediate label which the
+        parent consumes — the chain structure of R1/R2/R3 in the paper.
+        """
+        if isinstance(expr, (Var, Const)):
+            return lower_top(expr)
+        value_expr, consumed = lower_top(expr)
+        fresh_label = labels.fresh("T")
+        fresh_name = names.fresh(f"{reaction.name}_s")
+        sub = Reaction(
+            name=fresh_name,
+            replace=consumed or [
+                ElementPattern(value=Var("_unused"), label=Const(fresh_label), tag=Var(TAG_VARIABLE))
+            ],
+            branches=[
+                Branch(
+                    productions=[
+                        ElementTemplate(
+                            value=value_expr,
+                            label=Const(fresh_label),
+                            tag=Var(TAG_VARIABLE),
+                        )
+                    ]
+                )
+            ],
+        )
+        new_reactions.append(sub)
+        fresh_var = Var(f"t_{fresh_label}")
+        pattern = ElementPattern(
+            value=fresh_var, label=Const(fresh_label), tag=Var(TAG_VARIABLE)
+        )
+        return fresh_var, [pattern]
+
+    final_templates: List[ElementTemplate] = []
+    final_patterns: List[ElementPattern] = []
+    seen_patterns: set = set()
+
+    for template in branch.productions:
+        lowered_value, patterns = lower_top(template.value)
+        final_templates.append(
+            ElementTemplate(value=lowered_value, label=template.label, tag=template.tag)
+        )
+        for pattern in patterns:
+            key = repr(pattern)
+            if key not in seen_patterns:
+                seen_patterns.add(key)
+                final_patterns.append(pattern)
+
+    if not final_patterns:
+        final_patterns = list(reaction.replace)
+
+    top = Reaction(
+        name=reaction.name,
+        replace=final_patterns,
+        branches=[Branch(productions=final_templates)],
+    )
+    new_reactions.append(top)
+    return new_reactions
+
+
+def expand_program(program: GammaProgram) -> ExpansionResult:
+    """Expand every expandable reaction of ``program``."""
+    labels = LabelAllocator(reserved=program.consumed_labels() | program.produced_labels())
+    names = LabelAllocator(reserved=program.reaction_names(), prefix="S")
+    reactions: List[Reaction] = []
+    provenance: Dict[str, List[str]] = {}
+    for reaction in program.reactions:
+        pieces = expand_reaction(reaction, labels, names)
+        reactions.extend(pieces)
+        provenance[reaction.name] = [r.name for r in pieces]
+    expanded = GammaProgram(reactions, initial=program.initial, name=f"expanded({program.name})")
+    return ExpansionResult(program=expanded, provenance=provenance)

@@ -1,0 +1,615 @@
+"""Algorithm 2 of the paper: convert Gamma reactions into dataflow (sub)graphs.
+
+Step 1 of the paper's procedure builds one dataflow graph per reaction:
+
+* every element of the *replace list* becomes a root vertex (Algorithm 2,
+  lines 2–4);
+* when the *by list* has no condition, the arithmetic expressions of the
+  productions become arithmetic vertices wired from those roots
+  (lines 17–21);
+* when a condition is present, a comparison vertex is created for it, a steer
+  vertex is created for every consumed element that feeds the conditional
+  productions, and the productions are wired from the steers' ``true`` ports
+  (lines 6–16).
+
+The paper notes that recognizing *inctag* (and bare *steer*) behaviour from
+reaction syntax alone is left as future work; this module implements those
+recognizers as a documented extension so that reactions produced by
+Algorithm 1 round-trip into graphs with the same vertex kinds:
+
+* **inctag idiom** — a single consumed element whose productions carry the
+  same value with tag ``v + d`` becomes an inctag vertex;
+* **comparison idiom** — a two-branch reaction producing ``1`` under a
+  comparison and ``0`` otherwise becomes a comparison vertex;
+* **steer idiom** — a two-branch reaction guarded by ``control == 1`` whose
+  productions forward the data value becomes a steer vertex.
+
+Step 2 of the paper's procedure — mapping the initial multiset onto replicated
+instances of these graphs (Fig. 4) — lives in :mod:`repro.core.instancing`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..dataflow.graph import DataflowGraph
+from ..dataflow.nodes import (
+    PORT_CONTROL,
+    PORT_DATA,
+    PORT_FALSE,
+    PORT_IN,
+    PORT_LEFT,
+    PORT_OUT,
+    PORT_RIGHT,
+    PORT_TRUE,
+    ArithmeticNode,
+    ComparisonNode,
+    CopyNode,
+    IncTagNode,
+    RootNode,
+    SteerNode,
+)
+from ..gamma.expr import BinOp, BoolOp, Compare, Const, Expr, Var
+from ..gamma.pattern import ElementPattern, ElementTemplate
+from ..gamma.program import GammaProgram
+from ..gamma.reaction import Branch, Reaction
+from .labels import LabelAllocator
+
+__all__ = [
+    "ReactionConversionError",
+    "ReactionGraph",
+    "reaction_to_graph",
+    "program_to_graphs",
+]
+
+
+class ReactionConversionError(ValueError):
+    """Raised when a reaction uses constructs outside Algorithm 2's supported class."""
+
+
+@dataclass
+class ReactionGraph:
+    """The dataflow graph generated for one reaction (Algorithm 2, step 1).
+
+    Attributes
+    ----------
+    reaction:
+        The source reaction.
+    graph:
+        The generated dataflow graph.  Root vertices are named
+        ``in0, in1, ...`` in replace-list order and have ``value=None``
+        placeholders; instancing fills them from matched multiset elements.
+    pattern_roots:
+        Root node ids, one per replace-list pattern (in order).
+    output_labels:
+        Labels of the graph's dangling *edges*, one per production.  Edge
+        labels must be unique within a graph, so a reaction that produces two
+        elements with the same multiset label (``gcd``'s ``a-b`` and ``b``)
+        gets suffixed edge labels (``x``, ``x#2``); :attr:`output_map` maps
+        them back to the produced multiset label.
+    output_map:
+        ``edge label -> multiset label`` of the corresponding production.
+    templates:
+        ``edge label -> production template`` (used by instancing to evaluate
+        the produced tag under the match binding).
+    tag_behaviour:
+        ``edge label -> tag delta`` (0 for plain productions, the inctag delta
+        for ``v + d`` productions).
+    """
+
+    reaction: Reaction
+    graph: DataflowGraph
+    pattern_roots: List[str]
+    output_labels: List[str]
+    output_map: Dict[str, str] = field(default_factory=dict)
+    templates: Dict[str, ElementTemplate] = field(default_factory=dict)
+    tag_behaviour: Dict[str, int] = field(default_factory=dict)
+
+    def instantiate(self, values: Sequence[object], prefix: str) -> DataflowGraph:
+        """A renamed copy of the graph with root placeholders set to ``values``.
+
+        ``prefix`` is prepended to every node id and edge label so several
+        instances can be merged into one graph (Fig. 4).
+        """
+        if len(values) != len(self.pattern_roots):
+            raise ValueError(
+                f"reaction {self.reaction.name!r} consumes {len(self.pattern_roots)} elements, "
+                f"got {len(values)} values"
+            )
+        value_by_root = dict(zip(self.pattern_roots, values))
+        clone = DataflowGraph(name=f"{prefix}{self.graph.name}")
+        for node in self.graph.nodes:
+            if isinstance(node, RootNode) and node.node_id in value_by_root:
+                clone.add_node(
+                    RootNode(
+                        node_id=f"{prefix}{node.node_id}",
+                        value=value_by_root[node.node_id],
+                        name=node.name,
+                    )
+                )
+            else:
+                clone.add_node(_rename_node(node, prefix))
+        for edge in self.graph.edges:
+            clone.add_edge(
+                f"{prefix}{edge.src}",
+                f"{prefix}{edge.dst}" if edge.dst is not None else None,
+                f"{prefix}{edge.label}",
+                src_port=edge.src_port,
+                dst_port=edge.dst_port,
+            )
+        return clone
+
+
+def _rename_node(node, prefix: str):
+    """Copy ``node`` under a prefixed id (dataclasses are frozen, so rebuild)."""
+    import dataclasses
+
+    return dataclasses.replace(node, node_id=f"{prefix}{node.node_id}")
+
+
+# ---------------------------------------------------------------------------
+# Idiom recognizers (extension: the paper leaves these to future work)
+# ---------------------------------------------------------------------------
+
+def _tag_delta(template: ElementTemplate, tag_vars: frozenset) -> Optional[int]:
+    """Tag delta of a production: 0 for a bare tag variable or constant,
+    ``d`` for ``v + d``; ``None`` when the expression is anything else."""
+    tag = template.tag
+    if isinstance(tag, Const):
+        return 0
+    if isinstance(tag, Var):
+        return 0
+    if (
+        isinstance(tag, BinOp)
+        and tag.op == "+"
+        and isinstance(tag.left, Var)
+        and tag.left.name in tag_vars
+        and isinstance(tag.right, Const)
+        and isinstance(tag.right.value, int)
+    ):
+        return tag.right.value
+    return None
+
+
+def _constant_label(template: ElementTemplate) -> str:
+    if not isinstance(template.label, Const) or not isinstance(template.label.value, str):
+        raise ReactionConversionError(
+            "Algorithm 2 requires productions with literal labels; "
+            f"got {template.label!r}"
+        )
+    return template.label.value
+
+
+def _label_variables(reaction: Reaction) -> frozenset:
+    """Variables bound in label position by the replace list."""
+    from ..gamma.expr import Var as _Var
+
+    names = set()
+    for pat in reaction.replace:
+        if isinstance(pat.label, _Var):
+            names.add(pat.label.name)
+    return frozenset(names)
+
+
+def _is_inctag_idiom(reaction: Reaction) -> bool:
+    if len(reaction.replace) != 1 or len(reaction.branches) != 1:
+        return False
+    branch = reaction.branches[0]
+    if not branch.productions:
+        return False
+    # A condition (or guard) that only constrains the consumed *label* — the
+    # paper's (x=='A1') or (x=='A11') idiom — is a structural constraint, not a
+    # data computation, so it does not block the inctag recognition.
+    label_vars = _label_variables(reaction)
+    if branch.condition is not None and not (branch.condition.variables() <= label_vars):
+        return False
+    value_var = reaction.replace[0].value
+    if not isinstance(value_var, Var):
+        return False
+    tag_vars = reaction.tag_variables()
+    deltas = set()
+    for tmpl in branch.productions:
+        if not (isinstance(tmpl.value, Var) and tmpl.value.name == value_var.name):
+            return False
+        delta = _tag_delta(tmpl, tag_vars)
+        if delta is None:
+            return False
+        deltas.add(delta)
+    return deltas == {1} or (len(deltas) == 1 and deltas.pop() >= 1)
+
+
+def _is_comparison_idiom(reaction: Reaction) -> Optional[Compare]:
+    """Return the comparison when the reaction is the 1/0-producing idiom."""
+    if len(reaction.branches) != 2:
+        return None
+    true_branch, false_branch = reaction.branches
+    if not isinstance(true_branch.condition, Compare) or false_branch.condition is not None:
+        return None
+    if len(true_branch.productions) != len(false_branch.productions) or not true_branch.productions:
+        return None
+    for t_tmpl, f_tmpl in zip(true_branch.productions, false_branch.productions):
+        if not (isinstance(t_tmpl.value, Const) and t_tmpl.value.value == 1):
+            return None
+        if not (isinstance(f_tmpl.value, Const) and f_tmpl.value.value == 0):
+            return None
+        if _constant_label(t_tmpl) != _constant_label(f_tmpl):
+            return None
+    return true_branch.condition
+
+
+def _is_steer_idiom(reaction: Reaction) -> Optional[Tuple[str, str]]:
+    """Return (data variable, control variable) when the reaction is a steer.
+
+    Shape: two consumed elements, condition ``control == 1`` (or ``== 0``
+    reversed), true branch forwarding the data variable, else branch either
+    empty or forwarding the data variable.
+    """
+    if len(reaction.replace) != 2 or len(reaction.branches) != 2:
+        return None
+    true_branch, false_branch = reaction.branches
+    cond = true_branch.condition
+    if false_branch.condition is not None or not isinstance(cond, Compare) or cond.op != "==":
+        return None
+    if not (isinstance(cond.left, Var) and isinstance(cond.right, Const) and cond.right.value == 1):
+        return None
+    control = cond.left.name
+    variables = [p.value.name for p in reaction.replace if isinstance(p.value, Var)]
+    if control not in variables or len(variables) != 2:
+        return None
+    data = next(v for v in variables if v != control)
+    for tmpl in true_branch.productions:
+        if not (isinstance(tmpl.value, Var) and tmpl.value.name == data):
+            return None
+    for tmpl in false_branch.productions:
+        if not (isinstance(tmpl.value, Var) and tmpl.value.name == data):
+            return None
+    if not true_branch.productions and not false_branch.productions:
+        return None
+    return data, control
+
+
+# ---------------------------------------------------------------------------
+# Expression trees -> dataflow vertices
+# ---------------------------------------------------------------------------
+
+class _GraphAssembler:
+    """Shared machinery for wiring expression trees into a graph."""
+
+    def __init__(self, reaction: Reaction) -> None:
+        self.reaction = reaction
+        self.graph = DataflowGraph(name=f"df({reaction.name})")
+        self.labels = LabelAllocator()
+        self.pattern_roots: List[str] = []
+        self.var_source: Dict[str, Tuple[str, str]] = {}
+        self._node_counter = 0
+        # Output bookkeeping (filled by emit_output / register_output).
+        self.output_labels: List[str] = []
+        self.output_map: Dict[str, str] = {}
+        self.templates: Dict[str, ElementTemplate] = {}
+        self.tag_behaviour: Dict[str, int] = {}
+        self._tag_vars = reaction.tag_variables()
+
+    # -- construction helpers ---------------------------------------------------
+    def fresh_node_id(self, prefix: str) -> str:
+        self._node_counter += 1
+        return f"{prefix}{self._node_counter}"
+
+    def add_pattern_roots(self) -> None:
+        for position, pat in enumerate(self.reaction.replace):
+            node_id = f"in{position}"
+            name = pat.fixed_label() or (
+                pat.value.name if isinstance(pat.value, Var) else f"arg{position}"
+            )
+            self.graph.add_node(RootNode(node_id=node_id, value=None, name=name))
+            self.pattern_roots.append(node_id)
+            if isinstance(pat.value, Var):
+                self.var_source[pat.value.name] = (node_id, PORT_OUT)
+
+    def source_for(self, name: str) -> Tuple[str, str]:
+        try:
+            return self.var_source[name]
+        except KeyError as exc:
+            raise ReactionConversionError(
+                f"reaction {self.reaction.name!r} uses variable {name!r} "
+                f"in a position Algorithm 2 cannot wire (tag or label variable?)"
+            ) from exc
+
+    def wire(self, src: Tuple[str, str], dst: str, dst_port: str) -> None:
+        self.graph.add_edge(
+            src[0], dst, self.labels.fresh("e"), src_port=src[1], dst_port=dst_port
+        )
+
+    def build_expression(self, expr: Expr, kind: str = "arith") -> Tuple[str, str]:
+        """Create vertices computing ``expr``; return the producing (node, port)."""
+        if isinstance(expr, Var):
+            return self.source_for(expr.name)
+        if isinstance(expr, Const):
+            node_id = self.fresh_node_id("const")
+            self.graph.add_node(RootNode(node_id=node_id, value=expr.value, name="const"))
+            return (node_id, PORT_OUT)
+        if isinstance(expr, (BinOp, Compare)):
+            cls = ArithmeticNode if isinstance(expr, BinOp) else ComparisonNode
+            prefix = "op" if isinstance(expr, BinOp) else "cmp"
+            left, right = expr.left, expr.right
+            # Fold a constant operand into an immediate, as the paper's Fig. 2
+            # does for ``- 1`` and ``> 0``.
+            if isinstance(right, Const) and not isinstance(left, Const):
+                node_id = self.fresh_node_id(prefix)
+                self.graph.add_node(
+                    cls(node_id=node_id, op=expr.op, immediate=("right", right.value))
+                )
+                self.wire(self.build_expression(left), node_id, PORT_IN)
+                return (node_id, PORT_OUT)
+            if isinstance(left, Const) and not isinstance(right, Const):
+                node_id = self.fresh_node_id(prefix)
+                self.graph.add_node(
+                    cls(node_id=node_id, op=expr.op, immediate=("left", left.value))
+                )
+                self.wire(self.build_expression(right), node_id, PORT_IN)
+                return (node_id, PORT_OUT)
+            node_id = self.fresh_node_id(prefix)
+            self.graph.add_node(cls(node_id=node_id, op=expr.op))
+            self.wire(self.build_expression(left), node_id, PORT_LEFT)
+            self.wire(self.build_expression(right), node_id, PORT_RIGHT)
+            return (node_id, PORT_OUT)
+        raise ReactionConversionError(
+            f"reaction {self.reaction.name!r}: expression {expr!r} is outside the class "
+            f"Algorithm 2 supports (boolean connectives are only allowed in guards)"
+        )
+
+    def build_condition(self, expr: Expr) -> Tuple[str, str]:
+        """Create vertices computing a boolean condition as a 0/1 control value.
+
+        Single comparisons map to one comparison vertex (Algorithm 2); boolean
+        connectives — which the paper's algorithm does not cover but its
+        guards (e.g. the label-discrimination idiom) and the classic Gamma
+        programs use — are lowered to ``min`` (and), ``max`` (or) and
+        ``1 - x`` (not) vertices over the 0/1 control values.
+        """
+        if isinstance(expr, Compare):
+            return self.build_expression(expr)
+        if isinstance(expr, BoolOp):
+            left = self.build_condition(expr.left)
+            right = self.build_condition(expr.right)
+            op = "min" if expr.op == "and" else "max"
+            node_id = self.fresh_node_id("bool")
+            self.graph.add_node(ArithmeticNode(node_id=node_id, op=op))
+            self.wire(left, node_id, PORT_LEFT)
+            self.wire(right, node_id, PORT_RIGHT)
+            return (node_id, PORT_OUT)
+        from ..gamma.expr import Not as _Not
+
+        if isinstance(expr, _Not):
+            inner = self.build_condition(expr.operand)
+            node_id = self.fresh_node_id("bool")
+            self.graph.add_node(ArithmeticNode(node_id=node_id, op="-", immediate=("left", 1)))
+            self.wire(inner, node_id, PORT_IN)
+            return (node_id, PORT_OUT)
+        raise ReactionConversionError(
+            f"reaction {self.reaction.name!r}: condition {expr!r} cannot be lowered to "
+            f"comparison/steer vertices"
+        )
+
+    def _fresh_edge_label(self, production_label: str) -> str:
+        """Edge label for a production — unique even when labels repeat (``x``, ``x#2``)."""
+        edge_label = production_label
+        suffix = 1
+        while self.graph.has_label(edge_label):
+            suffix += 1
+            edge_label = f"{production_label}#{suffix}"
+        return edge_label
+
+    def register_output(
+        self, src: Tuple[str, str], port: str, template: ElementTemplate
+    ) -> str:
+        """Attach a dangling edge for ``template`` from ``(src node, port)``."""
+        production_label = _constant_label(template)
+        delta = _tag_delta(template, self._tag_vars)
+        if delta is None:
+            raise ReactionConversionError(
+                f"reaction {self.reaction.name!r} produces tag {template.tag!r} "
+                f"which Algorithm 2 cannot represent"
+            )
+        edge_label = self._fresh_edge_label(production_label)
+        self.graph.add_edge(src[0], None, edge_label, src_port=port)
+        self.output_labels.append(edge_label)
+        self.output_map[edge_label] = production_label
+        self.templates[edge_label] = template
+        self.tag_behaviour[edge_label] = delta
+        return edge_label
+
+    def emit_output(self, src: Tuple[str, str], template: ElementTemplate) -> str:
+        """Attach a (possibly inctag-shifted) dangling output edge for ``template``."""
+        delta = _tag_delta(template, self._tag_vars)
+        if delta is None:
+            raise ReactionConversionError(
+                f"reaction {self.reaction.name!r} produces tag {template.tag!r} "
+                f"which Algorithm 2 cannot represent"
+            )
+        if delta:
+            node_id = self.fresh_node_id("it")
+            self.graph.add_node(IncTagNode(node_id=node_id, delta=delta))
+            self.wire(src, node_id, PORT_IN)
+            src = (node_id, PORT_OUT)
+        elif src[0] in self.pattern_roots and src[1] == PORT_OUT:
+            # A bare relabelling of an input: go through a copy vertex so the
+            # output edge has a producing instruction (keeps instancing and
+            # firing counts meaningful).
+            node_id = self.fresh_node_id("cp")
+            self.graph.add_node(CopyNode(node_id=node_id))
+            self.wire(src, node_id, PORT_IN)
+            src = (node_id, PORT_OUT)
+        return self.register_output(src, src[1], template)
+
+    def result(self) -> "ReactionGraph":
+        """Bundle the assembled graph and bookkeeping into a :class:`ReactionGraph`."""
+        return ReactionGraph(
+            reaction=self.reaction,
+            graph=self.graph,
+            pattern_roots=self.pattern_roots,
+            output_labels=self.output_labels,
+            output_map=self.output_map,
+            templates=self.templates,
+            tag_behaviour=self.tag_behaviour,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Reaction -> graph
+# ---------------------------------------------------------------------------
+
+def _convert_inctag_reaction(reaction: Reaction) -> ReactionGraph:
+    asm = _GraphAssembler(reaction)
+    asm.add_pattern_roots()
+    branch = reaction.branches[0]
+    node_id = "it1"
+    delta = _tag_delta(branch.productions[0], reaction.tag_variables()) or 1
+    asm.graph.add_node(IncTagNode(node_id=node_id, delta=delta))
+    asm.wire((asm.pattern_roots[0], PORT_OUT), node_id, PORT_IN)
+    for tmpl in branch.productions:
+        asm.register_output((node_id, PORT_OUT), PORT_OUT, tmpl)
+    return asm.result()
+
+
+def _convert_comparison_reaction(reaction: Reaction, condition: Compare) -> ReactionGraph:
+    asm = _GraphAssembler(reaction)
+    asm.add_pattern_roots()
+    src = asm.build_expression(condition)
+    for tmpl in reaction.branches[0].productions:
+        asm.register_output(src, src[1], tmpl)
+    return asm.result()
+
+
+def _convert_steer_reaction(reaction: Reaction, data: str, control: str) -> ReactionGraph:
+    asm = _GraphAssembler(reaction)
+    asm.add_pattern_roots()
+    steer_id = "st1"
+    asm.graph.add_node(SteerNode(node_id=steer_id))
+    asm.wire(asm.source_for(data), steer_id, PORT_DATA)
+    asm.wire(asm.source_for(control), steer_id, PORT_CONTROL)
+    for port, branch in ((PORT_TRUE, reaction.branches[0]), (PORT_FALSE, reaction.branches[1])):
+        for tmpl in branch.productions:
+            asm.register_output((steer_id, port), port, tmpl)
+    return asm.result()
+
+
+def _convert_unconditional_reaction(reaction: Reaction) -> ReactionGraph:
+    """Algorithm 2, lines 17–21: arithmetic productions wired straight from roots."""
+    asm = _GraphAssembler(reaction)
+    asm.add_pattern_roots()
+    for tmpl in reaction.branches[0].productions:
+        src = asm.build_expression(tmpl.value)
+        asm.emit_output(src, tmpl)
+    return asm.result()
+
+
+def _convert_conditional_reaction(reaction: Reaction) -> ReactionGraph:
+    """Algorithm 2, lines 6–16: comparison + steer vertices guarding the productions."""
+    # Normalize the three accepted shapes into (condition, true branch, false branch).
+    if len(reaction.branches) == 1:
+        branch = reaction.branches[0]
+        condition = reaction.guard if branch.condition is None else branch.condition
+        true_branch = Branch(productions=branch.productions, condition=None)
+        false_branch = Branch(productions=[], condition=None)
+    elif len(reaction.branches) == 2:
+        true_branch, false_branch = reaction.branches
+        condition = true_branch.condition
+        if false_branch.condition is not None:
+            raise ReactionConversionError(
+                f"reaction {reaction.name!r}: the second 'by' branch must be an else arm"
+            )
+    else:
+        raise ReactionConversionError(
+            f"reaction {reaction.name!r} has {len(reaction.branches)} branches; "
+            f"Algorithm 2 handles at most an if/else pair"
+        )
+    if condition is None:
+        raise ReactionConversionError(
+            f"reaction {reaction.name!r} has no condition to lower; "
+            f"use the unconditional translation instead"
+        )
+
+    asm = _GraphAssembler(reaction)
+    asm.add_pattern_roots()
+    cmp_src = asm.build_condition(condition)
+
+    # One steer per consumed variable referenced by the conditional productions.
+    steered: Dict[str, str] = {}
+    needed = set()
+    for branch in (true_branch, false_branch):
+        for tmpl in branch.productions:
+            needed |= {
+                name
+                for name in tmpl.value.variables()
+                if name in asm.var_source
+            }
+    for name in sorted(needed):
+        steer_id = asm.fresh_node_id("st")
+        asm.graph.add_node(SteerNode(node_id=steer_id))
+        asm.wire(asm.source_for(name), steer_id, PORT_DATA)
+        asm.wire(cmp_src, steer_id, PORT_CONTROL)
+        steered[name] = steer_id
+
+    def _emit(branch: Branch, port: str) -> None:
+        # Rebind variable sources to the steer port for this branch.
+        saved = dict(asm.var_source)
+        for name, steer_id in steered.items():
+            asm.var_source[name] = (steer_id, port)
+        try:
+            for tmpl in branch.productions:
+                if not (tmpl.value.variables() & set(steered)) and false_branch.productions != true_branch.productions:
+                    # A production that does not flow through any steer would
+                    # be emitted unconditionally, changing the semantics (this
+                    # is the 1/0 comparison idiom when the values are
+                    # constants — handled by the recognizer — or a construct
+                    # outside Algorithm 2 otherwise).
+                    raise ReactionConversionError(
+                        f"reaction {reaction.name!r}: conditional production {tmpl!r} does not "
+                        f"depend on any steered input; Algorithm 2 cannot express it"
+                    )
+                src = asm.build_expression(tmpl.value)
+                asm.emit_output(src, tmpl)
+        finally:
+            asm.var_source = saved
+
+    _emit(true_branch, PORT_TRUE)
+    _emit(false_branch, PORT_FALSE)
+    return asm.result()
+
+
+def reaction_to_graph(reaction: Reaction, recognize_idioms: bool = True) -> ReactionGraph:
+    """Convert one reaction into a dataflow graph (Algorithm 2, step 1).
+
+    ``recognize_idioms`` enables the inctag / comparison / steer recognizers
+    (our extension of the paper's future-work note); with it disabled the
+    conversion uses only the constructs spelled out in Algorithm 2.
+    """
+    if recognize_idioms:
+        if _is_inctag_idiom(reaction):
+            return _convert_inctag_reaction(reaction)
+        condition = _is_comparison_idiom(reaction)
+        if condition is not None:
+            return _convert_comparison_reaction(reaction, condition)
+        steer = _is_steer_idiom(reaction)
+        if steer is not None:
+            return _convert_steer_reaction(reaction, *steer)
+
+    has_condition = (
+        reaction.guard is not None
+        or any(branch.condition is not None for branch in reaction.branches)
+        or len(reaction.branches) > 1
+    )
+    if has_condition:
+        return _convert_conditional_reaction(reaction)
+    return _convert_unconditional_reaction(reaction)
+
+
+def program_to_graphs(
+    program: GammaProgram, recognize_idioms: bool = True
+) -> Dict[str, ReactionGraph]:
+    """Convert every reaction of ``program`` (Algorithm 2, step 1, for a whole program)."""
+    return {
+        reaction.name: reaction_to_graph(reaction, recognize_idioms=recognize_idioms)
+        for reaction in program.reactions
+    }

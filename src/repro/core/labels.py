@@ -1,0 +1,65 @@
+"""Label and variable-name allocation shared by the conversion algorithms.
+
+Algorithm 1 (dataflow → Gamma) names the consumed-value variables ``x0, x1``
+and the common tag variable ``tag`` (the worked examples use ``id1, id2`` and
+``v``); Algorithm 2 (Gamma → dataflow) needs fresh edge labels and node ids
+when it synthesizes graphs from reactions.  Keeping the allocators here keeps
+both directions consistent and the generated artifacts readable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set
+
+__all__ = ["TAG_VARIABLE", "value_variable", "label_variable", "LabelAllocator"]
+
+#: Name of the shared iteration-tag variable in generated reactions (the
+#: paper's ``v``).
+TAG_VARIABLE = "v"
+
+
+def value_variable(position: int) -> str:
+    """Variable bound to the value of the ``position``-th consumed element.
+
+    The paper's examples use ``id1, id2, ...``; we keep that convention so the
+    generated reactions read like the listings.
+    """
+    return f"id{position + 1}"
+
+
+def label_variable(position: int) -> str:
+    """Variable bound to the *label* of a consumed element on a merged port.
+
+    Used for the inctag idiom of reactions R11–R13, where the consumed label
+    may be either the initial edge or the loop-back edge.
+    """
+    return f"lbl{position + 1}" if position else "x"
+
+
+class LabelAllocator:
+    """Allocates fresh edge labels / node ids avoiding a set of reserved names."""
+
+    def __init__(self, reserved: Optional[Iterable[str]] = None, prefix: str = "E") -> None:
+        self._used: Set[str] = set(reserved or ())
+        self._prefix = prefix
+        self._counters: Dict[str, int] = {}
+
+    def reserve(self, name: str) -> str:
+        """Mark ``name`` as used (idempotent) and return it."""
+        self._used.add(name)
+        return name
+
+    def is_used(self, name: str) -> bool:
+        return name in self._used
+
+    def fresh(self, prefix: Optional[str] = None) -> str:
+        """Return a fresh name ``<prefix><n>`` not yet reserved."""
+        prefix = prefix if prefix is not None else self._prefix
+        counter = self._counters.get(prefix, 0)
+        while True:
+            counter += 1
+            name = f"{prefix}{counter}"
+            if name not in self._used:
+                self._counters[prefix] = counter
+                self._used.add(name)
+                return name

@@ -1,0 +1,283 @@
+"""Reaction reductions (Section III-A3 of the paper).
+
+The paper observes that the reaction set produced by Algorithm 1 can be
+*reduced*: chains of reactions can be fused into fewer, coarser reactions
+(e.g. R1, R2, R3 of Example 1 collapse into the single reaction Rd1), at the
+cost of available parallelism and of a lower probability that a reaction
+condition is satisfied by a randomly drawn tuple of elements.
+
+This module implements that transformation as *producer-into-consumer fusion*:
+
+  A reaction ``P`` can be fused into a reaction ``C`` when
+
+  * ``P`` has a single unconditional branch and no guard,
+  * ``P`` produces exactly one element, with a literal label ``L`` and an
+    unshifted tag (no inctag behaviour),
+  * ``L`` is not an observable output, does not appear in the initial
+    multiset, is produced by no other reaction and is consumed by exactly one
+    pattern of exactly one reaction (``C``).
+
+  The fusion removes ``P``, removes ``C``'s pattern for ``L`` and substitutes
+  ``P``'s production expression for the variable that pattern bound, after
+  α-renaming ``P``'s variables away from ``C``'s.
+
+Repeated to a fixed point this reproduces the paper's Rd1 for Example 1; the
+paper's hand-reduced six-reaction version of Example 2 uses additional ad-hoc
+fusions (conditions duplicated into consumers) and is provided verbatim in
+:mod:`repro.workloads.paper_reduced` for the granularity experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..gamma.expr import BinOp, BoolOp, Compare, Const, Expr, Not, Var
+from ..gamma.pattern import ElementPattern, ElementTemplate
+from ..gamma.program import GammaProgram
+from ..gamma.reaction import Branch, Reaction
+from ..multiset.multiset import Multiset
+
+__all__ = ["ReductionResult", "fuse_once", "reduce_program", "granularity_metrics"]
+
+
+# ---------------------------------------------------------------------------
+# Expression helpers
+# ---------------------------------------------------------------------------
+
+def _substitute(expr: Expr, mapping: Dict[str, Expr]) -> Expr:
+    """Substitute variables by expressions, recursively."""
+    if isinstance(expr, Var):
+        return mapping.get(expr.name, expr)
+    if isinstance(expr, Const):
+        return expr
+    if isinstance(expr, BinOp):
+        return BinOp(expr.op, _substitute(expr.left, mapping), _substitute(expr.right, mapping))
+    if isinstance(expr, Compare):
+        return Compare(expr.op, _substitute(expr.left, mapping), _substitute(expr.right, mapping))
+    if isinstance(expr, BoolOp):
+        return BoolOp(expr.op, _substitute(expr.left, mapping), _substitute(expr.right, mapping))
+    if isinstance(expr, Not):
+        return Not(_substitute(expr.operand, mapping))
+    raise TypeError(f"cannot substitute into {type(expr).__name__}")
+
+
+def _rename(expr: Expr, mapping: Dict[str, str]) -> Expr:
+    """Rename variables (a special case of substitution)."""
+    return _substitute(expr, {old: Var(new) for old, new in mapping.items()})
+
+
+def _rename_pattern(pattern: ElementPattern, mapping: Dict[str, str]) -> ElementPattern:
+    def fix(field: Expr) -> Expr:
+        if isinstance(field, Var) and field.name in mapping:
+            return Var(mapping[field.name])
+        return field
+
+    return ElementPattern(value=fix(pattern.value), label=fix(pattern.label), tag=fix(pattern.tag))
+
+
+def _rename_template(template: ElementTemplate, mapping: Dict[str, str]) -> ElementTemplate:
+    return ElementTemplate(
+        value=_rename(template.value, mapping),
+        label=_rename(template.label, mapping),
+        tag=_rename(template.tag, mapping),
+    )
+
+
+def _substitute_template(template: ElementTemplate, mapping: Dict[str, Expr]) -> ElementTemplate:
+    return ElementTemplate(
+        value=_substitute(template.value, mapping),
+        label=_substitute(template.label, mapping),
+        tag=_substitute(template.tag, mapping),
+    )
+
+
+def _substitute_branch(branch: Branch, mapping: Dict[str, Expr]) -> Branch:
+    return Branch(
+        productions=[_substitute_template(t, mapping) for t in branch.productions],
+        condition=None if branch.condition is None else _substitute(branch.condition, mapping),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fusion
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ReductionResult:
+    """Outcome of :func:`reduce_program`."""
+
+    program: GammaProgram
+    #: Reactions removed by fusion, in the order they were absorbed.
+    fused: List[str] = field(default_factory=list)
+    #: name of the reduced reaction -> names of the original reactions it absorbs.
+    provenance: Dict[str, List[str]] = field(default_factory=dict)
+
+    @property
+    def reaction_count(self) -> int:
+        return len(self.program)
+
+
+def _is_fusible_producer(reaction: Reaction) -> bool:
+    """True when ``reaction`` matches the producer shape described above."""
+    if reaction.guard is not None or len(reaction.branches) != 1:
+        return False
+    branch = reaction.branches[0]
+    if branch.condition is not None or len(branch.productions) != 1:
+        return False
+    template = branch.productions[0]
+    if not isinstance(template.label, Const):
+        return False
+    # No inctag behaviour: the produced tag must be a bare variable or constant.
+    if not isinstance(template.tag, (Var, Const)):
+        return False
+    # All consumed labels must be literal (no label-discrimination guard, ensured
+    # above) so the fused replace list stays in Algorithm 1's class.
+    return not reaction.has_variable_label()
+
+
+def _consumers_of(label: str, program: GammaProgram) -> List[Tuple[Reaction, int]]:
+    """(reaction, pattern index) pairs whose replace list requires ``label``."""
+    consumers = []
+    for reaction in program.reactions:
+        for index, pattern in enumerate(reaction.replace):
+            if pattern.fixed_label() == label:
+                consumers.append((reaction, index))
+    return consumers
+
+
+def _producers_of(label: str, program: GammaProgram) -> List[Reaction]:
+    return [r for r in program.reactions if label in r.produced_labels()]
+
+
+def fuse_once(
+    program: GammaProgram,
+    preserve_labels: Optional[Set[str]] = None,
+    initial: Optional[Multiset] = None,
+) -> Optional[Tuple[GammaProgram, str, str]]:
+    """Perform one producer-into-consumer fusion.
+
+    Returns ``(new program, producer name, consumer name)`` or ``None`` when no
+    fusion applies.  ``preserve_labels`` are labels that must stay observable
+    (typically the program's outputs); ``initial`` guards against fusing away
+    labels that the initial multiset feeds directly.
+    """
+    preserve = set(preserve_labels or ())
+    initial_labels = set(initial.labels()) if initial is not None else set(
+        (program.initial.labels() if program.initial is not None else [])
+    )
+
+    for producer in program.reactions:
+        if not _is_fusible_producer(producer):
+            continue
+        template = producer.branches[0].productions[0]
+        label = template.label.value
+        if label in preserve or label in initial_labels:
+            continue
+        if len(_producers_of(label, program)) != 1:
+            continue
+        consumers = _consumers_of(label, program)
+        if len(consumers) != 1:
+            continue
+        consumer, pattern_index = consumers[0]
+        if consumer.name == producer.name:
+            continue
+
+        # α-rename the producer's variables so they cannot clash with the consumer's.
+        rename = {name: f"{name}_{producer.name}" for name in producer.variables()}
+        producer_patterns = [_rename_pattern(p, rename) for p in producer.replace]
+        producer_template = _rename_template(template, rename)
+
+        consumed_pattern = consumer.replace[pattern_index]
+        substitution: Dict[str, Expr] = {}
+        if isinstance(consumed_pattern.value, Var):
+            substitution[consumed_pattern.value.name] = producer_template.value
+        # Unify the tag variables: the producer's (renamed) tag variable must
+        # equal the consumer's tag variable for the fused reaction to keep the
+        # same-iteration semantics.
+        tag_rename: Dict[str, str] = {}
+        if isinstance(producer_template.tag, Var) and isinstance(consumed_pattern.tag, Var):
+            tag_rename[producer_template.tag.name] = consumed_pattern.tag.name
+
+        new_replace = list(consumer.replace)
+        del new_replace[pattern_index]
+        new_replace.extend(_rename_pattern(p, tag_rename) for p in producer_patterns)
+
+        new_branches = [_substitute_branch(b, substitution) for b in consumer.branches]
+        new_guard = None if consumer.guard is None else _substitute(consumer.guard, substitution)
+        if producer.guard is not None:  # pragma: no cover - excluded by _is_fusible_producer
+            renamed_guard = _rename(producer.guard, rename)
+            new_guard = renamed_guard if new_guard is None else BoolOp("and", new_guard, renamed_guard)
+
+        fused = Reaction(
+            name=consumer.name,
+            replace=new_replace,
+            branches=new_branches,
+            guard=new_guard,
+        )
+        new_reactions = [
+            fused if r.name == consumer.name else r
+            for r in program.reactions
+            if r.name != producer.name
+        ]
+        new_program = GammaProgram(
+            new_reactions, initial=program.initial, name=program.name
+        )
+        return new_program, producer.name, consumer.name
+    return None
+
+
+def reduce_program(
+    program: GammaProgram,
+    preserve_labels: Optional[Sequence[str]] = None,
+    initial: Optional[Multiset] = None,
+    max_fusions: Optional[int] = None,
+) -> ReductionResult:
+    """Fuse producer/consumer chains to a fixed point (the paper's reduction).
+
+    ``preserve_labels`` defaults to the program's output labels (labels that
+    are produced but never consumed), which is what keeps the observable
+    behaviour intact.
+    """
+    preserve = set(preserve_labels) if preserve_labels is not None else program.output_labels()
+    result = ReductionResult(program=program)
+    provenance: Dict[str, List[str]] = {r.name: [r.name] for r in program.reactions}
+
+    current = program
+    fusions = 0
+    while max_fusions is None or fusions < max_fusions:
+        step = fuse_once(current, preserve_labels=preserve, initial=initial)
+        if step is None:
+            break
+        current, producer_name, consumer_name = step
+        provenance[consumer_name] = provenance.get(consumer_name, [consumer_name]) + provenance.pop(
+            producer_name, [producer_name]
+        )
+        result.fused.append(producer_name)
+        fusions += 1
+
+    result.program = current
+    result.provenance = {
+        name: sorted(set(sources)) for name, sources in provenance.items() if name in current
+    }
+    return result
+
+
+def granularity_metrics(program: GammaProgram) -> Dict[str, float]:
+    """Simple granularity indicators used by the E3 ablation.
+
+    * ``reactions``  — number of reactions,
+    * ``mean_arity`` — average number of elements consumed per reaction,
+    * ``max_arity``  — largest replace list,
+    * ``mean_productions`` — average number of elements produced per branch.
+    """
+    arities = [r.arity for r in program.reactions]
+    productions = [
+        len(branch.productions) for r in program.reactions for branch in r.branches
+    ]
+    return {
+        "reactions": float(len(arities)),
+        "mean_arity": sum(arities) / len(arities),
+        "max_arity": float(max(arities)),
+        "mean_productions": sum(productions) / len(productions) if productions else 0.0,
+    }

@@ -1,0 +1,244 @@
+"""Fluent construction API for dataflow graphs.
+
+Building the paper's graphs directly with :class:`DataflowGraph.add_node` /
+``add_edge`` is verbose; :class:`GraphBuilder` offers a small expression-like
+layer where node outputs are first-class handles that can be wired into
+further operations::
+
+    b = GraphBuilder("example1")
+    x, y = b.root(1, "x"), b.root(5, "y")
+    k, j = b.root(3, "k"), b.root(2, "j")
+    s = b.add(x, y)          # x + y
+    p = b.mul(k, j)          # k * j
+    b.output(b.sub(s, p), "m")
+    graph = b.graph
+
+Handles are :class:`OutputRef` values naming a node's output port.  The
+builder assigns edge labels automatically (``A1``-style labels can be forced
+via the ``label=`` keyword of each operation to match the paper's figures).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from .graph import DataflowGraph, Edge
+from .nodes import (
+    PORT_CONTROL,
+    PORT_DATA,
+    PORT_FALSE,
+    PORT_IN,
+    PORT_LEFT,
+    PORT_OUT,
+    PORT_RIGHT,
+    PORT_TRUE,
+    ArithmeticNode,
+    ComparisonNode,
+    CopyNode,
+    IncTagNode,
+    Node,
+    RootNode,
+    SteerNode,
+)
+
+__all__ = ["OutputRef", "GraphBuilder"]
+
+
+@dataclass(frozen=True)
+class OutputRef:
+    """A handle to one output port of a node, used as an operand."""
+
+    node_id: str
+    port: str = PORT_OUT
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.node_id}.{self.port}"
+
+
+Operand = Union[OutputRef, "int", "float", bool]
+
+
+class GraphBuilder:
+    """Incrementally builds a :class:`DataflowGraph`."""
+
+    def __init__(self, name: str = "dataflow") -> None:
+        self.graph = DataflowGraph(name=name)
+        self._counter: Dict[str, int] = {}
+
+    # -- identifiers -------------------------------------------------------------
+    def _next_id(self, prefix: str) -> str:
+        n = self._counter.get(prefix, 0) + 1
+        self._counter[prefix] = n
+        node_id = f"{prefix}{n}"
+        while self.graph.has_node(node_id):
+            n += 1
+            self._counter[prefix] = n
+            node_id = f"{prefix}{n}"
+        return node_id
+
+    def _label(self, label: Optional[str]) -> str:
+        return label if label is not None else self.graph.fresh_label()
+
+    # -- node constructors ----------------------------------------------------------
+    def root(self, value: Any, name: str = "", node_id: Optional[str] = None) -> OutputRef:
+        """Add a root (square) vertex injecting ``value``."""
+        node_id = node_id or self._next_id("in")
+        self.graph.add_node(RootNode(node_id=node_id, value=value, name=name))
+        return OutputRef(node_id, PORT_OUT)
+
+    def _wire(self, operand: Operand, dst: str, dst_port: str, label: Optional[str]) -> Edge:
+        if not isinstance(operand, OutputRef):
+            raise TypeError(
+                f"operand for {dst!r}.{dst_port} must be an OutputRef "
+                f"(use .root() for constants), got {type(operand).__name__}"
+            )
+        return self.graph.add_edge(
+            operand.node_id, dst, self._label(label), src_port=operand.port, dst_port=dst_port
+        )
+
+    def arith(
+        self,
+        op: str,
+        left: Operand,
+        right: Operand,
+        node_id: Optional[str] = None,
+        labels: Tuple[Optional[str], Optional[str]] = (None, None),
+    ) -> OutputRef:
+        """Add a binary arithmetic vertex fed by ``left`` and ``right``."""
+        node_id = node_id or self._next_id("op")
+        self.graph.add_node(ArithmeticNode(node_id=node_id, op=op))
+        self._wire(left, node_id, PORT_LEFT, labels[0])
+        self._wire(right, node_id, PORT_RIGHT, labels[1])
+        return OutputRef(node_id, PORT_OUT)
+
+    def arith_imm(
+        self,
+        op: str,
+        operand: Operand,
+        immediate: Any,
+        side: str = "right",
+        node_id: Optional[str] = None,
+        label: Optional[str] = None,
+    ) -> OutputRef:
+        """Add an arithmetic vertex with an immediate constant operand (e.g. ``x - 1``)."""
+        node_id = node_id or self._next_id("op")
+        self.graph.add_node(ArithmeticNode(node_id=node_id, op=op, immediate=(side, immediate)))
+        self._wire(operand, node_id, PORT_IN, label)
+        return OutputRef(node_id, PORT_OUT)
+
+    def add(self, left: Operand, right: Operand, **kw) -> OutputRef:
+        return self.arith("+", left, right, **kw)
+
+    def sub(self, left: Operand, right: Operand, **kw) -> OutputRef:
+        return self.arith("-", left, right, **kw)
+
+    def mul(self, left: Operand, right: Operand, **kw) -> OutputRef:
+        return self.arith("*", left, right, **kw)
+
+    def div(self, left: Operand, right: Operand, **kw) -> OutputRef:
+        return self.arith("/", left, right, **kw)
+
+    def compare(
+        self,
+        op: str,
+        left: Operand,
+        right: Operand,
+        node_id: Optional[str] = None,
+        labels: Tuple[Optional[str], Optional[str]] = (None, None),
+    ) -> OutputRef:
+        """Add a comparison vertex producing a 0/1 control value."""
+        node_id = node_id or self._next_id("cmp")
+        self.graph.add_node(ComparisonNode(node_id=node_id, op=op))
+        self._wire(left, node_id, PORT_LEFT, labels[0])
+        self._wire(right, node_id, PORT_RIGHT, labels[1])
+        return OutputRef(node_id, PORT_OUT)
+
+    def compare_imm(
+        self,
+        op: str,
+        operand: Operand,
+        immediate: Any,
+        side: str = "right",
+        node_id: Optional[str] = None,
+        label: Optional[str] = None,
+    ) -> OutputRef:
+        """Add a comparison vertex with an immediate operand (e.g. ``x > 0``)."""
+        node_id = node_id or self._next_id("cmp")
+        self.graph.add_node(ComparisonNode(node_id=node_id, op=op, immediate=(side, immediate)))
+        self._wire(operand, node_id, PORT_IN, label)
+        return OutputRef(node_id, PORT_OUT)
+
+    def steer(
+        self,
+        data: Operand,
+        control: Operand,
+        node_id: Optional[str] = None,
+        labels: Tuple[Optional[str], Optional[str]] = (None, None),
+    ) -> Tuple[OutputRef, OutputRef]:
+        """Add a steer vertex; returns the (true, false) output handles."""
+        node_id = node_id or self._next_id("st")
+        self.graph.add_node(SteerNode(node_id=node_id))
+        self._wire(data, node_id, PORT_DATA, labels[0])
+        self._wire(control, node_id, PORT_CONTROL, labels[1])
+        return OutputRef(node_id, PORT_TRUE), OutputRef(node_id, PORT_FALSE)
+
+    def inctag(
+        self,
+        operand: Operand,
+        node_id: Optional[str] = None,
+        label: Optional[str] = None,
+        delta: int = 1,
+    ) -> OutputRef:
+        """Add an inctag vertex incrementing the iteration tag of its input."""
+        node_id = node_id or self._next_id("it")
+        self.graph.add_node(IncTagNode(node_id=node_id, delta=delta))
+        self._wire(operand, node_id, PORT_IN, label)
+        return OutputRef(node_id, PORT_OUT)
+
+    def copy(self, operand: Operand, node_id: Optional[str] = None, label: Optional[str] = None) -> OutputRef:
+        """Add an identity vertex (used for relabelling fan-out)."""
+        node_id = node_id or self._next_id("cp")
+        self.graph.add_node(CopyNode(node_id=node_id))
+        self._wire(operand, node_id, PORT_IN, label)
+        return OutputRef(node_id, PORT_OUT)
+
+    # -- wiring helpers ----------------------------------------------------------------
+    def connect(
+        self,
+        src: OutputRef,
+        dst: OutputRef,
+        dst_port: str,
+        label: Optional[str] = None,
+    ) -> Edge:
+        """Explicitly connect an output handle to a node's input port.
+
+        Needed for loop back-edges, which cannot be expressed by the purely
+        expression-shaped constructors above (the consumer exists before the
+        producer).
+        """
+        return self.graph.add_edge(
+            src.node_id, dst.node_id, self._label(label), src_port=src.port, dst_port=dst_port
+        )
+
+    def connect_to_node(
+        self,
+        src: OutputRef,
+        dst_node_id: str,
+        dst_port: str,
+        label: Optional[str] = None,
+    ) -> Edge:
+        """Connect an output handle to ``dst_node_id``'s ``dst_port``."""
+        return self.graph.add_edge(
+            src.node_id, dst_node_id, self._label(label), src_port=src.port, dst_port=dst_port
+        )
+
+    def output(self, src: Operand, label: str) -> Edge:
+        """Mark ``src`` as a program output under ``label`` (a dangling edge)."""
+        if not isinstance(src, OutputRef):
+            raise TypeError("output source must be an OutputRef")
+        return self.graph.add_edge(src.node_id, None, label, src_port=src.port)
+
+    def build(self) -> DataflowGraph:
+        """Return the constructed graph."""
+        return self.graph

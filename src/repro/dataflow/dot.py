@@ -1,0 +1,106 @@
+"""Graphviz/DOT export of dataflow graphs.
+
+Renders graphs with the paper's visual conventions (Figs. 1, 2 and 4):
+
+* root vertices as squares,
+* arithmetic / comparison operators as circles,
+* steer vertices as triangles,
+* inctag vertices as lozenges (diamonds),
+* edges annotated with their labels, dashed for control edges.
+
+The export is plain text; no Graphviz installation is required to produce it
+(only to render it), so the examples can always write ``.dot`` files.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, TextIO
+
+from .graph import DataflowGraph
+from .nodes import (
+    PORT_CONTROL,
+    ArithmeticNode,
+    ComparisonNode,
+    CopyNode,
+    IncTagNode,
+    Node,
+    RootNode,
+    SteerNode,
+)
+
+__all__ = ["to_dot", "write_dot"]
+
+_SHAPES: Dict[type, str] = {
+    RootNode: "box",
+    ArithmeticNode: "circle",
+    ComparisonNode: "circle",
+    SteerNode: "triangle",
+    IncTagNode: "diamond",
+    CopyNode: "ellipse",
+}
+
+
+def _node_shape(node: Node) -> str:
+    for cls, shape in _SHAPES.items():
+        if isinstance(node, cls):
+            return shape
+    return "ellipse"
+
+
+def _node_label(node: Node) -> str:
+    if isinstance(node, RootNode):
+        name = node.name or ""
+        return f"{name}={node.value!r}" if name else repr(node.value)
+    if isinstance(node, (ArithmeticNode, ComparisonNode)):
+        if node.immediate is not None:
+            side, value = node.immediate
+            if side == "right":
+                return f"{node.op} {value!r}"
+            return f"{value!r} {node.op}"
+        return node.op
+    if isinstance(node, SteerNode):
+        return "steer"
+    if isinstance(node, IncTagNode):
+        return "inctag"
+    return node.kind
+
+
+def to_dot(graph: DataflowGraph, name: Optional[str] = None, rankdir: str = "TB") -> str:
+    """Render ``graph`` as a DOT digraph string."""
+    title = name or graph.name or "dataflow"
+    lines = [f'digraph "{title}" {{', f"  rankdir={rankdir};", "  node [fontsize=11];"]
+
+    for node in graph.nodes:
+        shape = _node_shape(node)
+        label = _node_label(node).replace('"', '\\"')
+        lines.append(
+            f'  "{node.node_id}" [shape={shape}, label="{node.node_id}\\n{label}"];'
+        )
+
+    sink_count = 0
+    for edge in graph.edges:
+        attrs = [f'label="{edge.label}"']
+        if edge.dst_port == PORT_CONTROL:
+            attrs.append("style=dashed")
+        if edge.src_port in ("true", "false"):
+            attrs.append(f'taillabel="{edge.src_port[0].upper()}"')
+        if edge.dst is None:
+            sink_id = f"__out_{sink_count}"
+            sink_count += 1
+            lines.append(f'  "{sink_id}" [shape=plaintext, label="{edge.label}"];')
+            lines.append(f'  "{edge.src}" -> "{sink_id}" [{", ".join(attrs)}];')
+        else:
+            lines.append(f'  "{edge.src}" -> "{edge.dst}" [{", ".join(attrs)}];')
+
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def write_dot(graph: DataflowGraph, path_or_file, **kwargs) -> None:
+    """Write :func:`to_dot` output to a path or file object."""
+    text = to_dot(graph, **kwargs)
+    if hasattr(path_or_file, "write"):
+        path_or_file.write(text)
+    else:
+        with open(path_or_file, "w", encoding="utf-8") as handle:
+            handle.write(text)

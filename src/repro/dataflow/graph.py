@@ -1,0 +1,281 @@
+"""Dataflow graph structure: nodes, labelled edges and structural queries.
+
+A :class:`DataflowGraph` is a directed multigraph whose vertices are
+:class:`~repro.dataflow.nodes.Node` instances and whose edges connect an
+output port of a producer to an input port of a consumer.  Three aspects
+deserve explanation because they mirror the paper's conventions:
+
+* **Edge labels.**  Every edge carries a label (``"A1"``, ``"B2"`` …).  The
+  worked examples of the paper label *edges*, not nodes, and the Gamma
+  translation turns each edge label into a multiset element label; fan-out of
+  one output port is therefore represented as several edges with distinct
+  labels (e.g. the inctag R12 of Fig. 2 produces both ``B12`` and ``B13``).
+* **Dangling output edges.**  An edge whose destination is ``None`` is a
+  program output (the ``m`` edge of Fig. 1): tokens sent on it are collected
+  by the interpreter as results.  A steer port with *no* outgoing edge simply
+  discards its token (the ``by 0 else`` of the Gamma translation).
+* **Merged input ports.**  An input port may have several incoming edges
+  (the inctag of Fig. 2 receives either the initial ``A1`` or the loop-back
+  ``A11``); whichever token arrives is deposited on the port.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .nodes import Node, RootNode
+
+__all__ = ["Edge", "DataflowGraph", "GraphError"]
+
+
+class GraphError(ValueError):
+    """Raised for structural errors when building or validating a graph."""
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed, labelled edge between two ports.
+
+    ``dst`` / ``dst_port`` are ``None`` for dangling output edges.
+    """
+
+    src: str
+    src_port: str
+    dst: Optional[str]
+    dst_port: Optional[str]
+    label: str
+
+    @property
+    def is_output(self) -> bool:
+        """True when this edge is a program output (no consumer)."""
+        return self.dst is None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        head = f"{self.dst}.{self.dst_port}" if self.dst is not None else "<output>"
+        return f"Edge({self.label}: {self.src}.{self.src_port} -> {head})"
+
+
+class DataflowGraph:
+    """A dynamic dataflow graph."""
+
+    def __init__(self, name: str = "dataflow") -> None:
+        self.name = name
+        self._nodes: Dict[str, Node] = {}
+        self._edges: List[Edge] = []
+        self._out_index: Dict[Tuple[str, str], List[Edge]] = {}
+        self._in_index: Dict[Tuple[str, str], List[Edge]] = {}
+        self._labels: Set[str] = set()
+
+    # -- construction -----------------------------------------------------------
+    def add_node(self, node: Node) -> Node:
+        """Add ``node`` to the graph; node ids must be unique."""
+        if not isinstance(node, Node):
+            raise GraphError(f"expected a Node, got {type(node).__name__}")
+        if node.node_id in self._nodes:
+            raise GraphError(f"duplicate node id {node.node_id!r}")
+        self._nodes[node.node_id] = node
+        return node
+
+    def add_edge(
+        self,
+        src: str,
+        dst: Optional[str],
+        label: str,
+        src_port: Optional[str] = None,
+        dst_port: Optional[str] = None,
+    ) -> Edge:
+        """Connect ``src``'s output port to ``dst``'s input port under ``label``.
+
+        Ports default to the producer's/consumer's single port when
+        unambiguous.  Labels must be unique across the graph: the Gamma
+        conversion uses them as multiset element labels.
+        """
+        if src not in self._nodes:
+            raise GraphError(f"unknown source node {src!r}")
+        src_node = self._nodes[src]
+        if src_port is None:
+            ports = src_node.output_ports()
+            if len(ports) != 1:
+                raise GraphError(
+                    f"node {src!r} has output ports {ports}; src_port must be given"
+                )
+            src_port = ports[0]
+        if src_port not in src_node.output_ports():
+            raise GraphError(f"node {src!r} has no output port {src_port!r}")
+
+        if dst is not None:
+            if dst not in self._nodes:
+                raise GraphError(f"unknown destination node {dst!r}")
+            dst_node = self._nodes[dst]
+            if dst_port is None:
+                ports = dst_node.input_ports()
+                if len(ports) != 1:
+                    raise GraphError(
+                        f"node {dst!r} has input ports {ports}; dst_port must be given"
+                    )
+                dst_port = ports[0]
+            if dst_port not in dst_node.input_ports():
+                raise GraphError(f"node {dst!r} has no input port {dst_port!r}")
+        elif dst_port is not None:
+            raise GraphError("dst_port given for a dangling output edge")
+
+        if not label:
+            raise GraphError("edge label must be non-empty")
+        if label in self._labels:
+            raise GraphError(f"duplicate edge label {label!r}")
+
+        edge = Edge(src=src, src_port=src_port, dst=dst, dst_port=dst_port, label=label)
+        self._edges.append(edge)
+        self._labels.add(label)
+        self._out_index.setdefault((src, src_port), []).append(edge)
+        if dst is not None:
+            self._in_index.setdefault((dst, dst_port), []).append(edge)
+        return edge
+
+    # -- node / edge access --------------------------------------------------------
+    @property
+    def nodes(self) -> List[Node]:
+        return list(self._nodes.values())
+
+    @property
+    def edges(self) -> List[Edge]:
+        return list(self._edges)
+
+    def node(self, node_id: str) -> Node:
+        try:
+            return self._nodes[node_id]
+        except KeyError as exc:
+            raise GraphError(f"unknown node {node_id!r}") from exc
+
+    def has_node(self, node_id: str) -> bool:
+        return node_id in self._nodes
+
+    def edge_by_label(self, label: str) -> Edge:
+        for edge in self._edges:
+            if edge.label == label:
+                return edge
+        raise GraphError(f"no edge labelled {label!r}")
+
+    def has_label(self, label: str) -> bool:
+        return label in self._labels
+
+    def labels(self) -> List[str]:
+        return [e.label for e in self._edges]
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._nodes
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._nodes.values())
+
+    # -- structural queries ----------------------------------------------------------
+    def out_edges(self, node_id: str, port: Optional[str] = None) -> List[Edge]:
+        """Edges leaving ``node_id`` (optionally restricted to one output port)."""
+        if port is not None:
+            return list(self._out_index.get((node_id, port), []))
+        out: List[Edge] = []
+        for p in self.node(node_id).output_ports():
+            out.extend(self._out_index.get((node_id, p), []))
+        return out
+
+    def in_edges(self, node_id: str, port: Optional[str] = None) -> List[Edge]:
+        """Edges entering ``node_id`` (optionally restricted to one input port)."""
+        if port is not None:
+            return list(self._in_index.get((node_id, port), []))
+        out: List[Edge] = []
+        for p in self.node(node_id).input_ports():
+            out.extend(self._in_index.get((node_id, p), []))
+        return out
+
+    def producers(self, node_id: str) -> List[str]:
+        """Ids of nodes feeding ``node_id``."""
+        return sorted({e.src for e in self.in_edges(node_id)})
+
+    def consumers(self, node_id: str) -> List[str]:
+        """Ids of nodes fed by ``node_id``."""
+        return sorted({e.dst for e in self.out_edges(node_id) if e.dst is not None})
+
+    def roots(self) -> List[RootNode]:
+        """The root (square) vertices, in insertion order."""
+        return [n for n in self._nodes.values() if n.is_root]
+
+    def operational_nodes(self) -> List[Node]:
+        """All non-root vertices (the ones Algorithm 1 turns into reactions)."""
+        return [n for n in self._nodes.values() if not n.is_root]
+
+    def output_edges(self) -> List[Edge]:
+        """Dangling edges: the program's observable outputs."""
+        return [e for e in self._edges if e.is_output]
+
+    def output_labels(self) -> List[str]:
+        return [e.label for e in self.output_edges()]
+
+    def initial_edges(self) -> List[Edge]:
+        """Edges leaving root vertices — the paper's "initial edges"."""
+        return [e for e in self._edges if self._nodes[e.src].is_root]
+
+    def has_cycle(self) -> bool:
+        """True when the graph contains a (loop) cycle."""
+        color: Dict[str, int] = {}
+
+        def visit(node_id: str) -> bool:
+            color[node_id] = 1
+            for edge in self.out_edges(node_id):
+                if edge.dst is None:
+                    continue
+                state = color.get(edge.dst, 0)
+                if state == 1:
+                    return True
+                if state == 0 and visit(edge.dst):
+                    return True
+            color[node_id] = 2
+            return False
+
+        return any(visit(n) for n in self._nodes if color.get(n, 0) == 0)
+
+    def topological_order(self) -> List[str]:
+        """Topological order of node ids; raises :class:`GraphError` on cycles."""
+        indegree: Dict[str, int] = {n: 0 for n in self._nodes}
+        for edge in self._edges:
+            if edge.dst is not None:
+                indegree[edge.dst] += 1
+        ready = [n for n, d in indegree.items() if d == 0]
+        order: List[str] = []
+        while ready:
+            node_id = ready.pop(0)
+            order.append(node_id)
+            for edge in self.out_edges(node_id):
+                if edge.dst is None:
+                    continue
+                indegree[edge.dst] -= 1
+                if indegree[edge.dst] == 0:
+                    ready.append(edge.dst)
+        if len(order) != len(self._nodes):
+            raise GraphError("graph has a cycle; no topological order exists")
+        return order
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        """Number of nodes of each kind (used by tests against the paper's figures)."""
+        counts: Dict[str, int] = {}
+        for node in self._nodes.values():
+            counts[node.kind] = counts.get(node.kind, 0) + 1
+        return counts
+
+    # -- label management -------------------------------------------------------------
+    def fresh_label(self, prefix: str = "E") -> str:
+        """A label not yet used by any edge."""
+        i = len(self._edges)
+        while True:
+            label = f"{prefix}{i}"
+            if label not in self._labels:
+                return label
+            i += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DataflowGraph({self.name!r}, nodes={len(self._nodes)}, edges={len(self._edges)})"
+        )

@@ -1,0 +1,231 @@
+"""Firing-rule interpreter for dynamic dataflow graphs.
+
+The interpreter implements the execution model of §II-A of the paper:
+
+* root vertices inject their value once, as a token with tag 0;
+* a vertex fires as soon as all of its input ports hold tokens carrying the
+  same tag (the dynamic dataflow matching rule);
+* firing consumes the matched tokens, computes the vertex's outputs and sends
+  one token per outgoing edge (inctag vertices increment the tag of the tokens
+  they emit);
+* execution terminates when no vertex can fire;
+* tokens sent on dangling edges are the program's outputs.
+
+The interpreter is *sequential* (one firing at a time) but accepts a firing
+policy — ``"fifo"``, ``"lifo"`` or ``"random"`` — so tests can check that the
+final outputs do not depend on the firing order (the dataflow counterpart of
+Gamma's scheduler independence).  Parallelism measurements are the job of the
+multi-PE simulator in :mod:`repro.runtime.df_simulator`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..multiset.element import Element
+from ..multiset.multiset import Multiset
+from .graph import DataflowGraph
+from .matching import TokenStore
+from .token import INITIAL_TAG, Token
+
+__all__ = ["FiringEvent", "DataflowResult", "DataflowInterpreter", "run_graph"]
+
+DEFAULT_MAX_FIRINGS = 1_000_000
+
+
+class DataflowDeadlockError(RuntimeError):
+    """Raised when the step budget is exhausted before the graph drains."""
+
+
+@dataclass(frozen=True)
+class FiringEvent:
+    """A record of one vertex firing."""
+
+    index: int
+    node_id: str
+    kind: str
+    tag: int
+    inputs: Dict[str, Any]
+    outputs: Dict[str, Any]
+
+    def signature(self) -> Tuple[str, Tuple[Tuple[str, Any], ...]]:
+        """Reuse signature: node plus input values, tag excluded (see DF-DTM)."""
+        return (self.node_id, tuple(sorted(self.inputs.items())))
+
+
+@dataclass
+class DataflowResult:
+    """Outcome of draining a dataflow graph."""
+
+    outputs: Dict[str, List[Token]]
+    firings: List[FiringEvent]
+    total_firings: int
+    drained: bool = True
+
+    def output_values(self, label: str) -> List[Any]:
+        """Values of the tokens that reached output edge ``label``."""
+        return [t.value for t in self.outputs.get(label, [])]
+
+    def single_output(self, label: str) -> Any:
+        """The unique token value on ``label`` (raises if 0 or >1 tokens arrived)."""
+        tokens = self.outputs.get(label, [])
+        if len(tokens) != 1:
+            raise ValueError(f"expected exactly one token on {label!r}, got {len(tokens)}")
+        return tokens[0].value
+
+    def outputs_as_multiset(self) -> Multiset:
+        """Output tokens as a multiset of ``[value, label, tag]`` elements.
+
+        This is the observable the equivalence checker compares against the
+        stable Gamma multiset restricted to the same labels.
+        """
+        elements = []
+        for label, tokens in self.outputs.items():
+            for token in tokens:
+                elements.append(Element(value=token.value, label=label, tag=token.tag))
+        return Multiset(elements)
+
+    def firing_counts(self) -> Dict[str, int]:
+        """Node id -> number of firings."""
+        counts: Dict[str, int] = {}
+        for event in self.firings:
+            counts[event.node_id] = counts.get(event.node_id, 0) + 1
+        return counts
+
+    def reuse_statistics(self) -> Dict[str, int]:
+        """Trace-reuse statistics (same contract as :meth:`Trace.reuse_statistics`)."""
+        signatures = [f.signature() for f in self.firings]
+        unique = len(set(signatures))
+        total = len(signatures)
+        return {"total": total, "unique": unique, "reusable": total - unique}
+
+
+class DataflowInterpreter:
+    """Sequential tagged-token interpreter."""
+
+    def __init__(
+        self,
+        graph: DataflowGraph,
+        policy: str = "fifo",
+        seed: Optional[int] = None,
+        max_firings: int = DEFAULT_MAX_FIRINGS,
+        record_events: bool = True,
+    ) -> None:
+        if policy not in ("fifo", "lifo", "random"):
+            raise ValueError(f"unknown firing policy {policy!r}")
+        self.graph = graph
+        self.policy = policy
+        self.max_firings = max_firings
+        self.record_events = record_events
+        self._rng = random.Random(seed)
+
+    # -- overridable hooks ---------------------------------------------------------
+    def root_values(self) -> Dict[str, Any]:
+        """Value injected by each root node (override to re-run with new inputs)."""
+        return {node.node_id: node.value for node in self.graph.roots()}
+
+    # -- execution -------------------------------------------------------------------
+    def run(self, root_values: Optional[Dict[str, Any]] = None) -> DataflowResult:
+        """Drain the graph and return its outputs.
+
+        ``root_values`` optionally overrides the values injected by root
+        vertices (keyed by node id), which lets the same graph be executed on
+        many inputs — the equivalence experiments sweep inputs this way.
+        """
+        store = TokenStore(self.graph)
+        outputs: Dict[str, List[Token]] = {e.label: [] for e in self.graph.output_edges()}
+        firings: List[FiringEvent] = []
+        values = dict(self.root_values())
+        if root_values:
+            unknown = set(root_values) - {n.node_id for n in self.graph.roots()}
+            if unknown:
+                raise ValueError(f"root_values for unknown roots: {sorted(unknown)}")
+            values.update(root_values)
+
+        total = 0
+        # Inject the initial tokens produced by root vertices.
+        for root in self.graph.roots():
+            token = Token(values[root.node_id], INITIAL_TAG)
+            self._emit(root.node_id, {"out": token.value}, INITIAL_TAG, store, outputs)
+            if self.record_events:
+                firings.append(
+                    FiringEvent(
+                        index=total,
+                        node_id=root.node_id,
+                        kind=root.kind,
+                        tag=INITIAL_TAG,
+                        inputs={},
+                        outputs={"out": token.value},
+                    )
+                )
+            total += 1
+
+        while store.has_ready():
+            if total >= self.max_firings:
+                raise DataflowDeadlockError(
+                    f"exceeded {self.max_firings} firings on graph {self.graph.name!r}"
+                )
+            node_id, tag = self._pick(store.ready())
+            node = self.graph.node(node_id)
+            inputs = store.consume(node_id, tag)
+            produced = node.compute(inputs)
+            out_tag = tag + node.tag_delta()
+            self._emit(node_id, produced, out_tag, store, outputs)
+            if self.record_events:
+                firings.append(
+                    FiringEvent(
+                        index=total,
+                        node_id=node_id,
+                        kind=node.kind,
+                        tag=tag,
+                        inputs=dict(inputs),
+                        outputs=dict(produced),
+                    )
+                )
+            total += 1
+
+        return DataflowResult(
+            outputs=outputs,
+            firings=firings,
+            total_firings=total,
+            drained=True,
+        )
+
+    # -- helpers ----------------------------------------------------------------------
+    def _pick(self, ready: Sequence[Tuple[str, int]]) -> Tuple[str, int]:
+        if self.policy == "fifo":
+            return ready[0]
+        if self.policy == "lifo":
+            return ready[-1]
+        return ready[self._rng.randrange(len(ready))]
+
+    def _emit(
+        self,
+        node_id: str,
+        produced: Dict[str, Any],
+        tag: int,
+        store: TokenStore,
+        outputs: Dict[str, List[Token]],
+    ) -> None:
+        """Send one token per outgoing edge of every produced output port."""
+        for port, value in produced.items():
+            token = Token(value, tag)
+            for edge in self.graph.out_edges(node_id, port):
+                if edge.dst is None:
+                    outputs.setdefault(edge.label, []).append(token)
+                else:
+                    store.deposit(edge.dst, edge.dst_port, token)
+
+
+def run_graph(
+    graph: DataflowGraph,
+    root_values: Optional[Dict[str, Any]] = None,
+    policy: str = "fifo",
+    seed: Optional[int] = None,
+    max_firings: int = DEFAULT_MAX_FIRINGS,
+) -> DataflowResult:
+    """Convenience wrapper: drain ``graph`` with a fresh interpreter."""
+    interpreter = DataflowInterpreter(graph, policy=policy, seed=seed, max_firings=max_firings)
+    return interpreter.run(root_values)

@@ -1,0 +1,102 @@
+"""Tagged-token matching store (the dynamic dataflow waiting-matching unit).
+
+Dynamic dataflow machines keep arriving operands in a matching store keyed by
+``(instruction, tag)``; an instruction becomes *ready* when operands for all
+of its input ports with one common tag are present.  :class:`TokenStore`
+implements exactly that rule and is shared by the sequential interpreter and
+the multi-PE simulator.
+
+Tokens arriving on a port that already holds a value for the same tag are
+queued (FIFO): this happens on merged ports such as the inctag input of
+Fig. 2, which receives both the initial value and every loop-back value.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import Deque, Dict, Iterable, List, Optional, Set, Tuple
+
+from .graph import DataflowGraph
+from .nodes import Node
+from .token import Token
+
+__all__ = ["TokenStore", "ReadyEntry"]
+
+#: A ready entry: (node id, tag).
+ReadyEntry = Tuple[str, int]
+
+
+class TokenStore:
+    """Waiting-matching store for one graph execution."""
+
+    def __init__(self, graph: DataflowGraph) -> None:
+        self.graph = graph
+        # (node_id, tag) -> port -> FIFO of values
+        self._waiting: Dict[Tuple[str, int], Dict[str, Deque]] = defaultdict(dict)
+        self._ready: Set[ReadyEntry] = set()
+        self._arity: Dict[str, int] = {
+            node.node_id: len(node.input_ports()) for node in graph.nodes
+        }
+
+    # -- deposits -----------------------------------------------------------------
+    def deposit(self, node_id: str, port: str, token: Token) -> None:
+        """Deliver ``token`` to ``node_id``'s input ``port``."""
+        node = self.graph.node(node_id)
+        if port not in node.input_ports():
+            raise ValueError(f"node {node_id!r} has no input port {port!r}")
+        key = (node_id, token.tag)
+        ports = self._waiting[key]
+        ports.setdefault(port, deque()).append(token.value)
+        if self._is_complete(node, ports):
+            self._ready.add(key)
+
+    def _is_complete(self, node: Node, ports: Dict[str, Deque]) -> bool:
+        return all(ports.get(p) for p in node.input_ports())
+
+    # -- readiness ------------------------------------------------------------------
+    def ready(self) -> List[ReadyEntry]:
+        """The (node, tag) pairs whose firing rule is satisfied."""
+        return sorted(self._ready)
+
+    def has_ready(self) -> bool:
+        return bool(self._ready)
+
+    def is_ready(self, node_id: str, tag: int) -> bool:
+        return (node_id, tag) in self._ready
+
+    # -- consumption ------------------------------------------------------------------
+    def consume(self, node_id: str, tag: int) -> Dict[str, object]:
+        """Pop one operand per input port for ``(node_id, tag)``.
+
+        Returns the mapping ``port -> value`` the node fires with.  Raises
+        ``KeyError`` if the entry is not ready.
+        """
+        key = (node_id, tag)
+        if key not in self._ready:
+            raise KeyError(f"({node_id!r}, tag={tag}) is not ready")
+        node = self.graph.node(node_id)
+        ports = self._waiting[key]
+        inputs: Dict[str, object] = {}
+        for port in node.input_ports():
+            inputs[port] = ports[port].popleft()
+        if not self._is_complete(node, ports):
+            self._ready.discard(key)
+        if all(not q for q in ports.values()):
+            del self._waiting[key]
+        return inputs
+
+    # -- inspection -----------------------------------------------------------------
+    def pending_tokens(self) -> int:
+        """Number of operands currently waiting (unmatched or partially matched)."""
+        return sum(len(q) for ports in self._waiting.values() for q in ports.values())
+
+    def waiting_tags(self, node_id: str) -> List[int]:
+        """Tags for which ``node_id`` holds at least one operand."""
+        return sorted(tag for (nid, tag) in self._waiting if nid == node_id)
+
+    def snapshot(self) -> Dict[Tuple[str, int], Dict[str, List]]:
+        """A copy of the waiting store (for debugging and tests)."""
+        return {
+            key: {port: list(queue) for port, queue in ports.items()}
+            for key, ports in self._waiting.items()
+        }

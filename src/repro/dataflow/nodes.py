@@ -1,0 +1,331 @@
+"""Node taxonomy of the dynamic dataflow graph.
+
+The paper's graphs (Figs. 1 and 2) use four kinds of vertices:
+
+* **root** vertices (drawn as squares) that inject the program's initial
+  values — one token each, at tag 0;
+* **operator** vertices: arithmetic (``+``, ``-``, ``*`` …) and comparison
+  (``>``, ``==`` …) operations, drawn as circles;
+* **steer** vertices (triangles): route a data token to their ``true`` or
+  ``false`` output port according to a boolean control token;
+* **inctag** vertices (lozenges): increment the iteration tag of their input
+  token, marking the start of the next loop iteration.
+
+Operators may carry an *immediate* constant operand (the ``-1`` and ``>0``
+vertices of Fig. 2): such nodes have a single dynamic input and fold the
+constant into the operation, matching the single-input reactions (R14, R18)
+the paper derives from them.
+
+Each node computes a pure function from its matched input tokens to a mapping
+``output port -> value``; the interpreter and the multi-PE simulator share
+this interface, and Algorithm 1 (dataflow → Gamma) reads the node kind and
+operator to build the corresponding reaction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+
+__all__ = [
+    "Node",
+    "RootNode",
+    "OperatorNode",
+    "ArithmeticNode",
+    "ComparisonNode",
+    "SteerNode",
+    "IncTagNode",
+    "CopyNode",
+    "PORT_TRUE",
+    "PORT_FALSE",
+    "PORT_OUT",
+    "PORT_DATA",
+    "PORT_CONTROL",
+    "PORT_LEFT",
+    "PORT_RIGHT",
+    "PORT_IN",
+    "ARITHMETIC_FUNCTIONS",
+    "COMPARISON_FUNCTIONS",
+]
+
+# Canonical port names.  Ports are plain strings so graphs serialize trivially.
+PORT_OUT = "out"
+PORT_TRUE = "true"
+PORT_FALSE = "false"
+PORT_DATA = "data"
+PORT_CONTROL = "control"
+PORT_LEFT = "a"
+PORT_RIGHT = "b"
+PORT_IN = "in"
+
+
+def _int_div(a, b):
+    if b == 0:
+        raise ZeroDivisionError("division by zero in dataflow node")
+    if isinstance(a, int) and isinstance(b, int):
+        q = a // b
+        # Truncate toward zero to match C-like semantics of the source programs.
+        if q < 0 and q * b != a:
+            q += 1
+        return q
+    return a / b
+
+
+ARITHMETIC_FUNCTIONS: Dict[str, Callable[[Any, Any], Any]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": _int_div,
+    "%": lambda a, b: a % b,
+    "min": min,
+    "max": max,
+}
+
+COMPARISON_FUNCTIONS: Dict[str, Callable[[Any, Any], bool]] = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True)
+class Node:
+    """Base class: a vertex of the dataflow graph.
+
+    Attributes
+    ----------
+    node_id:
+        Unique identifier within the graph (``"R1"``, ``"R16"`` …).
+    """
+
+    node_id: str
+
+    # -- interface -------------------------------------------------------------
+    @property
+    def kind(self) -> str:
+        """Short string naming the node kind (used by conversion and DOT export)."""
+        raise NotImplementedError
+
+    def input_ports(self) -> Tuple[str, ...]:
+        """The input port names, in positional order."""
+        raise NotImplementedError
+
+    def output_ports(self) -> Tuple[str, ...]:
+        """The output port names."""
+        raise NotImplementedError
+
+    def compute(self, inputs: Mapping[str, Any]) -> Dict[str, Any]:
+        """Fire the node: map input-port values to output-port values.
+
+        Ports absent from the returned mapping emit no token (e.g. the
+        non-selected branch of a steer).
+        """
+        raise NotImplementedError
+
+    def tag_delta(self) -> int:
+        """How much the node shifts the iteration tag of its outputs (0 or 1)."""
+        return 0
+
+    @property
+    def is_root(self) -> bool:
+        return False
+
+    def describe(self) -> str:
+        """Human-readable description used in DOT labels and traces."""
+        return f"{self.node_id}:{self.kind}"
+
+
+@dataclass(frozen=True)
+class RootNode(Node):
+    """A square vertex injecting one initial value at tag 0.
+
+    ``value`` is the payload; ``name`` is an optional source-variable name
+    (``x``, ``y`` …) preserved for readable DOT output and conversion traces.
+    """
+
+    value: Any = None
+    name: str = ""
+
+    @property
+    def kind(self) -> str:
+        return "root"
+
+    @property
+    def is_root(self) -> bool:
+        return True
+
+    def input_ports(self) -> Tuple[str, ...]:
+        return ()
+
+    def output_ports(self) -> Tuple[str, ...]:
+        return (PORT_OUT,)
+
+    def compute(self, inputs: Mapping[str, Any]) -> Dict[str, Any]:
+        return {PORT_OUT: self.value}
+
+    def describe(self) -> str:
+        label = self.name or repr(self.value)
+        return f"{self.node_id}:root({label}={self.value!r})"
+
+
+@dataclass(frozen=True)
+class OperatorNode(Node):
+    """Common base for arithmetic and comparison operators.
+
+    ``immediate`` optionally fixes one operand to a constant: ``("right", 1)``
+    for ``x - 1`` or ``("right", 0)`` for ``x > 0``.  Immediate nodes expose a
+    single input port.
+    """
+
+    op: str = "+"
+    immediate: Optional[Tuple[str, Any]] = None
+
+    def __post_init__(self) -> None:
+        if self.op not in self._functions():
+            raise ValueError(f"unknown operator {self.op!r} for {type(self).__name__}")
+        if self.immediate is not None:
+            side, _ = self.immediate
+            if side not in ("left", "right"):
+                raise ValueError(f"immediate side must be 'left' or 'right', got {side!r}")
+
+    def _functions(self) -> Dict[str, Callable[[Any, Any], Any]]:
+        raise NotImplementedError
+
+    def input_ports(self) -> Tuple[str, ...]:
+        if self.immediate is not None:
+            return (PORT_IN,)
+        return (PORT_LEFT, PORT_RIGHT)
+
+    def output_ports(self) -> Tuple[str, ...]:
+        return (PORT_OUT,)
+
+    def operands(self, inputs: Mapping[str, Any]) -> Tuple[Any, Any]:
+        """Resolve (left, right) operands, folding in the immediate if any."""
+        if self.immediate is None:
+            return inputs[PORT_LEFT], inputs[PORT_RIGHT]
+        side, value = self.immediate
+        if side == "right":
+            return inputs[PORT_IN], value
+        return value, inputs[PORT_IN]
+
+    def compute(self, inputs: Mapping[str, Any]) -> Dict[str, Any]:
+        left, right = self.operands(inputs)
+        return {PORT_OUT: self._functions()[self.op](left, right)}
+
+    def describe(self) -> str:
+        if self.immediate is not None:
+            side, value = self.immediate
+            if side == "right":
+                return f"{self.node_id}:{self.kind}(_ {self.op} {value!r})"
+            return f"{self.node_id}:{self.kind}({value!r} {self.op} _)"
+        return f"{self.node_id}:{self.kind}({self.op})"
+
+
+@dataclass(frozen=True)
+class ArithmeticNode(OperatorNode):
+    """Arithmetic operator vertex (``+``, ``-``, ``*``, ``/``, ``%``, ``min``, ``max``)."""
+
+    @property
+    def kind(self) -> str:
+        return "arith"
+
+    def _functions(self) -> Dict[str, Callable[[Any, Any], Any]]:
+        return ARITHMETIC_FUNCTIONS
+
+
+@dataclass(frozen=True)
+class ComparisonNode(OperatorNode):
+    """Comparison vertex producing a boolean control value (encoded 1 / 0)."""
+
+    @property
+    def kind(self) -> str:
+        return "cmp"
+
+    def _functions(self) -> Dict[str, Callable[[Any, Any], Any]]:
+        return COMPARISON_FUNCTIONS
+
+    def compute(self, inputs: Mapping[str, Any]) -> Dict[str, Any]:
+        left, right = self.operands(inputs)
+        # Booleans are carried as 1/0 — exactly how the paper's Gamma
+        # translation tests them (``if id2 == 1``).
+        return {PORT_OUT: 1 if COMPARISON_FUNCTIONS[self.op](left, right) else 0}
+
+
+@dataclass(frozen=True)
+class SteerNode(Node):
+    """Steer (triangle): routes the data token to ``true`` or ``false``.
+
+    The control token must be 0/1 (or a bool); anything else is rejected so
+    that wiring mistakes surface as errors rather than silently picking the
+    false branch.
+    """
+
+    @property
+    def kind(self) -> str:
+        return "steer"
+
+    def input_ports(self) -> Tuple[str, ...]:
+        return (PORT_DATA, PORT_CONTROL)
+
+    def output_ports(self) -> Tuple[str, ...]:
+        return (PORT_TRUE, PORT_FALSE)
+
+    def compute(self, inputs: Mapping[str, Any]) -> Dict[str, Any]:
+        control = inputs[PORT_CONTROL]
+        if isinstance(control, bool):
+            control = 1 if control else 0
+        if control not in (0, 1):
+            raise ValueError(
+                f"steer {self.node_id!r} control token must be 0 or 1, got {control!r}"
+            )
+        port = PORT_TRUE if control == 1 else PORT_FALSE
+        return {port: inputs[PORT_DATA]}
+
+
+@dataclass(frozen=True)
+class IncTagNode(Node):
+    """Inctag (lozenge): forwards the value with the iteration tag incremented."""
+
+    delta: int = 1
+
+    @property
+    def kind(self) -> str:
+        return "inctag"
+
+    def input_ports(self) -> Tuple[str, ...]:
+        return (PORT_IN,)
+
+    def output_ports(self) -> Tuple[str, ...]:
+        return (PORT_OUT,)
+
+    def compute(self, inputs: Mapping[str, Any]) -> Dict[str, Any]:
+        return {PORT_OUT: inputs[PORT_IN]}
+
+    def tag_delta(self) -> int:
+        return self.delta
+
+
+@dataclass(frozen=True)
+class CopyNode(Node):
+    """Identity vertex used to fan a value out under distinct edge labels.
+
+    Not present in the paper's figures (fan-out is drawn directly on the
+    producing vertex) but useful when constructing graphs programmatically
+    from reactions whose productions merely relabel an input.
+    """
+
+    @property
+    def kind(self) -> str:
+        return "copy"
+
+    def input_ports(self) -> Tuple[str, ...]:
+        return (PORT_IN,)
+
+    def output_ports(self) -> Tuple[str, ...]:
+        return (PORT_OUT,)
+
+    def compute(self, inputs: Mapping[str, Any]) -> Dict[str, Any]:
+        return {PORT_OUT: inputs[PORT_IN]}

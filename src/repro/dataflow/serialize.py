@@ -1,0 +1,120 @@
+"""JSON serialization of dataflow graphs.
+
+Graphs round-trip through a plain-dict schema so they can be stored next to
+experiment results, shipped between processes by the distributed runtime, and
+diffed in tests.  Only JSON-representable root values survive the round trip
+(the graphs in the paper use integers and booleans).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+from .graph import DataflowGraph, GraphError
+from .nodes import (
+    ArithmeticNode,
+    ComparisonNode,
+    CopyNode,
+    IncTagNode,
+    Node,
+    RootNode,
+    SteerNode,
+)
+
+__all__ = ["graph_to_dict", "graph_from_dict", "dumps", "loads", "save", "load"]
+
+_SCHEMA_VERSION = 1
+
+
+def _node_to_dict(node: Node) -> Dict[str, Any]:
+    data: Dict[str, Any] = {"id": node.node_id, "kind": node.kind}
+    if isinstance(node, RootNode):
+        data["value"] = node.value
+        data["name"] = node.name
+    elif isinstance(node, (ArithmeticNode, ComparisonNode)):
+        data["op"] = node.op
+        if node.immediate is not None:
+            data["immediate"] = {"side": node.immediate[0], "value": node.immediate[1]}
+    elif isinstance(node, IncTagNode):
+        data["delta"] = node.delta
+    return data
+
+
+def _node_from_dict(data: Dict[str, Any]) -> Node:
+    kind = data["kind"]
+    node_id = data["id"]
+    if kind == "root":
+        return RootNode(node_id=node_id, value=data.get("value"), name=data.get("name", ""))
+    if kind in ("arith", "cmp"):
+        immediate = None
+        if data.get("immediate") is not None:
+            immediate = (data["immediate"]["side"], data["immediate"]["value"])
+        cls = ArithmeticNode if kind == "arith" else ComparisonNode
+        return cls(node_id=node_id, op=data["op"], immediate=immediate)
+    if kind == "steer":
+        return SteerNode(node_id=node_id)
+    if kind == "inctag":
+        return IncTagNode(node_id=node_id, delta=data.get("delta", 1))
+    if kind == "copy":
+        return CopyNode(node_id=node_id)
+    raise GraphError(f"unknown node kind {kind!r} in serialized graph")
+
+
+def graph_to_dict(graph: DataflowGraph) -> Dict[str, Any]:
+    """Convert ``graph`` to a JSON-serializable dict."""
+    return {
+        "schema": _SCHEMA_VERSION,
+        "name": graph.name,
+        "nodes": [_node_to_dict(n) for n in graph.nodes],
+        "edges": [
+            {
+                "src": e.src,
+                "src_port": e.src_port,
+                "dst": e.dst,
+                "dst_port": e.dst_port,
+                "label": e.label,
+            }
+            for e in graph.edges
+        ],
+    }
+
+
+def graph_from_dict(data: Dict[str, Any]) -> DataflowGraph:
+    """Rebuild a graph from :func:`graph_to_dict` output."""
+    if data.get("schema") != _SCHEMA_VERSION:
+        raise GraphError(f"unsupported graph schema {data.get('schema')!r}")
+    graph = DataflowGraph(name=data.get("name", "dataflow"))
+    for node_data in data["nodes"]:
+        graph.add_node(_node_from_dict(node_data))
+    for edge_data in data["edges"]:
+        graph.add_edge(
+            edge_data["src"],
+            edge_data["dst"],
+            edge_data["label"],
+            src_port=edge_data["src_port"],
+            dst_port=edge_data["dst_port"],
+        )
+    return graph
+
+
+def dumps(graph: DataflowGraph, indent: Optional[int] = 2) -> str:
+    """Serialize ``graph`` to a JSON string."""
+    return json.dumps(graph_to_dict(graph), indent=indent)
+
+
+def loads(text: str) -> DataflowGraph:
+    """Deserialize a graph from a JSON string."""
+    return graph_from_dict(json.loads(text))
+
+
+def save(graph: DataflowGraph, path) -> None:
+    """Write ``graph`` as JSON to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps(graph))
+
+
+def load(path) -> DataflowGraph:
+    """Read a graph previously written by :func:`save`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads(handle.read())

@@ -1,0 +1,48 @@
+"""Tagged tokens of the dynamic dataflow model.
+
+In dynamic (tagged-token) dataflow every operand travelling on an edge carries
+an *iteration tag* identifying the loop instance it belongs to.  A node fires
+only when all of its input ports hold tokens **with the same tag** — this is
+the matching rule that lets multiple loop iterations execute concurrently
+without interference, and it is exactly the information the Gamma translation
+stores in the third field of its multiset elements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["Token", "INITIAL_TAG"]
+
+#: Tag carried by tokens emitted by root/constant nodes before any iteration.
+INITIAL_TAG = 0
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """A value travelling on a dataflow edge, stamped with an iteration tag."""
+
+    value: Any
+    tag: int = INITIAL_TAG
+
+    def __post_init__(self) -> None:
+        if isinstance(self.tag, bool) or not isinstance(self.tag, int):
+            raise TypeError(f"token tag must be an int, got {type(self.tag).__name__}")
+        if self.tag < 0:
+            raise ValueError(f"token tag must be non-negative, got {self.tag}")
+
+    def with_value(self, value: Any) -> "Token":
+        """Copy with a different value (same tag)."""
+        return Token(value=value, tag=self.tag)
+
+    def with_tag(self, tag: int) -> "Token":
+        """Copy with a different tag (same value)."""
+        return Token(value=self.value, tag=tag)
+
+    def inc_tag(self, delta: int = 1) -> "Token":
+        """Copy with the tag incremented — the effect of an ``inctag`` node."""
+        return Token(value=self.value, tag=self.tag + delta)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Token({self.value!r}@{self.tag})"

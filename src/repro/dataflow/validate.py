@@ -1,0 +1,152 @@
+"""Structural validation of dataflow graphs.
+
+Validation catches the wiring mistakes that otherwise show up as confusing
+runtime deadlocks (a node that never receives an operand simply never fires):
+
+* every input port of every non-root node must have at least one incoming edge;
+* steer control inputs should be fed by comparison nodes or roots (warning-level);
+* root nodes must not have input edges (enforced structurally by the graph) and
+  should feed at least one consumer;
+* the graph should have at least one output edge, otherwise running it observably
+  does nothing;
+* every cycle must pass through an inctag node — this is the dynamic dataflow
+  well-formedness condition that keeps loop iterations distinguishable (without
+  it, tokens from different iterations would collide on the same tag).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Set
+
+from .graph import DataflowGraph
+from .nodes import ComparisonNode, IncTagNode, RootNode, SteerNode, PORT_CONTROL
+
+__all__ = ["ValidationIssue", "ValidationReport", "validate_graph"]
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """A single finding: ``severity`` is ``"error"`` or ``"warning"``."""
+
+    severity: str
+    node_id: str
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.severity}] {self.node_id}: {self.message}"
+
+
+@dataclass
+class ValidationReport:
+    """All findings for one graph."""
+
+    issues: List[ValidationIssue] = field(default_factory=list)
+
+    @property
+    def errors(self) -> List[ValidationIssue]:
+        return [i for i in self.issues if i.severity == "error"]
+
+    @property
+    def warnings(self) -> List[ValidationIssue]:
+        return [i for i in self.issues if i.severity == "warning"]
+
+    @property
+    def ok(self) -> bool:
+        """True when there are no error-level findings."""
+        return not self.errors
+
+    def raise_if_errors(self) -> None:
+        """Raise ``ValueError`` listing all error-level findings."""
+        if self.errors:
+            details = "; ".join(str(i) for i in self.errors)
+            raise ValueError(f"invalid dataflow graph: {details}")
+
+    def add(self, severity: str, node_id: str, message: str) -> None:
+        self.issues.append(ValidationIssue(severity=severity, node_id=node_id, message=message))
+
+
+def _cycles_without_inctag(graph: DataflowGraph) -> List[str]:
+    """Node ids on some cycle that contains no inctag vertex."""
+    # Build adjacency restricted to non-inctag nodes; any cycle there is a
+    # cycle of the full graph avoiding inctag vertices.
+    allowed: Set[str] = {
+        n.node_id for n in graph.nodes if not isinstance(n, IncTagNode)
+    }
+    color = {}
+    offenders: List[str] = []
+
+    def visit(node_id: str, stack: List[str]) -> None:
+        color[node_id] = 1
+        stack.append(node_id)
+        for edge in graph.out_edges(node_id):
+            dst = edge.dst
+            if dst is None or dst not in allowed:
+                continue
+            state = color.get(dst, 0)
+            if state == 1:
+                # Found a back-edge: everything from dst to the stack top is a cycle.
+                idx = stack.index(dst)
+                offenders.extend(stack[idx:])
+            elif state == 0:
+                visit(dst, stack)
+        stack.pop()
+        color[node_id] = 2
+
+    for node_id in allowed:
+        if color.get(node_id, 0) == 0:
+            visit(node_id, [])
+    return sorted(set(offenders))
+
+
+def validate_graph(graph: DataflowGraph) -> ValidationReport:
+    """Validate ``graph`` and return a :class:`ValidationReport`."""
+    report = ValidationReport()
+
+    if len(graph) == 0:
+        report.add("error", "<graph>", "graph has no nodes")
+        return report
+
+    for node in graph.nodes:
+        if isinstance(node, RootNode):
+            if not graph.out_edges(node.node_id):
+                report.add("warning", node.node_id, "root node feeds no consumer")
+            continue
+        for port in node.input_ports():
+            if not graph.in_edges(node.node_id, port):
+                report.add(
+                    "error",
+                    node.node_id,
+                    f"input port {port!r} has no incoming edge (node can never fire)",
+                )
+        if not graph.out_edges(node.node_id) and not isinstance(node, SteerNode):
+            report.add(
+                "warning",
+                node.node_id,
+                "node has no outgoing edges; its results are discarded",
+            )
+        if isinstance(node, SteerNode):
+            for edge in graph.in_edges(node.node_id, PORT_CONTROL):
+                src = graph.node(edge.src)
+                if not isinstance(src, (ComparisonNode, RootNode, SteerNode)):
+                    report.add(
+                        "warning",
+                        node.node_id,
+                        f"control input fed by {src.kind!r} node {src.node_id!r}; "
+                        f"expected a comparison or boolean source",
+                    )
+
+    if not graph.output_edges():
+        report.add("warning", "<graph>", "graph has no output edges; results are unobservable")
+
+    if not graph.roots():
+        report.add("error", "<graph>", "graph has no root nodes; nothing can ever fire")
+
+    for node_id in _cycles_without_inctag(graph):
+        report.add(
+            "error",
+            node_id,
+            "node lies on a cycle with no inctag vertex; loop iterations would share tags",
+        )
+
+    return report

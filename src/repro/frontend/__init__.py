@@ -1,0 +1,27 @@
+"""Miniature imperative frontend: von-Neumann-style source → dataflow graphs."""
+
+from .ast import (
+    Assignment,
+    BinaryExpr,
+    Expression,
+    ForLoop,
+    IfStatement,
+    IntLiteral,
+    OutputStatement,
+    Program,
+    Statement,
+    UnaryExpr,
+    VarRef,
+    WhileLoop,
+)
+from .compiler import FrontendCompileError, compile_program, compile_source_to_graph
+from .lexer import FrontendLexerError, tokenize
+from .parser import FrontendParseError, parse_source
+
+__all__ = [
+    "parse_source", "compile_program", "compile_source_to_graph", "tokenize",
+    "FrontendLexerError", "FrontendParseError", "FrontendCompileError",
+    "Program", "Statement", "Expression",
+    "Assignment", "IfStatement", "WhileLoop", "ForLoop", "OutputStatement",
+    "IntLiteral", "VarRef", "BinaryExpr", "UnaryExpr",
+]

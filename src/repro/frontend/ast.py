@@ -1,0 +1,125 @@
+"""AST of the miniature imperative language compiled to dataflow graphs.
+
+The language is the smallest von-Neumann-style fragment needed to write the
+paper's motivating programs (Section III-A1 starts from exactly this kind of
+code): integer variables, arithmetic/comparison expressions, assignments,
+``if``/``else``, ``while``/``for`` loops, and ``output`` declarations that
+mark which values are the program's observable results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+__all__ = [
+    "Expression",
+    "IntLiteral",
+    "VarRef",
+    "BinaryExpr",
+    "UnaryExpr",
+    "Statement",
+    "Assignment",
+    "IfStatement",
+    "WhileLoop",
+    "ForLoop",
+    "OutputStatement",
+    "Program",
+]
+
+
+class Expression:
+    """Base class of expression nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class IntLiteral(Expression):
+    """An integer literal."""
+
+    value: int
+
+
+@dataclass(frozen=True)
+class VarRef(Expression):
+    """A reference to a variable."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class BinaryExpr(Expression):
+    """Binary arithmetic (``+ - * / %``) or comparison (``== != < <= > >=``)."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+
+@dataclass(frozen=True)
+class UnaryExpr(Expression):
+    """Unary minus."""
+
+    op: str
+    operand: Expression
+
+
+class Statement:
+    """Base class of statement nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Assignment(Statement):
+    """``name = expression;`` (also used for declarations ``int x = 1;``)."""
+
+    name: str
+    value: Expression
+
+
+@dataclass(frozen=True)
+class IfStatement(Statement):
+    """``if (cond) { ... } else { ... }``."""
+
+    condition: Expression
+    then_body: Tuple[Statement, ...]
+    else_body: Tuple[Statement, ...] = ()
+
+
+@dataclass(frozen=True)
+class WhileLoop(Statement):
+    """``while (cond) { ... }``."""
+
+    condition: Expression
+    body: Tuple[Statement, ...]
+
+
+@dataclass(frozen=True)
+class ForLoop(Statement):
+    """``for (init; cond; update) { ... }`` — sugar for init + while."""
+
+    init: Assignment
+    condition: Expression
+    update: Assignment
+    body: Tuple[Statement, ...]
+
+
+@dataclass(frozen=True)
+class OutputStatement(Statement):
+    """``output name;`` — marks ``name``'s final value as a program output."""
+
+    name: str
+
+
+@dataclass
+class Program:
+    """A full source unit."""
+
+    statements: List[Statement]
+    name: str = "program"
+
+    def outputs(self) -> List[str]:
+        """The declared output variable names, in order."""
+        return [s.name for s in self.statements if isinstance(s, OutputStatement)]

@@ -1,0 +1,296 @@
+"""Compiler from the miniature imperative language to dynamic dataflow graphs.
+
+The translation follows the TALM-style scheme the paper describes in §II-A and
+uses in Fig. 2:
+
+* top-level literal assignments become root (square) vertices;
+* arithmetic/comparison expressions become operator vertices, with literal
+  operands folded into immediates (the ``- 1`` and ``> 0`` vertices of Fig. 2);
+* a ``while``/``for`` loop creates, for every variable referenced by the loop,
+  an *inctag* vertex (merging the entry value and the loop-back value) and a
+  *steer* vertex controlled by the loop condition; the body reads the steers'
+  ``true`` ports, the code after the loop reads the ``false`` ports, and the
+  body's final values are wired back to the inctag vertices;
+* an ``if``/``else`` creates one steer per variable read in either branch and
+  merges assigned variables through a copy vertex whose input port receives
+  both branches' results (only one token arrives at run time);
+* ``output v;`` attaches a dangling output edge labelled ``v``.
+
+Limitations (documented, enforced with clear errors): loops cannot be nested
+inside other loops or conditionals (single-level iteration tags, as in the
+paper's example), and a bare literal assignment inside a loop/if body is not
+supported (fold the literal into an expression instead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..dataflow.builder import GraphBuilder, OutputRef
+from ..dataflow.graph import DataflowGraph
+from ..dataflow.nodes import PORT_IN
+from .ast import (
+    Assignment,
+    BinaryExpr,
+    Expression,
+    ForLoop,
+    IfStatement,
+    IntLiteral,
+    OutputStatement,
+    Program,
+    Statement,
+    UnaryExpr,
+    VarRef,
+    WhileLoop,
+)
+from .parser import parse_source
+
+__all__ = ["FrontendCompileError", "compile_program", "compile_source_to_graph"]
+
+_COMPARISONS = {"==", "!=", "<", "<=", ">", ">="}
+
+
+class FrontendCompileError(ValueError):
+    """Raised when a program uses an unsupported construct."""
+
+
+def _referenced_variables(node) -> Set[str]:
+    """All variable names read by an expression / statement / block."""
+    names: Set[str] = set()
+    if isinstance(node, VarRef):
+        names.add(node.name)
+    elif isinstance(node, BinaryExpr):
+        names |= _referenced_variables(node.left) | _referenced_variables(node.right)
+    elif isinstance(node, UnaryExpr):
+        names |= _referenced_variables(node.operand)
+    elif isinstance(node, Assignment):
+        names |= _referenced_variables(node.value)
+    elif isinstance(node, IfStatement):
+        names |= _referenced_variables(node.condition)
+        for stmt in node.then_body + node.else_body:
+            names |= _referenced_variables(stmt)
+    elif isinstance(node, (WhileLoop, ForLoop)):
+        names |= _referenced_variables(node.condition)
+        body = node.body if isinstance(node, WhileLoop) else node.body + (node.update,)
+        for stmt in body:
+            names |= _referenced_variables(stmt)
+    elif isinstance(node, (tuple, list)):
+        for item in node:
+            names |= _referenced_variables(item)
+    return names
+
+
+def _assigned_variables(statements: Sequence[Statement]) -> Set[str]:
+    """All variable names assigned anywhere in ``statements`` (recursively)."""
+    names: Set[str] = set()
+    for stmt in statements:
+        if isinstance(stmt, Assignment):
+            names.add(stmt.name)
+        elif isinstance(stmt, IfStatement):
+            names |= _assigned_variables(stmt.then_body) | _assigned_variables(stmt.else_body)
+        elif isinstance(stmt, WhileLoop):
+            names |= _assigned_variables(stmt.body)
+        elif isinstance(stmt, ForLoop):
+            names |= _assigned_variables(stmt.body) | {stmt.init.name, stmt.update.name}
+    return names
+
+
+class _Compiler:
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.builder = GraphBuilder(program.name)
+        self.env: Dict[str, OutputRef] = {}
+        self._loop_compiled = False
+
+    # -- expressions -----------------------------------------------------------------
+    def compile_expr(self, expr: Expression, env: Dict[str, OutputRef]) -> OutputRef:
+        if isinstance(expr, VarRef):
+            if expr.name not in env:
+                raise FrontendCompileError(f"variable {expr.name!r} used before assignment")
+            return env[expr.name]
+        if isinstance(expr, IntLiteral):
+            raise FrontendCompileError(
+                "a bare literal cannot be compiled here; literals are only allowed as "
+                "top-level initializations or as operands of an operation"
+            )
+        if isinstance(expr, UnaryExpr):
+            operand = self.compile_expr(expr.operand, env)
+            return self.builder.arith_imm("-", operand, 0, side="left")
+        if isinstance(expr, BinaryExpr):
+            left_literal = isinstance(expr.left, IntLiteral)
+            right_literal = isinstance(expr.right, IntLiteral)
+            is_comparison = expr.op in _COMPARISONS
+            if left_literal and right_literal:
+                raise FrontendCompileError(
+                    f"constant expression {expr!r}: fold it by hand or assign it at top level"
+                )
+            if right_literal:
+                operand = self.compile_expr(expr.left, env)
+                if is_comparison:
+                    return self.builder.compare_imm(expr.op, operand, expr.right.value)
+                return self.builder.arith_imm(expr.op, operand, expr.right.value)
+            if left_literal:
+                operand = self.compile_expr(expr.right, env)
+                if is_comparison:
+                    return self.builder.compare_imm(expr.op, operand, expr.left.value, side="left")
+                return self.builder.arith_imm(expr.op, operand, expr.left.value, side="left")
+            left = self.compile_expr(expr.left, env)
+            right = self.compile_expr(expr.right, env)
+            if is_comparison:
+                return self.builder.compare(expr.op, left, right)
+            return self.builder.arith(expr.op, left, right)
+        raise FrontendCompileError(f"unsupported expression {expr!r}")
+
+    # -- statements -------------------------------------------------------------------
+    def compile_block(
+        self, statements: Sequence[Statement], env: Dict[str, OutputRef], in_loop: bool
+    ) -> Dict[str, OutputRef]:
+        for stmt in statements:
+            env = self.compile_statement(stmt, env, in_loop)
+        return env
+
+    def compile_statement(
+        self, stmt: Statement, env: Dict[str, OutputRef], in_loop: bool
+    ) -> Dict[str, OutputRef]:
+        env = dict(env)
+        if isinstance(stmt, Assignment):
+            if isinstance(stmt.value, IntLiteral):
+                if in_loop:
+                    raise FrontendCompileError(
+                        f"literal assignment to {stmt.name!r} inside a loop/if body is not "
+                        f"supported; initialize it before the loop"
+                    )
+                env[stmt.name] = self.builder.root(stmt.value.value, stmt.name, node_id=stmt.name)
+            else:
+                env[stmt.name] = self.compile_expr(stmt.value, env)
+            return env
+        if isinstance(stmt, OutputStatement):
+            if stmt.name not in env:
+                raise FrontendCompileError(f"output of undefined variable {stmt.name!r}")
+            self.builder.output(env[stmt.name], stmt.name)
+            return env
+        if isinstance(stmt, IfStatement):
+            return self.compile_if(stmt, env, in_loop)
+        if isinstance(stmt, ForLoop):
+            lowered = WhileLoop(
+                condition=stmt.condition, body=stmt.body + (stmt.update,)
+            )
+            env = self.compile_statement(stmt.init, env, in_loop)
+            return self.compile_while(lowered, env, in_loop)
+        if isinstance(stmt, WhileLoop):
+            return self.compile_while(stmt, env, in_loop)
+        raise FrontendCompileError(f"unsupported statement {stmt!r}")
+
+    def compile_if(
+        self, stmt: IfStatement, env: Dict[str, OutputRef], in_loop: bool
+    ) -> Dict[str, OutputRef]:
+        if _contains_loop(stmt.then_body) or _contains_loop(stmt.else_body):
+            raise FrontendCompileError("loops inside 'if' bodies are not supported")
+        condition = self.compile_expr(stmt.condition, env)
+        read = (
+            _referenced_variables(stmt.then_body) | _referenced_variables(stmt.else_body)
+        ) & set(env)
+        assigned = _assigned_variables(stmt.then_body) | _assigned_variables(stmt.else_body)
+
+        then_env = dict(env)
+        else_env = dict(env)
+        for name in sorted(read):
+            true_ref, false_ref = self.builder.steer(env[name], condition)
+            then_env[name] = true_ref
+            else_env[name] = false_ref
+
+        then_env = self.compile_block(stmt.then_body, then_env, in_loop)
+        else_env = self.compile_block(stmt.else_body, else_env, in_loop)
+
+        for name in sorted(assigned):
+            if name not in then_env or name not in else_env:
+                raise FrontendCompileError(
+                    f"variable {name!r} must be defined on both branches of the 'if' "
+                    f"(or before it) to be used afterwards"
+                )
+            merge = self.builder.copy(then_env[name])
+            self.builder.connect_to_node(else_env[name], merge.node_id, PORT_IN)
+            env[name] = merge
+        return env
+
+    def compile_while(
+        self, stmt: WhileLoop, env: Dict[str, OutputRef], in_loop: bool
+    ) -> Dict[str, OutputRef]:
+        if in_loop or _contains_loop(stmt.body):
+            raise FrontendCompileError(
+                "nested loops are not supported (single-level iteration tags, as in the paper)"
+            )
+        if self._loop_compiled:
+            raise FrontendCompileError(
+                "only one loop per program is supported: values leaving a loop carry the "
+                "iteration tag they exited with, and wiring them into a second loop would "
+                "mismatch tags (the paper's single-tag dynamic dataflow model)"
+            )
+        self._loop_compiled = True
+        loop_vars = sorted(
+            (_referenced_variables(stmt.condition) | _referenced_variables(stmt.body)
+             | _assigned_variables(stmt.body)) & set(env)
+            | (_referenced_variables(stmt.condition) & set(env))
+        )
+        missing = (
+            _referenced_variables(stmt.condition) | _referenced_variables(stmt.body)
+        ) - set(env) - _assigned_variables(stmt.body)
+        if missing:
+            raise FrontendCompileError(
+                f"loop uses variables {sorted(missing)} that are not defined before it"
+            )
+
+        # Inctag vertices: entry edge now, loop-back edge after the body is compiled.
+        inctag_refs: Dict[str, OutputRef] = {}
+        for name in loop_vars:
+            inctag_refs[name] = self.builder.inctag(env[name])
+
+        loop_env = dict(env)
+        loop_env.update(inctag_refs)
+        condition = self.compile_expr(stmt.condition, loop_env)
+
+        body_env = dict(loop_env)
+        exit_env: Dict[str, OutputRef] = {}
+        for name in loop_vars:
+            true_ref, false_ref = self.builder.steer(loop_env[name], condition)
+            body_env[name] = true_ref
+            exit_env[name] = false_ref
+
+        body_env = self.compile_block(stmt.body, body_env, in_loop=True)
+
+        for name in loop_vars:
+            self.builder.connect_to_node(body_env[name], inctag_refs[name].node_id, PORT_IN)
+
+        env = dict(env)
+        env.update(exit_env)
+        return env
+
+    # -- driver ----------------------------------------------------------------------
+    def compile(self) -> DataflowGraph:
+        env = self.env
+        for stmt in self.program.statements:
+            env = self.compile_statement(stmt, env, in_loop=False)
+        self.env = env
+        return self.builder.build()
+
+
+def _contains_loop(statements: Sequence[Statement]) -> bool:
+    for stmt in statements:
+        if isinstance(stmt, (WhileLoop, ForLoop)):
+            return True
+        if isinstance(stmt, IfStatement) and (
+            _contains_loop(stmt.then_body) or _contains_loop(stmt.else_body)
+        ):
+            return True
+    return False
+
+
+def compile_program(program: Program) -> DataflowGraph:
+    """Compile a parsed :class:`~repro.frontend.ast.Program` to a dataflow graph."""
+    return _Compiler(program).compile()
+
+
+def compile_source_to_graph(source: str, name: str = "program") -> DataflowGraph:
+    """Parse and compile source text in one call."""
+    return compile_program(parse_source(source, name=name))

@@ -1,0 +1,79 @@
+"""Lexer for the miniature imperative language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+__all__ = ["Token", "FrontendLexerError", "tokenize"]
+
+KEYWORDS = {"if", "else", "while", "for", "output", "int"}
+_TWO_CHAR = {"==", "!=", "<=", ">=", "+=", "-=", "--", "++"}
+_ONE_CHAR = set("+-*/%<>=(){};,")
+
+
+class FrontendLexerError(ValueError):
+    """Raised on malformed source text."""
+
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'ident', 'keyword', 'int', 'sym', 'eof'
+    value: object
+    line: int
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Token({self.kind}, {self.value!r})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize ``source`` (C-like comments ``//`` are supported)."""
+    tokens: List[Token] = []
+    i = 0
+    line = 1
+    length = len(source)
+    while i < length:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if source.startswith("//", i):
+            while i < length and source[i] != "\n":
+                i += 1
+            continue
+        if ch.isdigit():
+            j = i
+            while j < length and source[j].isdigit():
+                j += 1
+            tokens.append(Token("int", int(source[i:j]), line))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < length and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line))
+            i = j
+            continue
+        two = source[i : i + 2]
+        if two in _TWO_CHAR:
+            tokens.append(Token("sym", two, line))
+            i += 2
+            continue
+        if ch in _ONE_CHAR:
+            tokens.append(Token("sym", ch, line))
+            i += 1
+            continue
+        raise FrontendLexerError(f"unexpected character {ch!r}", line)
+    tokens.append(Token("eof", None, line))
+    return tokens

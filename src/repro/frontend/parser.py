@@ -1,0 +1,204 @@
+"""Recursive-descent parser for the miniature imperative language.
+
+Accepted forms (all used by the paper's motivating snippets)::
+
+    int x = 1;            // declarations (the 'int' is optional noise)
+    m = (x + y) - (k * j);
+    output m;
+
+    for (i = z; i > 0; i = i - 1) { x = x + y; }
+    for (i = z; i > 0; i--) { x = x + y; }       // i-- / i++ sugar
+    while (n > 1) { n = n - 1; }
+    if (a > b) { max = a; } else { max = b; }
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .ast import (
+    Assignment,
+    BinaryExpr,
+    Expression,
+    ForLoop,
+    IfStatement,
+    IntLiteral,
+    OutputStatement,
+    Program,
+    Statement,
+    UnaryExpr,
+    VarRef,
+    WhileLoop,
+)
+from .lexer import Token, tokenize
+
+__all__ = ["FrontendParseError", "parse_source"]
+
+_COMPARISONS = {"==", "!=", "<", "<=", ">", ">="}
+
+
+class FrontendParseError(ValueError):
+    """Raised on syntactically invalid source."""
+
+    def __init__(self, message: str, token: Token) -> None:
+        super().__init__(f"line {token.line}: {message}")
+        self.token = token
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.position = 0
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.position]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != "eof":
+            self.position += 1
+        return token
+
+    def check(self, kind: str, value=None) -> bool:
+        return self.current.kind == kind and (value is None or self.current.value == value)
+
+    def accept(self, kind: str, value=None) -> Optional[Token]:
+        if self.check(kind, value):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, value=None) -> Token:
+        if not self.check(kind, value):
+            wanted = value if value is not None else kind
+            raise FrontendParseError(
+                f"expected {wanted!r}, found {self.current.value!r}", self.current
+            )
+        return self.advance()
+
+    # -- statements ---------------------------------------------------------------
+    def parse_program(self, name: str) -> Program:
+        statements: List[Statement] = []
+        while not self.check("eof"):
+            statements.append(self.parse_statement())
+        return Program(statements=statements, name=name)
+
+    def parse_block(self) -> Tuple[Statement, ...]:
+        self.expect("sym", "{")
+        body: List[Statement] = []
+        while not self.check("sym", "}"):
+            body.append(self.parse_statement())
+        self.expect("sym", "}")
+        return tuple(body)
+
+    def parse_statement(self) -> Statement:
+        if self.accept("keyword", "output"):
+            name = self.expect("ident").value
+            self.expect("sym", ";")
+            return OutputStatement(name=name)
+        if self.check("keyword", "if"):
+            return self.parse_if()
+        if self.check("keyword", "while"):
+            return self.parse_while()
+        if self.check("keyword", "for"):
+            return self.parse_for()
+        # Declarations and assignments.
+        self.accept("keyword", "int")
+        return self.parse_assignment(require_semicolon=True)
+
+    def parse_assignment(self, require_semicolon: bool) -> Assignment:
+        name = self.expect("ident").value
+        if self.accept("sym", "--"):
+            stmt = Assignment(name=name, value=BinaryExpr("-", VarRef(name), IntLiteral(1)))
+        elif self.accept("sym", "++"):
+            stmt = Assignment(name=name, value=BinaryExpr("+", VarRef(name), IntLiteral(1)))
+        elif self.accept("sym", "+="):
+            stmt = Assignment(name=name, value=BinaryExpr("+", VarRef(name), self.parse_expression()))
+        elif self.accept("sym", "-="):
+            stmt = Assignment(name=name, value=BinaryExpr("-", VarRef(name), self.parse_expression()))
+        else:
+            self.expect("sym", "=")
+            stmt = Assignment(name=name, value=self.parse_expression())
+        if require_semicolon:
+            self.expect("sym", ";")
+        return stmt
+
+    def parse_if(self) -> IfStatement:
+        self.expect("keyword", "if")
+        self.expect("sym", "(")
+        condition = self.parse_expression()
+        self.expect("sym", ")")
+        then_body = self.parse_block()
+        else_body: Tuple[Statement, ...] = ()
+        if self.accept("keyword", "else"):
+            else_body = self.parse_block()
+        return IfStatement(condition=condition, then_body=then_body, else_body=else_body)
+
+    def parse_while(self) -> WhileLoop:
+        self.expect("keyword", "while")
+        self.expect("sym", "(")
+        condition = self.parse_expression()
+        self.expect("sym", ")")
+        body = self.parse_block()
+        return WhileLoop(condition=condition, body=body)
+
+    def parse_for(self) -> ForLoop:
+        self.expect("keyword", "for")
+        self.expect("sym", "(")
+        self.accept("keyword", "int")
+        init = self.parse_assignment(require_semicolon=True)
+        condition = self.parse_expression()
+        self.expect("sym", ";")
+        update = self.parse_assignment(require_semicolon=False)
+        self.expect("sym", ")")
+        body = self.parse_block()
+        return ForLoop(init=init, condition=condition, update=update, body=body)
+
+    # -- expressions --------------------------------------------------------------
+    def parse_expression(self) -> Expression:
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> Expression:
+        expr = self.parse_additive()
+        while self.check("sym") and self.current.value in _COMPARISONS:
+            op = self.advance().value
+            expr = BinaryExpr(op, expr, self.parse_additive())
+        return expr
+
+    def parse_additive(self) -> Expression:
+        expr = self.parse_multiplicative()
+        while self.check("sym") and self.current.value in ("+", "-"):
+            op = self.advance().value
+            expr = BinaryExpr(op, expr, self.parse_multiplicative())
+        return expr
+
+    def parse_multiplicative(self) -> Expression:
+        expr = self.parse_unary()
+        while self.check("sym") and self.current.value in ("*", "/", "%"):
+            op = self.advance().value
+            expr = BinaryExpr(op, expr, self.parse_unary())
+        return expr
+
+    def parse_unary(self) -> Expression:
+        if self.accept("sym", "-"):
+            return UnaryExpr("-", self.parse_unary())
+        return self.parse_primary()
+
+    def parse_primary(self) -> Expression:
+        token = self.current
+        if token.kind == "int":
+            self.advance()
+            return IntLiteral(token.value)
+        if token.kind == "ident":
+            self.advance()
+            return VarRef(token.value)
+        if self.accept("sym", "("):
+            expr = self.parse_expression()
+            self.expect("sym", ")")
+            return expr
+        raise FrontendParseError(f"unexpected token {token.value!r} in expression", token)
+
+
+def parse_source(source: str, name: str = "program") -> Program:
+    """Parse a source unit into a :class:`~repro.frontend.ast.Program`."""
+    return _Parser(tokenize(source)).parse_program(name)

@@ -1,0 +1,37 @@
+"""Textual Gamma DSL: the ``replace … by … if/where`` syntax of the paper's Fig. 3.
+
+Public entry points:
+
+* :func:`compile_source` — text → :class:`~repro.gamma.program.GammaProgram`,
+* :func:`load_reaction` — text → single :class:`~repro.gamma.reaction.Reaction`,
+* :func:`format_program` / :func:`format_reaction` — semantic objects → text,
+* :data:`GRAMMAR_EBNF` — the grammar itself (documentation + tests).
+"""
+
+from .ast import (
+    Binary,
+    ByClause,
+    ElementSyntax,
+    InitSyntax,
+    LabelLiteral,
+    Literal,
+    Name,
+    ProgramSyntax,
+    ReactionSyntax,
+    Unary,
+)
+from .compiler import CompileError, compile_program, compile_reaction, compile_source, load_reaction
+from .grammar import GRAMMAR_EBNF, grammar_rules
+from .lexer import LexerError, Token, tokenize
+from .parser import ParseError, parse_program, parse_reaction
+from .pretty import format_expr, format_multiset, format_program, format_reaction
+
+__all__ = [
+    "tokenize", "Token", "LexerError",
+    "parse_program", "parse_reaction", "ParseError",
+    "compile_source", "compile_program", "compile_reaction", "load_reaction", "CompileError",
+    "format_program", "format_reaction", "format_expr", "format_multiset",
+    "GRAMMAR_EBNF", "grammar_rules",
+    "ProgramSyntax", "ReactionSyntax", "ByClause", "ElementSyntax", "InitSyntax",
+    "Name", "Literal", "LabelLiteral", "Binary", "Unary",
+]

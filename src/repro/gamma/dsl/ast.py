@@ -1,0 +1,125 @@
+"""Surface AST of the Gamma DSL (the parse target of the Fig. 3 grammar).
+
+The surface AST stays close to the source text: elements are tuples of field
+expressions whose strings preserve the literal-vs-identifier distinction, and
+``by`` clauses keep their source order and attached conditions.  The compiler
+(:mod:`repro.gamma.dsl.compiler`) lowers this into the semantic objects of
+:mod:`repro.gamma` (patterns, templates, reactions, programs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+__all__ = [
+    "SourceExpr",
+    "Name",
+    "Literal",
+    "LabelLiteral",
+    "Binary",
+    "Unary",
+    "ElementSyntax",
+    "ByClause",
+    "ReactionSyntax",
+    "InitSyntax",
+    "ProgramSyntax",
+]
+
+
+class SourceExpr:
+    """Base class for surface expressions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Name(SourceExpr):
+    """An identifier: a reaction variable (``id1``, ``x``, ``v``)."""
+
+    identifier: str
+
+
+@dataclass(frozen=True)
+class Literal(SourceExpr):
+    """A numeric literal."""
+
+    value: Union[int, float]
+
+
+@dataclass(frozen=True)
+class LabelLiteral(SourceExpr):
+    """A quoted string literal — an edge/element label such as ``'A1'``."""
+
+    value: str
+
+
+@dataclass(frozen=True)
+class Binary(SourceExpr):
+    """A binary operation (arithmetic, comparison or boolean connective)."""
+
+    op: str
+    left: SourceExpr
+    right: SourceExpr
+
+
+@dataclass(frozen=True)
+class Unary(SourceExpr):
+    """A unary operation (``not`` or arithmetic negation)."""
+
+    op: str
+    operand: SourceExpr
+
+
+@dataclass(frozen=True)
+class ElementSyntax:
+    """One element of a replace/by list.
+
+    ``fields`` holds 1–3 expressions (value[, label[, tag]]); ``bare`` records
+    whether the source wrote a bare identifier (Eq. 2 style, ``replace x, y``)
+    rather than the bracketed tuple form.
+    """
+
+    fields: Tuple[SourceExpr, ...]
+    bare: bool = False
+
+
+@dataclass(frozen=True)
+class ByClause:
+    """A ``by`` alternative: produced elements plus an optional condition.
+
+    ``elements`` is empty for the paper's ``by 0``.  ``condition`` is the
+    expression following ``if``; ``is_else`` marks the trailing ``else`` arm.
+    """
+
+    elements: Tuple[ElementSyntax, ...]
+    condition: Optional[SourceExpr] = None
+    is_else: bool = False
+
+
+@dataclass(frozen=True)
+class ReactionSyntax:
+    """One reaction definition ``NAME = replace ... by ... [where ...]``."""
+
+    name: str
+    replace: Tuple[ElementSyntax, ...]
+    by_clauses: Tuple[ByClause, ...]
+    where: Optional[SourceExpr] = None
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class InitSyntax:
+    """An ``init { ... }`` statement declaring the initial multiset."""
+
+    elements: Tuple[ElementSyntax, ...]
+    line: int = 0
+
+
+@dataclass
+class ProgramSyntax:
+    """A parsed source file: reactions (parallel-composed) plus optional init."""
+
+    reactions: List[ReactionSyntax] = field(default_factory=list)
+    init: Optional[InitSyntax] = None
+    name: str = "gamma"

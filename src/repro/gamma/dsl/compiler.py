@@ -1,0 +1,212 @@
+"""Lowering the DSL surface AST into semantic reactions and programs.
+
+Field interpretation follows the conventions of the paper's listings:
+
+* in a *replace* element, the first field is a value variable (or literal),
+  a quoted second field is the required label, an identifier second field is a
+  label variable (the label-discrimination idiom of R11–R13), and the third
+  field is the tag variable;
+* pair-form elements (``[id1, 'A1']``) share the implicit tag variable ``v``
+  with every other pair-form element of the same reaction — this is the
+  reading under which the paper's Example 1 and Example 2 listings are
+  consistent with each other;
+* bare elements (``replace x, y`` — Eq. 2 style) leave label and tag
+  unconstrained (fresh variables per element);
+* in a *by* element, missing label/tag fields of a bare production that simply
+  forwards a consumed variable reuse that variable's label/tag binding, so
+  ``replace x, y by x where x < y`` keeps the matched element's label — the
+  abstract-Gamma behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ...multiset.element import Element
+from ...multiset.multiset import Multiset
+from ..expr import BinOp, BoolOp, Compare, Const, Expr, Not, Var
+from ..pattern import ElementPattern, ElementTemplate
+from ..program import GammaProgram
+from ..reaction import Branch, Reaction
+from .ast import (
+    Binary,
+    ByClause,
+    ElementSyntax,
+    InitSyntax,
+    LabelLiteral,
+    Literal,
+    Name,
+    ProgramSyntax,
+    ReactionSyntax,
+    SourceExpr,
+    Unary,
+)
+from .parser import parse_program, parse_reaction
+
+__all__ = ["CompileError", "compile_program", "compile_reaction", "compile_source", "load_reaction"]
+
+_COMPARISONS = {"==", "!=", "<", "<=", ">", ">="}
+_ARITHMETIC = {"+", "-", "*", "/", "%"}
+_IMPLICIT_TAG = "v"
+
+
+class CompileError(ValueError):
+    """Raised when a parsed reaction cannot be given a meaning."""
+
+
+def _compile_expr(expr: SourceExpr) -> Expr:
+    """Compile a surface expression into a semantic :class:`Expr`."""
+    if isinstance(expr, Name):
+        return Var(expr.identifier)
+    if isinstance(expr, Literal):
+        return Const(expr.value)
+    if isinstance(expr, LabelLiteral):
+        return Const(expr.value)
+    if isinstance(expr, Binary):
+        left = _compile_expr(expr.left)
+        right = _compile_expr(expr.right)
+        if expr.op in _COMPARISONS:
+            return Compare(expr.op, left, right)
+        if expr.op in ("and", "or"):
+            return BoolOp(expr.op, left, right)
+        if expr.op in _ARITHMETIC:
+            return BinOp(expr.op, left, right)
+        raise CompileError(f"unknown operator {expr.op!r}")
+    if isinstance(expr, Unary):
+        operand = _compile_expr(expr.operand)
+        if expr.op == "not":
+            return Not(operand)
+        if expr.op == "-":
+            return BinOp("-", Const(0), operand)
+        raise CompileError(f"unknown unary operator {expr.op!r}")
+    raise CompileError(f"cannot compile {type(expr).__name__}")
+
+
+def _pattern_field(expr: SourceExpr, role: str) -> Expr:
+    """Pattern fields may only be variables or literals (Fig. 3's replace list)."""
+    compiled = _compile_expr(expr)
+    if not isinstance(compiled, (Var, Const)):
+        raise CompileError(
+            f"the {role} field of a replace element must be a variable or literal, "
+            f"got {compiled!r}"
+        )
+    return compiled
+
+
+class _ReactionCompiler:
+    """Compiles one :class:`ReactionSyntax` into a :class:`Reaction`."""
+
+    def __init__(self, syntax: ReactionSyntax) -> None:
+        self.syntax = syntax
+        self._fresh = 0
+        #: value-variable name -> (label expr, tag expr) of the pattern binding it,
+        #: used to fill in missing fields of bare productions.
+        self._binding_fields: Dict[str, Tuple[Expr, Expr]] = {}
+
+    def fresh_var(self, stem: str) -> Var:
+        self._fresh += 1
+        return Var(f"_{stem}{self._fresh}")
+
+    # -- replace list ---------------------------------------------------------------
+    def compile_pattern(self, element: ElementSyntax) -> ElementPattern:
+        fields = element.fields
+        value = _pattern_field(fields[0], "value")
+
+        if element.bare or len(fields) == 1:
+            label: Expr = self.fresh_var("lbl")
+            tag: Expr = self.fresh_var("tag") if element.bare else Var(_IMPLICIT_TAG)
+        else:
+            label = _pattern_field(fields[1], "label")
+            tag = _pattern_field(fields[2], "tag") if len(fields) >= 3 else Var(_IMPLICIT_TAG)
+
+        if isinstance(value, Var):
+            self._binding_fields[value.name] = (label, tag)
+        return ElementPattern(value=value, label=label, tag=tag)
+
+    # -- by list ---------------------------------------------------------------------
+    def compile_template(self, element: ElementSyntax) -> ElementTemplate:
+        fields = element.fields
+        value = _compile_expr(fields[0])
+
+        label: Optional[Expr] = None
+        tag: Optional[Expr] = None
+        if len(fields) >= 2:
+            label = _compile_expr(fields[1])
+        if len(fields) >= 3:
+            tag = _compile_expr(fields[2])
+
+        if label is None or tag is None:
+            # Fill missing fields from the binding of a forwarded variable, or
+            # fall back to the implicit shared tag / empty label.
+            bound = None
+            if isinstance(value, Var):
+                bound = self._binding_fields.get(value.name)
+            if label is None:
+                label = bound[0] if bound is not None else Const("")
+            if tag is None:
+                if bound is not None:
+                    tag = bound[1]
+                else:
+                    tag = Var(_IMPLICIT_TAG) if not element.bare else Const(0)
+        return ElementTemplate(value=value, label=label, tag=tag)
+
+    def compile_branch(self, clause: ByClause) -> Branch:
+        productions = [self.compile_template(e) for e in clause.elements]
+        condition = None if clause.condition is None else _compile_expr(clause.condition)
+        if condition is not None and not condition.is_boolean():
+            raise CompileError(
+                f"reaction {self.syntax.name!r}: 'if' condition {condition!r} is not boolean"
+            )
+        return Branch(productions=productions, condition=condition)
+
+    def compile(self) -> Reaction:
+        patterns = [self.compile_pattern(e) for e in self.syntax.replace]
+        branches = [self.compile_branch(clause) for clause in self.syntax.by_clauses]
+        guard = None if self.syntax.where is None else _compile_expr(self.syntax.where)
+        if guard is not None and not guard.is_boolean():
+            raise CompileError(
+                f"reaction {self.syntax.name!r}: 'where' clause {guard!r} is not boolean"
+            )
+        try:
+            return Reaction(
+                name=self.syntax.name, replace=patterns, branches=branches, guard=guard
+            )
+        except ValueError as exc:
+            raise CompileError(f"reaction {self.syntax.name!r}: {exc}") from exc
+
+
+def _compile_init(init: InitSyntax) -> Multiset:
+    multiset = Multiset()
+    for element in init.elements:
+        fields = [_compile_expr(f) for f in element.fields]
+        if not all(not f.variables() for f in fields):
+            raise CompileError("init elements must be constant tuples")
+        # Constant-fold (covers negative literals, which parse as 0 - n).
+        values = [f.evaluate({}) for f in fields]
+        value = values[0]
+        label = values[1] if len(values) >= 2 else ""
+        tag = values[2] if len(values) >= 3 else 0
+        multiset.add(Element(value=value, label=label, tag=int(tag)))
+    return multiset
+
+
+def compile_reaction(syntax: ReactionSyntax) -> Reaction:
+    """Compile one parsed reaction."""
+    return _ReactionCompiler(syntax).compile()
+
+
+def compile_program(syntax: ProgramSyntax) -> GammaProgram:
+    """Compile a parsed source unit into a (parallel) Gamma program."""
+    reactions = [compile_reaction(r) for r in syntax.reactions]
+    initial = _compile_init(syntax.init) if syntax.init is not None else None
+    return GammaProgram(reactions, initial=initial, name=syntax.name)
+
+
+def compile_source(source: str, name: str = "gamma") -> GammaProgram:
+    """Parse and compile Gamma source text in one call."""
+    return compile_program(parse_program(source, name=name))
+
+
+def load_reaction(source: str) -> Reaction:
+    """Parse and compile a single reaction definition."""
+    return compile_reaction(parse_reaction(source))

@@ -1,0 +1,70 @@
+"""The context-free grammar of the Gamma syntax (Fig. 3 of the paper).
+
+The grammar is reproduced here in EBNF both as documentation and as data: the
+DSL tests check that the parser accepts exactly the constructs the grammar
+describes (plus the documented extensions), and the README embeds this text.
+
+Extensions over the figure (all used by the paper's own listings or by this
+reproduction's tooling and explicitly marked):
+
+* ``where`` clauses (Eq. 2 of the paper uses one);
+* bare elements in the replace/by lists (Eq. 2 again);
+* an optional ``init { ... }`` statement declaring the initial multiset;
+* ``#`` / ``--`` comments.
+"""
+
+from __future__ import annotations
+
+__all__ = ["GRAMMAR_EBNF", "grammar_rules"]
+
+GRAMMAR_EBNF = r"""
+program        ::= statement+
+statement      ::= reaction | init | composition
+
+reaction       ::= NAME '=' 'replace' replace_list by_clause+ where_clause?
+replace_list   ::= '(' element_list ')' | element_list
+element_list   ::= element (',' element)*
+element        ::= '[' field (',' field)* ']'          (* 1 to 3 fields *)
+                 | expression                          (* bare form, Eq. 2 *)
+field          ::= expression
+
+by_clause      ::= 'by' by_output by_condition?
+by_output      ::= '0' | element_list
+by_condition   ::= 'if' condition | 'else'
+where_clause   ::= 'where' condition
+
+init           ::= 'init' '{' element_list? '}'
+composition    ::= NAME ('|' NAME)+ | NAME (';' NAME)+
+
+condition      ::= or_expr
+or_expr        ::= and_expr ('or' and_expr)*
+and_expr       ::= not_expr ('and' not_expr)*
+not_expr       ::= 'not' not_expr | comparison
+comparison     ::= additive (('==' | '!=' | '<' | '<=' | '>' | '>=') additive)*
+expression     ::= additive
+additive       ::= multiplicative (('+' | '-') multiplicative)*
+multiplicative ::= unary (('*' | '/' | '%') unary)*
+unary          ::= '-' unary | primary
+primary        ::= NUMBER | STRING | NAME | '(' condition ')'
+
+NAME           ::= [A-Za-z_][A-Za-z0-9_]*
+NUMBER         ::= [0-9]+ ('.' [0-9]+)?
+STRING         ::= "'" [^']* "'" | '"' [^"]* '"'
+"""
+
+
+def grammar_rules() -> dict:
+    """The grammar as a mapping ``nonterminal -> production`` (parsed from the EBNF)."""
+    rules = {}
+    current = None
+    for raw_line in GRAMMAR_EBNF.strip().splitlines():
+        line = raw_line.rstrip()
+        if not line:
+            continue
+        if "::=" in line:
+            name, production = line.split("::=", 1)
+            current = name.strip()
+            rules[current] = production.strip()
+        elif current is not None:
+            rules[current] += " " + line.strip()
+    return rules

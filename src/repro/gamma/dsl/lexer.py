@@ -1,0 +1,153 @@
+"""Lexer for the textual Gamma syntax of Fig. 3.
+
+The token set covers the paper's listings (Section III-A1) and the classic
+Gamma style of Eq. 2:
+
+* keywords: ``replace``, ``by``, ``if``, ``else``, ``where``, ``and``, ``or``,
+  ``not``, ``init`` (keywords are case-insensitive — the paper capitalizes
+  ``If`` in some listings);
+* identifiers (reaction names, variables), integer/float literals, quoted
+  label literals (single or double quotes);
+* punctuation: ``[ ] ( ) { } , =`` and the operator set
+  ``+ - * / % == != < <= > >= |``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+__all__ = ["Token", "LexerError", "tokenize", "KEYWORDS"]
+
+KEYWORDS = {"replace", "by", "if", "else", "where", "and", "or", "not", "init"}
+
+_TWO_CHAR_OPS = {"==", "!=", "<=", ">="}
+_ONE_CHAR_OPS = {"+", "-", "*", "/", "%", "<", ">", "=", "|", ";"}
+_PUNCTUATION = {"[", "]", "(", ")", "{", "}", ","}
+
+
+class LexerError(ValueError):
+    """Raised on malformed Gamma source text."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"line {line}, column {column}: {message}")
+        self.line = line
+        self.column = column
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token."""
+
+    kind: str  # 'ident', 'keyword', 'int', 'float', 'string', 'op', 'punct', 'eof'
+    value: object
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Token({self.kind}, {self.value!r})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize ``source`` into a list ending with an ``eof`` token."""
+    tokens: List[Token] = []
+    line = 1
+    column = 1
+    i = 0
+    length = len(source)
+
+    def error(message: str) -> LexerError:
+        return LexerError(message, line, column)
+
+    while i < length:
+        ch = source[i]
+
+        # Whitespace / newlines.
+        if ch == "\n":
+            line += 1
+            column = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            column += 1
+            continue
+
+        # Comments: '#' and '--' to end of line.
+        if ch == "#" or source.startswith("--", i):
+            while i < length and source[i] != "\n":
+                i += 1
+            continue
+
+        start_column = column
+
+        # Quoted label literals.
+        if ch in ("'", '"'):
+            quote = ch
+            j = i + 1
+            while j < length and source[j] != quote:
+                if source[j] == "\n":
+                    raise error("unterminated string literal")
+                j += 1
+            if j >= length:
+                raise error("unterminated string literal")
+            text = source[i + 1 : j]
+            tokens.append(Token("string", text, line, start_column))
+            column += (j - i + 1)
+            i = j + 1
+            continue
+
+        # Numbers.
+        if ch.isdigit():
+            j = i
+            seen_dot = False
+            while j < length and (source[j].isdigit() or (source[j] == "." and not seen_dot)):
+                if source[j] == ".":
+                    seen_dot = True
+                j += 1
+            text = source[i:j]
+            if text.endswith("."):
+                raise error(f"malformed number {text!r}")
+            value = float(text) if seen_dot else int(text)
+            tokens.append(Token("float" if seen_dot else "int", value, line, start_column))
+            column += j - i
+            i = j
+            continue
+
+        # Identifiers / keywords.
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < length and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            lowered = text.lower()
+            if lowered in KEYWORDS:
+                tokens.append(Token("keyword", lowered, line, start_column))
+            else:
+                tokens.append(Token("ident", text, line, start_column))
+            column += j - i
+            i = j
+            continue
+
+        # Operators and punctuation.
+        two = source[i : i + 2]
+        if two in _TWO_CHAR_OPS:
+            tokens.append(Token("op", two, line, start_column))
+            i += 2
+            column += 2
+            continue
+        if ch in _ONE_CHAR_OPS:
+            tokens.append(Token("op", ch, line, start_column))
+            i += 1
+            column += 1
+            continue
+        if ch in _PUNCTUATION:
+            tokens.append(Token("punct", ch, line, start_column))
+            i += 1
+            column += 1
+            continue
+
+        raise error(f"unexpected character {ch!r}")
+
+    tokens.append(Token("eof", None, line, column))
+    return tokens

@@ -1,0 +1,276 @@
+"""Recursive-descent parser for the Gamma syntax of Fig. 3.
+
+Accepted statements::
+
+    # the listings of Section III-A1
+    R16 = replace [id1,'B13',v], [id2,'B15',v]
+          by [id1,'B17',v]
+          if id2 == 1
+          by 0
+          else
+
+    # the classic Eq. 2 style
+    Rmin = replace (x, y) by x where x < y
+
+    # optional initial multiset
+    init { [1,'A1',0], [5,'B1',0] }
+
+Reactions in one source unit are parallel-composed (``R1 | R2 | ...``); the
+``|`` operator may also be written explicitly between reaction names on a
+standalone line, which is accepted and ignored (it adds no information beyond
+the parallel default — the form the paper itself uses).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .ast import (
+    Binary,
+    ByClause,
+    ElementSyntax,
+    InitSyntax,
+    LabelLiteral,
+    Literal,
+    Name,
+    ProgramSyntax,
+    ReactionSyntax,
+    SourceExpr,
+    Unary,
+)
+from .lexer import LexerError, Token, tokenize
+
+__all__ = ["ParseError", "parse_program", "parse_reaction"]
+
+
+class ParseError(ValueError):
+    """Raised on syntactically invalid Gamma source."""
+
+    def __init__(self, message: str, token: Token) -> None:
+        super().__init__(f"line {token.line}, column {token.column}: {message}")
+        self.token = token
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.position = 0
+
+    # -- token plumbing -----------------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.position]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != "eof":
+            self.position += 1
+        return token
+
+    def check(self, kind: str, value: Optional[object] = None) -> bool:
+        token = self.current
+        return token.kind == kind and (value is None or token.value == value)
+
+    def accept(self, kind: str, value: Optional[object] = None) -> Optional[Token]:
+        if self.check(kind, value):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, value: Optional[object] = None) -> Token:
+        if not self.check(kind, value):
+            wanted = value if value is not None else kind
+            raise ParseError(f"expected {wanted!r}, found {self.current.value!r}", self.current)
+        return self.advance()
+
+    # -- grammar ---------------------------------------------------------------------
+    def parse_program(self, name: str = "gamma") -> ProgramSyntax:
+        program = ProgramSyntax(name=name)
+        while not self.check("eof"):
+            if self.check("keyword", "init"):
+                program.init = self.parse_init()
+            elif self.check("ident"):
+                # Either a reaction definition or a composition line (R1 | R2).
+                if self.tokens[self.position + 1].kind == "op" and self.tokens[
+                    self.position + 1
+                ].value in ("|", ";"):
+                    self._skip_composition_line()
+                else:
+                    program.reactions.append(self.parse_reaction())
+            elif self.check("op", "|") or self.check("op", ";"):
+                self.advance()
+            else:
+                raise ParseError(
+                    f"expected a reaction definition, found {self.current.value!r}", self.current
+                )
+        if not program.reactions:
+            raise ParseError("source contains no reaction definitions", self.current)
+        return program
+
+    def _skip_composition_line(self) -> None:
+        """Consume ``R1 | R2 | R3`` composition lines (parallel is the default)."""
+        self.expect("ident")
+        while self.accept("op", "|") or self.accept("op", ";"):
+            self.expect("ident")
+
+    def parse_init(self) -> InitSyntax:
+        token = self.expect("keyword", "init")
+        self.expect("punct", "{")
+        elements: List[ElementSyntax] = []
+        if not self.check("punct", "}"):
+            elements.append(self.parse_element())
+            while self.accept("punct", ","):
+                elements.append(self.parse_element())
+        self.expect("punct", "}")
+        return InitSyntax(elements=tuple(elements), line=token.line)
+
+    def parse_reaction(self) -> ReactionSyntax:
+        name_token = self.expect("ident")
+        self.expect("op", "=")
+        self.expect("keyword", "replace")
+
+        replace = self.parse_element_list(allow_parentheses=True)
+
+        by_clauses: List[ByClause] = []
+        where: Optional[SourceExpr] = None
+        while True:
+            if self.check("keyword", "by"):
+                by_clauses.append(self.parse_by_clause())
+            elif self.check("keyword", "where"):
+                self.advance()
+                where = self.parse_expression()
+            else:
+                break
+        if not by_clauses:
+            raise ParseError(f"reaction {name_token.value!r} has no 'by' clause", self.current)
+        return ReactionSyntax(
+            name=name_token.value,
+            replace=replace,
+            by_clauses=tuple(by_clauses),
+            where=where,
+            line=name_token.line,
+        )
+
+    def parse_by_clause(self) -> ByClause:
+        self.expect("keyword", "by")
+        # 'by 0' produces nothing.
+        if self.check("int") and self.current.value == 0:
+            self.advance()
+            elements: Tuple[ElementSyntax, ...] = ()
+        else:
+            elements = self.parse_element_list(allow_parentheses=False)
+        condition: Optional[SourceExpr] = None
+        is_else = False
+        if self.accept("keyword", "if"):
+            condition = self.parse_expression()
+        elif self.accept("keyword", "else"):
+            is_else = True
+        # A trailing 'else' may also follow an unconditional production list
+        # belonging to the *next* clause; the grammar of Fig. 3 attaches the
+        # 'else' to the clause it follows, which is what we do here.
+        return ByClause(elements=elements, condition=condition, is_else=is_else)
+
+    def parse_element_list(self, allow_parentheses: bool) -> Tuple[ElementSyntax, ...]:
+        elements: List[ElementSyntax] = []
+        parenthesised = False
+        if allow_parentheses and self.accept("punct", "("):
+            parenthesised = True
+        elements.append(self.parse_element())
+        while self.accept("punct", ","):
+            elements.append(self.parse_element())
+        if parenthesised:
+            self.expect("punct", ")")
+        return tuple(elements)
+
+    def parse_element(self) -> ElementSyntax:
+        if self.accept("punct", "["):
+            fields: List[SourceExpr] = [self.parse_expression()]
+            while self.accept("punct", ","):
+                fields.append(self.parse_expression())
+            self.expect("punct", "]")
+            if not 1 <= len(fields) <= 3:
+                raise ParseError(
+                    f"element tuples have 1-3 fields, got {len(fields)}", self.current
+                )
+            return ElementSyntax(fields=tuple(fields), bare=False)
+        # Bare form (Eq. 2 style): a single expression, usually an identifier.
+        return ElementSyntax(fields=(self.parse_expression(),), bare=True)
+
+    # -- expressions -------------------------------------------------------------------
+    # Precedence (low to high): or, and, not, comparison, additive, multiplicative, unary.
+    def parse_expression(self) -> SourceExpr:
+        return self.parse_or()
+
+    def parse_or(self) -> SourceExpr:
+        expr = self.parse_and()
+        while self.accept("keyword", "or"):
+            expr = Binary("or", expr, self.parse_and())
+        return expr
+
+    def parse_and(self) -> SourceExpr:
+        expr = self.parse_not()
+        while self.accept("keyword", "and"):
+            expr = Binary("and", expr, self.parse_not())
+        return expr
+
+    def parse_not(self) -> SourceExpr:
+        if self.accept("keyword", "not"):
+            return Unary("not", self.parse_not())
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> SourceExpr:
+        expr = self.parse_additive()
+        while self.check("op") and self.current.value in ("==", "!=", "<", "<=", ">", ">="):
+            op = self.advance().value
+            expr = Binary(op, expr, self.parse_additive())
+        return expr
+
+    def parse_additive(self) -> SourceExpr:
+        expr = self.parse_multiplicative()
+        while self.check("op") and self.current.value in ("+", "-"):
+            op = self.advance().value
+            expr = Binary(op, expr, self.parse_multiplicative())
+        return expr
+
+    def parse_multiplicative(self) -> SourceExpr:
+        expr = self.parse_unary()
+        while self.check("op") and self.current.value in ("*", "/", "%"):
+            op = self.advance().value
+            expr = Binary(op, expr, self.parse_unary())
+        return expr
+
+    def parse_unary(self) -> SourceExpr:
+        if self.check("op", "-"):
+            self.advance()
+            return Unary("-", self.parse_unary())
+        return self.parse_primary()
+
+    def parse_primary(self) -> SourceExpr:
+        token = self.current
+        if token.kind in ("int", "float"):
+            self.advance()
+            return Literal(token.value)
+        if token.kind == "string":
+            self.advance()
+            return LabelLiteral(token.value)
+        if token.kind == "ident":
+            self.advance()
+            return Name(token.value)
+        if self.accept("punct", "("):
+            expr = self.parse_expression()
+            self.expect("punct", ")")
+            return expr
+        raise ParseError(f"unexpected token {token.value!r} in expression", token)
+
+
+def parse_program(source: str, name: str = "gamma") -> ProgramSyntax:
+    """Parse a whole source unit (one or more reactions plus optional ``init``)."""
+    return _Parser(tokenize(source)).parse_program(name=name)
+
+
+def parse_reaction(source: str) -> ReactionSyntax:
+    """Parse a single reaction definition."""
+    parser = _Parser(tokenize(source))
+    reaction = parser.parse_reaction()
+    if not parser.check("eof"):
+        raise ParseError("trailing input after reaction definition", parser.current)
+    return reaction

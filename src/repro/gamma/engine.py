@@ -1,0 +1,323 @@
+"""Execution engines implementing the Γ operator (Eq. 1 of the paper).
+
+All engines implement the same contract: starting from an initial multiset,
+repeatedly apply enabled reactions until *no reaction condition is
+satisfiable* (the paper's "global termination state"), then return the stable
+multiset plus an execution trace.  They differ only in **how** enabled
+reactions are scheduled, which is exactly the degree of freedom the Gamma
+model leaves open:
+
+* :class:`SequentialEngine` — deterministic: scans reactions in declaration
+  order and applies the first enabled match, one firing per step.  Mirrors the
+  single-processor implementation of Muylaert/Gay cited in the paper [13].
+* :class:`ChaoticEngine` — nondeterministic: draws a random enabled
+  (reaction, match) pair each step from a seeded RNG.  This is the closest to
+  the abstract chemical-machine metaphor and is what the equivalence tests
+  sample over many seeds.
+* :class:`MaxParallelEngine` — simulated parallel: at each step collects a
+  maximal set of *non-conflicting* matches (no element occurrence consumed
+  twice) across all reactions and fires them simultaneously, like the
+  Connection Machine / GPU implementations cited in the paper.  Its per-step
+  width is the Gamma-side parallelism profile used by experiment E9.
+
+Every engine enforces a ``max_steps`` budget so a diverging program (or a
+conversion bug) raises :class:`NonTerminationError` instead of hanging.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..multiset.multiset import Multiset
+from .matching import Match, Matcher
+from .program import GammaProgram, ProgramLike, SequentialProgram
+from .reaction import Reaction
+from .tracer import Trace
+
+__all__ = [
+    "ExecutionResult",
+    "NonTerminationError",
+    "GammaEngine",
+    "SequentialEngine",
+    "ChaoticEngine",
+    "MaxParallelEngine",
+    "run",
+    "run_program",
+]
+
+DEFAULT_MAX_STEPS = 1_000_000
+
+
+class NonTerminationError(RuntimeError):
+    """Raised when an execution exceeds its step budget without stabilizing."""
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of running a Gamma program to its stable state."""
+
+    final: Multiset
+    trace: Trace
+    steps: int
+    firings: int
+    engine: str
+    stable: bool = True
+
+    def values_with_label(self, label: str) -> List:
+        """Values of the stable multiset's elements carrying ``label``."""
+        return self.final.values_with_label(label)
+
+    def outputs(self, labels: Sequence[str]) -> Multiset:
+        """The stable multiset restricted to ``labels`` (the observable result)."""
+        return self.final.restrict_labels(labels)
+
+    def parallelism_profile(self) -> List[int]:
+        return self.trace.parallelism_profile()
+
+
+class GammaEngine:
+    """Base class with the shared run loop plumbing."""
+
+    name = "abstract"
+
+    def __init__(self, max_steps: int = DEFAULT_MAX_STEPS) -> None:
+        if max_steps <= 0:
+            raise ValueError("max_steps must be positive")
+        self.max_steps = max_steps
+
+    # -- public API --------------------------------------------------------------
+    def run(
+        self,
+        program: ProgramLike,
+        initial: Optional[Multiset] = None,
+    ) -> ExecutionResult:
+        """Run ``program`` starting from ``initial`` (or its bundled multiset)."""
+        if isinstance(program, SequentialProgram):
+            return self._run_sequential_composition(program, initial)
+        if not isinstance(program, GammaProgram):
+            raise TypeError(f"cannot run {type(program).__name__}")
+        multiset = self._initial_multiset(program, initial)
+        trace = Trace()
+        steps, firings = self._run_block(program, multiset, trace)
+        return ExecutionResult(
+            final=multiset,
+            trace=trace,
+            steps=steps,
+            firings=firings,
+            engine=self.name,
+        )
+
+    def _run_sequential_composition(
+        self, program: SequentialProgram, initial: Optional[Multiset]
+    ) -> ExecutionResult:
+        current = initial
+        trace = Trace()
+        total_steps = 0
+        total_firings = 0
+        multiset: Optional[Multiset] = None
+        for stage in program.stages:
+            if not isinstance(stage, GammaProgram):
+                raise TypeError("sequential stages must be GammaProgram blocks")
+            multiset = self._initial_multiset(stage, current)
+            steps, firings = self._run_block(stage, multiset, trace)
+            total_steps += steps
+            total_firings += firings
+            current = multiset
+        assert multiset is not None
+        return ExecutionResult(
+            final=multiset,
+            trace=trace,
+            steps=total_steps,
+            firings=total_firings,
+            engine=self.name,
+        )
+
+    @staticmethod
+    def _initial_multiset(program: GammaProgram, initial: Optional[Multiset]) -> Multiset:
+        if initial is not None:
+            return initial.copy()
+        if program.initial is not None:
+            return program.initial.copy()
+        raise ValueError(
+            f"program {program.name!r} has no bundled initial multiset; pass one explicitly"
+        )
+
+    # -- to be provided by subclasses ----------------------------------------------
+    def _run_block(self, program: GammaProgram, multiset: Multiset, trace: Trace) -> tuple:
+        """Run one parallel block in place; return (steps, firings)."""
+        raise NotImplementedError
+
+
+class SequentialEngine(GammaEngine):
+    """Deterministic one-firing-per-step engine (reaction declaration order)."""
+
+    name = "sequential"
+
+    def _run_block(self, program: GammaProgram, multiset: Multiset, trace: Trace) -> tuple:
+        steps = 0
+        firings = 0
+        while True:
+            if steps >= self.max_steps:
+                raise NonTerminationError(
+                    f"{self.name} engine exceeded {self.max_steps} steps on {program.name!r}"
+                )
+            matcher = Matcher(multiset)
+            match: Optional[Match] = None
+            for reaction in program.reactions:
+                match = matcher.find(reaction)
+                if match is not None:
+                    break
+            if match is None:
+                return steps, firings
+            produced = match.produced()
+            multiset.replace(match.consumed, produced)
+            step = trace.begin_step()
+            trace.record(step, match.reaction.name, match.consumed, produced, match.binding)
+            steps += 1
+            firings += 1
+
+
+class ChaoticEngine(GammaEngine):
+    """Nondeterministic engine: random enabled (reaction, match) pair per step."""
+
+    name = "chaotic"
+
+    def __init__(self, seed: Optional[int] = None, max_steps: int = DEFAULT_MAX_STEPS) -> None:
+        super().__init__(max_steps=max_steps)
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def _run_block(self, program: GammaProgram, multiset: Multiset, trace: Trace) -> tuple:
+        steps = 0
+        firings = 0
+        while True:
+            if steps >= self.max_steps:
+                raise NonTerminationError(
+                    f"{self.name} engine exceeded {self.max_steps} steps on {program.name!r}"
+                )
+            matcher = Matcher(multiset, rng=self._rng)
+            reactions = list(program.reactions)
+            self._rng.shuffle(reactions)
+            match: Optional[Match] = None
+            for reaction in reactions:
+                match = matcher.find(reaction)
+                if match is not None:
+                    break
+            if match is None:
+                return steps, firings
+            produced = match.produced()
+            multiset.replace(match.consumed, produced)
+            step = trace.begin_step()
+            trace.record(step, match.reaction.name, match.consumed, produced, match.binding)
+            steps += 1
+            firings += 1
+
+
+class MaxParallelEngine(GammaEngine):
+    """Simulated parallel engine: a maximal set of non-conflicting firings per step.
+
+    Conflict detection is on element *occurrences*: two matches conflict when
+    together they would consume more copies of some element than the multiset
+    holds.  The greedy maximal set is built in randomized order so repeated
+    runs with different seeds explore different parallel schedules.
+    """
+
+    name = "max-parallel"
+
+    def __init__(self, seed: Optional[int] = None, max_steps: int = DEFAULT_MAX_STEPS) -> None:
+        super().__init__(max_steps=max_steps)
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def _collect_step_matches(self, program: GammaProgram, multiset: Multiset) -> List[Match]:
+        """Greedy maximal set of mutually compatible matches for one step.
+
+        Matches are enumerated against the step's initial snapshot; a match is
+        accepted when the element copies it consumes are still available in
+        this step's budget.  The greedy sweep over a full enumeration yields a
+        maximal (not necessarily maximum) compatible set, which is what a real
+        parallel Gamma machine achieves with local, independent matching.
+        """
+        matcher = Matcher(multiset, rng=self._rng)
+        # Budget of copies still available for consumption in this step.
+        available: Dict = dict(multiset.counts())
+        remaining = sum(available.values())
+        chosen: List[Match] = []
+        reactions = list(program.reactions)
+        self._rng.shuffle(reactions)
+        for reaction in reactions:
+            if remaining < reaction.arity:
+                continue
+            for match in matcher.iter_matches(reaction):
+                if remaining < reaction.arity:
+                    break
+                needed: Dict = {}
+                for element in match.consumed:
+                    needed[element] = needed.get(element, 0) + 1
+                if all(available.get(e, 0) >= c for e, c in needed.items()):
+                    for e, c in needed.items():
+                        available[e] = available.get(e, 0) - c
+                        remaining -= c
+                    chosen.append(match)
+        return chosen
+
+    def _run_block(self, program: GammaProgram, multiset: Multiset, trace: Trace) -> tuple:
+        steps = 0
+        firings = 0
+        while True:
+            if steps >= self.max_steps:
+                raise NonTerminationError(
+                    f"{self.name} engine exceeded {self.max_steps} steps on {program.name!r}"
+                )
+            matches = self._collect_step_matches(program, multiset)
+            if not matches:
+                return steps, firings
+            step = trace.begin_step()
+            for match in matches:
+                produced = match.produced()
+                multiset.replace(match.consumed, produced)
+                trace.record(step, match.reaction.name, match.consumed, produced, match.binding)
+                firings += 1
+            steps += 1
+
+
+_ENGINES = {
+    "sequential": SequentialEngine,
+    "chaotic": ChaoticEngine,
+    "max-parallel": MaxParallelEngine,
+}
+
+
+def run(
+    program: ProgramLike,
+    initial: Optional[Multiset] = None,
+    engine: Union[str, GammaEngine] = "sequential",
+    seed: Optional[int] = None,
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> ExecutionResult:
+    """Run a Gamma program with the named engine.
+
+    ``engine`` may be an engine instance or one of ``"sequential"``,
+    ``"chaotic"``, ``"max-parallel"``.  ``seed`` is forwarded to the
+    nondeterministic engines.
+    """
+    if isinstance(engine, GammaEngine):
+        runner = engine
+    else:
+        try:
+            cls = _ENGINES[engine]
+        except KeyError as exc:
+            raise ValueError(
+                f"unknown engine {engine!r}; expected one of {sorted(_ENGINES)}"
+            ) from exc
+        if cls is SequentialEngine:
+            runner = cls(max_steps=max_steps)
+        else:
+            runner = cls(seed=seed, max_steps=max_steps)
+    return runner.run(program, initial)
+
+
+# Backwards-friendly alias used throughout examples.
+run_program = run

@@ -1,0 +1,295 @@
+"""Expression AST shared by Gamma reaction conditions and actions.
+
+Reactions carry two kinds of expressions:
+
+* *conditions* (the ``where`` guard of Eq. 2 and the ``if`` clauses of the
+  paper's ``by`` branches), which evaluate to booleans, and
+* *productions* (the value/label/tag fields of the elements listed after
+  ``by``), which evaluate to arbitrary values.
+
+We represent both with a small immutable AST instead of opaque Python
+callables because the Gamma-to-dataflow conversion (Algorithm 2 of the paper)
+must *inspect* the arithmetic and comparison structure of a reaction to build
+the corresponding dataflow nodes, and because the textual DSL (Fig. 3) needs a
+parse target and a pretty-printing source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, FrozenSet, Mapping, Tuple
+
+__all__ = [
+    "Expr",
+    "Var",
+    "Const",
+    "BinOp",
+    "Compare",
+    "BoolOp",
+    "Not",
+    "var",
+    "const",
+    "ARITHMETIC_OPS",
+    "COMPARISON_OPS",
+    "BOOLEAN_OPS",
+    "EvaluationError",
+]
+
+
+class EvaluationError(Exception):
+    """Raised when an expression cannot be evaluated under a binding."""
+
+
+def _safe_div(a, b):
+    if b == 0:
+        raise EvaluationError("division by zero in reaction expression")
+    if isinstance(a, int) and isinstance(b, int):
+        # Integer semantics match the paper's examples (C-like loop counters).
+        return a // b if (a % b == 0 or (a >= 0) == (b >= 0)) else -((-a) // b) if a < 0 else a // b
+    return a / b
+
+
+ARITHMETIC_OPS: Dict[str, Callable[[Any, Any], Any]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": _safe_div,
+    "%": lambda a, b: a % b,
+    "min": min,
+    "max": max,
+}
+
+COMPARISON_OPS: Dict[str, Callable[[Any, Any], bool]] = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+BOOLEAN_OPS: Dict[str, Callable[[bool, bool], bool]] = {
+    "and": lambda a, b: bool(a) and bool(b),
+    "or": lambda a, b: bool(a) or bool(b),
+}
+
+
+class Expr:
+    """Base class for expression nodes."""
+
+    __slots__ = ()
+
+    def evaluate(self, env: Mapping[str, Any]) -> Any:
+        """Evaluate under the variable binding ``env``."""
+        raise NotImplementedError
+
+    def variables(self) -> FrozenSet[str]:
+        """The free variables referenced by this expression."""
+        raise NotImplementedError
+
+    def is_boolean(self) -> bool:
+        """True when the expression always evaluates to a boolean."""
+        return False
+
+    # Operator sugar so reactions can be written compactly in Python:
+    #   var("x") + var("y"), var("x") < var("y"), ...
+    def _wrap(self, other: Any) -> "Expr":
+        return other if isinstance(other, Expr) else Const(other)
+
+    def __add__(self, other):
+        return BinOp("+", self, self._wrap(other))
+
+    def __radd__(self, other):
+        return BinOp("+", self._wrap(other), self)
+
+    def __sub__(self, other):
+        return BinOp("-", self, self._wrap(other))
+
+    def __rsub__(self, other):
+        return BinOp("-", self._wrap(other), self)
+
+    def __mul__(self, other):
+        return BinOp("*", self, self._wrap(other))
+
+    def __rmul__(self, other):
+        return BinOp("*", self._wrap(other), self)
+
+    def __truediv__(self, other):
+        return BinOp("/", self, self._wrap(other))
+
+    def __mod__(self, other):
+        return BinOp("%", self, self._wrap(other))
+
+    def eq(self, other):
+        return Compare("==", self, self._wrap(other))
+
+    def ne(self, other):
+        return Compare("!=", self, self._wrap(other))
+
+    def __lt__(self, other):
+        return Compare("<", self, self._wrap(other))
+
+    def __le__(self, other):
+        return Compare("<=", self, self._wrap(other))
+
+    def __gt__(self, other):
+        return Compare(">", self, self._wrap(other))
+
+    def __ge__(self, other):
+        return Compare(">=", self, self._wrap(other))
+
+    def and_(self, other):
+        return BoolOp("and", self, self._wrap(other))
+
+    def or_(self, other):
+        return BoolOp("or", self, self._wrap(other))
+
+    def not_(self):
+        return Not(self)
+
+
+@dataclass(frozen=True, slots=True)
+class Var(Expr):
+    """A reaction variable (``id1``, ``x``, ``v`` in the paper's listings)."""
+
+    name: str
+
+    def evaluate(self, env: Mapping[str, Any]) -> Any:
+        try:
+            return env[self.name]
+        except KeyError as exc:
+            raise EvaluationError(f"unbound reaction variable {self.name!r}") from exc
+
+    def variables(self) -> FrozenSet[str]:
+        return frozenset({self.name})
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class Const(Expr):
+    """A literal constant."""
+
+    value: Any
+
+    def evaluate(self, env: Mapping[str, Any]) -> Any:
+        return self.value
+
+    def variables(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def is_boolean(self) -> bool:
+        return isinstance(self.value, bool)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return repr(self.value)
+
+
+@dataclass(frozen=True, slots=True)
+class BinOp(Expr):
+    """Arithmetic binary operation (``+``, ``-``, ``*``, ``/``, ``%``, ``min``, ``max``)."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in ARITHMETIC_OPS:
+            raise ValueError(f"unknown arithmetic operator {self.op!r}")
+
+    def evaluate(self, env: Mapping[str, Any]) -> Any:
+        return ARITHMETIC_OPS[self.op](self.left.evaluate(env), self.right.evaluate(env))
+
+    def variables(self) -> FrozenSet[str]:
+        return self.left.variables() | self.right.variables()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Compare(Expr):
+    """Comparison (``==``, ``!=``, ``<``, ``<=``, ``>``, ``>=``)."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in COMPARISON_OPS:
+            raise ValueError(f"unknown comparison operator {self.op!r}")
+
+    def evaluate(self, env: Mapping[str, Any]) -> bool:
+        try:
+            return bool(COMPARISON_OPS[self.op](self.left.evaluate(env), self.right.evaluate(env)))
+        except TypeError as exc:
+            raise EvaluationError(f"incomparable operands in {self!r}: {exc}") from exc
+
+    def variables(self) -> FrozenSet[str]:
+        return self.left.variables() | self.right.variables()
+
+    def is_boolean(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class BoolOp(Expr):
+    """Boolean connective (``and`` / ``or``)."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in BOOLEAN_OPS:
+            raise ValueError(f"unknown boolean operator {self.op!r}")
+
+    def evaluate(self, env: Mapping[str, Any]) -> bool:
+        left = bool(self.left.evaluate(env))
+        # Short-circuit like the host language; reaction conditions written in
+        # the paper rely on this for the label-discrimination idiom.
+        if self.op == "and":
+            return left and bool(self.right.evaluate(env))
+        return left or bool(self.right.evaluate(env))
+
+    def variables(self) -> FrozenSet[str]:
+        return self.left.variables() | self.right.variables()
+
+    def is_boolean(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Not(Expr):
+    """Boolean negation."""
+
+    operand: Expr
+
+    def evaluate(self, env: Mapping[str, Any]) -> bool:
+        return not bool(self.operand.evaluate(env))
+
+    def variables(self) -> FrozenSet[str]:
+        return self.operand.variables()
+
+    def is_boolean(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"(not {self.operand!r})"
+
+
+def var(name: str) -> Var:
+    """Shorthand constructor for :class:`Var`."""
+    return Var(name)
+
+
+def const(value: Any) -> Const:
+    """Shorthand constructor for :class:`Const`."""
+    return Const(value)

@@ -1,0 +1,168 @@
+"""Reaction matching engine.
+
+Matching answers the question at the heart of the Γ operator (Eq. 1): *does
+there exist a tuple of elements* ``x1..xn`` *in the multiset such that the
+reaction condition holds?*  The engine performs a backtracking search over the
+replace-list patterns, using the label/tag index to prune candidates (the
+reactions produced by Algorithm 1 always fix the labels they consume, and loop
+programs additionally require equal tags on every consumed element).
+
+Multiplicities are respected: a reaction consuming two elements may bind both
+patterns to the *same* element value only if that element occurs at least
+twice in the multiset.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..multiset.element import Element
+from ..multiset.index import LabelTagIndex
+from ..multiset.multiset import Multiset
+from .pattern import Binding, ElementPattern
+from .reaction import Reaction
+
+__all__ = ["Match", "Matcher", "find_match", "iter_matches"]
+
+
+@dataclass(frozen=True)
+class Match:
+    """A successful match of a reaction against the multiset."""
+
+    reaction: Reaction
+    consumed: Tuple[Element, ...]
+    binding: Dict[str, object]
+
+    def produced(self) -> List[Element]:
+        """The elements the reaction will insert when this match fires."""
+        return self.reaction.apply(dict(self.binding))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Match({self.reaction.name}, consumed={list(self.consumed)!r})"
+
+
+class Matcher:
+    """Backtracking matcher bound to one multiset snapshot.
+
+    The matcher builds a :class:`LabelTagIndex` lazily; callers that already
+    maintain an index (the parallel scheduler) can pass it in to avoid the
+    rebuild cost.
+    """
+
+    def __init__(
+        self,
+        multiset: Multiset,
+        index: Optional[LabelTagIndex] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.multiset = multiset
+        self.index = index if index is not None else LabelTagIndex(multiset)
+        self.rng = rng
+
+    # -- public API ------------------------------------------------------------
+    def find(self, reaction: Reaction) -> Optional[Match]:
+        """Return one enabled match for ``reaction`` or ``None``."""
+        for match in self.iter_matches(reaction):
+            return match
+        return None
+
+    def iter_matches(self, reaction: Reaction, limit: Optional[int] = None) -> Iterator[Match]:
+        """Yield enabled matches for ``reaction`` (up to ``limit`` when given).
+
+        Matches that bind the same multiset of consumed elements through a
+        different pattern ordering are all yielded; deduplication, when
+        needed, is the caller's concern (the chaotic scheduler only takes the
+        first match, the parallel scheduler deduplicates by consumed
+        elements).
+        """
+        produced = 0
+        for consumed, binding in self._search(reaction.replace, {}, []):
+            if not reaction.is_enabled(binding):
+                continue
+            yield Match(reaction=reaction, consumed=tuple(consumed), binding=dict(binding))
+            produced += 1
+            if limit is not None and produced >= limit:
+                return
+
+    def is_enabled(self, reaction: Reaction) -> bool:
+        """True when ``reaction`` has at least one enabled match."""
+        return self.find(reaction) is not None
+
+    # -- search -----------------------------------------------------------------
+    def _candidates(self, pat: ElementPattern, binding: Binding) -> List[Element]:
+        """Candidate elements for ``pat`` given the variables bound so far."""
+        fixed_label = pat.fixed_label()
+        # When the label is a bound variable we can still use the index.
+        if fixed_label is None:
+            from .expr import Var
+
+            if isinstance(pat.label, Var) and pat.label.name in binding:
+                fixed_label = binding[pat.label.name]
+
+        tag_value: Optional[int] = None
+        tag_var = pat.tag_variable()
+        if tag_var is not None and tag_var in binding:
+            tag_value = binding[tag_var]
+        else:
+            from .expr import Const
+
+            if isinstance(pat.tag, Const):
+                tag_value = pat.tag.value
+
+        if fixed_label is not None:
+            candidates = self.index.candidates(fixed_label, tag_value)
+        else:
+            # Variable label not yet bound: consider every distinct element,
+            # restricted by tag when it is known.
+            candidates = []
+            for label in self.index.labels():
+                candidates.extend(self.index.candidates(label, tag_value))
+
+        if self.rng is not None:
+            candidates = list(candidates)
+            self.rng.shuffle(candidates)
+        return candidates
+
+    def _search(
+        self,
+        patterns: Sequence[ElementPattern],
+        binding: Binding,
+        consumed: List[Element],
+    ) -> Iterator[Tuple[List[Element], Binding]]:
+        """Backtracking search assigning elements to patterns in order."""
+        if not patterns:
+            yield list(consumed), dict(binding)
+            return
+        pat, rest = patterns[0], patterns[1:]
+        for element in self._candidates(pat, binding):
+            # Respect multiplicities: the same element value can only be
+            # consumed as many times as it occurs in the multiset.
+            already = sum(1 for e in consumed if e == element)
+            if self.multiset.count(element) <= already:
+                continue
+            new_binding = pat.match(element, binding)
+            if new_binding is None:
+                continue
+            consumed.append(element)
+            yield from self._search(rest, new_binding, consumed)
+            consumed.pop()
+
+
+def find_match(
+    reaction: Reaction,
+    multiset: Multiset,
+    rng: Optional[random.Random] = None,
+) -> Optional[Match]:
+    """Convenience wrapper: one enabled match of ``reaction`` in ``multiset``."""
+    return Matcher(multiset, rng=rng).find(reaction)
+
+
+def iter_matches(
+    reaction: Reaction,
+    multiset: Multiset,
+    limit: Optional[int] = None,
+) -> Iterator[Match]:
+    """Convenience wrapper: iterate enabled matches of ``reaction`` in ``multiset``."""
+    return Matcher(multiset).iter_matches(reaction, limit=limit)

@@ -1,0 +1,179 @@
+"""Patterns and templates for reaction replace/by lists.
+
+A reaction's ``replace`` list is a sequence of :class:`ElementPattern` values,
+one per element the reaction consumes.  Each pattern constrains (or binds) the
+three fields of a multiset element:
+
+* ``[id1, 'A1']``      -> value bound to variable ``id1``, label must equal ``'A1'``,
+  tag bound to the shared implicit variable ``v`` (tag 0 if the pair form is used);
+* ``[id1, x, v]``      -> value bound to ``id1``, label bound to variable ``x``
+  (later constrained by the reaction condition), tag bound to ``v``;
+* ``[id2, 'B15', v]``  -> value bound to ``id2``, label fixed, tag bound to ``v``.
+
+The ``by`` list is a sequence of :class:`ElementTemplate` values, each holding
+three expressions evaluated under the binding produced by matching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Optional, Union
+
+from ..multiset.element import Element
+from .expr import Const, Expr, Var
+
+__all__ = ["ElementPattern", "ElementTemplate", "Binding", "pattern", "template"]
+
+#: A variable binding produced by matching a reaction's replace list.
+Binding = Dict[str, Any]
+
+FieldSpec = Union[str, int, float, bool, None, Expr]
+
+
+def _as_field(spec: FieldSpec, *, variable_hint: bool = False) -> Expr:
+    """Normalize a user-facing field spec into an :class:`Expr`.
+
+    Strings are ambiguous: ``'A1'`` in the paper's listings is a quoted label
+    literal while ``x`` is a variable.  The programmatic API resolves the
+    ambiguity with ``variable_hint``; the DSL parser resolves it from the
+    quoting in the source text and always passes :class:`Expr` nodes.
+    """
+    if isinstance(spec, Expr):
+        return spec
+    if isinstance(spec, str) and variable_hint:
+        return Var(spec)
+    return Const(spec)
+
+
+@dataclass(frozen=True, slots=True)
+class ElementPattern:
+    """A pattern matching one consumed multiset element.
+
+    Each field is either a :class:`~repro.gamma.expr.Var` (binds the field) or
+    a :class:`~repro.gamma.expr.Const` (requires equality).  More complex
+    expressions are rejected: per the grammar of Fig. 3 the replace list only
+    contains identifiers and literals, with all computation living in the
+    conditions and productions.
+    """
+
+    value: Expr
+    label: Expr
+    tag: Expr
+
+    def __post_init__(self) -> None:
+        for name, field in (("value", self.value), ("label", self.label), ("tag", self.tag)):
+            if not isinstance(field, (Var, Const)):
+                raise TypeError(
+                    f"pattern {name} field must be a Var or Const, got {type(field).__name__}"
+                )
+
+    # -- matching -----------------------------------------------------------------
+    def match(self, element: Element, binding: Binding) -> Optional[Binding]:
+        """Try to match ``element`` under (and extending) ``binding``.
+
+        Returns the extended binding on success and ``None`` on failure.  The
+        input binding is never mutated.
+        """
+        new_binding = dict(binding)
+        for field_expr, actual in (
+            (self.value, element.value),
+            (self.label, element.label),
+            (self.tag, element.tag),
+        ):
+            if isinstance(field_expr, Const):
+                if field_expr.value != actual:
+                    return None
+            else:  # Var
+                name = field_expr.name
+                if name in new_binding:
+                    if new_binding[name] != actual:
+                        return None
+                else:
+                    new_binding[name] = actual
+        return new_binding
+
+    # -- introspection -------------------------------------------------------------
+    def fixed_label(self) -> Optional[str]:
+        """The literal label this pattern requires, or ``None`` if the label is a variable."""
+        if isinstance(self.label, Const):
+            return self.label.value
+        return None
+
+    def tag_variable(self) -> Optional[str]:
+        """The name of the tag variable, or ``None`` if the tag is fixed."""
+        if isinstance(self.tag, Var):
+            return self.tag.name
+        return None
+
+    def variables(self) -> FrozenSet[str]:
+        """All variables bound by this pattern."""
+        names = set()
+        for field in (self.value, self.label, self.tag):
+            if isinstance(field, Var):
+                names.add(field.name)
+        return frozenset(names)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.value!r}, {self.label!r}, {self.tag!r}]"
+
+
+@dataclass(frozen=True, slots=True)
+class ElementTemplate:
+    """A template producing one multiset element when a reaction fires."""
+
+    value: Expr
+    label: Expr
+    tag: Expr
+
+    def instantiate(self, binding: Binding) -> Element:
+        """Evaluate the three field expressions under ``binding``."""
+        label = self.label.evaluate(binding)
+        if not isinstance(label, str):
+            raise TypeError(f"produced label must be a string, got {label!r}")
+        tag = self.tag.evaluate(binding)
+        if isinstance(tag, bool) or not isinstance(tag, int):
+            raise TypeError(f"produced tag must be an int, got {tag!r}")
+        return Element(value=self.value.evaluate(binding), label=label, tag=tag)
+
+    def variables(self) -> FrozenSet[str]:
+        """Free variables referenced by the template."""
+        return self.value.variables() | self.label.variables() | self.tag.variables()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.value!r}, {self.label!r}, {self.tag!r}]"
+
+
+def pattern(
+    value: FieldSpec,
+    label: FieldSpec = None,
+    tag: FieldSpec = "v",
+    *,
+    label_is_variable: bool = False,
+) -> ElementPattern:
+    """Convenience constructor mirroring the paper's ``[value, label, tag]`` notation.
+
+    ``value`` and ``tag`` given as strings are treated as variable names (the
+    overwhelmingly common case: ``id1``, ``v``); ``label`` given as a string is
+    treated as a literal label unless ``label_is_variable`` is set, matching
+    how the listings quote labels but not variables.
+    """
+    value_expr = _as_field(value, variable_hint=isinstance(value, str))
+    if label is None:
+        label_expr: Expr = Var("_label")
+    else:
+        label_expr = _as_field(label, variable_hint=label_is_variable)
+    tag_expr = _as_field(tag, variable_hint=isinstance(tag, str))
+    return ElementPattern(value=value_expr, label=label_expr, tag=tag_expr)
+
+
+def template(value: FieldSpec, label: FieldSpec, tag: FieldSpec = "v") -> ElementTemplate:
+    """Convenience constructor for productions.
+
+    ``value`` and ``tag`` strings are variable references, ``label`` strings
+    are literals (matching the paper's quoting convention); pass explicit
+    :class:`Expr` nodes for anything more elaborate (``var('v') + 1`` etc.).
+    """
+    value_expr = _as_field(value, variable_hint=isinstance(value, str))
+    label_expr = _as_field(label, variable_hint=False)
+    tag_expr = _as_field(tag, variable_hint=isinstance(tag, str))
+    return ElementTemplate(value=value_expr, label=label_expr, tag=tag_expr)

@@ -1,0 +1,191 @@
+"""Gamma programs and composition operators.
+
+The paper (following Muylaert's implementation [13] and the Gamma calculus
+literature [15]–[17]) composes reactions with two operators:
+
+* ``|`` — *parallel* composition: all reactions observe the same multiset and
+  may fire in any interleaving; this is the composition the paper uses for the
+  converted dataflow programs (``R1 | R2 | ... | Rn``).
+* ``;`` — *sequential* composition: the left program runs to its stable state
+  (no condition satisfiable), then the right program runs on the result.
+
+:class:`GammaProgram` is a parallel block of reactions plus an optional
+initial multiset.  :class:`SequentialProgram` chains programs with ``;``.
+Both share the :class:`ProgramLike` protocol used by the execution engines.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..multiset.multiset import Multiset
+from .reaction import Reaction
+
+__all__ = ["GammaProgram", "SequentialProgram", "ProgramLike", "parallel", "sequential"]
+
+
+class GammaProgram:
+    """A parallel block of reactions (``R1 | R2 | ... | Rn``).
+
+    Parameters
+    ----------
+    reactions:
+        The reactions of the block.  Names must be unique — traces, the DSL
+        printer and the conversion algorithms all key on them.
+    initial:
+        Optional initial multiset bundled with the program (Algorithm 1
+        produces both together).  Engines accept an explicit multiset too.
+    name:
+        Optional program name used by the DSL printer and reports.
+    """
+
+    def __init__(
+        self,
+        reactions: Sequence[Reaction],
+        initial: Optional[Multiset] = None,
+        name: str = "gamma",
+    ) -> None:
+        reactions = list(reactions)
+        if not reactions:
+            raise ValueError("a Gamma program needs at least one reaction")
+        seen = set()
+        for reaction in reactions:
+            if reaction.name in seen:
+                raise ValueError(f"duplicate reaction name {reaction.name!r}")
+            seen.add(reaction.name)
+        self._reactions: Tuple[Reaction, ...] = tuple(reactions)
+        self.initial = initial.copy() if initial is not None else None
+        self.name = name
+
+    # -- container protocol -------------------------------------------------------
+    @property
+    def reactions(self) -> Tuple[Reaction, ...]:
+        return self._reactions
+
+    def __len__(self) -> int:
+        return len(self._reactions)
+
+    def __iter__(self):
+        return iter(self._reactions)
+
+    def __getitem__(self, key: Union[int, str]) -> Reaction:
+        if isinstance(key, int):
+            return self._reactions[key]
+        for reaction in self._reactions:
+            if reaction.name == key:
+                return reaction
+        raise KeyError(f"no reaction named {key!r}")
+
+    def __contains__(self, name: str) -> bool:
+        return any(r.name == name for r in self._reactions)
+
+    def reaction_names(self) -> List[str]:
+        return [r.name for r in self._reactions]
+
+    # -- composition -----------------------------------------------------------
+    def __or__(self, other: Union["GammaProgram", Reaction]) -> "GammaProgram":
+        """Parallel composition: merge the reaction blocks."""
+        if isinstance(other, Reaction):
+            other = GammaProgram([other])
+        if not isinstance(other, GammaProgram):
+            return NotImplemented
+        initial = None
+        if self.initial is not None or other.initial is not None:
+            initial = (self.initial or Multiset()) + (other.initial or Multiset())
+        return GammaProgram(
+            list(self._reactions) + list(other._reactions),
+            initial=initial,
+            name=f"({self.name} | {other.name})",
+        )
+
+    def then(self, other: "ProgramLike") -> "SequentialProgram":
+        """Sequential composition ``self ; other``."""
+        return SequentialProgram([self, other])
+
+    # -- analysis helpers ----------------------------------------------------------
+    def consumed_labels(self) -> set:
+        labels: set = set()
+        for reaction in self._reactions:
+            labels |= reaction.consumed_labels()
+        return labels
+
+    def produced_labels(self) -> set:
+        labels: set = set()
+        for reaction in self._reactions:
+            labels |= reaction.produced_labels()
+        return labels
+
+    def output_labels(self) -> set:
+        """Labels that are produced but never consumed (the program's results)."""
+        return self.produced_labels() - self.consumed_labels()
+
+    def with_initial(self, initial: Multiset) -> "GammaProgram":
+        """Copy of the program with a different initial multiset."""
+        return GammaProgram(self._reactions, initial=initial, name=self.name)
+
+    def renamed(self, name: str) -> "GammaProgram":
+        return GammaProgram(self._reactions, initial=self.initial, name=name)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GammaProgram({self.name!r}, reactions={self.reaction_names()})"
+
+
+class SequentialProgram:
+    """Sequential composition ``P1 ; P2 ; ... ; Pk``.
+
+    Each stage runs to its stable state before the next starts; the stable
+    multiset of one stage is the initial multiset of the next.
+    """
+
+    def __init__(self, stages: Sequence["ProgramLike"], name: str = "seq") -> None:
+        flat: List[ProgramLike] = []
+        for stage in stages:
+            if isinstance(stage, SequentialProgram):
+                flat.extend(stage.stages)
+            else:
+                flat.append(stage)
+        if not flat:
+            raise ValueError("a sequential program needs at least one stage")
+        self.stages: Tuple[ProgramLike, ...] = tuple(flat)
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self.stages)
+
+    def __iter__(self):
+        return iter(self.stages)
+
+    def then(self, other: "ProgramLike") -> "SequentialProgram":
+        return SequentialProgram(list(self.stages) + [other], name=self.name)
+
+    @property
+    def initial(self) -> Optional[Multiset]:
+        """The first stage's bundled initial multiset, if any."""
+        return self.stages[0].initial
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SequentialProgram({[getattr(s, 'name', '?') for s in self.stages]})"
+
+
+ProgramLike = Union[GammaProgram, SequentialProgram]
+
+
+def parallel(*parts: Union[Reaction, GammaProgram], name: str = "gamma") -> GammaProgram:
+    """Build a parallel block from reactions and/or programs."""
+    reactions: List[Reaction] = []
+    initial: Optional[Multiset] = None
+    for part in parts:
+        if isinstance(part, Reaction):
+            reactions.append(part)
+        elif isinstance(part, GammaProgram):
+            reactions.extend(part.reactions)
+            if part.initial is not None:
+                initial = (initial or Multiset()) + part.initial
+        else:
+            raise TypeError(f"cannot compose {type(part).__name__} in a parallel block")
+    return GammaProgram(reactions, initial=initial, name=name)
+
+
+def sequential(*stages: ProgramLike, name: str = "seq") -> SequentialProgram:
+    """Build a sequential composition of programs."""
+    return SequentialProgram(list(stages), name=name)

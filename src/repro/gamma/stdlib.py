@@ -1,0 +1,235 @@
+"""Classic Gamma programs.
+
+These are the canonical examples from the Gamma literature (Banâtre & Le
+Métayer, and the implementations the paper cites).  They serve three roles in
+the reproduction:
+
+* executable documentation of the model (``examples/chemical_programs.py``);
+* workloads for the scheduler and scaling benchmarks (experiments E6, E9);
+* targets for the Gamma-to-dataflow conversion tests beyond the paper's own
+  listings.
+
+Each builder returns a :class:`~repro.gamma.program.GammaProgram`; companion
+``*_multiset`` helpers build initial multisets of configurable size.  The
+minimum-element program is Eq. 2 of the paper verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from ..multiset.element import Element
+from ..multiset.multiset import Multiset
+from .expr import BinOp, Compare, Const, Var, var
+from .pattern import ElementPattern, ElementTemplate, pattern, template
+from .program import GammaProgram
+from .reaction import Branch, Reaction
+
+__all__ = [
+    "DATA_LABEL",
+    "values_multiset",
+    "indexed_multiset",
+    "min_element",
+    "max_element",
+    "sum_reduction",
+    "product_reduction",
+    "gcd_program",
+    "prime_sieve",
+    "exchange_sort",
+    "remove_duplicates",
+    "count_threshold",
+    "CLASSIC_PROGRAMS",
+]
+
+#: Label carried by the data elements of the classic programs.
+DATA_LABEL = "x"
+
+
+def values_multiset(values: Iterable, label: str = DATA_LABEL) -> Multiset:
+    """Multiset of plain values, all carrying ``label`` and tag 0."""
+    return Multiset([Element(value=v, label=label, tag=0) for v in values])
+
+
+def indexed_multiset(values: Sequence, label: str = DATA_LABEL) -> Multiset:
+    """Multiset of values whose position is recorded in the element *tag*.
+
+    Used by the exchange-sort program: the tag plays the role of the array
+    index, exactly like the iteration tag plays the role of the loop instance
+    in the paper's loop translation.
+    """
+    return Multiset([Element(value=v, label=label, tag=i) for i, v in enumerate(values)])
+
+
+def _binary_fold(name: str, op: str, label: str = DATA_LABEL, guard=None) -> Reaction:
+    """``replace x, y by x <op> y [where guard]`` over elements labelled ``label``."""
+    return Reaction(
+        name=name,
+        replace=[pattern("a", label, "t1"), pattern("b", label, "t2")],
+        branches=[
+            Branch(
+                productions=[
+                    ElementTemplate(
+                        value=BinOp(op, var("a"), var("b")),
+                        label=Const(label),
+                        tag=Const(0),
+                    )
+                ]
+            )
+        ],
+        guard=guard,
+    )
+
+
+def min_element(label: str = DATA_LABEL) -> GammaProgram:
+    """Equation 2 of the paper: ``replace x, y by x where x < y``.
+
+    The stable multiset contains a single element: the minimum.
+    """
+    reaction = Reaction(
+        name="Rmin",
+        replace=[pattern("a", label, "t1"), pattern("b", label, "t2")],
+        branches=[Branch(productions=[template("a", label, Const(0))])],
+        guard=Compare("<", var("a"), var("b")),
+    )
+    return GammaProgram([reaction], name="min_element")
+
+
+def max_element(label: str = DATA_LABEL) -> GammaProgram:
+    """``replace x, y by x where x >= y`` — stable state holds the maximum."""
+    reaction = Reaction(
+        name="Rmax",
+        replace=[pattern("a", label, "t1"), pattern("b", label, "t2")],
+        branches=[Branch(productions=[template("a", label, Const(0))])],
+        guard=Compare(">=", var("a"), var("b")),
+    )
+    return GammaProgram([reaction], name="max_element")
+
+
+def sum_reduction(label: str = DATA_LABEL) -> GammaProgram:
+    """``replace x, y by x + y`` — stable state holds the sum of the multiset."""
+    return GammaProgram([_binary_fold("Rsum", "+", label)], name="sum_reduction")
+
+
+def product_reduction(label: str = DATA_LABEL) -> GammaProgram:
+    """``replace x, y by x * y`` — stable state holds the product."""
+    return GammaProgram([_binary_fold("Rprod", "*", label)], name="product_reduction")
+
+
+def gcd_program(label: str = DATA_LABEL) -> GammaProgram:
+    """Greatest common divisor of a multiset of positive integers.
+
+    Two reactions: subtract the smaller from the larger (Euclid by repeated
+    subtraction) and merge equal elements.  The stable multiset contains the
+    single element gcd(values).
+    """
+    subtract = Reaction(
+        name="Rsub",
+        replace=[pattern("a", label, "t1"), pattern("b", label, "t2")],
+        branches=[
+            Branch(
+                productions=[
+                    ElementTemplate(
+                        value=BinOp("-", var("a"), var("b")),
+                        label=Const(label),
+                        tag=Const(0),
+                    ),
+                    template("b", label, Const(0)),
+                ]
+            )
+        ],
+        guard=Compare(">", var("a"), var("b")),
+    )
+    merge = Reaction(
+        name="Rmerge",
+        replace=[pattern("a", label, "t1"), pattern("b", label, "t2")],
+        branches=[Branch(productions=[template("a", label, Const(0))])],
+        guard=Compare("==", var("a"), var("b")),
+    )
+    return GammaProgram([subtract, merge], name="gcd")
+
+
+def prime_sieve(label: str = DATA_LABEL) -> GammaProgram:
+    """Prime sieve: ``replace x, y by y where x % y == 0 and x != y``.
+
+    Starting from the multiset {2..N}, the stable multiset contains exactly
+    the primes up to N (every composite is eventually erased by one of its
+    divisors).
+    """
+    reaction = Reaction(
+        name="Rsieve",
+        replace=[pattern("a", label, "t1"), pattern("b", label, "t2")],
+        branches=[Branch(productions=[template("b", label, Const(0))])],
+        guard=Compare("==", BinOp("%", var("a"), var("b")), Const(0)).and_(
+            Compare("!=", var("a"), var("b"))
+        ),
+    )
+    return GammaProgram([reaction], name="prime_sieve")
+
+
+def exchange_sort(label: str = DATA_LABEL) -> GammaProgram:
+    """Exchange sort over an indexed multiset (index stored in the element tag).
+
+    ``replace [x, label, i], [y, label, j] by [y, label, i], [x, label, j]
+    where i < j and x > y`` — at the stable state the values read in tag order
+    are sorted ascending.
+    """
+    reaction = Reaction(
+        name="Rsort",
+        replace=[pattern("a", label, "i"), pattern("b", label, "j")],
+        branches=[
+            Branch(productions=[template("b", label, "i"), template("a", label, "j")])
+        ],
+        guard=Compare("<", var("i"), var("j")).and_(Compare(">", var("a"), var("b"))),
+    )
+    return GammaProgram([reaction], name="exchange_sort")
+
+
+def remove_duplicates(label: str = DATA_LABEL) -> GammaProgram:
+    """``replace x, y by x where x == y`` — stable state is the support set."""
+    reaction = Reaction(
+        name="Rdedup",
+        replace=[pattern("a", label, "t1"), pattern("b", label, "t2")],
+        branches=[Branch(productions=[template("a", label, Const(0))])],
+        guard=Compare("==", var("a"), var("b")),
+    )
+    return GammaProgram([reaction], name="remove_duplicates")
+
+
+def count_threshold(threshold, label: str = DATA_LABEL, out_label: str = "count") -> GammaProgram:
+    """Count elements >= ``threshold``: map each to 1/0 then sum.
+
+    Demonstrates sequential composition (`;`): a mapping block followed by a
+    reduction block.  Returns a :class:`GammaProgram`-compatible sequential
+    program.
+    """
+    from .program import SequentialProgram
+
+    mapper = Reaction(
+        name="Rmap",
+        replace=[pattern("a", label, "t")],
+        branches=[
+            Branch(
+                productions=[template(Const(1), out_label, Const(0))],
+                condition=Compare(">=", var("a"), Const(threshold)),
+            ),
+            Branch(productions=[template(Const(0), out_label, Const(0))], condition=None),
+        ],
+    )
+    reducer = _binary_fold("Rcount", "+", out_label)
+    return SequentialProgram(
+        [GammaProgram([mapper], name="map_threshold"), GammaProgram([reducer], name="count_sum")],
+        name="count_threshold",
+    )
+
+
+#: Registry used by benchmarks and the workload generators.
+CLASSIC_PROGRAMS = {
+    "min_element": min_element,
+    "max_element": max_element,
+    "sum_reduction": sum_reduction,
+    "product_reduction": product_reduction,
+    "gcd": gcd_program,
+    "prime_sieve": prime_sieve,
+    "exchange_sort": exchange_sort,
+    "remove_duplicates": remove_duplicates,
+}

@@ -1,0 +1,141 @@
+"""Execution traces for Gamma runs.
+
+A trace records, step by step, which reaction fired on which elements and what
+it produced.  Traces serve three purposes in the reproduction:
+
+* the equivalence checker cross-references Gamma traces with dataflow firing
+  logs (each converted reaction firing corresponds to one node firing);
+* the parallelism analysis (experiment E9) reads the per-step firing counts
+  of the simulated-parallel scheduler to build parallelism profiles;
+* the memoization analysis (DF-DTM-style trace reuse, one of the benefits the
+  paper cites) detects repeated (reaction, consumed-values) pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..multiset.element import Element
+
+__all__ = ["FiringRecord", "StepRecord", "Trace"]
+
+
+@dataclass(frozen=True)
+class FiringRecord:
+    """One reaction firing: consumed elements, produced elements, binding."""
+
+    step: int
+    reaction: str
+    consumed: Tuple[Element, ...]
+    produced: Tuple[Element, ...]
+    binding: Dict[str, Any] = field(default_factory=dict)
+
+    def signature(self) -> Tuple[str, Tuple[Tuple[Any, str], ...]]:
+        """A reuse signature: reaction name plus the (value, label) pairs consumed.
+
+        Tags are deliberately excluded — trace reuse is precisely the
+        observation that the same operation over the same values recurs across
+        iterations (different tags).
+        """
+        return (self.reaction, tuple((e.value, e.label) for e in self.consumed))
+
+
+@dataclass
+class StepRecord:
+    """All firings applied in one scheduler step (1 for sequential schedulers)."""
+
+    step: int
+    firings: List[FiringRecord] = field(default_factory=list)
+
+    @property
+    def width(self) -> int:
+        """Number of reactions fired simultaneously in this step."""
+        return len(self.firings)
+
+
+class Trace:
+    """A whole-run trace."""
+
+    def __init__(self) -> None:
+        self.steps: List[StepRecord] = []
+
+    # -- recording ------------------------------------------------------------
+    def begin_step(self) -> StepRecord:
+        record = StepRecord(step=len(self.steps))
+        self.steps.append(record)
+        return record
+
+    def record(
+        self,
+        step: StepRecord,
+        reaction: str,
+        consumed: Sequence[Element],
+        produced: Sequence[Element],
+        binding: Optional[Dict[str, Any]] = None,
+    ) -> FiringRecord:
+        firing = FiringRecord(
+            step=step.step,
+            reaction=reaction,
+            consumed=tuple(consumed),
+            produced=tuple(produced),
+            binding=dict(binding or {}),
+        )
+        step.firings.append(firing)
+        return firing
+
+    # -- queries ------------------------------------------------------------------
+    @property
+    def num_steps(self) -> int:
+        return len(self.steps)
+
+    @property
+    def num_firings(self) -> int:
+        return sum(len(s.firings) for s in self.steps)
+
+    def firings(self) -> List[FiringRecord]:
+        """All firings in order."""
+        out: List[FiringRecord] = []
+        for step in self.steps:
+            out.extend(step.firings)
+        return out
+
+    def firings_of(self, reaction: str) -> List[FiringRecord]:
+        """All firings of a particular reaction."""
+        return [f for f in self.firings() if f.reaction == reaction]
+
+    def parallelism_profile(self) -> List[int]:
+        """Reactions fired per step (the Gamma-side parallelism profile)."""
+        return [s.width for s in self.steps if s.width > 0]
+
+    def max_parallelism(self) -> int:
+        profile = self.parallelism_profile()
+        return max(profile) if profile else 0
+
+    def average_parallelism(self) -> float:
+        profile = self.parallelism_profile()
+        if not profile:
+            return 0.0
+        return sum(profile) / len(profile)
+
+    def firing_counts(self) -> Dict[str, int]:
+        """Reaction name -> number of firings."""
+        counts: Dict[str, int] = {}
+        for firing in self.firings():
+            counts[firing.reaction] = counts.get(firing.reaction, 0) + 1
+        return counts
+
+    def reuse_statistics(self) -> Dict[str, int]:
+        """Counts for the trace-reuse analysis.
+
+        Returns a dict with ``total`` firings, ``unique`` signatures and
+        ``reusable`` (= total - unique) firings that a DF-DTM-style
+        memoization cache would have skipped.
+        """
+        signatures = [f.signature() for f in self.firings()]
+        unique = len(set(signatures))
+        total = len(signatures)
+        return {"total": total, "unique": unique, "reusable": total - unique}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Trace(steps={self.num_steps}, firings={self.num_firings})"

@@ -1,0 +1,14 @@
+"""Multiset substrate: tagged elements, counted multiset and matching indexes.
+
+This subpackage is the data layer shared by both computational models:
+
+* the Gamma engine rewrites a :class:`Multiset` of :class:`Element` triples;
+* the dataflow-to-Gamma conversion (Algorithm 1 of the paper) maps dataflow
+  edge values to exactly these elements.
+"""
+
+from .element import Element, make_elements
+from .index import LabelTagIndex
+from .multiset import Multiset
+
+__all__ = ["Element", "make_elements", "Multiset", "LabelTagIndex"]

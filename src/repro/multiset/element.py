@@ -1,0 +1,123 @@
+"""Tagged multiset elements.
+
+The Gamma translation of a dynamic dataflow graph represents every operand
+(edge value) as a multiset element carrying three pieces of information:
+
+* ``value`` -- the data itself (any hashable/comparable Python value; the
+  paper's examples use integers and booleans encoded as 0/1),
+* ``label`` -- the edge label of the dataflow graph the element came from
+  (``"A1"``, ``"B2"``, ...),
+* ``tag``   -- the dynamic-dataflow iteration tag.  The paper's first example
+  uses pairs ``[value, label]``; as soon as loops appear the elements become
+  triples ``[value, label, tag]``.  We always store the triple and default the
+  tag to ``0``, which makes the pair form a special case.
+
+Elements are immutable so that they can live in dictionaries, sets and counted
+multisets without surprises, and so that the matching engine can hand them to
+reaction actions without defensive copies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Tuple
+
+__all__ = ["Element", "make_elements"]
+
+
+@dataclass(frozen=True, slots=True)
+class Element:
+    """A single multiset element ``[value, label, tag]``.
+
+    Parameters
+    ----------
+    value:
+        The payload.  Usually an ``int`` / ``float`` / ``bool``; any hashable
+        value is accepted (unhashable values are rejected eagerly so that
+        failures do not surface later inside the multiset internals).
+    label:
+        The edge label this element corresponds to in the dataflow view.
+        Labels are plain strings.  Elements that do not originate from a
+        dataflow conversion may use any descriptive string (e.g. ``"x"``).
+    tag:
+        Dynamic dataflow iteration tag.  Non-negative integer.
+    """
+
+    value: Any
+    label: str = ""
+    tag: int = 0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.label, str):
+            raise TypeError(f"label must be a string, got {type(self.label).__name__}")
+        if not isinstance(self.tag, int) or isinstance(self.tag, bool):
+            raise TypeError(f"tag must be an int, got {type(self.tag).__name__}")
+        if self.tag < 0:
+            raise ValueError(f"tag must be non-negative, got {self.tag}")
+        try:
+            hash(self.value)
+        except TypeError as exc:  # pragma: no cover - defensive
+            raise TypeError(f"element value must be hashable, got {self.value!r}") from exc
+
+    # -- convenience constructors -------------------------------------------------
+    @classmethod
+    def pair(cls, value: Any, label: str) -> "Element":
+        """Build a pair-form element ``[value, label]`` (tag defaults to 0)."""
+        return cls(value=value, label=label, tag=0)
+
+    @classmethod
+    def from_tuple(cls, data: Tuple) -> "Element":
+        """Build an element from a 1-, 2- or 3-tuple ``(value[, label[, tag]])``."""
+        if not isinstance(data, tuple):
+            raise TypeError(f"expected a tuple, got {type(data).__name__}")
+        if len(data) == 1:
+            return cls(value=data[0])
+        if len(data) == 2:
+            return cls(value=data[0], label=data[1])
+        if len(data) == 3:
+            return cls(value=data[0], label=data[1], tag=data[2])
+        raise ValueError(f"expected a tuple of length 1-3, got length {len(data)}")
+
+    # -- projections ---------------------------------------------------------------
+    def as_tuple(self) -> Tuple[Any, str, int]:
+        """Return the canonical ``(value, label, tag)`` triple."""
+        return (self.value, self.label, self.tag)
+
+    def with_value(self, value: Any) -> "Element":
+        """Copy of this element with a different value."""
+        return Element(value=value, label=self.label, tag=self.tag)
+
+    def with_label(self, label: str) -> "Element":
+        """Copy of this element with a different label."""
+        return Element(value=self.value, label=label, tag=self.tag)
+
+    def with_tag(self, tag: int) -> "Element":
+        """Copy of this element with a different tag."""
+        return Element(value=self.value, label=self.label, tag=tag)
+
+    def inc_tag(self, delta: int = 1) -> "Element":
+        """Copy of this element with the tag incremented by ``delta``."""
+        return Element(value=self.value, label=self.label, tag=self.tag + delta)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.value!r}, {self.label!r}, {self.tag}]"
+
+
+def make_elements(items: Iterable) -> list:
+    """Normalize an iterable of tuples/Elements into a list of :class:`Element`.
+
+    Accepts a mix of :class:`Element` instances and plain tuples in any of the
+    forms accepted by :meth:`Element.from_tuple`.  This is the convenience
+    entry point used by examples and tests to write initial multisets tersely::
+
+        make_elements([(1, "A1"), (5, "B1"), (3, "C1"), (2, "D1")])
+    """
+    out = []
+    for item in items:
+        if isinstance(item, Element):
+            out.append(item)
+        elif isinstance(item, tuple):
+            out.append(Element.from_tuple(item))
+        else:
+            out.append(Element(value=item))
+    return out

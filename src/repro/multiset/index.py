@@ -1,0 +1,121 @@
+"""Label/tag indexes used by the reaction-matching engine.
+
+Reactions produced by Algorithm 1 always constrain the *label* of every
+element they consume (and, when loops are present, require all consumed
+elements to carry the same *tag*).  Scanning the whole multiset for every
+candidate combination is quadratic and dominates execution time for converted
+loop programs, so the matching engine works off the :class:`LabelTagIndex`
+below: a two-level dictionary ``label -> tag -> [elements]`` maintained
+incrementally alongside the multiset.
+
+The index is deliberately decoupled from :class:`~repro.multiset.multiset.Multiset`
+(which only indexes by label) so the sequential engine can stay lightweight
+while the parallel scheduler builds the heavier index once per step.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Set
+
+from .element import Element
+from .multiset import Multiset
+
+__all__ = ["LabelTagIndex"]
+
+
+class LabelTagIndex:
+    """Incremental index ``label -> tag -> list of (element, multiplicity)``."""
+
+    def __init__(self, multiset: Optional[Multiset] = None) -> None:
+        # label -> tag -> element -> count
+        self._index: Dict[str, Dict[int, Dict[Element, int]]] = defaultdict(
+            lambda: defaultdict(dict)
+        )
+        self._size = 0
+        if multiset is not None:
+            self.rebuild(multiset)
+
+    # -- maintenance ------------------------------------------------------------
+    def rebuild(self, multiset: Multiset) -> None:
+        """Discard the current contents and re-index ``multiset``."""
+        self._index.clear()
+        self._size = 0
+        for element, count in multiset.counts().items():
+            self.add(element, count)
+
+    def add(self, element: Element, count: int = 1) -> None:
+        """Register ``count`` additional copies of ``element``."""
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        bucket = self._index[element.label][element.tag]
+        bucket[element] = bucket.get(element, 0) + count
+        self._size += count
+
+    def remove(self, element: Element, count: int = 1) -> None:
+        """Unregister ``count`` copies of ``element``."""
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        tags = self._index.get(element.label)
+        if not tags or element.tag not in tags or element not in tags[element.tag]:
+            raise KeyError(f"element not indexed: {element!r}")
+        bucket = tags[element.tag]
+        have = bucket[element]
+        if have < count:
+            raise KeyError(f"cannot remove {count} x {element!r}: only {have} indexed")
+        if have == count:
+            del bucket[element]
+            if not bucket:
+                del tags[element.tag]
+                if not tags:
+                    del self._index[element.label]
+        else:
+            bucket[element] = have - count
+        self._size -= count
+
+    # -- queries ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    def labels(self) -> List[str]:
+        """Labels currently present."""
+        return list(self._index.keys())
+
+    def tags_for(self, label: str) -> List[int]:
+        """Tags present among elements carrying ``label``."""
+        return list(self._index.get(label, {}).keys())
+
+    def candidates(self, label: str, tag: Optional[int] = None) -> List[Element]:
+        """Distinct elements with ``label`` (and, when given, ``tag``)."""
+        tags = self._index.get(label)
+        if not tags:
+            return []
+        if tag is None:
+            out: List[Element] = []
+            for bucket in tags.values():
+                out.extend(bucket.keys())
+            return out
+        bucket = tags.get(tag)
+        return list(bucket.keys()) if bucket else []
+
+    def count(self, element: Element) -> int:
+        """Indexed multiplicity of ``element``."""
+        return self._index.get(element.label, {}).get(element.tag, {}).get(element, 0)
+
+    def common_tags(self, labels: Iterable[str]) -> Set[int]:
+        """Tags that have at least one element for *every* label in ``labels``.
+
+        This is the key pruning step for converted loop programs: a reaction
+        consuming labels ``B13`` and ``B15`` can only fire for tags where both
+        labels are populated.
+        """
+        labels = list(labels)
+        if not labels:
+            return set()
+        result: Optional[Set[int]] = None
+        for label in labels:
+            tags = set(self._index.get(label, {}).keys())
+            result = tags if result is None else (result & tags)
+            if not result:
+                return set()
+        return result or set()

@@ -1,0 +1,262 @@
+"""Counted multiset container.
+
+The Gamma model operates on a single shared *multiset* (the "chemical
+solution").  Reactions remove a sub-multiset of elements satisfying their
+condition and insert the elements produced by their action:
+
+    Gamma((R1, A1), ..., (Rm, Am))(M) =
+        if no Ri is satisfiable on M: M
+        else: Gamma(...)((M - {x1..xn}) + Ai(x1..xn))
+
+This module provides the counted container that supports those operations
+efficiently: constant-time membership counting, removal/insertion, snapshots
+used by the simulated-parallel scheduler, and a small algebra (union, sum,
+difference) used by the equivalence checker and tests.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from .element import Element, make_elements
+
+__all__ = ["Multiset"]
+
+
+class Multiset:
+    """A counted multiset of :class:`~repro.multiset.element.Element`.
+
+    The container keeps a ``Counter`` from elements to multiplicities plus an
+    incremental index from labels to elements (see
+    :class:`~repro.multiset.index.LabelIndex` for the standalone variant); the
+    label index is what makes reaction matching tractable for the converted
+    dataflow programs, where conditions always constrain element labels.
+    """
+
+    __slots__ = ("_counts", "_by_label", "_size")
+
+    def __init__(self, elements: Optional[Iterable] = None) -> None:
+        self._counts: Counter = Counter()
+        self._by_label: Dict[str, Counter] = {}
+        self._size = 0
+        if elements is not None:
+            for element in make_elements(elements):
+                self.add(element)
+
+    # -- basic protocol --------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def __iter__(self) -> Iterator[Element]:
+        """Iterate elements with multiplicity (an element of count 3 appears 3 times)."""
+        for element, count in self._counts.items():
+            for _ in range(count):
+                yield element
+
+    def __contains__(self, element: Any) -> bool:
+        element = self._coerce(element)
+        return self._counts.get(element, 0) > 0
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Multiset):
+            return self._counts == other._counts
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._counts.items()))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(repr(e) for e in sorted(self._counts, key=lambda e: (e.label, e.tag, str(e.value))))
+        return f"Multiset({{{inner}}})"
+
+    @staticmethod
+    def _coerce(element: Any) -> Element:
+        if isinstance(element, Element):
+            return element
+        if isinstance(element, tuple):
+            return Element.from_tuple(element)
+        return Element(value=element)
+
+    # -- mutation ---------------------------------------------------------------
+    def add(self, element: Any, count: int = 1) -> None:
+        """Insert ``count`` copies of ``element``."""
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        element = self._coerce(element)
+        self._counts[element] += count
+        self._size += count
+        bucket = self._by_label.setdefault(element.label, Counter())
+        bucket[element] += count
+
+    def add_all(self, elements: Iterable) -> None:
+        """Insert every element of ``elements`` (with multiplicity one each)."""
+        for element in elements:
+            self.add(element)
+
+    def remove(self, element: Any, count: int = 1) -> None:
+        """Remove ``count`` copies of ``element``.
+
+        Raises ``KeyError`` if fewer than ``count`` copies are present; Gamma
+        reactions must never consume elements that are not in the solution, so
+        violations indicate a scheduler bug and are surfaced loudly.
+        """
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        element = self._coerce(element)
+        have = self._counts.get(element, 0)
+        if have < count:
+            raise KeyError(f"cannot remove {count} x {element!r}: only {have} present")
+        if have == count:
+            del self._counts[element]
+        else:
+            self._counts[element] = have - count
+        self._size -= count
+        bucket = self._by_label[element.label]
+        if bucket[element] == count:
+            del bucket[element]
+            if not bucket:
+                del self._by_label[element.label]
+        else:
+            bucket[element] -= count
+
+    def remove_all(self, elements: Iterable) -> None:
+        """Remove every element of ``elements`` (one copy each)."""
+        for element in elements:
+            self.remove(element)
+
+    def replace(self, removed: Iterable, added: Iterable) -> None:
+        """Atomically apply one Gamma rewrite step: ``M := (M - removed) + added``.
+
+        The removal is validated before anything is mutated so a failed
+        replace leaves the multiset untouched.
+        """
+        removed = [self._coerce(e) for e in removed]
+        need = Counter(removed)
+        for element, count in need.items():
+            if self._counts.get(element, 0) < count:
+                raise KeyError(
+                    f"replace would consume {count} x {element!r} "
+                    f"but only {self._counts.get(element, 0)} present"
+                )
+        for element in removed:
+            self.remove(element)
+        for element in added:
+            self.add(element)
+
+    def clear(self) -> None:
+        """Remove every element."""
+        self._counts.clear()
+        self._by_label.clear()
+        self._size = 0
+
+    # -- queries ----------------------------------------------------------------
+    def count(self, element: Any) -> int:
+        """Multiplicity of ``element`` (0 if absent)."""
+        return self._counts.get(self._coerce(element), 0)
+
+    def distinct(self) -> List[Element]:
+        """The distinct elements (each listed once regardless of multiplicity)."""
+        return list(self._counts.keys())
+
+    def counts(self) -> Dict[Element, int]:
+        """A copy of the element -> multiplicity mapping."""
+        return dict(self._counts)
+
+    def labels(self) -> List[str]:
+        """The distinct labels present in the multiset."""
+        return list(self._by_label.keys())
+
+    def with_label(self, label: str) -> List[Element]:
+        """Elements (with multiplicity) whose label equals ``label``."""
+        bucket = self._by_label.get(label)
+        if not bucket:
+            return []
+        out: List[Element] = []
+        for element, count in bucket.items():
+            out.extend([element] * count)
+        return out
+
+    def distinct_with_label(self, label: str) -> List[Element]:
+        """Distinct elements whose label equals ``label``."""
+        bucket = self._by_label.get(label)
+        return list(bucket.keys()) if bucket else []
+
+    def with_labels(self, labels: Iterable[str]) -> List[Element]:
+        """Elements (with multiplicity) whose label is in ``labels``."""
+        out: List[Element] = []
+        for label in labels:
+            out.extend(self.with_label(label))
+        return out
+
+    def values_with_label(self, label: str) -> List[Any]:
+        """Values of the elements carrying ``label`` (with multiplicity)."""
+        return [e.value for e in self.with_label(label)]
+
+    def select(self, predicate) -> List[Element]:
+        """Elements (with multiplicity) satisfying ``predicate(element)``."""
+        out: List[Element] = []
+        for element, count in self._counts.items():
+            if predicate(element):
+                out.extend([element] * count)
+        return out
+
+    def restrict_labels(self, labels: Iterable[str]) -> "Multiset":
+        """New multiset containing only elements whose label is in ``labels``."""
+        wanted = set(labels)
+        result = Multiset()
+        for element, count in self._counts.items():
+            if element.label in wanted:
+                result.add(element, count)
+        return result
+
+    # -- algebra ------------------------------------------------------------------
+    def copy(self) -> "Multiset":
+        """Deep-enough copy (elements are immutable, so counts are copied)."""
+        clone = Multiset()
+        for element, count in self._counts.items():
+            clone.add(element, count)
+        return clone
+
+    def __add__(self, other: "Multiset") -> "Multiset":
+        """Multiset sum (multiplicities add)."""
+        if not isinstance(other, Multiset):
+            return NotImplemented
+        result = self.copy()
+        for element, count in other._counts.items():
+            result.add(element, count)
+        return result
+
+    def __sub__(self, other: "Multiset") -> "Multiset":
+        """Multiset difference (multiplicities subtract, floored at zero)."""
+        if not isinstance(other, Multiset):
+            return NotImplemented
+        result = Multiset()
+        for element, count in self._counts.items():
+            keep = count - other._counts.get(element, 0)
+            if keep > 0:
+                result.add(element, keep)
+        return result
+
+    def isdisjoint(self, other: "Multiset") -> bool:
+        """True when no element occurs in both multisets."""
+        smaller, larger = (self, other) if len(self._counts) <= len(other._counts) else (other, self)
+        return all(element not in larger._counts for element in smaller._counts)
+
+    def issubset(self, other: "Multiset") -> bool:
+        """True when every element occurs in ``other`` with at least this multiplicity."""
+        return all(other._counts.get(e, 0) >= c for e, c in self._counts.items())
+
+    # -- conversions ---------------------------------------------------------------
+    def to_tuples(self) -> List[Tuple[Any, str, int]]:
+        """Sorted list of ``(value, label, tag)`` triples (with multiplicity)."""
+        triples = [e.as_tuple() for e in self]
+        return sorted(triples, key=lambda t: (t[1], t[2], repr(t[0])))
+
+    @classmethod
+    def from_tuples(cls, tuples: Iterable[Tuple]) -> "Multiset":
+        """Inverse of :meth:`to_tuples`."""
+        return cls(tuples)

@@ -1,0 +1,21 @@
+"""Simulated parallel runtimes for both computational models.
+
+* :class:`DataflowSimulator` — step-synchronous multi-PE execution of dataflow graphs,
+* :class:`GammaSimulator` — step-synchronous PE-bounded parallel Gamma execution,
+* :class:`DistributedGammaRuntime` — partitioned (IoT-style) distributed multiset,
+* :class:`PEPool` / :class:`ParallelRunMetrics` — the shared cost model.
+"""
+
+from .df_simulator import DataflowSimulationResult, DataflowSimulator, simulate_graph
+from .distributed import DistributedGammaRuntime, DistributedMultiset, DistributedRunResult
+from .gamma_simulator import GammaSimulationResult, GammaSimulator, simulate_program
+from .metrics import ParallelRunMetrics, speedup_curve
+from .pe import PEPool, ProcessingElement
+
+__all__ = [
+    "DataflowSimulator", "DataflowSimulationResult", "simulate_graph",
+    "GammaSimulator", "GammaSimulationResult", "simulate_program",
+    "DistributedGammaRuntime", "DistributedMultiset", "DistributedRunResult",
+    "ParallelRunMetrics", "speedup_curve",
+    "PEPool", "ProcessingElement",
+]

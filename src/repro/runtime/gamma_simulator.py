@@ -1,0 +1,125 @@
+"""Discrete-step multi-PE simulator for Gamma programs.
+
+The :class:`~repro.gamma.engine.MaxParallelEngine` measures the parallelism
+*available* in a Gamma execution (unbounded simultaneous firings).  The
+simulator here adds the resource constraint of a fixed PE pool — each PE
+performs at most one reaction firing per step — which is what the parallel
+Gamma implementations cited by the paper (Connection Machine, MasPar, MPI,
+GPU) actually provide.  Together with
+:class:`~repro.runtime.df_simulator.DataflowSimulator` it gives both sides of
+the experiment E9 comparison the same cost model.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..gamma.engine import NonTerminationError
+from ..gamma.matching import Match, Matcher
+from ..gamma.program import GammaProgram
+from ..multiset.multiset import Multiset
+from .metrics import ParallelRunMetrics
+from .pe import PEPool
+
+__all__ = ["GammaSimulationResult", "GammaSimulator", "simulate_program"]
+
+DEFAULT_MAX_STEPS = 1_000_000
+
+
+@dataclass
+class GammaSimulationResult:
+    """Outcome of one PE-bounded parallel Gamma execution."""
+
+    final: Multiset
+    metrics: ParallelRunMetrics
+    steps: int
+    total_firings: int
+
+    def values_with_label(self, label: str) -> List:
+        return self.final.values_with_label(label)
+
+
+class GammaSimulator:
+    """Step-synchronous, PE-bounded parallel execution of a Gamma program."""
+
+    def __init__(
+        self,
+        program: GammaProgram,
+        num_pes: Optional[int] = None,
+        seed: Optional[int] = None,
+        max_steps: int = DEFAULT_MAX_STEPS,
+    ) -> None:
+        self.program = program
+        self.num_pes = num_pes
+        self.max_steps = max_steps
+        self._rng = random.Random(seed)
+
+    def _step_matches(self, multiset: Multiset, budget: Optional[int]) -> List[Match]:
+        """A set of non-conflicting matches, at most ``budget`` of them."""
+        matcher = Matcher(multiset, rng=self._rng)
+        available = dict(multiset.counts())
+        remaining = sum(available.values())
+        chosen: List[Match] = []
+        reactions = list(self.program.reactions)
+        self._rng.shuffle(reactions)
+        for reaction in reactions:
+            if budget is not None and len(chosen) >= budget:
+                break
+            if remaining < reaction.arity:
+                continue
+            for match in matcher.iter_matches(reaction):
+                if budget is not None and len(chosen) >= budget:
+                    break
+                if remaining < reaction.arity:
+                    break
+                needed: Dict = {}
+                for element in match.consumed:
+                    needed[element] = needed.get(element, 0) + 1
+                if all(available.get(e, 0) >= c for e, c in needed.items()):
+                    for e, c in needed.items():
+                        available[e] -= c
+                        remaining -= c
+                    chosen.append(match)
+        return chosen
+
+    def run(self, initial: Optional[Multiset] = None) -> GammaSimulationResult:
+        """Run to the stable state under the PE constraint."""
+        multiset = initial if initial is not None else self.program.initial
+        if multiset is None:
+            raise ValueError("an initial multiset is required")
+        multiset = multiset.copy()
+        pool: PEPool = PEPool(self.num_pes)
+        steps = 0
+        total_firings = 0
+
+        while True:
+            if steps >= self.max_steps:
+                raise NonTerminationError(
+                    f"gamma simulation exceeded {self.max_steps} steps on {self.program.name!r}"
+                )
+            matches = self._step_matches(multiset, pool.capacity())
+            if not matches:
+                break
+            scheduled = pool.dispatch(matches)
+            for match in scheduled:
+                produced = match.produced()
+                multiset.replace(match.consumed, produced)
+            total_firings += len(scheduled)
+            steps += 1
+
+        metrics = ParallelRunMetrics.from_profile(pool.profile, num_pes=self.num_pes)
+        return GammaSimulationResult(
+            final=multiset, metrics=metrics, steps=steps, total_firings=total_firings
+        )
+
+
+def simulate_program(
+    program: GammaProgram,
+    initial: Optional[Multiset] = None,
+    num_pes: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> GammaSimulationResult:
+    """Convenience wrapper around :class:`GammaSimulator`."""
+    return GammaSimulator(program, num_pes=num_pes, seed=seed).run(initial)

@@ -1,0 +1,77 @@
+"""Execution metrics shared by the simulated runtimes.
+
+The quantitative experiments of the reproduction (E9) compare the two models
+through the same vocabulary:
+
+* **parallelism profile** — work items executed per simulated step,
+* **speedup** — sequential work / number of parallel steps, for a given number
+  of processing elements,
+* **utilization** — fraction of PE-steps actually busy,
+* **critical path / average parallelism** — profile-independent bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["ParallelRunMetrics", "speedup_curve"]
+
+
+@dataclass
+class ParallelRunMetrics:
+    """Metrics of one simulated parallel execution."""
+
+    #: number of work items (node firings or reaction firings) per step
+    profile: List[int] = field(default_factory=list)
+    #: number of processing elements the run was simulated with (None = unbounded)
+    num_pes: Optional[int] = None
+    #: total wall steps (== len(profile))
+    steps: int = 0
+    #: total work items executed
+    work: int = 0
+
+    @classmethod
+    def from_profile(cls, profile: Sequence[int], num_pes: Optional[int] = None) -> "ParallelRunMetrics":
+        profile = [int(width) for width in profile if width > 0]
+        return cls(profile=profile, num_pes=num_pes, steps=len(profile), work=sum(profile))
+
+    @property
+    def max_parallelism(self) -> int:
+        return max(self.profile) if self.profile else 0
+
+    @property
+    def average_parallelism(self) -> float:
+        return self.work / self.steps if self.steps else 0.0
+
+    @property
+    def speedup(self) -> float:
+        """Work divided by parallel steps: the speedup over one PE."""
+        return self.work / self.steps if self.steps else 0.0
+
+    @property
+    def utilization(self) -> float:
+        """Busy fraction of the PE-step capacity (only defined for bounded PEs)."""
+        if not self.num_pes or not self.steps:
+            return 0.0
+        return self.work / (self.num_pes * self.steps)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "steps": float(self.steps),
+            "work": float(self.work),
+            "max_parallelism": float(self.max_parallelism),
+            "average_parallelism": self.average_parallelism,
+            "speedup": self.speedup,
+            "utilization": self.utilization,
+        }
+
+
+def speedup_curve(run, pe_counts: Sequence[int]) -> Dict[int, float]:
+    """Speedups for several PE counts.
+
+    ``run`` is a callable ``num_pes -> ParallelRunMetrics`` (typically a
+    partial application of one of the simulators); the returned mapping is
+    what the speedup benchmarks print.
+    """
+    return {int(p): run(int(p)).speedup for p in pe_counts}

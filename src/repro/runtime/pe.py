@@ -1,0 +1,83 @@
+"""Processing-element model used by the discrete-step simulators.
+
+The paper (§II-A) describes dataflow runtimes where "each core is a virtual
+Processing Element (PE) that runs the dataflow firing rule": ready work items
+are dispatched to PEs, independent items execute simultaneously.  The same
+abstraction serves the parallel Gamma schedulers (each PE performs one
+reaction firing per step).  The model is deliberately simple — unit-latency
+work items, a shared ready queue, round-robin assignment — because the
+paper's claims concern *available* parallelism, not micro-architecture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generic, List, Optional, Sequence, TypeVar
+
+__all__ = ["ProcessingElement", "PEPool"]
+
+WorkItem = TypeVar("WorkItem")
+
+
+@dataclass
+class ProcessingElement(Generic[WorkItem]):
+    """One virtual PE: a name, a busy counter and a log of executed items."""
+
+    index: int
+    executed: int = 0
+    history: List[WorkItem] = field(default_factory=list)
+
+    def execute(self, item: WorkItem) -> None:
+        """Account for executing one unit-latency work item."""
+        self.executed += 1
+        self.history.append(item)
+
+
+class PEPool(Generic[WorkItem]):
+    """A fixed pool of PEs dispatching at most one work item per PE per step."""
+
+    def __init__(self, num_pes: Optional[int]) -> None:
+        if num_pes is not None and num_pes <= 0:
+            raise ValueError("num_pes must be positive (or None for unbounded)")
+        self.num_pes = num_pes
+        count = num_pes if num_pes is not None else 0
+        self.pes: List[ProcessingElement] = [ProcessingElement(i) for i in range(count)]
+        self._steps = 0
+        self._profile: List[int] = []
+
+    # -- scheduling ---------------------------------------------------------------
+    def capacity(self) -> Optional[int]:
+        """Work items the pool can absorb in one step (None = unbounded)."""
+        return self.num_pes
+
+    def dispatch(self, items: Sequence[WorkItem]) -> List[WorkItem]:
+        """Execute up to ``capacity`` items this step; return the accepted items."""
+        if self.num_pes is None:
+            accepted = list(items)
+            # Grow the (virtual) PE list lazily so per-PE statistics still exist.
+            while len(self.pes) < len(accepted):
+                self.pes.append(ProcessingElement(len(self.pes)))
+        else:
+            accepted = list(items)[: self.num_pes]
+        for pe, item in zip(self.pes, accepted):
+            pe.execute(item)
+        self._steps += 1
+        self._profile.append(len(accepted))
+        return accepted
+
+    # -- statistics ---------------------------------------------------------------
+    @property
+    def steps(self) -> int:
+        return self._steps
+
+    @property
+    def profile(self) -> List[int]:
+        return list(self._profile)
+
+    @property
+    def total_executed(self) -> int:
+        return sum(pe.executed for pe in self.pes)
+
+    def load_balance(self) -> List[int]:
+        """Work items executed per PE (empty for unbounded pools never used)."""
+        return [pe.executed for pe in self.pes]

@@ -1,0 +1,49 @@
+"""Workload generators and the paper's own examples/listings."""
+
+from .classic import CLASSIC_WORKLOADS, ClassicWorkload, make_workload
+from .expressions import ExpressionSpec, expression_sweep, random_expression_graph
+from .loops import (
+    LOOP_KERNELS,
+    LoopKernel,
+    accumulation,
+    factorial,
+    fibonacci,
+    gcd_loop,
+    triangular,
+)
+from .paper_examples import (
+    EXAMPLE1_DEFAULTS,
+    EXAMPLE2_DEFAULTS,
+    EXIT_LABEL,
+    example1_expected_result,
+    example1_graph,
+    example2_expected_result,
+    example2_graph,
+)
+from .paper_listings import (
+    ALL_LISTINGS,
+    EQ2_MIN_ELEMENT,
+    EXAMPLE1_INIT,
+    EXAMPLE1_REACTIONS,
+    EXAMPLE1_REDUCED,
+    EXAMPLE2_INIT,
+    EXAMPLE2_REACTIONS,
+    EXAMPLE2_REDUCED,
+    example1_init_source,
+    example2_init_source,
+)
+
+__all__ = [
+    # paper examples (Figs. 1 and 2)
+    "example1_graph", "example1_expected_result", "EXAMPLE1_DEFAULTS",
+    "example2_graph", "example2_expected_result", "EXAMPLE2_DEFAULTS", "EXIT_LABEL",
+    # paper listings (Gamma source text)
+    "EQ2_MIN_ELEMENT", "EXAMPLE1_REACTIONS", "EXAMPLE1_REDUCED",
+    "EXAMPLE2_REACTIONS", "EXAMPLE2_REDUCED", "EXAMPLE1_INIT", "EXAMPLE2_INIT",
+    "ALL_LISTINGS", "example1_init_source", "example2_init_source",
+    # generators
+    "ExpressionSpec", "random_expression_graph", "expression_sweep",
+    "LoopKernel", "accumulation", "factorial", "fibonacci", "gcd_loop", "triangular",
+    "LOOP_KERNELS",
+    "ClassicWorkload", "make_workload", "CLASSIC_WORKLOADS",
+]

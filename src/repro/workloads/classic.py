@@ -1,0 +1,106 @@
+"""Classic Gamma workloads at configurable sizes.
+
+Thin wrappers around :mod:`repro.gamma.stdlib` that pair each program with a
+seeded random initial multiset and the expected result, so the scheduler and
+scaling benchmarks (E6, E9) can sweep sizes without duplicating setup code.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..gamma.program import GammaProgram
+from ..gamma.stdlib import (
+    DATA_LABEL,
+    exchange_sort,
+    gcd_program,
+    indexed_multiset,
+    max_element,
+    min_element,
+    prime_sieve,
+    product_reduction,
+    remove_duplicates,
+    sum_reduction,
+    values_multiset,
+)
+from ..multiset.multiset import Multiset
+
+__all__ = ["ClassicWorkload", "make_workload", "CLASSIC_WORKLOADS"]
+
+
+@dataclass
+class ClassicWorkload:
+    """A Gamma program plus an initial multiset and its expected stable values."""
+
+    name: str
+    program: GammaProgram
+    initial: Multiset
+    expected_values: List
+    label: str = DATA_LABEL
+
+    def expected_sorted(self) -> List:
+        return sorted(self.expected_values)
+
+
+def _random_values(size: int, seed: int, low: int = 1, high: int = 1000) -> List[int]:
+    rng = random.Random(seed)
+    return [rng.randint(low, high) for _ in range(size)]
+
+
+def make_workload(name: str, size: int = 32, seed: int = 0) -> ClassicWorkload:
+    """Build the named classic workload at the given size."""
+    if name == "min_element":
+        values = _random_values(size, seed)
+        return ClassicWorkload(name, min_element(), values_multiset(values), [min(values)])
+    if name == "max_element":
+        values = _random_values(size, seed)
+        return ClassicWorkload(name, max_element(), values_multiset(values), [max(values)])
+    if name == "sum_reduction":
+        values = _random_values(size, seed)
+        return ClassicWorkload(name, sum_reduction(), values_multiset(values), [sum(values)])
+    if name == "product_reduction":
+        values = _random_values(size, seed, low=1, high=5)
+        expected = 1
+        for v in values:
+            expected *= v
+        return ClassicWorkload(name, product_reduction(), values_multiset(values), [expected])
+    if name == "gcd":
+        rng = random.Random(seed)
+        base = rng.randint(2, 30)
+        values = [base * rng.randint(1, 50) for _ in range(size)]
+        import math
+
+        expected = 0
+        for v in values:
+            expected = math.gcd(expected, v)
+        return ClassicWorkload(name, gcd_program(), values_multiset(values), [expected])
+    if name == "prime_sieve":
+        upper = max(size, 4)
+        values = list(range(2, upper + 1))
+        primes = [n for n in values if all(n % d for d in range(2, int(n**0.5) + 1))]
+        return ClassicWorkload(name, prime_sieve(), values_multiset(values), primes)
+    if name == "exchange_sort":
+        values = _random_values(size, seed)
+        return ClassicWorkload(name, exchange_sort(), indexed_multiset(values), sorted(values))
+    if name == "remove_duplicates":
+        rng = random.Random(seed)
+        values = [rng.randint(1, max(2, size // 2)) for _ in range(size)]
+        return ClassicWorkload(
+            name, remove_duplicates(), values_multiset(values), sorted(set(values))
+        )
+    raise KeyError(f"unknown classic workload {name!r}")
+
+
+#: Names accepted by :func:`make_workload`, in benchmark order.
+CLASSIC_WORKLOADS: Sequence[str] = (
+    "min_element",
+    "max_element",
+    "sum_reduction",
+    "product_reduction",
+    "gcd",
+    "prime_sieve",
+    "exchange_sort",
+    "remove_duplicates",
+)

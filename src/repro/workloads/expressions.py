@@ -1,0 +1,89 @@
+"""Random arithmetic-expression workloads.
+
+These generators produce the acyclic dataflow graphs (and the equivalent
+imperative source) used by the property-based equivalence tests (E8) and the
+conversion-scaling benchmarks (E10).  Graphs are generated from a seed so
+every experiment is reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..dataflow.builder import GraphBuilder, OutputRef
+from ..dataflow.graph import DataflowGraph
+
+__all__ = ["ExpressionSpec", "random_expression_graph", "expression_sweep"]
+
+_DEFAULT_OPS = ("+", "-", "*")
+
+
+@dataclass(frozen=True)
+class ExpressionSpec:
+    """Parameters of a random expression DAG."""
+
+    num_inputs: int = 4
+    num_operations: int = 8
+    ops: Tuple[str, ...] = _DEFAULT_OPS
+    value_range: Tuple[int, int] = (-10, 10)
+    num_outputs: int = 1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_inputs < 1:
+            raise ValueError("num_inputs must be >= 1")
+        if self.num_operations < 1:
+            raise ValueError("num_operations must be >= 1")
+        if self.num_outputs < 1:
+            raise ValueError("num_outputs must be >= 1")
+
+
+def random_expression_graph(spec: ExpressionSpec) -> DataflowGraph:
+    """Generate a random acyclic dataflow graph according to ``spec``.
+
+    Construction: ``num_inputs`` roots with random values, then
+    ``num_operations`` binary operations whose operands are drawn uniformly
+    from everything built so far (roots and earlier operations), then
+    ``num_outputs`` dangling output edges attached to the last values produced
+    (so every output depends on a non-trivial sub-DAG).
+    """
+    rng = random.Random(spec.seed)
+    builder = GraphBuilder(f"expr(seed={spec.seed})")
+    available: List[OutputRef] = []
+
+    for index in range(spec.num_inputs):
+        value = rng.randint(*spec.value_range)
+        available.append(builder.root(value, f"v{index}", node_id=f"v{index}"))
+
+    produced: List[OutputRef] = []
+    for index in range(spec.num_operations):
+        op = rng.choice(spec.ops)
+        left = rng.choice(available)
+        right = rng.choice(available)
+        ref = builder.arith(op, left, right)
+        available.append(ref)
+        produced.append(ref)
+
+    outputs = produced[-spec.num_outputs :] if produced else available[: spec.num_outputs]
+    for index, ref in enumerate(outputs):
+        builder.output(ref, f"out{index}")
+    return builder.build()
+
+
+def expression_sweep(
+    sizes: Sequence[int],
+    seed: int = 0,
+    num_inputs: Optional[int] = None,
+) -> Dict[int, DataflowGraph]:
+    """One random expression graph per operation count in ``sizes``."""
+    graphs: Dict[int, DataflowGraph] = {}
+    for size in sizes:
+        spec = ExpressionSpec(
+            num_inputs=num_inputs if num_inputs is not None else max(2, size // 4),
+            num_operations=size,
+            seed=seed + size,
+        )
+        graphs[size] = random_expression_graph(spec)
+    return graphs

@@ -1,0 +1,134 @@
+"""Parameterized loop kernels (imperative source + dataflow graphs).
+
+The loop workloads exercise the dynamic part of the dataflow model — steer,
+inctag, iteration tags — beyond the paper's single accumulation example.  Each
+kernel provides the imperative source (compiled by :mod:`repro.frontend`), the
+expected result computed directly in Python, and a short description used by
+the benchmark reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..dataflow.graph import DataflowGraph
+from ..frontend.compiler import compile_source_to_graph
+
+__all__ = ["LoopKernel", "accumulation", "factorial", "fibonacci", "gcd_loop",
+           "triangular", "LOOP_KERNELS"]
+
+
+@dataclass(frozen=True)
+class LoopKernel:
+    """One loop workload: source text, expected result, output label."""
+
+    name: str
+    source: str
+    output: str
+    expected: int
+    description: str = ""
+
+    def graph(self) -> DataflowGraph:
+        """Compile the kernel to a dataflow graph."""
+        return compile_source_to_graph(self.source, name=self.name)
+
+
+def accumulation(y: int = 2, z: int = 3, x: int = 10) -> LoopKernel:
+    """The paper's Example 2: ``for (i = z; i > 0; i--) x = x + y``."""
+    acc = x
+    for _ in range(max(z, 0)):
+        acc += y
+    source = f"""
+    int y = {y}; int z = {z}; int x = {x};
+    for (i = z; i > 0; i--) {{ x = x + y; }}
+    output x;
+    """
+    return LoopKernel(
+        name="accumulation",
+        source=source,
+        output="x",
+        expected=acc,
+        description="Example 2 of the paper: repeated accumulation",
+    )
+
+
+def factorial(n: int = 8) -> LoopKernel:
+    """``acc = n!`` via a while loop."""
+    acc = 1
+    k = n
+    while k > 1:
+        acc *= k
+        k -= 1
+    source = f"""
+    int n = {n}; int acc = 1;
+    while (n > 1) {{ acc = acc * n; n = n - 1; }}
+    output acc;
+    """
+    return LoopKernel(
+        name="factorial", source=source, output="acc", expected=acc,
+        description="factorial with a data-dependent multiplier",
+    )
+
+
+def fibonacci(n: int = 12) -> LoopKernel:
+    """``b = fib(n)`` with the two-variable iteration."""
+    a, b = 0, 1
+    k = n
+    while k > 0:
+        a, b = b, a + b
+        k -= 1
+    source = f"""
+    int a = 0; int b = 1; int n = {n};
+    while (n > 0) {{ t = a + b; a = b; b = t; n = n - 1; }}
+    output a;
+    """
+    return LoopKernel(
+        name="fibonacci", source=source, output="a", expected=a,
+        description="Fibonacci: two circulating values plus a temporary",
+    )
+
+
+def gcd_loop(a: int = 252, b: int = 105) -> LoopKernel:
+    """Euclid's algorithm by repeated subtraction (both branches of an if in a loop)."""
+    x, y = a, b
+    while x != y:
+        if x > y:
+            x -= y
+        else:
+            y -= x
+    source = f"""
+    int a = {a}; int b = {b};
+    while (a != b) {{
+        if (a > b) {{ a = a - b; }} else {{ b = b - a; }}
+    }}
+    output a;
+    """
+    return LoopKernel(
+        name="gcd_loop", source=source, output="a", expected=x,
+        description="Euclid by subtraction: a conditional inside a loop",
+    )
+
+
+def triangular(n: int = 10) -> LoopKernel:
+    """Sum of 1..n."""
+    total = sum(range(1, n + 1))
+    source = f"""
+    int n = {n}; int s = 0;
+    while (n > 0) {{ s = s + n; n = n - 1; }}
+    output s;
+    """
+    return LoopKernel(
+        name="triangular", source=source, output="s", expected=total,
+        description="triangular number: accumulation with a data-dependent addend",
+    )
+
+
+#: Registry of default-parameter kernels (benchmarks iterate over this).
+LOOP_KERNELS: Dict[str, Callable[..., LoopKernel]] = {
+    "accumulation": accumulation,
+    "factorial": factorial,
+    "fibonacci": fibonacci,
+    "gcd_loop": gcd_loop,
+    "triangular": triangular,
+}

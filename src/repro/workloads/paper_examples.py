@@ -1,0 +1,165 @@
+"""The two worked examples of the paper (Figs. 1 and 2), built explicitly.
+
+These builders reproduce the dataflow graphs of Section III-A1 with the exact
+edge labels used in the paper, so that the conversion tests can compare the
+generated Gamma reactions against the paper's listings label-for-label.
+
+Example 1 (Fig. 1)::
+
+    int x = 1; int y = 5; int k = 3; int j = 2; int m;
+    m = (x + y) - (k * j);
+
+Example 2 (Fig. 2)::
+
+    for (i = z; i > 0; i--)
+        x = x + y;
+
+(The paper's text writes ``i < 0`` for the loop condition, but its own Gamma
+translation tests ``id1 > 0`` and decrements the counter, i.e. the loop runs
+``z`` times; we follow the translation, which is also the only reading that
+makes the example compute anything.)
+
+The Fig. 2 builder optionally exposes the loop's exit value on a dangling
+``false`` edge of the steer that guards the accumulator.  The paper's listing
+discards all values at loop exit (``by 0 else``), which leaves nothing
+observable; ``observe_exit=True`` (the default) adds the output edge so the
+equivalence experiments can compare results, and ``observe_exit=False``
+reproduces the listing verbatim (9 reactions with two ``by 0`` arms).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..dataflow.builder import GraphBuilder
+from ..dataflow.graph import DataflowGraph
+from ..dataflow.nodes import PORT_FALSE, PORT_IN, PORT_TRUE
+
+__all__ = [
+    "example1_graph",
+    "example1_expected_result",
+    "example2_graph",
+    "example2_expected_result",
+    "EXAMPLE1_DEFAULTS",
+    "EXAMPLE2_DEFAULTS",
+    "EXIT_LABEL",
+]
+
+#: Default initial values of Example 1 (the paper's ``x, y, k, j``).
+EXAMPLE1_DEFAULTS: Dict[str, int] = {"x": 1, "y": 5, "k": 3, "j": 2}
+
+#: Default initial values of Example 2 (``y``: increment, ``z``: trip count, ``x``: accumulator).
+EXAMPLE2_DEFAULTS: Dict[str, int] = {"y": 2, "z": 3, "x": 10}
+
+#: Label of the observable loop-exit edge added when ``observe_exit=True``.
+EXIT_LABEL = "Cout"
+
+
+def example1_graph(
+    x: int = EXAMPLE1_DEFAULTS["x"],
+    y: int = EXAMPLE1_DEFAULTS["y"],
+    k: int = EXAMPLE1_DEFAULTS["k"],
+    j: int = EXAMPLE1_DEFAULTS["j"],
+) -> DataflowGraph:
+    """Fig. 1: ``m = (x + y) - (k * j)`` with the paper's edge labels.
+
+    Vertices: roots for x/y/k/j, R1 (+), R2 (*), R3 (-); edges A1, B1, C1, D1
+    (initial), B2 and C2 (intermediate) and the dangling output ``m``.
+    """
+    b = GraphBuilder("example1")
+    rx = b.root(x, "x", node_id="x")
+    ry = b.root(y, "y", node_id="y")
+    rk = b.root(k, "k", node_id="k")
+    rj = b.root(j, "j", node_id="j")
+    s = b.add(rx, ry, node_id="R1", labels=("A1", "B1"))
+    p = b.mul(rk, rj, node_id="R2", labels=("C1", "D1"))
+    m = b.sub(s, p, node_id="R3", labels=("B2", "C2"))
+    b.output(m, "m")
+    return b.build()
+
+
+def example1_expected_result(
+    x: int = EXAMPLE1_DEFAULTS["x"],
+    y: int = EXAMPLE1_DEFAULTS["y"],
+    k: int = EXAMPLE1_DEFAULTS["k"],
+    j: int = EXAMPLE1_DEFAULTS["j"],
+) -> int:
+    """Reference result of Example 1 computed directly."""
+    return (x + y) - (k * j)
+
+
+def example2_graph(
+    y: int = EXAMPLE2_DEFAULTS["y"],
+    z: int = EXAMPLE2_DEFAULTS["z"],
+    x: int = EXAMPLE2_DEFAULTS["x"],
+    observe_exit: bool = True,
+) -> DataflowGraph:
+    """Fig. 2: the accumulation loop ``for (i = z; i > 0; i--) x = x + y``.
+
+    Node/edge naming follows the paper's Gamma listing:
+
+    * R11, R12, R13 — inctag vertices for the ``y`` (A), counter (B) and
+      accumulator (C) values;
+    * R14 — the comparison ``> 0`` producing the control values B14/B15/B16;
+    * R15, R16, R17 — steer vertices for A, B and C;
+    * R18 — the decrement ``- 1``;
+    * R19 — the accumulation ``A13 + C13``.
+
+    Initial (root) edges are A1, B1, C1; loop-back edges are A11, B11, C11.
+    With ``observe_exit=True`` the false port of steer R17 is exposed as the
+    dangling edge ``Cout`` carrying the final accumulator value.
+    """
+    b = GraphBuilder("example2")
+    ry = b.root(y, "y", node_id="y")
+    rz = b.root(z, "z", node_id="z")
+    rx = b.root(x, "x", node_id="x")
+
+    # Inctag vertices (lozenges).  Their inputs are merged ports: the initial
+    # edge from the root plus the loop-back edge added below.
+    a12 = b.inctag(ry, node_id="R11", label="A1")
+    b12 = b.inctag(rz, node_id="R12", label="B1")
+    c12 = b.inctag(rx, node_id="R13", label="C1")
+
+    # Comparison with zero (R14).  Its single result fans out to the three
+    # steers under the labels B14, B15, B16; the value fed to it is B12.
+    cond = b.compare_imm(">", b12, 0, node_id="R14", label="B12")
+
+    # Steer vertices (triangles).  Data edges: A12, B13, C12; control edges
+    # carry copies of the comparison result.
+    a_true, _a_false = b.steer(a12, cond, node_id="R15", labels=("A12", "B14"))
+    b_true, _b_false = b.steer(b12, cond, node_id="R16", labels=("B13", "B15"))
+    c_true, c_false = b.steer(c12, cond, node_id="R17", labels=("C12", "B16"))
+
+    # Loop body: decrement the counter (R18), accumulate (R19).
+    b11 = b.arith_imm("-", b_true, 1, node_id="R18", label="B17")
+    c11 = b.arith("+", a_true, c_true, node_id="R19", labels=("A13", "C13"))
+
+    # Loop-back edges: steer-A true also feeds R11 again (label A11), the
+    # decremented counter feeds R12 (label B11), the new accumulator feeds
+    # R13 (label C11).
+    b.connect_to_node(a_true, "R11", PORT_IN, label="A11")
+    b.connect_to_node(b11, "R12", PORT_IN, label="B11")
+    b.connect_to_node(c11, "R13", PORT_IN, label="C11")
+
+    if observe_exit:
+        b.output(c_false, EXIT_LABEL)
+    return b.build()
+
+
+def example2_expected_result(
+    y: int = EXAMPLE2_DEFAULTS["y"],
+    z: int = EXAMPLE2_DEFAULTS["z"],
+    x: int = EXAMPLE2_DEFAULTS["x"],
+) -> int:
+    """Reference result of Example 2 (the accumulator after the loop)."""
+    acc = x
+    i = z
+    while i > 0:
+        acc = acc + y
+        i -= 1
+    return acc
+
+
+def example2_expected_iterations(z: int = EXAMPLE2_DEFAULTS["z"]) -> int:
+    """Number of loop-body executions of Example 2."""
+    return max(z, 0)

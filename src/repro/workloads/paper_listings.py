@@ -1,0 +1,167 @@
+"""The paper's Gamma listings, verbatim, as DSL source text.
+
+Section III-A1 gives the Gamma code obtained by hand for Example 1 (R1–R3) and
+Example 2 (R11–R19), Eq. 2 gives the minimum-element reaction, and Section
+III-A3 gives the reduced variants (Rd1 and Rd11–Rd16).  Keeping them here as
+source strings serves two purposes:
+
+* the DSL tests (experiment E4) parse each listing and check that the compiled
+  reactions behave like the ones our Algorithm 1 implementation generates;
+* the granularity experiments (experiment E3) execute the reduced listings and
+  compare their results and parallelism against the original nine-reaction
+  program.
+
+Two textual adjustments are made, both documented in EXPERIMENTS.md:
+
+* the listings' ``If`` (capital I) is accepted as-is by the case-insensitive
+  lexer, so no change is needed there;
+* the paper's reduced listing Rd12 contains the production list
+  ``[id1,'B14',v+1], [id1,'B12',v+1], [id1,'B16',v+1]`` — i.e. the *counter
+  value* is also sent to the two steer control inputs — and Rd14/Rd15/Rd16 test
+  ``id2 > 0`` / ``id1 > 0`` on it directly; this is exactly what the paper
+  prints and is kept verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = [
+    "EQ2_MIN_ELEMENT",
+    "EXAMPLE1_REACTIONS",
+    "EXAMPLE1_REDUCED",
+    "EXAMPLE2_REACTIONS",
+    "EXAMPLE2_REDUCED",
+    "EXAMPLE1_INIT",
+    "EXAMPLE2_INIT",
+    "ALL_LISTINGS",
+]
+
+#: Equation 2: the minimum-element reaction in the Muylaert-style syntax.
+EQ2_MIN_ELEMENT = """
+R = replace (x, y)
+    by x
+    where x < y
+"""
+
+#: Initial multiset of Example 1 (Section III-A1): {[1,A1], [5,B1], [3,C1], [2,D1]}.
+EXAMPLE1_INIT = "init { [1,'A1',0], [5,'B1',0], [3,'C1',0], [2,'D1',0] }"
+
+#: Example 1: the three reactions R1–R3 produced from the Fig. 1 graph.
+EXAMPLE1_REACTIONS = """
+R1 = replace [id1, 'A1'], [id2, 'B1']
+     by [id1 + id2, 'B2']
+
+R2 = replace [id1, 'C1'], [id2, 'D1']
+     by [id1 * id2, 'C2']
+
+R3 = replace [id1, 'B2'], [id2, 'C2']
+     by [id1 - id2, 'm']
+"""
+
+#: Example 1 reduced to a single reaction (Section III-A3, Rd1).
+EXAMPLE1_REDUCED = """
+Rd1 = replace [id1,'A1'], [id2,'B1'], [id3,'C1'], [id4,'D1']
+      by [(id1+id2)-(id3*id4),'m']
+"""
+
+#: Initial multiset of Example 2 with the paper's symbolic values bound to the
+#: defaults y=2, z=3, x=10 used throughout the reproduction.
+EXAMPLE2_INIT = "init { [2,'A1',0], [3,'B1',0], [10,'C1',0] }"
+
+#: Example 2: the nine reactions R11–R19 produced from the Fig. 2 graph.
+EXAMPLE2_REACTIONS = """
+R11 = replace [id1,x,v]
+      by [id1,'A12',v+1]
+      if (x=='A1') or (x=='A11')
+
+R12 = replace [id1,x,v]
+      by [id1,'B12',v+1], [id1,'B13',v+1]
+      if (x=='B1') or (x=='B11')
+
+R13 = replace [id1,x,v]
+      by [id1,'C12',v+1]
+      if (x=='C1') or (x=='C11')
+
+R14 = replace [id1, 'B12', v]
+      by [1,'B14',v], [1,'B15',v], [1,'B16',v]
+      If id1 > 0
+      by [0,'B14',v], [0,'B15',v], [0,'B16',v]
+      else
+
+R15 = replace [id1,'A12',v], [id2,'B14',v]
+      by [id1,'A11',v], [id1,'A13',v]
+      If id2 == 1
+      by 0
+      else
+
+R16 = replace [id1,'B13',v], [id2,'B15',v]
+      by [id1,'B17',v]
+      If id2 == 1
+      by 0
+      else
+
+R17 = replace [id1,'C12',v], [id2,'B16',v]
+      by [id1,'C13',v]
+      If id2 == 1
+      by 0
+      else
+
+R18 = replace [id1,'B17',v]
+      by [id1 - 1,'B11',v]
+
+R19 = replace [id1,'A13',v], [id2,'C13',v]
+      by [id1+id2,'C11',v]
+"""
+
+#: Example 2 reduced to six reactions (Section III-A3, Rd11–Rd16).
+EXAMPLE2_REDUCED = """
+Rd11 = replace [id1,x,v]
+       by [id1,'A12',v+1]
+       If (x=='A1') or (x=='A11')
+
+Rd12 = replace [id1,x,v]
+       by [id1,'B14',v+1], [id1,'B12',v+1], [id1,'B16',v+1]
+       If (x=='B1') or (x=='B11')
+
+Rd13 = replace [id1,x,v]
+       by [id1,'C12',v+1]
+       If (x=='C1') or (x=='C11')
+
+Rd14 = replace [id1,'A12',v], [id2,'B14',v]
+       by [id1,'A11',v], [id1,'A13',v]
+       If id2 > 0
+       by 0
+       else
+
+Rd15 = replace [id1,'B12',v]
+       by [id1 - 1,'B11',v]
+       If id1 > 0
+       by 0
+       else
+
+Rd16 = replace [id1,'A13',v], [id2,'B16',v], [id3,'C12',v]
+       by [id1 + id3,'C11',v]
+       If id2 > 0
+       by 0
+       else
+"""
+
+#: All listings keyed by a short experiment-friendly name.
+ALL_LISTINGS: Dict[str, str] = {
+    "eq2_min_element": EQ2_MIN_ELEMENT,
+    "example1": EXAMPLE1_REACTIONS,
+    "example1_reduced": EXAMPLE1_REDUCED,
+    "example2": EXAMPLE2_REACTIONS,
+    "example2_reduced": EXAMPLE2_REDUCED,
+}
+
+
+def example2_init_source(y: int = 2, z: int = 3, x: int = 10) -> str:
+    """The Example 2 initial multiset for arbitrary initial values."""
+    return f"init {{ [{y},'A1',0], [{z},'B1',0], [{x},'C1',0] }}"
+
+
+def example1_init_source(x: int = 1, y: int = 5, k: int = 3, j: int = 2) -> str:
+    """The Example 1 initial multiset for arbitrary initial values."""
+    return f"init {{ [{x},'A1',0], [{y},'B1',0], [{k},'C1',0], [{j},'D1',0] }}"

@@ -1,0 +1,32 @@
+"""Shared fixtures: the paper's example graphs and frequently used programs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gamma.stdlib import sum_reduction, values_multiset
+from repro.workloads.paper_examples import example1_graph, example2_graph
+
+
+@pytest.fixture
+def ex1_graph():
+    """Fig. 1: m = (x + y) - (k * j) with the paper's default values."""
+    return example1_graph()
+
+
+@pytest.fixture
+def ex2_graph():
+    """Fig. 2: the accumulation loop with the observable exit edge."""
+    return example2_graph()
+
+
+@pytest.fixture
+def sum_program():
+    """The classic sum-reduction Gamma program."""
+    return sum_reduction()
+
+
+@pytest.fixture
+def small_multiset():
+    """A small multiset of integers under the default data label."""
+    return values_multiset([7, 3, 9, 1, 4])

@@ -1,0 +1,87 @@
+"""Unit tests for the equivalence checker plumbing and the label allocator."""
+
+import pytest
+
+from repro.core import (
+    LabelAllocator,
+    check_dataflow_vs_gamma,
+    check_roundtrip,
+    dataflow_to_gamma,
+    roundtrip_dataflow,
+    roundtrip_gamma,
+)
+from repro.core.equivalence import EquivalenceReport
+from repro.core.labels import TAG_VARIABLE, value_variable
+from repro.gamma.stdlib import min_element, sum_reduction, values_multiset
+from repro.multiset import Multiset
+from repro.workloads.paper_examples import example1_graph, example2_graph
+
+
+class TestLabelAllocator:
+    def test_fresh_names_avoid_reserved(self):
+        alloc = LabelAllocator(reserved=["E1", "E2"])
+        assert alloc.fresh() == "E3"
+        assert alloc.fresh() == "E4"
+
+    def test_reserve_and_is_used(self):
+        alloc = LabelAllocator()
+        alloc.reserve("T1")
+        assert alloc.is_used("T1")
+        assert alloc.fresh("T") == "T2"
+
+    def test_value_variable_convention(self):
+        assert value_variable(0) == "id1"
+        assert value_variable(1) == "id2"
+        assert TAG_VARIABLE == "v"
+
+
+class TestEquivalenceReport:
+    def test_report_collects_outcomes(self):
+        report = EquivalenceReport(subject="t")
+        a = Multiset([(1, "m", 0)])
+        b = Multiset([(1, "m", 0)])
+        c = Multiset([(2, "m", 0)])
+        assert report.add("same", a, b).passed
+        assert not report.add("diff", a, c).passed
+        assert not report.passed
+        assert len(report.failures) == 1
+        assert "1/2" in report.summary()
+        assert not bool(report)
+
+    def test_check_reports_every_engine_and_seed(self):
+        report = check_dataflow_vs_gamma(example1_graph(), engines=("chaotic",), seeds=(0, 1, 2))
+        assert len(report.outcomes) == 3
+        assert report.passed
+
+    def test_check_roundtrip(self):
+        report = check_roundtrip(example1_graph(), seeds=(0,))
+        assert report.passed
+
+    def test_failure_is_detected(self):
+        """Feeding different root values to the two sides must fail the check."""
+        graph = example1_graph()
+        conversion = dataflow_to_gamma(graph, root_values={"x": 99})
+        report = check_dataflow_vs_gamma(graph, seeds=(0,), conversion=conversion)
+        assert not report.passed
+
+
+class TestRoundTripDrivers:
+    def test_roundtrip_dataflow_collects_artifacts(self):
+        artifacts = roundtrip_dataflow(example2_graph(), seeds=(0,))
+        assert artifacts.equivalent
+        assert artifacts.conversion is not None
+        assert set(artifacts.reaction_graphs) == set(artifacts.conversion.program.reaction_names())
+        assert artifacts.dataflow_result.single_output("Cout") == 16
+        assert artifacts.gamma_result.final.values_with_label("Cout") == [16]
+        assert artifacts.emulation_result.final.values_with_label("Cout") == [16]
+
+    def test_roundtrip_gamma(self):
+        artifacts = roundtrip_gamma(min_element(), values_multiset([9, 2, 5]), seeds=(0, 1))
+        assert artifacts.equivalent
+        assert artifacts.gamma_result.final.values_with_label("x") == [2]
+
+    def test_roundtrip_gamma_with_label_restriction(self):
+        artifacts = roundtrip_gamma(
+            sum_reduction(), values_multiset(range(5)), seeds=(0,), labels=["x"]
+        )
+        assert artifacts.equivalent

@@ -1,0 +1,100 @@
+"""Experiment E1: the paper's Example 1 (Fig. 1), reproduced end to end.
+
+Checks the structural claims of Section III-A1 (three reactions named after
+R1–R3, the initial multiset {[1,A1],[5,B1],[3,C1],[2,D1]}, the shape of each
+reaction) and the behavioural claim (both models compute m = 0, for the
+paper's values and for a sweep of other inputs).
+"""
+
+import pytest
+
+from repro.core import check_dataflow_vs_gamma, dataflow_to_gamma
+from repro.dataflow import run_graph
+from repro.gamma import run
+from repro.gamma.expr import BinOp, Const
+from repro.workloads.paper_examples import (
+    EXAMPLE1_DEFAULTS,
+    example1_expected_result,
+    example1_graph,
+)
+
+
+class TestConversionStructure:
+    def setup_method(self):
+        self.graph = example1_graph()
+        self.conversion = dataflow_to_gamma(self.graph)
+
+    def test_three_reactions_named_after_vertices(self):
+        assert self.conversion.program.reaction_names() == ["R1", "R2", "R3"]
+
+    def test_initial_multiset_matches_paper(self):
+        assert self.conversion.initial.to_tuples() == [
+            (1, "A1", 0),
+            (5, "B1", 0),
+            (3, "C1", 0),
+            (2, "D1", 0),
+        ]
+
+    def test_r1_consumes_a1_b1_produces_b2(self):
+        r1 = self.conversion.program["R1"]
+        assert r1.consumed_labels() == frozenset({"A1", "B1"})
+        assert r1.produced_labels() == frozenset({"B2"})
+        template = r1.branches[0].productions[0]
+        assert isinstance(template.value, BinOp) and template.value.op == "+"
+
+    def test_r2_consumes_c1_d1_produces_c2(self):
+        r2 = self.conversion.program["R2"]
+        assert r2.consumed_labels() == frozenset({"C1", "D1"})
+        assert r2.produced_labels() == frozenset({"C2"})
+        assert r2.branches[0].productions[0].value.op == "*"
+
+    def test_r3_consumes_b2_c2_produces_m(self):
+        r3 = self.conversion.program["R3"]
+        assert r3.consumed_labels() == frozenset({"B2", "C2"})
+        assert r3.produced_labels() == frozenset({"m"})
+        assert r3.branches[0].productions[0].value.op == "-"
+
+    def test_no_guards_needed(self):
+        """The paper notes R1 has no reaction condition; none of R1–R3 needs one."""
+        for reaction in self.conversion.program:
+            assert reaction.guard is None
+            assert len(reaction.branches) == 1
+            assert reaction.branches[0].condition is None
+
+    def test_output_label_is_m(self):
+        assert self.conversion.output_labels == ["m"]
+
+    def test_node_to_reaction_mapping(self):
+        assert self.conversion.node_to_reaction == {"R1": "R1", "R2": "R2", "R3": "R3"}
+
+
+class TestBehaviouralEquivalence:
+    def test_paper_values_give_zero(self):
+        assert example1_expected_result(**EXAMPLE1_DEFAULTS) == 0
+        graph = example1_graph()
+        assert run_graph(graph).single_output("m") == 0
+        conversion = dataflow_to_gamma(graph)
+        result = run(conversion.program, engine="sequential")
+        assert result.final.values_with_label("m") == [0]
+
+    @pytest.mark.parametrize("engine", ["sequential", "chaotic", "max-parallel"])
+    def test_all_engines_agree(self, engine):
+        conversion = dataflow_to_gamma(example1_graph())
+        result = run(conversion.program, engine=engine, seed=11)
+        assert result.final.restrict_labels(["m"]).to_tuples() == [(0, "m", 0)]
+
+    @pytest.mark.parametrize(
+        "x,y,k,j",
+        [(1, 5, 3, 2), (0, 0, 0, 0), (7, -2, 5, 5), (100, 23, 11, 13), (-4, -6, -2, 3)],
+    )
+    def test_input_sweep(self, x, y, k, j):
+        graph = example1_graph(x, y, k, j)
+        report = check_dataflow_vs_gamma(graph, seeds=(0, 1))
+        assert report.passed, report.summary()
+        assert run_graph(graph).single_output("m") == example1_expected_result(x, y, k, j)
+
+    def test_exact_firing_count(self):
+        """Three reactions fire exactly once each (one per dataflow vertex)."""
+        conversion = dataflow_to_gamma(example1_graph())
+        result = run(conversion.program, engine="sequential")
+        assert result.trace.firing_counts() == {"R1": 1, "R2": 1, "R3": 1}

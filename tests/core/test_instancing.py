@@ -1,0 +1,113 @@
+"""Experiment E5: Fig. 4 instancing and the dataflow emulation of Gamma execution."""
+
+import pytest
+
+from repro.core import (
+    check_gamma_vs_dataflow,
+    dataflow_to_gamma,
+    execute_via_dataflow,
+    instantiate_round,
+    program_to_graphs,
+)
+from repro.dataflow import run_graph
+from repro.gamma import run
+from repro.gamma.stdlib import (
+    gcd_program,
+    min_element,
+    prime_sieve,
+    remove_duplicates,
+    sum_reduction,
+    values_multiset,
+)
+from repro.workloads.paper_examples import example2_expected_result, example2_graph
+
+
+class TestFig4Instancing:
+    def test_six_elements_give_three_instances(self):
+        """Fig. 4: a binary reaction over a 6-element multiset replicates 3 times."""
+        program = sum_reduction()
+        multiset = values_multiset([1, 2, 3, 4, 5, 6])
+        instanced = instantiate_round(program, multiset)
+        assert instanced.num_instances == 3
+        assert len(instanced.leftover) == 0
+
+    def test_odd_multiset_leaves_leftover(self):
+        instanced = instantiate_round(sum_reduction(), values_multiset([1, 2, 3, 4, 5]))
+        assert instanced.num_instances == 2
+        assert len(instanced.leftover) == 1
+
+    def test_instanced_graph_is_runnable_and_correct(self):
+        program = sum_reduction()
+        multiset = values_multiset([1, 2, 3, 4, 5, 6])
+        instanced = instantiate_round(program, multiset)
+        result = run_graph(instanced.graph)
+        produced = sorted(v for tokens in result.outputs.values() for v in (t.value for t in tokens))
+        # Three pairwise sums of a partition of {1..6}: values depend on the pairing
+        # but their total is always 21.
+        assert sum(produced) == 21
+        assert len(produced) == 3
+
+    def test_no_matches_returns_none(self):
+        assert instantiate_round(min_element(), values_multiset([5])) is None
+
+    def test_instances_have_disjoint_node_ids(self):
+        instanced = instantiate_round(sum_reduction(), values_multiset([1, 2, 3, 4]))
+        ids = [n.node_id for n in instanced.graph.nodes]
+        assert len(ids) == len(set(ids))
+
+    def test_precomputed_graphs_are_reused(self):
+        program = sum_reduction()
+        graphs = program_to_graphs(program)
+        instanced = instantiate_round(program, values_multiset([1, 2]), graphs=graphs)
+        assert instanced.num_instances == 1
+
+
+class TestExecutionViaDataflow:
+    @pytest.mark.parametrize(
+        "builder,values,expected",
+        [
+            (min_element, [7, 3, 9, 1, 4], [1]),
+            (sum_reduction, list(range(1, 21)), [210]),
+            (remove_duplicates, [1, 1, 2, 2, 3], [1, 2, 3]),
+            (gcd_program, [12, 18, 30], [6]),
+        ],
+    )
+    def test_matches_native_execution(self, builder, values, expected):
+        program = builder()
+        initial = values_multiset(values)
+        emulated = execute_via_dataflow(program, initial, seed=1)
+        assert sorted(emulated.final.values_with_label("x")) == expected
+        native = run(program, initial, engine="sequential")
+        assert emulated.final == native.final
+
+    def test_sieve_via_dataflow(self):
+        emulated = execute_via_dataflow(prime_sieve(), values_multiset(range(2, 30)), seed=0)
+        assert sorted(emulated.final.values_with_label("x")) == [2, 3, 5, 7, 11, 13, 17, 19, 23, 29]
+
+    def test_rounds_and_instances_are_reported(self):
+        emulated = execute_via_dataflow(sum_reduction(), values_multiset(range(1, 17)), seed=2)
+        assert emulated.total_instances == 15  # n-1 pairwise sums
+        assert emulated.rounds >= 4  # at best a binary-tree of rounds
+
+    def test_converted_loop_program_runs_via_dataflow(self):
+        """Full circle: Fig. 2 graph → Algorithm 1 → reactions → Algorithm 2 +
+        instancing → same loop result."""
+        conversion = dataflow_to_gamma(example2_graph(y=3, z=4, x=1))
+        emulated = execute_via_dataflow(conversion.program, conversion.initial, seed=3)
+        assert emulated.final.restrict_labels(["Cout"]).values_with_label("Cout") == [
+            example2_expected_result(y=3, z=4, x=1)
+        ]
+
+    def test_keep_graphs_records_rounds(self):
+        emulated = execute_via_dataflow(
+            sum_reduction(), values_multiset([1, 2, 3, 4]), seed=0, keep_graphs=True
+        )
+        assert len(emulated.round_graphs) == emulated.rounds
+
+    def test_missing_initial_rejected(self):
+        with pytest.raises(ValueError):
+            execute_via_dataflow(sum_reduction(), None)
+
+    def test_equivalence_checker_wrapper(self):
+        report = check_gamma_vs_dataflow(min_element(), values_multiset([4, 9, 2]), seeds=(0, 1))
+        assert report.passed, report.summary()

@@ -1,0 +1,122 @@
+"""Experiment E3: the Section III-A3 reductions (fusion) and their effects."""
+
+import pytest
+
+from repro.analysis import granularity_report, matching_probability
+from repro.core import dataflow_to_gamma, expand_program, granularity_metrics, reduce_program
+from repro.gamma import run
+from repro.gamma.dsl import compile_source
+from repro.workloads.paper_examples import (
+    example1_expected_result,
+    example1_graph,
+    example2_expected_result,
+    example2_graph,
+)
+from repro.workloads.paper_listings import (
+    EXAMPLE1_INIT,
+    EXAMPLE1_REDUCED,
+    EXAMPLE2_REDUCED,
+    example2_init_source,
+)
+
+
+class TestExample1Reduction:
+    def test_reduces_to_single_reaction_like_rd1(self):
+        conversion = dataflow_to_gamma(example1_graph())
+        reduced = reduce_program(conversion.program)
+        assert len(reduced.program) == 1
+        (reaction,) = reduced.program.reactions
+        # Rd1 consumes the four initial elements directly.
+        assert reaction.consumed_labels() == frozenset({"A1", "B1", "C1", "D1"})
+        assert reaction.produced_labels() == frozenset({"m"})
+        assert sorted(reduced.fused) == ["R1", "R2"]
+        assert sorted(reduced.provenance[reaction.name]) == ["R1", "R2", "R3"]
+
+    @pytest.mark.parametrize("x,y,k,j", [(1, 5, 3, 2), (4, 4, 2, 9), (-1, 8, 0, 5)])
+    def test_reduced_program_is_equivalent(self, x, y, k, j):
+        conversion = dataflow_to_gamma(example1_graph(x, y, k, j))
+        reduced = reduce_program(conversion.program)
+        result = run(reduced.program, conversion.initial, engine="chaotic", seed=0)
+        assert result.final.values_with_label("m") == [example1_expected_result(x, y, k, j)]
+
+    def test_reduced_matches_papers_rd1_listing(self):
+        """Our automatic fusion behaves like the paper's hand-written Rd1."""
+        conversion = dataflow_to_gamma(example1_graph())
+        automatic = reduce_program(conversion.program)
+        manual = compile_source(EXAMPLE1_INIT + EXAMPLE1_REDUCED)
+        ours = run(automatic.program, conversion.initial, engine="sequential").final
+        paper = run(manual, engine="sequential").final
+        assert ours.restrict_labels(["m"]) == paper.restrict_labels(["m"])
+        assert granularity_metrics(automatic.program)["mean_arity"] == 4.0
+
+    def test_granularity_metrics_show_coarsening(self):
+        conversion = dataflow_to_gamma(example1_graph())
+        before = granularity_metrics(conversion.program)
+        after = granularity_metrics(reduce_program(conversion.program).program)
+        assert before["reactions"] == 3 and after["reactions"] == 1
+        assert after["mean_arity"] > before["mean_arity"]
+
+    def test_parallelism_decreases_with_reduction(self):
+        """The paper: fusing reactions decreases the available parallelism."""
+        conversion = dataflow_to_gamma(example1_graph())
+        original = granularity_report("orig", conversion.program, conversion.initial)
+        reduced_prog = reduce_program(conversion.program).program
+        reduced = granularity_report("red", reduced_prog, conversion.initial)
+        assert original.max_parallelism >= 2
+        assert reduced.max_parallelism == 1
+        assert reduced.firings < original.firings
+
+    def test_matching_probability_drops(self):
+        """The paper: the chance of the reaction condition occurring decreases."""
+        conversion = dataflow_to_gamma(example1_graph())
+        reduced = reduce_program(conversion.program).program
+        original_p = matching_probability(conversion.program, conversion.initial, samples=3000)
+        reduced_p = matching_probability(reduced, conversion.initial, samples=3000)
+        assert reduced_p < original_p
+
+
+class TestExpansion:
+    def test_expansion_restores_fine_granularity(self):
+        conversion = dataflow_to_gamma(example1_graph())
+        reduced = reduce_program(conversion.program)
+        expanded = expand_program(reduced.program)
+        assert len(expanded.program) == 3
+        metrics = granularity_metrics(expanded.program)
+        assert metrics["mean_arity"] == 2.0
+        result = run(expanded.program, conversion.initial, engine="chaotic", seed=1)
+        assert result.final.values_with_label("m") == [example1_expected_result()]
+
+    def test_expansion_of_already_fine_program_is_identity(self):
+        conversion = dataflow_to_gamma(example1_graph())
+        expanded = expand_program(conversion.program)
+        assert len(expanded.program) == len(conversion.program)
+
+    def test_conditional_reactions_not_expanded(self):
+        conversion = dataflow_to_gamma(example2_graph())
+        expanded = expand_program(conversion.program)
+        assert len(expanded.program) == len(conversion.program)
+
+
+class TestExample2Reduction:
+    def test_automatic_fusion_on_loop_program_is_conservative(self):
+        """The loop program has no unconditional single-consumer chains to fuse
+        automatically (every producer feeds a conditional reaction or a merged
+        port), so the reduction leaves it at 9 reactions — the paper's 6-reaction
+        version uses manual fusions that duplicate conditions."""
+        conversion = dataflow_to_gamma(example2_graph())
+        reduced = reduce_program(conversion.program)
+        assert len(reduced.program) == 9
+        result = run(reduced.program, conversion.initial, engine="chaotic", seed=2)
+        assert result.final.values_with_label("Cout") == [example2_expected_result()]
+
+    @pytest.mark.parametrize("y,z,x", [(2, 3, 10), (1, 6, 0), (5, 1, 5)])
+    def test_papers_reduced_listing_is_equivalent_on_the_accumulator(self, y, z, x):
+        """The paper's hand-reduced Rd11–Rd16 leave the final accumulator on C12."""
+        program = compile_source(example2_init_source(y, z, x) + EXAMPLE2_REDUCED)
+        result = run(program, engine="chaotic", seed=1)
+        assert result.final.values_with_label("C12") == [example2_expected_result(y, z, x)]
+
+    def test_papers_reduced_listing_has_six_reactions(self):
+        program = compile_source(EXAMPLE2_REDUCED)
+        assert len(program) == 6
+        assert granularity_metrics(program)["reactions"] == 6

@@ -1,0 +1,141 @@
+"""Unit tests for the dataflow graph structure and builder."""
+
+import pytest
+
+from repro.dataflow import DataflowGraph, GraphBuilder, GraphError
+from repro.dataflow.nodes import ArithmeticNode, RootNode, SteerNode
+from repro.workloads.paper_examples import example1_graph, example2_graph
+
+
+class TestGraphConstruction:
+    def test_duplicate_node_ids_rejected(self):
+        g = DataflowGraph()
+        g.add_node(RootNode("a", value=1))
+        with pytest.raises(GraphError):
+            g.add_node(RootNode("a", value=2))
+
+    def test_edge_requires_known_nodes(self):
+        g = DataflowGraph()
+        g.add_node(RootNode("a", value=1))
+        with pytest.raises(GraphError):
+            g.add_edge("a", "missing", "L")
+        with pytest.raises(GraphError):
+            g.add_edge("missing", None, "L")
+
+    def test_edge_port_defaults_and_validation(self):
+        g = DataflowGraph()
+        g.add_node(RootNode("a", value=1))
+        g.add_node(ArithmeticNode("op", op="+"))
+        # Two-input node requires an explicit destination port.
+        with pytest.raises(GraphError):
+            g.add_edge("a", "op", "L")
+        g.add_edge("a", "op", "L", dst_port="a")
+        with pytest.raises(GraphError):
+            g.add_edge("a", "op", "M", dst_port="nope")
+
+    def test_duplicate_labels_rejected(self):
+        g = DataflowGraph()
+        g.add_node(RootNode("a", value=1))
+        g.add_node(RootNode("b", value=2))
+        g.add_edge("a", None, "L")
+        with pytest.raises(GraphError):
+            g.add_edge("b", None, "L")
+
+    def test_dangling_edge_is_output(self):
+        g = DataflowGraph()
+        g.add_node(RootNode("a", value=1))
+        edge = g.add_edge("a", None, "out")
+        assert edge.is_output
+        assert g.output_labels() == ["out"]
+
+    def test_fresh_label(self):
+        g = DataflowGraph()
+        g.add_node(RootNode("a", value=1))
+        g.add_edge("a", None, "E0")
+        assert g.fresh_label() not in g.labels()
+
+
+class TestGraphQueries:
+    def test_example1_structure(self):
+        g = example1_graph()
+        assert len(g) == 7
+        assert g.counts_by_kind() == {"root": 4, "arith": 3}
+        assert {e.label for e in g.initial_edges()} == {"A1", "B1", "C1", "D1"}
+        assert g.output_labels() == ["m"]
+        assert not g.has_cycle()
+
+    def test_example1_topology(self):
+        g = example1_graph()
+        order = g.topological_order()
+        assert order.index("R1") < order.index("R3")
+        assert order.index("R2") < order.index("R3")
+        assert g.producers("R3") == ["R1", "R2"]
+        assert g.consumers("R1") == ["R3"]
+
+    def test_example2_structure(self):
+        g = example2_graph()
+        counts = g.counts_by_kind()
+        assert counts["inctag"] == 3
+        assert counts["steer"] == 3
+        assert counts["cmp"] == 1
+        assert counts["arith"] == 2
+        assert g.has_cycle()
+
+    def test_example2_topological_order_raises_on_cycle(self):
+        with pytest.raises(GraphError):
+            example2_graph().topological_order()
+
+    def test_edge_lookup_by_label(self):
+        g = example1_graph()
+        edge = g.edge_by_label("B2")
+        assert edge.src == "R1" and edge.dst == "R3"
+        with pytest.raises(GraphError):
+            g.edge_by_label("nope")
+
+    def test_in_out_edges_by_port(self):
+        g = example2_graph()
+        steer_in = g.in_edges("R16", "control")
+        assert len(steer_in) == 1
+        assert steer_in[0].label == "B15"
+        r12_out = g.out_edges("R12")
+        assert {e.label for e in r12_out} == {"B12", "B13"}
+
+
+class TestBuilder:
+    def test_expression_building(self):
+        b = GraphBuilder("t")
+        x = b.root(2, "x")
+        y = b.root(3, "y")
+        out = b.mul(b.add(x, y), y)
+        b.output(out, "r")
+        g = b.build()
+        assert g.counts_by_kind() == {"root": 2, "arith": 2}
+
+    def test_operand_must_be_ref(self):
+        b = GraphBuilder("t")
+        x = b.root(2, "x")
+        with pytest.raises(TypeError):
+            b.add(x, 3)
+        with pytest.raises(TypeError):
+            b.output(3, "r")
+
+    def test_steer_returns_both_ports(self):
+        b = GraphBuilder("t")
+        d = b.root(1, "d")
+        c = b.root(1, "c")
+        t, f = b.steer(d, c)
+        assert t.port == "true" and f.port == "false"
+
+    def test_explicit_node_ids_and_labels(self):
+        b = GraphBuilder("t")
+        x = b.root(1, "x", node_id="x")
+        y = b.root(2, "y", node_id="y")
+        b.add(x, y, node_id="R1", labels=("A1", "B1"))
+        g = b.build()
+        assert g.has_node("R1")
+        assert g.has_label("A1") and g.has_label("B1")
+
+    def test_unique_generated_ids(self):
+        b = GraphBuilder("t")
+        refs = [b.root(i) for i in range(5)]
+        assert len({r.node_id for r in refs}) == 5

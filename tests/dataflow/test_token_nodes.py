@@ -1,0 +1,129 @@
+"""Unit tests for tagged tokens and the node taxonomy."""
+
+import pytest
+
+from repro.dataflow.nodes import (
+    PORT_FALSE,
+    PORT_TRUE,
+    ArithmeticNode,
+    ComparisonNode,
+    CopyNode,
+    IncTagNode,
+    RootNode,
+    SteerNode,
+)
+from repro.dataflow.token import INITIAL_TAG, Token
+
+
+class TestToken:
+    def test_fields_and_defaults(self):
+        token = Token(5)
+        assert token.value == 5
+        assert token.tag == INITIAL_TAG
+
+    def test_tag_validation(self):
+        with pytest.raises(ValueError):
+            Token(1, -1)
+        with pytest.raises(TypeError):
+            Token(1, "x")
+        with pytest.raises(TypeError):
+            Token(1, True)
+
+    def test_transformations(self):
+        token = Token(5, 2)
+        assert token.with_value(9) == Token(9, 2)
+        assert token.with_tag(4) == Token(5, 4)
+        assert token.inc_tag() == Token(5, 3)
+        assert token.inc_tag(2) == Token(5, 4)
+
+
+class TestRootNode:
+    def test_compute_emits_value(self):
+        node = RootNode("x", value=7, name="x")
+        assert node.compute({}) == {"out": 7}
+        assert node.is_root
+        assert node.input_ports() == ()
+        assert node.output_ports() == ("out",)
+
+
+class TestArithmeticNode:
+    @pytest.mark.parametrize("op,expected", [("+", 10), ("-", 4), ("*", 21), ("%", 1)])
+    def test_binary_ops(self, op, expected):
+        node = ArithmeticNode("n", op=op)
+        assert node.compute({"a": 7, "b": 3}) == {"out": expected}
+
+    def test_division_truncates_toward_zero(self):
+        node = ArithmeticNode("n", op="/")
+        assert node.compute({"a": 7, "b": 2}) == {"out": 3}
+        assert node.compute({"a": -7, "b": 2}) == {"out": -3}
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            ArithmeticNode("n", op="/").compute({"a": 1, "b": 0})
+
+    def test_immediate_right(self):
+        node = ArithmeticNode("n", op="-", immediate=("right", 1))
+        assert node.input_ports() == ("in",)
+        assert node.compute({"in": 5}) == {"out": 4}
+
+    def test_immediate_left(self):
+        node = ArithmeticNode("n", op="-", immediate=("left", 10))
+        assert node.compute({"in": 3}) == {"out": 7}
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            ArithmeticNode("n", op="**")
+
+    def test_bad_immediate_side_rejected(self):
+        with pytest.raises(ValueError):
+            ArithmeticNode("n", op="+", immediate=("middle", 1))
+
+
+class TestComparisonNode:
+    def test_produces_zero_or_one(self):
+        node = ComparisonNode("n", op=">")
+        assert node.compute({"a": 5, "b": 3}) == {"out": 1}
+        assert node.compute({"a": 2, "b": 3}) == {"out": 0}
+
+    def test_immediate_comparison(self):
+        node = ComparisonNode("n", op=">", immediate=("right", 0))
+        assert node.compute({"in": 3}) == {"out": 1}
+        assert node.compute({"in": 0}) == {"out": 0}
+
+
+class TestSteerNode:
+    def test_routes_by_control(self):
+        node = SteerNode("st")
+        assert node.compute({"data": 42, "control": 1}) == {PORT_TRUE: 42}
+        assert node.compute({"data": 42, "control": 0}) == {PORT_FALSE: 42}
+
+    def test_accepts_booleans(self):
+        node = SteerNode("st")
+        assert node.compute({"data": 1, "control": True}) == {PORT_TRUE: 1}
+
+    def test_rejects_non_boolean_control(self):
+        with pytest.raises(ValueError):
+            SteerNode("st").compute({"data": 1, "control": 7})
+
+    def test_ports(self):
+        node = SteerNode("st")
+        assert node.input_ports() == ("data", "control")
+        assert node.output_ports() == (PORT_TRUE, PORT_FALSE)
+
+
+class TestIncTagAndCopy:
+    def test_inctag_forwards_value_and_shifts_tag(self):
+        node = IncTagNode("it")
+        assert node.compute({"in": 9}) == {"out": 9}
+        assert node.tag_delta() == 1
+        assert IncTagNode("it2", delta=3).tag_delta() == 3
+
+    def test_copy(self):
+        node = CopyNode("cp")
+        assert node.compute({"in": 11}) == {"out": 11}
+        assert node.tag_delta() == 0
+
+    def test_describe_strings(self):
+        assert "inctag" in IncTagNode("it").describe() or "it" in IncTagNode("it").describe()
+        assert "root" in RootNode("r", value=1).describe()
+        assert "+" in ArithmeticNode("a", op="+").describe()

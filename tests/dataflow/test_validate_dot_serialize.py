@@ -1,0 +1,115 @@
+"""Tests for graph validation, DOT export and JSON serialization."""
+
+import json
+
+import pytest
+
+from repro.dataflow import DataflowGraph, GraphBuilder, run_graph, validate_graph
+from repro.dataflow.dot import to_dot, write_dot
+from repro.dataflow.nodes import ArithmeticNode, IncTagNode, RootNode
+from repro.dataflow.serialize import dumps, graph_from_dict, graph_to_dict, load, loads, save
+from repro.workloads.paper_examples import example1_graph, example2_graph
+
+
+class TestValidation:
+    def test_paper_examples_are_valid(self):
+        assert validate_graph(example1_graph()).ok
+        assert validate_graph(example2_graph()).ok
+
+    def test_missing_operand_edge_is_an_error(self):
+        g = DataflowGraph()
+        g.add_node(RootNode("x", value=1))
+        g.add_node(ArithmeticNode("op", op="+"))
+        g.add_edge("x", "op", "L", dst_port="a")  # port 'b' left unconnected
+        report = validate_graph(g)
+        assert not report.ok
+        assert any("b" in issue.message for issue in report.errors)
+        with pytest.raises(ValueError):
+            report.raise_if_errors()
+
+    def test_empty_graph_is_an_error(self):
+        assert not validate_graph(DataflowGraph()).ok
+
+    def test_graph_without_roots_is_an_error(self):
+        g = DataflowGraph()
+        g.add_node(IncTagNode("it"))
+        report = validate_graph(g)
+        assert any("root" in issue.message for issue in report.errors)
+
+    def test_cycle_without_inctag_is_an_error(self):
+        b = GraphBuilder("bad")
+        x = b.root(1, "x")
+        add = b.arith_imm("+", x, 1, node_id="add")
+        # Back-edge without an inctag: iterations would share tags.
+        b.connect_to_node(add, "add", "in")
+        report = validate_graph(b.build())
+        assert not report.ok
+        assert any("inctag" in issue.message for issue in report.errors)
+
+    def test_unused_root_is_a_warning_not_error(self):
+        b = GraphBuilder("warn")
+        b.root(1, "unused")
+        x = b.root(2, "x")
+        b.output(b.arith_imm("+", x, 1), "r")
+        report = validate_graph(b.build())
+        assert report.ok
+        assert report.warnings
+
+    def test_no_outputs_is_a_warning(self):
+        b = GraphBuilder("warn2")
+        x = b.root(1, "x")
+        b.arith_imm("+", x, 1)
+        report = validate_graph(b.build())
+        assert report.ok
+        assert any("output" in w.message for w in report.warnings)
+
+
+class TestDotExport:
+    def test_contains_every_node_and_label(self):
+        g = example2_graph()
+        dot = to_dot(g)
+        for node in g.nodes:
+            assert node.node_id in dot
+        for label in ("A1", "B12", "Cout"):
+            assert label in dot
+
+    def test_shapes_follow_paper_conventions(self):
+        dot = to_dot(example2_graph())
+        assert "shape=diamond" in dot  # inctag
+        assert "shape=triangle" in dot  # steer
+        assert "shape=box" in dot  # roots
+
+    def test_write_dot_to_path(self, tmp_path):
+        path = tmp_path / "g.dot"
+        write_dot(example1_graph(), path)
+        assert path.read_text().startswith("digraph")
+
+
+class TestSerialization:
+    def test_round_trip_structure(self):
+        g = example2_graph()
+        restored = graph_from_dict(graph_to_dict(g))
+        assert restored.counts_by_kind() == g.counts_by_kind()
+        assert sorted(restored.labels()) == sorted(g.labels())
+
+    def test_round_trip_behaviour(self):
+        g = example2_graph(y=4, z=5, x=2)
+        restored = loads(dumps(g))
+        assert run_graph(restored).single_output("Cout") == run_graph(g).single_output("Cout")
+
+    def test_save_load_file(self, tmp_path):
+        path = tmp_path / "graph.json"
+        save(example1_graph(), path)
+        restored = load(path)
+        assert run_graph(restored).single_output("m") == 0
+
+    def test_json_is_plain_data(self):
+        data = json.loads(dumps(example1_graph()))
+        assert data["schema"] == 1
+        assert {n["kind"] for n in data["nodes"]} == {"root", "arith"}
+
+    def test_unknown_schema_rejected(self):
+        data = graph_to_dict(example1_graph())
+        data["schema"] = 99
+        with pytest.raises(Exception):
+            graph_from_dict(data)

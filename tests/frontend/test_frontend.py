@@ -1,0 +1,148 @@
+"""Tests for the imperative-language frontend (lexer, parser, compiler)."""
+
+import pytest
+
+from repro.core import check_dataflow_vs_gamma
+from repro.dataflow import run_graph, validate_graph
+from repro.frontend import (
+    Assignment,
+    FrontendCompileError,
+    FrontendParseError,
+    ForLoop,
+    IfStatement,
+    WhileLoop,
+    compile_source_to_graph,
+    parse_source,
+)
+from repro.workloads.paper_examples import example1_expected_result, example2_expected_result
+
+
+class TestParser:
+    def test_assignments_and_output(self):
+        program = parse_source("int x = 1; m = x + 2; output m;")
+        assert len(program.statements) == 3
+        assert isinstance(program.statements[0], Assignment)
+        assert program.outputs() == ["m"]
+
+    def test_for_loop_with_decrement_sugar(self):
+        program = parse_source("for (i = z; i > 0; i--) { x = x + y; }")
+        loop = program.statements[0]
+        assert isinstance(loop, ForLoop)
+        assert loop.update.name == "i"
+
+    def test_while_and_if(self):
+        program = parse_source(
+            "while (n > 1) { if (n > 5) { n = n - 2; } else { n = n - 1; } }"
+        )
+        loop = program.statements[0]
+        assert isinstance(loop, WhileLoop)
+        assert isinstance(loop.body[0], IfStatement)
+
+    def test_compound_assignment_sugar(self):
+        program = parse_source("x += 3; y -= 1;")
+        assert all(isinstance(s, Assignment) for s in program.statements)
+
+    def test_comments_ignored(self):
+        program = parse_source("// comment\nint x = 1; // trailing\n")
+        assert len(program.statements) == 1
+
+    def test_syntax_error_reported_with_line(self):
+        with pytest.raises(FrontendParseError):
+            parse_source("int x = ;")
+
+    def test_unbalanced_block_rejected(self):
+        with pytest.raises(FrontendParseError):
+            parse_source("while (x > 0) { x = x - 1;")
+
+
+class TestCompiler:
+    def test_example1_source_reproduces_fig1(self):
+        graph = compile_source_to_graph(
+            "int x = 1; int y = 5; int k = 3; int j = 2; m = (x + y) - (k * j); output m;"
+        )
+        assert graph.counts_by_kind() == {"root": 4, "arith": 3}
+        assert run_graph(graph).single_output("m") == example1_expected_result()
+
+    def test_example2_source_reproduces_fig2_shape(self):
+        graph = compile_source_to_graph(
+            "int y = 2; int z = 3; int x = 10;\n"
+            "for (i = z; i > 0; i--) { x = x + y; }\n"
+            "output x;"
+        )
+        counts = graph.counts_by_kind()
+        assert counts["inctag"] == 3  # one per circulating variable (i, x, y)
+        assert counts["steer"] == 3
+        assert counts["cmp"] == 1
+        assert validate_graph(graph).ok
+        assert run_graph(graph).single_output("x") == example2_expected_result()
+
+    def test_if_else_merges_values(self):
+        graph = compile_source_to_graph(
+            "int a = 3; int b = 12; if (a > b) { m = a - b; } else { m = b - a; } output m;"
+        )
+        assert run_graph(graph).single_output("m") == 9
+
+    def test_if_without_else_keeps_prior_value(self):
+        graph = compile_source_to_graph(
+            "int a = 3; int m = 0; if (a > 10) { m = a; } output m;"
+        )
+        assert run_graph(graph).single_output("m") == 0
+
+    def test_conditional_inside_loop(self):
+        source = """
+        int a = 252; int b = 105;
+        while (a != b) { if (a > b) { a = a - b; } else { b = b - a; } }
+        output a;
+        """
+        graph = compile_source_to_graph(source)
+        assert run_graph(graph).single_output("a") == 21
+        assert check_dataflow_vs_gamma(graph, seeds=(0,), engines=("chaotic",)).passed
+
+    def test_zero_trip_loop(self):
+        graph = compile_source_to_graph(
+            "int x = 5; int n = 0; while (n > 0) { x = x + 1; n = n - 1; } output x;"
+        )
+        assert run_graph(graph).single_output("x") == 5
+
+    def test_second_loop_rejected(self):
+        """Values leaving the first loop carry its exit tag; a second loop would
+        mix them with fresh tag-0 values, so the compiler rejects it explicitly."""
+        source = """
+        int n = 3; int s = 0;
+        while (n > 0) { s = s + n; n = n - 1; }
+        int m = 2;
+        while (m > 0) { s = s + 10; m = m - 1; }
+        output s;
+        """
+        with pytest.raises(FrontendCompileError):
+            compile_source_to_graph(source)
+
+    def test_generated_graphs_are_convertible(self):
+        graph = compile_source_to_graph(
+            "int n = 6; int f = 1; while (n > 1) { f = f * n; n = n - 1; } output f;"
+        )
+        report = check_dataflow_vs_gamma(graph, seeds=(0, 1), engines=("chaotic",))
+        assert report.passed
+
+    def test_nested_loops_rejected(self):
+        with pytest.raises(FrontendCompileError):
+            compile_source_to_graph(
+                "int a = 2; int b = 2; int s = 0;"
+                "while (a > 0) { while (b > 0) { s = s + 1; b = b - 1; } a = a - 1; } output s;"
+            )
+
+    def test_undefined_variable_rejected(self):
+        with pytest.raises(FrontendCompileError):
+            compile_source_to_graph("m = q + 1; output m;")
+
+    def test_literal_assignment_inside_loop_rejected(self):
+        with pytest.raises(FrontendCompileError):
+            compile_source_to_graph("int n = 3; while (n > 0) { k = 5; n = n - 1; } output n;")
+
+    def test_output_of_undefined_variable_rejected(self):
+        with pytest.raises(FrontendCompileError):
+            compile_source_to_graph("output nothing;")
+
+    def test_unary_minus(self):
+        graph = compile_source_to_graph("int x = 7; m = -x; output m;")
+        assert run_graph(graph).single_output("m") == -7

@@ -1,0 +1,114 @@
+"""Experiment E4: the paper's listings parse, compile, execute and round-trip."""
+
+import pytest
+
+from repro.core import dataflow_to_gamma
+from repro.gamma import run
+from repro.gamma.dsl import compile_source, format_program, format_reaction
+from repro.gamma.stdlib import values_multiset
+from repro.workloads.paper_examples import (
+    example1_expected_result,
+    example1_graph,
+    example2_expected_result,
+)
+from repro.workloads.paper_listings import (
+    ALL_LISTINGS,
+    EQ2_MIN_ELEMENT,
+    EXAMPLE1_INIT,
+    EXAMPLE1_REACTIONS,
+    EXAMPLE1_REDUCED,
+    EXAMPLE2_INIT,
+    EXAMPLE2_REACTIONS,
+    EXAMPLE2_REDUCED,
+    example1_init_source,
+    example2_init_source,
+)
+
+
+class TestListingsParse:
+    @pytest.mark.parametrize("name", sorted(ALL_LISTINGS))
+    def test_every_listing_compiles(self, name):
+        program = compile_source(ALL_LISTINGS[name], name=name)
+        assert len(program) >= 1
+
+    def test_example1_reaction_names(self):
+        program = compile_source(EXAMPLE1_REACTIONS)
+        assert program.reaction_names() == ["R1", "R2", "R3"]
+
+    def test_example2_reaction_count_is_nine(self):
+        program = compile_source(EXAMPLE2_REACTIONS)
+        assert len(program) == 9
+        assert program.reaction_names() == [f"R{i}" for i in range(11, 20)]
+
+    def test_reduced_listing_counts(self):
+        assert len(compile_source(EXAMPLE1_REDUCED)) == 1
+        assert len(compile_source(EXAMPLE2_REDUCED)) == 6
+
+
+class TestListingsExecute:
+    def test_eq2_min_element(self):
+        program = compile_source(EQ2_MIN_ELEMENT)
+        result = run(program, values_multiset([9, 4, 7, 1, 3]), engine="chaotic", seed=0)
+        assert result.final.to_tuples() == [(1, "x", 0)]
+
+    def test_example1_listing_computes_m(self):
+        program = compile_source(EXAMPLE1_INIT + EXAMPLE1_REACTIONS)
+        result = run(program, engine="sequential")
+        assert result.final.values_with_label("m") == [example1_expected_result()]
+
+    def test_example1_reduced_equivalent(self):
+        program = compile_source(EXAMPLE1_INIT + EXAMPLE1_REDUCED)
+        result = run(program, engine="chaotic", seed=1)
+        assert result.final.values_with_label("m") == [example1_expected_result()]
+
+    @pytest.mark.parametrize("x,y,k,j", [(1, 5, 3, 2), (10, -3, 4, 4), (0, 0, 0, 0)])
+    def test_example1_listing_for_other_inputs(self, x, y, k, j):
+        program = compile_source(example1_init_source(x, y, k, j) + EXAMPLE1_REACTIONS)
+        result = run(program, engine="chaotic", seed=2)
+        assert result.final.values_with_label("m") == [example1_expected_result(x, y, k, j)]
+
+    def test_example2_listing_terminates_empty(self):
+        """The paper's verbatim 9-reaction listing discards everything at loop
+        exit (`by 0 else` on every steer) — the stable multiset is empty."""
+        program = compile_source(EXAMPLE2_INIT + EXAMPLE2_REACTIONS)
+        result = run(program, engine="chaotic", seed=1)
+        assert len(result.final) == 0
+        assert result.firings > 0
+
+    @pytest.mark.parametrize("y,z,x", [(2, 3, 10), (1, 5, 0), (4, 0, 9)])
+    def test_example2_reduced_keeps_accumulator(self, y, z, x):
+        """The reduced 6-reaction listing leaves the final accumulator on C12."""
+        program = compile_source(example2_init_source(y, z, x) + EXAMPLE2_REDUCED)
+        result = run(program, engine="chaotic", seed=3)
+        assert result.final.values_with_label("C12") == [example2_expected_result(y, z, x)]
+
+    def test_listing_matches_algorithm1_conversion(self):
+        """Executing the hand-written R1–R3 equals executing the generated reactions."""
+        listing = compile_source(EXAMPLE1_INIT + EXAMPLE1_REACTIONS)
+        generated = dataflow_to_gamma(example1_graph())
+        listing_result = run(listing, engine="sequential").final.restrict_labels(["m"])
+        generated_result = run(generated.program, engine="sequential").final.restrict_labels(["m"])
+        assert listing_result == generated_result
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", sorted(ALL_LISTINGS))
+    def test_pretty_print_reparses(self, name):
+        program = compile_source(ALL_LISTINGS[name], name=name)
+        text = format_program(program, include_init=False)
+        reparsed = compile_source(text, name=name)
+        assert reparsed.reaction_names() == program.reaction_names()
+        for reaction in program.reactions:
+            assert reparsed[reaction.name].arity == reaction.arity
+            assert len(reparsed[reaction.name].branches) == len(reaction.branches)
+
+    def test_roundtrip_preserves_behaviour(self):
+        program = compile_source(EXAMPLE1_INIT + EXAMPLE1_REACTIONS)
+        text = format_program(program)
+        reparsed = compile_source(text)
+        assert run(reparsed, engine="sequential").final == run(program, engine="sequential").final
+
+    def test_format_reaction_contains_paper_keywords(self):
+        program = compile_source(EXAMPLE2_REACTIONS)
+        text = format_reaction(program["R16"])
+        assert "replace" in text and "by" in text and "if" in text and "else" in text

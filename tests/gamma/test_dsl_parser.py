@@ -1,0 +1,128 @@
+"""Unit tests for the Gamma DSL lexer and parser (Fig. 3 grammar)."""
+
+import pytest
+
+from repro.gamma.dsl import (
+    GRAMMAR_EBNF,
+    LexerError,
+    ParseError,
+    grammar_rules,
+    parse_program,
+    parse_reaction,
+    tokenize,
+)
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("Replace BY If ELSE where")
+        assert [t.value for t in tokens[:-1]] == ["replace", "by", "if", "else", "where"]
+        assert all(t.kind == "keyword" for t in tokens[:-1])
+
+    def test_strings_and_numbers(self):
+        tokens = tokenize("[id1, 'A1', 3] 2.5")
+        kinds = [t.kind for t in tokens[:-1]]
+        assert kinds == ["punct", "ident", "punct", "string", "punct", "int", "punct", "float"]
+
+    def test_double_quotes(self):
+        tokens = tokenize('"B2"')
+        assert tokens[0].kind == "string" and tokens[0].value == "B2"
+
+    def test_comments_skipped(self):
+        tokens = tokenize("# a comment\nR1 -- another\n")
+        assert [t.value for t in tokens[:-1]] == ["R1"]
+
+    def test_operators(self):
+        tokens = tokenize("== != <= >= < > + - * / % |")
+        assert all(t.kind == "op" for t in tokens[:-1])
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexerError):
+            tokenize("'oops")
+
+    def test_unknown_character_raises(self):
+        with pytest.raises(LexerError):
+            tokenize("R1 = replace @")
+
+    def test_line_tracking(self):
+        tokens = tokenize("a\nb")
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2
+
+
+class TestParser:
+    def test_simple_reaction(self):
+        r = parse_reaction("R1 = replace [id1, 'A1'], [id2, 'B1'] by [id1 + id2, 'B2']")
+        assert r.name == "R1"
+        assert len(r.replace) == 2
+        assert len(r.by_clauses) == 1
+        assert r.by_clauses[0].condition is None
+
+    def test_if_else_clauses(self):
+        source = """
+        R16 = replace [id1,'B13',v], [id2,'B15',v]
+              by [id1,'B17',v]
+              if id2 == 1
+              by 0
+              else
+        """
+        r = parse_reaction(source)
+        assert len(r.by_clauses) == 2
+        assert r.by_clauses[0].condition is not None
+        assert r.by_clauses[1].elements == ()
+        assert r.by_clauses[1].is_else
+
+    def test_where_clause_and_parenthesised_replace(self):
+        r = parse_reaction("R = replace (x, y) by x where x < y")
+        assert len(r.replace) == 2
+        assert r.replace[0].bare
+        assert r.where is not None
+
+    def test_boolean_condition(self):
+        r = parse_reaction(
+            "R11 = replace [id1,x,v] by [id1,'A12',v+1] if (x=='A1') or (x=='A11')"
+        )
+        assert r.by_clauses[0].condition is not None
+
+    def test_program_with_init(self):
+        program = parse_program(
+            "init { [1,'A1',0], [5,'B1',0] }\n"
+            "R1 = replace [a,'A1'], [b,'B1'] by [a+b,'B2']"
+        )
+        assert program.init is not None
+        assert len(program.init.elements) == 2
+        assert len(program.reactions) == 1
+
+    def test_composition_line_is_accepted(self):
+        program = parse_program(
+            "R1 = replace [a,'A1'] by [a,'A2']\n"
+            "R2 = replace [a,'A2'] by [a,'A3']\n"
+            "R1 | R2\n"
+        )
+        assert len(program.reactions) == 2
+
+    def test_missing_by_raises(self):
+        with pytest.raises(ParseError):
+            parse_reaction("R1 = replace [a,'A1']")
+
+    def test_empty_source_raises(self):
+        with pytest.raises(ParseError):
+            parse_program("   # nothing here\n")
+
+    def test_trailing_garbage_raises(self):
+        with pytest.raises(ParseError):
+            parse_reaction("R = replace x by x where x < y extra")
+
+    def test_element_with_too_many_fields_raises(self):
+        with pytest.raises(ParseError):
+            parse_reaction("R = replace [a, 'L', v, 4] by [a, 'L', v]")
+
+
+class TestGrammarDocument:
+    def test_grammar_mentions_core_nonterminals(self):
+        rules = grammar_rules()
+        for nonterminal in ("reaction", "by_clause", "element", "condition"):
+            assert nonterminal in rules
+
+    def test_grammar_text_nonempty(self):
+        assert "replace" in GRAMMAR_EBNF

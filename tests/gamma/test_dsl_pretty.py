@@ -1,0 +1,58 @@
+"""Unit tests for the DSL pretty-printer and generated-code round-trips."""
+
+import pytest
+
+from repro.core import dataflow_to_gamma
+from repro.gamma import run
+from repro.gamma.dsl import compile_source, format_expr, format_multiset, format_program
+from repro.gamma.expr import BinOp, BoolOp, Compare, Const, Not, Var
+from repro.gamma.stdlib import values_multiset
+from repro.workloads.paper_examples import example1_graph, example2_graph
+
+
+class TestFormatExpr:
+    def test_variables_and_constants(self):
+        assert format_expr(Var("id1")) == "id1"
+        assert format_expr(Const(3)) == "3"
+        assert format_expr(Const("A1")) == "'A1'"
+
+    def test_operators_and_precedence(self):
+        expr = BinOp("-", BinOp("+", Var("a"), Var("b")), BinOp("*", Var("c"), Var("d")))
+        assert format_expr(expr) == "a + b - c * d"
+        nested = BinOp("*", BinOp("+", Var("a"), Var("b")), Var("c"))
+        assert format_expr(nested) == "(a + b) * c"
+
+    def test_boolean_and_not(self):
+        expr = BoolOp("or", Compare("==", Var("x"), Const("A1")), Compare("==", Var("x"), Const("A11")))
+        assert format_expr(expr) == "x == 'A1' or x == 'A11'"
+        # Parentheses are required: in the grammar 'not' binds tighter than '<'.
+        assert format_expr(Not(Compare("<", Var("a"), Var("b")))) == "not (a < b)"
+
+    def test_min_max_function_style(self):
+        assert format_expr(BinOp("min", Var("a"), Var("b"))) == "min(a, b)"
+
+
+class TestFormatProgram:
+    def test_generated_program_round_trips(self):
+        """Gamma code emitted for Algorithm 1's output re-parses and re-executes."""
+        conversion = dataflow_to_gamma(example2_graph())
+        text = format_program(conversion.program)
+        reparsed = compile_source(text)
+        original = run(conversion.program, engine="sequential").final.restrict_labels(["Cout"])
+        again = run(reparsed, engine="sequential").final.restrict_labels(["Cout"])
+        assert original == again
+
+    def test_format_multiset(self):
+        text = format_multiset(values_multiset([1, 2]))
+        assert text.startswith("init {")
+        assert "'x'" in text
+
+    def test_program_text_includes_init(self):
+        conversion = dataflow_to_gamma(example1_graph())
+        text = format_program(conversion.program)
+        assert "init {" in text
+        assert "R1 = replace" in text
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            format_program(42)

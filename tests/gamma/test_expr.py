@@ -1,0 +1,105 @@
+"""Unit tests for the reaction expression AST."""
+
+import pytest
+
+from repro.gamma.expr import (
+    BinOp,
+    BoolOp,
+    Compare,
+    Const,
+    EvaluationError,
+    Not,
+    Var,
+    const,
+    var,
+)
+
+
+class TestEvaluation:
+    def test_var_lookup(self):
+        assert Var("x").evaluate({"x": 5}) == 5
+
+    def test_unbound_var_raises(self):
+        with pytest.raises(EvaluationError):
+            Var("x").evaluate({})
+
+    def test_const(self):
+        assert Const(7).evaluate({}) == 7
+
+    @pytest.mark.parametrize(
+        "op,expected",
+        [("+", 10), ("-", 4), ("*", 21), ("%", 1), ("min", 3), ("max", 7)],
+    )
+    def test_arithmetic(self, op, expected):
+        assert BinOp(op, Const(7), Const(3)).evaluate({}) == expected
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(EvaluationError):
+            BinOp("/", Const(1), Const(0)).evaluate({})
+
+    @pytest.mark.parametrize(
+        "op,expected",
+        [("==", False), ("!=", True), ("<", False), ("<=", False), (">", True), (">=", True)],
+    )
+    def test_comparisons(self, op, expected):
+        assert Compare(op, Const(7), Const(3)).evaluate({}) is expected
+
+    def test_incomparable_operands_raise(self):
+        with pytest.raises(EvaluationError):
+            Compare("<", Const("a"), Const(1)).evaluate({})
+
+    def test_bool_ops(self):
+        assert BoolOp("and", Const(True), Const(False)).evaluate({}) is False
+        assert BoolOp("or", Const(True), Const(False)).evaluate({}) is True
+
+    def test_bool_short_circuit(self):
+        # The right side would raise if evaluated.
+        expr = BoolOp("or", Compare("==", Var("x"), Const(1)), Compare("<", Var("missing"), Const(1)))
+        assert expr.evaluate({"x": 1}) is True
+
+    def test_not(self):
+        assert Not(Const(False)).evaluate({}) is True
+
+    def test_label_discrimination_idiom(self):
+        # (x == 'A1') or (x == 'A11') — the R11 guard.
+        guard = BoolOp(
+            "or",
+            Compare("==", Var("x"), Const("A1")),
+            Compare("==", Var("x"), Const("A11")),
+        )
+        assert guard.evaluate({"x": "A11"}) is True
+        assert guard.evaluate({"x": "B1"}) is False
+
+
+class TestStructure:
+    def test_variables_collection(self):
+        expr = BinOp("+", Var("a"), BinOp("*", Var("b"), Const(2)))
+        assert expr.variables() == frozenset({"a", "b"})
+
+    def test_unknown_operators_rejected(self):
+        with pytest.raises(ValueError):
+            BinOp("**", Const(1), Const(2))
+        with pytest.raises(ValueError):
+            Compare("===", Const(1), Const(2))
+        with pytest.raises(ValueError):
+            BoolOp("xor", Const(True), Const(False))
+
+    def test_is_boolean(self):
+        assert Compare("<", Var("x"), Const(1)).is_boolean()
+        assert BoolOp("and", Const(True), Const(True)).is_boolean()
+        assert Not(Const(True)).is_boolean()
+        assert not BinOp("+", Const(1), Const(2)).is_boolean()
+        assert Const(True).is_boolean()
+        assert not Const(3).is_boolean()
+
+    def test_operator_sugar(self):
+        expr = (var("x") + 1) * var("y")
+        assert expr.evaluate({"x": 2, "y": 4}) == 12
+        cond = (var("x") < var("y")).and_(var("x") > const(0))
+        assert cond.evaluate({"x": 1, "y": 5}) is True
+
+    def test_immutable_and_hashable(self):
+        a = BinOp("+", Var("x"), Const(1))
+        b = BinOp("+", Var("x"), Const(1))
+        assert a == b
+        assert hash(a) == hash(b)

@@ -1,0 +1,109 @@
+"""Unit tests for the reaction matching engine."""
+
+import random
+
+import pytest
+
+from repro.gamma.expr import Compare, Const, Var
+from repro.gamma.matching import Matcher, find_match, iter_matches
+from repro.gamma.pattern import pattern, template
+from repro.gamma.reaction import Branch, Reaction
+from repro.gamma.stdlib import min_element, values_multiset
+from repro.multiset import Element, Multiset
+
+
+def sum_pair_reaction(label="x"):
+    return Reaction(
+        "Rsum",
+        [pattern("a", label, "t1"), pattern("b", label, "t2")],
+        [Branch(productions=[template(Var("a") + Var("b"), label, Const(0))])],
+    )
+
+
+class TestBasicMatching:
+    def test_find_match_binds_values(self):
+        m = values_multiset([3, 9])
+        match = find_match(sum_pair_reaction(), m)
+        assert match is not None
+        assert sorted(e.value for e in match.consumed) == [3, 9]
+        assert match.produced()[0].value == 12
+
+    def test_no_match_when_too_few_elements(self):
+        assert find_match(sum_pair_reaction(), values_multiset([3])) is None
+
+    def test_no_match_when_labels_differ(self):
+        m = Multiset([(1, "other")])
+        assert find_match(sum_pair_reaction(), m) is None
+
+    def test_guard_filters_matches(self):
+        program = min_element()
+        reaction = program["Rmin"]
+        # Only the ordering with a < b is enabled.
+        m = values_multiset([5, 2])
+        match = find_match(reaction, m)
+        assert match is not None
+        assert match.binding["a"] < match.binding["b"]
+
+    def test_is_enabled(self):
+        matcher = Matcher(values_multiset([1, 2]))
+        assert matcher.is_enabled(sum_pair_reaction())
+        assert not Matcher(values_multiset([1])).is_enabled(sum_pair_reaction())
+
+
+class TestMultiplicityAndTags:
+    def test_same_element_needs_multiplicity_two(self):
+        m = Multiset([(4, "x", 0)])
+        assert find_match(sum_pair_reaction(), m) is None
+        m.add(Element(4, "x", 0))
+        match = find_match(sum_pair_reaction(), m)
+        assert match is not None
+        assert [e.value for e in match.consumed] == [4, 4]
+
+    def test_shared_tag_variable_requires_equal_tags(self):
+        reaction = Reaction(
+            "R",
+            [pattern("a", "L", "v"), pattern("b", "M", "v")],
+            [Branch(productions=[template("a", "out", "v")])],
+        )
+        mismatched = Multiset([(1, "L", 0), (2, "M", 1)])
+        assert find_match(reaction, mismatched) is None
+        matched = Multiset([(1, "L", 2), (2, "M", 2)])
+        match = find_match(reaction, matched)
+        assert match is not None
+        assert match.binding["v"] == 2
+
+    def test_variable_label_candidates(self):
+        reaction = Reaction(
+            "R11",
+            [pattern("id1", "x", "v", label_is_variable=True)],
+            [Branch(
+                productions=[template("id1", "A12", Var("v") + 1)],
+                condition=Compare("==", Var("x"), Const("A1")),
+            )],
+        )
+        m = Multiset([(7, "A1", 0), (9, "B1", 0)])
+        match = find_match(reaction, m)
+        assert match is not None
+        assert match.consumed[0].label == "A1"
+
+
+class TestEnumeration:
+    def test_iter_matches_limit(self):
+        m = values_multiset(range(6))
+        matches = list(iter_matches(sum_pair_reaction(), m, limit=4))
+        assert len(matches) == 4
+
+    def test_iter_matches_counts_ordered_pairs(self):
+        m = values_multiset([1, 2, 3])
+        matches = list(iter_matches(sum_pair_reaction(), m))
+        # 3 distinct elements -> 3*2 ordered pairs.
+        assert len(matches) == 6
+
+    def test_rng_shuffles_candidates(self):
+        m = values_multiset(range(20))
+        reaction = sum_pair_reaction()
+        first = Matcher(m, rng=random.Random(1)).find(reaction)
+        second = Matcher(m, rng=random.Random(2)).find(reaction)
+        assert first is not None and second is not None
+        # With 20 elements two seeds almost surely pick different pairs.
+        assert {e.value for e in first.consumed} != {e.value for e in second.consumed}

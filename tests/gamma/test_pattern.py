@@ -1,0 +1,85 @@
+"""Unit tests for element patterns and production templates."""
+
+import pytest
+
+from repro.gamma.expr import BinOp, Const, Var
+from repro.gamma.pattern import ElementPattern, ElementTemplate, pattern, template
+from repro.multiset import Element
+
+
+class TestPatternMatching:
+    def test_literal_label_match(self):
+        p = pattern("id1", "A1")
+        binding = p.match(Element(5, "A1", 0), {})
+        assert binding == {"id1": 5, "v": 0}
+
+    def test_literal_label_mismatch(self):
+        p = pattern("id1", "A1")
+        assert p.match(Element(5, "B1", 0), {}) is None
+
+    def test_variable_label_binds(self):
+        p = pattern("id1", "x", label_is_variable=True)
+        binding = p.match(Element(5, "A11", 3), {})
+        assert binding == {"id1": 5, "x": "A11", "v": 3}
+
+    def test_repeated_variable_must_agree(self):
+        p1 = pattern("a", "L1", "v")
+        p2 = pattern("a", "L2", "v")
+        binding = p1.match(Element(5, "L1", 0), {})
+        assert p2.match(Element(5, "L2", 0), binding) == {"a": 5, "v": 0}
+        assert p2.match(Element(6, "L2", 0), binding) is None
+
+    def test_tag_variable_shared_across_patterns(self):
+        p1 = pattern("a", "L1", "v")
+        p2 = pattern("b", "L2", "v")
+        binding = p1.match(Element(1, "L1", 2), {})
+        assert p2.match(Element(9, "L2", 2), binding) is not None
+        assert p2.match(Element(9, "L2", 3), binding) is None
+
+    def test_input_binding_not_mutated(self):
+        p = pattern("a", "L")
+        original = {"z": 1}
+        p.match(Element(1, "L", 0), original)
+        assert original == {"z": 1}
+
+    def test_constant_value_pattern(self):
+        p = ElementPattern(value=Const(1), label=Const("B15"), tag=Var("v"))
+        assert p.match(Element(1, "B15", 0), {}) == {"v": 0}
+        assert p.match(Element(0, "B15", 0), {}) is None
+
+    def test_pattern_fields_must_be_var_or_const(self):
+        with pytest.raises(TypeError):
+            ElementPattern(value=BinOp("+", Var("a"), Const(1)), label=Const("L"), tag=Var("v"))
+
+    def test_introspection(self):
+        p = pattern("id1", "A1", "v")
+        assert p.fixed_label() == "A1"
+        assert p.tag_variable() == "v"
+        assert p.variables() == frozenset({"id1", "v"})
+        q = pattern("id1", "x", label_is_variable=True)
+        assert q.fixed_label() is None
+
+
+class TestTemplates:
+    def test_instantiate(self):
+        t = template(BinOp("+", Var("id1"), Var("id2")), "B2", "v")
+        element = t.instantiate({"id1": 1, "id2": 5, "v": 0})
+        assert element == Element(6, "B2", 0)
+
+    def test_inctag_template(self):
+        t = template("id1", "A12", BinOp("+", Var("v"), Const(1)))
+        assert t.instantiate({"id1": 7, "v": 2}) == Element(7, "A12", 3)
+
+    def test_label_must_be_string(self):
+        t = ElementTemplate(value=Var("a"), label=Var("a"), tag=Const(0))
+        with pytest.raises(TypeError):
+            t.instantiate({"a": 3})
+
+    def test_tag_must_be_int(self):
+        t = ElementTemplate(value=Var("a"), label=Const("L"), tag=Var("a"))
+        with pytest.raises(TypeError):
+            t.instantiate({"a": "oops"})
+
+    def test_variables(self):
+        t = template(BinOp("-", Var("a"), Const(1)), "B11", "v")
+        assert t.variables() == frozenset({"a", "v"})

@@ -1,0 +1,77 @@
+"""Unit tests for Gamma program containers and composition operators."""
+
+import pytest
+
+from repro.gamma import GammaProgram, SequentialProgram, parallel, sequential
+from repro.gamma.stdlib import max_element, min_element, sum_reduction, values_multiset
+
+
+class TestGammaProgram:
+    def test_requires_reactions(self):
+        with pytest.raises(ValueError):
+            GammaProgram([])
+
+    def test_duplicate_names_rejected(self):
+        r = min_element()["Rmin"]
+        with pytest.raises(ValueError):
+            GammaProgram([r, r])
+
+    def test_lookup_by_name_and_index(self):
+        program = min_element()
+        assert program[0].name == "Rmin"
+        assert program["Rmin"].name == "Rmin"
+        assert "Rmin" in program
+        with pytest.raises(KeyError):
+            program["nope"]
+
+    def test_reaction_names(self):
+        program = min_element() | max_element()
+        assert program.reaction_names() == ["Rmin", "Rmax"]
+        assert len(program) == 2
+
+    def test_parallel_composition_merges_initial(self):
+        a = min_element().with_initial(values_multiset([1, 2]))
+        b = max_element().with_initial(values_multiset([3]))
+        combined = a | b
+        assert len(combined.initial) == 3
+
+    def test_or_with_reaction(self):
+        program = min_element() | max_element()["Rmax"]
+        assert set(program.reaction_names()) == {"Rmin", "Rmax"}
+
+    def test_output_labels(self):
+        from repro.core import dataflow_to_gamma
+        from repro.workloads.paper_examples import example1_graph
+
+        program = dataflow_to_gamma(example1_graph()).program
+        assert program.output_labels() == {"m"}
+
+    def test_with_initial_copies(self):
+        initial = values_multiset([1])
+        program = min_element().with_initial(initial)
+        initial.add((99, "x", 0))
+        assert len(program.initial) == 1
+
+
+class TestSequentialProgram:
+    def test_flattening(self):
+        s = sequential(min_element(), sequential(max_element(), sum_reduction()))
+        assert len(s) == 3
+
+    def test_then_chains(self):
+        s = min_element().then(max_element()).then(sum_reduction())
+        assert isinstance(s, SequentialProgram)
+        assert len(s) == 3
+
+    def test_requires_stages(self):
+        with pytest.raises(ValueError):
+            SequentialProgram([])
+
+    def test_initial_comes_from_first_stage(self):
+        first = min_element().with_initial(values_multiset([5]))
+        s = sequential(first, max_element())
+        assert s.initial is not None
+
+    def test_parallel_helper_rejects_bad_types(self):
+        with pytest.raises(TypeError):
+            parallel(min_element(), "not a reaction")

@@ -1,0 +1,135 @@
+"""Unit tests for reactions: enabledness, branch selection, application."""
+
+import pytest
+
+from repro.gamma.expr import BinOp, Compare, Const, Var
+from repro.gamma.pattern import pattern, template
+from repro.gamma.reaction import Branch, Reaction
+from repro.multiset import Element
+
+
+def make_min_reaction():
+    """Eq. 2: replace x, y by x where x < y."""
+    return Reaction(
+        name="Rmin",
+        replace=[pattern("a", "x", "t1"), pattern("b", "x", "t2")],
+        branches=[Branch(productions=[template("a", "x", Const(0))])],
+        guard=Compare("<", Var("a"), Var("b")),
+    )
+
+
+def make_steer_reaction():
+    """R16: replace [id1,'B13',v],[id2,'B15',v] by [id1,'B17',v] if id2==1 / by 0 else."""
+    return Reaction(
+        name="R16",
+        replace=[pattern("id1", "B13", "v"), pattern("id2", "B15", "v")],
+        branches=[
+            Branch(
+                productions=[template("id1", "B17", "v")],
+                condition=Compare("==", Var("id2"), Const(1)),
+            ),
+            Branch(productions=[], condition=None),
+        ],
+    )
+
+
+class TestValidation:
+    def test_requires_name(self):
+        with pytest.raises(ValueError):
+            Reaction("", [pattern("a", "x")], [Branch(productions=[])])
+
+    def test_requires_patterns(self):
+        with pytest.raises(ValueError):
+            Reaction("R", [], [Branch(productions=[])])
+
+    def test_requires_branches(self):
+        with pytest.raises(ValueError):
+            Reaction("R", [pattern("a", "x")], [])
+
+    def test_unbound_variables_rejected(self):
+        with pytest.raises(ValueError):
+            Reaction(
+                "R",
+                [pattern("a", "x")],
+                [Branch(productions=[template("b", "y")])],  # b never bound
+            )
+
+    def test_guard_variables_checked(self):
+        with pytest.raises(ValueError):
+            Reaction(
+                "R",
+                [pattern("a", "x")],
+                [Branch(productions=[template("a", "y")])],
+                guard=Compare("<", Var("q"), Const(1)),
+            )
+
+
+class TestSemantics:
+    def test_guard_controls_enabledness(self):
+        reaction = make_min_reaction()
+        assert reaction.is_enabled({"a": 1, "b": 5, "t1": 0, "t2": 0})
+        assert not reaction.is_enabled({"a": 5, "b": 1, "t1": 0, "t2": 0})
+
+    def test_apply_respects_guard(self):
+        reaction = make_min_reaction()
+        produced = reaction.apply({"a": 1, "b": 5, "t1": 0, "t2": 0})
+        assert produced == [Element(1, "x", 0)]
+        with pytest.raises(ValueError):
+            reaction.apply({"a": 5, "b": 1, "t1": 0, "t2": 0})
+
+    def test_branch_selection_true(self):
+        reaction = make_steer_reaction()
+        produced = reaction.apply({"id1": 42, "id2": 1, "v": 3})
+        assert produced == [Element(42, "B17", 3)]
+
+    def test_branch_selection_else_produces_nothing(self):
+        reaction = make_steer_reaction()
+        assert reaction.is_enabled({"id1": 42, "id2": 0, "v": 3})
+        assert reaction.apply({"id1": 42, "id2": 0, "v": 3}) == []
+
+    def test_enabled_branch_ordering(self):
+        reaction = make_steer_reaction()
+        assert reaction.enabled_branch({"id1": 1, "id2": 1, "v": 0}) is reaction.branches[0]
+        assert reaction.enabled_branch({"id1": 1, "id2": 0, "v": 0}) is reaction.branches[1]
+
+    def test_single_conditional_branch_acts_as_guard(self):
+        # R11-style: if the condition fails, the reaction must not be enabled
+        # (otherwise it would silently delete elements).
+        reaction = Reaction(
+            name="R11",
+            replace=[pattern("id1", "x", "v", label_is_variable=True)],
+            branches=[
+                Branch(
+                    productions=[template("id1", "A12", BinOp("+", Var("v"), Const(1)))],
+                    condition=Compare("==", Var("x"), Const("A1")),
+                )
+            ],
+        )
+        assert reaction.is_enabled({"id1": 2, "x": "A1", "v": 0})
+        assert not reaction.is_enabled({"id1": 2, "x": "B1", "v": 0})
+
+
+class TestIntrospection:
+    def test_arity_and_labels(self):
+        reaction = make_steer_reaction()
+        assert reaction.arity == 2
+        assert reaction.consumed_labels() == frozenset({"B13", "B15"})
+        assert reaction.produced_labels() == frozenset({"B17"})
+        assert not reaction.has_variable_label()
+
+    def test_variable_label_detection(self):
+        reaction = Reaction(
+            "R",
+            [pattern("a", "x", label_is_variable=True)],
+            [Branch(productions=[template("a", "out")])],
+        )
+        assert reaction.has_variable_label()
+
+    def test_tag_variables(self):
+        reaction = make_min_reaction()
+        assert reaction.tag_variables() == frozenset({"t1", "t2"})
+
+    def test_renamed(self):
+        renamed = make_min_reaction().renamed("other")
+        assert renamed.name == "other"
+        assert renamed.replace == make_min_reaction().replace

@@ -1,0 +1,50 @@
+"""Unit tests for execution traces."""
+
+from repro.gamma import MaxParallelEngine, run
+from repro.gamma.stdlib import sum_reduction, values_multiset
+from repro.gamma.tracer import Trace
+
+
+class TestTraceRecording:
+    def test_firing_counts(self):
+        result = run(sum_reduction(), values_multiset([1, 2, 3, 4]), engine="sequential")
+        counts = result.trace.firing_counts()
+        assert counts == {"Rsum": 3}
+        assert result.trace.num_firings == 3
+
+    def test_firings_of(self):
+        result = run(sum_reduction(), values_multiset([1, 2, 3]), engine="sequential")
+        assert len(result.trace.firings_of("Rsum")) == 2
+        assert result.trace.firings_of("other") == []
+
+    def test_steps_vs_firings_parallel(self):
+        result = MaxParallelEngine(seed=0).run(sum_reduction(), values_multiset(range(1, 9)))
+        assert result.trace.num_firings == 7
+        assert result.trace.num_steps < 7
+
+    def test_parallelism_profile_statistics(self):
+        result = MaxParallelEngine(seed=0).run(sum_reduction(), values_multiset(range(1, 9)))
+        profile = result.trace.parallelism_profile()
+        assert profile == [4, 2, 1]
+        assert result.trace.max_parallelism() == 4
+        assert result.trace.average_parallelism() == 7 / 3
+
+    def test_empty_trace(self):
+        trace = Trace()
+        assert trace.parallelism_profile() == []
+        assert trace.max_parallelism() == 0
+        assert trace.average_parallelism() == 0.0
+        assert trace.reuse_statistics() == {"total": 0, "unique": 0, "reusable": 0}
+
+    def test_reuse_statistics_ignore_tags(self):
+        trace = Trace()
+        from repro.multiset import Element
+
+        step = trace.begin_step()
+        trace.record(step, "R", [Element(1, "a", 0)], [Element(2, "b", 0)])
+        step = trace.begin_step()
+        trace.record(step, "R", [Element(1, "a", 5)], [Element(2, "b", 5)])
+        stats = trace.reuse_statistics()
+        assert stats["total"] == 2
+        assert stats["unique"] == 1
+        assert stats["reusable"] == 1

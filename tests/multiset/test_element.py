@@ -1,0 +1,93 @@
+"""Unit tests for tagged multiset elements."""
+
+import pytest
+
+from repro.multiset import Element, make_elements
+
+
+class TestElementConstruction:
+    def test_triple_fields(self):
+        e = Element(5, "A1", 2)
+        assert e.value == 5
+        assert e.label == "A1"
+        assert e.tag == 2
+
+    def test_defaults(self):
+        e = Element(5)
+        assert e.label == ""
+        assert e.tag == 0
+
+    def test_pair_constructor(self):
+        e = Element.pair(1, "A1")
+        assert e.as_tuple() == (1, "A1", 0)
+
+    def test_from_tuple_lengths(self):
+        assert Element.from_tuple((1,)).as_tuple() == (1, "", 0)
+        assert Element.from_tuple((1, "B")).as_tuple() == (1, "B", 0)
+        assert Element.from_tuple((1, "B", 3)).as_tuple() == (1, "B", 3)
+
+    def test_from_tuple_rejects_long_tuples(self):
+        with pytest.raises(ValueError):
+            Element.from_tuple((1, "B", 3, 4))
+
+    def test_from_tuple_rejects_non_tuples(self):
+        with pytest.raises(TypeError):
+            Element.from_tuple([1, "B"])
+
+    def test_label_must_be_string(self):
+        with pytest.raises(TypeError):
+            Element(1, label=42)
+
+    def test_tag_must_be_int(self):
+        with pytest.raises(TypeError):
+            Element(1, "A", "x")
+
+    def test_tag_must_be_non_negative(self):
+        with pytest.raises(ValueError):
+            Element(1, "A", -1)
+
+    def test_bool_tag_rejected(self):
+        with pytest.raises(TypeError):
+            Element(1, "A", True)
+
+    def test_value_must_be_hashable(self):
+        with pytest.raises(TypeError):
+            Element([1, 2])
+
+
+class TestElementOperations:
+    def test_equality_and_hash(self):
+        assert Element(1, "A", 0) == Element(1, "A", 0)
+        assert hash(Element(1, "A", 0)) == hash(Element(1, "A", 0))
+        assert Element(1, "A", 0) != Element(1, "A", 1)
+        assert Element(1, "A", 0) != Element(2, "A", 0)
+
+    def test_with_value(self):
+        e = Element(1, "A", 2).with_value(9)
+        assert e.as_tuple() == (9, "A", 2)
+
+    def test_with_label(self):
+        e = Element(1, "A", 2).with_label("B")
+        assert e.as_tuple() == (1, "B", 2)
+
+    def test_with_tag(self):
+        e = Element(1, "A", 2).with_tag(7)
+        assert e.as_tuple() == (1, "A", 7)
+
+    def test_inc_tag(self):
+        assert Element(1, "A", 2).inc_tag().tag == 3
+        assert Element(1, "A", 2).inc_tag(3).tag == 5
+
+    def test_immutable(self):
+        e = Element(1, "A", 0)
+        with pytest.raises(Exception):
+            e.value = 2
+
+
+class TestMakeElements:
+    def test_mixed_input(self):
+        elements = make_elements([Element(1, "A"), (2, "B"), 3])
+        assert [e.as_tuple() for e in elements] == [(1, "A", 0), (2, "B", 0), (3, "", 0)]
+
+    def test_empty(self):
+        assert make_elements([]) == []

@@ -1,0 +1,66 @@
+"""Unit tests for the label/tag index used by the matching engine."""
+
+import pytest
+
+from repro.multiset import Element, LabelTagIndex, Multiset
+
+
+class TestIndexMaintenance:
+    def test_rebuild_from_multiset(self):
+        m = Multiset([(1, "A", 0), (2, "A", 1), (3, "B", 0)])
+        index = LabelTagIndex(m)
+        assert len(index) == 3
+        assert sorted(index.labels()) == ["A", "B"]
+
+    def test_add_remove(self):
+        index = LabelTagIndex()
+        e = Element(1, "A", 0)
+        index.add(e, 2)
+        assert index.count(e) == 2
+        index.remove(e)
+        assert index.count(e) == 1
+        index.remove(e)
+        assert index.count(e) == 0
+        assert index.labels() == []
+
+    def test_remove_missing_raises(self):
+        index = LabelTagIndex()
+        with pytest.raises(KeyError):
+            index.remove(Element(1, "A", 0))
+
+    def test_remove_too_many_raises(self):
+        index = LabelTagIndex()
+        index.add(Element(1, "A", 0))
+        with pytest.raises(KeyError):
+            index.remove(Element(1, "A", 0), count=2)
+
+    def test_non_positive_counts_rejected(self):
+        index = LabelTagIndex()
+        with pytest.raises(ValueError):
+            index.add(Element(1, "A", 0), count=0)
+
+
+class TestIndexQueries:
+    def setup_method(self):
+        self.index = LabelTagIndex(
+            Multiset([(1, "A", 0), (2, "A", 1), (3, "B", 0), (4, "B", 1), (5, "C", 2)])
+        )
+
+    def test_candidates_by_label(self):
+        assert sorted(e.value for e in self.index.candidates("A")) == [1, 2]
+
+    def test_candidates_by_label_and_tag(self):
+        assert [e.value for e in self.index.candidates("A", 1)] == [2]
+        assert self.index.candidates("A", 7) == []
+
+    def test_candidates_unknown_label(self):
+        assert self.index.candidates("Z") == []
+
+    def test_tags_for(self):
+        assert sorted(self.index.tags_for("B")) == [0, 1]
+        assert self.index.tags_for("Z") == []
+
+    def test_common_tags(self):
+        assert self.index.common_tags(["A", "B"]) == {0, 1}
+        assert self.index.common_tags(["A", "C"]) == set()
+        assert self.index.common_tags([]) == set()

@@ -1,0 +1,149 @@
+"""Unit tests for the counted multiset."""
+
+import pytest
+
+from repro.multiset import Element, Multiset
+
+
+def ms(*tuples):
+    return Multiset(list(tuples))
+
+
+class TestBasics:
+    def test_empty(self):
+        m = Multiset()
+        assert len(m) == 0
+        assert not m
+
+    def test_construction_from_tuples(self):
+        m = ms((1, "A"), (2, "B"))
+        assert len(m) == 2
+        assert (1, "A") in m
+
+    def test_multiplicity(self):
+        m = Multiset()
+        m.add(Element(1, "A"), count=3)
+        assert len(m) == 3
+        assert m.count((1, "A")) == 3
+        assert list(m).count(Element(1, "A")) == 3
+
+    def test_add_rejects_non_positive_count(self):
+        m = Multiset()
+        with pytest.raises(ValueError):
+            m.add(Element(1), count=0)
+
+    def test_contains_coerces_tuples(self):
+        m = ms((1, "A", 2))
+        assert (1, "A", 2) in m
+        assert (1, "A", 3) not in m
+
+    def test_equality_is_count_sensitive(self):
+        a = Multiset()
+        a.add(Element(1, "A"), 2)
+        b = Multiset()
+        b.add(Element(1, "A"), 1)
+        assert a != b
+        b.add(Element(1, "A"), 1)
+        assert a == b
+
+    def test_hashable(self):
+        assert hash(ms((1, "A"))) == hash(ms((1, "A")))
+
+
+class TestRemoveReplace:
+    def test_remove(self):
+        m = ms((1, "A"), (1, "A"), (2, "B"))
+        m.remove(Element(1, "A"))
+        assert m.count((1, "A")) == 1
+
+    def test_remove_missing_raises(self):
+        m = ms((1, "A"))
+        with pytest.raises(KeyError):
+            m.remove(Element(9, "Z"))
+
+    def test_remove_too_many_raises(self):
+        m = ms((1, "A"))
+        with pytest.raises(KeyError):
+            m.remove(Element(1, "A"), count=2)
+
+    def test_replace_is_atomic_on_failure(self):
+        m = ms((1, "A"), (2, "B"))
+        with pytest.raises(KeyError):
+            m.replace([Element(1, "A"), Element(9, "Z")], [Element(3, "C")])
+        # Nothing was removed.
+        assert m == ms((1, "A"), (2, "B"))
+
+    def test_replace_gamma_step(self):
+        m = ms((1, "A1"), (5, "B1"))
+        m.replace([Element(1, "A1"), Element(5, "B1")], [Element(6, "B2")])
+        assert m == ms((6, "B2"))
+
+    def test_replace_same_element_twice_requires_multiplicity(self):
+        m = Multiset()
+        m.add(Element(4, "x"), 2)
+        m.replace([Element(4, "x"), Element(4, "x")], [Element(8, "x")])
+        assert m == ms((8, "x"))
+
+    def test_clear(self):
+        m = ms((1, "A"))
+        m.clear()
+        assert len(m) == 0
+        assert m.labels() == []
+
+
+class TestQueries:
+    def test_with_label(self):
+        m = ms((1, "A"), (2, "A"), (3, "B"))
+        assert sorted(e.value for e in m.with_label("A")) == [1, 2]
+        assert m.values_with_label("B") == [3]
+        assert m.with_label("missing") == []
+
+    def test_with_label_multiplicity(self):
+        m = Multiset()
+        m.add(Element(1, "A"), 2)
+        assert len(m.with_label("A")) == 2
+        assert len(m.distinct_with_label("A")) == 1
+
+    def test_labels(self):
+        m = ms((1, "A"), (2, "B"))
+        assert sorted(m.labels()) == ["A", "B"]
+
+    def test_select(self):
+        m = ms((1, "A"), (5, "A"), (10, "B"))
+        assert sorted(e.value for e in m.select(lambda e: e.value > 3)) == [5, 10]
+
+    def test_restrict_labels(self):
+        m = ms((1, "A"), (2, "B"), (3, "C"))
+        restricted = m.restrict_labels(["A", "C"])
+        assert restricted == ms((1, "A"), (3, "C"))
+
+    def test_to_tuples_sorted_round_trip(self):
+        m = ms((3, "C", 1), (1, "A"), (2, "B"))
+        assert Multiset.from_tuples(m.to_tuples()) == m
+
+
+class TestAlgebra:
+    def test_add(self):
+        assert ms((1, "A")) + ms((1, "A"), (2, "B")) == Multiset(
+            [(1, "A"), (1, "A"), (2, "B")]
+        )
+
+    def test_sub_floors_at_zero(self):
+        a = ms((1, "A"), (2, "B"))
+        b = ms((1, "A"), (1, "A"), (9, "Z"))
+        assert a - b == ms((2, "B"))
+
+    def test_copy_is_independent(self):
+        a = ms((1, "A"))
+        b = a.copy()
+        b.add(Element(2, "B"))
+        assert len(a) == 1
+        assert len(b) == 2
+
+    def test_issubset(self):
+        assert ms((1, "A")).issubset(ms((1, "A"), (2, "B")))
+        assert not ms((1, "A"), (1, "A")).issubset(ms((1, "A")))
+
+    def test_isdisjoint(self):
+        assert ms((1, "A")).isdisjoint(ms((2, "B")))
+        assert not ms((1, "A")).isdisjoint(ms((1, "A")))

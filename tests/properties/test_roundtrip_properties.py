@@ -1,0 +1,95 @@
+"""Property-based tests (experiment E8): conversion preserves behaviour.
+
+Hypothesis generates random expression DAGs, random initial values and random
+schedules; the properties assert that (a) the dataflow result never depends on
+the firing order, (b) Algorithm 1's Gamma program computes the same outputs
+under every engine, and (c) the Gamma-side execution through Algorithm 2 +
+instancing (the full round trip) agrees as well.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import (
+    check_dataflow_vs_gamma,
+    dataflow_to_gamma,
+    execute_via_dataflow,
+    reduce_program,
+)
+from repro.dataflow import run_graph
+from repro.gamma import run as run_gamma
+from repro.workloads.expressions import ExpressionSpec, random_expression_graph
+from repro.workloads.paper_examples import example2_expected_result, example2_graph
+
+# Keep generated cases small so the whole property suite stays fast.
+SPECS = st.builds(
+    ExpressionSpec,
+    num_inputs=st.integers(min_value=2, max_value=5),
+    num_operations=st.integers(min_value=1, max_value=12),
+    num_outputs=st.integers(min_value=1, max_value=2),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+
+COMMON_SETTINGS = dict(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@given(spec=SPECS, seed=st.integers(min_value=0, max_value=1000))
+@settings(**COMMON_SETTINGS)
+def test_dataflow_firing_order_never_changes_outputs(spec, seed):
+    graph = random_expression_graph(spec)
+    fifo = run_graph(graph, policy="fifo").outputs_as_multiset()
+    rand = run_graph(graph, policy="random", seed=seed).outputs_as_multiset()
+    lifo = run_graph(graph, policy="lifo").outputs_as_multiset()
+    assert fifo == rand == lifo
+
+
+@given(spec=SPECS)
+@settings(**COMMON_SETTINGS)
+def test_algorithm1_preserves_outputs_on_random_dags(spec):
+    graph = random_expression_graph(spec)
+    report = check_dataflow_vs_gamma(graph, engines=("sequential", "chaotic"), seeds=(0,))
+    assert report.passed, report.summary()
+
+
+@given(spec=SPECS, seed=st.integers(min_value=0, max_value=1000))
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_full_roundtrip_on_random_dags(spec, seed):
+    graph = random_expression_graph(spec)
+    expected = run_graph(graph).outputs_as_multiset()
+    conversion = dataflow_to_gamma(graph)
+    emulated = execute_via_dataflow(conversion.program, conversion.initial, seed=seed)
+    assert emulated.final.restrict_labels(conversion.output_labels) == expected
+
+
+@given(spec=SPECS)
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_reduction_preserves_outputs_on_random_dags(spec):
+    graph = random_expression_graph(spec)
+    conversion = dataflow_to_gamma(graph)
+    reduced = reduce_program(conversion.program)
+    expected = run_gamma(conversion.program, engine="sequential").final.restrict_labels(
+        conversion.output_labels
+    )
+    actual = run_gamma(reduced.program, conversion.initial, engine="sequential").final.restrict_labels(
+        conversion.output_labels
+    )
+    assert expected == actual
+
+
+@given(
+    y=st.integers(min_value=-5, max_value=5),
+    z=st.integers(min_value=0, max_value=8),
+    x=st.integers(min_value=-10, max_value=10),
+    seed=st.integers(min_value=0, max_value=100),
+)
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_loop_example_equivalence_over_inputs(y, z, x, seed):
+    graph = example2_graph(y, z, x)
+    expected = example2_expected_result(y, z, x)
+    assert run_graph(graph).single_output("Cout") == expected
+    conversion = dataflow_to_gamma(graph)
+    result = run_gamma(conversion.program, engine="chaotic", seed=seed)
+    assert result.final.values_with_label("Cout") == [expected]

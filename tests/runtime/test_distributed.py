@@ -1,0 +1,86 @@
+"""Tests for the simulated distributed (IoT-style) multiset runtime."""
+
+import pytest
+
+from repro.gamma import run
+from repro.gamma.stdlib import min_element, prime_sieve, sum_reduction, values_multiset
+from repro.multiset import Element
+from repro.runtime import DistributedGammaRuntime, DistributedMultiset
+
+
+class TestDistributedMultiset:
+    def test_partitioning_and_union(self):
+        dm = DistributedMultiset(4)
+        elements = [Element(i, "x", 0) for i in range(20)]
+        dm.add_all(elements)
+        assert len(dm) == 20
+        assert sum(dm.sizes()) == 20
+        assert sorted(dm.union().values_with_label("x")) == list(range(20))
+
+    def test_home_placement_is_deterministic(self):
+        dm = DistributedMultiset(4)
+        e = Element(7, "x", 0)
+        assert dm.home_of(e) == dm.home_of(e)
+        assert dm.add(e) == dm.home_of(e)
+
+    def test_migrate(self):
+        dm = DistributedMultiset(2)
+        e = Element(1, "x", 0)
+        home = dm.add(e)
+        other = 1 - home
+        dm.migrate(e, home, other)
+        assert dm.sizes()[other] == 1
+        assert dm.sizes()[home] == 0
+
+    def test_invalid_partition_count(self):
+        with pytest.raises(ValueError):
+            DistributedMultiset(0)
+
+
+class TestDistributedRuntime:
+    @pytest.mark.parametrize("partitions", [1, 2, 4, 8])
+    def test_results_match_centralized_execution(self, partitions):
+        program = sum_reduction()
+        initial = values_multiset(range(1, 41))
+        distributed = DistributedGammaRuntime(program, partitions, seed=3).run(initial)
+        reference = run(program, initial, engine="sequential")
+        assert distributed.final == reference.final
+
+    def test_min_element_distributed(self):
+        program = min_element()
+        initial = values_multiset([9, 4, 11, 2, 6, 13])
+        result = DistributedGammaRuntime(program, 3, seed=0).run(initial)
+        assert result.values_with_label("x") == [2]
+
+    def test_sieve_distributed(self):
+        program = prime_sieve()
+        initial = values_multiset(range(2, 25))
+        result = DistributedGammaRuntime(program, 4, seed=1).run(initial)
+        assert sorted(result.values_with_label("x")) == [2, 3, 5, 7, 11, 13, 17, 19, 23]
+
+    def test_communication_grows_with_partitions(self):
+        program = sum_reduction()
+        initial = values_multiset(range(1, 65))
+        single = DistributedGammaRuntime(program, 1, seed=2).run(initial)
+        many = DistributedGammaRuntime(program, 8, seed=2).run(initial)
+        assert many.messages > single.messages
+        assert many.migrations >= single.migrations
+        assert single.firings == many.firings == 63
+
+    def test_steps_decrease_with_partitions(self):
+        program = sum_reduction()
+        initial = values_multiset(range(1, 65))
+        single = DistributedGammaRuntime(program, 1, seed=2).run(initial)
+        many = DistributedGammaRuntime(program, 8, seed=2).run(initial)
+        assert many.steps < single.steps
+
+    def test_per_partition_accounting(self):
+        program = sum_reduction()
+        initial = values_multiset(range(1, 17))
+        result = DistributedGammaRuntime(program, 4, seed=5).run(initial)
+        assert sum(result.per_partition_firings) == result.firings
+        assert result.communication_ratio >= 0.0
+
+    def test_missing_initial_rejected(self):
+        with pytest.raises(ValueError):
+            DistributedGammaRuntime(sum_reduction(), 2).run(None)

@@ -1,0 +1,122 @@
+"""Tests for the multi-PE simulators and the shared PE/metrics model."""
+
+import pytest
+
+from repro.core import dataflow_to_gamma
+from repro.gamma.stdlib import sum_reduction, values_multiset
+from repro.runtime import (
+    DataflowSimulator,
+    GammaSimulator,
+    ParallelRunMetrics,
+    PEPool,
+    simulate_graph,
+    simulate_program,
+    speedup_curve,
+)
+from repro.workloads.paper_examples import (
+    example1_graph,
+    example2_expected_result,
+    example2_graph,
+)
+
+
+class TestPEPool:
+    def test_bounded_dispatch(self):
+        pool = PEPool(2)
+        accepted = pool.dispatch(["a", "b", "c"])
+        assert accepted == ["a", "b"]
+        assert pool.profile == [2]
+        assert pool.total_executed == 2
+
+    def test_unbounded_dispatch(self):
+        pool = PEPool(None)
+        accepted = pool.dispatch(list(range(5)))
+        assert len(accepted) == 5
+        assert pool.load_balance().count(1) == 5
+
+    def test_invalid_pe_count(self):
+        with pytest.raises(ValueError):
+            PEPool(0)
+
+
+class TestMetrics:
+    def test_from_profile(self):
+        metrics = ParallelRunMetrics.from_profile([4, 2, 1, 0], num_pes=4)
+        assert metrics.steps == 3
+        assert metrics.work == 7
+        assert metrics.max_parallelism == 4
+        assert metrics.speedup == pytest.approx(7 / 3)
+        assert metrics.utilization == pytest.approx(7 / 12)
+
+    def test_empty_profile(self):
+        metrics = ParallelRunMetrics.from_profile([])
+        assert metrics.speedup == 0.0
+        assert metrics.utilization == 0.0
+
+    def test_speedup_curve(self):
+        curve = speedup_curve(
+            lambda pes: simulate_graph(example2_graph(y=1, z=6, x=0), num_pes=pes).metrics,
+            [1, 2, 4],
+        )
+        assert curve[1] == pytest.approx(1.0)
+        assert curve[4] >= curve[2] >= curve[1]
+
+
+class TestDataflowSimulator:
+    def test_results_match_interpreter(self):
+        from repro.dataflow import run_graph
+
+        graph = example2_graph(y=4, z=5, x=3)
+        assert simulate_graph(graph, num_pes=3, seed=1).output_values("Cout") == [
+            run_graph(graph).single_output("Cout")
+        ]
+
+    def test_single_pe_profile_is_all_ones(self):
+        result = simulate_graph(example1_graph(), num_pes=1)
+        assert set(result.metrics.profile) == {1}
+        assert result.metrics.speedup == 1.0
+
+    def test_unbounded_pes_expose_graph_parallelism(self):
+        result = simulate_graph(example1_graph(), num_pes=None)
+        # R1 and R2 are independent and fire in the same step.
+        assert result.metrics.max_parallelism == 2
+        assert result.steps == 2
+
+    def test_more_pes_never_slower(self):
+        graph = example2_graph(y=1, z=8, x=0)
+        steps = [simulate_graph(graph, num_pes=p, seed=0).steps for p in (1, 2, 4, 8)]
+        assert steps == sorted(steps, reverse=True)
+
+    def test_root_values_override(self):
+        result = DataflowSimulator(example2_graph(), num_pes=2).run(
+            root_values={"z": 5, "y": 1, "x": 0}
+        )
+        assert result.output_values("Cout") == [example2_expected_result(y=1, z=5, x=0)]
+
+
+class TestGammaSimulator:
+    def test_results_match_sequential_engine(self):
+        program = sum_reduction()
+        initial = values_multiset(range(1, 33))
+        result = simulate_program(program, initial, num_pes=4, seed=0)
+        assert result.final.values_with_label("x") == [sum(range(1, 33))]
+
+    def test_pe_bound_caps_step_width(self):
+        program = sum_reduction()
+        initial = values_multiset(range(1, 33))
+        result = simulate_program(program, initial, num_pes=4, seed=0)
+        assert result.metrics.max_parallelism <= 4
+
+    def test_parallelism_matches_dataflow_side(self):
+        """Experiment E9(a): identical work and steps on both sides of the conversion."""
+        graph = example2_graph(y=2, z=6, x=1)
+        conversion = dataflow_to_gamma(graph)
+        for pes in (1, 3, None):
+            df = simulate_graph(graph, num_pes=pes, seed=0).metrics
+            gm = GammaSimulator(conversion.program, num_pes=pes, seed=0).run(conversion.initial).metrics
+            assert df.work == gm.work
+            assert df.steps == gm.steps
+
+    def test_missing_initial_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_program(sum_reduction(), None)

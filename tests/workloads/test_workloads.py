@@ -1,0 +1,79 @@
+"""Tests for the workload generators (expressions, loops, classic programs)."""
+
+import pytest
+
+from repro.dataflow import run_graph, validate_graph
+from repro.gamma import run
+from repro.workloads import (
+    CLASSIC_WORKLOADS,
+    LOOP_KERNELS,
+    ExpressionSpec,
+    expression_sweep,
+    make_workload,
+    random_expression_graph,
+)
+
+
+class TestExpressionGenerator:
+    def test_deterministic_for_same_seed(self):
+        a = random_expression_graph(ExpressionSpec(seed=5))
+        b = random_expression_graph(ExpressionSpec(seed=5))
+        assert [n.node_id for n in a.nodes] == [n.node_id for n in b.nodes]
+        assert run_graph(a).outputs_as_multiset() == run_graph(b).outputs_as_multiset()
+
+    def test_different_seeds_differ(self):
+        a = random_expression_graph(ExpressionSpec(seed=1, num_operations=10))
+        b = random_expression_graph(ExpressionSpec(seed=2, num_operations=10))
+        assert run_graph(a).outputs_as_multiset() != run_graph(b).outputs_as_multiset()
+
+    def test_requested_sizes(self):
+        spec = ExpressionSpec(num_inputs=3, num_operations=7, num_outputs=2, seed=0)
+        graph = random_expression_graph(spec)
+        counts = graph.counts_by_kind()
+        assert counts["root"] == 3
+        assert counts["arith"] == 7
+        assert len(graph.output_labels()) == 2
+        assert validate_graph(graph).ok
+
+    def test_sweep(self):
+        graphs = expression_sweep([2, 4, 8], seed=3)
+        assert set(graphs) == {2, 4, 8}
+        for size, graph in graphs.items():
+            assert graph.counts_by_kind()["arith"] == size
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ValueError):
+            ExpressionSpec(num_inputs=0)
+        with pytest.raises(ValueError):
+            ExpressionSpec(num_operations=0)
+
+
+class TestLoopKernels:
+    @pytest.mark.parametrize("name", sorted(LOOP_KERNELS))
+    def test_kernels_compute_their_expected_values(self, name):
+        kernel = LOOP_KERNELS[name]()
+        graph = kernel.graph()
+        assert validate_graph(graph).ok
+        assert run_graph(graph).single_output(kernel.output) == kernel.expected
+
+    def test_parameterized_kernels(self):
+        from repro.workloads import accumulation, factorial
+
+        assert run_graph(accumulation(3, 7, 1).graph()).single_output("x") == 22
+        assert run_graph(factorial(5).graph()).single_output("acc") == 120
+
+
+class TestClassicWorkloads:
+    @pytest.mark.parametrize("name", CLASSIC_WORKLOADS)
+    def test_expected_values_match_execution(self, name):
+        workload = make_workload(name, size=12, seed=7)
+        result = run(workload.program, workload.initial, engine="chaotic", seed=0)
+        assert sorted(result.final.values_with_label(workload.label)) == workload.expected_sorted()
+
+    def test_sizes_are_respected(self):
+        workload = make_workload("sum_reduction", size=50, seed=1)
+        assert len(workload.initial) == 50
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            make_workload("quantum_sort")
