@@ -1,13 +1,22 @@
-"""Report emission helper shared by the benchmark modules.
+"""Report emission helpers shared by the benchmark modules.
 
 Each experiment writes a plain-text report (the rows/series it regenerates) to
 ``benchmarks/reports/<name>.txt`` and echoes it to stdout, so the structural
 results survive regardless of pytest's output capturing.
+
+Machine-readable results go through :func:`emit_json`, which wraps the payload
+in a stable envelope (``schema_version``/``experiment``/``results``) so
+successive PRs can diff performance trajectories file-against-file.
 """
 
+import json
 from pathlib import Path
+from typing import Any, Dict, List
 
 REPORT_DIR = Path(__file__).parent / "reports"
+
+#: Version of the JSON report envelope; bump only on breaking schema changes.
+SCHEMA_VERSION = 1
 
 
 def emit_report(name: str, text: str) -> None:
@@ -16,3 +25,30 @@ def emit_report(name: str, text: str) -> None:
     (REPORT_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
     print(f"\n[{name}]")
     print(text)
+
+
+def emit_json(name: str, experiment: str, results: List[Dict[str, Any]], **extra: Any) -> Path:
+    """Persist ``results`` as ``benchmarks/reports/<name>.json``.
+
+    The envelope is stable across PRs::
+
+        {
+          "schema_version": 1,
+          "experiment": "<experiment id>",
+          "results": [ {<one flat record per measurement>}, ... ],
+          ...extra top-level fields...
+        }
+
+    Returns the path written, so callers can echo it.
+    """
+    REPORT_DIR.mkdir(exist_ok=True)
+    payload: Dict[str, Any] = {
+        "schema_version": SCHEMA_VERSION,
+        "experiment": experiment,
+        "results": results,
+    }
+    payload.update(extra)
+    path = REPORT_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    print(f"\n[{name}] -> {path}")
+    return path

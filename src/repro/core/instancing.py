@@ -31,9 +31,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..dataflow.graph import DataflowGraph
 from ..dataflow.interpreter import DataflowInterpreter, DataflowResult
 from ..gamma.expr import Const
-from ..gamma.matching import Match, Matcher
+from ..gamma.matching import Match
 from ..gamma.pattern import ElementTemplate
 from ..gamma.program import GammaProgram
+from ..gamma.scheduler import greedy_disjoint_matches
 from ..multiset.element import Element
 from ..multiset.multiset import Multiset
 from .gamma_to_df import ReactionGraph, program_to_graphs
@@ -89,28 +90,7 @@ def _disjoint_matches(
     program: GammaProgram, multiset: Multiset, rng: Optional[random.Random]
 ) -> List[Match]:
     """A maximal set of matches that consume disjoint element occurrences."""
-    matcher = Matcher(multiset, rng=rng)
-    available = dict(multiset.counts())
-    remaining = sum(available.values())
-    chosen: List[Match] = []
-    reactions = list(program.reactions)
-    if rng is not None:
-        rng.shuffle(reactions)
-    for reaction in reactions:
-        if remaining < reaction.arity:
-            continue
-        for match in matcher.iter_matches(reaction):
-            if remaining < reaction.arity:
-                break
-            needed: Dict[Element, int] = {}
-            for element in match.consumed:
-                needed[element] = needed.get(element, 0) + 1
-            if all(available.get(e, 0) >= c for e, c in needed.items()):
-                for e, c in needed.items():
-                    available[e] -= c
-                    remaining -= c
-                chosen.append(match)
-    return chosen
+    return greedy_disjoint_matches(program.reactions, multiset, rng=rng)
 
 
 def instantiate_round(

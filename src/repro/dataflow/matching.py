@@ -9,6 +9,11 @@ the multi-PE simulator.
 Tokens arriving on a port that already holds a value for the same tag are
 queued (FIFO): this happens on merged ports such as the inctag input of
 Fig. 2, which receives both the initial value and every loop-back value.
+
+The store *is* the dataflow side's persistent scheduling index: the ready set
+is maintained incrementally on every deposit/consume, the exact analog of the
+Gamma side's attached :class:`~repro.multiset.index.LabelTagIndex` — neither
+runtime rescans its pool between steps.
 """
 
 from __future__ import annotations

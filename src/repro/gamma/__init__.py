@@ -25,6 +25,7 @@ from .matching import Match, Matcher, find_match, iter_matches
 from .pattern import Binding, ElementPattern, ElementTemplate, pattern, template
 from .program import GammaProgram, SequentialProgram, parallel, sequential
 from .reaction import Branch, Reaction
+from .scheduler import ReactionScheduler, greedy_disjoint_matches
 from .tracer import FiringRecord, StepRecord, Trace
 
 __all__ = [
@@ -35,8 +36,9 @@ __all__ = [
     "ElementPattern", "ElementTemplate", "Binding", "pattern", "template",
     # reactions / programs
     "Reaction", "Branch", "GammaProgram", "SequentialProgram", "parallel", "sequential",
-    # matching
+    # matching / scheduling
     "Match", "Matcher", "find_match", "iter_matches",
+    "ReactionScheduler", "greedy_disjoint_matches",
     # engines
     "GammaEngine", "SequentialEngine", "ChaoticEngine", "MaxParallelEngine",
     "ExecutionResult", "NonTerminationError", "run", "run_program",

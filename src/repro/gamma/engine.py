@@ -20,20 +20,50 @@ model leaves open:
   Connection Machine / GPU implementations cited in the paper.  Its per-step
   width is the Gamma-side parallelism profile used by experiment E9.
 
-Every engine enforces a ``max_steps`` budget so a diverging program (or a
-conversion bug) raises :class:`NonTerminationError` instead of hanging.
+Scheduler architecture
+----------------------
+
+All three engines share one run loop (:meth:`GammaEngine._run_block`) built on
+the incremental :class:`~repro.gamma.scheduler.ReactionScheduler`:
+
+1. a :class:`~repro.multiset.index.LabelTagIndex` is *attached* to the run's
+   multiset once and maintained through the multiset's change notifications —
+   no per-step index rebuild;
+2. the scheduler precomputes each reaction's consumed-label footprint and
+   parks reactions proven dead; after a firing, only reactions whose footprint
+   intersects the labels touched by the rewrite are re-probed;
+3. subclasses provide only the *match selection policy*
+   (:meth:`GammaEngine._select_matches`): first-in-declaration-order,
+   first-in-shuffled-order, or a greedy maximal non-conflicting set.
+
+Each engine accepts ``incremental=False`` to fall back to the legacy
+rebuild-per-step discipline, which reproduces the pre-scheduler engines
+exactly; the scaling benchmark uses it as the baseline.  The sequential
+engine's firing sequence is identical in both modes.  For the seeded
+nondeterministic engines the two modes draw from the same RNG stream until a
+dead reaction is first parked; past that point they may explore *different
+valid schedules* of the same program (parking skips probes that would have
+consumed RNG draws), so equality of their final multisets is guaranteed only
+for confluent programs — which is what the cross-engine property tests
+assert on the paper workloads.
+
+Every engine enforces a ``max_steps`` budget.  By default a diverging program
+(or a conversion bug) raises :class:`NonTerminationError` instead of hanging;
+with ``raise_on_budget=False`` the engine instead returns the partial
+:class:`ExecutionResult` with ``stable=False``, which is also how bounded
+"run for k steps" experiments are expressed.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
 
 from ..multiset.multiset import Multiset
-from .matching import Match, Matcher
+from .matching import Match
 from .program import GammaProgram, ProgramLike, SequentialProgram
-from .reaction import Reaction
+from .scheduler import ReactionScheduler
 from .tracer import Trace
 
 __all__ = [
@@ -56,7 +86,13 @@ class NonTerminationError(RuntimeError):
 
 @dataclass
 class ExecutionResult:
-    """Outcome of running a Gamma program to its stable state."""
+    """Outcome of running a Gamma program.
+
+    ``stable`` is ``True`` when the run reached the paper's global termination
+    state (no reaction condition satisfiable) and ``False`` when the engine
+    stopped early because ``max_steps`` was exhausted under
+    ``raise_on_budget=False`` — ``final`` then holds the partial multiset.
+    """
 
     final: Multiset
     trace: Trace
@@ -78,14 +114,26 @@ class ExecutionResult:
 
 
 class GammaEngine:
-    """Base class with the shared run loop plumbing."""
+    """Base class providing the shared scheduler-driven run loop.
+
+    Subclasses set a ``name``, optionally seed ``self._rng``, and implement
+    :meth:`_select_matches` — the scheduling policy applied once per step.
+    """
 
     name = "abstract"
 
-    def __init__(self, max_steps: int = DEFAULT_MAX_STEPS) -> None:
+    def __init__(
+        self,
+        max_steps: int = DEFAULT_MAX_STEPS,
+        raise_on_budget: bool = True,
+        incremental: bool = True,
+    ) -> None:
         if max_steps <= 0:
             raise ValueError("max_steps must be positive")
         self.max_steps = max_steps
+        self.raise_on_budget = raise_on_budget
+        self.incremental = incremental
+        self._rng: Optional[random.Random] = None
 
     # -- public API --------------------------------------------------------------
     def run(
@@ -100,13 +148,14 @@ class GammaEngine:
             raise TypeError(f"cannot run {type(program).__name__}")
         multiset = self._initial_multiset(program, initial)
         trace = Trace()
-        steps, firings = self._run_block(program, multiset, trace)
+        steps, firings, stable = self._run_block(program, multiset, trace)
         return ExecutionResult(
             final=multiset,
             trace=trace,
             steps=steps,
             firings=firings,
             engine=self.name,
+            stable=stable,
         )
 
     def _run_sequential_composition(
@@ -116,15 +165,20 @@ class GammaEngine:
         trace = Trace()
         total_steps = 0
         total_firings = 0
+        stable = True
         multiset: Optional[Multiset] = None
         for stage in program.stages:
             if not isinstance(stage, GammaProgram):
                 raise TypeError("sequential stages must be GammaProgram blocks")
             multiset = self._initial_multiset(stage, current)
-            steps, firings = self._run_block(stage, multiset, trace)
+            steps, firings, stable = self._run_block(stage, multiset, trace)
             total_steps += steps
             total_firings += firings
             current = multiset
+            if not stable:
+                # Budget exhausted mid-stage: later stages never run; report
+                # the partial state instead of silently continuing.
+                break
         assert multiset is not None
         return ExecutionResult(
             final=multiset,
@@ -132,6 +186,7 @@ class GammaEngine:
             steps=total_steps,
             firings=total_firings,
             engine=self.name,
+            stable=stable,
         )
 
     @staticmethod
@@ -144,9 +199,42 @@ class GammaEngine:
             f"program {program.name!r} has no bundled initial multiset; pass one explicitly"
         )
 
+    # -- shared run loop ------------------------------------------------------------
+    def _run_block(
+        self, program: GammaProgram, multiset: Multiset, trace: Trace
+    ) -> Tuple[int, int, bool]:
+        """Run one parallel block in place; return (steps, firings, stable)."""
+        scheduler = ReactionScheduler(
+            program.reactions, multiset, rng=self._rng, incremental=self.incremental
+        )
+        steps = 0
+        firings = 0
+        try:
+            while True:
+                if steps >= self.max_steps:
+                    if self.raise_on_budget:
+                        raise NonTerminationError(
+                            f"{self.name} engine exceeded {self.max_steps} steps "
+                            f"on {program.name!r}"
+                        )
+                    return steps, firings, False
+                scheduler.refresh()
+                matches = self._select_matches(scheduler)
+                if not matches:
+                    return steps, firings, True
+                step = trace.begin_step()
+                for match in matches:
+                    produced = match.produced()
+                    multiset.replace(match.consumed, produced)
+                    trace.record(step, match.reaction.name, match.consumed, produced, match.binding)
+                    firings += 1
+                steps += 1
+        finally:
+            scheduler.detach()
+
     # -- to be provided by subclasses ----------------------------------------------
-    def _run_block(self, program: GammaProgram, multiset: Multiset, trace: Trace) -> tuple:
-        """Run one parallel block in place; return (steps, firings)."""
+    def _select_matches(self, scheduler: ReactionScheduler) -> List[Match]:
+        """The matches to fire this step (empty list = stable state reached)."""
         raise NotImplementedError
 
 
@@ -155,28 +243,9 @@ class SequentialEngine(GammaEngine):
 
     name = "sequential"
 
-    def _run_block(self, program: GammaProgram, multiset: Multiset, trace: Trace) -> tuple:
-        steps = 0
-        firings = 0
-        while True:
-            if steps >= self.max_steps:
-                raise NonTerminationError(
-                    f"{self.name} engine exceeded {self.max_steps} steps on {program.name!r}"
-                )
-            matcher = Matcher(multiset)
-            match: Optional[Match] = None
-            for reaction in program.reactions:
-                match = matcher.find(reaction)
-                if match is not None:
-                    break
-            if match is None:
-                return steps, firings
-            produced = match.produced()
-            multiset.replace(match.consumed, produced)
-            step = trace.begin_step()
-            trace.record(step, match.reaction.name, match.consumed, produced, match.binding)
-            steps += 1
-            firings += 1
+    def _select_matches(self, scheduler: ReactionScheduler) -> List[Match]:
+        match = scheduler.find_first()
+        return [match] if match is not None else []
 
 
 class ChaoticEngine(GammaEngine):
@@ -184,35 +253,22 @@ class ChaoticEngine(GammaEngine):
 
     name = "chaotic"
 
-    def __init__(self, seed: Optional[int] = None, max_steps: int = DEFAULT_MAX_STEPS) -> None:
-        super().__init__(max_steps=max_steps)
+    def __init__(
+        self,
+        seed: Optional[int] = None,
+        max_steps: int = DEFAULT_MAX_STEPS,
+        raise_on_budget: bool = True,
+        incremental: bool = True,
+    ) -> None:
+        super().__init__(
+            max_steps=max_steps, raise_on_budget=raise_on_budget, incremental=incremental
+        )
         self.seed = seed
         self._rng = random.Random(seed)
 
-    def _run_block(self, program: GammaProgram, multiset: Multiset, trace: Trace) -> tuple:
-        steps = 0
-        firings = 0
-        while True:
-            if steps >= self.max_steps:
-                raise NonTerminationError(
-                    f"{self.name} engine exceeded {self.max_steps} steps on {program.name!r}"
-                )
-            matcher = Matcher(multiset, rng=self._rng)
-            reactions = list(program.reactions)
-            self._rng.shuffle(reactions)
-            match: Optional[Match] = None
-            for reaction in reactions:
-                match = matcher.find(reaction)
-                if match is not None:
-                    break
-            if match is None:
-                return steps, firings
-            produced = match.produced()
-            multiset.replace(match.consumed, produced)
-            step = trace.begin_step()
-            trace.record(step, match.reaction.name, match.consumed, produced, match.binding)
-            steps += 1
-            firings += 1
+    def _select_matches(self, scheduler: ReactionScheduler) -> List[Match]:
+        match = scheduler.find_first(shuffled=True)
+        return [match] if match is not None else []
 
 
 class MaxParallelEngine(GammaEngine):
@@ -226,61 +282,21 @@ class MaxParallelEngine(GammaEngine):
 
     name = "max-parallel"
 
-    def __init__(self, seed: Optional[int] = None, max_steps: int = DEFAULT_MAX_STEPS) -> None:
-        super().__init__(max_steps=max_steps)
+    def __init__(
+        self,
+        seed: Optional[int] = None,
+        max_steps: int = DEFAULT_MAX_STEPS,
+        raise_on_budget: bool = True,
+        incremental: bool = True,
+    ) -> None:
+        super().__init__(
+            max_steps=max_steps, raise_on_budget=raise_on_budget, incremental=incremental
+        )
         self.seed = seed
         self._rng = random.Random(seed)
 
-    def _collect_step_matches(self, program: GammaProgram, multiset: Multiset) -> List[Match]:
-        """Greedy maximal set of mutually compatible matches for one step.
-
-        Matches are enumerated against the step's initial snapshot; a match is
-        accepted when the element copies it consumes are still available in
-        this step's budget.  The greedy sweep over a full enumeration yields a
-        maximal (not necessarily maximum) compatible set, which is what a real
-        parallel Gamma machine achieves with local, independent matching.
-        """
-        matcher = Matcher(multiset, rng=self._rng)
-        # Budget of copies still available for consumption in this step.
-        available: Dict = dict(multiset.counts())
-        remaining = sum(available.values())
-        chosen: List[Match] = []
-        reactions = list(program.reactions)
-        self._rng.shuffle(reactions)
-        for reaction in reactions:
-            if remaining < reaction.arity:
-                continue
-            for match in matcher.iter_matches(reaction):
-                if remaining < reaction.arity:
-                    break
-                needed: Dict = {}
-                for element in match.consumed:
-                    needed[element] = needed.get(element, 0) + 1
-                if all(available.get(e, 0) >= c for e, c in needed.items()):
-                    for e, c in needed.items():
-                        available[e] = available.get(e, 0) - c
-                        remaining -= c
-                    chosen.append(match)
-        return chosen
-
-    def _run_block(self, program: GammaProgram, multiset: Multiset, trace: Trace) -> tuple:
-        steps = 0
-        firings = 0
-        while True:
-            if steps >= self.max_steps:
-                raise NonTerminationError(
-                    f"{self.name} engine exceeded {self.max_steps} steps on {program.name!r}"
-                )
-            matches = self._collect_step_matches(program, multiset)
-            if not matches:
-                return steps, firings
-            step = trace.begin_step()
-            for match in matches:
-                produced = match.produced()
-                multiset.replace(match.consumed, produced)
-                trace.record(step, match.reaction.name, match.consumed, produced, match.binding)
-                firings += 1
-            steps += 1
+    def _select_matches(self, scheduler: ReactionScheduler) -> List[Match]:
+        return scheduler.collect_step_matches()
 
 
 _ENGINES = {
@@ -295,15 +311,38 @@ def run(
     initial: Optional[Multiset] = None,
     engine: Union[str, GammaEngine] = "sequential",
     seed: Optional[int] = None,
-    max_steps: int = DEFAULT_MAX_STEPS,
+    max_steps: Optional[int] = None,
+    raise_on_budget: Optional[bool] = None,
 ) -> ExecutionResult:
     """Run a Gamma program with the named engine.
 
     ``engine`` may be an engine instance or one of ``"sequential"``,
     ``"chaotic"``, ``"max-parallel"``.  ``seed`` is forwarded to the
-    nondeterministic engines.
+    nondeterministic engines; ``max_steps`` and ``raise_on_budget`` configure
+    the step budget (defaults: ``DEFAULT_MAX_STEPS``, raise).
+
+    Passing an engine *instance* together with ``seed``, ``max_steps`` or
+    ``raise_on_budget`` raises ``ValueError``: an instance carries its own
+    configuration and the extra arguments would be silently ignored.  On the
+    string path, ``seed`` is deliberately tolerated (and unused) for
+    ``engine="sequential"`` so one seed can be forwarded while sweeping all
+    engine names — the idiom the benchmarks and equivalence tests rely on.
     """
     if isinstance(engine, GammaEngine):
+        conflicting = [
+            name
+            for name, value in (
+                ("seed", seed),
+                ("max_steps", max_steps),
+                ("raise_on_budget", raise_on_budget),
+            )
+            if value is not None
+        ]
+        if conflicting:
+            raise ValueError(
+                f"cannot combine an engine instance with {', '.join(conflicting)}; "
+                f"configure the engine directly instead"
+            )
         runner = engine
     else:
         try:
@@ -312,10 +351,13 @@ def run(
             raise ValueError(
                 f"unknown engine {engine!r}; expected one of {sorted(_ENGINES)}"
             ) from exc
-        if cls is SequentialEngine:
-            runner = cls(max_steps=max_steps)
-        else:
-            runner = cls(seed=seed, max_steps=max_steps)
+        kwargs = {
+            "max_steps": DEFAULT_MAX_STEPS if max_steps is None else max_steps,
+            "raise_on_budget": True if raise_on_budget is None else raise_on_budget,
+        }
+        if cls is not SequentialEngine:
+            kwargs["seed"] = seed
+        runner = cls(**kwargs)
     return runner.run(program, initial)
 
 

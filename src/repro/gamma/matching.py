@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..multiset.element import Element
 from ..multiset.index import LabelTagIndex
@@ -91,8 +91,14 @@ class Matcher:
         return self.find(reaction) is not None
 
     # -- search -----------------------------------------------------------------
-    def _candidates(self, pat: ElementPattern, binding: Binding) -> List[Element]:
-        """Candidate elements for ``pat`` given the variables bound so far."""
+    def _candidates(self, pat: ElementPattern, binding: Binding) -> Iterable[Element]:
+        """Candidate elements for ``pat`` given the variables bound so far.
+
+        Deterministic matching (``rng is None``) yields candidates lazily from
+        the index — an enabled probe then touches O(arity) elements instead of
+        materializing whole label buckets.  Randomized matching materializes
+        and shuffles, as the chaotic/parallel schedulers require.
+        """
         fixed_label = pat.fixed_label()
         # When the label is a bound variable we can still use the index.
         if fixed_label is None:
@@ -111,6 +117,11 @@ class Matcher:
             if isinstance(pat.tag, Const):
                 tag_value = pat.tag.value
 
+        if self.rng is None:
+            if fixed_label is not None:
+                return self.index.iter_candidates(fixed_label, tag_value)
+            return self._iter_all_labels(tag_value)
+
         if fixed_label is not None:
             candidates = self.index.candidates(fixed_label, tag_value)
         else:
@@ -120,10 +131,13 @@ class Matcher:
             for label in self.index.labels():
                 candidates.extend(self.index.candidates(label, tag_value))
 
-        if self.rng is not None:
-            candidates = list(candidates)
-            self.rng.shuffle(candidates)
+        candidates = list(candidates)
+        self.rng.shuffle(candidates)
         return candidates
+
+    def _iter_all_labels(self, tag_value: Optional[int]) -> Iterator[Element]:
+        for label in self.index.labels():
+            yield from self.index.iter_candidates(label, tag_value)
 
     def _search(
         self,

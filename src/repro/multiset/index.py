@@ -9,14 +9,24 @@ below: a two-level dictionary ``label -> tag -> [elements]`` maintained
 incrementally alongside the multiset.
 
 The index is deliberately decoupled from :class:`~repro.multiset.multiset.Multiset`
-(which only indexes by label) so the sequential engine can stay lightweight
-while the parallel scheduler builds the heavier index once per step.
+(which only indexes by label).  It can be used in two modes:
+
+* *snapshot*: built once from a multiset (``LabelTagIndex(multiset)``) and
+  discarded, as the pre-scheduler engines did once per step;
+* *attached*: :meth:`attach` subscribes the index to the multiset's change
+  notifications, after which every ``add``/``remove``/``replace`` on the
+  multiset is mirrored incrementally — this is the persistent-index path the
+  :class:`~repro.gamma.scheduler.ReactionScheduler` runs on.
+
+Incremental maintenance preserves the exact bucket ordering a from-scratch
+rebuild would produce (both follow the multiset's own insertion order), so the
+two modes are interchangeable even for seeded, order-sensitive schedulers.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Dict, Iterable, Iterator, List, Optional, Set
 
 from .element import Element
 from .multiset import Multiset
@@ -32,7 +42,14 @@ class LabelTagIndex:
         self._index: Dict[str, Dict[int, Dict[Element, int]]] = defaultdict(
             lambda: defaultdict(dict)
         )
+        # label -> element -> count, in multiset insertion order.  Serves the
+        # tag-agnostic queries: grouping by tag would reorder aggregated
+        # candidate lists relative to a from-scratch rebuild, which the
+        # seeded (shuffling) schedulers would observe.
+        self._flat: Dict[str, Dict[Element, int]] = {}
         self._size = 0
+        self._source: Optional[Multiset] = None
+        self._listener = None
         if multiset is not None:
             self.rebuild(multiset)
 
@@ -40,9 +57,42 @@ class LabelTagIndex:
     def rebuild(self, multiset: Multiset) -> None:
         """Discard the current contents and re-index ``multiset``."""
         self._index.clear()
+        self._flat.clear()
         self._size = 0
         for element, count in multiset.counts().items():
             self.add(element, count)
+
+    def attach(self, multiset: Multiset) -> "LabelTagIndex":
+        """Bind this index to ``multiset`` and keep it in sync incrementally.
+
+        The index is rebuilt once, then maintained through the multiset's
+        change notifications; call :meth:`detach` when done.  Attaching twice
+        (or while attached elsewhere) raises ``RuntimeError``.
+        """
+        if self._source is not None:
+            raise RuntimeError("index is already attached to a multiset")
+        self.rebuild(multiset)
+        self._source = multiset
+        self._listener = multiset.subscribe(self._on_change)
+        return self
+
+    def detach(self) -> None:
+        """Stop tracking the attached multiset (no-op when not attached)."""
+        if self._source is not None:
+            self._source.unsubscribe(self._listener)
+            self._source = None
+            self._listener = None
+
+    @property
+    def attached(self) -> bool:
+        """True while the index mirrors a live multiset."""
+        return self._source is not None
+
+    def _on_change(self, element: Element, delta: int) -> None:
+        if delta > 0:
+            self.add(element, delta)
+        else:
+            self.remove(element, -delta)
 
     def add(self, element: Element, count: int = 1) -> None:
         """Register ``count`` additional copies of ``element``."""
@@ -50,6 +100,8 @@ class LabelTagIndex:
             raise ValueError(f"count must be positive, got {count}")
         bucket = self._index[element.label][element.tag]
         bucket[element] = bucket.get(element, 0) + count
+        flat = self._flat.setdefault(element.label, {})
+        flat[element] = flat.get(element, 0) + count
         self._size += count
 
     def remove(self, element: Element, count: int = 1) -> None:
@@ -71,6 +123,13 @@ class LabelTagIndex:
                     del self._index[element.label]
         else:
             bucket[element] = have - count
+        flat = self._flat[element.label]
+        if flat[element] == count:
+            del flat[element]
+            if not flat:
+                del self._flat[element.label]
+        else:
+            flat[element] -= count
         self._size -= count
 
     # -- queries ------------------------------------------------------------------
@@ -86,17 +145,39 @@ class LabelTagIndex:
         return list(self._index.get(label, {}).keys())
 
     def candidates(self, label: str, tag: Optional[int] = None) -> List[Element]:
-        """Distinct elements with ``label`` (and, when given, ``tag``)."""
+        """Distinct elements with ``label`` (and, when given, ``tag``).
+
+        Candidates are listed in the underlying multiset's insertion order,
+        whether the index was built from scratch or maintained incrementally.
+        """
+        if tag is None:
+            flat = self._flat.get(label)
+            return list(flat.keys()) if flat else []
         tags = self._index.get(label)
         if not tags:
             return []
-        if tag is None:
-            out: List[Element] = []
-            for bucket in tags.values():
-                out.extend(bucket.keys())
-            return out
         bucket = tags.get(tag)
         return list(bucket.keys()) if bucket else []
+
+    def iter_candidates(self, label: str, tag: Optional[int] = None) -> Iterator[Element]:
+        """Lazy variant of :meth:`candidates` (same order, no list allocation).
+
+        Deterministic matchers probe only the first few candidates of a
+        bucket, so yielding lazily keeps a match probe O(arity) instead of
+        O(bucket size).  Callers must not mutate the multiset/index while the
+        iterator is live.
+        """
+        if tag is None:
+            flat = self._flat.get(label)
+            if flat:
+                yield from flat.keys()
+            return
+        tags = self._index.get(label)
+        if not tags:
+            return
+        bucket = tags.get(tag)
+        if bucket:
+            yield from bucket.keys()
 
     def count(self, element: Element) -> int:
         """Indexed multiplicity of ``element``."""
@@ -119,3 +200,10 @@ class LabelTagIndex:
             if not result:
                 return set()
         return result or set()
+
+    def as_dict(self) -> Dict[str, Dict[int, Dict[Element, int]]]:
+        """Plain-dict snapshot ``label -> tag -> element -> count`` (for tests)."""
+        return {
+            label: {tag: dict(bucket) for tag, bucket in tags.items()}
+            for label, tags in self._index.items()
+        }

@@ -17,11 +17,16 @@ difference) used by the equivalence checker and tests.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from .element import Element, make_elements
 
-__all__ = ["Multiset"]
+__all__ = ["Multiset", "ChangeListener"]
+
+#: A change-notification callback: ``listener(element, delta)`` is invoked
+#: after ``delta`` copies of ``element`` were inserted (``delta > 0``) or
+#: removed (``delta < 0``).
+ChangeListener = Callable[[Element, int], None]
 
 
 class Multiset:
@@ -32,17 +37,42 @@ class Multiset:
     :class:`~repro.multiset.index.LabelIndex` for the standalone variant); the
     label index is what makes reaction matching tractable for the converted
     dataflow programs, where conditions always constrain element labels.
+
+    External observers (heavier indexes, the incremental reaction scheduler)
+    can :meth:`subscribe` a callback that is invoked after every mutation, so
+    they stay in sync without per-step rebuilds.
     """
 
-    __slots__ = ("_counts", "_by_label", "_size")
+    __slots__ = ("_counts", "_by_label", "_size", "_listeners")
 
     def __init__(self, elements: Optional[Iterable] = None) -> None:
         self._counts: Counter = Counter()
         self._by_label: Dict[str, Counter] = {}
         self._size = 0
+        self._listeners: Tuple[ChangeListener, ...] = ()
         if elements is not None:
             for element in make_elements(elements):
                 self.add(element)
+
+    # -- change notification ------------------------------------------------------
+    def subscribe(self, listener: ChangeListener) -> ChangeListener:
+        """Register ``listener(element, delta)`` to be called after each mutation.
+
+        ``delta`` is positive for insertions and negative for removals; a
+        :meth:`replace` emits one notification per removed/added element, in
+        application order.  Returns ``listener`` so it can be kept for
+        :meth:`unsubscribe`.  Listeners are *not* carried over by :meth:`copy`.
+        """
+        self._listeners = self._listeners + (listener,)
+        return listener
+
+    def unsubscribe(self, listener: ChangeListener) -> None:
+        """Remove a previously subscribed listener (no-op if absent)."""
+        self._listeners = tuple(cb for cb in self._listeners if cb is not listener)
+
+    def _notify(self, element: Element, delta: int) -> None:
+        for listener in self._listeners:
+            listener(element, delta)
 
     # -- basic protocol --------------------------------------------------------
     def __len__(self) -> int:
@@ -91,6 +121,8 @@ class Multiset:
         self._size += count
         bucket = self._by_label.setdefault(element.label, Counter())
         bucket[element] += count
+        if self._listeners:
+            self._notify(element, count)
 
     def add_all(self, elements: Iterable) -> None:
         """Insert every element of ``elements`` (with multiplicity one each)."""
@@ -122,6 +154,8 @@ class Multiset:
                 del self._by_label[element.label]
         else:
             bucket[element] -= count
+        if self._listeners:
+            self._notify(element, -count)
 
     def remove_all(self, elements: Iterable) -> None:
         """Remove every element of ``elements`` (one copy each)."""
@@ -149,9 +183,12 @@ class Multiset:
 
     def clear(self) -> None:
         """Remove every element."""
+        removed = list(self._counts.items()) if self._listeners else []
         self._counts.clear()
         self._by_label.clear()
         self._size = 0
+        for element, count in removed:
+            self._notify(element, -count)
 
     # -- queries ----------------------------------------------------------------
     def count(self, element: Any) -> int:

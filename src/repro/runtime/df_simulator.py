@@ -17,6 +17,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from ..dataflow.graph import DataflowGraph
 from ..dataflow.matching import TokenStore
 from ..dataflow.token import INITIAL_TAG, Token
+from ..gamma.engine import NonTerminationError
 from ..multiset.element import Element
 from ..multiset.multiset import Multiset
 from .metrics import ParallelRunMetrics
@@ -85,7 +86,8 @@ class DataflowSimulator:
         steps = 0
         while store.has_ready():
             if steps >= self.max_steps:
-                raise RuntimeError(f"simulation exceeded {self.max_steps} steps")
+                # Same budget contract as the Gamma engines/simulator.
+                raise NonTerminationError(f"simulation exceeded {self.max_steps} steps")
             ready = store.ready()
             self._rng.shuffle(ready)
             scheduled = pool.dispatch(ready)

@@ -15,6 +15,12 @@ runtime that exercises the same code path:
   match and the union of all partitions enables no reaction (the detection
   round is charged ``num_partitions`` messages).
 
+Each worker holds a persistent :class:`~repro.gamma.scheduler.ReactionScheduler`
+over its partition, so local matching runs on an incrementally maintained
+index — migrations and firings flow through the multiset change notifications
+and re-arm exactly the reactions whose consumed labels were touched, instead
+of rebuilding a matcher per worker per step.
+
 The result reports firings, steps, migrations and messages, so the partition
 sweep of experiment E9(d) can show the locality/communication trade-off.
 """
@@ -23,11 +29,12 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from ..gamma.engine import NonTerminationError
 from ..gamma.matching import Match, Matcher
 from ..gamma.program import GammaProgram
+from ..gamma.scheduler import ReactionScheduler
 from ..multiset.element import Element
 from ..multiset.multiset import Multiset
 
@@ -131,49 +138,61 @@ class DistributedGammaRuntime:
         migrations = 0
         messages = 0
         per_partition_firings = [0] * self.num_partitions
+        # One persistent scheduler per worker: migrations/firings keep the
+        # local indexes fresh through the multiset change notifications.
+        schedulers = [
+            ReactionScheduler(self.program.reactions, partition, rng=self._rng)
+            for partition in distributed.partitions
+        ]
 
-        while True:
-            if steps >= self.max_steps:
-                raise NonTerminationError(
-                    f"distributed run exceeded {self.max_steps} steps on {self.program.name!r}"
-                )
-            fired_this_step = 0
-            starving: List[int] = []
+        try:
+            while True:
+                if steps >= self.max_steps:
+                    raise NonTerminationError(
+                        f"distributed run exceeded {self.max_steps} steps on {self.program.name!r}"
+                    )
+                fired_this_step = 0
+                starving: List[int] = []
 
-            for worker in range(self.num_partitions):
-                local = distributed.partitions[worker]
-                executed = 0
-                while executed < self.firings_per_worker_step:
-                    match = self._find_local_match(local)
-                    if match is None:
+                for worker in range(self.num_partitions):
+                    local = distributed.partitions[worker]
+                    scheduler = schedulers[worker]
+                    executed = 0
+                    while executed < self.firings_per_worker_step:
+                        scheduler.refresh()
+                        match = scheduler.find_first(shuffled=True)
+                        if match is None:
+                            break
+                        produced = match.produced()
+                        local.replace(match.consumed, produced)
+                        executed += 1
+                    if executed == 0:
+                        starving.append(worker)
+                    fired_this_step += executed
+                    per_partition_firings[worker] += executed
+
+                firings += fired_this_step
+                steps += 1
+
+                if fired_this_step == 0:
+                    # Global termination check: one message per worker.
+                    messages += self.num_partitions
+                    union = self._global_match_exists(distributed)
+                    if not union:
                         break
-                    produced = match.produced()
-                    local.replace(match.consumed, produced)
-                    executed += 1
-                if executed == 0:
-                    starving.append(worker)
-                fired_this_step += executed
-                per_partition_firings[worker] += executed
-
-            firings += fired_this_step
-            steps += 1
-
-            if fired_this_step == 0:
-                # Global termination check: one message per worker.
-                messages += self.num_partitions
-                union = self._global_match_exists(distributed)
-                if not union:
-                    break
-                # Not stable yet: rebalance by migrating elements toward worker 0
-                # until it can match (simple work-pulling strategy).
-                migrations += self._pull_elements(distributed, 0)
-                messages += 1
-            elif starving:
-                # Starving workers pull one element each from a random peer.
-                for worker in starving:
-                    moved = self._steal_one(distributed, worker)
-                    migrations += moved
-                    messages += moved
+                    # Not stable yet: rebalance by migrating elements toward worker 0
+                    # until it can match (simple work-pulling strategy).
+                    migrations += self._pull_elements(distributed, 0)
+                    messages += 1
+                elif starving:
+                    # Starving workers pull one element each from a random peer.
+                    for worker in starving:
+                        moved = self._steal_one(distributed, worker)
+                        migrations += moved
+                        messages += moved
+        finally:
+            for scheduler in schedulers:
+                scheduler.detach()
 
         return DistributedRunResult(
             final=distributed.union(),
@@ -185,15 +204,6 @@ class DistributedGammaRuntime:
         )
 
     # -- helpers -----------------------------------------------------------------------
-    def _find_local_match(self, local: Multiset) -> Optional[Match]:
-        matcher = Matcher(local, rng=self._rng)
-        reactions = list(self.program.reactions)
-        self._rng.shuffle(reactions)
-        for reaction in reactions:
-            match = matcher.find(reaction)
-            if match is not None:
-                return match
-        return None
 
     def _global_match_exists(self, distributed: DistributedMultiset) -> bool:
         union = distributed.union()

@@ -8,17 +8,22 @@ Gamma implementations cited by the paper (Connection Machine, MasPar, MPI,
 GPU) actually provide.  Together with
 :class:`~repro.runtime.df_simulator.DataflowSimulator` it gives both sides of
 the experiment E9 comparison the same cost model.
+
+Like the engines, the simulator runs on a persistent
+:class:`~repro.gamma.scheduler.ReactionScheduler` — one incrementally
+maintained label/tag index per run plus dirty-label rematching — instead of
+rebuilding a matcher every step.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from ..gamma.engine import NonTerminationError
-from ..gamma.matching import Match, Matcher
 from ..gamma.program import GammaProgram
+from ..gamma.scheduler import ReactionScheduler
 from ..multiset.multiset import Multiset
 from .metrics import ParallelRunMetrics
 from .pe import PEPool
@@ -56,34 +61,6 @@ class GammaSimulator:
         self.max_steps = max_steps
         self._rng = random.Random(seed)
 
-    def _step_matches(self, multiset: Multiset, budget: Optional[int]) -> List[Match]:
-        """A set of non-conflicting matches, at most ``budget`` of them."""
-        matcher = Matcher(multiset, rng=self._rng)
-        available = dict(multiset.counts())
-        remaining = sum(available.values())
-        chosen: List[Match] = []
-        reactions = list(self.program.reactions)
-        self._rng.shuffle(reactions)
-        for reaction in reactions:
-            if budget is not None and len(chosen) >= budget:
-                break
-            if remaining < reaction.arity:
-                continue
-            for match in matcher.iter_matches(reaction):
-                if budget is not None and len(chosen) >= budget:
-                    break
-                if remaining < reaction.arity:
-                    break
-                needed: Dict = {}
-                for element in match.consumed:
-                    needed[element] = needed.get(element, 0) + 1
-                if all(available.get(e, 0) >= c for e, c in needed.items()):
-                    for e, c in needed.items():
-                        available[e] -= c
-                        remaining -= c
-                    chosen.append(match)
-        return chosen
-
     def run(self, initial: Optional[Multiset] = None) -> GammaSimulationResult:
         """Run to the stable state under the PE constraint."""
         multiset = initial if initial is not None else self.program.initial
@@ -93,21 +70,26 @@ class GammaSimulator:
         pool: PEPool = PEPool(self.num_pes)
         steps = 0
         total_firings = 0
+        scheduler = ReactionScheduler(self.program.reactions, multiset, rng=self._rng)
 
-        while True:
-            if steps >= self.max_steps:
-                raise NonTerminationError(
-                    f"gamma simulation exceeded {self.max_steps} steps on {self.program.name!r}"
-                )
-            matches = self._step_matches(multiset, pool.capacity())
-            if not matches:
-                break
-            scheduled = pool.dispatch(matches)
-            for match in scheduled:
-                produced = match.produced()
-                multiset.replace(match.consumed, produced)
-            total_firings += len(scheduled)
-            steps += 1
+        try:
+            while True:
+                if steps >= self.max_steps:
+                    raise NonTerminationError(
+                        f"gamma simulation exceeded {self.max_steps} steps on {self.program.name!r}"
+                    )
+                scheduler.refresh()
+                matches = scheduler.collect_step_matches(budget=pool.capacity())
+                if not matches:
+                    break
+                scheduled = pool.dispatch(matches)
+                for match in scheduled:
+                    produced = match.produced()
+                    multiset.replace(match.consumed, produced)
+                total_firings += len(scheduled)
+                steps += 1
+        finally:
+            scheduler.detach()
 
         metrics = ParallelRunMetrics.from_profile(pool.profile, num_pes=self.num_pes)
         return GammaSimulationResult(

@@ -1,0 +1,184 @@
+"""Tests for the incremental reaction scheduler and the engine run-loop contract.
+
+Covers the worklist mechanics (parking dead reactions, dirty-label wakeups),
+the lifecycle (detach unhooks the listeners), the ``run()`` argument-conflict
+guard, and the ``raise_on_budget=False`` partial-result mode.
+"""
+
+import pytest
+
+from repro.gamma import (
+    ChaoticEngine,
+    GammaProgram,
+    MaxParallelEngine,
+    NonTerminationError,
+    ReactionScheduler,
+    SequentialEngine,
+    greedy_disjoint_matches,
+    run,
+)
+from repro.gamma.pattern import pattern, template
+from repro.gamma.reaction import Branch, Reaction
+from repro.gamma.stdlib import min_element, sum_reduction, values_multiset
+from repro.multiset import Multiset
+
+
+def _rewrite(name, src_label, dst_label):
+    """A reaction consuming one ``src_label`` element and producing ``dst_label``."""
+    return Reaction(
+        name,
+        [pattern("a", src_label, "t")],
+        [Branch(productions=[template("a", dst_label, "t")])],
+    )
+
+
+class TestWorklist:
+    def test_dead_reaction_is_parked_after_probe(self):
+        program = GammaProgram([_rewrite("R1", "a", "b"), _rewrite("R2", "c", "d")])
+        multiset = Multiset([(1, "a", 0)])
+        scheduler = ReactionScheduler(program.reactions, multiset)
+        match = scheduler.find_first()
+        assert match is not None and match.reaction.name == "R1"
+        # R1 matched first in declaration order, so nothing is parked yet.
+        assert scheduler.parked == frozenset()
+        assert scheduler.find_first().reaction.name == "R1"  # R1 still enabled
+        multiset.replace(match.consumed, match.produced())
+        scheduler.refresh()
+        assert scheduler.find_first() is None
+        assert scheduler.parked == {0, 1}
+        scheduler.detach()
+
+    def test_dirty_label_wakes_only_footprint_reactions(self):
+        program = GammaProgram([_rewrite("R1", "a", "b"), _rewrite("R2", "c", "d")])
+        multiset = Multiset([(1, "x", 0)])
+        scheduler = ReactionScheduler(program.reactions, multiset)
+        assert scheduler.find_first() is None
+        assert scheduler.parked == {0, 1}
+        # Touching 'c' must wake R2 but leave R1 parked.
+        multiset.add((5, "c", 0))
+        scheduler.refresh()
+        assert scheduler.parked == {0}
+        assert scheduler.find_first().reaction.name == "R2"
+        scheduler.detach()
+
+    def test_variable_label_reaction_wakes_on_any_change(self):
+        anything = Reaction(
+            "Rany",
+            [pattern("a", "lbl", "t", label_is_variable=True),
+             pattern("b", "lbl", "t", label_is_variable=True)],
+            [Branch(productions=[template("a", "out", "t")])],
+        )
+        scheduler = ReactionScheduler([anything], Multiset())
+        assert scheduler.find_first() is None
+        assert scheduler.parked == {0}
+        scheduler.multiset.add((1, "whatever", 0))
+        scheduler.multiset.add((2, "whatever", 0))
+        scheduler.refresh()
+        assert scheduler.parked == frozenset()
+        assert scheduler.find_first() is not None
+        scheduler.detach()
+
+    def test_detach_stops_tracking(self):
+        program = GammaProgram([_rewrite("R1", "a", "b")])
+        multiset = Multiset([(1, "a", 0)])
+        scheduler = ReactionScheduler(program.reactions, multiset)
+        scheduler.detach()
+        assert not scheduler.index.attached
+        # Mutations after detach no longer reach the index.
+        before = scheduler.index.as_dict()
+        multiset.add((2, "a", 0))
+        assert scheduler.index.as_dict() == before
+        scheduler.detach()  # idempotent
+
+    def test_shuffled_probe_requires_rng(self):
+        scheduler = ReactionScheduler([_rewrite("R1", "a", "b")], Multiset())
+        with pytest.raises(ValueError):
+            scheduler.find_first(shuffled=True)
+        scheduler.detach()
+
+    def test_greedy_disjoint_matches_detaches_its_scheduler(self):
+        multiset = values_multiset([1, 2, 3, 4])
+        matches = greedy_disjoint_matches(sum_reduction().reactions, multiset)
+        assert len(matches) == 2
+        # The helper's temporary scheduler must not leave listeners behind.
+        assert multiset._listeners == ()
+
+
+class TestRunArgumentConflicts:
+    def test_engine_instance_with_seed_rejected(self):
+        with pytest.raises(ValueError, match="seed"):
+            run(sum_reduction(), values_multiset([1, 2]), engine=ChaoticEngine(seed=1), seed=2)
+
+    def test_engine_instance_with_max_steps_rejected(self):
+        with pytest.raises(ValueError, match="max_steps"):
+            run(sum_reduction(), values_multiset([1, 2]), engine=SequentialEngine(), max_steps=5)
+
+    def test_engine_instance_with_raise_on_budget_rejected(self):
+        with pytest.raises(ValueError, match="raise_on_budget"):
+            run(
+                sum_reduction(),
+                values_multiset([1, 2]),
+                engine=SequentialEngine(),
+                raise_on_budget=False,
+            )
+
+    def test_engine_instance_without_conflicts_accepted(self):
+        result = run(sum_reduction(), values_multiset([1, 2, 3]), engine=MaxParallelEngine(seed=0))
+        assert result.final.values_with_label("x") == [6]
+
+    def test_named_engine_still_accepts_everything(self):
+        result = run(
+            sum_reduction(),
+            values_multiset([1, 2, 3]),
+            engine="chaotic",
+            seed=4,
+            max_steps=50,
+            raise_on_budget=False,
+        )
+        assert result.stable
+
+
+class TestBudgetModes:
+    def test_budget_raises_by_default(self):
+        looping = Reaction(
+            "Rloop",
+            [pattern("a", "x", "t")],
+            [Branch(productions=[template("a", "x", "t")])],
+        )
+        with pytest.raises(NonTerminationError):
+            run(GammaProgram([looping]), values_multiset([1]), engine="sequential", max_steps=10)
+
+    @pytest.mark.parametrize("engine", ["sequential", "chaotic", "max-parallel"])
+    def test_partial_result_when_budget_disabled(self, engine):
+        result = run(
+            sum_reduction(),
+            values_multiset(range(1, 33)),
+            engine=engine,
+            seed=0,
+            max_steps=3,
+            raise_on_budget=False,
+        )
+        assert not result.stable
+        assert result.steps == 3
+        # The partial multiset conserves the sum even mid-run.
+        assert sum(result.final.values_with_label("x")) == sum(range(1, 33))
+
+    def test_completed_run_is_stable(self):
+        result = run(sum_reduction(), values_multiset([1, 2, 3]), engine="sequential")
+        assert result.stable
+        assert result.final.values_with_label("x") == [6]
+
+    def test_sequential_composition_stops_at_exhausted_stage(self):
+        from repro.gamma.program import sequential
+
+        program = sequential(sum_reduction(), min_element())
+        engine = SequentialEngine(max_steps=2, raise_on_budget=False)
+        result = engine.run(program, values_multiset([1, 2, 3, 4, 5]))
+        assert not result.stable
+        assert result.steps == 2
+
+    def test_run_loop_leaves_no_listeners_behind(self):
+        initial = values_multiset([4, 1, 3])
+        for engine in (SequentialEngine(), ChaoticEngine(seed=0), MaxParallelEngine(seed=0)):
+            result = engine.run(min_element(), initial)
+            assert result.final._listeners == ()
