@@ -1,6 +1,7 @@
 """The dynamic dataflow model: graphs, tagged tokens, interpreter and tooling."""
 
 from .builder import GraphBuilder, OutputRef
+from .compiled_ops import CompiledGraphOps, compile_node
 from .graph import DataflowGraph, Edge, GraphError
 from .interpreter import (
     DataflowInterpreter,
@@ -30,5 +31,6 @@ __all__ = [
     "GraphBuilder", "OutputRef",
     "TokenStore",
     "DataflowInterpreter", "DataflowResult", "FiringEvent", "run_graph",
+    "CompiledGraphOps", "compile_node",
     "validate_graph", "ValidationReport", "ValidationIssue",
 ]

@@ -1,0 +1,155 @@
+"""Compiled node kernels and emit plans for dataflow execution.
+
+The interpreter's inner loop pays a per-firing dispatch tax: every
+``node.compute`` call rebuilds the operand tuple through ``operands()``,
+re-reads the operator function out of a dict, and re-branches on the
+immediate configuration; every ``_emit`` re-queries ``graph.out_edges`` (a
+list copy per call).  A dataflow graph is static for the lifetime of a run,
+so — exactly like the Gamma side's :mod:`repro.gamma.compiled` — all of that
+dispatch is resolved once, at graph load:
+
+* :func:`compile_node` turns each vertex into a **kernel**: a closure from
+  the matched input mapping to the produced output mapping, with the
+  operator function, immediate operand, port names and 0/1 encoding burnt
+  in.  Kernels return exactly what ``node.compute`` returns (same dicts,
+  same error messages), so firing events are indistinguishable from the
+  interpreted path's.
+* :class:`CompiledGraphOps` packages the kernel table with a precomputed
+  ``(node, port) -> outgoing edges`` adjacency (the emit plan) and the
+  per-node tag deltas, so the run loop does two dict lookups where it used
+  to do attribute dispatch plus list construction.
+
+Node classes outside the taxonomy of :mod:`repro.dataflow.nodes` fall back
+to their own ``compute`` method — the closure-composition analogue of the
+Gamma compiler's fallback: unknown semantics are delegated, never guessed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Mapping, Tuple
+
+from .graph import DataflowGraph, Edge
+from .nodes import (
+    ARITHMETIC_FUNCTIONS,
+    COMPARISON_FUNCTIONS,
+    PORT_CONTROL,
+    PORT_DATA,
+    PORT_FALSE,
+    PORT_IN,
+    PORT_LEFT,
+    PORT_OUT,
+    PORT_RIGHT,
+    PORT_TRUE,
+    ArithmeticNode,
+    ComparisonNode,
+    CopyNode,
+    IncTagNode,
+    Node,
+    OperatorNode,
+    RootNode,
+    SteerNode,
+)
+
+__all__ = ["CompiledGraphOps", "compile_node"]
+
+#: A compiled node kernel: input-port mapping -> output-port mapping.
+Kernel = Callable[[Mapping[str, Any]], Dict[str, Any]]
+
+
+def _operator_kernel(node: OperatorNode, wrap_bool: bool) -> Kernel:
+    """Kernel for arithmetic/comparison vertices with dispatch pre-resolved."""
+    functions = ARITHMETIC_FUNCTIONS if not wrap_bool else COMPARISON_FUNCTIONS
+    fn = functions[node.op]
+    if node.immediate is None:
+        if wrap_bool:
+            def kernel(inputs: Mapping[str, Any]) -> Dict[str, Any]:
+                return {PORT_OUT: 1 if fn(inputs[PORT_LEFT], inputs[PORT_RIGHT]) else 0}
+        else:
+            def kernel(inputs: Mapping[str, Any]) -> Dict[str, Any]:
+                return {PORT_OUT: fn(inputs[PORT_LEFT], inputs[PORT_RIGHT])}
+        return kernel
+    side, value = node.immediate
+    if side == "right":
+        if wrap_bool:
+            def kernel(inputs: Mapping[str, Any]) -> Dict[str, Any]:
+                return {PORT_OUT: 1 if fn(inputs[PORT_IN], value) else 0}
+        else:
+            def kernel(inputs: Mapping[str, Any]) -> Dict[str, Any]:
+                return {PORT_OUT: fn(inputs[PORT_IN], value)}
+        return kernel
+    if wrap_bool:
+        def kernel(inputs: Mapping[str, Any]) -> Dict[str, Any]:
+            return {PORT_OUT: 1 if fn(value, inputs[PORT_IN]) else 0}
+    else:
+        def kernel(inputs: Mapping[str, Any]) -> Dict[str, Any]:
+            return {PORT_OUT: fn(value, inputs[PORT_IN])}
+    return kernel
+
+
+def _steer_kernel(node: SteerNode) -> Kernel:
+    node_id = node.node_id
+
+    def kernel(inputs: Mapping[str, Any]) -> Dict[str, Any]:
+        control = inputs[PORT_CONTROL]
+        if isinstance(control, bool):
+            control = 1 if control else 0
+        if control not in (0, 1):
+            raise ValueError(
+                f"steer {node_id!r} control token must be 0 or 1, got {control!r}"
+            )
+        port = PORT_TRUE if control == 1 else PORT_FALSE
+        return {port: inputs[PORT_DATA]}
+
+    return kernel
+
+
+def compile_node(node: Node) -> Kernel:
+    """Specialize ``node`` into a kernel equivalent to ``node.compute``.
+
+    Unknown node classes (user extensions) fall back to the bound ``compute``
+    method itself, so compilation never changes semantics.
+    """
+    if isinstance(node, RootNode):
+        value = node.value
+        return lambda inputs: {PORT_OUT: value}
+    if isinstance(node, ComparisonNode):
+        return _operator_kernel(node, wrap_bool=True)
+    if isinstance(node, ArithmeticNode):
+        return _operator_kernel(node, wrap_bool=False)
+    if isinstance(node, SteerNode):
+        return _steer_kernel(node)
+    if isinstance(node, (IncTagNode, CopyNode)):
+        return lambda inputs: {PORT_OUT: inputs[PORT_IN]}
+    return node.compute
+
+
+class CompiledGraphOps:
+    """Per-graph compiled execution tables shared by the interpreter and the
+    multi-PE simulator.
+
+    ``kernels[node_id]`` fires a vertex, ``out_edges[(node_id, port)]`` is the
+    precomputed emit adjacency (a tuple, possibly empty), and
+    ``tag_delta[node_id]`` the iteration-tag shift.  Graphs are immutable
+    during execution, so the tables are built once per run (or once per
+    graph, when the caller keeps the ops object around).
+    """
+
+    __slots__ = ("graph", "kernels", "out_edges", "tag_delta", "kind")
+
+    def __init__(self, graph: DataflowGraph) -> None:
+        self.graph = graph
+        self.kernels: Dict[str, Kernel] = {}
+        self.out_edges: Dict[Tuple[str, str], Tuple[Edge, ...]] = {}
+        self.tag_delta: Dict[str, int] = {}
+        self.kind: Dict[str, str] = {}
+        for node in graph.nodes:
+            node_id = node.node_id
+            self.kernels[node_id] = compile_node(node)
+            self.tag_delta[node_id] = node.tag_delta()
+            self.kind[node_id] = node.kind
+            for port in node.output_ports():
+                self.out_edges[(node_id, port)] = tuple(graph.out_edges(node_id, port))
+
+    def emit_edges(self, node_id: str, port: str) -> Tuple[Edge, ...]:
+        """The outgoing edges of ``node_id``'s ``port`` (empty tuple if none)."""
+        return self.out_edges.get((node_id, port), ())

@@ -26,6 +26,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..multiset.element import Element
 from ..multiset.multiset import Multiset
+from .compiled_ops import CompiledGraphOps
 from .graph import DataflowGraph
 from .matching import TokenStore
 from .token import INITIAL_TAG, Token
@@ -112,6 +113,7 @@ class DataflowInterpreter:
         seed: Optional[int] = None,
         max_firings: int = DEFAULT_MAX_FIRINGS,
         record_events: bool = True,
+        compiled: bool = True,
     ) -> None:
         if policy not in ("fifo", "lifo", "random"):
             raise ValueError(f"unknown firing policy {policy!r}")
@@ -119,6 +121,12 @@ class DataflowInterpreter:
         self.policy = policy
         self.max_firings = max_firings
         self.record_events = record_events
+        self.compiled = compiled
+        # Compiled node kernels + emit adjacency, built once per interpreter:
+        # firing then costs two dict lookups instead of method dispatch and a
+        # fresh out-edge list per emit.  ``compiled=False`` keeps the
+        # node.compute / graph.out_edges baseline.
+        self._ops: Optional[CompiledGraphOps] = CompiledGraphOps(graph) if compiled else None
         self._rng = random.Random(seed)
 
     # -- overridable hooks ---------------------------------------------------------
@@ -162,23 +170,30 @@ class DataflowInterpreter:
                 )
             total += 1
 
+        ops = self._ops
         while store.has_ready():
             if total >= self.max_firings:
                 raise DataflowDeadlockError(
                     f"exceeded {self.max_firings} firings on graph {self.graph.name!r}"
                 )
             node_id, tag = self._pick(store.ready())
-            node = self.graph.node(node_id)
             inputs = store.consume(node_id, tag)
-            produced = node.compute(inputs)
-            out_tag = tag + node.tag_delta()
+            if ops is not None:
+                produced = ops.kernels[node_id](inputs)
+                out_tag = tag + ops.tag_delta[node_id]
+                kind = ops.kind[node_id]
+            else:
+                node = self.graph.node(node_id)
+                produced = node.compute(inputs)
+                out_tag = tag + node.tag_delta()
+                kind = node.kind
             self._emit(node_id, produced, out_tag, store, outputs)
             if self.record_events:
                 firings.append(
                     FiringEvent(
                         index=total,
                         node_id=node_id,
-                        kind=node.kind,
+                        kind=kind,
                         tag=tag,
                         inputs=dict(inputs),
                         outputs=dict(produced),
@@ -210,9 +225,15 @@ class DataflowInterpreter:
         outputs: Dict[str, List[Token]],
     ) -> None:
         """Send one token per outgoing edge of every produced output port."""
+        ops = self._ops
         for port, value in produced.items():
             token = Token(value, tag)
-            for edge in self.graph.out_edges(node_id, port):
+            edges = (
+                ops.emit_edges(node_id, port)
+                if ops is not None
+                else self.graph.out_edges(node_id, port)
+            )
+            for edge in edges:
                 if edge.dst is None:
                     outputs.setdefault(edge.label, []).append(token)
                 else:
@@ -225,7 +246,10 @@ def run_graph(
     policy: str = "fifo",
     seed: Optional[int] = None,
     max_firings: int = DEFAULT_MAX_FIRINGS,
+    compiled: bool = True,
 ) -> DataflowResult:
     """Convenience wrapper: drain ``graph`` with a fresh interpreter."""
-    interpreter = DataflowInterpreter(graph, policy=policy, seed=seed, max_firings=max_firings)
+    interpreter = DataflowInterpreter(
+        graph, policy=policy, seed=seed, max_firings=max_firings, compiled=compiled
+    )
     return interpreter.run(root_values)

@@ -20,6 +20,14 @@ from .engine import (
     run,
     run_program,
 )
+from .compiled import (
+    CompilationError,
+    CompiledMatch,
+    CompiledReaction,
+    MatchPlan,
+    compile_expr,
+    compile_reaction,
+)
 from .expr import BinOp, BoolOp, Compare, Const, EvaluationError, Expr, Not, Var, const, var
 from .matching import Match, Matcher, find_match, iter_matches
 from .pattern import Binding, ElementPattern, ElementTemplate, pattern, template
@@ -39,6 +47,9 @@ __all__ = [
     # matching / scheduling
     "Match", "Matcher", "find_match", "iter_matches",
     "ReactionScheduler", "greedy_disjoint_matches",
+    # reaction compilation
+    "CompiledReaction", "CompiledMatch", "MatchPlan", "CompilationError",
+    "compile_reaction", "compile_expr",
     # engines
     "GammaEngine", "SequentialEngine", "ChaoticEngine", "MaxParallelEngine",
     "ExecutionResult", "NonTerminationError", "run", "run_program",

@@ -1,0 +1,721 @@
+"""Reaction compilation: specialize matching, guards and productions per reaction.
+
+The interpreted pipeline pays a fixed interpretive tax on every candidate
+probe: :meth:`ElementPattern.match` copies a binding dict per candidate,
+guards and productions tree-walk the :class:`~repro.gamma.expr.Expr` AST per
+evaluation, and every field access re-dispatches on ``Var``/``Const``.  A
+reaction, however, is *static* for the lifetime of a run while being probed
+millions of times — the classic staging opportunity.  This module compiles
+each reaction once into:
+
+* a **match plan** — the replace-list patterns reordered by selectivity
+  (patterns whose label/tag are already known — constants or variables bound
+  by an earlier pattern — come first, with stable tie-breaks on declaration
+  order), with fixed labels/tags and shared-variable joins resolved at
+  compile time;
+* **slot-based matching** — every reaction variable gets a fixed slot; the
+  generated matcher keeps the slot vector in local variables of one stack
+  frame (the compiled form of a flat slot list), so candidate probes bind and
+  compare scalars instead of copying dicts;
+* **codegenned matchers** — for each reaction, four specialized functions are
+  produced with :func:`compile`: deterministic and shuffled variants of
+  ``find`` (first enabled match) and ``iterate`` (all enabled matches).  The
+  nested candidate loops are unrolled per pattern, bucket lookups are inlined
+  against the :class:`~repro.multiset.index.LabelTagIndex` raw buckets, and
+  the consumed-multiplicity check is an O(1) comparison against the elements
+  already chosen by the enclosing loops (no ``sum(...)``/``multiset.count``
+  rescan per candidate);
+* **compiled guards and productions** — expressions are lowered to Python
+  source and compiled to closures; comparison nodes go through tiny wrappers
+  that preserve the interpreter's ``EvaluationError`` semantics, and any
+  expression the code generator does not understand (e.g. a user-defined
+  :class:`Expr` subclass) falls back to *closure composition* over the node's
+  own ``evaluate`` — semantics are never lost to the optimizer.
+
+Equivalence contract
+--------------------
+
+For reactions whose match plan is the identity permutation — which includes
+every reaction of the paper's listings and of Algorithm 1's output that the
+engines' seeded-trace tests pin — the compiled matcher enumerates exactly the
+same matches in exactly the same order as the interpreted
+:class:`~repro.gamma.matching.Matcher`, consumes the RNG identically in
+shuffled mode, and raises the same exceptions from guard/production
+evaluation.  When the plan genuinely reorders patterns the *set* of matches
+is unchanged but the enumeration order may differ (the same latitude the
+scheduler's parking already takes for seeded engines).  The property tests in
+``tests/properties/test_compiled_properties.py`` pin both halves of this
+contract.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
+
+from ..multiset.element import Element
+from ..multiset.index import LabelTagIndex
+from ..multiset.multiset import Multiset
+from .expr import (
+    ARITHMETIC_OPS,
+    COMPARISON_OPS,
+    BinOp,
+    BoolOp,
+    Compare,
+    Const,
+    EvaluationError,
+    Expr,
+    Not,
+    Var,
+    _safe_div,
+)
+from .matching import Match
+from .pattern import Binding, ElementPattern, ElementTemplate
+from .reaction import Reaction
+
+__all__ = [
+    "CompilationError",
+    "CompiledMatch",
+    "CompiledReaction",
+    "MatchPlan",
+    "compile_expr",
+    "compile_reaction",
+]
+
+
+class CompilationError(Exception):
+    """Raised when a reaction cannot be compiled (callers fall back to the
+    interpreted matcher)."""
+
+
+class _Unsupported(Exception):
+    """Internal: expression node the code generator cannot lower."""
+
+
+# ---------------------------------------------------------------------------
+# Expression lowering
+# ---------------------------------------------------------------------------
+
+def _make_cmp(fn: Callable[[Any, Any], bool], node: Compare) -> Callable[[Any, Any], bool]:
+    """Comparison wrapper preserving ``Compare.evaluate``'s error semantics."""
+
+    def compare(a, b):
+        try:
+            return bool(fn(a, b))
+        except TypeError as exc:
+            raise EvaluationError(f"incomparable operands in {node!r}: {exc}") from exc
+
+    return compare
+
+
+def _lower(
+    expr: Expr,
+    ref: Callable[[str], str],
+    consts: List[Any],
+    helpers: List[Callable],
+) -> str:
+    """Lower ``expr`` to a Python source fragment.
+
+    ``ref`` renders a variable reference (a slot local for the matcher, an
+    ``E[...]`` lookup for env closures).  Constants are routed through the
+    ``C`` table so arbitrary values need no ``repr`` round-trip; comparison
+    nodes and unknown arithmetic operators go through the ``H`` helper table.
+    Raises :class:`_Unsupported` for unknown node types.
+    """
+    if isinstance(expr, Var):
+        return ref(expr.name)
+    if isinstance(expr, Const):
+        consts.append(expr.value)
+        return f"C[{len(consts) - 1}]"
+    if isinstance(expr, BinOp):
+        left = _lower(expr.left, ref, consts, helpers)
+        right = _lower(expr.right, ref, consts, helpers)
+        op = expr.op
+        if op in ("+", "-", "*", "%"):
+            return f"({left} {op} {right})"
+        if op == "/":
+            return f"_div({left}, {right})"
+        if op in ("min", "max"):
+            return f"{op}({left}, {right})"
+        # Operator registered in ARITHMETIC_OPS after this module was written:
+        # call it directly, exactly like BinOp.evaluate does.
+        helpers.append(ARITHMETIC_OPS[op])
+        return f"H[{len(helpers) - 1}]({left}, {right})"
+    if isinstance(expr, Compare):
+        left = _lower(expr.left, ref, consts, helpers)
+        right = _lower(expr.right, ref, consts, helpers)
+        helpers.append(_make_cmp(COMPARISON_OPS[expr.op], expr))
+        return f"H[{len(helpers) - 1}]({left}, {right})"
+    if isinstance(expr, BoolOp):
+        left = _lower(expr.left, ref, consts, helpers)
+        right = _lower(expr.right, ref, consts, helpers)
+        joiner = "and" if expr.op == "and" else "or"
+        return f"(bool({left}) {joiner} bool({right}))"
+    if isinstance(expr, Not):
+        operand = _lower(expr.operand, ref, consts, helpers)
+        return f"(not bool({operand}))"
+    raise _Unsupported(f"cannot lower {type(expr).__name__}")
+
+
+def _compose(expr: Expr) -> Callable[[Binding], Any]:
+    """Closure-composition fallback for non-codegennable expressions.
+
+    Known node kinds compose child closures with their operator functions
+    (resolving dispatch once, at compile time); unknown node kinds delegate to
+    the node's own ``evaluate``, which *defines* their semantics.
+    """
+    if isinstance(expr, (Var, Const)):
+        return expr.evaluate
+    if isinstance(expr, BinOp):
+        fn = ARITHMETIC_OPS[expr.op]
+        left, right = _compose(expr.left), _compose(expr.right)
+        return lambda env: fn(left(env), right(env))
+    if isinstance(expr, Compare):
+        fn = _make_cmp(COMPARISON_OPS[expr.op], expr)
+        left, right = _compose(expr.left), _compose(expr.right)
+        return lambda env: fn(left(env), right(env))
+    if isinstance(expr, BoolOp):
+        left, right = _compose(expr.left), _compose(expr.right)
+        if expr.op == "and":
+            return lambda env: bool(left(env)) and bool(right(env))
+        return lambda env: bool(left(env)) or bool(right(env))
+    if isinstance(expr, Not):
+        operand = _compose(expr.operand)
+        return lambda env: not bool(operand(env))
+    return expr.evaluate
+
+
+def _compile_env_expr(expr: Expr) -> Callable[[Binding], Any]:
+    """Compile ``expr`` to a closure over a binding dict, without the unbound-
+    variable guard.
+
+    Internal building block: the reaction pipeline only evaluates expressions
+    under bindings whose completeness ``Reaction._validate_variables`` already
+    proved, so the per-call guard would be dead weight on the firing path.
+    """
+    consts: List[Any] = []
+    helpers: List[Callable] = []
+    try:
+        src = _lower(expr, lambda name: f"E[{name!r}]", consts, helpers)
+    except _Unsupported:
+        return _compose(expr)
+    namespace = {
+        "C": tuple(consts),
+        "H": tuple(helpers),
+        "_div": _safe_div,
+        "bool": bool,
+        "min": min,
+        "max": max,
+    }
+    return eval(compile(f"lambda E: {src}", "<compiled-expr>", "eval"), namespace)
+
+
+def compile_expr(expr: Expr) -> Callable[[Binding], Any]:
+    """Compile ``expr`` into a callable taking a variable-binding mapping.
+
+    Uses :func:`compile`-based code generation when every node is understood
+    and the closure-composition fallback otherwise; either way the returned
+    callable evaluates exactly like ``expr.evaluate`` (same values, same
+    exceptions — including :class:`EvaluationError` for unbound variables).
+    """
+    fn = _compile_env_expr(expr)
+
+    def evaluate(env: Binding) -> Any:
+        try:
+            return fn(env)
+        except KeyError as exc:
+            raise EvaluationError(f"unbound reaction variable {exc.args[0]!r}") from exc
+
+    return evaluate
+
+
+# ---------------------------------------------------------------------------
+# Match plan
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class MatchPlan:
+    """The compile-time search strategy for one reaction.
+
+    ``order[k]`` is the original replace-list index probed at plan position
+    ``k``; ``selectivity[k]`` records ``(label_known, tag_known)`` at the
+    moment position ``k`` was chosen (constants or variables bound by earlier
+    plan positions).  ``slots`` maps slot index -> variable name in
+    first-encounter order over the *original* pattern order, which is also
+    the key order of the binding dicts the compiled matcher emits.
+    """
+
+    order: Tuple[int, ...]
+    slots: Tuple[str, ...]
+    selectivity: Tuple[Tuple[bool, bool], ...]
+
+    @property
+    def is_identity(self) -> bool:
+        """True when the plan preserves declaration order (and therefore the
+        interpreted matcher's exact enumeration order)."""
+        return self.order == tuple(range(len(self.order)))
+
+    @property
+    def slot_of(self) -> Dict[str, int]:
+        return {name: i for i, name in enumerate(self.slots)}
+
+
+def _field_known(field_expr: Expr, bound: FrozenSet[str]) -> bool:
+    if isinstance(field_expr, Const):
+        return True
+    return field_expr.name in bound  # type: ignore[union-attr]
+
+
+def _plan(reaction: Reaction) -> MatchPlan:
+    """Greedy selectivity ordering with bound-variable propagation.
+
+    At each step the pattern with the most index leverage is chosen:
+    known-label patterns before variable-label ones, known-tag before unknown
+    within a label class, original position as the stable tie-break.  Binding
+    propagation means a pattern whose tag variable is bound by an earlier
+    choice counts as known-tag — the shared-``v``-tag reactions produced by
+    Algorithm 1 resolve their tag join at compile time this way.
+    """
+    patterns = reaction.replace
+    slots: List[str] = []
+    seen = set()
+    for pat in patterns:
+        for field_expr in (pat.value, pat.label, pat.tag):
+            if isinstance(field_expr, Var) and field_expr.name not in seen:
+                seen.add(field_expr.name)
+                slots.append(field_expr.name)
+
+    remaining = list(range(len(patterns)))
+    bound: set = set()
+    order: List[int] = []
+    selectivity: List[Tuple[bool, bool]] = []
+
+    while remaining:
+        frozen_bound = frozenset(bound)
+
+        def rank(i: int) -> Tuple[int, int, int]:
+            pat = patterns[i]
+            label_known = _field_known(pat.label, frozen_bound)
+            tag_known = _field_known(pat.tag, frozen_bound)
+            return (0 if label_known else 1, 0 if tag_known else 1, i)
+
+        best = min(remaining, key=rank)
+        key = rank(best)
+        order.append(best)
+        selectivity.append((key[0] == 0, key[1] == 0))
+        remaining.remove(best)
+        bound |= patterns[best].variables()
+
+    return MatchPlan(order=tuple(order), slots=tuple(slots), selectivity=tuple(selectivity))
+
+
+# ---------------------------------------------------------------------------
+# Matcher code generation
+# ---------------------------------------------------------------------------
+
+def _fields_could_collide(a: ElementPattern, b: ElementPattern) -> bool:
+    """Could the two patterns ever match equal elements?
+
+    Used to prune the consumed-multiplicity check at compile time: two
+    patterns with different constant fields can never bind equal elements, so
+    no runtime occurrence counting is needed between them.
+    """
+    for fa, fb in ((a.value, b.value), (a.label, b.label), (a.tag, b.tag)):
+        if isinstance(fa, Const) and isinstance(fb, Const) and not (fa.value == fb.value):
+            return False
+    return True
+
+
+class _SourceWriter:
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+        self.indent = 0
+
+    def w(self, line: str) -> None:
+        self.lines.append("    " * self.indent + line)
+
+
+def _emit_matcher_body(
+    writer: _SourceWriter,
+    reaction: Reaction,
+    plan: MatchPlan,
+    consts: List[Any],
+    helpers: List[Callable],
+    shuffled: bool,
+    emit: str,
+) -> None:
+    """Emit the nested candidate loops for one matcher variant.
+
+    ``emit`` is ``"return"`` (find variant: first enabled match) or
+    ``"yield"`` (iterate variant: all enabled matches, interpreted order).
+    """
+    patterns = reaction.replace
+    slot_of = plan.slot_of
+    bound: set = set()
+
+    def slot_ref(name: str) -> str:
+        return f"s{slot_of[name]}"
+
+    def condition_fragment(expr: Expr) -> str:
+        try:
+            return _lower(expr, slot_ref, consts, helpers)
+        except _Unsupported:
+            helpers.append(_compose(expr))
+            env = ", ".join(
+                f"{name!r}: {slot_ref(name)}" for name in sorted(expr.variables())
+            )
+            return f"H[{len(helpers) - 1}]({{{env}}})"
+
+    def const_ref(value: Any) -> str:
+        consts.append(value)
+        return f"C[{len(consts) - 1}]"
+
+    for k, position in enumerate(plan.order):
+        pat = patterns[position]
+
+        label_frag: Optional[str] = None
+        if isinstance(pat.label, Const):
+            label_frag = const_ref(pat.label.value)
+        elif pat.label.name in bound:
+            label_frag = slot_ref(pat.label.name)
+
+        tag_frag: Optional[str] = None
+        if isinstance(pat.tag, Const):
+            tag_frag = const_ref(pat.tag.value)
+        elif pat.tag.name in bound:
+            tag_frag = slot_ref(pat.tag.name)
+
+        # -- candidate source (mirrors Matcher._candidates exactly) ---------
+        if label_frag is not None and tag_frag is not None:
+            writer.w(f"t{k} = _idx.get({label_frag})")
+            writer.w(f"b{k} = t{k}.get({tag_frag}) if t{k} is not None else None")
+            if shuffled:
+                writer.w(f"c{k} = list(b{k}) if b{k} else []")
+                writer.w(f"rng.shuffle(c{k})")
+                writer.w(f"for e{k} in c{k}:")
+            else:
+                writer.w(f"if b{k}:")
+                writer.indent += 1
+                writer.w(f"for e{k} in b{k}:")
+        elif label_frag is not None:
+            writer.w(f"b{k} = _flat.get({label_frag})")
+            if shuffled:
+                writer.w(f"c{k} = list(b{k}) if b{k} else []")
+                writer.w(f"rng.shuffle(c{k})")
+                writer.w(f"for e{k} in c{k}:")
+            else:
+                writer.w(f"if b{k}:")
+                writer.indent += 1
+                writer.w(f"for e{k} in b{k}:")
+        elif tag_frag is not None:
+            if shuffled:
+                writer.w(f"c{k} = []")
+                writer.w(f"for t{k} in _idx.values():")
+                writer.w(f"    b{k} = t{k}.get({tag_frag})")
+                writer.w(f"    if b{k}:")
+                writer.w(f"        c{k}.extend(b{k})")
+                writer.w(f"rng.shuffle(c{k})")
+                writer.w(f"for e{k} in c{k}:")
+            else:
+                writer.w(f"for t{k} in _idx.values():")
+                writer.indent += 1
+                writer.w(f"b{k} = t{k}.get({tag_frag})")
+                writer.w(f"if b{k}:")
+                writer.indent += 1
+                writer.w(f"for e{k} in b{k}:")
+        else:
+            if shuffled:
+                writer.w(f"c{k} = []")
+                writer.w(f"for b{k} in _flat.values():")
+                writer.w(f"    c{k}.extend(b{k})")
+                writer.w(f"rng.shuffle(c{k})")
+                writer.w(f"for e{k} in c{k}:")
+            else:
+                writer.w(f"for b{k} in _flat.values():")
+                writer.indent += 1
+                writer.w(f"for e{k} in b{k}:")
+        writer.indent += 1
+
+        # -- consumed-multiplicity check (O(1), against enclosing loops) ----
+        colliders = [
+            j for j in range(k)
+            if _fields_could_collide(patterns[plan.order[j]], pat)
+        ]
+        if colliders:
+            terms = " + ".join(
+                f"(e{k} is e{j} or e{k} == e{j})" for j in colliders
+            )
+            writer.w(f"n{k} = {terms}")
+            writer.w(f"if n{k} and mcount(e{k}) <= n{k}:")
+            writer.w("    continue")
+
+        # -- field checks / slot binds (value, label, tag — pattern order) --
+        for field_expr, attr, source_known in (
+            (pat.value, "value", False),
+            (pat.label, "label", label_frag is not None),
+            (pat.tag, "tag", tag_frag is not None),
+        ):
+            if isinstance(field_expr, Const):
+                if not source_known:
+                    writer.w(f"if {const_ref(field_expr.value)} != e{k}.{attr}:")
+                    writer.w("    continue")
+            else:
+                name = field_expr.name
+                if name in bound:
+                    if not source_known:
+                        writer.w(f"if {slot_ref(name)} != e{k}.{attr}:")
+                        writer.w("    continue")
+                else:
+                    writer.w(f"{slot_ref(name)} = e{k}.{attr}")
+                    bound.add(name)
+
+    # -- enabledness (guard, then the ordered branch conditions) ------------
+    if reaction.guard is not None:
+        writer.w(f"if not ({condition_fragment(reaction.guard)}):")
+        writer.w("    continue")
+    # Branch conditions are or-ed in declaration order, mirroring
+    # ``enabled_branch``'s first-true scan: conditions after the first
+    # unconditional branch are never evaluated, conditions before it are
+    # (they may raise, and the interpreter would evaluate them too).
+    alternatives: List[str] = []
+    for branch in reaction.branches:
+        if branch.condition is None:
+            alternatives.append("True")
+            break
+        alternatives.append(f"({condition_fragment(branch.condition)})")
+    if alternatives != ["True"]:
+        writer.w(f"if not ({' or '.join(alternatives)}):")
+        writer.w("    continue")
+
+    consumed = ", ".join(
+        f"e{plan.order.index(position)}" for position in range(len(patterns))
+    )
+    binding = ", ".join(f"{name!r}: {slot_ref(name)}" for name in plan.slots)
+    suffix = "," if len(patterns) == 1 else ""
+    writer.w(f"{emit} (({consumed}{suffix}), {{{binding}}})")
+
+
+def _build_matcher(
+    reaction: Reaction,
+    plan: MatchPlan,
+    shuffled: bool,
+    mode: str,
+) -> Tuple[Callable, str]:
+    """Generate, compile and return one matcher variant (plus its source)."""
+    consts: List[Any] = []
+    helpers: List[Callable] = []
+    writer = _SourceWriter()
+    args = "_idx, _flat, rng, mcount" if shuffled else "_idx, _flat, mcount"
+    writer.w(f"def matcher({args}):")
+    writer.indent = 1
+    _emit_matcher_body(
+        writer, reaction, plan, consts, helpers, shuffled,
+        emit="return" if mode == "find" else "yield",
+    )
+    writer.indent = 1
+    if mode == "find":
+        writer.w("return None")
+    source = "\n".join(writer.lines)
+    namespace: Dict[str, Any] = {
+        "C": tuple(consts),
+        "H": tuple(helpers),
+        "_div": _safe_div,
+        "bool": bool,
+        "list": list,
+        "min": min,
+        "max": max,
+    }
+    exec(compile(source, f"<compiled-reaction {reaction.name}>", "exec"), namespace)
+    return namespace["matcher"], source
+
+
+# ---------------------------------------------------------------------------
+# Compiled productions
+# ---------------------------------------------------------------------------
+
+def _compile_template(template: ElementTemplate) -> Callable[[Binding], Element]:
+    """Compile one production template, preserving ``instantiate`` semantics.
+
+    Templates whose label and tag are valid constants skip the per-firing
+    type checks (they are discharged here, at compile time); an all-constant
+    template becomes a single shared immutable element.
+    """
+    value_fn = _compile_env_expr(template.value)
+    label_fn = _compile_env_expr(template.label)
+    tag_fn = _compile_env_expr(template.tag)
+
+    if isinstance(template.label, Const) and isinstance(template.tag, Const):
+        label = template.label.value
+        tag = template.tag.value
+        if isinstance(label, str) and isinstance(tag, int) and not isinstance(tag, bool):
+            if isinstance(template.value, Const):
+                try:
+                    element = Element(value=template.value.value, label=label, tag=tag)
+                except (TypeError, ValueError):
+                    pass  # invalid constant: fail at firing time, like instantiate
+                else:
+                    return lambda env: element
+            else:
+                return lambda env: Element(value=value_fn(env), label=label, tag=tag)
+
+    def produce(env: Binding) -> Element:
+        label = label_fn(env)
+        if not isinstance(label, str):
+            raise TypeError(f"produced label must be a string, got {label!r}")
+        tag = tag_fn(env)
+        if isinstance(tag, bool) or not isinstance(tag, int):
+            raise TypeError(f"produced tag must be an int, got {tag!r}")
+        return Element(value=value_fn(env), label=label, tag=tag)
+
+    return produce
+
+
+# ---------------------------------------------------------------------------
+# Compiled reaction + matches
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CompiledMatch(Match):
+    """A match found by the compiled matcher.
+
+    Identical observable content to an interpreted :class:`Match` (same
+    reaction, consumed tuple in declaration order, same binding dict);
+    :meth:`produced` runs the compiled productions instead of re-walking the
+    template ASTs.
+    """
+
+    compiled: Optional["CompiledReaction"] = None
+
+    def produced(self) -> List[Element]:
+        return self.compiled.apply(self.binding)
+
+
+class CompiledReaction:
+    """One reaction specialized for repeated probing.
+
+    Built by :func:`compile_reaction`; probed through :meth:`find` /
+    :meth:`iter_matches` against an attached
+    :class:`~repro.multiset.index.LabelTagIndex`.
+    """
+
+    __slots__ = (
+        "reaction",
+        "plan",
+        "footprint",
+        "wildcard",
+        "sources",
+        "_find_det",
+        "_find_rng",
+        "_iter_det",
+        "_iter_rng",
+        "_branches",
+    )
+
+    def __init__(self, reaction: Reaction) -> None:
+        self.reaction = reaction
+        self.plan = _plan(reaction)
+        # Scheduler footprint, resolved once at compile time.
+        self.footprint: FrozenSet[str] = reaction.consumed_labels()
+        self.wildcard: bool = reaction.has_variable_label()
+        self._find_det, src_fd = _build_matcher(reaction, self.plan, False, "find")
+        self._find_rng, src_fr = _build_matcher(reaction, self.plan, True, "find")
+        self._iter_det, src_id = _build_matcher(reaction, self.plan, False, "iterate")
+        self._iter_rng, src_ir = _build_matcher(reaction, self.plan, True, "iterate")
+        #: Generated sources, keyed for inspection/debugging and tests.
+        self.sources: Dict[str, str] = {
+            "find_det": src_fd,
+            "find_rng": src_fr,
+            "iter_det": src_id,
+            "iter_rng": src_ir,
+        }
+        self._branches: Tuple[Tuple[Optional[Callable], Tuple[Callable, ...]], ...] = tuple(
+            (
+                None if branch.condition is None else _compile_env_expr(branch.condition),
+                tuple(_compile_template(tmpl) for tmpl in branch.productions),
+            )
+            for branch in reaction.branches
+        )
+
+    # -- probing ---------------------------------------------------------------
+    def find(
+        self,
+        index: LabelTagIndex,
+        multiset: Multiset,
+        rng: Optional[random.Random] = None,
+    ) -> Optional[Match]:
+        """First enabled match against the indexed multiset, or ``None``."""
+        if rng is None:
+            got = self._find_det(
+                index.label_tag_buckets(), index.label_buckets(), multiset.count
+            )
+        else:
+            got = self._find_rng(
+                index.label_tag_buckets(), index.label_buckets(), rng, multiset.count
+            )
+        if got is None:
+            return None
+        consumed, binding = got
+        return CompiledMatch(
+            reaction=self.reaction, consumed=consumed, binding=binding, compiled=self
+        )
+
+    def iter_matches(
+        self,
+        index: LabelTagIndex,
+        multiset: Multiset,
+        rng: Optional[random.Random] = None,
+        limit: Optional[int] = None,
+    ) -> Iterator[Match]:
+        """All enabled matches (up to ``limit``), interpreted-matcher order."""
+        if rng is None:
+            raw = self._iter_det(
+                index.label_tag_buckets(), index.label_buckets(), multiset.count
+            )
+        else:
+            raw = self._iter_rng(
+                index.label_tag_buckets(), index.label_buckets(), rng, multiset.count
+            )
+        produced = 0
+        for consumed, binding in raw:
+            yield CompiledMatch(
+                reaction=self.reaction, consumed=consumed, binding=binding, compiled=self
+            )
+            produced += 1
+            if limit is not None and produced >= limit:
+                return
+
+    # -- firing ----------------------------------------------------------------
+    def apply(self, binding: Binding) -> List[Element]:
+        """Compiled reaction action: productions of the first enabled branch.
+
+        The guard is not re-evaluated — matches handed out by the compiled
+        matcher already passed it, and guards are pure functions of the
+        binding.  An all-branches-disabled binding raises the same
+        ``ValueError`` as :meth:`Reaction.apply`.
+        """
+        for condition, produce_fns in self._branches:
+            if condition is None or condition(binding):
+                return [fn(binding) for fn in produce_fns]
+        raise ValueError(
+            f"reaction {self.reaction.name!r} is not enabled under binding {binding!r}"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CompiledReaction({self.reaction.name!r}, order={self.plan.order}, "
+            f"slots={self.plan.slots})"
+        )
+
+
+def compile_reaction(reaction: Reaction) -> CompiledReaction:
+    """Compile ``reaction``; raises :class:`CompilationError` on failure.
+
+    Failure is always recoverable — callers (the :class:`Matcher`) fall back
+    to the interpreted search, so an exotic reaction degrades in speed, never
+    in semantics.
+    """
+    try:
+        return CompiledReaction(reaction)
+    except Exception as exc:
+        raise CompilationError(f"cannot compile reaction {reaction.name!r}: {exc}") from exc

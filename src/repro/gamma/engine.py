@@ -36,9 +36,14 @@ the incremental :class:`~repro.gamma.scheduler.ReactionScheduler`:
    (:meth:`GammaEngine._select_matches`): first-in-declaration-order,
    first-in-shuffled-order, or a greedy maximal non-conflicting set.
 
-Each engine accepts ``incremental=False`` to fall back to the legacy
-rebuild-per-step discipline, which reproduces the pre-scheduler engines
-exactly; the scaling benchmark uses it as the baseline.  The sequential
+Reactions are additionally *compiled* before the run starts
+(:mod:`repro.gamma.compiled`): slot-based codegenned matchers, compiled
+guards/productions, and the validation-free ``rewrite_unchecked`` firing
+path.  ``compiled=False`` selects the interpreted matcher/guard baseline
+(bit-identical seeded traces on every identity-plan reaction set, which
+includes all paper workloads); ``incremental=False`` additionally falls back
+to the legacy rebuild-per-step discipline, which reproduces the pre-scheduler
+engines exactly; the scaling benchmarks use both as baselines.  The sequential
 engine's firing sequence is identical in both modes.  For the seeded
 nondeterministic engines the two modes draw from the same RNG stream until a
 dead reaction is first parked; past that point they may explore *different
@@ -127,12 +132,14 @@ class GammaEngine:
         max_steps: int = DEFAULT_MAX_STEPS,
         raise_on_budget: bool = True,
         incremental: bool = True,
+        compiled: bool = True,
     ) -> None:
         if max_steps <= 0:
             raise ValueError("max_steps must be positive")
         self.max_steps = max_steps
         self.raise_on_budget = raise_on_budget
         self.incremental = incremental
+        self.compiled = compiled
         self._rng: Optional[random.Random] = None
 
     # -- public API --------------------------------------------------------------
@@ -205,8 +212,15 @@ class GammaEngine:
     ) -> Tuple[int, int, bool]:
         """Run one parallel block in place; return (steps, firings, stable)."""
         scheduler = ReactionScheduler(
-            program.reactions, multiset, rng=self._rng, incremental=self.incremental
+            program.reactions,
+            multiset,
+            rng=self._rng,
+            incremental=self.incremental,
+            compiled=self.compiled,
         )
+        # Matches handed out by the scheduler are availability-verified, so
+        # the compiled path skips replace()'s redundant atomic pre-validation.
+        apply_rewrite = multiset.rewrite_unchecked if self.compiled else multiset.replace
         steps = 0
         firings = 0
         try:
@@ -225,7 +239,7 @@ class GammaEngine:
                 step = trace.begin_step()
                 for match in matches:
                     produced = match.produced()
-                    multiset.replace(match.consumed, produced)
+                    apply_rewrite(match.consumed, produced)
                     trace.record(step, match.reaction.name, match.consumed, produced, match.binding)
                     firings += 1
                 steps += 1
@@ -259,9 +273,13 @@ class ChaoticEngine(GammaEngine):
         max_steps: int = DEFAULT_MAX_STEPS,
         raise_on_budget: bool = True,
         incremental: bool = True,
+        compiled: bool = True,
     ) -> None:
         super().__init__(
-            max_steps=max_steps, raise_on_budget=raise_on_budget, incremental=incremental
+            max_steps=max_steps,
+            raise_on_budget=raise_on_budget,
+            incremental=incremental,
+            compiled=compiled,
         )
         self.seed = seed
         self._rng = random.Random(seed)
@@ -288,9 +306,13 @@ class MaxParallelEngine(GammaEngine):
         max_steps: int = DEFAULT_MAX_STEPS,
         raise_on_budget: bool = True,
         incremental: bool = True,
+        compiled: bool = True,
     ) -> None:
         super().__init__(
-            max_steps=max_steps, raise_on_budget=raise_on_budget, incremental=incremental
+            max_steps=max_steps,
+            raise_on_budget=raise_on_budget,
+            incremental=incremental,
+            compiled=compiled,
         )
         self.seed = seed
         self._rng = random.Random(seed)
@@ -313,20 +335,24 @@ def run(
     seed: Optional[int] = None,
     max_steps: Optional[int] = None,
     raise_on_budget: Optional[bool] = None,
+    compiled: Optional[bool] = None,
 ) -> ExecutionResult:
     """Run a Gamma program with the named engine.
 
     ``engine`` may be an engine instance or one of ``"sequential"``,
     ``"chaotic"``, ``"max-parallel"``.  ``seed`` is forwarded to the
     nondeterministic engines; ``max_steps`` and ``raise_on_budget`` configure
-    the step budget (defaults: ``DEFAULT_MAX_STEPS``, raise).
+    the step budget (defaults: ``DEFAULT_MAX_STEPS``, raise); ``compiled``
+    selects the compiled reaction pipeline (default) or the interpreted
+    baseline (``compiled=False``).
 
-    Passing an engine *instance* together with ``seed``, ``max_steps`` or
-    ``raise_on_budget`` raises ``ValueError``: an instance carries its own
-    configuration and the extra arguments would be silently ignored.  On the
-    string path, ``seed`` is deliberately tolerated (and unused) for
-    ``engine="sequential"`` so one seed can be forwarded while sweeping all
-    engine names — the idiom the benchmarks and equivalence tests rely on.
+    Passing an engine *instance* together with ``seed``, ``max_steps``,
+    ``raise_on_budget`` or ``compiled`` raises ``ValueError``: an instance
+    carries its own configuration and the extra arguments would be silently
+    ignored.  On the string path, ``seed`` is deliberately tolerated (and
+    unused) for ``engine="sequential"`` so one seed can be forwarded while
+    sweeping all engine names — the idiom the benchmarks and equivalence
+    tests rely on.
     """
     if isinstance(engine, GammaEngine):
         conflicting = [
@@ -335,6 +361,7 @@ def run(
                 ("seed", seed),
                 ("max_steps", max_steps),
                 ("raise_on_budget", raise_on_budget),
+                ("compiled", compiled),
             )
             if value is not None
         ]
@@ -354,6 +381,7 @@ def run(
         kwargs = {
             "max_steps": DEFAULT_MAX_STEPS if max_steps is None else max_steps,
             "raise_on_budget": True if raise_on_budget is None else raise_on_budget,
+            "compiled": True if compiled is None else compiled,
         }
         if cls is not SequentialEngine:
             kwargs["seed"] = seed

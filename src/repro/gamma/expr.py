@@ -16,7 +16,7 @@ parse target and a pretty-printing source.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, FrozenSet, Mapping, Tuple
 
 __all__ = [
@@ -41,11 +41,18 @@ class EvaluationError(Exception):
 
 
 def _safe_div(a, b):
+    """Division used by reaction expressions.
+
+    Integer operands divide with C semantics — the quotient is truncated
+    toward zero — matching the dataflow side's ``_int_div`` and the loop
+    counters of the paper's examples.  Anything else falls back to true
+    division.  Division by zero raises :class:`EvaluationError`.
+    """
     if b == 0:
         raise EvaluationError("division by zero in reaction expression")
     if isinstance(a, int) and isinstance(b, int):
-        # Integer semantics match the paper's examples (C-like loop counters).
-        return a // b if (a % b == 0 or (a >= 0) == (b >= 0)) else -((-a) // b) if a < 0 else a // b
+        magnitude = abs(a) // abs(b)
+        return magnitude if (a >= 0) == (b >= 0) else -magnitude
     return a / b
 
 
@@ -148,11 +155,22 @@ class Expr:
         return Not(self)
 
 
+#: Shared empty variable set (constants reference no variables).
+_NO_VARIABLES: FrozenSet[str] = frozenset()
+
+
 @dataclass(frozen=True, slots=True)
 class Var(Expr):
     """A reaction variable (``id1``, ``x``, ``v`` in the paper's listings)."""
 
     name: str
+    # Cached free-variable set.  The scheduler recomputes reaction footprints
+    # per attach and the compiler walks expressions per reaction, so the
+    # frozensets are built once at construction instead of per call.
+    _vars: FrozenSet[str] = field(init=False, repr=False, compare=False, default=_NO_VARIABLES)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_vars", frozenset((self.name,)))
 
     def evaluate(self, env: Mapping[str, Any]) -> Any:
         try:
@@ -161,7 +179,7 @@ class Var(Expr):
             raise EvaluationError(f"unbound reaction variable {self.name!r}") from exc
 
     def variables(self) -> FrozenSet[str]:
-        return frozenset({self.name})
+        return self._vars
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return self.name
@@ -177,7 +195,7 @@ class Const(Expr):
         return self.value
 
     def variables(self) -> FrozenSet[str]:
-        return frozenset()
+        return _NO_VARIABLES
 
     def is_boolean(self) -> bool:
         return isinstance(self.value, bool)
@@ -193,16 +211,18 @@ class BinOp(Expr):
     op: str
     left: Expr
     right: Expr
+    _vars: FrozenSet[str] = field(init=False, repr=False, compare=False, default=_NO_VARIABLES)
 
     def __post_init__(self) -> None:
         if self.op not in ARITHMETIC_OPS:
             raise ValueError(f"unknown arithmetic operator {self.op!r}")
+        object.__setattr__(self, "_vars", self.left.variables() | self.right.variables())
 
     def evaluate(self, env: Mapping[str, Any]) -> Any:
         return ARITHMETIC_OPS[self.op](self.left.evaluate(env), self.right.evaluate(env))
 
     def variables(self) -> FrozenSet[str]:
-        return self.left.variables() | self.right.variables()
+        return self._vars
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"({self.left!r} {self.op} {self.right!r})"
@@ -215,10 +235,12 @@ class Compare(Expr):
     op: str
     left: Expr
     right: Expr
+    _vars: FrozenSet[str] = field(init=False, repr=False, compare=False, default=_NO_VARIABLES)
 
     def __post_init__(self) -> None:
         if self.op not in COMPARISON_OPS:
             raise ValueError(f"unknown comparison operator {self.op!r}")
+        object.__setattr__(self, "_vars", self.left.variables() | self.right.variables())
 
     def evaluate(self, env: Mapping[str, Any]) -> bool:
         try:
@@ -227,7 +249,7 @@ class Compare(Expr):
             raise EvaluationError(f"incomparable operands in {self!r}: {exc}") from exc
 
     def variables(self) -> FrozenSet[str]:
-        return self.left.variables() | self.right.variables()
+        return self._vars
 
     def is_boolean(self) -> bool:
         return True
@@ -243,10 +265,12 @@ class BoolOp(Expr):
     op: str
     left: Expr
     right: Expr
+    _vars: FrozenSet[str] = field(init=False, repr=False, compare=False, default=_NO_VARIABLES)
 
     def __post_init__(self) -> None:
         if self.op not in BOOLEAN_OPS:
             raise ValueError(f"unknown boolean operator {self.op!r}")
+        object.__setattr__(self, "_vars", self.left.variables() | self.right.variables())
 
     def evaluate(self, env: Mapping[str, Any]) -> bool:
         left = bool(self.left.evaluate(env))
@@ -257,7 +281,7 @@ class BoolOp(Expr):
         return left or bool(self.right.evaluate(env))
 
     def variables(self) -> FrozenSet[str]:
-        return self.left.variables() | self.right.variables()
+        return self._vars
 
     def is_boolean(self) -> bool:
         return True
@@ -271,12 +295,16 @@ class Not(Expr):
     """Boolean negation."""
 
     operand: Expr
+    _vars: FrozenSet[str] = field(init=False, repr=False, compare=False, default=_NO_VARIABLES)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_vars", self.operand.variables())
 
     def evaluate(self, env: Mapping[str, Any]) -> bool:
         return not bool(self.operand.evaluate(env))
 
     def variables(self) -> FrozenSet[str]:
-        return self.operand.variables()
+        return self._vars
 
     def is_boolean(self) -> bool:
         return True

@@ -15,6 +15,7 @@ twice in the multiset.
 from __future__ import annotations
 
 import random
+from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
@@ -49,6 +50,14 @@ class Matcher:
     The matcher builds a :class:`LabelTagIndex` lazily; callers that already
     maintain an index (the parallel scheduler) can pass it in to avoid the
     rebuild cost.
+
+    With ``compiled=True`` each probed reaction is specialized once through
+    :func:`repro.gamma.compiled.compile_reaction` and subsequent probes run
+    the compiled matcher (slot-based search, codegenned guards/productions)
+    instead of this class's interpretive search.  The interpreted path is the
+    semantic baseline; the compiled path reproduces its matches exactly for
+    identity match plans, and the same match *set* otherwise (see
+    :mod:`repro.gamma.compiled`).
     """
 
     def __init__(
@@ -56,14 +65,44 @@ class Matcher:
         multiset: Multiset,
         index: Optional[LabelTagIndex] = None,
         rng: Optional[random.Random] = None,
+        compiled: bool = False,
     ) -> None:
         self.multiset = multiset
         self.index = index if index is not None else LabelTagIndex(multiset)
         self.rng = rng
+        self.compiled = compiled
+        # id(reaction) -> (CompiledReaction | None, reaction).  The reaction is
+        # kept alongside to hold a strong reference while the id is cached;
+        # ``None`` marks a reaction the compiler refused (probed interpretively).
+        self._compiled_cache: Dict[int, Tuple[Optional[object], Reaction]] = {}
+
+    # -- compilation -----------------------------------------------------------
+    def compiled_for(self, reaction: Reaction):
+        """The :class:`~repro.gamma.compiled.CompiledReaction` for ``reaction``.
+
+        Returns ``None`` when ``compiled=False`` or the reaction defeats the
+        compiler (the probe then falls back to the interpreted search).
+        """
+        if not self.compiled:
+            return None
+        entry = self._compiled_cache.get(id(reaction))
+        if entry is None:
+            from .compiled import CompilationError, compile_reaction
+
+            try:
+                compiled = compile_reaction(reaction)
+            except CompilationError:
+                compiled = None
+            entry = (compiled, reaction)
+            self._compiled_cache[id(reaction)] = entry
+        return entry[0]
 
     # -- public API ------------------------------------------------------------
     def find(self, reaction: Reaction) -> Optional[Match]:
         """Return one enabled match for ``reaction`` or ``None``."""
+        compiled = self.compiled_for(reaction)
+        if compiled is not None:
+            return compiled.find(self.index, self.multiset, self.rng)
         for match in self.iter_matches(reaction):
             return match
         return None
@@ -77,8 +116,12 @@ class Matcher:
         first match, the parallel scheduler deduplicates by consumed
         elements).
         """
+        compiled = self.compiled_for(reaction)
+        if compiled is not None:
+            yield from compiled.iter_matches(self.index, self.multiset, self.rng, limit=limit)
+            return
         produced = 0
-        for consumed, binding in self._search(reaction.replace, {}, []):
+        for consumed, binding in self._search(reaction.replace, {}, [], Counter()):
             if not reaction.is_enabled(binding):
                 continue
             yield Match(reaction=reaction, consumed=tuple(consumed), binding=dict(binding))
@@ -144,8 +187,14 @@ class Matcher:
         patterns: Sequence[ElementPattern],
         binding: Binding,
         consumed: List[Element],
+        consumed_counts: Counter,
     ) -> Iterator[Tuple[List[Element], Binding]]:
-        """Backtracking search assigning elements to patterns in order."""
+        """Backtracking search assigning elements to patterns in order.
+
+        ``consumed_counts`` is a running multiset of the elements consumed so
+        far, threaded through the recursion so the multiplicity check is O(1)
+        per candidate instead of a linear rescan of ``consumed``.
+        """
         if not patterns:
             yield list(consumed), dict(binding)
             return
@@ -153,15 +202,17 @@ class Matcher:
         for element in self._candidates(pat, binding):
             # Respect multiplicities: the same element value can only be
             # consumed as many times as it occurs in the multiset.
-            already = sum(1 for e in consumed if e == element)
-            if self.multiset.count(element) <= already:
+            already = consumed_counts[element]
+            if already and self.multiset.count(element) <= already:
                 continue
             new_binding = pat.match(element, binding)
             if new_binding is None:
                 continue
             consumed.append(element)
-            yield from self._search(rest, new_binding, consumed)
+            consumed_counts[element] += 1
+            yield from self._search(rest, new_binding, consumed, consumed_counts)
             consumed.pop()
+            consumed_counts[element] -= 1
 
 
 def find_match(

@@ -16,7 +16,7 @@ three expressions evaluated under the binding produced by matching.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, FrozenSet, Optional, Union
 
 from ..multiset.element import Element
@@ -59,13 +59,25 @@ class ElementPattern:
     value: Expr
     label: Expr
     tag: Expr
+    # Cached bound-variable set: the scheduler recomputes reaction footprints
+    # per attach and the compiler queries pattern variables repeatedly.
+    _vars: FrozenSet[str] = field(init=False, repr=False, compare=False, default=frozenset())
 
     def __post_init__(self) -> None:
-        for name, field in (("value", self.value), ("label", self.label), ("tag", self.tag)):
-            if not isinstance(field, (Var, Const)):
+        names = set()
+        for field_name, field_expr in (
+            ("value", self.value),
+            ("label", self.label),
+            ("tag", self.tag),
+        ):
+            if not isinstance(field_expr, (Var, Const)):
                 raise TypeError(
-                    f"pattern {name} field must be a Var or Const, got {type(field).__name__}"
+                    f"pattern {field_name} field must be a Var or Const, "
+                    f"got {type(field_expr).__name__}"
                 )
+            if isinstance(field_expr, Var):
+                names.add(field_expr.name)
+        object.__setattr__(self, "_vars", frozenset(names))
 
     # -- matching -----------------------------------------------------------------
     def match(self, element: Element, binding: Binding) -> Optional[Binding]:
@@ -107,11 +119,7 @@ class ElementPattern:
 
     def variables(self) -> FrozenSet[str]:
         """All variables bound by this pattern."""
-        names = set()
-        for field in (self.value, self.label, self.tag):
-            if isinstance(field, Var):
-                names.add(field.name)
-        return frozenset(names)
+        return self._vars
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"[{self.value!r}, {self.label!r}, {self.tag!r}]"
@@ -124,6 +132,14 @@ class ElementTemplate:
     value: Expr
     label: Expr
     tag: Expr
+    _vars: FrozenSet[str] = field(init=False, repr=False, compare=False, default=frozenset())
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "_vars",
+            self.value.variables() | self.label.variables() | self.tag.variables(),
+        )
 
     def instantiate(self, binding: Binding) -> Element:
         """Evaluate the three field expressions under ``binding``."""
@@ -137,7 +153,7 @@ class ElementTemplate:
 
     def variables(self) -> FrozenSet[str]:
         """Free variables referenced by the template."""
-        return self.value.variables() | self.label.variables() | self.tag.variables()
+        return self._vars
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"[{self.value!r}, {self.label!r}, {self.tag!r}]"

@@ -27,6 +27,9 @@ from those buckets; guards and branch conditions see only bound variables).
 If no element count under a footprint label changed, the match search space is
 unchanged and a previously dead reaction is still dead.
 
+With ``compiled=True`` (default) each reaction is specialized once through
+:mod:`repro.gamma.compiled` and probes run the generated slot-based matchers;
+``compiled=False`` probes through the interpreted :class:`Matcher` search.
 ``incremental=False`` selects the legacy discipline — full index rebuild and
 full reaction sweep every step — kept as the benchmark baseline; it
 reproduces the pre-scheduler engines exactly.  With ``incremental=True`` the
@@ -67,23 +70,40 @@ class ReactionScheduler:
         multiset: Multiset,
         rng: Optional[random.Random] = None,
         incremental: bool = True,
+        compiled: bool = True,
     ) -> None:
         self.reactions: Tuple[Reaction, ...] = tuple(reactions)
         self.multiset = multiset
         self.rng = rng
         self.incremental = incremental
+        self.compiled = compiled
         self.index = LabelTagIndex()
         self.index.attach(multiset)
-        self.matcher = Matcher(multiset, index=self.index, rng=rng)
+        self.matcher = Matcher(multiset, index=self.index, rng=rng, compiled=compiled)
         # Footprints: which labels each reaction consumes; variable-label
-        # reactions depend on everything and are woken by any change.
-        self._wildcards: Set[int] = {
-            i for i, r in enumerate(self.reactions) if r.has_variable_label()
-        }
+        # reactions depend on everything and are woken by any change.  With
+        # ``compiled=True`` the reactions are specialized eagerly (so the
+        # first probe pays no compile latency) and the footprints come from
+        # the compiled form, which resolved them at compile time.
+        self._wildcards: Set[int] = set()
         self._watchers: Dict[str, List[int]] = {}
+        # Per-reaction compiled forms (None entries probe interpretively),
+        # resolved eagerly so probes skip the matcher's cache lookup.
+        self._compiled: List[Optional[object]] = []
         for i, reaction in enumerate(self.reactions):
-            for label in reaction.consumed_labels():
+            compiled_reaction = self.matcher.compiled_for(reaction)
+            self._compiled.append(compiled_reaction)
+            if compiled_reaction is not None:
+                wildcard = compiled_reaction.wildcard
+                footprint = compiled_reaction.footprint
+            else:
+                wildcard = reaction.has_variable_label()
+                footprint = reaction.consumed_labels()
+            if wildcard:
+                self._wildcards.add(i)
+            for label in footprint:
                 self._watchers.setdefault(label, []).append(i)
+        self._det_order: List[int] = list(range(len(self.reactions)))
         self._parked: Set[int] = set()
         self._dirty: Set[str] = set()
         self._listener = multiset.subscribe(self._note_change)
@@ -129,14 +149,15 @@ class ReactionScheduler:
         return frozenset(self._parked)
 
     def _probe_order(self, shuffled: bool) -> List[int]:
-        order = list(range(len(self.reactions)))
-        if shuffled:
-            if self.rng is None:
-                raise ValueError("shuffled probing requires a scheduler rng")
-            # Shuffle the full list (not just the active one) so the RNG
-            # stream matches the pre-scheduler engines whenever nothing is
-            # parked mid-run.
-            self.rng.shuffle(order)
+        if not shuffled:
+            return self._det_order
+        if self.rng is None:
+            raise ValueError("shuffled probing requires a scheduler rng")
+        # Shuffle the full list (not just the active one) so the RNG
+        # stream matches the pre-scheduler engines whenever nothing is
+        # parked mid-run.
+        order = list(self._det_order)
+        self.rng.shuffle(order)
         return order
 
     # -- probing -------------------------------------------------------------------
@@ -147,12 +168,18 @@ class ReactionScheduler:
         ``shuffled=True`` probes in RNG order (chaotic engine).  Reactions
         probed without a match are parked.
         """
+        parked = self._parked
+        compiled = self._compiled
         for i in self._probe_order(shuffled):
-            if i in self._parked:
+            if i in parked:
                 continue
-            match = self.matcher.find(self.reactions[i])
+            compiled_reaction = compiled[i]
+            if compiled_reaction is not None:
+                match = compiled_reaction.find(self.index, self.multiset, self.rng)
+            else:
+                match = self.matcher.find(self.reactions[i])
             if match is None:
-                self._parked.add(i)
+                parked.add(i)
             else:
                 return match
         return None

@@ -19,7 +19,7 @@ reaction actions without defensive copies.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Iterable, Tuple
 
 __all__ = ["Element", "make_elements"]
@@ -41,11 +41,17 @@ class Element:
         dataflow conversion may use any descriptive string (e.g. ``"x"``).
     tag:
         Dynamic dataflow iteration tag.  Non-negative integer.
+
+    Elements spend their lives as keys of the multiset's counters and of the
+    label/tag index buckets, so the triple hash is computed once at
+    construction and cached; re-deriving it on every dictionary operation
+    dominated the engines' rewrite cost.
     """
 
     value: Any
     label: str = ""
     tag: int = 0
+    _hash: int = field(init=False, repr=False, compare=False, default=0)
 
     def __post_init__(self) -> None:
         if not isinstance(self.label, str):
@@ -55,9 +61,12 @@ class Element:
         if self.tag < 0:
             raise ValueError(f"tag must be non-negative, got {self.tag}")
         try:
-            hash(self.value)
+            object.__setattr__(self, "_hash", hash((self.value, self.label, self.tag)))
         except TypeError as exc:  # pragma: no cover - defensive
             raise TypeError(f"element value must be hashable, got {self.value!r}") from exc
+
+    def __hash__(self) -> int:
+        return self._hash
 
     # -- convenience constructors -------------------------------------------------
     @classmethod

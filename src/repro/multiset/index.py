@@ -89,10 +89,37 @@ class LabelTagIndex:
         return self._source is not None
 
     def _on_change(self, element: Element, delta: int) -> None:
+        # Mirror of add()/remove() without their argument re-validation: the
+        # multiset already validated the mutation it is notifying about.  This
+        # runs once per element copy touched by every engine firing.
+        label = element.label
         if delta > 0:
-            self.add(element, delta)
+            bucket = self._index[label][element.tag]
+            bucket[element] = bucket.get(element, 0) + delta
+            flat = self._flat.setdefault(label, {})
+            flat[element] = flat.get(element, 0) + delta
+            self._size += delta
+            return
+        count = -delta
+        tags = self._index[label]
+        bucket = tags[element.tag]
+        have = bucket[element]
+        if have == count:
+            del bucket[element]
+            if not bucket:
+                del tags[element.tag]
+                if not tags:
+                    del self._index[label]
         else:
-            self.remove(element, -delta)
+            bucket[element] = have - count
+        flat = self._flat[label]
+        if flat[element] == count:
+            del flat[element]
+            if not flat:
+                del self._flat[label]
+        else:
+            flat[element] -= count
+        self._size -= count
 
     def add(self, element: Element, count: int = 1) -> None:
         """Register ``count`` additional copies of ``element``."""
@@ -182,6 +209,26 @@ class LabelTagIndex:
     def count(self, element: Element) -> int:
         """Indexed multiplicity of ``element``."""
         return self._index.get(element.label, {}).get(element.tag, {}).get(element, 0)
+
+    # -- raw bucket access (compiled matcher) --------------------------------------
+    def label_tag_buckets(self) -> Dict[str, Dict[int, Dict[Element, int]]]:
+        """The live ``label -> tag -> element -> count`` mapping.
+
+        Exposed for the compiled reaction matcher, which iterates buckets
+        directly instead of going through :meth:`candidates`.  The mapping is
+        *live* (not a copy): callers must not mutate it, and must not mutate
+        the multiset while iterating — the same discipline the scheduler
+        already imposes between probe calls.
+        """
+        return self._index
+
+    def label_buckets(self) -> Dict[str, Dict[Element, int]]:
+        """The live tag-agnostic ``label -> element -> count`` mapping.
+
+        Bucket iteration order equals :meth:`candidates` order (multiset
+        insertion order).  Same liveness caveats as :meth:`label_tag_buckets`.
+        """
+        return self._flat
 
     def common_tags(self, labels: Iterable[str]) -> Set[int]:
         """Tags that have at least one element for *every* label in ``labels``.

@@ -119,7 +119,9 @@ class Multiset:
         element = self._coerce(element)
         self._counts[element] += count
         self._size += count
-        bucket = self._by_label.setdefault(element.label, Counter())
+        bucket = self._by_label.get(element.label)
+        if bucket is None:
+            bucket = self._by_label[element.label] = Counter()
         bucket[element] += count
         if self._listeners:
             self._notify(element, count)
@@ -180,6 +182,54 @@ class Multiset:
             self.remove(element)
         for element in added:
             self.add(element)
+
+    def rewrite_unchecked(self, removed: Iterable[Element], added: Iterable[Element]) -> None:
+        """Apply one rewrite step without :meth:`replace`'s atomic pre-validation.
+
+        Fast path for the compiled engine loops: the matcher has already
+        verified that ``removed`` is available (that is what a match *is*), so
+        the availability re-check and the coercion pass of :meth:`replace` are
+        redundant.  ``removed``/``added`` must contain :class:`Element`
+        instances, one copy each.  On a violation (a scheduler bug),
+        ``KeyError`` is still raised, but the multiset may be left partially
+        rewritten — use :meth:`replace` when inputs are untrusted.
+
+        The bodies of :meth:`remove`/:meth:`add` are inlined here (single-copy
+        specialization): this runs three times per engine step, millions of
+        times per run.
+        """
+        counts = self._counts
+        by_label = self._by_label
+        listeners = self._listeners
+        for element in removed:
+            have = counts[element]
+            if have <= 0:
+                # Counter defaults missing keys to 0, so fail loudly ourselves:
+                # consuming an absent element is a scheduler bug, like remove().
+                raise KeyError(f"cannot remove {element!r}: not present")
+            if have == 1:
+                del counts[element]
+            else:
+                counts[element] = have - 1
+            self._size -= 1
+            bucket = by_label[element.label]
+            if bucket[element] == 1:
+                del bucket[element]
+                if not bucket:
+                    del by_label[element.label]
+            else:
+                bucket[element] -= 1
+            for listener in listeners:
+                listener(element, -1)
+        for element in added:
+            counts[element] += 1
+            self._size += 1
+            bucket = by_label.get(element.label)
+            if bucket is None:
+                bucket = by_label[element.label] = Counter()
+            bucket[element] += 1
+            for listener in listeners:
+                listener(element, 1)
 
     def clear(self) -> None:
         """Remove every element."""

@@ -14,6 +14,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from ..dataflow.compiled_ops import CompiledGraphOps
 from ..dataflow.graph import DataflowGraph
 from ..dataflow.matching import TokenStore
 from ..dataflow.token import INITIAL_TAG, Token
@@ -58,10 +59,14 @@ class DataflowSimulator:
         num_pes: Optional[int] = None,
         seed: Optional[int] = None,
         max_steps: int = DEFAULT_MAX_STEPS,
+        compiled: bool = True,
     ) -> None:
         self.graph = graph
         self.num_pes = num_pes
         self.max_steps = max_steps
+        self.compiled = compiled
+        # Same compiled kernels/emit plan as the sequential interpreter.
+        self._ops: Optional[CompiledGraphOps] = CompiledGraphOps(graph) if compiled else None
         self._rng = random.Random(seed)
 
     def run(self, root_values: Optional[Dict[str, Any]] = None) -> DataflowSimulationResult:
@@ -94,11 +99,16 @@ class DataflowSimulator:
             # Consume all scheduled entries against the *current* store state,
             # then emit: a synchronous step.
             fired: List[Tuple[str, int, Dict[str, Any], Dict[str, Any]]] = []
+            ops = self._ops
             for node_id, tag in scheduled:
-                node = self.graph.node(node_id)
                 inputs = store.consume(node_id, tag)
-                produced = node.compute(inputs)
-                fired.append((node_id, tag + node.tag_delta(), inputs, produced))
+                if ops is not None:
+                    produced = ops.kernels[node_id](inputs)
+                    fired.append((node_id, tag + ops.tag_delta[node_id], inputs, produced))
+                else:
+                    node = self.graph.node(node_id)
+                    produced = node.compute(inputs)
+                    fired.append((node_id, tag + node.tag_delta(), inputs, produced))
             for node_id, out_tag, _inputs, produced in fired:
                 self._emit(node_id, produced, out_tag, store, outputs)
             total_firings += len(fired)
@@ -121,9 +131,15 @@ class DataflowSimulator:
         store: TokenStore,
         outputs: Dict[str, List[Token]],
     ) -> None:
+        ops = self._ops
         for port, value in produced.items():
             token = Token(value, tag)
-            for edge in self.graph.out_edges(node_id, port):
+            edges = (
+                ops.emit_edges(node_id, port)
+                if ops is not None
+                else self.graph.out_edges(node_id, port)
+            )
+            for edge in edges:
                 if edge.dst is None:
                     outputs.setdefault(edge.label, []).append(token)
                 else:

@@ -118,11 +118,13 @@ class DistributedGammaRuntime:
         seed: Optional[int] = None,
         max_steps: int = 1_000_000,
         firings_per_worker_step: int = 1,
+        compiled: bool = True,
     ) -> None:
         self.program = program
         self.num_partitions = num_partitions
         self.max_steps = max_steps
         self.firings_per_worker_step = firings_per_worker_step
+        self.compiled = compiled
         self._rng = random.Random(seed)
 
     def run(self, initial: Optional[Multiset] = None) -> DistributedRunResult:
@@ -141,7 +143,9 @@ class DistributedGammaRuntime:
         # One persistent scheduler per worker: migrations/firings keep the
         # local indexes fresh through the multiset change notifications.
         schedulers = [
-            ReactionScheduler(self.program.reactions, partition, rng=self._rng)
+            ReactionScheduler(
+                self.program.reactions, partition, rng=self._rng, compiled=self.compiled
+            )
             for partition in distributed.partitions
         ]
 
@@ -158,13 +162,14 @@ class DistributedGammaRuntime:
                     local = distributed.partitions[worker]
                     scheduler = schedulers[worker]
                     executed = 0
+                    apply_rewrite = local.rewrite_unchecked if self.compiled else local.replace
                     while executed < self.firings_per_worker_step:
                         scheduler.refresh()
                         match = scheduler.find_first(shuffled=True)
                         if match is None:
                             break
                         produced = match.produced()
-                        local.replace(match.consumed, produced)
+                        apply_rewrite(match.consumed, produced)
                         executed += 1
                     if executed == 0:
                         starving.append(worker)

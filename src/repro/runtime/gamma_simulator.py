@@ -55,10 +55,12 @@ class GammaSimulator:
         num_pes: Optional[int] = None,
         seed: Optional[int] = None,
         max_steps: int = DEFAULT_MAX_STEPS,
+        compiled: bool = True,
     ) -> None:
         self.program = program
         self.num_pes = num_pes
         self.max_steps = max_steps
+        self.compiled = compiled
         self._rng = random.Random(seed)
 
     def run(self, initial: Optional[Multiset] = None) -> GammaSimulationResult:
@@ -70,7 +72,12 @@ class GammaSimulator:
         pool: PEPool = PEPool(self.num_pes)
         steps = 0
         total_firings = 0
-        scheduler = ReactionScheduler(self.program.reactions, multiset, rng=self._rng)
+        scheduler = ReactionScheduler(
+            self.program.reactions, multiset, rng=self._rng, compiled=self.compiled
+        )
+        # Matches are availability-verified by the scheduler, so the compiled
+        # path may skip replace()'s atomic pre-validation.
+        apply_rewrite = multiset.rewrite_unchecked if self.compiled else multiset.replace
 
         try:
             while True:
@@ -85,7 +92,7 @@ class GammaSimulator:
                 scheduled = pool.dispatch(matches)
                 for match in scheduled:
                     produced = match.produced()
-                    multiset.replace(match.consumed, produced)
+                    apply_rewrite(match.consumed, produced)
                 total_firings += len(scheduled)
                 steps += 1
         finally:
@@ -102,6 +109,7 @@ def simulate_program(
     initial: Optional[Multiset] = None,
     num_pes: Optional[int] = None,
     seed: Optional[int] = None,
+    compiled: bool = True,
 ) -> GammaSimulationResult:
     """Convenience wrapper around :class:`GammaSimulator`."""
-    return GammaSimulator(program, num_pes=num_pes, seed=seed).run(initial)
+    return GammaSimulator(program, num_pes=num_pes, seed=seed, compiled=compiled).run(initial)

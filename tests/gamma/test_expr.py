@@ -103,3 +103,65 @@ class TestStructure:
         b = BinOp("+", Var("x"), Const(1))
         assert a == b
         assert hash(a) == hash(b)
+
+
+class TestSafeDiv:
+    """Integer division truncates toward zero (C semantics), all sign combos."""
+
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            (7, 2, 3),      # pos / pos
+            (-7, 2, -3),    # neg / pos
+            (7, -2, -3),    # pos / neg
+            (-7, -2, 3),    # neg / neg
+            (6, 2, 3),      # exact divisions keep their sign rules
+            (-6, 2, -3),
+            (6, -2, -3),
+            (-6, -2, 3),
+            (0, 5, 0),      # zero numerator
+            (0, -5, 0),
+            (1, 7, 0),      # magnitude smaller than divisor truncates to 0
+            (-1, 7, 0),
+            (1, -7, 0),
+        ],
+    )
+    def test_integer_truncation(self, a, b, expected):
+        assert BinOp("/", Const(a), Const(b)).evaluate({}) == expected
+
+    def test_matches_dataflow_integer_division(self):
+        # The Gamma and dataflow sides must agree, or the round-trip
+        # conversion would change program results.
+        from repro.dataflow.nodes import ARITHMETIC_FUNCTIONS
+
+        df_div = ARITHMETIC_FUNCTIONS["/"]
+        for a in range(-9, 10):
+            for b in (-3, -2, -1, 1, 2, 3):
+                assert BinOp("/", Const(a), Const(b)).evaluate({}) == df_div(a, b), (a, b)
+
+    def test_float_division_falls_back_to_true_division(self):
+        assert BinOp("/", Const(7.0), Const(2)).evaluate({}) == 3.5
+        assert BinOp("/", Const(-7), Const(2.0)).evaluate({}) == -3.5
+
+    def test_division_by_zero_raises_evaluation_error(self):
+        with pytest.raises(EvaluationError):
+            BinOp("/", Const(-3), Const(0)).evaluate({})
+        with pytest.raises(EvaluationError):
+            BinOp("/", Const(3.0), Const(0)).evaluate({})
+
+
+class TestVariablesCaching:
+    def test_variables_cached_instance(self):
+        expr = BinOp("+", Var("a"), BinOp("*", Var("b"), Const(2)))
+        assert expr.variables() is expr.variables()
+
+    def test_cached_sets_are_correct_per_node_kind(self):
+        assert Var("x").variables() == frozenset({"x"})
+        assert Const(1).variables() == frozenset()
+        assert Not(Var("y")).variables() == frozenset({"y"})
+        assert Compare("<", Var("x"), Var("y")).variables() == frozenset({"x", "y"})
+        assert BoolOp("and", Var("p"), Const(True)).variables() == frozenset({"p"})
+
+    def test_caching_does_not_leak_into_equality(self):
+        assert BinOp("+", Var("x"), Const(1)) == BinOp("+", Var("x"), Const(1))
+        assert hash(Var("x")) == hash(Var("x"))
