@@ -1,0 +1,177 @@
+"""Parallel superstep backend benchmark: supersteps vs sequential compiled.
+
+Compares the batched :class:`~repro.gamma.engine.ParallelEngine` (maximal
+disjoint superstep extraction through the compiled collectors, batched
+rewrites, optional worker-pool production evaluation) against the sequential
+compiled engine — the winner of PR 2 — running each workload *to the stable
+state* and reporting firing throughput (reactions applied per wall second).
+
+Workloads (sizes 10^2–10^5):
+
+* ``min_element`` — the acceptance workload: the parallel backend must reach
+  >= 2x the sequential compiled firing throughput at 10^4 elements;
+* ``sum_reduction`` — guard-free fold, the honest lower bound (every element
+  pairs, so sequential matching is already cheap).
+
+Two structural checks back the acceptance criteria:
+
+* seeded superstep traces are bit-identical at every worker count (production
+  evaluation happens off the critical scheduling path);
+* the parallel backend reaches the same stable multiset as the sequential
+  compiled engine on every paper workload.
+
+Set ``BENCH_FAST=1`` for the CI smoke mode: tiny sizes, same JSON schema.
+"""
+
+import os
+import time
+
+from _report import emit_json, emit_report
+from repro.analysis import format_table
+from repro.gamma import ParallelEngine, SequentialEngine
+from repro.workloads import make_workload
+
+FAST_MODE = os.environ.get("BENCH_FAST", "") not in ("", "0")
+
+#: Sizes swept (10^2 .. 10^5).
+SIZES = (100, 1_000) if FAST_MODE else (100, 1_000, 10_000, 100_000)
+#: Workloads swept (all linear-probe classics).
+WORKLOADS = ("min_element", "sum_reduction")
+#: Acceptance: required parallel/sequential firing-throughput ratio at 10^4.
+ACCEPTANCE_SIZE = 10_000
+ACCEPTANCE_WORKLOAD = "min_element"
+ACCEPTANCE_RATIO = 2.0
+
+TRACE_WORKLOADS = ("min_element", "sum_reduction", "prime_sieve", "exchange_sort", "gcd")
+TRACE_WORKER_COUNTS = (None, 1, 2, 4)
+
+
+def _run_to_stable(workload, engine_factory, repeats=3):
+    """Best-of-``repeats`` full run; returns (seconds, steps, firings)."""
+    best = None
+    for _ in range(repeats):
+        engine = engine_factory()
+        multiset = workload.initial.copy()
+        start = time.perf_counter()
+        result = engine.run(workload.program, multiset)
+        elapsed = time.perf_counter() - start
+        assert result.stable
+        if best is None or elapsed < best[0]:
+            best = (elapsed, result.steps, result.firings)
+    return best
+
+
+def _trace_key(result):
+    return [
+        (f.step, f.reaction, f.consumed, f.produced, f.binding)
+        for f in result.trace.firings()
+    ]
+
+
+def test_report_parallel_engine_scaling():
+    """Superstep backend vs sequential compiled engine, full runs to stable."""
+    records = []
+    rows = []
+    speedups = {}
+
+    for name in WORKLOADS:
+        for size in SIZES:
+            workload = make_workload(name, size=size, seed=7)
+            throughput = {}
+            for mode, factory in (
+                ("sequential", SequentialEngine),
+                ("parallel", ParallelEngine),
+            ):
+                seconds, steps, firings = _run_to_stable(workload, factory)
+                throughput[mode] = firings / seconds if seconds > 0 else float("inf")
+                records.append(
+                    {
+                        "workload": name,
+                        "engine": mode,
+                        "mode": "compiled",
+                        "size": size,
+                        "seconds": seconds,
+                        "steps": steps,
+                        "firings": firings,
+                        "firings_per_second": throughput[mode],
+                        "seconds_per_step": seconds / steps if steps else None,
+                    }
+                )
+            ratio = throughput["parallel"] / throughput["sequential"]
+            speedups[f"{name}@{size}"] = ratio
+            rows.append(
+                [
+                    name,
+                    size,
+                    f"{throughput['sequential']:.0f}",
+                    f"{throughput['parallel']:.0f}",
+                    f"{ratio:.1f}x",
+                ]
+            )
+
+    # -- seeded traces identical at every worker count --------------------------
+    trace_identical = {}
+    for name in TRACE_WORKLOADS:
+        workload = make_workload(name, size=24, seed=5)
+        reference = None
+        identical = True
+        for workers in TRACE_WORKER_COUNTS:
+            result = ParallelEngine(seed=11, workers=workers).run(
+                workload.program, workload.initial
+            )
+            key = (_trace_key(result), result.final)
+            if reference is None:
+                reference = key
+            identical = identical and key == reference
+        # ... and the backend agrees with the sequential compiled engine.
+        sequential = SequentialEngine().run(workload.program, workload.initial)
+        identical = identical and reference[1] == sequential.final
+        trace_identical[name] = identical
+    assert all(trace_identical.values()), trace_identical
+
+    emit_report(
+        "E12_parallel_engine",
+        format_table(
+            ["workload", "size", "sequential f/s", "parallel f/s", "speedup"],
+            rows,
+            title="E12: parallel superstep backend vs sequential compiled engine",
+        ),
+    )
+    payload_path = emit_json(
+        "BENCH_parallel_engine",
+        experiment="parallel_engine",
+        results=records,
+        speedups=speedups,
+        trace_identical=trace_identical,
+        acceptance={
+            "workload": ACCEPTANCE_WORKLOAD,
+            "size": ACCEPTANCE_SIZE,
+            "required_ratio": ACCEPTANCE_RATIO,
+        },
+        fast_mode=FAST_MODE,
+    )
+    assert payload_path.exists()
+
+    key = f"{ACCEPTANCE_WORKLOAD}@{ACCEPTANCE_SIZE}"
+    if key in speedups:  # the acceptance size is not swept in fast mode
+        assert speedups[key] >= ACCEPTANCE_RATIO, (
+            f"expected >={ACCEPTANCE_RATIO}x at {ACCEPTANCE_SIZE}, "
+            f"got {speedups[key]:.1f}x"
+        )
+
+
+def test_json_schema_is_stable():
+    """The committed BENCH_parallel_engine.json keeps its envelope keys."""
+    import json
+    from pathlib import Path
+
+    path = Path(__file__).parent / "reports" / "BENCH_parallel_engine.json"
+    if not path.exists():  # first run in a fresh checkout: scaling test writes it
+        return
+    payload = json.loads(path.read_text())
+    assert payload["schema_version"] == 1
+    assert payload["experiment"] == "parallel_engine"
+    assert {"workload", "engine", "size", "firings_per_second"} <= set(
+        payload["results"][0]
+    )
+    assert "speedups" in payload and "trace_identical" in payload

@@ -15,19 +15,23 @@ from .memoization import (
     run_with_memoization,
 )
 from .parallelism import (
+    BackendParallelism,
     ParallelismComparison,
+    compare_backend_parallelism,
     compare_parallelism,
     critical_path_length,
     dataflow_parallelism,
     gamma_parallelism,
     graph_width,
+    measured_parallelism,
 )
 from .report import format_dict, format_profile, format_table, section
 
 __all__ = [
     "critical_path_length", "graph_width",
-    "dataflow_parallelism", "gamma_parallelism",
+    "dataflow_parallelism", "gamma_parallelism", "measured_parallelism",
     "compare_parallelism", "ParallelismComparison",
+    "compare_backend_parallelism", "BackendParallelism",
     "granularity_report", "compare_granularity", "matching_probability", "GranularityReport",
     "reuse_from_dataflow", "reuse_from_gamma", "run_with_memoization",
     "ReuseStatistics", "MemoizationCache", "MemoizedRunResult",

@@ -16,6 +16,7 @@ from .engine import (
     GammaEngine,
     MaxParallelEngine,
     NonTerminationError,
+    ParallelEngine,
     SequentialEngine,
     run,
     run_program,
@@ -27,6 +28,7 @@ from .compiled import (
     MatchPlan,
     compile_expr,
     compile_reaction,
+    evaluate_productions,
 )
 from .expr import BinOp, BoolOp, Compare, Const, EvaluationError, Expr, Not, Var, const, var
 from .matching import Match, Matcher, find_match, iter_matches
@@ -49,10 +51,10 @@ __all__ = [
     "ReactionScheduler", "greedy_disjoint_matches",
     # reaction compilation
     "CompiledReaction", "CompiledMatch", "MatchPlan", "CompilationError",
-    "compile_reaction", "compile_expr",
+    "compile_reaction", "compile_expr", "evaluate_productions",
     # engines
     "GammaEngine", "SequentialEngine", "ChaoticEngine", "MaxParallelEngine",
-    "ExecutionResult", "NonTerminationError", "run", "run_program",
+    "ParallelEngine", "ExecutionResult", "NonTerminationError", "run", "run_program",
     # tracing
     "Trace", "StepRecord", "FiringRecord",
 ]

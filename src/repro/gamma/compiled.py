@@ -81,6 +81,7 @@ __all__ = [
     "MatchPlan",
     "compile_expr",
     "compile_reaction",
+    "evaluate_productions",
 ]
 
 
@@ -496,6 +497,228 @@ def _emit_matcher_body(
     writer.w(f"{emit} (({consumed}{suffix}), {{{binding}}})")
 
 
+def _emit_collect_body(
+    writer: _SourceWriter,
+    reaction: Reaction,
+    plan: MatchPlan,
+    consts: List[Any],
+    helpers: List[Callable],
+    shuffled: bool,
+) -> None:
+    """Emit the superstep *collector*: a greedy pairwise-disjoint match set.
+
+    The collector yields matches like the iterate variant but threads a shared
+    ``rem`` map (element -> copies still unclaimed this superstep, lazily
+    initialized, shared across all reactions) through the candidate checks,
+    and after each accepted match breaks back out to the shallowest loop whose
+    element is exhausted instead of rescanning consumed candidates.  One call
+    enumerates a greedy disjoint set in near-linear time — maximal up to
+    repeated slot assignments of multi-copy elements, which each distinct
+    combination's single visit cannot re-claim — and the per-firing probe
+    restart of the sequential engines disappears, which is where the parallel
+    backend's throughput comes from.
+
+    Only generated for plans whose every position has a known label (constant
+    or bound by an earlier position): each level is then exactly one bucket
+    loop, which the break/continue cascade below requires.  Unknown-label
+    plans fall back to the scheduler's accounting loop over ``iter_matches``.
+    """
+    patterns = reaction.replace
+    slot_of = plan.slot_of
+    bound: set = set()
+    arity = len(patterns)
+
+    def slot_ref(name: str) -> str:
+        return f"s{slot_of[name]}"
+
+    def condition_fragment(expr: Expr) -> str:
+        try:
+            return _lower(expr, slot_ref, consts, helpers)
+        except _Unsupported:
+            helpers.append(_compose(expr))
+            env = ", ".join(
+                f"{name!r}: {slot_ref(name)}" for name in sorted(expr.variables())
+            )
+            return f"H[{len(helpers) - 1}]({{{env}}})"
+
+    def const_ref(value: Any) -> str:
+        consts.append(value)
+        return f"C[{len(consts) - 1}]"
+
+    if arity > 1:
+        writer.w("_stop = -1")
+
+    for k, position in enumerate(plan.order):
+        pat = patterns[position]
+
+        label_frag: Optional[str]
+        if isinstance(pat.label, Const):
+            label_frag = const_ref(pat.label.value)
+        else:
+            # supports_collect guarantees the label variable is bound here.
+            label_frag = slot_ref(pat.label.name)
+
+        tag_frag: Optional[str] = None
+        if isinstance(pat.tag, Const):
+            tag_frag = const_ref(pat.tag.value)
+        elif pat.tag.name in bound:
+            tag_frag = slot_ref(pat.tag.name)
+
+        # -- candidate source: exactly one loop per level -------------------
+        if tag_frag is not None:
+            writer.w(f"t{k} = _idx.get({label_frag})")
+            writer.w(f"b{k} = t{k}.get({tag_frag}) if t{k} is not None else None")
+        else:
+            writer.w(f"b{k} = _flat.get({label_frag})")
+        if shuffled:
+            writer.w(f"c{k} = list(b{k}) if b{k} else []")
+            writer.w(f"rng.shuffle(c{k})")
+            writer.w(f"for e{k} in c{k}:")
+        else:
+            # Deterministic scans run over a per-superstep *view* of the
+            # bucket — a materialized snapshot plus a head pointer shared (via
+            # ``views``) by every scan of that bucket this superstep.  Greedy
+            # claiming exhausts candidates mostly front-to-back, so each
+            # rescan would otherwise re-skip an ever-growing exhausted prefix
+            # (quadratic for guard-free folds); the head pointer advances past
+            # that prefix permanently, which is sound because claims only
+            # accumulate while the batch is being collected.
+            writer.w(f"if b{k}:")
+            writer.w(f"    v{k} = views.get(id(b{k}))")
+            writer.w(f"    if v{k} is None:")
+            writer.w(f"        v{k} = views[id(b{k})] = [list(b{k}), 0]")
+            writer.w(f"    l{k} = v{k}[0]")
+            writer.w(f"    h{k} = v{k}[1]")
+            writer.w("else:")
+            writer.w(f"    l{k} = ()")
+            writer.w(f"    h{k} = 0")
+            writer.w(f"a{k} = True")
+            writer.w(f"for j{k} in range(h{k}, len(l{k})):")
+        writer.indent += 1
+        if not shuffled:
+            writer.w(f"e{k} = l{k}[j{k}]")
+
+        # -- availability: superstep consumption + within-match collisions --
+        # ``rem`` maps element -> remaining copies, initialized lazily on the
+        # first claim; an untouched element always has >= 1 copy (it came out
+        # of a live bucket), so the common case costs one dict probe and no
+        # multiset lookup.  Collision terms use identity only: bucket keys
+        # hold exactly one instance per distinct element.  Only the
+        # *unconditionally* exhausted case may advance the view head —
+        # within-match collision skips are local to the current partial match.
+        colliders = [
+            j for j in range(k)
+            if _fields_could_collide(patterns[plan.order[j]], pat)
+        ]
+        if colliders:
+            terms = " + ".join(f"(e{k} is e{j})" for j in colliders)
+            writer.w(f"n{k} = {terms}")
+            writer.w(f"r{k} = rem.get(e{k})")
+            writer.w(f"if r{k} is None:")
+            writer.w(f"    if n{k} and mcount(e{k}) <= n{k}:")
+            if not shuffled:
+                writer.w(f"        a{k} = False")
+            writer.w("        continue")
+            writer.w(f"elif r{k} <= 0:")
+            if not shuffled:
+                writer.w(f"    if a{k}:")
+                writer.w(f"        v{k}[1] = j{k} + 1")
+            writer.w("    continue")
+            writer.w(f"elif r{k} <= n{k}:")
+            if not shuffled:
+                writer.w(f"    a{k} = False")
+            writer.w("    continue")
+        else:
+            writer.w(f"r{k} = rem.get(e{k})")
+            writer.w(f"if r{k} is not None and r{k} <= 0:")
+            if not shuffled:
+                writer.w(f"    if a{k}:")
+                writer.w(f"        v{k}[1] = j{k} + 1")
+            writer.w("    continue")
+        if not shuffled:
+            writer.w(f"a{k} = False")
+
+        # -- field checks / slot binds (value, label, tag — pattern order) --
+        for field_expr, attr, source_known in (
+            (pat.value, "value", False),
+            (pat.label, "label", True),
+            (pat.tag, "tag", tag_frag is not None),
+        ):
+            if isinstance(field_expr, Const):
+                if not source_known:
+                    writer.w(f"if {const_ref(field_expr.value)} != e{k}.{attr}:")
+                    writer.w("    continue")
+            else:
+                name = field_expr.name
+                if name in bound:
+                    if not source_known:
+                        writer.w(f"if {slot_ref(name)} != e{k}.{attr}:")
+                        writer.w("    continue")
+                else:
+                    writer.w(f"{slot_ref(name)} = e{k}.{attr}")
+                    bound.add(name)
+
+    # -- enabledness (guard, then the ordered branch conditions) ------------
+    if reaction.guard is not None:
+        writer.w(f"if not ({condition_fragment(reaction.guard)}):")
+        writer.w("    continue")
+    alternatives: List[str] = []
+    for branch in reaction.branches:
+        if branch.condition is None:
+            alternatives.append("True")
+            break
+        alternatives.append(f"({condition_fragment(branch.condition)})")
+    if alternatives != ["True"]:
+        writer.w(f"if not ({' or '.join(alternatives)}):")
+        writer.w("    continue")
+
+    consumed = ", ".join(
+        f"e{plan.order.index(position)}" for position in range(len(patterns))
+    )
+    binding = ", ".join(f"{name!r}: {slot_ref(name)}" for name in plan.slots)
+    suffix = "," if len(patterns) == 1 else ""
+    writer.w(f"yield (({consumed}{suffix}), {{{binding}}})")
+
+    # -- consume the match, then advance the shallowest exhausted loop ------
+    for k in range(arity):
+        writer.w(f"x{k} = rem.get(e{k})")
+        writer.w(f"rem[e{k}] = (mcount(e{k}) if x{k} is None else x{k}) - 1")
+    if arity > 1:
+        # Exhaustion re-reads ``rem`` (not the locals above): the same object
+        # may fill several slots, in which case the later decrements count.
+        # Keeping the held prefix e_0..e_j alive requires every object in it
+        # to retain one copy *per slot it fills*, so level j's threshold
+        # counts its identity collisions with shallower held slots — not
+        # just its own copy (one object spread over two held slots with one
+        # copy left must break, or the next inner yield over-consumes it).
+        for j in range(arity - 1):
+            keyword = "if" if j == 0 else "elif"
+            prior = [
+                i for i in range(j)
+                if _fields_could_collide(
+                    patterns[plan.order[i]], patterns[plan.order[j]]
+                )
+            ]
+            if prior:
+                need = " + ".join(f"(e{j} is e{i})" for i in prior)
+                writer.w(f"{keyword} rem[e{j}] < 1 + {need}:")
+            else:
+                writer.w(f"{keyword} rem[e{j}] <= 0:")
+            writer.w(f"    _stop = {j}")
+        writer.w("if _stop != -1:")
+        writer.w("    break")
+        # Unwind: each enclosing level either resumes (its element still has
+        # copies) or forwards the break outward.  The handler for the loop of
+        # level ``k + 1`` lives in level ``k``'s body (indent ``k + 2``).
+        for k in range(arity - 2, -1, -1):
+            writer.indent = k + 2
+            writer.w("if _stop != -1:")
+            writer.w(f"    if _stop == {k}:")
+            writer.w("        _stop = -1")
+            writer.w("    else:")
+            writer.w("        break")
+
+
 def _build_matcher(
     reaction: Reaction,
     plan: MatchPlan,
@@ -506,13 +729,23 @@ def _build_matcher(
     consts: List[Any] = []
     helpers: List[Callable] = []
     writer = _SourceWriter()
-    args = "_idx, _flat, rng, mcount" if shuffled else "_idx, _flat, mcount"
+    if mode == "collect":
+        args = (
+            "_idx, _flat, rng, mcount, rem"
+            if shuffled
+            else "_idx, _flat, mcount, rem, views"
+        )
+    else:
+        args = "_idx, _flat, rng, mcount" if shuffled else "_idx, _flat, mcount"
     writer.w(f"def matcher({args}):")
     writer.indent = 1
-    _emit_matcher_body(
-        writer, reaction, plan, consts, helpers, shuffled,
-        emit="return" if mode == "find" else "yield",
-    )
+    if mode == "collect":
+        _emit_collect_body(writer, reaction, plan, consts, helpers, shuffled)
+    else:
+        _emit_matcher_body(
+            writer, reaction, plan, consts, helpers, shuffled,
+            emit="return" if mode == "find" else "yield",
+        )
     writer.indent = 1
     if mode == "find":
         writer.w("return None")
@@ -525,6 +758,9 @@ def _build_matcher(
         "list": list,
         "min": min,
         "max": max,
+        "id": id,
+        "len": len,
+        "range": range,
     }
     exec(compile(source, f"<compiled-reaction {reaction.name}>", "exec"), namespace)
     return namespace["matcher"], source
@@ -609,6 +845,9 @@ class CompiledReaction:
         "_find_rng",
         "_iter_det",
         "_iter_rng",
+        "_collect_supported",
+        "_collect_det",
+        "_collect_rng",
         "_branches",
     )
 
@@ -629,6 +868,17 @@ class CompiledReaction:
             "iter_det": src_id,
             "iter_rng": src_ir,
         }
+        # Superstep collectors need every plan position label-known (one
+        # bucket loop per level); unknown-label plans probe through the
+        # scheduler's accounting fallback instead.  Generation is *lazy* (on
+        # the first :meth:`collect`): only the parallel backend uses the
+        # collectors, and the sequential engines must not pay their codegen
+        # at setup — the small-size scheduler benchmarks gate this.
+        self._collect_supported: bool = all(
+            label_known for label_known, _ in self.plan.selectivity
+        )
+        self._collect_det: Optional[Callable] = None
+        self._collect_rng: Optional[Callable] = None
         self._branches: Tuple[Tuple[Optional[Callable], Tuple[Callable, ...]], ...] = tuple(
             (
                 None if branch.condition is None else _compile_env_expr(branch.condition),
@@ -685,6 +935,68 @@ class CompiledReaction:
             if limit is not None and produced >= limit:
                 return
 
+    @property
+    def supports_collect(self) -> bool:
+        """True when a codegenned superstep collector exists for this plan."""
+        return self._collect_supported
+
+    def collect(
+        self,
+        index: LabelTagIndex,
+        multiset: Multiset,
+        remaining: Dict[Element, int],
+        rng: Optional[random.Random] = None,
+        views: Optional[Dict[int, list]] = None,
+    ) -> Iterator[Match]:
+        """Greedy disjoint matches for one superstep, claiming from ``remaining``.
+
+        ``remaining`` maps elements to copies still unclaimed this superstep;
+        entries are created lazily (an absent element still has its full
+        multiset count) and decremented for every consumed copy, so one map
+        can be shared across all of a superstep's reactions.  ``views`` is the
+        deterministic scan's per-superstep bucket-view cache (snapshot list +
+        exhausted-prefix head pointer, keyed by bucket identity); share one
+        dict across a superstep's reactions for amortized prefix skipping.
+        The multiset must not be mutated while the iterator is live — callers
+        collect the whole batch first and fire afterwards.  Raises
+        ``TypeError`` when :attr:`supports_collect` is false.
+        """
+        if not self._collect_supported:
+            raise TypeError(
+                f"reaction {self.reaction.name!r} has no superstep collector "
+                f"(unknown-label match plan); use iter_matches with accounting"
+            )
+        # Raw counter access (same package): candidates always come from live
+        # buckets, so the coercion/default handling of Multiset.count is dead
+        # weight on this, the hottest loop of the parallel backend.
+        mcount = multiset._counts.get
+        if rng is None:
+            if self._collect_det is None:
+                self._collect_det, src = _build_matcher(
+                    self.reaction, self.plan, False, "collect"
+                )
+                self.sources["collect_det"] = src
+            raw = self._collect_det(
+                index.label_tag_buckets(),
+                index.label_buckets(),
+                mcount,
+                remaining,
+                {} if views is None else views,
+            )
+        else:
+            if self._collect_rng is None:
+                self._collect_rng, src = _build_matcher(
+                    self.reaction, self.plan, True, "collect"
+                )
+                self.sources["collect_rng"] = src
+            raw = self._collect_rng(
+                index.label_tag_buckets(), index.label_buckets(), rng, mcount, remaining
+            )
+        for consumed, binding in raw:
+            yield CompiledMatch(
+                reaction=self.reaction, consumed=consumed, binding=binding, compiled=self
+            )
+
     # -- firing ----------------------------------------------------------------
     def apply(self, binding: Binding) -> List[Element]:
         """Compiled reaction action: productions of the first enabled branch.
@@ -706,6 +1018,18 @@ class CompiledReaction:
             f"CompiledReaction({self.reaction.name!r}, order={self.plan.order}, "
             f"slots={self.plan.slots})"
         )
+
+
+def evaluate_productions(matches: Sequence[Match]) -> List[List[Element]]:
+    """Evaluate the productions of ``matches`` (in order).
+
+    The unit of work the parallel engine ships to its
+    ``concurrent.futures`` workers: production evaluation is pure (compiled
+    closures over per-match binding dicts; no multiset access), so chunks of a
+    superstep batch can be evaluated concurrently and reassembled in match
+    order without affecting the trace.
+    """
+    return [match.produced() for match in matches]
 
 
 def compile_reaction(reaction: Reaction) -> CompiledReaction:

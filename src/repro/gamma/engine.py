@@ -19,6 +19,11 @@ model leaves open:
   twice) across all reactions and fires them simultaneously, like the
   Connection Machine / GPU implementations cited in the paper.  Its per-step
   width is the Gamma-side parallelism profile used by experiment E9.
+* :class:`ParallelEngine` — *executed* parallel: the batched superstep
+  backend.  Each superstep extracts a maximal disjoint match set through the
+  compiled collectors, optionally evaluates productions on a
+  ``concurrent.futures`` worker pool, and fires the whole batch through one
+  validation-free batched rewrite.  Deterministic trace at any worker count.
 
 Scheduler architecture
 ----------------------
@@ -62,10 +67,13 @@ with ``raise_on_budget=False`` the engine instead returns the partial
 from __future__ import annotations
 
 import random
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple, Union
 
+from ..multiset.element import Element
 from ..multiset.multiset import Multiset
+from .compiled import evaluate_productions
 from .matching import Match
 from .program import GammaProgram, ProgramLike, SequentialProgram
 from .scheduler import ReactionScheduler
@@ -78,6 +86,7 @@ __all__ = [
     "SequentialEngine",
     "ChaoticEngine",
     "MaxParallelEngine",
+    "ParallelEngine",
     "run",
     "run_program",
 ]
@@ -321,10 +330,145 @@ class MaxParallelEngine(GammaEngine):
         return scheduler.collect_step_matches()
 
 
+class ParallelEngine(GammaEngine):
+    """Batched superstep execution: fire a whole disjoint match set per step.
+
+    The counting engines above *simulate* parallelism; this backend executes
+    it.  Each superstep:
+
+    1. extracts a maximal pairwise-disjoint match set through the scheduler's
+       compiled superstep collectors
+       (:meth:`ReactionScheduler.collect_superstep_matches` — one bucket pass
+       per reaction instead of one probe restart per firing);
+    2. evaluates the matches' compiled productions — inline by default, or
+       chunked across a ``concurrent.futures`` thread pool when ``workers`` is
+       given.  Production evaluation is pure, so chunks reassemble in match
+       order; note that for pure-Python productions the GIL serializes the
+       threads, so ``workers`` demonstrates the deterministic off-schedule
+       evaluation architecture (and suits free-threaded builds or productions
+       that release the GIL) rather than speeding up CPython today —
+       ``workers=None`` is the fast path;
+    3. applies the whole batch through the validation-free
+       :meth:`Multiset.rewrite_batch_unchecked` (two-phase, batched change
+       notifications), records every firing under one trace step, and only
+       then lets the scheduler observe the dirty labels.
+
+    Scheduling is deterministic: unseeded, reactions and candidates are probed
+    in declaration/bucket order; with a ``seed``, probe order is drawn from a
+    private RNG stream that the worker pool never touches.  Either way the
+    firing sequence — and therefore the trace — is *identical at any worker
+    count*, which is what makes the differential tests able to pin this
+    backend against the sequential engines.
+
+    ``max_batch`` caps the firings per superstep (the PE-budget constraint of
+    the runtime simulators); ``workers`` counts productions evaluators, not
+    match extractors — extraction is single-threaded by design, since it is
+    what defines the schedule.
+    """
+
+    name = "parallel"
+
+    def __init__(
+        self,
+        seed: Optional[int] = None,
+        workers: Optional[int] = None,
+        max_batch: Optional[int] = None,
+        max_steps: int = DEFAULT_MAX_STEPS,
+        raise_on_budget: bool = True,
+        incremental: bool = True,
+        compiled: bool = True,
+    ) -> None:
+        super().__init__(
+            max_steps=max_steps,
+            raise_on_budget=raise_on_budget,
+            incremental=incremental,
+            compiled=compiled,
+        )
+        if workers is not None and workers <= 0:
+            raise ValueError("workers must be positive (or None for inline evaluation)")
+        if max_batch is not None and max_batch <= 0:
+            raise ValueError("max_batch must be positive (or None for unbounded)")
+        self.seed = seed
+        self.workers = workers
+        self.max_batch = max_batch
+        # Unseeded runs stay on the deterministic probe order (no shuffling),
+        # which is also the fastest path: shuffled candidate enumeration has
+        # to materialize buckets.
+        self._rng = random.Random(seed) if seed is not None else None
+
+    # -- batched run loop ----------------------------------------------------------
+    def _run_block(
+        self, program: GammaProgram, multiset: Multiset, trace: Trace
+    ) -> Tuple[int, int, bool]:
+        scheduler = ReactionScheduler(
+            program.reactions,
+            multiset,
+            rng=self._rng,
+            incremental=self.incremental,
+            compiled=self.compiled,
+        )
+        apply_batch = (
+            multiset.rewrite_batch_unchecked if self.compiled else multiset.replace
+        )
+        executor: Optional[ThreadPoolExecutor] = None
+        if self.workers is not None and self.workers > 1:
+            executor = ThreadPoolExecutor(max_workers=self.workers)
+        steps = 0
+        firings = 0
+        try:
+            while True:
+                if steps >= self.max_steps:
+                    if self.raise_on_budget:
+                        raise NonTerminationError(
+                            f"{self.name} engine exceeded {self.max_steps} supersteps "
+                            f"on {program.name!r}"
+                        )
+                    return steps, firings, False
+                scheduler.refresh()
+                matches = scheduler.collect_superstep_matches(budget=self.max_batch)
+                if not matches:
+                    return steps, firings, True
+                produced_lists = self._evaluate_productions(matches, executor)
+                step = trace.begin_step()
+                removed: List[Element] = []
+                added: List[Element] = []
+                for match, produced in zip(matches, produced_lists):
+                    removed.extend(match.consumed)
+                    added.extend(produced)
+                    trace.record(step, match.reaction.name, match.consumed, produced, match.binding)
+                apply_batch(removed, added)
+                firings += len(matches)
+                steps += 1
+        finally:
+            if executor is not None:
+                executor.shutdown(wait=True)
+            scheduler.detach()
+
+    def _evaluate_productions(
+        self, matches: List[Match], executor: Optional[ThreadPoolExecutor]
+    ) -> List[List[Element]]:
+        """Productions of ``matches``, in match order, regardless of workers."""
+        assert self.workers is not None or executor is None
+        if executor is None or len(matches) < 2 * (self.workers or 1):
+            return evaluate_productions(matches)
+        workers: int = self.workers  # type: ignore[assignment]
+        chunk = (len(matches) + workers - 1) // workers
+        chunks = [matches[i : i + chunk] for i in range(0, len(matches), chunk)]
+        out: List[List[Element]] = []
+        for produced in executor.map(evaluate_productions, chunks):
+            out.extend(produced)
+        return out
+
+    def _select_matches(self, scheduler: ReactionScheduler) -> List[Match]:
+        # The batched _run_block above replaces the base loop entirely.
+        raise NotImplementedError("ParallelEngine uses its own superstep loop")
+
+
 _ENGINES = {
     "sequential": SequentialEngine,
     "chaotic": ChaoticEngine,
     "max-parallel": MaxParallelEngine,
+    "parallel": ParallelEngine,
 }
 
 
@@ -336,24 +480,41 @@ def run(
     max_steps: Optional[int] = None,
     raise_on_budget: Optional[bool] = None,
     compiled: Optional[bool] = None,
+    parallel: Union[None, bool, int] = None,
 ) -> ExecutionResult:
     """Run a Gamma program with the named engine.
 
     ``engine`` may be an engine instance or one of ``"sequential"``,
-    ``"chaotic"``, ``"max-parallel"``.  ``seed`` is forwarded to the
-    nondeterministic engines; ``max_steps`` and ``raise_on_budget`` configure
-    the step budget (defaults: ``DEFAULT_MAX_STEPS``, raise); ``compiled``
-    selects the compiled reaction pipeline (default) or the interpreted
-    baseline (``compiled=False``).
+    ``"chaotic"``, ``"max-parallel"``, ``"parallel"``.  ``seed`` is forwarded
+    to the nondeterministic engines; ``max_steps`` and ``raise_on_budget``
+    configure the step budget (defaults: ``DEFAULT_MAX_STEPS``, raise);
+    ``compiled`` selects the compiled reaction pipeline (default) or the
+    interpreted baseline (``compiled=False``).
+
+    ``parallel`` selects the batched superstep backend: ``parallel=True``
+    runs :class:`ParallelEngine` with inline production evaluation and
+    ``parallel=N`` (an int) additionally spreads production evaluation over
+    ``N`` pool workers (see :class:`ParallelEngine` for what that does and
+    does not buy).  ``parallel=False``/``None`` leaves the chosen engine
+    untouched — the default path is bit-identical to earlier releases.  A
+    truthy ``parallel`` takes precedence over ``engine="sequential"`` (the
+    default string is indistinguishable from an explicit one — the same
+    tolerance the ``seed`` argument gets); any *other* engine name raises
+    ``ValueError``.
 
     Passing an engine *instance* together with ``seed``, ``max_steps``,
-    ``raise_on_budget`` or ``compiled`` raises ``ValueError``: an instance
-    carries its own configuration and the extra arguments would be silently
-    ignored.  On the string path, ``seed`` is deliberately tolerated (and
-    unused) for ``engine="sequential"`` so one seed can be forwarded while
-    sweeping all engine names — the idiom the benchmarks and equivalence
-    tests rely on.
+    ``raise_on_budget``, ``compiled`` or ``parallel`` raises ``ValueError``:
+    an instance carries its own configuration and the extra arguments would
+    be silently ignored.  On the string path, ``seed`` is deliberately
+    tolerated (and unused) for ``engine="sequential"`` so one seed can be
+    forwarded while sweeping all engine names — the idiom the benchmarks and
+    equivalence tests rely on.
     """
+    if parallel is False:
+        # "No parallel backend" is the default: an explicit False must behave
+        # like None everywhere (including the engine-instance conflict check),
+        # so sweeps can forward a uniform parallel=False.
+        parallel = None
     if isinstance(engine, GammaEngine):
         conflicting = [
             name
@@ -362,6 +523,7 @@ def run(
                 ("max_steps", max_steps),
                 ("raise_on_budget", raise_on_budget),
                 ("compiled", compiled),
+                ("parallel", parallel),
             )
             if value is not None
         ]
@@ -372,6 +534,13 @@ def run(
             )
         runner = engine
     else:
+        if parallel is not None:
+            if engine not in ("sequential", "parallel"):
+                raise ValueError(
+                    f"parallel={parallel!r} selects the 'parallel' engine and cannot "
+                    f"be combined with engine={engine!r}"
+                )
+            engine = "parallel"
         try:
             cls = _ENGINES[engine]
         except KeyError as exc:
@@ -383,6 +552,8 @@ def run(
             "raise_on_budget": True if raise_on_budget is None else raise_on_budget,
             "compiled": True if compiled is None else compiled,
         }
+        if cls is ParallelEngine:
+            kwargs["workers"] = parallel if isinstance(parallel, int) and not isinstance(parallel, bool) else None
         if cls is not SequentialEngine:
             kwargs["seed"] = seed
         runner = cls(**kwargs)

@@ -184,6 +184,87 @@ class ReactionScheduler:
                 return match
         return None
 
+    def collect_superstep_matches(self, budget: Optional[int] = None) -> List[Match]:
+        """Greedy pairwise-disjoint match set for one parallel *superstep*.
+
+        Semantically this is :meth:`collect_step_matches` — a greedy set of
+        matches no two of which consume the same element occurrence — but
+        extraction runs through the compiled superstep collectors
+        (:meth:`~repro.gamma.compiled.CompiledReaction.collect`): one bucket
+        pass per reaction with a shared consumed-occurrence map, skipping
+        candidates claimed earlier in the batch, instead of enumerating every
+        match and filtering.  The set is maximal when matches bind distinct
+        elements; very multiplicity-heavy solutions can strand copies that
+        only a *repeated* slot assignment would claim (the single-pass loops
+        visit each distinct-element combination once), which costs an extra
+        superstep, never correctness.  Reactions the collector cannot handle
+        (no compiled form, or an unknown-label match plan) fall back to the
+        enumerate-and-account discipline.
+
+        An empty result proves the multiset stable: with nothing consumed the
+        collectors degenerate to plain first-match probes, so any enabled
+        reaction would have contributed.  Reactions that yield no match *and*
+        competed against an empty batch are parked; reactions merely starved
+        by earlier claims are left armed (the batch's own firings dirty every
+        label they would need, so parking them would only churn the worklist).
+        """
+        remaining: Dict[Element, int] = {}
+        views: Dict[int, list] = {}
+        chosen: List[Match] = []
+        compiled = self._compiled
+        count = self.multiset.count
+        for i in self._probe_order(shuffled=self.rng is not None):
+            if i in self._parked:
+                continue
+            if budget is not None and len(chosen) >= budget:
+                break
+            compiled_reaction = compiled[i]
+            had_claims = bool(remaining)
+            accepted = False
+            if compiled_reaction is not None and compiled_reaction.supports_collect:
+                for match in compiled_reaction.collect(
+                    self.index, self.multiset, remaining, self.rng, views
+                ):
+                    accepted = True
+                    chosen.append(match)
+                    if budget is not None and len(chosen) >= budget:
+                        break
+                if not accepted and not had_claims:
+                    self._parked.add(i)
+                continue
+            # Fallback: enumerate matches and account occurrences by hand.
+            reaction = self.reactions[i]
+            enabled = False
+            if compiled_reaction is not None:
+                matches = compiled_reaction.iter_matches(
+                    self.index, self.multiset, self.rng
+                )
+            else:
+                matches = self.matcher.iter_matches(reaction)
+            for match in matches:
+                enabled = True
+                needed: Dict[Element, int] = {}
+                for element in match.consumed:
+                    needed[element] = needed.get(element, 0) + 1
+                feasible = True
+                for e, c in needed.items():
+                    avail = remaining.get(e)
+                    if avail is None:
+                        avail = count(e)
+                    if avail < c:
+                        feasible = False
+                        break
+                if feasible:
+                    for e, c in needed.items():
+                        avail = remaining.get(e)
+                        remaining[e] = (count(e) if avail is None else avail) - c
+                    chosen.append(match)
+                    if budget is not None and len(chosen) >= budget:
+                        break
+            if not enabled:
+                self._parked.add(i)
+        return chosen
+
     def collect_step_matches(self, budget: Optional[int] = None) -> List[Match]:
         """Greedy maximal set of non-conflicting matches for one parallel step.
 

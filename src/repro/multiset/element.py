@@ -19,6 +19,7 @@ reaction actions without defensive copies.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Tuple
 
@@ -91,6 +92,32 @@ class Element:
     def as_tuple(self) -> Tuple[Any, str, int]:
         """Return the canonical ``(value, label, tag)`` triple."""
         return (self.value, self.label, self.tag)
+
+    def stable_hash(self) -> int:
+        """A process-independent 64-bit hash of the canonical triple.
+
+        Unlike ``hash(self)``, which varies with ``PYTHONHASHSEED`` for string
+        labels (and any string-valued payload), this digest depends only on
+        the ``repr`` of the canonicalized ``(value, label, tag)`` triple, so
+        it is identical across interpreter processes and seeds.  The
+        distributed runtime partitions on it — a partitioning decision taken
+        on one node must be reproducible on every other node.
+
+        Equal elements must digest equally, so numeric values that compare
+        equal across types (``True == 1 == 1.0``) are canonicalized to one
+        form before hashing; exotic numeric types (``Decimal``, ``Fraction``)
+        and values with unstable ``repr`` (e.g. sets) are not canonicalized —
+        they get a consistent placement per representation, never an error.
+        """
+        value = self.value
+        if isinstance(value, bool):
+            value = int(value)
+        elif isinstance(value, float) and value.is_integer():
+            value = int(value)
+        digest = hashlib.blake2b(
+            repr((value, self.label, self.tag)).encode("utf-8"), digest_size=8
+        ).digest()
+        return int.from_bytes(digest, "big")
 
     def with_value(self, value: Any) -> "Element":
         """Copy of this element with a different value."""

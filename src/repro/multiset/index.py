@@ -91,7 +91,12 @@ class LabelTagIndex:
     def _on_change(self, element: Element, delta: int) -> None:
         # Mirror of add()/remove() without their argument re-validation: the
         # multiset already validated the mutation it is notifying about.  This
-        # runs once per element copy touched by every engine firing.
+        # runs once per element copy touched by every engine firing — or once
+        # per *distinct* element per phase under the batched notifications of
+        # ``Multiset.rewrite_batch_unchecked``, whose aggregated ``delta``
+        # magnitudes the add/remove branches below absorb unchanged.
+        if delta == 0:
+            return
         label = element.label
         if delta > 0:
             bucket = self._index[label][element.tag]

@@ -231,6 +231,70 @@ class Multiset:
             for listener in listeners:
                 listener(element, 1)
 
+    def rewrite_batch_unchecked(
+        self, removed: Iterable[Element], added: Iterable[Element]
+    ) -> None:
+        """Apply one whole *superstep* of rewrites without pre-validation.
+
+        Batch counterpart of :meth:`rewrite_unchecked` for the parallel
+        engine: ``removed``/``added`` are the concatenated consumed/produced
+        elements of a set of pairwise-disjoint matches, all selected against
+        the current state (so no removed element may depend on an added one).
+        The batch is applied in two phases — all removals, then all additions
+        — with the per-copy work aggregated per distinct element, and **one
+        change notification per distinct element per phase** (``delta`` is the
+        total copy count) instead of one per copy.  The final counts always
+        equal firing the matches one by one, and so does the key/bucket
+        insertion order (which seeded schedulers observe) — *except* when one
+        match consumes an element that another match of the same batch also
+        produces: a sequential interleaving may then net the count above zero
+        where the two-phase batch deletes and re-appends the key, moving it
+        to the insertion tail.  Callers needing order-exact equivalence with
+        a specific sequential interleaving must fire one by one.
+
+        Like :meth:`rewrite_unchecked`, over-consumption raises ``KeyError``
+        but may leave the multiset partially rewritten — inputs are trusted.
+        """
+        counts = self._counts
+        by_label = self._by_label
+        listeners = self._listeners
+        removed_counts: Counter = Counter()
+        for element in removed:
+            removed_counts[element] += 1
+        for element, count in removed_counts.items():
+            have = counts.get(element, 0)
+            if have < count:
+                raise KeyError(
+                    f"batch rewrite would consume {count} x {element!r} "
+                    f"but only {have} present"
+                )
+            if have == count:
+                del counts[element]
+            else:
+                counts[element] = have - count
+            self._size -= count
+            bucket = by_label[element.label]
+            if bucket[element] == count:
+                del bucket[element]
+                if not bucket:
+                    del by_label[element.label]
+            else:
+                bucket[element] -= count
+            for listener in listeners:
+                listener(element, -count)
+        added_counts: Counter = Counter()
+        for element in added:
+            added_counts[element] += 1
+        for element, count in added_counts.items():
+            counts[element] += count
+            self._size += count
+            bucket = by_label.get(element.label)
+            if bucket is None:
+                bucket = by_label[element.label] = Counter()
+            bucket[element] += count
+            for listener in listeners:
+                listener(element, count)
+
     def clear(self) -> None:
         """Remove every element."""
         removed = list(self._counts.items()) if self._listeners else []

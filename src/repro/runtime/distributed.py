@@ -52,8 +52,15 @@ class DistributedMultiset:
 
     # -- placement -----------------------------------------------------------------
     def home_of(self, element: Element) -> int:
-        """The partition an element is routed to by default (hash placement)."""
-        return hash(element) % self.num_partitions
+        """The partition an element is routed to by default (hash placement).
+
+        Placement uses :meth:`Element.stable_hash`, a digest of the canonical
+        ``(value, label, tag)`` triple, **not** the builtin ``hash()``: the
+        builtin salts strings per process (``PYTHONHASHSEED``), and a
+        distributed deployment must route an element to the same home from
+        every node and every restart.
+        """
+        return element.stable_hash() % self.num_partitions
 
     def add(self, element: Element, partition: Optional[int] = None) -> int:
         """Add ``element`` (to its home partition unless ``partition`` is given)."""
@@ -117,14 +124,26 @@ class DistributedGammaRuntime:
         num_partitions: int,
         seed: Optional[int] = None,
         max_steps: int = 1_000_000,
-        firings_per_worker_step: int = 1,
+        firings_per_worker_step: Optional[int] = 1,
         compiled: bool = True,
+        local_batches: bool = False,
     ) -> None:
+        """``local_batches=True`` switches every worker to superstep firing:
+        per global step a worker extracts a maximal disjoint set of *local*
+        matches (capped at ``firings_per_worker_step``; pass ``None`` for
+        uncapped) and applies it through one batched rewrite, instead of the
+        default one-at-a-time firing loop.  Starvation/migration and
+        termination detection are unchanged."""
+        if local_batches is False and firings_per_worker_step is None:
+            raise ValueError(
+                "firings_per_worker_step=None (uncapped) requires local_batches=True"
+            )
         self.program = program
         self.num_partitions = num_partitions
         self.max_steps = max_steps
         self.firings_per_worker_step = firings_per_worker_step
         self.compiled = compiled
+        self.local_batches = local_batches
         self._rng = random.Random(seed)
 
     def run(self, initial: Optional[Multiset] = None) -> DistributedRunResult:
@@ -162,15 +181,36 @@ class DistributedGammaRuntime:
                     local = distributed.partitions[worker]
                     scheduler = schedulers[worker]
                     executed = 0
-                    apply_rewrite = local.rewrite_unchecked if self.compiled else local.replace
-                    while executed < self.firings_per_worker_step:
+                    if self.local_batches:
+                        # Superstep firing: one maximal disjoint local batch,
+                        # applied through one batched rewrite.
                         scheduler.refresh()
-                        match = scheduler.find_first(shuffled=True)
-                        if match is None:
-                            break
-                        produced = match.produced()
-                        apply_rewrite(match.consumed, produced)
-                        executed += 1
+                        matches = scheduler.collect_superstep_matches(
+                            budget=self.firings_per_worker_step
+                        )
+                        if matches:
+                            removed: List[Element] = []
+                            added: List[Element] = []
+                            for match in matches:
+                                removed.extend(match.consumed)
+                                added.extend(match.produced())
+                            if self.compiled:
+                                local.rewrite_batch_unchecked(removed, added)
+                            else:
+                                local.replace(removed, added)
+                            executed = len(matches)
+                    else:
+                        apply_rewrite = (
+                            local.rewrite_unchecked if self.compiled else local.replace
+                        )
+                        while executed < self.firings_per_worker_step:
+                            scheduler.refresh()
+                            match = scheduler.find_first(shuffled=True)
+                            if match is None:
+                                break
+                            produced = match.produced()
+                            apply_rewrite(match.consumed, produced)
+                            executed += 1
                     if executed == 0:
                         starving.append(worker)
                     fired_this_step += executed

@@ -76,8 +76,13 @@ class GammaSimulator:
             self.program.reactions, multiset, rng=self._rng, compiled=self.compiled
         )
         # Matches are availability-verified by the scheduler, so the compiled
-        # path may skip replace()'s atomic pre-validation.
-        apply_rewrite = multiset.rewrite_unchecked if self.compiled else multiset.replace
+        # path may skip replace()'s atomic pre-validation; the whole step's
+        # disjoint firings go through one batched (superstep) rewrite.  Final
+        # counts match firing one by one; bucket insertion order can differ
+        # only when a step consumes an element it also produces (see
+        # rewrite_batch_unchecked), which for seeded runs may pick a
+        # different — equally valid — schedule thereafter.
+        apply_batch = multiset.rewrite_batch_unchecked if self.compiled else multiset.replace
 
         try:
             while True:
@@ -90,9 +95,12 @@ class GammaSimulator:
                 if not matches:
                     break
                 scheduled = pool.dispatch(matches)
+                removed: List = []
+                added: List = []
                 for match in scheduled:
-                    produced = match.produced()
-                    apply_rewrite(match.consumed, produced)
+                    removed.extend(match.consumed)
+                    added.extend(match.produced())
+                apply_batch(removed, added)
                 total_firings += len(scheduled)
                 steps += 1
         finally:

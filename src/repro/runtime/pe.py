@@ -44,6 +44,7 @@ class PEPool(Generic[WorkItem]):
         self.pes: List[ProcessingElement] = [ProcessingElement(i) for i in range(count)]
         self._steps = 0
         self._profile: List[int] = []
+        self._cursor = 0
 
     # -- scheduling ---------------------------------------------------------------
     def capacity(self) -> Optional[int]:
@@ -51,16 +52,25 @@ class PEPool(Generic[WorkItem]):
         return self.num_pes
 
     def dispatch(self, items: Sequence[WorkItem]) -> List[WorkItem]:
-        """Execute up to ``capacity`` items this step; return the accepted items."""
+        """Execute up to ``capacity`` items this step; return the accepted items.
+
+        Bounded pools assign round-robin from a rotating cursor, so a
+        narrower-than-capacity superstep batch does not pile all its work onto
+        the low-indexed PEs step after step — :meth:`load_balance` then
+        reflects the even spread a real worker pool would show.
+        """
         if self.num_pes is None:
             accepted = list(items)
             # Grow the (virtual) PE list lazily so per-PE statistics still exist.
             while len(self.pes) < len(accepted):
                 self.pes.append(ProcessingElement(len(self.pes)))
+            for pe, item in zip(self.pes, accepted):
+                pe.execute(item)
         else:
             accepted = list(items)[: self.num_pes]
-        for pe, item in zip(self.pes, accepted):
-            pe.execute(item)
+            for offset, item in enumerate(accepted):
+                self.pes[(self._cursor + offset) % self.num_pes].execute(item)
+            self._cursor = (self._cursor + len(accepted)) % self.num_pes
         self._steps += 1
         self._profile.append(len(accepted))
         return accepted

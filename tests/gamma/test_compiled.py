@@ -350,6 +350,17 @@ class TestMatcherIntegration:
         assert set(compiled.sources) == {"find_det", "find_rng", "iter_det", "iter_rng"}
         assert "def matcher" in compiled.sources["find_det"]
 
+    def test_collector_source_is_generated_lazily(self):
+        from repro.multiset import LabelTagIndex, Multiset
+
+        compiled = compile_reaction(fold_reaction())
+        assert compiled.supports_collect
+        assert "collect_det" not in compiled.sources  # not built at compile()
+        multiset = Multiset([(1, "x", 0), (2, "x", 0)])
+        index = LabelTagIndex(multiset)
+        list(compiled.collect(index, multiset, {}))
+        assert "def matcher" in compiled.sources["collect_det"]
+
 
 class TestReviewRegressions:
     def test_compile_expr_unbound_variable_raises_evaluation_error(self):

@@ -1,0 +1,270 @@
+"""Tests for the batched superstep backend (ParallelEngine + collectors)."""
+
+import pytest
+
+from repro.gamma import (
+    GammaProgram,
+    NonTerminationError,
+    ParallelEngine,
+    ReactionScheduler,
+    SequentialEngine,
+    compile_reaction,
+    run,
+)
+from repro.gamma.pattern import pattern, template
+from repro.gamma.reaction import Branch, Reaction
+from repro.gamma.stdlib import min_element, sum_reduction, values_multiset
+from repro.multiset import Multiset
+from repro.workloads import CLASSIC_WORKLOADS, make_workload
+
+
+def _trace_key(result):
+    return [
+        (f.step, f.reaction, f.consumed, f.produced, f.binding)
+        for f in result.trace.firings()
+    ]
+
+
+class TestParallelEngine:
+    @pytest.mark.parametrize("name", CLASSIC_WORKLOADS)
+    def test_reaches_sequential_stable_state(self, name):
+        workload = make_workload(name, size=28, seed=4)
+        sequential = SequentialEngine().run(workload.program, workload.initial)
+        parallel = ParallelEngine().run(workload.program, workload.initial)
+        assert parallel.stable and parallel.final == sequential.final
+        assert parallel.engine == "parallel"
+
+    def test_supersteps_fire_batches(self):
+        workload = make_workload("sum_reduction", size=64, seed=1)
+        result = ParallelEngine().run(workload.program, workload.initial)
+        # 63 firings compressed into ~log2(64) supersteps, widest first.
+        assert result.firings == 63
+        assert result.steps < 10
+        profile = result.parallelism_profile()
+        assert profile[0] == 32
+        assert profile == sorted(profile, reverse=True)
+
+    def test_trace_identical_across_worker_counts(self):
+        workload = make_workload("min_element", size=40, seed=9)
+        reference = ParallelEngine(seed=5).run(workload.program, workload.initial)
+        for workers in (1, 2, 4, 8):
+            other = ParallelEngine(seed=5, workers=workers).run(
+                workload.program, workload.initial
+            )
+            assert _trace_key(other) == _trace_key(reference)
+            assert other.final == reference.final
+
+    def test_unseeded_runs_are_deterministic(self):
+        workload = make_workload("exchange_sort", size=12, seed=2)
+        first = ParallelEngine().run(workload.program, workload.initial)
+        second = ParallelEngine(workers=3).run(workload.program, workload.initial)
+        assert _trace_key(first) == _trace_key(second)
+
+    def test_max_batch_caps_superstep_width(self):
+        workload = make_workload("sum_reduction", size=32, seed=0)
+        result = ParallelEngine(max_batch=3).run(workload.program, workload.initial)
+        assert max(result.parallelism_profile()) <= 3
+        assert result.final.values_with_label("x") == [
+            sum(workload.initial.values_with_label("x"))
+        ]
+
+    def test_interpreted_mode_matches_compiled_final_state(self):
+        workload = make_workload("min_element", size=20, seed=6)
+        compiled = ParallelEngine(compiled=True).run(workload.program, workload.initial)
+        interpreted = ParallelEngine(compiled=False).run(
+            workload.program, workload.initial
+        )
+        assert interpreted.final == compiled.final
+
+    def test_budget_exhaustion_raises_or_returns_partial(self):
+        workload = make_workload("sum_reduction", size=64, seed=1)
+        with pytest.raises(NonTerminationError):
+            ParallelEngine(max_steps=2).run(workload.program, workload.initial)
+        partial = ParallelEngine(max_steps=2, raise_on_budget=False).run(
+            workload.program, workload.initial
+        )
+        assert not partial.stable and partial.steps == 2
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelEngine(workers=0)
+        with pytest.raises(ValueError):
+            ParallelEngine(max_batch=0)
+
+
+class TestRunParallelWiring:
+    def test_parallel_true_selects_parallel_engine(self):
+        workload = make_workload("min_element", size=16, seed=3)
+        result = run(workload.program, workload.initial, parallel=True)
+        assert result.engine == "parallel"
+        assert result.values_with_label("x") == workload.expected_values
+
+    def test_parallel_int_sets_worker_count_without_changing_the_trace(self):
+        workload = make_workload("min_element", size=16, seed=3)
+        inline = run(workload.program, workload.initial, parallel=True, seed=7)
+        pooled = run(workload.program, workload.initial, parallel=4, seed=7)
+        assert _trace_key(inline) == _trace_key(pooled)
+
+    def test_parallel_false_is_the_sequential_default(self):
+        workload = make_workload("min_element", size=16, seed=3)
+        default = run(workload.program, workload.initial)
+        explicit = run(workload.program, workload.initial, parallel=False)
+        assert explicit.engine == default.engine == "sequential"
+        assert _trace_key(explicit) == _trace_key(default)
+
+    def test_parallel_false_tolerated_with_any_engine(self):
+        # Sweep idiom: a uniform parallel=False must not conflict with
+        # explicit engine names or instances.
+        workload = make_workload("min_element", size=8, seed=0)
+        by_name = run(workload.program, workload.initial, engine="chaotic",
+                      seed=1, parallel=False)
+        assert by_name.engine == "chaotic"
+        by_instance = run(workload.program, workload.initial,
+                          engine=SequentialEngine(), parallel=False)
+        assert by_instance.engine == "sequential"
+
+    def test_parallel_engine_name_is_runnable(self):
+        workload = make_workload("sum_reduction", size=16, seed=3)
+        result = run(workload.program, workload.initial, engine="parallel")
+        assert result.engine == "parallel"
+
+    def test_parallel_conflicts_with_other_engines(self):
+        workload = make_workload("min_element", size=8, seed=0)
+        with pytest.raises(ValueError, match="parallel"):
+            run(workload.program, workload.initial, engine="chaotic", parallel=2)
+        with pytest.raises(ValueError, match="parallel"):
+            run(workload.program, workload.initial, engine=ParallelEngine(), parallel=2)
+
+
+class TestSuperstepCollection:
+    def test_collect_superstep_matches_is_disjoint_and_maximal(self):
+        multiset = values_multiset([4, 1, 7, 3, 9, 5])
+        scheduler = ReactionScheduler(sum_reduction().reactions, multiset)
+        try:
+            matches = scheduler.collect_superstep_matches()
+            consumed = [e for m in matches for e in m.consumed]
+            assert len(matches) == 3  # maximal pairing of six elements
+            assert len(consumed) == len(set(consumed)) == 6
+        finally:
+            scheduler.detach()
+
+    def test_collect_respects_multiplicities(self):
+        # Both copies of 1 anchor a match: exhausting a distinct element must
+        # not advance past its remaining copies.
+        multiset = values_multiset([1, 1, 5, 7])
+        scheduler = ReactionScheduler(min_element().reactions, multiset)
+        try:
+            matches = scheduler.collect_superstep_matches()
+            assert len(matches) == 2
+            anchors = sorted(m.consumed[0].value for m in matches)
+            assert anchors == [1, 1]
+        finally:
+            scheduler.detach()
+
+    def test_self_pairing_consumes_two_copies(self):
+        # One distinct element with multiplicity 5: exactly one (e, e) match
+        # is enumerable per superstep (candidates are distinct elements, the
+        # same discipline as the interpreted matcher).
+        multiset = values_multiset([2, 2, 2, 2, 2])
+        scheduler = ReactionScheduler(sum_reduction().reactions, multiset)
+        try:
+            matches = scheduler.collect_superstep_matches()
+            assert len(matches) == 1
+            assert matches[0].consumed[0] is matches[0].consumed[1]
+        finally:
+            scheduler.detach()
+
+    def test_budget_caps_collection(self):
+        multiset = values_multiset(range(1, 17))
+        scheduler = ReactionScheduler(min_element().reactions, multiset)
+        try:
+            assert len(scheduler.collect_superstep_matches(budget=5)) == 5
+        finally:
+            scheduler.detach()
+
+    def test_empty_collection_parks_dead_reactions(self):
+        dead = Reaction(
+            "Rdead",
+            [pattern("a", "missing", "t")],
+            [Branch(productions=[template("a", "missing", "t")])],
+        )
+        scheduler = ReactionScheduler([dead], values_multiset([1, 2]))
+        try:
+            assert scheduler.collect_superstep_matches() == []
+            assert scheduler.parked == {0}
+        finally:
+            scheduler.detach()
+
+    def test_collector_exists_for_paper_reactions(self):
+        for program in (min_element(), sum_reduction()):
+            for reaction in program.reactions:
+                assert compile_reaction(reaction).supports_collect
+
+    def test_unknown_label_reaction_falls_back(self):
+        anything = Reaction(
+            "Rany",
+            [
+                pattern("a", "lbl", "t", label_is_variable=True),
+                pattern("b", "lbl", "t", label_is_variable=True),
+            ],
+            [Branch(productions=[template("a", "out", "t")])],
+        )
+        compiled = compile_reaction(anything)
+        assert not compiled.supports_collect
+        # The scheduler still extracts a disjoint batch through iter_matches.
+        multiset = Multiset([(1, "p", 0), (2, "p", 0), (3, "q", 0), (4, "q", 0)])
+        scheduler = ReactionScheduler([anything], multiset)
+        try:
+            matches = scheduler.collect_superstep_matches()
+            consumed = [e for m in matches for e in m.consumed]
+            assert len(matches) == 2
+            assert len(consumed) == len(set(consumed)) == 4
+        finally:
+            scheduler.detach()
+
+    def test_high_arity_duplicates_never_overconsume(self):
+        # Regression: an object held by two outer slots with one copy left
+        # must break the held prefix, not anchor another (infeasible) match.
+        from repro.gamma.expr import BinOp, Var
+
+        add3 = Reaction(
+            "R3",
+            [pattern("x", "v", "t1"), pattern("y", "v", "t2"), pattern("z", "v", "t3")],
+            [
+                Branch(
+                    productions=[
+                        template(
+                            BinOp("+", BinOp("+", Var("x"), Var("y")), Var("z")),
+                            "v",
+                            "t1",
+                        )
+                    ]
+                )
+            ],
+        )
+        program = GammaProgram([add3], name="fold3")
+        for copies in range(1, 12):
+            initial = Multiset([(1, "v", 0)] * copies)
+            result = ParallelEngine().run(program, initial)
+            assert result.stable
+            assert sum(e.value for e in result.final) == copies
+            assert len(result.final) == len(
+                SequentialEngine().run(program, initial).final
+            )
+
+    def test_parallel_engine_runs_fallback_reactions(self):
+        anything = Reaction(
+            "Rany",
+            [
+                pattern("a", "lbl", "t", label_is_variable=True),
+                pattern("b", "lbl", "t", label_is_variable=True),
+            ],
+            [Branch(productions=[template("a", "out", "t")])],
+        )
+        program = GammaProgram([anything], name="wildcard")
+        initial = Multiset([(1, "p", 0), (2, "p", 0), (3, "q", 0)])
+        result = ParallelEngine().run(program, initial)
+        assert result.stable
+        assert sorted(e.label for e in result.final) == ["out", "p"] or sorted(
+            e.label for e in result.final
+        ) == ["out", "q"]

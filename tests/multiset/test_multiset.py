@@ -147,3 +147,66 @@ class TestAlgebra:
     def test_isdisjoint(self):
         assert ms((1, "A")).isdisjoint(ms((2, "B")))
         assert not ms((1, "A")).isdisjoint(ms((1, "A")))
+
+
+class TestBatchRewrite:
+    def test_batch_equals_sequence_of_unchecked_rewrites(self):
+        batch = ms((1, "A"), (2, "A"), (3, "B"), (3, "B"), (4, "C"))
+        one_by_one = batch.copy()
+        removed = [Element(1, "A"), Element(3, "B")]
+        added = [Element(9, "A"), Element(3, "B")]
+        batch.rewrite_batch_unchecked(removed, added)
+        for r, a in zip(removed, added):
+            one_by_one.rewrite_unchecked([r], [a])
+        assert batch == one_by_one
+        # Same key/bucket ordering, not just the same counts (holds whenever
+        # no match consumes an element another match of the batch produces):
+        # seeded schedulers observe insertion order.
+        assert batch.distinct() == one_by_one.distinct()
+        assert batch.with_label("A") == one_by_one.with_label("A")
+
+    def test_consume_of_produced_keeps_counts_but_may_reorder(self):
+        # Documented divergence corner: match1 produces a 5 while match2
+        # consumes the pre-existing 5.  Counts must agree with sequential
+        # firing; key order is allowed to differ (and does).
+        batch = ms((5, "A"), (3, "A"), (4, "A"))
+        one_by_one = batch.copy()
+        removed = [Element(4, "A"), Element(5, "A")]
+        added = [Element(5, "A"), Element(9, "A")]
+        batch.rewrite_batch_unchecked(removed, added)
+        for r, a in zip(removed, added):
+            one_by_one.rewrite_unchecked([r], [a])
+        assert batch == one_by_one
+        assert sorted(e.value for e in batch) == [3, 5, 9]
+
+    def test_consume_and_reproduce_moves_element_to_insertion_end(self):
+        m = ms((1, "A"), (2, "A"))
+        m.rewrite_batch_unchecked([Element(1, "A")], [Element(1, "A")])
+        # Fully consumed then re-added: lands at the end, as sequential
+        # remove()/add() would place it.
+        assert [e.value for e in m.distinct()] == [2, 1]
+
+    def test_batched_notifications_aggregate_per_distinct_element(self):
+        m = ms((1, "A"), (1, "A"), (2, "B"), (3, "B"))
+        events = []
+        m.subscribe(lambda element, delta: events.append((element.value, delta)))
+        m.rewrite_batch_unchecked(
+            [Element(1, "A"), Element(1, "A"), Element(2, "B")],
+            [Element(7, "C"), Element(7, "C")],
+        )
+        assert events == [(1, -2), (2, -1), (7, 2)]
+        assert sorted(e.value for e in m) == [3, 7, 7]
+
+    def test_overconsumption_raises(self):
+        m = ms((1, "A"))
+        with pytest.raises(KeyError):
+            m.rewrite_batch_unchecked([Element(1, "A"), Element(1, "A")], [])
+        with pytest.raises(KeyError):
+            ms((2, "B")).rewrite_batch_unchecked([Element(9, "Z")], [])
+
+    def test_empty_batch_is_a_no_op(self):
+        m = ms((1, "A"))
+        events = []
+        m.subscribe(lambda element, delta: events.append(delta))
+        m.rewrite_batch_unchecked([], [])
+        assert events == [] and len(m) == 1

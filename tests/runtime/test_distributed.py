@@ -1,5 +1,10 @@
 """Tests for the simulated distributed (IoT-style) multiset runtime."""
 
+import os
+import subprocess
+import sys
+from pathlib import Path
+
 import pytest
 
 from repro.gamma import run
@@ -35,6 +40,82 @@ class TestDistributedMultiset:
     def test_invalid_partition_count(self):
         with pytest.raises(ValueError):
             DistributedMultiset(0)
+
+
+_PLACEMENT_SCRIPT = """
+import sys
+sys.path.insert(0, {src!r})
+from repro.multiset import Element
+from repro.runtime import DistributedMultiset
+
+dm = DistributedMultiset(5)
+homes = [
+    dm.home_of(Element(value, label, tag))
+    for value in (0, 1, -3, 7, "s", True, 2.5)
+    for label in ("x", "B13", "")
+    for tag in (0, 1, 9)
+]
+print(",".join(map(str, homes)))
+"""
+
+
+class TestStablePlacement:
+    def test_home_of_uses_stable_hash(self):
+        dm = DistributedMultiset(4)
+        e = Element(7, "x", 2)
+        assert dm.home_of(e) == e.stable_hash() % 4
+
+    def test_stable_hash_distinguishes_fields(self):
+        assert Element(1, "x", 0).stable_hash() != Element(2, "x", 0).stable_hash()
+        assert Element(1, "x", 0).stable_hash() != Element(1, "y", 0).stable_hash()
+        assert Element(1, "x", 0).stable_hash() != Element(1, "x", 1).stable_hash()
+
+    def test_equal_elements_hash_equal_across_numeric_types(self):
+        # hash/eq contract: 1 == True == 1.0, so all three must share a home
+        # (builtin hash() guaranteed this; the stable digest must too).
+        variants = [Element(1, "x", 0), Element(True, "x", 0), Element(1.0, "x", 0)]
+        assert variants[0] == variants[1] == variants[2]
+        hashes = {e.stable_hash() for e in variants}
+        assert len(hashes) == 1
+        assert Element(0, "x", 0).stable_hash() == Element(False, "x", 0).stable_hash()
+        # Non-integral floats keep their own identity.
+        assert Element(1.5, "x", 0).stable_hash() != Element(1, "x", 0).stable_hash()
+
+    def test_placement_identical_across_hash_seeds(self):
+        """Partitioning must not depend on PYTHONHASHSEED (process-stable).
+
+        Runs the same placement in two subprocesses with different hash seeds
+        — the regression this pins: builtin ``hash()`` on string labels is
+        salted per process, so hash-based homes differed between nodes.
+        """
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        script = _PLACEMENT_SCRIPT.format(src=src)
+        outputs = []
+        for hash_seed in ("0", "1", "42"):
+            env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+            result = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+            )
+            outputs.append(result.stdout.strip())
+        assert outputs[0] == outputs[1] == outputs[2]
+        # ... and the in-process placement agrees with the subprocesses.
+        dm = DistributedMultiset(5)
+        local = ",".join(
+            str(dm.home_of(Element(value, label, tag)))
+            for value in (0, 1, -3, 7, "s", True, 2.5)
+            for label in ("x", "B13", "")
+            for tag in (0, 1, 9)
+        )
+        assert local == outputs[0]
+
+    def test_placement_spreads_over_partitions(self):
+        dm = DistributedMultiset(4)
+        homes = {dm.home_of(Element(i, "x", 0)) for i in range(64)}
+        assert homes == {0, 1, 2, 3}
 
 
 class TestDistributedRuntime:
@@ -84,3 +165,43 @@ class TestDistributedRuntime:
     def test_missing_initial_rejected(self):
         with pytest.raises(ValueError):
             DistributedGammaRuntime(sum_reduction(), 2).run(None)
+
+
+class TestLocalBatchFiring:
+    @pytest.mark.parametrize("partitions", [1, 2, 4])
+    def test_results_match_centralized_execution(self, partitions):
+        program = sum_reduction()
+        initial = values_multiset(range(1, 41))
+        distributed = DistributedGammaRuntime(
+            program, partitions, seed=3, local_batches=True,
+            firings_per_worker_step=None,
+        ).run(initial)
+        reference = run(program, initial, engine="sequential")
+        assert distributed.final == reference.final
+        assert distributed.firings == 39
+
+    def test_batches_compress_steps(self):
+        program = sum_reduction()
+        initial = values_multiset(range(1, 65))
+        one_at_a_time = DistributedGammaRuntime(program, 2, seed=2).run(initial)
+        batched = DistributedGammaRuntime(
+            program, 2, seed=2, local_batches=True, firings_per_worker_step=None
+        ).run(initial)
+        assert batched.firings == one_at_a_time.firings == 63
+        assert batched.steps < one_at_a_time.steps
+
+    def test_batch_cap_respected(self):
+        program = sum_reduction()
+        initial = values_multiset(range(1, 33))
+        capped = DistributedGammaRuntime(
+            program, 1, seed=0, local_batches=True, firings_per_worker_step=4
+        ).run(initial)
+        assert capped.final == run(program, initial).final
+        # With one partition and a cap of 4 the 31 firings need >= 8 steps.
+        assert capped.steps >= 8
+
+    def test_uncapped_requires_local_batches(self):
+        with pytest.raises(ValueError, match="local_batches"):
+            DistributedGammaRuntime(
+                sum_reduction(), 2, firings_per_worker_step=None
+            )

@@ -38,6 +38,21 @@ class TestPEPool:
         with pytest.raises(ValueError):
             PEPool(0)
 
+    def test_bounded_dispatch_rotates_for_balance(self):
+        pool = PEPool(4)
+        for _ in range(4):
+            pool.dispatch(["work"])
+        # One item per step lands on a different PE each time, not pe0 always.
+        assert pool.load_balance() == [1, 1, 1, 1]
+
+    def test_rotation_preserves_per_step_accounting(self):
+        pool = PEPool(3)
+        assert pool.dispatch(["a", "b"]) == ["a", "b"]
+        assert pool.dispatch(["c", "d"]) == ["c", "d"]
+        assert pool.profile == [2, 2]
+        assert pool.total_executed == 4
+        assert sorted(pool.load_balance()) == [1, 1, 2]
+
 
 class TestMetrics:
     def test_from_profile(self):
