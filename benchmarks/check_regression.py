@@ -39,6 +39,9 @@ DEFAULT_TOLERANCE = 0.25
 TOLERANCE_ENV = "BENCH_GATE_TOLERANCE"
 
 #: Record fields that identify a measurement (everything non-metric).
+#: ``backend``/``shards`` key the sharded-runtime records
+#: (``BENCH_sharded_runtime.json``: one record per workload x backend x size
+#: at a fixed shard count).
 IDENTITY_FIELDS = (
     "workload",
     "engine",
@@ -46,6 +49,7 @@ IDENTITY_FIELDS = (
     "phase",
     "backend",
     "size",
+    "shards",
     "workers",
     "partitions",
     "num_pes",

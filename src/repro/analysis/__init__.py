@@ -26,8 +26,15 @@ from .parallelism import (
     measured_parallelism,
 )
 from .report import format_dict, format_profile, format_table, section
+from .sharding import (
+    ShardLoadReport,
+    communication_volume,
+    shard_balance,
+    shard_load_report,
+)
 
 __all__ = [
+    "shard_balance", "communication_volume", "shard_load_report", "ShardLoadReport",
     "critical_path_length", "graph_width",
     "dataflow_parallelism", "gamma_parallelism", "measured_parallelism",
     "compare_parallelism", "ParallelismComparison",

@@ -102,6 +102,7 @@ def _make_cmp(fn: Callable[[Any, Any], bool], node: Compare) -> Callable[[Any, A
     """Comparison wrapper preserving ``Compare.evaluate``'s error semantics."""
 
     def compare(a, b):
+        """Apply the comparison, mapping ``TypeError`` to ``EvaluationError``."""
         try:
             return bool(fn(a, b))
         except TypeError as exc:
@@ -223,6 +224,7 @@ def compile_expr(expr: Expr) -> Callable[[Binding], Any]:
     fn = _compile_env_expr(expr)
 
     def evaluate(env: Binding) -> Any:
+        """Evaluate under ``env``, surfacing unbound variables uniformly."""
         try:
             return fn(env)
         except KeyError as exc:
@@ -259,6 +261,7 @@ class MatchPlan:
 
     @property
     def slot_of(self) -> Dict[str, int]:
+        """Mapping from variable name to its fixed slot index."""
         return {name: i for i, name in enumerate(self.slots)}
 
 
@@ -296,6 +299,7 @@ def _plan(reaction: Reaction) -> MatchPlan:
         frozen_bound = frozenset(bound)
 
         def rank(i: int) -> Tuple[int, int, int]:
+            """Selectivity key: known-label, then known-tag, then declaration order."""
             pat = patterns[i]
             label_known = _field_known(pat.label, frozen_bound)
             tag_known = _field_known(pat.tag, frozen_bound)
@@ -329,11 +333,14 @@ def _fields_could_collide(a: ElementPattern, b: ElementPattern) -> bool:
 
 
 class _SourceWriter:
+    """Indentation-aware line accumulator for generated matcher source."""
+
     def __init__(self) -> None:
         self.lines: List[str] = []
         self.indent = 0
 
     def w(self, line: str) -> None:
+        """Append ``line`` at the current indentation level."""
         self.lines.append("    " * self.indent + line)
 
 
@@ -356,9 +363,11 @@ def _emit_matcher_body(
     bound: set = set()
 
     def slot_ref(name: str) -> str:
+        """Local-variable name of the slot holding reaction variable ``name``."""
         return f"s{slot_of[name]}"
 
     def condition_fragment(expr: Expr) -> str:
+        """Lower ``expr`` to a source fragment (closure-composition fallback)."""
         try:
             return _lower(expr, slot_ref, consts, helpers)
         except _Unsupported:
@@ -369,6 +378,7 @@ def _emit_matcher_body(
             return f"H[{len(helpers) - 1}]({{{env}}})"
 
     def const_ref(value: Any) -> str:
+        """Intern ``value`` in the constant pool; returns its reference."""
         consts.append(value)
         return f"C[{len(consts) - 1}]"
 
@@ -529,9 +539,11 @@ def _emit_collect_body(
     arity = len(patterns)
 
     def slot_ref(name: str) -> str:
+        """Local-variable name of the slot holding reaction variable ``name``."""
         return f"s{slot_of[name]}"
 
     def condition_fragment(expr: Expr) -> str:
+        """Lower ``expr`` to a source fragment (closure-composition fallback)."""
         try:
             return _lower(expr, slot_ref, consts, helpers)
         except _Unsupported:
@@ -542,6 +554,7 @@ def _emit_collect_body(
             return f"H[{len(helpers) - 1}]({{{env}}})"
 
     def const_ref(value: Any) -> str:
+        """Intern ``value`` in the constant pool; returns its reference."""
         consts.append(value)
         return f"C[{len(consts) - 1}]"
 
@@ -796,6 +809,7 @@ def _compile_template(template: ElementTemplate) -> Callable[[Binding], Element]
                 return lambda env: Element(value=value_fn(env), label=label, tag=tag)
 
     def produce(env: Binding) -> Element:
+        """Instantiate the template under ``env`` (validated label/tag)."""
         label = label_fn(env)
         if not isinstance(label, str):
             raise TypeError(f"produced label must be a string, got {label!r}")
@@ -824,6 +838,7 @@ class CompiledMatch(Match):
     compiled: Optional["CompiledReaction"] = None
 
     def produced(self) -> List[Element]:
+        """The elements inserted when this match fires (compiled productions)."""
         return self.compiled.apply(self.binding)
 
 

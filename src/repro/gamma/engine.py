@@ -124,6 +124,7 @@ class ExecutionResult:
         return self.final.restrict_labels(labels)
 
     def parallelism_profile(self) -> List[int]:
+        """Firings per step over the trace (the run's parallelism width)."""
         return self.trace.parallelism_profile()
 
 

@@ -51,7 +51,30 @@ from ..multiset.multiset import Multiset
 from .matching import Match, Matcher
 from .reaction import Reaction
 
-__all__ = ["ReactionScheduler", "greedy_disjoint_matches"]
+__all__ = ["ReactionScheduler", "greedy_disjoint_matches", "reaction_footprints"]
+
+
+def reaction_footprints(
+    reactions: Sequence[Reaction],
+) -> List[Tuple[frozenset, bool]]:
+    """Consumed-label footprint of each reaction, as ``(labels, wildcard)``.
+
+    For every reaction returns the frozen set of labels its replace list can
+    consume plus a *wildcard* flag: ``True`` when the reaction binds a
+    variable label and therefore depends on every label in the multiset (its
+    ``labels`` set is then only the statically known part).  This is the same
+    footprint the scheduler uses for parked-reaction wakeups; the sharded
+    runtime derives its migration routing tables from it
+    (:class:`repro.runtime.sharding.RoutingTable`), so scheduling and routing
+    always agree on which labels a reaction can touch.  Footprints match what
+    compilation resolves (:attr:`~repro.gamma.compiled.CompiledReaction.footprint`
+    is ``reaction.consumed_labels()`` computed at compile time), so the
+    result is valid for compiled and interpreted probing alike.
+    """
+    return [
+        (reaction.consumed_labels(), reaction.has_variable_label())
+        for reaction in reactions
+    ]
 
 
 class ReactionScheduler:

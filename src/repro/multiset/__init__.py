@@ -10,5 +10,14 @@ This subpackage is the data layer shared by both computational models:
 from .element import Element, make_elements
 from .index import LabelTagIndex
 from .multiset import Multiset
+from .partition import hash_partition, home_of, partition_counts
 
-__all__ = ["Element", "make_elements", "Multiset", "LabelTagIndex"]
+__all__ = [
+    "Element",
+    "make_elements",
+    "Multiset",
+    "LabelTagIndex",
+    "home_of",
+    "partition_counts",
+    "hash_partition",
+]

@@ -295,6 +295,46 @@ class Multiset:
             for listener in listeners:
                 listener(element, count)
 
+    def add_counts(self, pairs: Iterable[Tuple["Element", int]]) -> None:
+        """Insert a batch of ``(element, count)`` pairs.
+
+        The batched ingest path of cross-partition transfers: one listener
+        notification is emitted per pair (``delta`` = the pair's count), so an
+        attached index absorbs a whole migration batch in one pass per
+        distinct element instead of one per copy.
+        """
+        for element, count in pairs:
+            self.add(element, count)
+
+    def drain_labels(self, labels: Iterable[str]) -> List[Tuple[Element, int]]:
+        """Remove and return every element whose label is in ``labels``.
+
+        Returns ``(element, count)`` pairs in the multiset's insertion order —
+        the batched extraction half of a cross-partition transfer; feed the
+        result to another partition's :meth:`add_counts`.  One change
+        notification is emitted per distinct element (``delta`` = the full
+        multiplicity).  Labels with no elements are skipped silently.
+        """
+        drained: List[Tuple[Element, int]] = []
+        for label in labels:
+            bucket = self._by_label.get(label)
+            if not bucket:
+                continue
+            drained.extend(bucket.items())
+        for element, count in drained:
+            self.remove(element, count)
+        return drained
+
+    def label_counts(self) -> Dict[str, int]:
+        """Copies present per label (the shard-routing histogram).
+
+        The mapping is a snapshot: ``{label: total copies with that label}``,
+        in label insertion order.
+        """
+        return {
+            label: sum(bucket.values()) for label, bucket in self._by_label.items()
+        }
+
     def clear(self) -> None:
         """Remove every element."""
         removed = list(self._counts.items()) if self._listeners else []

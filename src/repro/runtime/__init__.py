@@ -1,8 +1,12 @@
-"""Simulated parallel runtimes for both computational models.
+"""Parallel and distributed runtimes for both computational models.
 
 * :class:`DataflowSimulator` — step-synchronous multi-PE execution of dataflow graphs,
 * :class:`GammaSimulator` — step-synchronous PE-bounded parallel Gamma execution,
-* :class:`DistributedGammaRuntime` — partitioned (IoT-style) distributed multiset,
+* :class:`DistributedGammaRuntime` — partitioned distributed multiset execution
+  (legacy simulated loop, or the sharded subsystem via
+  ``backend="inprocess"``/``"multiprocessing"``),
+* :class:`ShardCoordinator` — direct access to the sharded protocol
+  (:mod:`repro.runtime.sharding`),
 * :class:`PEPool` / :class:`ParallelRunMetrics` — the shared cost model.
 """
 
@@ -11,11 +15,13 @@ from .distributed import DistributedGammaRuntime, DistributedMultiset, Distribut
 from .gamma_simulator import GammaSimulationResult, GammaSimulator, simulate_program
 from .metrics import ParallelRunMetrics, speedup_curve
 from .pe import PEPool, ProcessingElement
+from .sharding import ShardCoordinator, ShardedRunResult
 
 __all__ = [
     "DataflowSimulator", "DataflowSimulationResult", "simulate_graph",
     "GammaSimulator", "GammaSimulationResult", "simulate_program",
     "DistributedGammaRuntime", "DistributedMultiset", "DistributedRunResult",
+    "ShardCoordinator", "ShardedRunResult",
     "ParallelRunMetrics", "speedup_curve",
     "PEPool", "ProcessingElement",
 ]

@@ -1,25 +1,32 @@
-"""Simulated distributed multiset runtime (the paper's IoT motivation).
+"""Distributed multiset runtime (the paper's IoT motivation).
 
 The paper motivates the equivalence with the possibility of executing dataflow
 programs "in a distributed multiset environment", e.g. an Internet-of-Things
-deployment where the multiset is spread over many small devices.  No such
-hardware is available here, so this module provides a *simulated* distributed
-runtime that exercises the same code path:
+deployment where the multiset is spread over many small devices.  This module
+is the runtime's front door; it offers three backends through
+:class:`DistributedGammaRuntime`:
 
-* the multiset is hash-partitioned over ``num_partitions`` workers;
-* each step, every worker fires reactions whose elements are entirely local;
-* a worker that cannot find a local match *migrates* elements from a randomly
-  chosen peer (one message per element), modelling the data movement cost of a
-  real deployment;
-* termination is detected by a global round in which no worker finds a local
-  match and the union of all partitions enables no reaction (the detection
-  round is charged ``num_partitions`` messages).
+* ``backend="legacy"`` (default) — the original step-synchronous *simulation*:
+  hash-partitioned workers fire at most ``firings_per_worker_step`` local
+  matches per global step, starving workers migrate one element at a time
+  from random peers, and termination is detected by rebuilding the union
+  multiset and probing it.  Kept as the cost-model baseline of experiment
+  E9(d) and of ``BENCH_sharded_runtime``.
+* ``backend="inprocess"`` / ``backend="multiprocessing"`` — the real sharded
+  execution subsystem (:mod:`repro.runtime.sharding`): every shard runs its
+  own compiled :class:`~repro.gamma.scheduler.ReactionScheduler`, fires
+  maximal local supersteps through the codegenned collectors and batched
+  rewrites, and participates in a superstep-barrier protocol with
+  footprint-routed batched migrations, work stealing, and two-phase global
+  quiescence detection.  The multiprocessing backend runs shard workers as
+  OS processes exchanging pickled element batches over queues.
 
-Each worker holds a persistent :class:`~repro.gamma.scheduler.ReactionScheduler`
-over its partition, so local matching runs on an incrementally maintained
-index — migrations and firings flow through the multiset change notifications
-and re-arm exactly the reactions whose consumed labels were touched, instead
-of rebuilding a matcher per worker per step.
+Each legacy worker holds a persistent
+:class:`~repro.gamma.scheduler.ReactionScheduler` over its partition, so
+local matching runs on an incrementally maintained index — migrations and
+firings flow through the multiset change notifications and re-arm exactly the
+reactions whose consumed labels were touched, instead of rebuilding a matcher
+per worker per step.
 
 The result reports firings, steps, migrations and messages, so the partition
 sweep of experiment E9(d) can show the locality/communication trade-off.
@@ -37,8 +44,14 @@ from ..gamma.program import GammaProgram
 from ..gamma.scheduler import ReactionScheduler
 from ..multiset.element import Element
 from ..multiset.multiset import Multiset
+from ..multiset.partition import home_of
 
 __all__ = ["DistributedMultiset", "DistributedRunResult", "DistributedGammaRuntime"]
+
+#: Sentinel distinguishing "caller never passed firings_per_worker_step"
+#: (sharded backends then default to maximal local batches) from an explicit
+#: cap, including an explicit 1.
+_UNSET_FIRINGS = object()
 
 
 class DistributedMultiset:
@@ -58,9 +71,11 @@ class DistributedMultiset:
         ``(value, label, tag)`` triple, **not** the builtin ``hash()``: the
         builtin salts strings per process (``PYTHONHASHSEED``), and a
         distributed deployment must route an element to the same home from
-        every node and every restart.
+        every node and every restart.  The placement function is shared with
+        the sharded runtime (:func:`repro.multiset.partition.home_of`), so
+        both runtimes agree on every element's home.
         """
-        return element.stable_hash() % self.num_partitions
+        return home_of(element, self.num_partitions)
 
     def add(self, element: Element, partition: Optional[int] = None) -> int:
         """Add ``element`` (to its home partition unless ``partition`` is given)."""
@@ -111,12 +126,34 @@ class DistributedRunResult:
 
     @property
     def communication_ratio(self) -> float:
-        """Messages per firing — the locality indicator reported by E9(d)."""
-        return self.messages / self.firings if self.firings else 0.0
+        """Messages per firing — the locality indicator reported by E9(d).
+
+        Division semantics for the zero-firing edge cases: a run that fired
+        nothing but still exchanged messages (e.g. an already-stable initial
+        multiset, whose termination detection costs one message round) has
+        *infinitely bad* locality and reports ``float("inf")`` — the earlier
+        behavior reported ``0.0``, which read as perfect locality.  A run
+        with neither firings nor messages reports ``0.0``.
+        """
+        if self.firings:
+            return self.messages / self.firings
+        return float("inf") if self.messages else 0.0
 
 
 class DistributedGammaRuntime:
-    """Step-synchronous execution of a Gamma program over a partitioned multiset."""
+    """Execution of a Gamma program over a partitioned multiset.
+
+    ``backend`` selects how the partitions execute: ``"legacy"`` (default)
+    keeps the original step-synchronous simulation; ``"inprocess"`` and
+    ``"multiprocessing"`` run the sharded subsystem
+    (:class:`repro.runtime.sharding.ShardCoordinator`) over the same
+    partitioning, returning a
+    :class:`~repro.runtime.sharding.ShardedRunResult` (a
+    :class:`DistributedRunResult` subclass, so callers read one interface).
+    """
+
+    #: Backend names accepted by :class:`DistributedGammaRuntime`.
+    BACKENDS = ("legacy", "inprocess", "multiprocessing")
 
     def __init__(
         self,
@@ -124,22 +161,42 @@ class DistributedGammaRuntime:
         num_partitions: int,
         seed: Optional[int] = None,
         max_steps: int = 1_000_000,
-        firings_per_worker_step: Optional[int] = 1,
+        firings_per_worker_step=_UNSET_FIRINGS,
         compiled: bool = True,
         local_batches: bool = False,
+        backend: str = "legacy",
     ) -> None:
-        """``local_batches=True`` switches every worker to superstep firing:
-        per global step a worker extracts a maximal disjoint set of *local*
-        matches (capped at ``firings_per_worker_step``; pass ``None`` for
-        uncapped) and applies it through one batched rewrite, instead of the
-        default one-at-a-time firing loop.  Starvation/migration and
-        termination detection are unchanged."""
-        if local_batches is False and firings_per_worker_step is None:
+        """Configure a distributed run.
+
+        ``local_batches=True`` switches every legacy worker to superstep
+        firing: per global step a worker extracts a maximal disjoint set of
+        *local* matches (capped at ``firings_per_worker_step``; pass ``None``
+        for uncapped) and applies it through one batched rewrite, instead of
+        the default one-at-a-time firing loop.  Starvation/migration and
+        termination detection are unchanged.
+
+        For the sharded backends, ``firings_per_worker_step`` becomes the
+        per-superstep firing budget.  Left unset it defaults to ``None`` —
+        maximal local batches — while the legacy default stays 1; an
+        *explicit* value (including an explicit 1) is honored by every
+        backend.  ``max_steps`` bounds the barrier rounds, and ``seed``
+        drives the shards' derived scheduler seeds.
+        """
+        if backend not in self.BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of {self.BACKENDS}"
+            )
+        self._explicit_firings = firings_per_worker_step is not _UNSET_FIRINGS
+        if not self._explicit_firings:
+            firings_per_worker_step = 1
+        if backend == "legacy" and local_batches is False and firings_per_worker_step is None:
             raise ValueError(
                 "firings_per_worker_step=None (uncapped) requires local_batches=True"
             )
         self.program = program
         self.num_partitions = num_partitions
+        self.backend = backend
+        self.seed = seed
         self.max_steps = max_steps
         self.firings_per_worker_step = firings_per_worker_step
         self.compiled = compiled
@@ -147,6 +204,15 @@ class DistributedGammaRuntime:
         self._rng = random.Random(seed)
 
     def run(self, initial: Optional[Multiset] = None) -> DistributedRunResult:
+        """Run the program over ``num_partitions`` partitions to stability.
+
+        ``initial`` defaults to the program's bundled initial multiset.
+        Raises :class:`~repro.gamma.engine.NonTerminationError` when the step
+        budget is exhausted and ``ValueError`` when no initial multiset is
+        available.
+        """
+        if self.backend != "legacy":
+            return self._run_sharded(initial)
         source = initial if initial is not None else self.program.initial
         if source is None:
             raise ValueError("an initial multiset is required")
@@ -247,6 +313,32 @@ class DistributedGammaRuntime:
             messages=messages,
             per_partition_firings=per_partition_firings,
         )
+
+    # -- sharded backends ---------------------------------------------------------------
+
+    def _run_sharded(self, initial: Optional[Multiset]) -> DistributedRunResult:
+        """Delegate to the sharded subsystem (``backend != "legacy"``).
+
+        The import is local to keep :mod:`repro.runtime.sharding` (which
+        reuses :class:`DistributedRunResult`) free of import cycles.
+        """
+        from .sharding import ShardCoordinator
+
+        # The legacy *default* (one firing per worker step) would disable
+        # superstep batching entirely, so an unset cap widens to maximal
+        # local batches; an explicit cap — including an explicit 1 — is
+        # honored as given.
+        budget = self.firings_per_worker_step if self._explicit_firings else None
+        coordinator = ShardCoordinator(
+            self.program,
+            self.num_partitions,
+            backend=self.backend,
+            seed=self.seed,
+            max_rounds=self.max_steps,
+            superstep_budget=budget,
+            compiled=self.compiled,
+        )
+        return coordinator.run(initial)
 
     # -- helpers -----------------------------------------------------------------------
 

@@ -91,3 +91,18 @@ class PEPool(Generic[WorkItem]):
     def load_balance(self) -> List[int]:
         """Work items executed per PE (empty for unbounded pools never used)."""
         return [pe.executed for pe in self.pes]
+
+    def load_imbalance(self) -> float:
+        """Max-over-mean load ratio across the pool's PEs.
+
+        ``1.0`` is a perfectly even spread; higher values mean some PEs
+        carried disproportionate work.  Pools that executed nothing report
+        ``1.0`` (trivially balanced).  This is the same balance statistic
+        :func:`repro.analysis.shard_balance` computes for shard loads, so PE
+        pools and shard workers are comparable on one scale.
+        """
+        loads = self.load_balance()
+        total = sum(loads)
+        if not loads or not total:
+            return 1.0
+        return max(loads) * len(loads) / total

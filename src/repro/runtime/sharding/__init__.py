@@ -1,0 +1,47 @@
+"""Sharded distributed execution of Gamma programs.
+
+This package replaces the simulated distributed loop of
+:mod:`repro.runtime.distributed` with a real sharded execution subsystem
+built on the compiled scheduling stack (PRs 1–3):
+
+* :class:`ShardWorker` — one shard: a local partition of the multiset driven
+  by its own compiled :class:`~repro.gamma.scheduler.ReactionScheduler`,
+  firing maximal local supersteps through the codegenned collectors and
+  :meth:`~repro.multiset.multiset.Multiset.rewrite_batch_unchecked`;
+* :class:`RoutingTable` — per-label migration routing derived from reaction
+  footprints (labels co-consumed by one reaction share a home shard), which
+  makes cross-shard matches resolvable by batched element exchange;
+* :class:`QuiescenceDetector` — two-phase global-termination detection: the
+  system is quiescent exactly when every shard is locally stable, no
+  migration is in flight, and the routing plan is empty (all consumable
+  labels co-located, so no cross-shard match can exist);
+* :class:`ShardCoordinator` — the superstep-barrier protocol tying the above
+  together: local superstep rounds, work-stealing rebalancing driven by
+  per-shard load, exchange rounds, termination;
+* two interchangeable backends — :class:`InProcessBackend` (shards as
+  objects, deterministic traces for differential testing) and
+  :class:`MultiprocessingBackend` (shard workers as OS processes exchanging
+  pickled element batches over queues).
+
+Entry points: :class:`ShardCoordinator` directly, or
+``DistributedGammaRuntime(..., backend="inprocess"|"multiprocessing")``.
+"""
+
+from .coordinator import ShardCoordinator, ShardedRunResult
+from .inprocess import InProcessBackend
+from .mp import MultiprocessingBackend
+from .quiescence import QuiescenceDetector
+from .routing import RoutingTable, Transfer
+from .shard import LocalReport, ShardWorker
+
+__all__ = [
+    "ShardCoordinator",
+    "ShardedRunResult",
+    "ShardWorker",
+    "LocalReport",
+    "RoutingTable",
+    "Transfer",
+    "QuiescenceDetector",
+    "InProcessBackend",
+    "MultiprocessingBackend",
+]

@@ -1,0 +1,297 @@
+"""Shard coordinator: the superstep-barrier protocol over N shard workers.
+
+The coordinator owns the global control loop; shards own all element state.
+One *round* of the protocol:
+
+1. **local supersteps** — every shard fires maximal disjoint local match
+   batches through its compiled scheduler until locally stable (or a cap);
+   the multiprocessing backend overlaps the shards on real cores;
+2. **rebalancing** — if the round made progress but some shards starved
+   while others are heavily loaded, the starving shards *steal* a batch of
+   routable elements from the most-loaded donor (load metrics come from the
+   shard reports; transfers are batched, never one message per element);
+3. **exchange** — once no shard can fire locally, the routing table derived
+   from reaction footprints plans batched migrations that co-locate every
+   consumable label at its home shard, enabling cross-shard matches;
+4. **termination** — the two-phase quiescence check: all shards locally
+   stable, no migration in flight, and an empty exchange plan (which
+   certifies that no cross-shard match exists).
+
+Determinism: given a seed (or none), the protocol makes identical decisions
+under both backends — worker scheduling uses per-shard derived seeds and the
+coordinator's policy (donor choice, batch sizes, plan order) is pure — so
+in-process and multiprocessing runs of the same program agree firing-for-
+firing, which the differential tests exploit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from ...gamma.engine import NonTerminationError
+from ...gamma.program import GammaProgram
+from ...multiset.multiset import Multiset
+from ...multiset.partition import partition_counts
+from ..distributed import DistributedRunResult
+from .inprocess import InProcessBackend
+from .mp import MultiprocessingBackend
+from .quiescence import QuiescenceDetector
+from .routing import RoutingTable
+
+__all__ = ["ShardCoordinator", "ShardedRunResult", "SHARD_BACKENDS"]
+
+#: Backend names accepted by :class:`ShardCoordinator` (and, with
+#: ``"legacy"``, by :class:`~repro.runtime.distributed.DistributedGammaRuntime`).
+SHARD_BACKENDS = ("inprocess", "multiprocessing")
+
+_BACKENDS = {
+    "inprocess": InProcessBackend,
+    "multiprocessing": MultiprocessingBackend,
+}
+
+
+@dataclass
+class ShardedRunResult(DistributedRunResult):
+    """Outcome of a sharded execution.
+
+    Extends :class:`~repro.runtime.distributed.DistributedRunResult` (so the
+    two runtimes report through one interface; ``steps`` counts barrier
+    *rounds* here) with the sharded protocol's own accounting: local
+    supersteps, exchange and steal rounds, and the final per-shard sizes.
+    """
+
+    backend: str = "inprocess"
+    rounds: int = 0
+    supersteps: int = 0
+    exchanges: int = 0
+    steals: int = 0
+    final_shard_sizes: List[int] = field(default_factory=list)
+
+
+class ShardCoordinator:
+    """Partition a Gamma run across N shard workers and drive it to quiescence.
+
+    Parameters
+    ----------
+    program:
+        The Gamma program to execute.
+    num_shards:
+        Shard count; the initial multiset is hash-partitioned over the
+        shards by :meth:`Element.stable_hash`.
+    backend:
+        ``"inprocess"`` (default) or ``"multiprocessing"`` — see
+        :data:`SHARD_BACKENDS`.
+    seed:
+        Optional run seed; forwarded to the shards' schedulers through
+        per-shard derived seeds.  ``None`` selects fully deterministic
+        declaration-order scheduling.
+    max_rounds:
+        Barrier-round budget; exceeded budgets raise
+        :class:`~repro.gamma.engine.NonTerminationError`.
+    max_supersteps:
+        Global budget on shard supersteps (summed over shards), the
+        divergence guard for programs that always have local matches.
+    superstep_budget:
+        Cap on firings per local superstep (``None`` = maximal batches).
+    round_supersteps:
+        Local supersteps each shard may fire per barrier round (default 1 —
+        lockstep supersteps, which is what lets the load-metric rebalancing
+        observe starvation early; ``None`` runs every shard to its local
+        fixpoint per round, minimizing barriers at the cost of rebalancing
+        opportunities).
+    compiled:
+        Compiled schedulers (default) or the interpreted baseline.
+    superstep:
+        ``True`` fires local supersteps through the compiled collectors;
+        ``False`` fires one match at a time per shard round.
+    work_stealing:
+        Enable load-driven rebalancing of starving shards (default on).
+    steal_threshold:
+        A starving shard steals only from a donor holding more than
+        ``steal_threshold`` times its own load (plus one).
+    """
+
+    def __init__(
+        self,
+        program: GammaProgram,
+        num_shards: int,
+        backend: str = "inprocess",
+        seed: Optional[int] = None,
+        max_rounds: int = 1_000_000,
+        max_supersteps: int = 1_000_000,
+        superstep_budget: Optional[int] = None,
+        round_supersteps: Optional[int] = 1,
+        compiled: bool = True,
+        superstep: bool = True,
+        work_stealing: bool = True,
+        steal_threshold: float = 2.0,
+    ) -> None:
+        if num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        if backend not in _BACKENDS:
+            raise ValueError(
+                f"unknown shard backend {backend!r}; expected one of {SHARD_BACKENDS}"
+            )
+        if max_rounds <= 0 or max_supersteps <= 0:
+            raise ValueError("round/superstep budgets must be positive")
+        if round_supersteps is not None and round_supersteps <= 0:
+            raise ValueError("round_supersteps must be positive (or None)")
+        if steal_threshold < 1.0:
+            raise ValueError("steal_threshold must be >= 1.0")
+        self.program = program
+        self.num_shards = num_shards
+        self.backend_name = backend
+        self.seed = seed
+        self.max_rounds = max_rounds
+        self.max_supersteps = max_supersteps
+        self.superstep_budget = superstep_budget
+        self.round_supersteps = round_supersteps
+        self.compiled = compiled
+        self.superstep = superstep
+        self.work_stealing = work_stealing
+        self.steal_threshold = steal_threshold
+        self.routing = RoutingTable(program.reactions, num_shards)
+
+    # -- execution ----------------------------------------------------------------
+    def run(self, initial: Optional[Multiset] = None) -> ShardedRunResult:
+        """Execute the program to global quiescence; returns the run result.
+
+        ``initial`` defaults to the program's bundled initial multiset.
+        Raises :class:`NonTerminationError` when a budget is exhausted and
+        ``ValueError`` when no initial multiset is available.
+        """
+        source = initial if initial is not None else self.program.initial
+        if source is None:
+            raise ValueError("an initial multiset is required")
+
+        backend = _BACKENDS[self.backend_name](
+            self.program.reactions,
+            self.num_shards,
+            self.routing,
+            seed=self.seed,
+            compiled=self.compiled,
+            superstep=self.superstep,
+        )
+        detector = QuiescenceDetector(self.num_shards)
+        rounds = 0
+        firings = 0
+        migrations = 0
+        messages = 0
+        supersteps = 0
+        exchanges = 0
+        steals = 0
+        per_shard_firings = [0] * self.num_shards
+        try:
+            backend.load(partition_counts(source, self.num_shards))
+            messages += self.num_shards
+
+            while True:
+                if rounds >= self.max_rounds:
+                    raise NonTerminationError(
+                        f"sharded run exceeded {self.max_rounds} rounds "
+                        f"on {self.program.name!r}"
+                    )
+                remaining = self.max_supersteps - supersteps
+                if remaining <= 0:
+                    raise NonTerminationError(
+                        f"sharded run exceeded {self.max_supersteps} supersteps "
+                        f"on {self.program.name!r}"
+                    )
+                round_cap = (
+                    remaining
+                    if self.round_supersteps is None
+                    else min(self.round_supersteps, remaining)
+                )
+                reports = backend.superstep_all(
+                    max_supersteps=round_cap, budget=self.superstep_budget
+                )
+                messages += self.num_shards
+                rounds += 1
+                fired = 0
+                for report in reports:
+                    fired += report.fired
+                    per_shard_firings[report.shard] += report.fired
+                    supersteps += report.supersteps
+                    detector.record_local(report.shard, report.stable)
+                firings += fired
+
+                if fired:
+                    if self.work_stealing:
+                        moved, batches = self._rebalance(backend, reports, detector)
+                        migrations += moved
+                        messages += batches
+                        steals += batches
+                    continue
+
+                # Every shard is locally stable: plan the exchange.
+                histograms = backend.label_counts()
+                messages += self.num_shards
+                plan = self.routing.migration_plan(histograms)
+                if detector.check(plan_empty=not plan):
+                    # The quiescence-round histograms are the final
+                    # distribution — no further mutation happens.
+                    final_sizes = [sum(c.values()) for c in histograms]
+                    break
+                moved, batches = backend.execute_transfers(plan, detector)
+                if not moved:
+                    raise RuntimeError(
+                        "exchange plan moved nothing while matches may remain "
+                        "(sharding protocol invariant violated)"
+                    )
+                migrations += moved
+                messages += batches
+                exchanges += 1
+
+            final = backend.collect_final()
+            messages += self.num_shards
+            return ShardedRunResult(
+                final=final,
+                steps=rounds,
+                firings=firings,
+                migrations=migrations,
+                messages=messages,
+                per_partition_firings=per_shard_firings,
+                backend=self.backend_name,
+                rounds=rounds,
+                supersteps=supersteps,
+                exchanges=exchanges,
+                steals=steals,
+                final_shard_sizes=final_sizes,
+            )
+        finally:
+            backend.stop()
+
+    # -- rebalancing -------------------------------------------------------------
+    def _rebalance(self, backend, reports, detector) -> tuple:
+        """Steal routable elements for shards that starved this round.
+
+        Policy (pure, deterministic): each shard that fired nothing pulls
+        from the currently most-loaded shard, provided the donor holds more
+        than ``steal_threshold * (thief_size + 1)`` copies; the batch is a
+        quarter of the load gap (at least one copy).  Returns
+        ``(copies_moved, batches)``.
+        """
+        sizes = {report.shard: report.size for report in reports}
+        starving = [report.shard for report in reports if report.fired == 0]
+        moved_total = 0
+        batches = 0
+        for thief in starving:
+            donor = max(
+                (shard for shard in sizes if shard != thief),
+                key=lambda shard: (sizes[shard], -shard),
+                default=None,
+            )
+            if donor is None:
+                break
+            if sizes[donor] <= self.steal_threshold * (sizes[thief] + 1):
+                continue
+            batch = max(1, (sizes[donor] - sizes[thief]) // 4)
+            moved = backend.steal(donor, thief, batch, detector)
+            if not moved:
+                continue
+            sizes[donor] -= moved
+            sizes[thief] += moved
+            moved_total += moved
+            batches += 1
+        return moved_total, batches

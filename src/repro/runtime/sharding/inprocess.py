@@ -1,0 +1,123 @@
+"""In-process shard backend: shards as plain objects.
+
+Runs every :class:`~repro.runtime.sharding.shard.ShardWorker` in the calling
+process.  There is no physical parallelism, but the backend executes the
+*same* coordinator protocol (superstep rounds, routed exchanges, stealing,
+two-phase quiescence) with deterministic, seed-reproducible traces — which is
+what the differential property tests pin against the sequential compiled
+engine, and what makes multiprocessing-backend behavior explainable: both
+backends make identical scheduling decisions for the same seed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ...gamma.reaction import Reaction
+from ...multiset.element import Element
+from ...multiset.multiset import Multiset
+from .quiescence import QuiescenceDetector
+from .routing import RoutingTable, Transfer
+from .shard import LocalReport, ShardWorker
+
+__all__ = ["InProcessBackend"]
+
+
+class InProcessBackend:
+    """Shard backend executing every worker in the coordinator's process."""
+
+    name = "inprocess"
+
+    def __init__(
+        self,
+        reactions: Sequence[Reaction],
+        num_shards: int,
+        routing: RoutingTable,
+        seed: Optional[int] = None,
+        compiled: bool = True,
+        superstep: bool = True,
+    ) -> None:
+        """Create (but do not load) ``num_shards`` local shard workers."""
+        self.routing = routing
+        self.workers: List[ShardWorker] = [
+            ShardWorker(
+                shard, reactions, seed=seed, compiled=compiled, superstep=superstep
+            )
+            for shard in range(num_shards)
+        ]
+
+    # -- protocol ----------------------------------------------------------------
+    def load(self, partitions: Sequence[Sequence[Tuple[Element, int]]]) -> None:
+        """Load the initial hash partitions into the workers (batched)."""
+        for worker, batch in zip(self.workers, partitions):
+            worker.ingest(batch)
+
+    def superstep_all(
+        self,
+        max_supersteps: Optional[int] = None,
+        budget: Optional[int] = None,
+    ) -> List[LocalReport]:
+        """Run one local round on every shard; reports in shard order."""
+        return [
+            worker.run_local(max_supersteps=max_supersteps, budget=budget)
+            for worker in self.workers
+        ]
+
+    def label_counts(self) -> List[Dict[str, int]]:
+        """Per-shard label histograms (migration-planner input)."""
+        return [worker.label_counts() for worker in self.workers]
+
+    def execute_transfers(
+        self, transfers: Sequence[Transfer], detector: QuiescenceDetector
+    ) -> Tuple[int, int]:
+        """Apply an exchange plan; returns ``(copies_moved, batches_sent)``.
+
+        Every transfer is one batched extraction plus one batched ingest, with
+        the in-flight window reported to the quiescence detector.
+        """
+        moved = 0
+        batches = 0
+        for transfer in transfers:
+            pairs = self.workers[transfer.source].extract_labels(transfer.labels)
+            if not pairs:
+                continue
+            copies = sum(count for _, count in pairs)
+            detector.migrations_started(copies)
+            batches += 1
+            self.workers[transfer.destination].ingest(pairs)
+            detector.migrations_delivered(transfer.destination, copies)
+            moved += copies
+        return moved, batches
+
+    def steal(
+        self,
+        donor: int,
+        thief: int,
+        limit: int,
+        detector: QuiescenceDetector,
+    ) -> int:
+        """Move up to ``limit`` routable copies from ``donor`` to ``thief``."""
+        pairs = self.workers[donor].extract_some(limit, self.routing)
+        if not pairs:
+            return 0
+        copies = sum(count for _, count in pairs)
+        detector.migrations_started(copies)
+        self.workers[thief].ingest(pairs)
+        detector.migrations_delivered(thief, copies)
+        return copies
+
+    def collect_final(self) -> Multiset:
+        """Union of every shard's partition (the run's final multiset)."""
+        final = Multiset()
+        for worker in self.workers:
+            final.add_counts(worker.counts())
+        return final
+
+    def sizes(self) -> List[int]:
+        """Current partition sizes (element copies per shard)."""
+        return [len(worker.multiset) for worker in self.workers]
+
+    def stop(self) -> None:
+        """Detach every worker's scheduler (idempotent)."""
+        for worker in self.workers:
+            worker.close()

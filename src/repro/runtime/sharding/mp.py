@@ -1,0 +1,286 @@
+"""Multiprocessing shard backend: shard workers as OS processes.
+
+Each shard runs a :class:`~repro.runtime.sharding.shard.ShardWorker` inside
+its own process, driven by a small command protocol over ``multiprocessing``
+queues.  Design constraints:
+
+* **nothing codegenned crosses a process boundary** — every worker process
+  compiles its own schedulers from the program's reactions;
+* **element batches travel as plain tuples** (``(value, label, tag, count)``
+  quads, see :meth:`ShardWorker.to_quads`), keeping the wire format
+  picklable on every supported interpreter regardless of how ``Element``'s
+  frozen/slots dataclass pickles;
+* **the fork start method is preferred** when the platform offers it, so the
+  reaction objects reach workers by address-space inheritance; under spawn
+  they are pickled as ordinary dataclasses.
+
+The protocol is synchronous per command but *parallel per round*: the
+coordinator broadcasts ``step`` to every worker before collecting any reply,
+so local supersteps of different shards genuinely overlap — this is the
+backend that turns the coordinator's superstep barrier into real multi-core
+execution.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue
+import traceback
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ...gamma.reaction import Reaction
+from ...multiset.element import Element
+from ...multiset.multiset import Multiset
+from .quiescence import QuiescenceDetector
+from .routing import RoutingTable, Transfer
+from .shard import LocalReport, ShardWorker
+
+__all__ = ["MultiprocessingBackend"]
+
+#: Seconds a queue read may block before the backend declares the worker dead.
+_REPLY_TIMEOUT = 300.0
+
+
+def _shard_worker_main(
+    shard: int,
+    reactions: Sequence[Reaction],
+    num_shards: int,
+    seed: Optional[int],
+    compiled: bool,
+    superstep: bool,
+    commands: "multiprocessing.Queue",
+    replies: "multiprocessing.Queue",
+) -> None:
+    """Worker-process entry point: serve shard commands until ``stop``.
+
+    Replies are ``(kind, payload)`` tuples; any exception is reported as an
+    ``("error", traceback_text)`` reply before the process exits, so the
+    coordinator fails loudly instead of deadlocking on a silent worker death.
+    """
+    try:
+        worker = ShardWorker(
+            shard, reactions, seed=seed, compiled=compiled, superstep=superstep
+        )
+        routing = RoutingTable(reactions, num_shards)
+        while True:
+            command, payload = commands.get()
+            if command == "stop":
+                worker.close()
+                replies.put(("stopped", shard))
+                return
+            if command == "load" or command == "ingest":
+                copies = worker.ingest(ShardWorker.from_quads(payload))
+                replies.put(("ok", copies))
+            elif command == "step":
+                max_supersteps, budget = payload
+                report = worker.run_local(max_supersteps=max_supersteps, budget=budget)
+                replies.put(
+                    (
+                        "report",
+                        (
+                            report.shard,
+                            report.fired,
+                            report.supersteps,
+                            report.size,
+                            report.stable,
+                        ),
+                    )
+                )
+            elif command == "labels":
+                replies.put(("labels", worker.label_counts()))
+            elif command == "extract_labels":
+                pairs = worker.extract_labels(payload)
+                replies.put(("batch", ShardWorker.to_quads(pairs)))
+            elif command == "extract_some":
+                pairs = worker.extract_some(payload, routing)
+                replies.put(("batch", ShardWorker.to_quads(pairs)))
+            elif command == "snapshot":
+                replies.put(("batch", ShardWorker.to_quads(worker.counts())))
+            else:  # pragma: no cover - protocol bug
+                raise ValueError(f"unknown shard command {command!r}")
+    except BaseException:
+        replies.put(("error", traceback.format_exc()))
+        raise
+
+
+class MultiprocessingBackend:
+    """Shard backend running every worker in its own OS process."""
+
+    name = "multiprocessing"
+
+    def __init__(
+        self,
+        reactions: Sequence[Reaction],
+        num_shards: int,
+        routing: RoutingTable,
+        seed: Optional[int] = None,
+        compiled: bool = True,
+        superstep: bool = True,
+    ) -> None:
+        """Spawn ``num_shards`` worker processes (not yet loaded).
+
+        Workers are started eagerly so construction fails fast when the
+        platform cannot create processes at all.
+        """
+        self.routing = routing
+        self.num_shards = num_shards
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+        self._commands = [context.Queue() for _ in range(num_shards)]
+        self._replies = [context.Queue() for _ in range(num_shards)]
+        self._processes = [
+            context.Process(
+                target=_shard_worker_main,
+                args=(
+                    shard,
+                    tuple(reactions),
+                    num_shards,
+                    seed,
+                    compiled,
+                    superstep,
+                    self._commands[shard],
+                    self._replies[shard],
+                ),
+                daemon=True,
+            )
+            for shard in range(num_shards)
+        ]
+        for process in self._processes:
+            process.start()
+        self._stopped = False
+
+    # -- plumbing ----------------------------------------------------------------
+    def _send(self, shard: int, command: str, payload: Any = None) -> None:
+        self._commands[shard].put((command, payload))
+
+    def _recv(self, shard: int, expected: str) -> Any:
+        try:
+            kind, payload = self._replies[shard].get(timeout=_REPLY_TIMEOUT)
+        except queue.Empty:
+            alive = self._processes[shard].is_alive()
+            self.stop()
+            raise RuntimeError(
+                f"shard {shard} worker unresponsive for {_REPLY_TIMEOUT:.0f}s "
+                f"awaiting {expected!r} reply "
+                f"(process {'alive' if alive else 'dead'})"
+            ) from None
+        if kind == "error":
+            self.stop()
+            raise RuntimeError(f"shard {shard} worker failed:\n{payload}")
+        if kind != expected:  # pragma: no cover - protocol bug
+            raise RuntimeError(
+                f"shard {shard}: expected {expected!r} reply, got {kind!r}"
+            )
+        return payload
+
+    # -- protocol ----------------------------------------------------------------
+    def load(self, partitions: Sequence[Sequence[Tuple[Element, int]]]) -> None:
+        """Ship the initial hash partitions to the workers (one batch each)."""
+        for shard, batch in enumerate(partitions):
+            self._send(shard, "load", ShardWorker.to_quads(batch))
+        for shard in range(self.num_shards):
+            self._recv(shard, "ok")
+
+    def superstep_all(
+        self,
+        max_supersteps: Optional[int] = None,
+        budget: Optional[int] = None,
+    ) -> List[LocalReport]:
+        """Run one local round on every shard concurrently; reports in shard order.
+
+        The ``step`` command is broadcast to every worker before any reply is
+        read, so the shards' local supersteps execute in parallel across
+        cores.
+        """
+        for shard in range(self.num_shards):
+            self._send(shard, "step", (max_supersteps, budget))
+        reports = []
+        for shard in range(self.num_shards):
+            fields = self._recv(shard, "report")
+            reports.append(LocalReport(*fields))
+        return reports
+
+    def label_counts(self) -> List[Dict[str, int]]:
+        """Per-shard label histograms (migration-planner input)."""
+        for shard in range(self.num_shards):
+            self._send(shard, "labels")
+        return [self._recv(shard, "labels") for shard in range(self.num_shards)]
+
+    def execute_transfers(
+        self, transfers: Sequence[Transfer], detector: QuiescenceDetector
+    ) -> Tuple[int, int]:
+        """Apply an exchange plan; returns ``(copies_moved, batches_sent)``.
+
+        Extractions are broadcast first (all sources drain concurrently),
+        then each batch is forwarded to its destination — the coordinator is
+        the switch fabric; batches never travel worker-to-worker directly.
+        """
+        for transfer in transfers:
+            self._send(transfer.source, "extract_labels", list(transfer.labels))
+        moved = 0
+        batches = 0
+        deliveries: List[Tuple[int, int]] = []
+        for transfer in transfers:
+            quads = self._recv(transfer.source, "batch")
+            if not quads:
+                continue
+            copies = sum(count for _, _, _, count in quads)
+            detector.migrations_started(copies)
+            self._send(transfer.destination, "ingest", quads)
+            deliveries.append((transfer.destination, copies))
+            batches += 1
+            moved += copies
+        for destination, copies in deliveries:
+            self._recv(destination, "ok")
+            detector.migrations_delivered(destination, copies)
+        return moved, batches
+
+    def steal(
+        self,
+        donor: int,
+        thief: int,
+        limit: int,
+        detector: QuiescenceDetector,
+    ) -> int:
+        """Move up to ``limit`` routable copies from ``donor`` to ``thief``."""
+        self._send(donor, "extract_some", limit)
+        quads = self._recv(donor, "batch")
+        if not quads:
+            return 0
+        copies = sum(count for _, _, _, count in quads)
+        detector.migrations_started(copies)
+        self._send(thief, "ingest", quads)
+        self._recv(thief, "ok")
+        detector.migrations_delivered(thief, copies)
+        return copies
+
+    def collect_final(self) -> Multiset:
+        """Union of every shard's partition (the run's final multiset)."""
+        for shard in range(self.num_shards):
+            self._send(shard, "snapshot")
+        final = Multiset()
+        for shard in range(self.num_shards):
+            final.add_counts(ShardWorker.from_quads(self._recv(shard, "batch")))
+        return final
+
+    def stop(self) -> None:
+        """Terminate every worker process (idempotent)."""
+        if self._stopped:
+            return
+        self._stopped = True
+        for shard, process in enumerate(self._processes):
+            if process.is_alive():
+                try:
+                    self._commands[shard].put(("stop", None))
+                except (OSError, ValueError):  # pragma: no cover - teardown race
+                    pass
+        for process in self._processes:
+            process.join(timeout=10)
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.terminate()
+                process.join(timeout=10)
+        for queue in (*self._commands, *self._replies):
+            queue.close()
+            queue.cancel_join_thread()

@@ -1,0 +1,99 @@
+"""Two-phase global-quiescence detection for the sharded runtime.
+
+Detecting termination of a distributed rewriting system needs more than "no
+shard fired this round": a shard may be locally stable while a migration that
+would enable it is still in flight, or while a cross-shard match exists that
+no single shard can see.  The detector below implements the classic
+two-phase discipline:
+
+* **phase 1 (local):** every shard reports locally stable (its scheduler
+  found no enabled match against its partition) *and* no migration batch is
+  in flight (everything sent has been ingested);
+* **phase 2 (global):** no cross-shard match exists.  With footprint-based
+  routing this has a cheap certificate: the migration plan over the current
+  label histograms is empty, meaning every consumable label is fully
+  co-located at its home shard — any global match would then be local to
+  some shard, contradicting phase 1.
+
+Any local mutation (a firing, an ingested batch) invalidates phase 1 for the
+affected shard, so callers re-report local stability every round; the
+coordinator only declares termination when both phases hold in the same
+barrier round.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+__all__ = ["QuiescenceDetector"]
+
+
+class QuiescenceDetector:
+    """Tracks per-shard local stability and in-flight migrations.
+
+    The coordinator drives it synchronously: :meth:`record_local` after every
+    shard report, :meth:`migrations_started` / :meth:`migrations_delivered`
+    around every transfer, and :meth:`check` at the barrier with the current
+    migration plan's emptiness.
+    """
+
+    def __init__(self, num_shards: int) -> None:
+        """Create a detector for ``num_shards`` shards (all initially unstable)."""
+        if num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        self.num_shards = num_shards
+        self._stable: List[bool] = [False] * num_shards
+        self._in_flight = 0
+
+    # -- phase 1 inputs -----------------------------------------------------------
+    def record_local(self, shard: int, stable: bool) -> None:
+        """Record shard ``shard``'s local verdict for this round.
+
+        ``stable=True`` means the shard's scheduler proved no local match
+        enabled; any ingest or firing after the report must be followed by a
+        fresh ``record_local(shard, False)`` (the coordinator does this when
+        delivering migration batches).
+        """
+        self._stable[shard] = stable
+
+    def migrations_started(self, copies: int) -> None:
+        """Note that ``copies`` element copies left a shard (now in flight)."""
+        if copies < 0:
+            raise ValueError("copies must be non-negative")
+        self._in_flight += copies
+
+    def migrations_delivered(self, shard: int, copies: int) -> None:
+        """Note that ``copies`` copies were ingested by ``shard``.
+
+        Delivery mutates the receiving shard, so its phase-1 verdict is
+        invalidated in the same breath.
+        """
+        if copies < 0:
+            raise ValueError("copies must be non-negative")
+        if copies > self._in_flight:
+            raise ValueError(
+                f"delivering {copies} copies but only {self._in_flight} in flight"
+            )
+        self._in_flight -= copies
+        if copies:
+            self._stable[shard] = False
+
+    # -- verdicts -----------------------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        """Element copies currently sent but not yet ingested."""
+        return self._in_flight
+
+    def all_locally_stable(self) -> bool:
+        """Phase 1: every shard's last report was locally stable."""
+        return all(self._stable)
+
+    def check(self, plan_empty: bool) -> bool:
+        """Global quiescence verdict for this barrier round.
+
+        ``plan_empty`` is phase 2's certificate — the routing-table migration
+        plan over the current label histograms contains no transfer.  Returns
+        ``True`` exactly when the run may terminate: all shards locally
+        stable, nothing in flight, and no cross-shard match possible.
+        """
+        return self.all_locally_stable() and self._in_flight == 0 and plan_empty

@@ -1,0 +1,157 @@
+"""Footprint-derived migration routing tables.
+
+A shard can only fire matches whose consumed elements are all local.  For the
+runtime to terminate correctly, elements that *could* participate in one
+reaction's match must eventually be co-located.  The static information that
+makes this cheap is the reaction footprint
+(:func:`repro.gamma.scheduler.reaction_footprints`): the labels a reaction
+can consume.  Labels that appear together in one footprint are grouped (a
+union–find over footprints), every group gets a deterministic *home shard*
+(stable hash of the group's canonical label), and the exchange phase routes
+each element of a grouped label to its group's home.
+
+Two consequences make the protocol simple:
+
+* after a completed exchange, every potential match is intra-shard — a
+  reaction's consumable labels all live on one shard — so "no cross-shard
+  match exists" reduces to "the migration plan is empty";
+* labels consumed by *no* reaction are inert: they can never be matched, so
+  they are never migrated (they stay wherever firing produced them).
+
+Reactions with variable labels (wildcards) can consume anything, collapsing
+all labels into a single group; the table then routes every label to one
+gather shard, which degrades gracefully to centralized execution.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+
+from ...gamma.reaction import Reaction
+from ...gamma.scheduler import reaction_footprints
+
+__all__ = ["RoutingTable", "Transfer"]
+
+
+def _stable_label_hash(label: str) -> int:
+    """Process-independent 64-bit hash of a label string.
+
+    Mirrors :meth:`Element.stable_hash`'s construction (blake2b digest) so
+    home-shard choices are reproducible across nodes and restarts.
+    """
+    digest = hashlib.blake2b(label.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """One planned batched migration: move ``labels`` from ``source`` to ``destination``."""
+
+    source: int
+    destination: int
+    labels: Tuple[str, ...]
+
+
+class RoutingTable:
+    """Per-label shard routing derived from a program's reaction footprints.
+
+    Parameters
+    ----------
+    reactions:
+        The program's reactions; their consumed-label footprints define the
+        label groups.
+    num_shards:
+        Number of shards homes are distributed over (must be positive).
+
+    A label's destination is stable under everything but the reaction set and
+    the shard count, so independently constructed tables (one per worker
+    process) always agree.
+    """
+
+    def __init__(self, reactions: Sequence[Reaction], num_shards: int) -> None:
+        if num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        self.num_shards = num_shards
+        footprints = reaction_footprints(reactions)
+        self.wildcard: bool = any(wild for _, wild in footprints)
+
+        # Union-find over labels: labels co-consumed by one reaction merge.
+        parent: Dict[str, str] = {}
+
+        def find(label: str) -> str:
+            """Union-find root of ``label`` with path compression."""
+            root = label
+            while parent[root] != root:
+                root = parent[root]
+            while parent[label] != root:
+                parent[label], label = root, parent[label]
+            return root
+
+        for labels, _ in footprints:
+            group = sorted(labels)
+            for label in group:
+                parent.setdefault(label, label)
+            for a, b in zip(group, group[1:]):
+                ra, rb = find(a), find(b)
+                if ra != rb:
+                    parent[max(ra, rb)] = min(ra, rb)
+
+        groups: Dict[str, List[str]] = {}
+        for label in parent:
+            groups.setdefault(find(label), []).append(label)
+        #: Canonical (lexicographically smallest) label of each group, mapped
+        #: to the group's member labels — exposed for tests and diagnostics.
+        self.groups: Dict[str, FrozenSet[str]] = {
+            root: frozenset(members) for root, members in groups.items()
+        }
+        # The gather shard used when a wildcard reaction makes every label
+        # consumable: hash the empty string so the choice is stable and does
+        # not privilege shard 0 for every program.
+        self._gather: int = _stable_label_hash("") % num_shards
+        self._home: Dict[str, int] = {
+            label: _stable_label_hash(root) % num_shards
+            for root, members in self.groups.items()
+            for label in members
+        }
+
+    def destination(self, label: str) -> Optional[int]:
+        """Home shard for ``label``, or ``None`` when the label is inert.
+
+        Inert labels (consumed by no reaction) are never migrated.  With a
+        wildcard reaction in the program every label routes to the single
+        gather shard.
+        """
+        if self.wildcard:
+            return self._gather
+        return self._home.get(label)
+
+    def is_routable(self, label: str) -> bool:
+        """True when ``label`` participates in some reaction's footprint."""
+        return self.wildcard or label in self._home
+
+    def migration_plan(
+        self, shard_label_counts: Sequence[Mapping[str, int]]
+    ) -> List[Transfer]:
+        """Batched transfers that co-locate every routable label.
+
+        ``shard_label_counts[s]`` is shard ``s``'s label histogram
+        (:meth:`Multiset.label_counts`).  Returns one :class:`Transfer` per
+        (source, destination) pair carrying every misplaced label between
+        them; an empty plan certifies that no cross-shard match exists (every
+        consumable label is fully co-located at its home shard).
+        """
+        moves: Dict[Tuple[int, int], List[str]] = {}
+        for source, counts in enumerate(shard_label_counts):
+            for label, count in counts.items():
+                if count <= 0:
+                    continue
+                destination = self.destination(label)
+                if destination is None or destination == source:
+                    continue
+                moves.setdefault((source, destination), []).append(label)
+        return [
+            Transfer(source=source, destination=destination, labels=tuple(labels))
+            for (source, destination), labels in sorted(moves.items())
+        ]

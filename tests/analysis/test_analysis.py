@@ -177,3 +177,62 @@ class TestBackendParallelism:
         assert [r[0] for r in rows] == [
             "steps", "work", "max_parallelism", "average_parallelism", "speedup",
         ]
+
+
+class TestShardingAnalysis:
+    def test_shard_balance_even_and_skewed(self):
+        from repro.analysis import shard_balance
+
+        assert shard_balance([5, 5, 5, 5]) == pytest.approx(1.0)
+        assert shard_balance([20, 0, 0, 0]) == pytest.approx(4.0)
+        assert shard_balance([]) == 1.0
+        assert shard_balance([0, 0]) == 1.0
+
+    def test_communication_volume_ratios(self):
+        from repro.analysis import communication_volume
+        from repro.multiset import Multiset
+        from repro.runtime import DistributedRunResult
+
+        result = DistributedRunResult(
+            final=Multiset(), steps=2, firings=4, migrations=2, messages=8
+        )
+        volume = communication_volume(result)
+        assert volume["migrations_per_firing"] == pytest.approx(0.5)
+        assert volume["messages_per_firing"] == pytest.approx(2.0)
+
+    def test_communication_volume_zero_firings(self):
+        from repro.analysis import communication_volume
+        from repro.multiset import Multiset
+        from repro.runtime import DistributedRunResult
+
+        silent = DistributedRunResult(
+            final=Multiset(), steps=0, firings=0, migrations=0, messages=0
+        )
+        assert communication_volume(silent)["messages_per_firing"] == 0.0
+        chatty = DistributedRunResult(
+            final=Multiset(), steps=1, firings=0, migrations=0, messages=3
+        )
+        assert communication_volume(chatty)["messages_per_firing"] == float("inf")
+
+    def test_shard_load_report_from_sharded_run(self):
+        from repro.analysis import shard_load_report
+        from repro.runtime.sharding import ShardCoordinator
+
+        result = ShardCoordinator(sum_reduction(), 4, seed=1).run(
+            values_multiset(range(1, 33))
+        )
+        report = shard_load_report(result)
+        assert report.firings == 31
+        assert report.firing_balance >= 1.0
+        assert report.messages_per_firing > 0.0
+
+    def test_pe_pool_load_imbalance(self):
+        from repro.runtime import PEPool
+
+        pool = PEPool(4)
+        pool.dispatch(["a", "b", "c", "d"])
+        assert pool.load_imbalance() == pytest.approx(1.0)
+        skewed = PEPool(4)
+        skewed.dispatch(["a"])
+        assert skewed.load_imbalance() == pytest.approx(4.0)
+        assert PEPool(2).load_imbalance() == 1.0

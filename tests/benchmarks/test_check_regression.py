@@ -139,3 +139,59 @@ class TestMain:
         assert check_regression.main(
             ["--baseline", str(base), "--fresh", str(fresh)]
         ) == 0
+
+
+def sharded_record(backend, size, fps, shards=4):
+    return {
+        "workload": "min_element",
+        "backend": backend,
+        "mode": "distributed",
+        "size": size,
+        "shards": shards,
+        "firings_per_second": fps,
+    }
+
+
+class TestShardedRuntimeRecordShape:
+    """The gate accepts BENCH_sharded_runtime.json records keyed by backend+shards."""
+
+    def test_backend_and_shards_key_the_identity(self):
+        base = payload(
+            [sharded_record("legacy", 100, 1000.0), sharded_record("inprocess", 100, 5000.0)]
+        )
+        fresh = payload(
+            [sharded_record("legacy", 100, 990.0), sharded_record("inprocess", 100, 4900.0)]
+        )
+        findings = check_regression.compare_payloads("BENCH_sharded_runtime", base, fresh, 0.25)
+        assert len(findings) == 2
+        assert {f.key for f in findings} == {
+            "workload=min_element, mode=distributed, backend=legacy, size=100, shards=4",
+            "workload=min_element, mode=distributed, backend=inprocess, size=100, shards=4",
+        }
+        assert not any(f.regressed for f in findings)
+
+    def test_different_shard_counts_never_cross_match(self):
+        base = payload([sharded_record("inprocess", 100, 5000.0, shards=4)])
+        fresh = payload([sharded_record("inprocess", 100, 10.0, shards=8)])
+        findings = check_regression.compare_payloads("BENCH_sharded_runtime", base, fresh, 0.25)
+        assert findings == []  # unmatched identity: noted, never failed
+
+    def test_sharded_speedup_regression_flags(self):
+        base = payload([], speedups={"min_element@10000": 5.9})
+        fresh = payload([], speedups={"min_element@10000": 1.5})
+        findings = check_regression.compare_payloads("BENCH_sharded_runtime", base, fresh, 0.25)
+        assert len(findings) == 1 and findings[0].regressed
+
+    def test_committed_sharded_report_parses_through_the_gate(self):
+        reports = Path(__file__).resolve().parents[2] / "benchmarks" / "reports"
+        path = reports / "BENCH_sharded_runtime.json"
+        if not path.exists():
+            pytest.skip("no committed sharded baseline yet")
+        report = json.loads(path.read_text())
+        findings = check_regression.compare_payloads(
+            "BENCH_sharded_runtime", report, report, 0.25
+        )
+        # Self-comparison: every record matches itself, nothing regresses.
+        assert findings and not any(f.regressed for f in findings)
+        keys = {check_regression.record_key(r) for r in report["results"]}
+        assert len(keys) == len(report["results"])  # identities are unique

@@ -9,8 +9,12 @@ import pytest
 
 from repro.gamma import run
 from repro.gamma.stdlib import min_element, prime_sieve, sum_reduction, values_multiset
-from repro.multiset import Element
-from repro.runtime import DistributedGammaRuntime, DistributedMultiset
+from repro.multiset import Element, Multiset
+from repro.runtime import (
+    DistributedGammaRuntime,
+    DistributedMultiset,
+    DistributedRunResult,
+)
 
 
 class TestDistributedMultiset:
@@ -165,6 +169,95 @@ class TestDistributedRuntime:
     def test_missing_initial_rejected(self):
         with pytest.raises(ValueError):
             DistributedGammaRuntime(sum_reduction(), 2).run(None)
+
+
+class TestCommunicationRatio:
+    def test_messages_per_firing(self):
+        result = DistributedRunResult(
+            final=Multiset(), steps=3, firings=4, migrations=1, messages=10
+        )
+        assert result.communication_ratio == 2.5
+
+    def test_zero_firings_with_messages_is_infinite(self):
+        # An already-stable run exchanged termination-detection messages but
+        # fired nothing: locality is infinitely bad, not perfect (the old
+        # semantics returned 0.0 here).
+        result = DistributedRunResult(
+            final=Multiset(), steps=1, firings=0, migrations=0, messages=4
+        )
+        assert result.communication_ratio == float("inf")
+
+    def test_zero_firings_zero_messages_is_zero(self):
+        result = DistributedRunResult(
+            final=Multiset(), steps=0, firings=0, migrations=0, messages=0
+        )
+        assert result.communication_ratio == 0.0
+
+    def test_stable_initial_run_reports_infinite_ratio(self):
+        program = min_element()
+        result = DistributedGammaRuntime(program, 2, seed=0).run(
+            values_multiset([3])
+        )
+        assert result.firings == 0 and result.messages > 0
+        assert result.communication_ratio == float("inf")
+
+
+class TestLegacyWorkStealing:
+    """Direct unit coverage for the legacy ``_steal_one``/``_pull_elements`` path."""
+
+    @staticmethod
+    def _runtime(seed=0):
+        return DistributedGammaRuntime(sum_reduction(), 3, seed=seed)
+
+    def test_steal_one_moves_one_element_from_a_donor(self):
+        runtime = self._runtime()
+        dm = DistributedMultiset(3)
+        dm.partitions[1].add(Element(1, "x", 0))
+        dm.partitions[2].add(Element(2, "x", 0))
+        moved = runtime._steal_one(dm, 0)
+        assert moved == 1
+        assert len(dm.partitions[0]) == 1
+        assert len(dm) == 2
+
+    def test_steal_one_with_no_donors(self):
+        runtime = self._runtime()
+        dm = DistributedMultiset(3)
+        dm.partitions[0].add(Element(1, "x", 0))  # only the thief has elements
+        assert runtime._steal_one(dm, 0) == 0
+        assert len(dm.partitions[0]) == 1
+
+    def test_steal_one_is_seed_reproducible(self):
+        def stolen(seed):
+            runtime = self._runtime(seed)
+            dm = DistributedMultiset(3)
+            for value in range(8):
+                dm.partitions[1].add(Element(value, "x", 0))
+                dm.partitions[2].add(Element(value + 100, "x", 0))
+            runtime._steal_one(dm, 0)
+            return dm.partitions[0].to_tuples()
+
+        assert stolen(7) == stolen(7)
+
+    def test_pull_elements_gathers_everything(self):
+        runtime = self._runtime()
+        dm = DistributedMultiset(3)
+        for value in range(6):
+            dm.add(Element(value, "x", 0))
+        sizes_before = dm.sizes()
+        moved = runtime._pull_elements(dm, 0)
+        assert moved == sum(sizes_before) - sizes_before[0]
+        assert dm.sizes()[1] == dm.sizes()[2] == 0
+        assert len(dm.partitions[0]) == 6
+
+    def test_pull_elements_preserves_multiplicities(self):
+        runtime = DistributedGammaRuntime(sum_reduction(), 2, seed=0)
+        dm = DistributedMultiset(2)
+        element = Element(1, "x", 0)
+        other = 1 - dm.home_of(element)
+        dm.partitions[other].add(element, 3)
+        union_before = dm.union()
+        runtime._pull_elements(dm, dm.home_of(element))
+        assert dm.union() == union_before
 
 
 class TestLocalBatchFiring:

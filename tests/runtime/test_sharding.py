@@ -1,0 +1,485 @@
+"""Tests for the sharded distributed execution subsystem."""
+
+import multiprocessing
+
+import pytest
+
+from repro.gamma import run
+from repro.gamma.engine import NonTerminationError
+from repro.gamma.expr import Const
+from repro.gamma.program import GammaProgram
+from repro.gamma.reaction import Branch, Reaction
+from repro.gamma.stdlib import (
+    exchange_sort,
+    min_element,
+    pattern,
+    prime_sieve,
+    sum_reduction,
+    template,
+    values_multiset,
+)
+from repro.multiset import Element, Multiset, hash_partition, partition_counts
+from repro.runtime import DistributedGammaRuntime, DistributedRunResult
+from repro.runtime.sharding import (
+    InProcessBackend,
+    QuiescenceDetector,
+    RoutingTable,
+    ShardCoordinator,
+    ShardedRunResult,
+    ShardWorker,
+)
+
+FORK_AVAILABLE = "fork" in multiprocessing.get_all_start_methods()
+
+
+def two_label_program():
+    """Two disjoint single-label reactions plus one joining both labels."""
+    ra = Reaction(
+        name="Ra",
+        replace=[pattern("x", "a", "t1"), pattern("y", "a", "t2")],
+        branches=[Branch(productions=[template("x", "a", Const(0))])],
+    )
+    rb = Reaction(
+        name="Rb",
+        replace=[pattern("x", "b", "t1"), pattern("y", "b", "t2")],
+        branches=[Branch(productions=[template("x", "b", Const(0))])],
+    )
+    return GammaProgram([ra, rb], name="two_label")
+
+
+def joined_program():
+    """One reaction consuming labels c and d together (merged footprint)."""
+    rj = Reaction(
+        name="Rj",
+        replace=[pattern("x", "c", "t1"), pattern("y", "d", "t2")],
+        branches=[Branch(productions=[template("x", "c", Const(0))])],
+    )
+    return GammaProgram([rj], name="joined")
+
+
+class TestPartitioning:
+    def test_partition_counts_covers_multiset(self):
+        ms = Multiset([(i, "x") for i in range(20)])
+        batches = partition_counts(ms, 4)
+        total = sum(count for batch in batches for _, count in batch)
+        assert total == 20
+
+    def test_hash_partition_union_roundtrip(self):
+        ms = Multiset([(i % 5, "x") for i in range(25)])
+        parts = hash_partition(ms, 3)
+        union = Multiset()
+        for part in parts:
+            union = union + part
+        assert union == ms
+
+    def test_partition_agrees_with_distributed_multiset(self):
+        from repro.runtime import DistributedMultiset
+
+        dm = DistributedMultiset(4)
+        elements = [Element(i, "x", 0) for i in range(32)]
+        parts = hash_partition(Multiset(elements), 4)
+        for index, part in enumerate(parts):
+            for element in part.distinct():
+                assert dm.home_of(element) == index
+
+    def test_invalid_partition_count(self):
+        with pytest.raises(ValueError):
+            partition_counts(Multiset(), 0)
+
+
+class TestRoutingTable:
+    def test_single_label_groups(self):
+        table = RoutingTable(two_label_program().reactions, 4)
+        assert not table.wildcard
+        assert table.groups.keys() == {"a", "b"}
+        assert table.is_routable("a") and table.is_routable("b")
+        assert table.destination("a") in range(4)
+
+    def test_joined_footprints_share_a_home(self):
+        table = RoutingTable(joined_program().reactions, 8)
+        assert table.groups == {"c": frozenset({"c", "d"})}
+        assert table.destination("c") == table.destination("d")
+
+    def test_inert_labels_are_not_routed(self):
+        table = RoutingTable(min_element().reactions, 4)
+        assert table.destination("not_consumed_anywhere") is None
+        assert not table.is_routable("inert")
+
+    def test_destinations_are_stable_across_tables(self):
+        reactions = two_label_program().reactions
+        first = RoutingTable(reactions, 4)
+        second = RoutingTable(reactions, 4)
+        assert first.destination("a") == second.destination("a")
+        assert first.destination("b") == second.destination("b")
+
+    def test_wildcard_routes_everything_to_one_shard(self):
+        from repro.gamma.expr import Var
+
+        from repro.gamma.pattern import ElementPattern, ElementTemplate
+
+        wildcard = Reaction(
+            name="Rw",
+            replace=[
+                ElementPattern(value=Var("x"), label=Var("l"), tag=Var("t")),
+            ],
+            branches=[
+                Branch(
+                    productions=[
+                        ElementTemplate(value=Var("x"), label=Var("l"), tag=Var("t"))
+                    ]
+                )
+            ],
+        )
+        table = RoutingTable([wildcard], 4)
+        assert table.wildcard
+        gather = table.destination("anything")
+        assert table.destination("else") == gather
+        assert table.is_routable("whatever")
+
+    def test_migration_plan_co_locates_labels(self):
+        table = RoutingTable(two_label_program().reactions, 2)
+        home_a = table.destination("a")
+        counts = [{"a": 3}, {"a": 2}]
+        plan = table.migration_plan(counts)
+        assert len(plan) == 1
+        (move,) = plan
+        assert move.source == 1 - home_a
+        assert move.destination == home_a
+        assert move.labels == ("a",)
+
+    def test_empty_plan_when_co_located(self):
+        table = RoutingTable(two_label_program().reactions, 2)
+        counts = [{}, {}]
+        counts[table.destination("a")]["a"] = 5
+        counts[table.destination("b")]["b"] = 2
+        assert table.migration_plan(counts) == []
+
+    def test_plan_ignores_inert_and_zero_counts(self):
+        table = RoutingTable(two_label_program().reactions, 2)
+        counts = [{"inert": 9, "a": 0}, {"inert": 1}]
+        assert table.migration_plan(counts) == []
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(ValueError):
+            RoutingTable(min_element().reactions, 0)
+
+
+class TestQuiescenceDetector:
+    def test_initially_not_quiescent(self):
+        detector = QuiescenceDetector(2)
+        assert not detector.check(plan_empty=True)
+
+    def test_all_stable_and_empty_plan_is_quiescent(self):
+        detector = QuiescenceDetector(2)
+        detector.record_local(0, True)
+        detector.record_local(1, True)
+        assert detector.check(plan_empty=True)
+        assert not detector.check(plan_empty=False)
+
+    def test_in_flight_migrations_block_quiescence(self):
+        detector = QuiescenceDetector(2)
+        detector.record_local(0, True)
+        detector.record_local(1, True)
+        detector.migrations_started(3)
+        assert detector.in_flight == 3
+        assert not detector.check(plan_empty=True)
+        detector.migrations_delivered(1, 3)
+        assert detector.in_flight == 0
+
+    def test_delivery_invalidates_receiver_stability(self):
+        detector = QuiescenceDetector(2)
+        detector.record_local(0, True)
+        detector.record_local(1, True)
+        detector.migrations_started(2)
+        detector.migrations_delivered(1, 2)
+        # Shard 1 just received elements: phase 1 must not hold.
+        assert not detector.check(plan_empty=True)
+        detector.record_local(1, True)
+        assert detector.check(plan_empty=True)
+
+    def test_over_delivery_rejected(self):
+        detector = QuiescenceDetector(1)
+        with pytest.raises(ValueError):
+            detector.migrations_delivered(0, 1)
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(ValueError):
+            QuiescenceDetector(0)
+
+
+class TestShardWorker:
+    def test_local_supersteps_reach_local_fixpoint(self):
+        program = sum_reduction()
+        worker = ShardWorker(0, program.reactions)
+        worker.ingest([(Element(i, "x", 0), 1) for i in range(1, 9)])
+        report = worker.run_local()
+        assert report.stable
+        assert report.fired == 7
+        assert report.size == 1
+        assert worker.multiset.values_with_label("x") == [36]
+        worker.close()
+
+    def test_superstep_cap_reports_unstable(self):
+        program = sum_reduction()
+        worker = ShardWorker(0, program.reactions)
+        worker.ingest([(Element(i, "x", 0), 1) for i in range(1, 9)])
+        report = worker.run_local(max_supersteps=1)
+        assert report.supersteps == 1
+        assert not report.stable
+        worker.close()
+
+    def test_single_firing_mode(self):
+        program = sum_reduction()
+        worker = ShardWorker(0, program.reactions, superstep=False)
+        worker.ingest([(Element(i, "x", 0), 1) for i in range(1, 5)])
+        report = worker.run_local()
+        assert report.stable and report.fired == 3
+        worker.close()
+
+    def test_extract_some_respects_routing_and_limit(self):
+        program = two_label_program()
+        routing = RoutingTable(program.reactions, 2)
+        worker = ShardWorker(0, program.reactions)
+        worker.ingest([(Element(1, "a", 0), 2), (Element(2, "inert", 0), 5)])
+        pairs = worker.extract_some(1, routing)
+        assert pairs == [(Element(1, "a", 0), 1)]
+        assert worker.multiset.count(Element(1, "a", 0)) == 1
+        # Inert elements are never donated.
+        assert worker.extract_some(10, routing) == [(Element(1, "a", 0), 1)]
+        assert worker.extract_some(10, routing) == []
+        worker.close()
+
+    def test_quad_wire_roundtrip(self):
+        pairs = [(Element(1, "a", 2), 3), (Element("s", "b", 0), 1)]
+        assert ShardWorker.from_quads(ShardWorker.to_quads(pairs)) == pairs
+
+
+class TestShardCoordinator:
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_matches_sequential_engine(self, shards):
+        program = sum_reduction()
+        initial = values_multiset(range(1, 41))
+        reference = run(program, initial, engine="sequential")
+        result = ShardCoordinator(program, shards, seed=3).run(initial)
+        assert result.final == reference.final
+        assert isinstance(result, ShardedRunResult)
+        assert isinstance(result, DistributedRunResult)
+
+    def test_exchange_sort_multi_label(self):
+        program = exchange_sort()
+        from repro.gamma.stdlib import indexed_multiset
+
+        initial = indexed_multiset([5, 3, 8, 1, 9, 2])
+        reference = run(program, initial, engine="sequential")
+        result = ShardCoordinator(program, 3).run(initial)
+        assert result.final == reference.final
+
+    def test_prime_sieve(self):
+        program = prime_sieve()
+        initial = values_multiset(range(2, 40))
+        result = ShardCoordinator(program, 4, seed=1).run(initial)
+        assert sorted(result.final.values_with_label("x")) == [
+            2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37,
+        ]
+
+    def test_accounting_consistency(self):
+        program = sum_reduction()
+        initial = values_multiset(range(1, 33))
+        result = ShardCoordinator(program, 4, seed=5).run(initial)
+        assert sum(result.per_partition_firings) == result.firings == 31
+        assert result.rounds == result.steps
+        assert result.supersteps >= 1
+        assert len(result.final_shard_sizes) == 4
+        assert sum(result.final_shard_sizes) == len(result.final) == 1
+        assert result.backend == "inprocess"
+
+    def test_already_stable_initial_is_quiescent_immediately(self):
+        program = min_element()
+        initial = values_multiset([7])
+        result = ShardCoordinator(program, 4).run(initial)
+        assert result.firings == 0
+        assert result.final == initial
+        assert result.communication_ratio == float("inf")  # messages, no firings
+
+    def test_empty_initial(self):
+        result = ShardCoordinator(min_element(), 2).run(Multiset())
+        assert result.firings == 0
+        assert len(result.final) == 0
+
+    def test_seeded_runs_are_reproducible(self):
+        program = sum_reduction()
+        initial = values_multiset(range(1, 65))
+        first = ShardCoordinator(program, 4, seed=11).run(initial)
+        second = ShardCoordinator(program, 4, seed=11).run(initial)
+        assert first.final == second.final
+        assert first.firings == second.firings
+        assert first.rounds == second.rounds
+        assert first.migrations == second.migrations
+        assert first.per_partition_firings == second.per_partition_firings
+
+    def test_work_stealing_rebalances_skewed_load(self):
+        # All elements share one value, so the whole multiset hash-lands on a
+        # single shard; stealing must spread work to the starving shards.
+        program = sum_reduction()
+        initial = Multiset([(5, "x")] * 64)
+        balanced = ShardCoordinator(program, 4, superstep_budget=2).run(initial)
+        assert balanced.steals > 0
+        assert balanced.final == run(program, initial, engine="sequential").final
+        disabled = ShardCoordinator(
+            program, 4, superstep_budget=2, work_stealing=False
+        ).run(initial)
+        assert disabled.steals == 0
+        assert disabled.final == balanced.final
+
+    def test_superstep_budget_caps_batches(self):
+        program = sum_reduction()
+        initial = values_multiset(range(1, 33))
+        result = ShardCoordinator(program, 1, superstep_budget=4).run(initial)
+        assert result.supersteps >= 8
+        assert result.final == run(program, initial, engine="sequential").final
+
+    def test_non_superstep_mode(self):
+        program = sum_reduction()
+        initial = values_multiset(range(1, 17))
+        result = ShardCoordinator(program, 2, superstep=False).run(initial)
+        assert result.final == run(program, initial, engine="sequential").final
+
+    def test_interpreted_mode(self):
+        program = sum_reduction()
+        initial = values_multiset(range(1, 17))
+        result = ShardCoordinator(program, 2, compiled=False).run(initial)
+        assert result.final == run(program, initial, engine="sequential").final
+
+    def test_divergent_program_raises(self):
+        grow = Reaction(
+            name="Rgrow",
+            replace=[pattern("x", "x", "t")],
+            branches=[
+                Branch(
+                    productions=[
+                        template("x", "x", Const(0)),
+                        template("x", "x", Const(0)),
+                    ]
+                )
+            ],
+        )
+        program = GammaProgram([grow], name="diverge")
+        with pytest.raises(NonTerminationError):
+            ShardCoordinator(program, 2, max_supersteps=16).run(
+                values_multiset([1, 2, 3])
+            )
+
+    def test_missing_initial_rejected(self):
+        with pytest.raises(ValueError):
+            ShardCoordinator(min_element(), 2).run(None)
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            ShardCoordinator(min_element(), 0)
+        with pytest.raises(ValueError):
+            ShardCoordinator(min_element(), 2, backend="carrier-pigeon")
+        with pytest.raises(ValueError):
+            ShardCoordinator(min_element(), 2, steal_threshold=0.5)
+        with pytest.raises(ValueError):
+            ShardCoordinator(min_element(), 2, max_rounds=0)
+
+
+class TestInProcessBackendInternals:
+    def test_transfer_batches_report_in_flight_to_detector(self):
+        program = two_label_program()
+        routing = RoutingTable(program.reactions, 2)
+        backend = InProcessBackend(program.reactions, 2, routing)
+        detector = QuiescenceDetector(2)
+        home = routing.destination("a")
+        away = 1 - home
+        backend.workers[away].ingest([(Element(1, "a", 0), 3)])
+        plan = routing.migration_plan(backend.label_counts())
+        moved, batches = backend.execute_transfers(plan, detector)
+        assert (moved, batches) == (3, 1)
+        assert detector.in_flight == 0
+        assert backend.sizes()[home] == 3
+        backend.stop()
+
+
+class TestDistributedRuntimeBackends:
+    @pytest.mark.parametrize("backend", ["inprocess"])
+    @pytest.mark.parametrize("partitions", [1, 2, 4])
+    def test_results_match_centralized_execution(self, backend, partitions):
+        program = sum_reduction()
+        initial = values_multiset(range(1, 41))
+        distributed = DistributedGammaRuntime(
+            program, partitions, seed=3, backend=backend
+        ).run(initial)
+        reference = run(program, initial, engine="sequential")
+        assert distributed.final == reference.final
+        assert distributed.firings == 39
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            DistributedGammaRuntime(sum_reduction(), 2, backend="nope")
+
+    def test_sharded_result_type(self):
+        result = DistributedGammaRuntime(
+            sum_reduction(), 2, backend="inprocess"
+        ).run(values_multiset(range(1, 9)))
+        assert isinstance(result, ShardedRunResult)
+        assert result.backend == "inprocess"
+
+    def test_explicit_firing_cap_respected_with_local_batches(self):
+        result = DistributedGammaRuntime(
+            sum_reduction(),
+            1,
+            backend="inprocess",
+            local_batches=True,
+            firings_per_worker_step=4,
+        ).run(values_multiset(range(1, 33)))
+        assert result.supersteps >= 8
+
+    def test_explicit_firing_cap_of_one_is_honored(self):
+        # An explicit cap of 1 reproduces the one-firing-per-superstep cost
+        # model (31 firings -> >= 31 supersteps); only the *unset* default
+        # widens to maximal batches.
+        capped = DistributedGammaRuntime(
+            sum_reduction(), 1, backend="inprocess", firings_per_worker_step=1
+        ).run(values_multiset(range(1, 33)))
+        assert capped.supersteps >= 31
+        unset = DistributedGammaRuntime(
+            sum_reduction(), 1, backend="inprocess"
+        ).run(values_multiset(range(1, 33)))
+        assert unset.supersteps < capped.supersteps
+        assert unset.final == capped.final
+
+
+@pytest.mark.skipif(not FORK_AVAILABLE, reason="fork start method unavailable")
+class TestMultiprocessingBackend:
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_matches_sequential_engine(self, shards):
+        program = sum_reduction()
+        initial = values_multiset(range(1, 33))
+        reference = run(program, initial, engine="sequential")
+        result = ShardCoordinator(
+            program, shards, backend="multiprocessing", seed=3
+        ).run(initial)
+        assert result.final == reference.final
+        assert result.backend == "multiprocessing"
+
+    def test_agrees_with_inprocess_decision_for_decision(self):
+        program = sum_reduction()
+        initial = values_multiset(range(1, 41))
+        local = ShardCoordinator(program, 4, seed=7).run(initial)
+        remote = ShardCoordinator(
+            program, 4, backend="multiprocessing", seed=7
+        ).run(initial)
+        assert local.final == remote.final
+        assert local.firings == remote.firings
+        assert local.rounds == remote.rounds
+        assert local.migrations == remote.migrations
+        assert local.per_partition_firings == remote.per_partition_firings
+
+    def test_runtime_front_door(self):
+        program = min_element()
+        initial = values_multiset([9, 4, 11, 2, 6, 13])
+        result = DistributedGammaRuntime(
+            program, 3, seed=0, backend="multiprocessing"
+        ).run(initial)
+        assert result.values_with_label("x") == [2]
