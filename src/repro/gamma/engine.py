@@ -228,33 +228,62 @@ class GammaEngine:
             incremental=self.incremental,
             compiled=self.compiled,
         )
+        try:
+            return self.drain(
+                scheduler,
+                multiset,
+                trace,
+                max_steps=self.max_steps,
+                raise_on_budget=self.raise_on_budget,
+                label=program.name,
+            )
+        finally:
+            scheduler.detach()
+
+    def drain(
+        self,
+        scheduler: ReactionScheduler,
+        multiset: Multiset,
+        trace: Trace,
+        max_steps: int,
+        raise_on_budget: bool = True,
+        label: str = "<stream>",
+    ) -> Tuple[int, int, bool]:
+        """Fire under this engine's policy until stable or ``max_steps`` runs out.
+
+        The resumable inner loop shared by :meth:`_run_block` (which creates
+        a scheduler per block and drains once) and by
+        :class:`~repro.runtime.streaming.StreamingGammaRuntime` (which holds
+        one *persistent* scheduler across the whole stream and drains once
+        per epoch — injected elements dirty their labels, so the next drain
+        re-wakes exactly the affected parked reactions).  Returns
+        ``(steps, firings, stable)``; with ``raise_on_budget=False`` an
+        exhausted budget returns ``stable=False`` instead of raising.
+        """
         # Matches handed out by the scheduler are availability-verified, so
         # the compiled path skips replace()'s redundant atomic pre-validation.
         apply_rewrite = multiset.rewrite_unchecked if self.compiled else multiset.replace
         steps = 0
         firings = 0
-        try:
-            while True:
-                if steps >= self.max_steps:
-                    if self.raise_on_budget:
-                        raise NonTerminationError(
-                            f"{self.name} engine exceeded {self.max_steps} steps "
-                            f"on {program.name!r}"
-                        )
-                    return steps, firings, False
-                scheduler.refresh()
-                matches = self._select_matches(scheduler)
-                if not matches:
-                    return steps, firings, True
-                step = trace.begin_step()
-                for match in matches:
-                    produced = match.produced()
-                    apply_rewrite(match.consumed, produced)
-                    trace.record(step, match.reaction.name, match.consumed, produced, match.binding)
-                    firings += 1
-                steps += 1
-        finally:
-            scheduler.detach()
+        while True:
+            if steps >= max_steps:
+                if raise_on_budget:
+                    raise NonTerminationError(
+                        f"{self.name} engine exceeded {max_steps} steps "
+                        f"on {label!r}"
+                    )
+                return steps, firings, False
+            scheduler.refresh()
+            matches = self._select_matches(scheduler)
+            if not matches:
+                return steps, firings, True
+            step = trace.begin_step()
+            for match in matches:
+                produced = match.produced()
+                apply_rewrite(match.consumed, produced)
+                trace.record(step, match.reaction.name, match.consumed, produced, match.binding)
+                firings += 1
+            steps += 1
 
     # -- to be provided by subclasses ----------------------------------------------
     def _select_matches(self, scheduler: ReactionScheduler) -> List[Match]:
@@ -396,54 +425,75 @@ class ParallelEngine(GammaEngine):
         # which is also the fastest path: shuffled candidate enumeration has
         # to materialize buckets.
         self._rng = random.Random(seed) if seed is not None else None
+        self._executor: Optional[ThreadPoolExecutor] = None
 
     # -- batched run loop ----------------------------------------------------------
     def _run_block(
         self, program: GammaProgram, multiset: Multiset, trace: Trace
     ) -> Tuple[int, int, bool]:
-        scheduler = ReactionScheduler(
-            program.reactions,
-            multiset,
-            rng=self._rng,
-            incremental=self.incremental,
-            compiled=self.compiled,
-        )
+        try:
+            return super()._run_block(program, multiset, trace)
+        finally:
+            self.close()
+
+    def close(self) -> None:
+        """Shut down the production-evaluation worker pool (idempotent).
+
+        Batch runs close automatically at the end of every block; the
+        streaming runtime holds one engine across many epochs and closes it
+        when the stream drains.
+        """
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def _pool(self) -> Optional[ThreadPoolExecutor]:
+        """The lazily created worker pool (``None`` for inline evaluation)."""
+        if self.workers is None or self.workers <= 1:
+            return None
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(max_workers=self.workers)
+        return self._executor
+
+    def drain(
+        self,
+        scheduler: ReactionScheduler,
+        multiset: Multiset,
+        trace: Trace,
+        max_steps: int,
+        raise_on_budget: bool = True,
+        label: str = "<stream>",
+    ) -> Tuple[int, int, bool]:
+        """Superstep counterpart of :meth:`GammaEngine.drain` (same contract)."""
         apply_batch = (
             multiset.rewrite_batch_unchecked if self.compiled else multiset.replace
         )
-        executor: Optional[ThreadPoolExecutor] = None
-        if self.workers is not None and self.workers > 1:
-            executor = ThreadPoolExecutor(max_workers=self.workers)
+        executor = self._pool()
         steps = 0
         firings = 0
-        try:
-            while True:
-                if steps >= self.max_steps:
-                    if self.raise_on_budget:
-                        raise NonTerminationError(
-                            f"{self.name} engine exceeded {self.max_steps} supersteps "
-                            f"on {program.name!r}"
-                        )
-                    return steps, firings, False
-                scheduler.refresh()
-                matches = scheduler.collect_superstep_matches(budget=self.max_batch)
-                if not matches:
-                    return steps, firings, True
-                produced_lists = self._evaluate_productions(matches, executor)
-                step = trace.begin_step()
-                removed: List[Element] = []
-                added: List[Element] = []
-                for match, produced in zip(matches, produced_lists):
-                    removed.extend(match.consumed)
-                    added.extend(produced)
-                    trace.record(step, match.reaction.name, match.consumed, produced, match.binding)
-                apply_batch(removed, added)
-                firings += len(matches)
-                steps += 1
-        finally:
-            if executor is not None:
-                executor.shutdown(wait=True)
-            scheduler.detach()
+        while True:
+            if steps >= max_steps:
+                if raise_on_budget:
+                    raise NonTerminationError(
+                        f"{self.name} engine exceeded {max_steps} supersteps "
+                        f"on {label!r}"
+                    )
+                return steps, firings, False
+            scheduler.refresh()
+            matches = scheduler.collect_superstep_matches(budget=self.max_batch)
+            if not matches:
+                return steps, firings, True
+            produced_lists = self._evaluate_productions(matches, executor)
+            step = trace.begin_step()
+            removed: List[Element] = []
+            added: List[Element] = []
+            for match, produced in zip(matches, produced_lists):
+                removed.extend(match.consumed)
+                added.extend(produced)
+                trace.record(step, match.reaction.name, match.consumed, produced, match.binding)
+            apply_batch(removed, added)
+            firings += len(matches)
+            steps += 1
 
     def _evaluate_productions(
         self, matches: List[Match], executor: Optional[ThreadPoolExecutor]
@@ -461,7 +511,7 @@ class ParallelEngine(GammaEngine):
         return out
 
     def _select_matches(self, scheduler: ReactionScheduler) -> List[Match]:
-        # The batched _run_block above replaces the base loop entirely.
+        # The batched drain() above replaces the base loop entirely.
         raise NotImplementedError("ParallelEngine uses its own superstep loop")
 
 

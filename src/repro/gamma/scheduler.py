@@ -171,6 +171,23 @@ class ReactionScheduler:
         """Indices of reactions currently proven dead (for tests/inspection)."""
         return frozenset(self._parked)
 
+    # -- streaming ingestion ---------------------------------------------------------
+    def inject(self, pairs: Sequence[Tuple[Element, int]]) -> int:
+        """Admit streamed ``(element, count)`` pairs into the live run.
+
+        The ingestion hook of :class:`repro.runtime.streaming.StreamingGammaRuntime`:
+        elements arriving mid-run enter through the multiset's normal change
+        notifications, so every touched label lands in the dirty set and the
+        next :meth:`refresh` re-wakes exactly the parked reactions whose
+        footprints the injected elements intersect — a stable sub-program
+        stays parked, a reaction starved for one of the injected labels is
+        re-armed without any index rebuild.  Like every mutation, injection
+        must happen *between* probe rounds (the discipline all engines and
+        the streaming runtime follow: elements become visible at superstep
+        boundaries).  Returns the number of element copies admitted.
+        """
+        return self.multiset.add_counts(pairs)
+
     def _probe_order(self, shuffled: bool) -> List[int]:
         if not shuffled:
             return self._det_order

@@ -10,7 +10,7 @@ This subpackage is the data layer shared by both computational models:
 from .element import Element, make_elements
 from .index import LabelTagIndex
 from .multiset import Multiset
-from .partition import hash_partition, home_of, partition_counts
+from .partition import hash_partition, home_of, partition_counts, partition_pairs
 
 __all__ = [
     "Element",
@@ -19,5 +19,6 @@ __all__ = [
     "LabelTagIndex",
     "home_of",
     "partition_counts",
+    "partition_pairs",
     "hash_partition",
 ]

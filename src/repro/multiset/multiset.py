@@ -295,16 +295,19 @@ class Multiset:
             for listener in listeners:
                 listener(element, count)
 
-    def add_counts(self, pairs: Iterable[Tuple["Element", int]]) -> None:
-        """Insert a batch of ``(element, count)`` pairs.
+    def add_counts(self, pairs: Iterable[Tuple["Element", int]]) -> int:
+        """Insert a batch of ``(element, count)`` pairs; returns copies added.
 
-        The batched ingest path of cross-partition transfers: one listener
-        notification is emitted per pair (``delta`` = the pair's count), so an
-        attached index absorbs a whole migration batch in one pass per
-        distinct element instead of one per copy.
+        The batched ingest path of cross-partition transfers and streaming
+        injection: one listener notification is emitted per pair (``delta`` =
+        the pair's count), so an attached index absorbs a whole batch in one
+        pass per distinct element instead of one per copy.
         """
+        copies = 0
         for element, count in pairs:
             self.add(element, count)
+            copies += count
+        return copies
 
     def drain_labels(self, labels: Iterable[str]) -> List[Tuple[Element, int]]:
         """Remove and return every element whose label is in ``labels``.

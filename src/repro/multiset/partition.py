@@ -20,7 +20,7 @@ from typing import List, Tuple
 from .element import Element
 from .multiset import Multiset
 
-__all__ = ["home_of", "partition_counts", "hash_partition"]
+__all__ = ["home_of", "partition_counts", "partition_pairs", "hash_partition"]
 
 
 def home_of(element: Element, num_partitions: int) -> int:
@@ -59,6 +59,25 @@ def partition_counts(
     batches: List[List[Tuple[Element, int]]] = [[] for _ in range(num_partitions)]
     for element, count in multiset.counts().items():
         batches[element.stable_hash() % num_partitions].append((element, count))
+    return batches
+
+
+def partition_pairs(
+    pairs: List[Tuple[Element, int]], num_partitions: int
+) -> List[List[Tuple[Element, int]]]:
+    """Split ``(element, count)`` pairs into per-partition batches.
+
+    The streaming counterpart of :func:`partition_counts`: an ingest-queue
+    epoch batch (already in admission order, not a :class:`Multiset`) is
+    routed to stable-hash homes without materializing an intermediate
+    multiset, preserving the admission order within each partition — which
+    is what keeps seeded streaming runs reproducible shard by shard.
+    """
+    if num_partitions <= 0:
+        raise ValueError("num_partitions must be positive")
+    batches: List[List[Tuple[Element, int]]] = [[] for _ in range(num_partitions)]
+    for element, count in pairs:
+        batches[home_of(element, num_partitions)].append((element, count))
     return batches
 
 

@@ -7,6 +7,9 @@
   ``backend="inprocess"``/``"multiprocessing"``),
 * :class:`ShardCoordinator` — direct access to the sharded protocol
   (:mod:`repro.runtime.sharding`),
+* :class:`StreamingGammaRuntime` — online execution: continuous element
+  injection into a live run on any backend
+  (:mod:`repro.runtime.streaming`),
 * :class:`PEPool` / :class:`ParallelRunMetrics` — the shared cost model.
 """
 
@@ -16,12 +19,19 @@ from .gamma_simulator import GammaSimulationResult, GammaSimulator, simulate_pro
 from .metrics import ParallelRunMetrics, speedup_curve
 from .pe import PEPool, ProcessingElement
 from .sharding import ShardCoordinator, ShardedRunResult
+from .streaming import (
+    EpochReport,
+    IngestQueue,
+    StreamingGammaRuntime,
+    StreamRunResult,
+)
 
 __all__ = [
     "DataflowSimulator", "DataflowSimulationResult", "simulate_graph",
     "GammaSimulator", "GammaSimulationResult", "simulate_program",
     "DistributedGammaRuntime", "DistributedMultiset", "DistributedRunResult",
     "ShardCoordinator", "ShardedRunResult",
+    "StreamingGammaRuntime", "StreamRunResult", "EpochReport", "IngestQueue",
     "ParallelRunMetrics", "speedup_curve",
     "PEPool", "ProcessingElement",
 ]

@@ -30,6 +30,11 @@ per worker per step.
 
 The result reports firings, steps, migrations and messages, so the partition
 sweep of experiment E9(d) can show the locality/communication trade-off.
+
+All of the above execute in batch mode; for **online** execution — elements
+injected while the run is live, routed to their home shards at superstep
+boundaries — wrap any backend in
+:class:`repro.runtime.streaming.StreamingGammaRuntime`.
 """
 
 from __future__ import annotations

@@ -27,7 +27,7 @@ Entry points: :class:`ShardCoordinator` directly, or
 ``DistributedGammaRuntime(..., backend="inprocess"|"multiprocessing")``.
 """
 
-from .coordinator import ShardCoordinator, ShardedRunResult
+from .coordinator import ShardCoordinator, ShardedRunResult, ShardSession
 from .inprocess import InProcessBackend
 from .mp import MultiprocessingBackend
 from .quiescence import QuiescenceDetector
@@ -36,6 +36,7 @@ from .shard import LocalReport, ShardWorker
 
 __all__ = [
     "ShardCoordinator",
+    "ShardSession",
     "ShardedRunResult",
     "ShardWorker",
     "LocalReport",

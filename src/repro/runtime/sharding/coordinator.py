@@ -17,6 +17,13 @@ One *round* of the protocol:
    stable, no migration in flight, and an empty exchange plan (which
    certifies that no cross-shard match exists).
 
+A batch run is one :class:`ShardSession` driven to the drained verdict; the
+streaming runtime (:mod:`repro.runtime.streaming`) holds a session open
+instead, alternating routed injections (:meth:`ShardSession.inject` routes
+each epoch batch to its elements' stable-hash home shards) with
+:meth:`ShardSession.drive` rounds that stop at *idle* — stable but stream
+open — rather than terminating.
+
 Determinism: given a seed (or none), the protocol makes identical decisions
 under both backends — worker scheduling uses per-shard derived seeds and the
 coordinator's policy (donor choice, batch sizes, plan order) is pure — so
@@ -27,19 +34,20 @@ firing, which the differential tests exploit.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Union
+from typing import List, Optional, Sequence, Tuple
 
 from ...gamma.engine import NonTerminationError
 from ...gamma.program import GammaProgram
+from ...multiset.element import Element
 from ...multiset.multiset import Multiset
-from ...multiset.partition import partition_counts
+from ...multiset.partition import partition_counts, partition_pairs
 from ..distributed import DistributedRunResult
 from .inprocess import InProcessBackend
 from .mp import MultiprocessingBackend
-from .quiescence import QuiescenceDetector
+from .quiescence import RUNNING, QuiescenceDetector
 from .routing import RoutingTable
 
-__all__ = ["ShardCoordinator", "ShardedRunResult", "SHARD_BACKENDS"]
+__all__ = ["ShardCoordinator", "ShardSession", "ShardedRunResult", "SHARD_BACKENDS"]
 
 #: Backend names accepted by :class:`ShardCoordinator` (and, with
 #: ``"legacy"``, by :class:`~repro.runtime.distributed.DistributedGammaRuntime`).
@@ -159,12 +167,27 @@ class ShardCoordinator:
 
         ``initial`` defaults to the program's bundled initial multiset.
         Raises :class:`NonTerminationError` when a budget is exhausted and
-        ``ValueError`` when no initial multiset is available.
+        ``ValueError`` when no initial multiset is available.  Equivalent to
+        driving a :meth:`start` session straight to the drained verdict.
+        """
+        session = self.start(initial)
+        try:
+            session.drive()
+            return session.result()
+        finally:
+            session.close()
+
+    def start(self, initial: Optional[Multiset] = None) -> "ShardSession":
+        """Spin up the backend, load the hash partitions, return the live session.
+
+        The entry point of the streaming runtime: the returned
+        :class:`ShardSession` accepts routed injections between
+        :meth:`ShardSession.drive` calls.  The caller owns the session and
+        must :meth:`ShardSession.close` it (``run`` does this internally).
         """
         source = initial if initial is not None else self.program.initial
         if source is None:
             raise ValueError("an initial multiset is required")
-
         backend = _BACKENDS[self.backend_name](
             self.program.reactions,
             self.num_shards,
@@ -173,94 +196,9 @@ class ShardCoordinator:
             compiled=self.compiled,
             superstep=self.superstep,
         )
-        detector = QuiescenceDetector(self.num_shards)
-        rounds = 0
-        firings = 0
-        migrations = 0
-        messages = 0
-        supersteps = 0
-        exchanges = 0
-        steals = 0
-        per_shard_firings = [0] * self.num_shards
-        try:
-            backend.load(partition_counts(source, self.num_shards))
-            messages += self.num_shards
-
-            while True:
-                if rounds >= self.max_rounds:
-                    raise NonTerminationError(
-                        f"sharded run exceeded {self.max_rounds} rounds "
-                        f"on {self.program.name!r}"
-                    )
-                remaining = self.max_supersteps - supersteps
-                if remaining <= 0:
-                    raise NonTerminationError(
-                        f"sharded run exceeded {self.max_supersteps} supersteps "
-                        f"on {self.program.name!r}"
-                    )
-                round_cap = (
-                    remaining
-                    if self.round_supersteps is None
-                    else min(self.round_supersteps, remaining)
-                )
-                reports = backend.superstep_all(
-                    max_supersteps=round_cap, budget=self.superstep_budget
-                )
-                messages += self.num_shards
-                rounds += 1
-                fired = 0
-                for report in reports:
-                    fired += report.fired
-                    per_shard_firings[report.shard] += report.fired
-                    supersteps += report.supersteps
-                    detector.record_local(report.shard, report.stable)
-                firings += fired
-
-                if fired:
-                    if self.work_stealing:
-                        moved, batches = self._rebalance(backend, reports, detector)
-                        migrations += moved
-                        messages += batches
-                        steals += batches
-                    continue
-
-                # Every shard is locally stable: plan the exchange.
-                histograms = backend.label_counts()
-                messages += self.num_shards
-                plan = self.routing.migration_plan(histograms)
-                if detector.check(plan_empty=not plan):
-                    # The quiescence-round histograms are the final
-                    # distribution — no further mutation happens.
-                    final_sizes = [sum(c.values()) for c in histograms]
-                    break
-                moved, batches = backend.execute_transfers(plan, detector)
-                if not moved:
-                    raise RuntimeError(
-                        "exchange plan moved nothing while matches may remain "
-                        "(sharding protocol invariant violated)"
-                    )
-                migrations += moved
-                messages += batches
-                exchanges += 1
-
-            final = backend.collect_final()
-            messages += self.num_shards
-            return ShardedRunResult(
-                final=final,
-                steps=rounds,
-                firings=firings,
-                migrations=migrations,
-                messages=messages,
-                per_partition_firings=per_shard_firings,
-                backend=self.backend_name,
-                rounds=rounds,
-                supersteps=supersteps,
-                exchanges=exchanges,
-                steals=steals,
-                final_shard_sizes=final_sizes,
-            )
-        finally:
-            backend.stop()
+        session = ShardSession(self, backend)
+        session._load(source)
+        return session
 
     # -- rebalancing -------------------------------------------------------------
     def _rebalance(self, backend, reports, detector) -> tuple:
@@ -295,3 +233,178 @@ class ShardCoordinator:
             moved_total += moved
             batches += 1
         return moved_total, batches
+
+
+class ShardSession:
+    """One live sharded run: loaded shards, detector state, protocol counters.
+
+    Created by :meth:`ShardCoordinator.start`.  A batch run drives the
+    session once (:meth:`drive` to the drained verdict) and reads
+    :meth:`result`; a streaming run interleaves :meth:`inject` (routed
+    element admission) with :meth:`drive` rounds that return at the *idle*
+    verdict while the stream is open, and takes consistent mid-stream
+    :meth:`snapshot` reads at the barriers.  Budgets (rounds, supersteps)
+    span the whole session, batch or streamed.
+    """
+
+    def __init__(self, coordinator: ShardCoordinator, backend) -> None:
+        self.coordinator = coordinator
+        self.backend = backend
+        self.detector = QuiescenceDetector(coordinator.num_shards)
+        self.rounds = 0
+        self.firings = 0
+        self.migrations = 0
+        self.messages = 0
+        self.supersteps = 0
+        self.exchanges = 0
+        self.steals = 0
+        self.injected = 0
+        self.per_shard_firings = [0] * coordinator.num_shards
+        self._final_sizes: List[int] = []
+        self._closed = False
+
+    # -- lifecycle ----------------------------------------------------------------
+    def _load(self, source: Multiset) -> None:
+        """Ship the initial hash partitions to the shards (one batch each)."""
+        self.backend.load(partition_counts(source, self.coordinator.num_shards))
+        self.messages += self.coordinator.num_shards
+
+    def close(self) -> None:
+        """Stop the backend workers (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self.backend.stop()
+
+    # -- streaming ----------------------------------------------------------------
+    def open_stream(self) -> None:
+        """Mark the element stream open: :meth:`drive` stops at *idle*."""
+        self.detector.open_stream()
+
+    def close_stream(self) -> None:
+        """Mark the stream exhausted: :meth:`drive` runs to *drained*."""
+        self.detector.close_stream()
+
+    def inject(self, pairs: Sequence[Tuple[Element, int]]) -> int:
+        """Admit streamed elements, routed to their stable-hash home shards.
+
+        Each ``(element, count)`` pair is shipped to ``home_of(element)`` —
+        the same placement the initial load used, so routing stays uniform
+        across the element's whole lifetime.  Touched shards have their
+        phase-1 stability invalidated (the next :meth:`drive` re-probes
+        them); untouched shards stay parked.  Returns copies admitted.
+        """
+        batches = partition_pairs(list(pairs), self.coordinator.num_shards)
+        copies = self.backend.ingest_batches(batches)
+        for shard, count in enumerate(copies):
+            self.detector.injected(shard, count)
+        self.messages += sum(1 for batch in batches if batch)
+        admitted = sum(copies)
+        self.injected += admitted
+        return admitted
+
+    def snapshot(self) -> Multiset:
+        """Consistent global multiset at the current barrier (non-destructive)."""
+        self.messages += self.coordinator.num_shards
+        return self.backend.snapshot_all()
+
+    # -- the barrier loop ---------------------------------------------------------
+    def drive(self, max_new_rounds: Optional[int] = None) -> str:
+        """Run barrier rounds until the detector's verdict leaves ``RUNNING``.
+
+        Returns :data:`~repro.runtime.sharding.quiescence.DRAINED` when the
+        run may terminate, or
+        :data:`~repro.runtime.sharding.quiescence.IDLE` when every shard is
+        stable and nothing is in flight but the stream is still open (the
+        streaming runtime then waits for input and injects the next epoch).
+        ``max_new_rounds`` caps the barrier rounds of *this* call (the
+        streaming runtime's per-epoch budget): when the cap is hit with work
+        remaining, the call returns
+        :data:`~repro.runtime.sharding.quiescence.RUNNING` and a later drive
+        continues from the same state.  Raises :class:`NonTerminationError`
+        on exhausted session-wide budgets.
+        """
+        coordinator = self.coordinator
+        detector = self.detector
+        backend = self.backend
+        round_limit = None if max_new_rounds is None else self.rounds + max_new_rounds
+        while True:
+            if round_limit is not None and self.rounds >= round_limit:
+                return RUNNING
+            if self.rounds >= coordinator.max_rounds:
+                raise NonTerminationError(
+                    f"sharded run exceeded {coordinator.max_rounds} rounds "
+                    f"on {coordinator.program.name!r}"
+                )
+            remaining = coordinator.max_supersteps - self.supersteps
+            if remaining <= 0:
+                raise NonTerminationError(
+                    f"sharded run exceeded {coordinator.max_supersteps} supersteps "
+                    f"on {coordinator.program.name!r}"
+                )
+            round_cap = (
+                remaining
+                if coordinator.round_supersteps is None
+                else min(coordinator.round_supersteps, remaining)
+            )
+            reports = backend.superstep_all(
+                max_supersteps=round_cap, budget=coordinator.superstep_budget
+            )
+            self.messages += coordinator.num_shards
+            self.rounds += 1
+            fired = 0
+            for report in reports:
+                fired += report.fired
+                self.per_shard_firings[report.shard] += report.fired
+                self.supersteps += report.supersteps
+                detector.record_local(report.shard, report.stable)
+            self.firings += fired
+
+            if fired:
+                if coordinator.work_stealing:
+                    moved, batches = coordinator._rebalance(
+                        backend, reports, detector
+                    )
+                    self.migrations += moved
+                    self.messages += batches
+                    self.steals += batches
+                continue
+
+            # Every shard is locally stable: plan the exchange.
+            histograms = backend.label_counts()
+            self.messages += coordinator.num_shards
+            plan = coordinator.routing.migration_plan(histograms)
+            verdict = detector.verdict(plan_empty=not plan)
+            if verdict != RUNNING:
+                # The quiescence-round histograms are the current global
+                # distribution — nothing mutates until the next injection.
+                self._final_sizes = [sum(c.values()) for c in histograms]
+                return verdict
+            moved, batches = backend.execute_transfers(plan, detector)
+            if not moved:
+                raise RuntimeError(
+                    "exchange plan moved nothing while matches may remain "
+                    "(sharding protocol invariant violated)"
+                )
+            self.migrations += moved
+            self.messages += batches
+            self.exchanges += 1
+
+    # -- results ------------------------------------------------------------------
+    def result(self) -> ShardedRunResult:
+        """Collect the final multiset and wrap the session's accounting."""
+        final = self.backend.collect_final()
+        self.messages += self.coordinator.num_shards
+        return ShardedRunResult(
+            final=final,
+            steps=self.rounds,
+            firings=self.firings,
+            migrations=self.migrations,
+            messages=self.messages,
+            per_partition_firings=list(self.per_shard_firings),
+            backend=self.coordinator.backend_name,
+            rounds=self.rounds,
+            supersteps=self.supersteps,
+            exchanges=self.exchanges,
+            steals=self.steals,
+            final_shard_sizes=list(self._final_sizes),
+        )

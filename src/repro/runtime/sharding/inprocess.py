@@ -106,6 +106,32 @@ class InProcessBackend:
         detector.migrations_delivered(thief, copies)
         return copies
 
+    def ingest_batches(
+        self, partitions: Sequence[Sequence[Tuple[Element, int]]]
+    ) -> List[int]:
+        """Routed streaming injection: one batch per shard, empty batches skipped.
+
+        Returns the copies ingested per shard (0 for shards whose batch was
+        empty), so the caller can invalidate exactly the touched shards'
+        phase-1 verdicts.
+        """
+        copies = [0] * len(self.workers)
+        for shard, batch in enumerate(partitions):
+            if batch:
+                copies[shard] = self.workers[shard].ingest(batch)
+        return copies
+
+    def snapshot_all(self) -> Multiset:
+        """Non-destructive union of every shard's partition (mid-stream read).
+
+        Safe between rounds: the in-process workers only mutate inside
+        protocol calls, so the snapshot observes a consistent global state.
+        """
+        snapshot = Multiset()
+        for worker in self.workers:
+            snapshot.add_counts(worker.counts())
+        return snapshot
+
     def collect_final(self) -> Multiset:
         """Union of every shard's partition (the run's final multiset)."""
         final = Multiset()

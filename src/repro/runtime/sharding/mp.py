@@ -256,14 +256,40 @@ class MultiprocessingBackend:
         detector.migrations_delivered(thief, copies)
         return copies
 
-    def collect_final(self) -> Multiset:
-        """Union of every shard's partition (the run's final multiset)."""
+    def ingest_batches(
+        self, partitions: Sequence[Sequence[Tuple[Element, int]]]
+    ) -> List[int]:
+        """Routed streaming injection: one queued batch per non-empty shard.
+
+        Batches are broadcast before any reply is read (shards ingest
+        concurrently); returns the copies ingested per shard.
+        """
+        targets = [
+            shard for shard, batch in enumerate(partitions) if batch
+        ]
+        for shard in targets:
+            self._send(shard, "ingest", ShardWorker.to_quads(partitions[shard]))
+        copies = [0] * self.num_shards
+        for shard in targets:
+            copies[shard] = self._recv(shard, "ok")
+        return copies
+
+    def snapshot_all(self) -> Multiset:
+        """Non-destructive union of every shard's partition (mid-stream read).
+
+        Safe between rounds: workers serve commands strictly in order, so a
+        snapshot taken at a barrier observes a consistent global state.
+        """
         for shard in range(self.num_shards):
             self._send(shard, "snapshot")
-        final = Multiset()
+        snapshot = Multiset()
         for shard in range(self.num_shards):
-            final.add_counts(ShardWorker.from_quads(self._recv(shard, "batch")))
-        return final
+            snapshot.add_counts(ShardWorker.from_quads(self._recv(shard, "batch")))
+        return snapshot
+
+    def collect_final(self) -> Multiset:
+        """Union of every shard's partition (the run's final multiset)."""
+        return self.snapshot_all()
 
     def stop(self) -> None:
         """Terminate every worker process (idempotent)."""

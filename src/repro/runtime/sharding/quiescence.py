@@ -19,13 +19,28 @@ Any local mutation (a firing, an ingested batch) invalidates phase 1 for the
 affected shard, so callers re-report local stability every round; the
 coordinator only declares termination when both phases hold in the same
 barrier round.
+
+Streaming extension: with an *open element stream* attached
+(:meth:`QuiescenceDetector.open_stream`), the two-phase certificate no
+longer means the run may end — a streamed element could still arrive and
+re-enable a reaction.  :meth:`QuiescenceDetector.verdict` therefore
+distinguishes three states: ``"running"`` (some phase fails), ``"idle"``
+(both phases hold but the stream is open — the epoch is stable, wait for
+input), and ``"drained"`` (both phases hold and the stream is closed — the
+run may terminate).  For batch runs, which never open a stream,
+:meth:`check` keeps its original meaning exactly.
 """
 
 from __future__ import annotations
 
 from typing import List
 
-__all__ = ["QuiescenceDetector"]
+__all__ = ["QuiescenceDetector", "RUNNING", "IDLE", "DRAINED"]
+
+#: :meth:`QuiescenceDetector.verdict` values.
+RUNNING = "running"
+IDLE = "idle"
+DRAINED = "drained"
 
 
 class QuiescenceDetector:
@@ -44,6 +59,7 @@ class QuiescenceDetector:
         self.num_shards = num_shards
         self._stable: List[bool] = [False] * num_shards
         self._in_flight = 0
+        self._stream_open = False
 
     # -- phase 1 inputs -----------------------------------------------------------
     def record_local(self, shard: int, stable: bool) -> None:
@@ -78,6 +94,32 @@ class QuiescenceDetector:
         if copies:
             self._stable[shard] = False
 
+    # -- streaming inputs ---------------------------------------------------------
+    @property
+    def stream_open(self) -> bool:
+        """True while an element stream may still inject work."""
+        return self._stream_open
+
+    def open_stream(self) -> None:
+        """Attach an open element stream: quiescence can at most mean *idle*."""
+        self._stream_open = True
+
+    def close_stream(self) -> None:
+        """The stream is exhausted: idle now escalates back to *drained*."""
+        self._stream_open = False
+
+    def injected(self, shard: int, copies: int) -> None:
+        """Note that ``copies`` streamed copies were ingested by ``shard``.
+
+        Injection mutates the receiving shard like a migration delivery does,
+        so its phase-1 verdict is invalidated — but unlike a migration, the
+        copies were never in flight between shards.
+        """
+        if copies < 0:
+            raise ValueError("copies must be non-negative")
+        if copies:
+            self._stable[shard] = False
+
     # -- verdicts -----------------------------------------------------------------
     @property
     def in_flight(self) -> int:
@@ -88,12 +130,27 @@ class QuiescenceDetector:
         """Phase 1: every shard's last report was locally stable."""
         return all(self._stable)
 
+    def verdict(self, plan_empty: bool) -> str:
+        """Three-way quiescence verdict for this barrier round.
+
+        ``plan_empty`` is phase 2's certificate — the routing-table migration
+        plan over the current label histograms contains no transfer.  Returns
+        :data:`RUNNING` when either phase fails, :data:`IDLE` when both
+        phases hold but the stream is still open (stable *for now*; more
+        elements may arrive), and :data:`DRAINED` when both phases hold and
+        no stream can inject further work — only then may the run terminate.
+        """
+        if not (self.all_locally_stable() and self._in_flight == 0 and plan_empty):
+            return RUNNING
+        return IDLE if self._stream_open else DRAINED
+
     def check(self, plan_empty: bool) -> bool:
         """Global quiescence verdict for this barrier round.
 
         ``plan_empty`` is phase 2's certificate — the routing-table migration
         plan over the current label histograms contains no transfer.  Returns
         ``True`` exactly when the run may terminate: all shards locally
-        stable, nothing in flight, and no cross-shard match possible.
+        stable, nothing in flight, no cross-shard match possible, and no
+        open stream that could inject more work.
         """
-        return self.all_locally_stable() and self._in_flight == 0 and plan_empty
+        return self.verdict(plan_empty) == DRAINED

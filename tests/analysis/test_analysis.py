@@ -151,7 +151,10 @@ class TestBackendParallelism:
 
         program = sum_reduction()
         initial = values_multiset(range(1, 33))
-        comparison = compare_backend_parallelism(program, initial)
+        # Seeded: the unseeded counting model's enumeration order can strand
+        # a duplicate-value pair (~0.3% of entropy seeds take one extra
+        # step), which is noise, not what this test pins.
+        comparison = compare_backend_parallelism(program, initial, seed=0)
         # The greedy superstep backend realizes the full counted width of a
         # guard-free fold: same work, same steps, realization 1.
         assert comparison.measured.work == comparison.available.work == 31

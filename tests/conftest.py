@@ -1,11 +1,56 @@
-"""Shared fixtures: the paper's example graphs and frequently used programs."""
+"""Shared fixtures: backend/engine parametrization and frequently used programs.
+
+The parametrized ``engine_name`` / ``backend`` fixtures are the single
+source of backend sweeps for the unit-test suites (``tests/gamma``,
+``tests/core``, ``tests/runtime``) — tests take the fixture instead of
+copy-pasting ``@pytest.mark.parametrize`` lists, so a new engine or
+distributed backend lands in every sweep by editing this file alone.  (The
+property suites sample backends inside their Hypothesis strategies — see
+``tests/properties/generators.py`` — because function-scoped fixtures and
+``@given`` don't mix.)
+"""
 
 from __future__ import annotations
+
+import multiprocessing
 
 import pytest
 
 from repro.gamma.stdlib import sum_reduction, values_multiset
 from repro.workloads.paper_examples import example1_graph, example2_graph
+
+#: True when the preferred ``fork`` start method exists (multiprocessing
+#: backends are skipped elsewhere).
+FORK_AVAILABLE = "fork" in multiprocessing.get_all_start_methods()
+
+#: The single-process scheduling-policy engines accepted by ``run(engine=...)``.
+ENGINE_NAMES = ("sequential", "chaotic", "max-parallel")
+
+#: Distributed backends accepted by ``DistributedGammaRuntime(backend=...)``.
+DISTRIBUTED_BACKENDS = ("legacy", "inprocess", "multiprocessing")
+
+
+@pytest.fixture(params=ENGINE_NAMES)
+def engine_name(request):
+    """Every single-process engine name, one test instance per engine."""
+    return request.param
+
+
+@pytest.fixture(
+    params=[
+        "legacy",
+        "inprocess",
+        pytest.param(
+            "multiprocessing",
+            marks=pytest.mark.skipif(
+                not FORK_AVAILABLE, reason="fork start method unavailable"
+            ),
+        ),
+    ]
+)
+def backend(request):
+    """Every distributed backend name, one test instance per backend."""
+    return request.param
 
 
 @pytest.fixture

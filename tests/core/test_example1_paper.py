@@ -77,10 +77,9 @@ class TestBehaviouralEquivalence:
         result = run(conversion.program, engine="sequential")
         assert result.final.values_with_label("m") == [0]
 
-    @pytest.mark.parametrize("engine", ["sequential", "chaotic", "max-parallel"])
-    def test_all_engines_agree(self, engine):
+    def test_all_engines_agree(self, engine_name):
         conversion = dataflow_to_gamma(example1_graph())
-        result = run(conversion.program, engine=engine, seed=11)
+        result = run(conversion.program, engine=engine_name, seed=11)
         assert result.final.restrict_labels(["m"]).to_tuples() == [(0, "m", 0)]
 
     @pytest.mark.parametrize(

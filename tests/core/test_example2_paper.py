@@ -105,11 +105,10 @@ class TestBehaviouralEquivalence:
         assert result.final.values_with_label("Cout") == [expected]
 
     @pytest.mark.parametrize("y,z,x", [(2, 3, 10), (1, 1, 0), (5, 0, 7), (3, 8, -4), (0, 6, 2)])
-    @pytest.mark.parametrize("engine", ["sequential", "chaotic", "max-parallel"])
-    def test_sweep_all_engines(self, y, z, x, engine):
+    def test_sweep_all_engines(self, y, z, x, engine_name):
         graph = example2_graph(y, z, x)
         conversion = dataflow_to_gamma(graph)
-        result = run(conversion.program, engine=engine, seed=1)
+        result = run(conversion.program, engine=engine_name, seed=1)
         assert result.final.restrict_labels(["Cout"]).to_tuples() == [
             (example2_expected_result(y, z, x), "Cout", z + 1 if z > 0 else 1)
         ]

@@ -27,22 +27,21 @@ from repro.gamma.stdlib import (
 )
 from repro.multiset import Multiset
 
-ENGINES = ["sequential", "chaotic", "max-parallel"]
+# Engine sweeps come from the shared parametrized ``engine_name`` fixture
+# (tests/conftest.py), not a module-local list.
 
 
 class TestTermination:
-    @pytest.mark.parametrize("engine", ENGINES)
-    def test_stable_state_reached(self, engine):
-        result = run(sum_reduction(), values_multiset([1, 2, 3, 4]), engine=engine, seed=0)
+    def test_stable_state_reached(self, engine_name):
+        result = run(sum_reduction(), values_multiset([1, 2, 3, 4]), engine=engine_name, seed=0)
         assert result.final.to_tuples() == [(10, "x", 0)]
         assert result.stable
 
-    @pytest.mark.parametrize("engine", ENGINES)
-    def test_no_enabled_reaction_returns_input(self, engine):
+    def test_no_enabled_reaction_returns_input(self, engine_name):
         # Eq. 1: if no condition holds, the result is the initial multiset.
         program = min_element()
         single = values_multiset([42])
-        result = run(program, single, engine=engine, seed=0)
+        result = run(program, single, engine=engine_name, seed=0)
         assert result.final == single
         assert result.firings == 0
         assert result.steps == 0
@@ -68,19 +67,17 @@ class TestTermination:
 
 
 class TestSchedulerIndependence:
-    @pytest.mark.parametrize("engine", ENGINES)
     @pytest.mark.parametrize("seed", [0, 1, 7])
-    def test_confluent_results_do_not_depend_on_schedule(self, engine, seed):
+    def test_confluent_results_do_not_depend_on_schedule(self, engine_name, seed):
         values = [9, 1, 7, 3, 5, 11, 2]
-        result = run(min_element(), values_multiset(values), engine=engine, seed=seed)
+        result = run(min_element(), values_multiset(values), engine=engine_name, seed=seed)
         assert result.final.to_tuples() == [(1, "x", 0)]
 
-    def test_sum_firing_count_is_schedule_invariant(self):
+    def test_sum_firing_count_is_schedule_invariant(self, engine_name):
         values = list(range(1, 17))
-        for engine in ENGINES:
-            result = run(sum_reduction(), values_multiset(values), engine=engine, seed=3)
-            # n values always need exactly n-1 pairwise combinations.
-            assert result.firings == len(values) - 1
+        result = run(sum_reduction(), values_multiset(values), engine=engine_name, seed=3)
+        # n values always need exactly n-1 pairwise combinations.
+        assert result.firings == len(values) - 1
 
     def test_sieve_result_stable_across_seeds(self):
         initial = values_multiset(range(2, 40))

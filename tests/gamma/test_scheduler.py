@@ -148,12 +148,11 @@ class TestBudgetModes:
         with pytest.raises(NonTerminationError):
             run(GammaProgram([looping]), values_multiset([1]), engine="sequential", max_steps=10)
 
-    @pytest.mark.parametrize("engine", ["sequential", "chaotic", "max-parallel"])
-    def test_partial_result_when_budget_disabled(self, engine):
+    def test_partial_result_when_budget_disabled(self, engine_name):
         result = run(
             sum_reduction(),
             values_multiset(range(1, 33)),
-            engine=engine,
+            engine=engine_name,
             seed=0,
             max_steps=3,
             raise_on_budget=False,

@@ -22,9 +22,8 @@ from repro.gamma.stdlib import (
 
 
 class TestReductions:
-    @pytest.mark.parametrize("engine", ["sequential", "chaotic", "max-parallel"])
-    def test_min(self, engine):
-        result = run(min_element(), values_multiset([8, 3, 11, 5]), engine=engine, seed=1)
+    def test_min(self, engine_name):
+        result = run(min_element(), values_multiset([8, 3, 11, 5]), engine=engine_name, seed=1)
         assert result.final.values_with_label("x") == [3]
 
     def test_min_is_eq2_shape(self):

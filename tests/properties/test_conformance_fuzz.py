@@ -1,0 +1,201 @@
+"""Cross-backend conformance fuzzing: one differential suite for every backend.
+
+Replaces the per-backend hand-picked workload properties (previously split
+across ``test_parallel_properties.py`` and ``test_sharded_properties.py``)
+with a single differential harness.  Two input sources drive it:
+
+* **generated programs** — random confluent programs from
+  :mod:`generators` (random arity/guards/productions over int elements,
+  disjoint label blocks), which explore reaction shapes no hand-picked
+  workload covers (guarded unary rewrites, inert sinks, joined cross-label
+  footprints, programs with several independent subsystems);
+* **classic workloads** — the paper's confluent programs at random sizes,
+  keeping the old coverage alive in one place.
+
+The pinned contract: for any program × initial multiset × seed, every
+backend — sequential, chaotic, max-parallel, parallel supersteps, sharded
+in-process, sharded multiprocessing — reaches exactly the stable multiset
+the sequential compiled engine computes.  A second property extends the
+contract to the streaming runtime: after a seeded injection schedule drains,
+the final multiset equals a batch run over ``initial ∪ injected``, on every
+streaming backend (the ISSUE 5 acceptance differential).
+"""
+
+import multiprocessing
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from generators import BACKENDS, SHARD_COUNTS, conformance_cases
+from repro.gamma import ParallelEngine, run
+from repro.runtime.sharding import ShardCoordinator
+from repro.runtime.streaming import StreamingGammaRuntime
+from repro.workloads import make_workload
+
+FORK_AVAILABLE = "fork" in multiprocessing.get_all_start_methods()
+
+#: Classic confluent workloads kept under differential coverage.
+WORKLOADS = (
+    "min_element",
+    "max_element",
+    "sum_reduction",
+    "gcd",
+    "prime_sieve",
+    "exchange_sort",
+    "remove_duplicates",
+)
+
+seeds = st.one_of(st.none(), st.integers(min_value=0, max_value=2**16))
+shard_counts = st.sampled_from(SHARD_COUNTS)
+
+
+def _execute(program, initial, backend, seed, shards):
+    """Run ``program`` on ``backend`` and return its stable multiset."""
+    if backend == "inprocess" or backend == "multiprocessing":
+        return ShardCoordinator(
+            program, shards, backend=backend, seed=seed
+        ).run(initial.copy()).final
+    return run(program, initial.copy(), engine=backend, seed=seed).final
+
+
+def _reference(program, initial):
+    return run(program, initial.copy(), engine="sequential").final
+
+
+class TestGeneratedProgramConformance:
+    @given(
+        case=conformance_cases(),
+        backend=st.sampled_from(BACKENDS),
+        shards=shard_counts,
+        seed=seeds,
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_every_backend_reaches_the_sequential_stable_multiset(
+        self, case, backend, shards, seed
+    ):
+        reference = _reference(case.program, case.initial)
+        final = _execute(case.program, case.initial, backend, seed, shards)
+        assert final == reference
+
+    @pytest.mark.skipif(not FORK_AVAILABLE, reason="fork start method unavailable")
+    @given(case=conformance_cases(), shards=shard_counts, seed=seeds)
+    @settings(
+        max_examples=5,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_multiprocessing_backend_conforms(self, case, shards, seed):
+        reference = _reference(case.program, case.initial)
+        final = _execute(case.program, case.initial, "multiprocessing", seed, shards)
+        assert final == reference
+
+
+class TestWorkloadConformance:
+    @given(
+        name=st.sampled_from(WORKLOADS),
+        size=st.integers(min_value=2, max_value=24),
+        data_seed=st.integers(min_value=0, max_value=5),
+        backend=st.sampled_from(BACKENDS),
+        shards=shard_counts,
+        seed=seeds,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_every_backend_agrees_on_classic_workloads(
+        self, name, size, data_seed, backend, shards, seed
+    ):
+        workload = make_workload(name, size=size, seed=data_seed)
+        reference = _reference(workload.program, workload.initial)
+        final = _execute(workload.program, workload.initial, backend, seed, shards)
+        assert final == reference
+
+    @given(
+        name=st.sampled_from(WORKLOADS),
+        size=st.integers(min_value=2, max_value=20),
+        engine_seed=seeds,
+        workers=st.sampled_from([None, 2, 4]),
+        max_batch=st.one_of(st.none(), st.integers(min_value=1, max_value=6)),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_parallel_engine_options_do_not_change_the_stable_multiset(
+        self, name, size, engine_seed, workers, max_batch
+    ):
+        """Worker pools and batch caps explore schedules, never results."""
+        workload = make_workload(name, size=size, seed=1)
+        reference = _reference(workload.program, workload.initial)
+        parallel = ParallelEngine(
+            seed=engine_seed, workers=workers, max_batch=max_batch
+        ).run(workload.program, workload.initial)
+        assert parallel.stable
+        assert parallel.final == reference
+
+    @pytest.mark.skipif(not FORK_AVAILABLE, reason="fork start method unavailable")
+    @given(
+        name=st.sampled_from(WORKLOADS),
+        size=st.integers(min_value=2, max_value=16),
+        shards=shard_counts,
+        seed=seeds,
+    )
+    @settings(
+        max_examples=5,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_multiprocessing_backend_agrees_on_classic_workloads(
+        self, name, size, shards, seed
+    ):
+        workload = make_workload(name, size=size, seed=2)
+        reference = _reference(workload.program, workload.initial)
+        final = _execute(
+            workload.program, workload.initial, "multiprocessing", seed, shards
+        )
+        assert final == reference
+
+
+#: Streaming backends swept by the drain-equals-batch property (the
+#: multiprocessing variant lives in tests/runtime/test_streaming.py — one
+#: process pool per Hypothesis example is too slow to fuzz here).
+STREAMING_BACKENDS = ("sequential", "chaotic", "parallel", "inprocess")
+
+
+class TestStreamingConformance:
+    @given(
+        case=conformance_cases(with_schedule=True),
+        backend=st.sampled_from(STREAMING_BACKENDS),
+        shards=shard_counts,
+        seed=seeds,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_drained_stream_equals_batch_over_union(
+        self, case, backend, shards, seed
+    ):
+        """ISSUE 5 acceptance: stream-then-drain ≡ batch over initial ∪ injected."""
+        reference = _reference(case.program, case.batch_union())
+        runtime = StreamingGammaRuntime(
+            case.program, backend=backend, seed=seed, num_shards=shards
+        )
+        result = runtime.run(
+            case.initial.copy(), schedule=[list(batch) for batch in case.schedule]
+        )
+        assert result.stable
+        assert result.final == reference
+        assert result.injected == len(case.injected_elements())
+
+    @given(
+        case=conformance_cases(with_schedule=True),
+        backend=st.sampled_from(STREAMING_BACKENDS),
+        shards=shard_counts,
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_seeded_streams_are_reproducible(self, case, backend, shards, seed):
+        def profile():
+            result = StreamingGammaRuntime(
+                case.program, backend=backend, seed=seed, num_shards=shards
+            ).run(
+                case.initial.copy(),
+                schedule=[list(batch) for batch in case.schedule],
+            )
+            return (result.final, result.firings, result.steps, result.epoch_firings())
+
+        assert profile() == profile()

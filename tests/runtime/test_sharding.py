@@ -82,9 +82,24 @@ class TestPartitioning:
             for element in part.distinct():
                 assert dm.home_of(element) == index
 
+    def test_partition_pairs_agrees_with_home_of(self):
+        from repro.multiset import home_of, partition_pairs
+
+        pairs = [(Element(i, "x", 0), 1 + i % 3) for i in range(24)]
+        batches = partition_pairs(pairs, 4)
+        for home, batch in enumerate(batches):
+            for element, _ in batch:
+                assert home_of(element, 4) == home
+        flattened = [pair for batch in batches for pair in batch]
+        assert sorted(flattened, key=lambda p: p[0].value) == pairs
+
     def test_invalid_partition_count(self):
         with pytest.raises(ValueError):
             partition_counts(Multiset(), 0)
+        with pytest.raises(ValueError):
+            from repro.multiset import partition_pairs
+
+            partition_pairs([], 0)
 
 
 class TestRoutingTable:
@@ -402,7 +417,9 @@ class TestInProcessBackendInternals:
 
 
 class TestDistributedRuntimeBackends:
-    @pytest.mark.parametrize("backend", ["inprocess"])
+    # ``backend`` is the shared parametrized fixture from tests/conftest.py:
+    # every distributed backend (legacy, inprocess, multiprocessing) sweeps
+    # through this test without a module-local list.
     @pytest.mark.parametrize("partitions", [1, 2, 4])
     def test_results_match_centralized_execution(self, backend, partitions):
         program = sum_reduction()
@@ -448,6 +465,80 @@ class TestDistributedRuntimeBackends:
         ).run(values_multiset(range(1, 33)))
         assert unset.supersteps < capped.supersteps
         assert unset.final == capped.final
+
+
+@pytest.mark.skipif(not FORK_AVAILABLE, reason="fork start method unavailable")
+class TestMultiprocessingBackendFailurePaths:
+    """Failure handling of the process-backed shard protocol.
+
+    The happy paths are covered by the coordinator/conformance tests; these
+    pin what happens when a worker process dies mid-round or a worker hits
+    an internal error — the backend must fail loudly and tear its queues
+    and processes down instead of deadlocking the coordinator.
+    """
+
+    @staticmethod
+    def _make_backend(shards=2):
+        program = sum_reduction()
+        routing = RoutingTable(program.reactions, shards)
+        from repro.runtime.sharding.mp import MultiprocessingBackend
+
+        return MultiprocessingBackend(program.reactions, shards, routing)
+
+    def test_worker_killed_mid_round_raises_and_tears_down(self, monkeypatch):
+        from repro.runtime.sharding import mp as mp_module
+
+        backend = self._make_backend()
+        # A dead worker never replies; shrink the liveness timeout so the
+        # detection path runs in test time.
+        monkeypatch.setattr(mp_module, "_REPLY_TIMEOUT", 0.2)
+        victim = backend._processes[0]
+        victim.terminate()
+        victim.join(timeout=10)
+        assert not victim.is_alive()
+        with pytest.raises(RuntimeError, match="unresponsive.*dead"):
+            backend.superstep_all()
+        # The failure tore everything down: every process joined, another
+        # stop is a no-op instead of hanging on dead queues.
+        assert all(not process.is_alive() for process in backend._processes)
+        backend.stop()
+
+    def test_worker_error_reply_raises_and_stops_cleanly(self):
+        backend = self._make_backend()
+        # An unknown command makes the worker raise, which it reports as an
+        # ("error", traceback) reply before exiting.
+        backend._send(0, "explode")
+        with pytest.raises(RuntimeError, match="worker failed"):
+            backend._recv(0, "report")
+        assert backend._stopped
+        assert all(not process.is_alive() for process in backend._processes)
+        backend.stop()  # idempotent after the error-path teardown
+
+    def test_queue_teardown_after_exception_is_idempotent(self):
+        backend = self._make_backend()
+        backend._send(1, "explode")
+        with pytest.raises(RuntimeError):
+            backend._recv(1, "labels")
+        # Queues are closed; further protocol use fails fast rather than
+        # blocking forever on a stopped backend.
+        backend.stop()
+        backend.stop()
+
+    def test_coordinator_surfaces_worker_failure(self, monkeypatch):
+        from repro.runtime.sharding import mp as mp_module
+
+        monkeypatch.setattr(mp_module, "_REPLY_TIMEOUT", 0.2)
+        program = sum_reduction()
+        coordinator = ShardCoordinator(program, 2, backend="multiprocessing")
+        session = coordinator.start(values_multiset(range(1, 9)))
+        try:
+            backend = session.backend
+            backend._processes[1].terminate()
+            backend._processes[1].join(timeout=10)
+            with pytest.raises(RuntimeError, match="unresponsive"):
+                session.drive()
+        finally:
+            session.close()
 
 
 @pytest.mark.skipif(not FORK_AVAILABLE, reason="fork start method unavailable")
