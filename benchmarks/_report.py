@@ -10,6 +10,7 @@ successive PRs can diff performance trajectories file-against-file.
 """
 
 import json
+import os
 from pathlib import Path
 from typing import Any, Dict, List
 
@@ -17,6 +18,40 @@ REPORT_DIR = Path(__file__).parent / "reports"
 
 #: Version of the JSON report envelope; bump only on breaking schema changes.
 SCHEMA_VERSION = 1
+
+#: Canonical execution phases the profiled engines report.  The columnar
+#: kernel times its mask sweeps as ``guard``, production evaluation and
+#: rewrites as ``fire`` and the resynchronization as ``notify``; the object
+#: engines do not self-report, so ``match`` stays zero unless a harness
+#: times it explicitly.
+PROFILE_PHASES = ("match", "guard", "fire", "notify")
+
+
+def profile_enabled() -> bool:
+    """True when the harness was invoked with ``--profile`` (or BENCH_PROFILE=1)."""
+    return os.environ.get("BENCH_PROFILE", "") not in ("", "0")
+
+
+class PhaseProfiler:
+    """Per-phase wall-time accumulator (the engines' ``profiler`` duck type).
+
+    Engines that support profiling call ``add(phase, seconds)`` around their
+    hot sections; :meth:`snapshot` returns the accumulated totals over the
+    canonical :data:`PROFILE_PHASES` (plus any extra phases an engine
+    reported), ready to embed in a JSON report's ``meta`` field.
+    """
+
+    def __init__(self) -> None:
+        self.totals: Dict[str, float] = {}
+
+    def add(self, phase: str, seconds: float) -> None:
+        """Accumulate ``seconds`` of wall time into ``phase``."""
+        self.totals[phase] = self.totals.get(phase, 0.0) + seconds
+
+    def snapshot(self) -> Dict[str, float]:
+        """Accumulated seconds per phase (canonical phases always present)."""
+        phases = sorted(set(PROFILE_PHASES) | set(self.totals))
+        return {phase: round(self.totals.get(phase, 0.0), 6) for phase in phases}
 
 
 def emit_report(name: str, text: str) -> None:

@@ -1,11 +1,33 @@
 """Pytest configuration for the benchmark/experiment harness.
 
 The benchmark modules live in files named ``bench_*.py`` (one per experiment
-of EXPERIMENTS.md); this conftest only makes the shared ``_report`` helper
-importable when the suite is invoked from the repository root.
+of EXPERIMENTS.md); this conftest makes the shared ``_report`` helper
+importable when the suite is invoked from the repository root, and wires the
+``--profile`` flag (per-phase wall-time breakdown, see
+:class:`_report.PhaseProfiler`) through to the report helpers via the
+``BENCH_PROFILE`` environment variable.
 """
 
+import os
 import sys
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--profile",
+        action="store_true",
+        default=False,
+        help=(
+            "collect per-phase wall time (match/guard/fire/notify) in the "
+            "benchmarks that support it, and emit it under the JSON "
+            "report's 'meta' field"
+        ),
+    )
+
+
+def pytest_configure(config):
+    if config.getoption("--profile", default=False):
+        os.environ["BENCH_PROFILE"] = "1"

@@ -1,10 +1,20 @@
 """Setuptools shim.
 
-The project metadata lives in ``pyproject.toml``; this file exists so that
-``pip install -e . --no-use-pep517`` works in offline environments that lack
-the ``wheel`` package required by the PEP 517 editable-install path.
+This file exists so that ``pip install -e . --no-use-pep517`` works in
+offline environments that lack the ``wheel`` package required by the PEP 517
+editable-install path.
+
+The library itself has **no required runtime dependencies**.  The
+``columnar`` extra pulls in numpy for the vectorized columnar execution path
+(``pip install -e .[columnar]``); without it, :mod:`repro.multiset.columnar`
+transparently uses its pure-Python ``array``-module fallback.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-gamma",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    extras_require={"columnar": ["numpy"]},
+)

@@ -37,6 +37,12 @@ from .program import GammaProgram, SequentialProgram, parallel, sequential
 from .reaction import Branch, Reaction
 from .scheduler import ReactionScheduler, greedy_disjoint_matches
 from .tracer import FiringRecord, StepRecord, Trace
+from .vectorized import (
+    ColumnarKernel,
+    VectorizedReaction,
+    columnar_collect,
+    vectorized_for,
+)
 
 __all__ = [
     # expressions
@@ -57,4 +63,6 @@ __all__ = [
     "ParallelEngine", "ExecutionResult", "NonTerminationError", "run", "run_program",
     # tracing
     "Trace", "StepRecord", "FiringRecord",
+    # columnar vectorized kernel
+    "VectorizedReaction", "vectorized_for", "ColumnarKernel", "columnar_collect",
 ]

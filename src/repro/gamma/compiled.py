@@ -864,6 +864,7 @@ class CompiledReaction:
         "_collect_det",
         "_collect_rng",
         "_branches",
+        "_vectorized",
     )
 
     def __init__(self, reaction: Reaction) -> None:
@@ -894,6 +895,10 @@ class CompiledReaction:
         )
         self._collect_det: Optional[Callable] = None
         self._collect_rng: Optional[Callable] = None
+        # Fifth matcher variant (columnar mask program), built lazily like the
+        # collectors: only columnar runs pay the lowering.  ``False`` is the
+        # not-yet-attempted sentinel (``None`` means "tried, not lowerable").
+        self._vectorized: Any = False
         self._branches: Tuple[Tuple[Optional[Callable], Tuple[Callable, ...]], ...] = tuple(
             (
                 None if branch.condition is None else _compile_env_expr(branch.condition),
@@ -954,6 +959,27 @@ class CompiledReaction:
     def supports_collect(self) -> bool:
         """True when a codegenned superstep collector exists for this plan."""
         return self._collect_supported
+
+    def vectorized(self):
+        """The reaction's columnar mask program, or ``None``.
+
+        Fifth matcher variant (see :mod:`repro.gamma.vectorized`): constant
+        fields, cross-pattern equalities and the guard fused into one boolean
+        mask evaluated bucket-at-a-time over a
+        :class:`~repro.multiset.columnar.ColumnarStore`.  Lowered lazily on
+        first call and cached; reactions outside the vectorizable fragment
+        cache (and return) ``None``, which callers treat as "stay on the
+        object path".  The generated mask source is published under
+        ``sources["vector_mask"]`` for inspection, next to the other four
+        variants.
+        """
+        if self._vectorized is False:
+            from .vectorized import vectorized_for
+
+            self._vectorized = vectorized_for(self)
+            if self._vectorized is not None:
+                self.sources["vector_mask"] = self._vectorized.source
+        return self._vectorized
 
     def collect(
         self,

@@ -78,6 +78,7 @@ from .matching import Match
 from .program import GammaProgram, ProgramLike, SequentialProgram
 from .scheduler import ReactionScheduler
 from .tracer import Trace
+from .vectorized import ColumnarKernel
 
 __all__ = [
     "ExecutionResult",
@@ -143,6 +144,7 @@ class GammaEngine:
         raise_on_budget: bool = True,
         incremental: bool = True,
         compiled: bool = True,
+        columnar: bool = False,
     ) -> None:
         if max_steps <= 0:
             raise ValueError("max_steps must be positive")
@@ -150,7 +152,16 @@ class GammaEngine:
         self.raise_on_budget = raise_on_budget
         self.incremental = incremental
         self.compiled = compiled
+        # Columnar mode (see repro.gamma.vectorized): results and traces are
+        # identical with and without it — engines opt into vectorized probe
+        # paths where their scheduling policy permits and silently stay on
+        # the object path otherwise, so the flag is accepted uniformly.
+        self.columnar = columnar
         self._rng: Optional[random.Random] = None
+        #: Optional per-phase wall-time collector (duck-typed: an object with
+        #: ``add(phase, seconds)``), installed by the benchmark harness's
+        #: ``--profile`` mode; ``None`` costs nothing on the hot loops.
+        self.profiler = None
 
     # -- public API --------------------------------------------------------------
     def run(
@@ -227,6 +238,7 @@ class GammaEngine:
             rng=self._rng,
             incremental=self.incremental,
             compiled=self.compiled,
+            columnar=self.columnar,
         )
         try:
             return self.drain(
@@ -296,6 +308,62 @@ class SequentialEngine(GammaEngine):
 
     name = "sequential"
 
+    def drain(
+        self,
+        scheduler: ReactionScheduler,
+        multiset: Multiset,
+        trace: Trace,
+        max_steps: int,
+        raise_on_budget: bool = True,
+        label: str = "<stream>",
+    ) -> Tuple[int, int, bool]:
+        """Sequential drain, vectorized when ``columnar=True`` permits.
+
+        With a columnar scheduler whose whole program lowers to mask
+        programs (:meth:`ColumnarKernel.build`), the first-match/fire loop
+        runs entirely against the columnar store — same firings, same trace
+        records — and the object loop only takes over for whatever the
+        kernel hands back (a bail on a divisor hazard or a bucket demotion,
+        never a semantic difference).  Otherwise this is exactly the base
+        drain.
+        """
+        if not (self.columnar and self.compiled):
+            return super().drain(
+                scheduler, multiset, trace, max_steps, raise_on_budget, label
+            )
+        kernel = ColumnarKernel.build(scheduler)
+        if kernel is None:
+            return super().drain(
+                scheduler, multiset, trace, max_steps, raise_on_budget, label
+            )
+        steps, firings, outcome = kernel.drain(trace, max_steps, self.profiler)
+        if outcome == "stable":
+            return steps, firings, True
+        if outcome == "budget":
+            if raise_on_budget:
+                raise NonTerminationError(
+                    f"{self.name} engine exceeded {max_steps} steps on {label!r}"
+                )
+            return steps, firings, False
+        # Bail: the object path finishes the drain under the remaining
+        # budget; the budget error is raised here so its message names the
+        # caller's full budget, not the remainder.
+        more_steps, more_firings, stable = super().drain(
+            scheduler,
+            multiset,
+            trace,
+            max_steps - steps,
+            raise_on_budget=False,
+            label=label,
+        )
+        steps += more_steps
+        firings += more_firings
+        if not stable and raise_on_budget:
+            raise NonTerminationError(
+                f"{self.name} engine exceeded {max_steps} steps on {label!r}"
+            )
+        return steps, firings, stable
+
     def _select_matches(self, scheduler: ReactionScheduler) -> List[Match]:
         match = scheduler.find_first()
         return [match] if match is not None else []
@@ -313,12 +381,14 @@ class ChaoticEngine(GammaEngine):
         raise_on_budget: bool = True,
         incremental: bool = True,
         compiled: bool = True,
+        columnar: bool = False,
     ) -> None:
         super().__init__(
             max_steps=max_steps,
             raise_on_budget=raise_on_budget,
             incremental=incremental,
             compiled=compiled,
+            columnar=columnar,
         )
         self.seed = seed
         self._rng = random.Random(seed)
@@ -346,12 +416,14 @@ class MaxParallelEngine(GammaEngine):
         raise_on_budget: bool = True,
         incremental: bool = True,
         compiled: bool = True,
+        columnar: bool = False,
     ) -> None:
         super().__init__(
             max_steps=max_steps,
             raise_on_budget=raise_on_budget,
             incremental=incremental,
             compiled=compiled,
+            columnar=columnar,
         )
         self.seed = seed
         self._rng = random.Random(seed)
@@ -407,12 +479,14 @@ class ParallelEngine(GammaEngine):
         raise_on_budget: bool = True,
         incremental: bool = True,
         compiled: bool = True,
+        columnar: bool = False,
     ) -> None:
         super().__init__(
             max_steps=max_steps,
             raise_on_budget=raise_on_budget,
             incremental=incremental,
             compiled=compiled,
+            columnar=columnar,
         )
         if workers is not None and workers <= 0:
             raise ValueError("workers must be positive (or None for inline evaluation)")
@@ -532,6 +606,7 @@ def run(
     raise_on_budget: Optional[bool] = None,
     compiled: Optional[bool] = None,
     parallel: Union[None, bool, int] = None,
+    columnar: Optional[bool] = None,
 ) -> ExecutionResult:
     """Run a Gamma program with the named engine.
 
@@ -540,7 +615,9 @@ def run(
     to the nondeterministic engines; ``max_steps`` and ``raise_on_budget``
     configure the step budget (defaults: ``DEFAULT_MAX_STEPS``, raise);
     ``compiled`` selects the compiled reaction pipeline (default) or the
-    interpreted baseline (``compiled=False``).
+    interpreted baseline (``compiled=False``); ``columnar=True`` turns on
+    the vectorized columnar execution path where the chosen engine supports
+    it (identical results and traces — see :mod:`repro.gamma.vectorized`).
 
     ``parallel`` selects the batched superstep backend: ``parallel=True``
     runs :class:`ParallelEngine` with inline production evaluation and
@@ -566,6 +643,9 @@ def run(
         # like None everywhere (including the engine-instance conflict check),
         # so sweeps can forward a uniform parallel=False.
         parallel = None
+    if columnar is False:
+        # Same tolerance for columnar: mode sweeps forward columnar=False.
+        columnar = None
     if isinstance(engine, GammaEngine):
         conflicting = [
             name
@@ -575,6 +655,7 @@ def run(
                 ("raise_on_budget", raise_on_budget),
                 ("compiled", compiled),
                 ("parallel", parallel),
+                ("columnar", columnar),
             )
             if value is not None
         ]
@@ -602,6 +683,7 @@ def run(
             "max_steps": DEFAULT_MAX_STEPS if max_steps is None else max_steps,
             "raise_on_budget": True if raise_on_budget is None else raise_on_budget,
             "compiled": True if compiled is None else compiled,
+            "columnar": False if columnar is None else columnar,
         }
         if cls is ParallelEngine:
             kwargs["workers"] = parallel if isinstance(parallel, int) and not isinstance(parallel, bool) else None

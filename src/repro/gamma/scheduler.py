@@ -45,11 +45,13 @@ from __future__ import annotations
 import random
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
+from ..multiset.columnar import ColumnarStore
 from ..multiset.element import Element
 from ..multiset.index import LabelTagIndex
 from ..multiset.multiset import Multiset
 from .matching import Match, Matcher
 from .reaction import Reaction
+from .vectorized import columnar_collect
 
 __all__ = ["ReactionScheduler", "greedy_disjoint_matches", "reaction_footprints"]
 
@@ -85,6 +87,16 @@ class ReactionScheduler:
     (engines do this in a ``finally`` block).  The multiset may only be
     mutated *between* probe calls — exactly the discipline of all engines,
     which collect matches first and fire afterwards.
+
+    ``columnar=True`` additionally attaches a
+    :class:`~repro.multiset.columnar.ColumnarStore` mirror (maintained
+    through the same change notifications as the index) and lets the
+    deterministic superstep collector run each eligible reaction's probe as
+    a vectorized mask sweep (:func:`repro.gamma.vectorized.columnar_collect`)
+    instead of an element-at-a-time bucket scan.  Reactions outside the
+    vectorizable fragment — and every seeded (RNG-ordered) probe — fall back
+    to the object path per reaction, so results and traces are identical
+    either way.
     """
 
     def __init__(
@@ -94,12 +106,18 @@ class ReactionScheduler:
         rng: Optional[random.Random] = None,
         incremental: bool = True,
         compiled: bool = True,
+        columnar: bool = False,
     ) -> None:
         self.reactions: Tuple[Reaction, ...] = tuple(reactions)
         self.multiset = multiset
         self.rng = rng
         self.incremental = incremental
         self.compiled = compiled
+        self.columnar = columnar
+        self.columnar_store: Optional[ColumnarStore] = None
+        if columnar and compiled:
+            self.columnar_store = ColumnarStore()
+            self.columnar_store.attach(multiset)
         self.index = LabelTagIndex()
         self.index.attach(multiset)
         self.matcher = Matcher(multiset, index=self.index, rng=rng, compiled=compiled)
@@ -138,6 +156,8 @@ class ReactionScheduler:
         if self._attached:
             self.multiset.unsubscribe(self._listener)
             self.index.detach()
+            if self.columnar_store is not None:
+                self.columnar_store.detach()
             self._attached = False
 
     def _note_change(self, element: Element, delta: int) -> None:
@@ -250,6 +270,11 @@ class ReactionScheduler:
         """
         remaining: Dict[Element, int] = {}
         views: Dict[int, list] = {}
+        # Per-superstep cache of the columnar collectors (bucket snapshots,
+        # exhausted-prefix heads, mask-true candidate lists) — the columnar
+        # analogue of ``views``, shared across this superstep's reactions.
+        cviews: Dict = {}
+        store = self.columnar_store if self.rng is None else None
         chosen: List[Match] = []
         compiled = self._compiled
         count = self.multiset.count
@@ -262,9 +287,16 @@ class ReactionScheduler:
             had_claims = bool(remaining)
             accepted = False
             if compiled_reaction is not None and compiled_reaction.supports_collect:
-                for match in compiled_reaction.collect(
-                    self.index, self.multiset, remaining, self.rng, views
-                ):
+                matches = None
+                if store is not None:
+                    matches = columnar_collect(
+                        compiled_reaction, store, self.multiset, remaining, cviews
+                    )
+                if matches is None:
+                    matches = compiled_reaction.collect(
+                        self.index, self.multiset, remaining, self.rng, views
+                    )
+                for match in matches:
                     accepted = True
                     chosen.append(match)
                     if budget is not None and len(chosen) >= budget:

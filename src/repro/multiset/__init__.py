@@ -7,6 +7,14 @@ This subpackage is the data layer shared by both computational models:
   edge values to exactly these elements.
 """
 
+from .columnar import (
+    ColumnarBucket,
+    ColumnarStore,
+    column_batch_copies,
+    from_column_batch,
+    numpy_or_none,
+    to_column_batch,
+)
 from .element import Element, make_elements
 from .index import LabelTagIndex
 from .multiset import Multiset
@@ -21,4 +29,10 @@ __all__ = [
     "partition_counts",
     "partition_pairs",
     "hash_partition",
+    "ColumnarBucket",
+    "ColumnarStore",
+    "to_column_batch",
+    "from_column_batch",
+    "column_batch_copies",
+    "numpy_or_none",
 ]

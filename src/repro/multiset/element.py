@@ -53,6 +53,7 @@ class Element:
     label: str = ""
     tag: int = 0
     _hash: int = field(init=False, repr=False, compare=False, default=0)
+    _stable: Any = field(init=False, repr=False, compare=False, default=None)
 
     def __post_init__(self) -> None:
         if not isinstance(self.label, str):
@@ -108,7 +109,17 @@ class Element:
         form before hashing; exotic numeric types (``Decimal``, ``Fraction``)
         and values with unstable ``repr`` (e.g. sets) are not canonicalized —
         they get a consistent placement per representation, never an error.
+
+        The digest is cached on first use (elements are immutable, so it can
+        never go stale): the sharded runtime hashes the same element on every
+        partition/routing lookup, and recomputing blake2b per call was
+        measurable on the exchange paths.  Caching is lazy rather than done
+        in ``__post_init__`` because the single-process engines construct
+        millions of elements that are never routed.
         """
+        cached = self._stable
+        if cached is not None:
+            return cached
         value = self.value
         if isinstance(value, bool):
             value = int(value)
@@ -117,7 +128,9 @@ class Element:
         digest = hashlib.blake2b(
             repr((value, self.label, self.tag)).encode("utf-8"), digest_size=8
         ).digest()
-        return int.from_bytes(digest, "big")
+        result = int.from_bytes(digest, "big")
+        object.__setattr__(self, "_stable", result)
+        return result
 
     def with_value(self, value: Any) -> "Element":
         """Copy of this element with a different value."""

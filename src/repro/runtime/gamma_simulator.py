@@ -56,11 +56,17 @@ class GammaSimulator:
         seed: Optional[int] = None,
         max_steps: int = DEFAULT_MAX_STEPS,
         compiled: bool = True,
+        columnar: bool = False,
     ) -> None:
         self.program = program
         self.num_pes = num_pes
         self.max_steps = max_steps
         self.compiled = compiled
+        # The simulator always draws from an RNG (even unseeded), and the
+        # columnar sweeps only engage on deterministic schedulers — so this
+        # flag attaches the mirror for API uniformity but collection stays
+        # on the object path.
+        self.columnar = columnar
         self._rng = random.Random(seed)
 
     def run(self, initial: Optional[Multiset] = None) -> GammaSimulationResult:
@@ -73,7 +79,11 @@ class GammaSimulator:
         steps = 0
         total_firings = 0
         scheduler = ReactionScheduler(
-            self.program.reactions, multiset, rng=self._rng, compiled=self.compiled
+            self.program.reactions,
+            multiset,
+            rng=self._rng,
+            compiled=self.compiled,
+            columnar=self.columnar,
         )
         # Matches are availability-verified by the scheduler, so the compiled
         # path may skip replace()'s atomic pre-validation; the whole step's
@@ -118,6 +128,9 @@ def simulate_program(
     num_pes: Optional[int] = None,
     seed: Optional[int] = None,
     compiled: bool = True,
+    columnar: bool = False,
 ) -> GammaSimulationResult:
     """Convenience wrapper around :class:`GammaSimulator`."""
-    return GammaSimulator(program, num_pes=num_pes, seed=seed, compiled=compiled).run(initial)
+    return GammaSimulator(
+        program, num_pes=num_pes, seed=seed, compiled=compiled, columnar=columnar
+    ).run(initial)

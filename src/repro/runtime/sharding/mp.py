@@ -6,10 +6,13 @@ queues.  Design constraints:
 
 * **nothing codegenned crosses a process boundary** — every worker process
   compiles its own schedulers from the program's reactions;
-* **element batches travel as plain tuples** (``(value, label, tag, count)``
-  quads, see :meth:`ShardWorker.to_quads`), keeping the wire format
-  picklable on every supported interpreter regardless of how ``Element``'s
-  frozen/slots dataclass pickles;
+* **element batches travel as parallel columns** (``(values, labels, tags,
+  counts)`` lists, see :func:`~repro.multiset.columnar.to_column_batch`),
+  keeping the wire format picklable on every supported interpreter
+  regardless of how ``Element``'s frozen/slots dataclass pickles, with one
+  shared list header per column instead of one tuple per element (the
+  per-element quad format survives as :meth:`ShardWorker.to_quads` for
+  direct worker use);
 * **the fork start method is preferred** when the platform offers it, so the
   reaction objects reach workers by address-space inheritance; under spawn
   they are pickled as ordinary dataclasses.
@@ -29,6 +32,11 @@ import traceback
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ...gamma.reaction import Reaction
+from ...multiset.columnar import (
+    column_batch_copies,
+    from_column_batch,
+    to_column_batch,
+)
 from ...multiset.element import Element
 from ...multiset.multiset import Multiset
 from .quiescence import QuiescenceDetector
@@ -69,7 +77,7 @@ def _shard_worker_main(
                 replies.put(("stopped", shard))
                 return
             if command == "load" or command == "ingest":
-                copies = worker.ingest(ShardWorker.from_quads(payload))
+                copies = worker.ingest(from_column_batch(payload))
                 replies.put(("ok", copies))
             elif command == "step":
                 max_supersteps, budget = payload
@@ -90,12 +98,12 @@ def _shard_worker_main(
                 replies.put(("labels", worker.label_counts()))
             elif command == "extract_labels":
                 pairs = worker.extract_labels(payload)
-                replies.put(("batch", ShardWorker.to_quads(pairs)))
+                replies.put(("batch", to_column_batch(pairs)))
             elif command == "extract_some":
                 pairs = worker.extract_some(payload, routing)
-                replies.put(("batch", ShardWorker.to_quads(pairs)))
+                replies.put(("batch", to_column_batch(pairs)))
             elif command == "snapshot":
-                replies.put(("batch", ShardWorker.to_quads(worker.counts())))
+                replies.put(("batch", to_column_batch(worker.counts())))
             else:  # pragma: no cover - protocol bug
                 raise ValueError(f"unknown shard command {command!r}")
     except BaseException:
@@ -179,7 +187,7 @@ class MultiprocessingBackend:
     def load(self, partitions: Sequence[Sequence[Tuple[Element, int]]]) -> None:
         """Ship the initial hash partitions to the workers (one batch each)."""
         for shard, batch in enumerate(partitions):
-            self._send(shard, "load", ShardWorker.to_quads(batch))
+            self._send(shard, "load", to_column_batch(batch))
         for shard in range(self.num_shards):
             self._recv(shard, "ok")
 
@@ -223,12 +231,12 @@ class MultiprocessingBackend:
         batches = 0
         deliveries: List[Tuple[int, int]] = []
         for transfer in transfers:
-            quads = self._recv(transfer.source, "batch")
-            if not quads:
+            batch = self._recv(transfer.source, "batch")
+            copies = column_batch_copies(batch)
+            if not copies:
                 continue
-            copies = sum(count for _, _, _, count in quads)
             detector.migrations_started(copies)
-            self._send(transfer.destination, "ingest", quads)
+            self._send(transfer.destination, "ingest", batch)
             deliveries.append((transfer.destination, copies))
             batches += 1
             moved += copies
@@ -246,12 +254,12 @@ class MultiprocessingBackend:
     ) -> int:
         """Move up to ``limit`` routable copies from ``donor`` to ``thief``."""
         self._send(donor, "extract_some", limit)
-        quads = self._recv(donor, "batch")
-        if not quads:
+        batch = self._recv(donor, "batch")
+        copies = column_batch_copies(batch)
+        if not copies:
             return 0
-        copies = sum(count for _, _, _, count in quads)
         detector.migrations_started(copies)
-        self._send(thief, "ingest", quads)
+        self._send(thief, "ingest", batch)
         self._recv(thief, "ok")
         detector.migrations_delivered(thief, copies)
         return copies
@@ -268,7 +276,7 @@ class MultiprocessingBackend:
             shard for shard, batch in enumerate(partitions) if batch
         ]
         for shard in targets:
-            self._send(shard, "ingest", ShardWorker.to_quads(partitions[shard]))
+            self._send(shard, "ingest", to_column_batch(partitions[shard]))
         copies = [0] * self.num_shards
         for shard in targets:
             copies[shard] = self._recv(shard, "ok")
@@ -284,7 +292,7 @@ class MultiprocessingBackend:
             self._send(shard, "snapshot")
         snapshot = Multiset()
         for shard in range(self.num_shards):
-            snapshot.add_counts(ShardWorker.from_quads(self._recv(shard, "batch")))
+            snapshot.add_counts(from_column_batch(self._recv(shard, "batch")))
         return snapshot
 
     def collect_final(self) -> Multiset:

@@ -331,6 +331,13 @@ class StreamingGammaRuntime:
         (``backend="parallel"`` only).
     compiled:
         Compiled scheduling stack (default) or the interpreted baseline.
+    columnar:
+        Mirror the live multiset into a columnar store and use the
+        vectorized sweeps where eligible (engine backends only; requires
+        ``compiled``).  Unseeded sequential streams drain each epoch through
+        the columnar kernel; unseeded parallel streams collect supersteps
+        through the columnar mask sweeps.  Seeded runs keep the mirror but
+        stay on the object path (selection must consume the RNG).
 
     Drive it either *scripted* — ``run(initial, schedule=[batch, ...])``
     plays one batch per epoch — or *live*: start producer threads against
@@ -353,6 +360,7 @@ class StreamingGammaRuntime:
         workers: Optional[int] = None,
         max_batch: Optional[int] = None,
         compiled: bool = True,
+        columnar: bool = False,
     ) -> None:
         if backend not in STREAM_BACKENDS:
             raise ValueError(
@@ -376,6 +384,7 @@ class StreamingGammaRuntime:
         self.workers = workers
         self.max_batch = max_batch
         self.compiled = compiled
+        self.columnar = columnar
         # Live-run state (created by start()).
         self._engine: Optional[GammaEngine] = None
         self._scheduler: Optional[ReactionScheduler] = None
@@ -412,6 +421,7 @@ class StreamingGammaRuntime:
                 self._multiset,
                 rng=self._engine._rng,
                 compiled=self.compiled,
+                columnar=self.columnar,
             )
         else:
             coordinator = ShardCoordinator(
@@ -429,14 +439,17 @@ class StreamingGammaRuntime:
 
     def _make_engine(self) -> GammaEngine:
         if self.backend == "sequential":
-            return SequentialEngine(compiled=self.compiled)
+            return SequentialEngine(compiled=self.compiled, columnar=self.columnar)
         if self.backend == "chaotic":
-            return ChaoticEngine(seed=self.seed, compiled=self.compiled)
+            return ChaoticEngine(
+                seed=self.seed, compiled=self.compiled, columnar=self.columnar
+            )
         return ParallelEngine(
             seed=self.seed,
             workers=self.workers,
             max_batch=self.max_batch,
             compiled=self.compiled,
+            columnar=self.columnar,
         )
 
     def close(self) -> None:

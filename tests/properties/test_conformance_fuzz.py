@@ -29,6 +29,8 @@ from hypothesis import strategies as st
 
 from generators import BACKENDS, SHARD_COUNTS, conformance_cases
 from repro.gamma import ParallelEngine, run
+from repro.multiset import ColumnarStore, Element, Multiset
+from repro.multiset import columnar as columnar_module
 from repro.runtime.sharding import ShardCoordinator
 from repro.runtime.streaming import StreamingGammaRuntime
 from repro.workloads import make_workload
@@ -199,3 +201,140 @@ class TestStreamingConformance:
             return (result.final, result.firings, result.steps, result.epoch_firings())
 
         assert profile() == profile()
+
+
+#: Engine backends that accept ``run(columnar=True)`` (the sharded backends
+#: use the columnar layer for their wire format, not for scheduling).
+COLUMNAR_BACKENDS = ("sequential", "chaotic", "max-parallel", "parallel")
+
+
+def _trace_fingerprint(result):
+    """The full firing structure of a run (bit-identity comparand)."""
+    return [
+        [
+            (
+                firing.step,
+                firing.reaction,
+                firing.consumed,
+                firing.produced,
+                tuple(sorted(firing.binding.items())),
+            )
+            for firing in step.firings
+        ]
+        for step in result.trace.steps
+    ]
+
+
+class TestColumnarConformance:
+    """ISSUE 6 acceptance: columnar mode is observationally invisible."""
+
+    @given(
+        case=conformance_cases(),
+        backend=st.sampled_from(COLUMNAR_BACKENDS),
+        seed=seeds,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_columnar_engines_reach_the_sequential_stable_multiset(
+        self, case, backend, seed
+    ):
+        reference = _reference(case.program, case.initial)
+        final = run(
+            case.program, case.initial.copy(), engine=backend, seed=seed, columnar=True
+        ).final
+        assert final == reference
+
+    @given(
+        name=st.sampled_from(WORKLOADS),
+        size=st.integers(min_value=2, max_value=24),
+        data_seed=st.integers(min_value=0, max_value=5),
+        engine=st.sampled_from(("sequential", "parallel")),
+        seed=seeds,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_columnar_traces_are_bit_identical_on_paper_workloads(
+        self, name, size, data_seed, engine, seed
+    ):
+        """Same firings, same order, same bindings — not just the same result."""
+        workload = make_workload(name, size=size, seed=data_seed)
+        plain = run(
+            workload.program, workload.initial.copy(), engine=engine, seed=seed
+        )
+        columnar = run(
+            workload.program,
+            workload.initial.copy(),
+            engine=engine,
+            seed=seed,
+            columnar=True,
+        )
+        assert _trace_fingerprint(columnar) == _trace_fingerprint(plain)
+        assert columnar.final == plain.final
+
+
+# -- ColumnarStore round-trip properties ---------------------------------------------
+
+element_values = st.one_of(
+    st.integers(min_value=-(2**40), max_value=2**40),
+    st.text(max_size=6),
+    st.tuples(st.integers(min_value=-100, max_value=100), st.integers()),
+)
+elements = st.builds(
+    Element,
+    value=element_values,
+    label=st.sampled_from(("x", "y", "data", "acc")),
+    tag=st.integers(min_value=0, max_value=3),
+)
+element_counts = st.lists(
+    st.tuples(elements, st.integers(min_value=1, max_value=5)),
+    max_size=24,
+)
+
+
+def _multiset_of(pairs):
+    multiset = Multiset()
+    for element, count in pairs:
+        multiset.add(element, count)
+    return multiset
+
+
+class TestColumnarStoreRoundTrip:
+    """``ColumnarStore`` ↔ ``Multiset`` is lossless, numpy or not."""
+
+    @given(pairs=element_counts)
+    @settings(max_examples=80, deadline=None)
+    def test_round_trip_preserves_counts_labels_and_order(self, pairs):
+        multiset = _multiset_of(pairs)
+        store = ColumnarStore.from_multiset(multiset)
+        assert len(store) == len(multiset)
+        assert store.counts() == multiset.counts()
+        # Same iteration order, not just the same mapping: the engines'
+        # deterministic tie-breaks read these orders.
+        assert list(store.counts()) == list(multiset.counts())
+        assert store.labels() == multiset.labels()
+        rebuilt = store.to_multiset()
+        assert rebuilt == multiset
+        assert list(rebuilt.counts()) == list(multiset.counts())
+
+    @given(pairs=element_counts)
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip_without_numpy_matches(self, pairs):
+        saved = columnar_module._np
+        columnar_module._np = None  # the documented pure-Python-fallback seam
+        try:
+            multiset = _multiset_of(pairs)
+            store = ColumnarStore.from_multiset(multiset)
+            assert store.counts() == multiset.counts()
+            assert store.to_multiset() == multiset
+            # The fallback never hands out numpy views.
+            for label in store.labels():
+                assert store.buckets[label].values_view() is None
+        finally:
+            columnar_module._np = saved
+
+    @given(pairs=element_counts)
+    @settings(max_examples=40, deadline=None)
+    def test_column_batch_wire_format_round_trips(self, pairs):
+        multiset = _multiset_of(pairs)
+        entries = list(multiset.counts().items())
+        batch = columnar_module.to_column_batch(entries)
+        assert columnar_module.column_batch_copies(batch) == len(multiset)
+        assert columnar_module.from_column_batch(batch) == entries
