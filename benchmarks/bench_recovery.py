@@ -1,0 +1,238 @@
+"""Recovery benchmark: checkpoint overhead and time-to-recover after a kill.
+
+Measures the fault-tolerance layer (`repro.runtime.recovery`) on the sharded
+streaming runtime:
+
+* **checkpoint overhead** — the same streamed ``min_element`` run with no
+  recovery attached vs epoch checkpoints every 1 / 4 / 16 epochs, reporting
+  firing throughput and the checkpointed/unprotected ratio.  Checkpointing
+  serializes every shard's partition through the column-batch wire format at
+  the epoch barrier, so the cost scales with live multiset size and interval.
+* **time-to-recover** — a run whose worker is killed mid-stream by the fault
+  harness (`repro.runtime.faults`); the session's measured rollback latency
+  (respawn + checkpoint restore + WAL replay) is reported as
+  ``recovery_seconds_mean``/``recovery_seconds_max`` — metrics the CI
+  regression gate deliberately ignores (no throughput field), since absolute
+  recovery latency is machine-bound.
+
+Acceptance (wired into the CI bench-gate): on ``min_element`` at 10^4
+elements, checkpointing every 4 epochs must keep >= 85% of the unprotected
+throughput (ratio >= 0.85).  Every measured run is checked against the
+sequential batch result over ``initial ∪ injected``, so throughput can never
+come from dropping work — crashed runs included.
+
+Set ``BENCH_FAST=1`` for the CI smoke mode: tiny sizes, same JSON schema.
+"""
+
+import multiprocessing
+import os
+import time
+
+from _report import emit_json, emit_report
+from repro.analysis import format_table
+from repro.gamma import run
+from repro.multiset import Multiset
+from repro.runtime.faults import FaultEvent, FaultSchedule, install_faults
+from repro.runtime.recovery import RecoveryManager
+from repro.runtime.streaming import StreamingGammaRuntime
+from repro.workloads import make_workload
+
+FAST_MODE = os.environ.get("BENCH_FAST", "") not in ("", "0")
+FORK_AVAILABLE = "fork" in multiprocessing.get_all_start_methods()
+
+#: Sizes swept (total elements: initial + injected).
+SIZES = (200, 1_000) if FAST_MODE else (1_000, 10_000)
+#: Checkpoint intervals swept (None = recovery disabled, the baseline).
+INTERVALS = (None, 1, 4, 16)
+#: Streamed injection epochs per run.
+EPOCHS = 8
+#: Fraction of the elements present before the stream starts.
+INITIAL_FRACTION = 0.1
+#: Shards for every measured run.
+NUM_SHARDS = 4
+REPEATS = 2 if FAST_MODE else 3
+
+#: Acceptance: required checkpointed/unprotected throughput ratio.
+ACCEPTANCE_SIZE = 10_000
+ACCEPTANCE_INTERVAL = 4
+ACCEPTANCE_RATIO = 0.85
+
+
+def _split(workload):
+    """Split a workload's multiset into (initial, injection batches)."""
+    elements = list(workload.initial)
+    head = max(1, int(len(elements) * INITIAL_FRACTION))
+    initial = Multiset(elements[:head])
+    streamed = elements[head:]
+    chunk = max(1, (len(streamed) + EPOCHS - 1) // EPOCHS)
+    batches = [streamed[i : i + chunk] for i in range(0, len(streamed), chunk)]
+    return initial, batches
+
+
+def _run_stream(workload, reference, interval, backend="inprocess"):
+    """Best-of-``REPEATS`` streamed run at one checkpoint interval."""
+    initial, batches = _split(workload)
+    best = None
+    for _ in range(REPEATS):
+        recovery = RecoveryManager() if interval is not None else None
+        runtime = StreamingGammaRuntime(
+            workload.program,
+            backend=backend,
+            num_shards=NUM_SHARDS,
+            seed=3,
+            recovery=recovery,
+            checkpoint_interval=interval if interval is not None else 1,
+        )
+        start = time.perf_counter()
+        result = runtime.run(initial.copy(), schedule=batches)
+        elapsed = time.perf_counter() - start
+        assert result.final == reference.final, (workload.name, interval)
+        if best is None or elapsed < best[0]:
+            best = (elapsed, result)
+    return best
+
+
+def test_report_checkpoint_overhead():
+    """Streamed runs across checkpoint intervals vs the unprotected baseline."""
+    records = []
+    rows = []
+    speedups = {}
+
+    for size in SIZES:
+        workload = make_workload("min_element", size=size, seed=7)
+        reference = run(workload.program, workload.initial.copy(), engine="sequential")
+        baseline_rate = None
+        for interval in INTERVALS:
+            seconds, result = _run_stream(workload, reference, interval)
+            rate = result.firings / seconds if seconds > 0 else float("inf")
+            if interval is None:
+                baseline_rate = rate
+            ratio = rate / baseline_rate if baseline_rate else 1.0
+            label = "off" if interval is None else str(interval)
+            records.append(
+                {
+                    "workload": workload.name,
+                    "backend": "inprocess",
+                    "size": size,
+                    "checkpoint_interval": label,
+                    "seconds": seconds,
+                    "firings": result.firings,
+                    "epochs": result.epochs,
+                    "firings_per_second": rate,
+                    "ratio_vs_unprotected": ratio,
+                }
+            )
+            if interval is not None:
+                speedups[f"min_element@{size}:interval{interval}"] = ratio
+            rows.append(
+                [workload.name, size, label, f"{rate:.0f}", f"{ratio:.2f}x"]
+            )
+
+    emit_report(
+        "E15_recovery_overhead",
+        format_table(
+            ["workload", "size", "ckpt every", "firings/s", "vs unprotected"],
+            rows,
+            title="E15: epoch-checkpoint overhead (inprocess streaming)",
+        ),
+    )
+
+    recovery_records, recovery_rows = _measure_recovery_latency()
+    records.extend(recovery_records)
+    emit_report(
+        "E15_recovery_latency",
+        format_table(
+            ["backend", "size", "recoveries", "mean (ms)", "max (ms)"],
+            recovery_rows,
+            title="E15: time-to-recover after an injected kill",
+        ),
+    )
+
+    payload_path = emit_json(
+        "BENCH_recovery",
+        experiment="recovery",
+        results=records,
+        speedups=speedups,
+        acceptance={
+            "workload": "min_element",
+            "size": ACCEPTANCE_SIZE,
+            "checkpoint_interval": ACCEPTANCE_INTERVAL,
+            "required_ratio": ACCEPTANCE_RATIO,
+        },
+        epochs=EPOCHS,
+        num_shards=NUM_SHARDS,
+        initial_fraction=INITIAL_FRACTION,
+        fast_mode=FAST_MODE,
+    )
+    assert payload_path.exists()
+
+    key = f"min_element@{ACCEPTANCE_SIZE}:interval{ACCEPTANCE_INTERVAL}"
+    if key in speedups:  # the acceptance size is not swept in fast mode
+        assert speedups[key] >= ACCEPTANCE_RATIO, (
+            f"expected <= {1 - ACCEPTANCE_RATIO:.0%} checkpoint overhead at "
+            f"interval {ACCEPTANCE_INTERVAL}, got ratio {speedups[key]:.2f}"
+        )
+
+
+def _measure_recovery_latency():
+    """Kill a worker mid-stream; report the session's rollback latency."""
+    backend = "multiprocessing" if FORK_AVAILABLE else "inprocess"
+    size = 200 if FAST_MODE else 1_000
+    workload = make_workload("min_element", size=size, seed=7)
+    reference = run(workload.program, workload.initial.copy(), engine="sequential")
+    initial, batches = _split(workload)
+    runtime = StreamingGammaRuntime(
+        workload.program,
+        backend=backend,
+        num_shards=NUM_SHARDS,
+        seed=3,
+        recovery=RecoveryManager(),
+        checkpoint_interval=1,
+    )
+    runtime.start(initial.copy())
+    install_faults(runtime._session, FaultSchedule([FaultEvent("kill", 1, 3)]))
+    result = runtime.run(schedule=batches)
+    assert result.final == reference.final
+    assert result.recoveries >= 1
+    latencies = runtime._session.recovery_seconds
+    mean = sum(latencies) / len(latencies)
+    records = [
+        {
+            "workload": workload.name,
+            "backend": backend,
+            "size": size,
+            "mode": "time_to_recover",
+            "recoveries": result.recoveries,
+            "replayed": result.replayed,
+            "recovery_seconds_mean": mean,
+            "recovery_seconds_max": max(latencies),
+        }
+    ]
+    rows = [
+        [
+            backend,
+            size,
+            result.recoveries,
+            f"{mean * 1e3:.1f}",
+            f"{max(latencies) * 1e3:.1f}",
+        ]
+    ]
+    return records, rows
+
+
+def test_json_schema_is_stable():
+    """The committed BENCH_recovery.json keeps its envelope keys."""
+    import json
+    from pathlib import Path
+
+    path = Path(__file__).parent / "reports" / "BENCH_recovery.json"
+    if not path.exists():  # first run in a fresh checkout: overhead test writes it
+        return
+    payload = json.loads(path.read_text())
+    assert payload["schema_version"] == 1
+    assert payload["experiment"] == "recovery"
+    overhead = [r for r in payload["results"] if "firings_per_second" in r]
+    assert overhead and "ratio_vs_unprotected" in overhead[0]
+    latency = [r for r in payload["results"] if r.get("mode") == "time_to_recover"]
+    assert latency and "recovery_seconds_mean" in latency[0]
+    assert "speedups" in payload and "acceptance" in payload

@@ -10,14 +10,31 @@
 * :class:`StreamingGammaRuntime` — online execution: continuous element
   injection into a live run on any backend
   (:mod:`repro.runtime.streaming`),
+* :class:`RecoveryManager` — fault tolerance for the sharded runtimes:
+  epoch checkpoints, an ingest write-ahead log, and rollback recovery from
+  worker death (:mod:`repro.runtime.recovery`), exercised by the seeded
+  fault-injection harness in :mod:`repro.runtime.faults`,
 * :class:`PEPool` / :class:`ParallelRunMetrics` — the shared cost model.
 """
 
 from .df_simulator import DataflowSimulationResult, DataflowSimulator, simulate_graph
 from .distributed import DistributedGammaRuntime, DistributedMultiset, DistributedRunResult
+from .faults import FaultEvent, FaultInjector, FaultSchedule, install_faults
 from .gamma_simulator import GammaSimulationResult, GammaSimulator, simulate_program
 from .metrics import ParallelRunMetrics, speedup_curve
 from .pe import PEPool, ProcessingElement
+from .recovery import (
+    Checkpoint,
+    CheckpointStore,
+    DiskCheckpointStore,
+    DiskWriteAheadLog,
+    MemoryCheckpointStore,
+    MemoryWriteAheadLog,
+    RecoveryManager,
+    WALRecord,
+    WorkerDied,
+    WriteAheadLog,
+)
 from .sharding import ShardCoordinator, ShardedRunResult
 from .streaming import (
     EpochReport,
@@ -32,6 +49,10 @@ __all__ = [
     "DistributedGammaRuntime", "DistributedMultiset", "DistributedRunResult",
     "ShardCoordinator", "ShardedRunResult",
     "StreamingGammaRuntime", "StreamRunResult", "EpochReport", "IngestQueue",
+    "RecoveryManager", "WorkerDied", "Checkpoint", "CheckpointStore",
+    "MemoryCheckpointStore", "DiskCheckpointStore",
+    "WriteAheadLog", "MemoryWriteAheadLog", "DiskWriteAheadLog", "WALRecord",
+    "FaultSchedule", "FaultEvent", "FaultInjector", "install_faults",
     "ParallelRunMetrics", "speedup_curve",
     "PEPool", "ProcessingElement",
 ]

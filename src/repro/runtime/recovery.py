@@ -1,0 +1,482 @@
+"""Fault-tolerance layer: epoch checkpoints, ingest WAL, rollback recovery.
+
+The sharded runtime's barrier protocol assumes workers never die; this module
+removes that assumption.  It supplies the three durable primitives the
+coordinator and streaming runtime compose into crash recovery:
+
+* :class:`CheckpointStore` — epoch-aligned snapshots of every shard's
+  partition.  A checkpoint is taken at a superstep barrier — a natural
+  *consistent cut*: no firing is in progress, no migration is in flight —
+  and serializes each shard's multiset through the existing column-batch
+  wire format (:func:`~repro.multiset.columnar.to_column_batch`), so the
+  snapshot bytes are exactly what already crosses process boundaries.
+  In-memory (:class:`MemoryCheckpointStore`) and on-disk
+  (:class:`DiskCheckpointStore`, atomic rename per epoch) variants share
+  one interface.
+* :class:`WriteAheadLog` — a durable, ordered log of streamed admissions.
+  Every batch the :class:`~repro.runtime.streaming.IngestQueue` admits is
+  appended *before* it becomes visible to any shard, so an element accepted
+  from a producer can never be lost to a crash: it is either reflected in a
+  later checkpoint or replayable from the log.  Memory and disk variants;
+  the disk log survives coordinator restarts.
+* :class:`RecoveryManager` — binds a store and a log with a recovery
+  budget.  On worker death the session rolls *every* shard back to the
+  latest checkpoint (restoring only the dead shard would tear the cut:
+  elements migrated since the checkpoint would be duplicated or lost),
+  replays the logged admissions since that epoch, and resumes the barrier
+  protocol.  For confluent programs the rolled-back run converges to the
+  same stable multiset — the property the crash-injected conformance fuzz
+  suite pins.
+
+:class:`WorkerDied` is the supervision signal: the multiprocessing backend
+raises it from its liveness-checked receive path instead of tearing the
+whole run down, and :class:`~repro.runtime.sharding.ShardSession` translates
+it into a rollback.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..multiset.columnar import (
+    ColumnBatch,
+    column_batch_copies,
+    from_column_batch,
+    to_column_batch,
+)
+from ..multiset.element import Element
+
+__all__ = [
+    "WorkerDied",
+    "Checkpoint",
+    "CheckpointStore",
+    "MemoryCheckpointStore",
+    "DiskCheckpointStore",
+    "WALRecord",
+    "WriteAheadLog",
+    "MemoryWriteAheadLog",
+    "DiskWriteAheadLog",
+    "RecoveryManager",
+]
+
+#: Epoch used for the initial checkpoint taken right after the load barrier,
+#: before any round has run and before streaming epoch 0 is admitted.
+INITIAL_EPOCH = -1
+
+
+class WorkerDied(RuntimeError):
+    """A shard worker was lost (killed, crashed, or declared unresponsive).
+
+    Raised by the supervised multiprocessing backend instead of tearing the
+    run down; the owning session catches it and performs rollback recovery.
+    Unsupervised backends keep the PR 5 behavior: teardown plus a plain
+    ``RuntimeError``.
+    """
+
+    def __init__(self, shard: int, reason: str = "died") -> None:
+        """Record which shard was lost and why (``reason`` is diagnostic text)."""
+        super().__init__(f"shard {shard} worker {reason}")
+        self.shard = shard
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """One consistent cut: every shard's partition at a superstep barrier.
+
+    ``epoch`` orders checkpoints (streaming pump index, or the barrier-round
+    counter for batch runs; the initial load cut uses
+    :data:`INITIAL_EPOCH`).  ``shard_batches`` holds one column batch per
+    shard — the same wire format exchange transfers use.  ``counters`` is an
+    informational snapshot of the session's accounting at the cut; rollback
+    never rewinds live counters (they monotonically count *performed* work,
+    including work redone after a crash).
+    """
+
+    epoch: int
+    shard_batches: Tuple[ColumnBatch, ...]
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    def copies(self) -> int:
+        """Total element copies captured across all shards."""
+        return sum(column_batch_copies(batch) for batch in self.shard_batches)
+
+    def shard_pairs(self, shard: int) -> List[Tuple[Element, int]]:
+        """Decode shard ``shard``'s batch back into ``(element, count)`` pairs."""
+        return from_column_batch(self.shard_batches[shard])
+
+
+class CheckpointStore:
+    """Interface of a checkpoint repository (see the concrete variants).
+
+    Implementations must keep :meth:`latest` consistent with :meth:`save`
+    and tolerate re-saving an epoch (last write wins) — the session retries
+    a checkpoint whose snapshot was interrupted by a worker death.
+    """
+
+    def save(self, checkpoint: Checkpoint) -> None:
+        """Persist ``checkpoint`` (replacing any previous one at its epoch)."""
+        raise NotImplementedError
+
+    def load(self, epoch: int) -> Checkpoint:
+        """Return the checkpoint stored for ``epoch`` (``KeyError`` if absent)."""
+        raise NotImplementedError
+
+    def latest(self) -> Optional[Checkpoint]:
+        """The highest-epoch checkpoint, or ``None`` when the store is empty."""
+        epochs = self.epochs()
+        return self.load(max(epochs)) if epochs else None
+
+    def epochs(self) -> List[int]:
+        """Sorted epochs currently stored."""
+        raise NotImplementedError
+
+
+class MemoryCheckpointStore(CheckpointStore):
+    """Checkpoints held in the coordinator's memory.
+
+    The default store: survives worker deaths (the coordinator process owns
+    it) but not a coordinator restart.  ``keep`` bounds retention to the
+    most recent N epochs (``None`` keeps everything).
+    """
+
+    def __init__(self, keep: Optional[int] = 2) -> None:
+        """Create an empty store retaining the ``keep`` most recent epochs."""
+        if keep is not None and keep <= 0:
+            raise ValueError("keep must be positive (or None for unbounded)")
+        self.keep = keep
+        self._checkpoints: Dict[int, Checkpoint] = {}
+
+    def save(self, checkpoint: Checkpoint) -> None:
+        """Store ``checkpoint`` and evict the oldest epochs beyond ``keep``."""
+        self._checkpoints[checkpoint.epoch] = checkpoint
+        if self.keep is not None:
+            for epoch in sorted(self._checkpoints)[: -self.keep]:
+                del self._checkpoints[epoch]
+
+    def load(self, epoch: int) -> Checkpoint:
+        """Return the checkpoint at ``epoch`` (``KeyError`` if absent)."""
+        return self._checkpoints[epoch]
+
+    def epochs(self) -> List[int]:
+        """Sorted epochs currently stored."""
+        return sorted(self._checkpoints)
+
+
+class DiskCheckpointStore(CheckpointStore):
+    """Checkpoints persisted under a directory, one pickle file per epoch.
+
+    Writes are atomic (temp file + ``os.replace`` after fsync), so a crash
+    mid-save never corrupts an existing checkpoint.  A store re-opened on
+    the same directory sees everything a previous process saved — the
+    restart-durability variant.
+    """
+
+    _PREFIX = "checkpoint_"
+
+    def __init__(self, directory, keep: Optional[int] = 2) -> None:
+        """Open (creating if needed) a checkpoint directory."""
+        if keep is not None and keep <= 0:
+            raise ValueError("keep must be positive (or None for unbounded)")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.keep = keep
+
+    def _path(self, epoch: int) -> Path:
+        return self.directory / f"{self._PREFIX}{epoch}.pkl"
+
+    def save(self, checkpoint: Checkpoint) -> None:
+        """Atomically persist ``checkpoint`` and prune epochs beyond ``keep``."""
+        payload = {
+            "epoch": checkpoint.epoch,
+            "shard_batches": list(checkpoint.shard_batches),
+            "counters": dict(checkpoint.counters),
+        }
+        descriptor, temp_name = tempfile.mkstemp(
+            dir=self.directory, prefix=".tmp-checkpoint-"
+        )
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(temp_name, self._path(checkpoint.epoch))
+        except BaseException:
+            if os.path.exists(temp_name):  # pragma: no cover - cleanup race
+                os.unlink(temp_name)
+            raise
+        if self.keep is not None:
+            for epoch in self.epochs()[: -self.keep]:
+                self._path(epoch).unlink(missing_ok=True)
+
+    def load(self, epoch: int) -> Checkpoint:
+        """Read the checkpoint at ``epoch`` back from disk."""
+        path = self._path(epoch)
+        if not path.exists():
+            raise KeyError(epoch)
+        payload = pickle.loads(path.read_bytes())
+        return Checkpoint(
+            epoch=payload["epoch"],
+            shard_batches=tuple(tuple(batch) for batch in payload["shard_batches"]),
+            counters=dict(payload["counters"]),
+        )
+
+    def epochs(self) -> List[int]:
+        """Sorted epochs present in the directory."""
+        epochs = []
+        for path in self.directory.glob(f"{self._PREFIX}*.pkl"):
+            try:
+                epochs.append(int(path.stem[len(self._PREFIX):]))
+            except ValueError:  # pragma: no cover - foreign file
+                continue
+        return sorted(epochs)
+
+
+@dataclass(frozen=True)
+class WALRecord:
+    """One logged admission: an epoch-tagged batch of streamed elements.
+
+    ``sequence`` is the log's total order (replay applies records in
+    sequence order); ``epoch`` ties the record to the streaming epoch whose
+    injection it made durable, which is what the replay cutoff compares
+    against the recovered checkpoint's epoch.
+    """
+
+    sequence: int
+    epoch: int
+    batch: ColumnBatch
+
+    def pairs(self) -> List[Tuple[Element, int]]:
+        """Decode the batch back into ``(element, count)`` pairs."""
+        return from_column_batch(self.batch)
+
+    def copies(self) -> int:
+        """Element copies carried by this record."""
+        return column_batch_copies(self.batch)
+
+
+class WriteAheadLog:
+    """Interface of the admission log (see the concrete variants).
+
+    The streaming contract: a batch is appended *before* it is injected
+    into any shard, so every element visible to the run is either in a
+    checkpointed cut or replayable from records after that cut's epoch.
+    """
+
+    def append(self, epoch: int, pairs: Sequence[Tuple[Element, int]]) -> WALRecord:
+        """Durably log one admission batch; returns the sequenced record."""
+        raise NotImplementedError
+
+    def records(self) -> List[WALRecord]:
+        """Every live record in sequence order."""
+        raise NotImplementedError
+
+    def records_after(self, epoch: int) -> List[WALRecord]:
+        """Records whose epoch is strictly greater than ``epoch``, in order.
+
+        The replay set for a rollback to a checkpoint at ``epoch``: batches
+        admitted at or before the checkpoint are already inside the cut.
+        """
+        return [record for record in self.records() if record.epoch > epoch]
+
+    def truncate_through(self, epoch: int) -> int:
+        """Drop records with epoch <= ``epoch`` (covered by a checkpoint).
+
+        Returns the number of records dropped.
+        """
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        """Number of live records."""
+        return len(self.records())
+
+
+class MemoryWriteAheadLog(WriteAheadLog):
+    """Admission log held in the coordinator's memory (the default)."""
+
+    def __init__(self) -> None:
+        """Create an empty log."""
+        self._records: List[WALRecord] = []
+        self._sequence = 0
+
+    def append(self, epoch: int, pairs: Sequence[Tuple[Element, int]]) -> WALRecord:
+        """Log one admission batch; returns the sequenced record."""
+        record = WALRecord(
+            sequence=self._sequence, epoch=epoch, batch=to_column_batch(list(pairs))
+        )
+        self._sequence += 1
+        self._records.append(record)
+        return record
+
+    def records(self) -> List[WALRecord]:
+        """Every live record in sequence order."""
+        return list(self._records)
+
+    def truncate_through(self, epoch: int) -> int:
+        """Drop records now covered by a checkpoint at ``epoch``."""
+        before = len(self._records)
+        self._records = [r for r in self._records if r.epoch > epoch]
+        return before - len(self._records)
+
+
+class DiskWriteAheadLog(WriteAheadLog):
+    """Admission log persisted as a pickle-stream file.
+
+    Appends are flushed and fsynced before returning — the admission is
+    durable before the element becomes visible to any shard.  Opening a log
+    on an existing file resumes its sequence numbering, so the log survives
+    coordinator restarts.  Truncation compacts by atomic rewrite.
+    """
+
+    def __init__(self, path) -> None:
+        """Open (creating if needed) the log file at ``path``."""
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._records = self._read_existing()
+        self._sequence = (
+            self._records[-1].sequence + 1 if self._records else 0
+        )
+
+    def _read_existing(self) -> List[WALRecord]:
+        if not self.path.exists():
+            return []
+        records: List[WALRecord] = []
+        with self.path.open("rb") as handle:
+            while True:
+                try:
+                    sequence, epoch, batch = pickle.load(handle)
+                except EOFError:
+                    break
+                records.append(
+                    WALRecord(sequence=sequence, epoch=epoch, batch=batch)
+                )
+        return records
+
+    def append(self, epoch: int, pairs: Sequence[Tuple[Element, int]]) -> WALRecord:
+        """Durably (flush + fsync) log one admission batch."""
+        record = WALRecord(
+            sequence=self._sequence, epoch=epoch, batch=to_column_batch(list(pairs))
+        )
+        self._sequence += 1
+        with self.path.open("ab") as handle:
+            pickle.dump(
+                (record.sequence, record.epoch, record.batch),
+                handle,
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._records.append(record)
+        return record
+
+    def records(self) -> List[WALRecord]:
+        """Every live record in sequence order."""
+        return list(self._records)
+
+    def truncate_through(self, epoch: int) -> int:
+        """Drop covered records and compact the file by atomic rewrite."""
+        keep = [r for r in self._records if r.epoch > epoch]
+        dropped = len(self._records) - len(keep)
+        if not dropped:
+            return 0
+        descriptor, temp_name = tempfile.mkstemp(
+            dir=self.path.parent, prefix=".tmp-wal-"
+        )
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                for record in keep:
+                    pickle.dump(
+                        (record.sequence, record.epoch, record.batch),
+                        handle,
+                        protocol=pickle.HIGHEST_PROTOCOL,
+                    )
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(temp_name, self.path)
+        except BaseException:
+            if os.path.exists(temp_name):  # pragma: no cover - cleanup race
+                os.unlink(temp_name)
+            raise
+        self._records = keep
+        return dropped
+
+
+class RecoveryManager:
+    """Checkpoint store + admission log + a recovery budget, in one handle.
+
+    Attach one to :class:`~repro.runtime.sharding.ShardCoordinator`
+    (``recovery=``) or :class:`~repro.runtime.streaming.StreamingGammaRuntime`
+    (``recovery=``) to turn worker death from a fatal error into a bounded
+    rollback.  Defaults to fully in-memory durability (survives worker
+    deaths; pass :class:`DiskCheckpointStore`/:class:`DiskWriteAheadLog`
+    variants to also survive coordinator restarts).
+
+    ``max_recoveries`` bounds successive rollbacks per run: a worker that
+    keeps dying (e.g. a poisoned element crashing it deterministically)
+    must eventually surface as an error instead of looping forever.
+    """
+
+    def __init__(
+        self,
+        store: Optional[CheckpointStore] = None,
+        wal: Optional[WriteAheadLog] = None,
+        max_recoveries: int = 8,
+    ) -> None:
+        """Bind a store and log (defaulting to the in-memory variants)."""
+        if max_recoveries <= 0:
+            raise ValueError("max_recoveries must be positive")
+        self.store = store if store is not None else MemoryCheckpointStore()
+        self.wal = wal if wal is not None else MemoryWriteAheadLog()
+        self.max_recoveries = max_recoveries
+        self.failures = 0
+
+    def note_failure(self, failure: BaseException) -> None:
+        """Count one worker failure; raise once the recovery budget is spent."""
+        self.failures += 1
+        if self.failures > self.max_recoveries:
+            raise RuntimeError(
+                f"recovery budget exhausted: {self.failures} worker failures "
+                f"exceed max_recoveries={self.max_recoveries}"
+            ) from failure
+
+    def log_injection(
+        self, epoch: int, pairs: Sequence[Tuple[Element, int]]
+    ) -> WALRecord:
+        """Durably log one epoch's admission batch (call *before* injecting)."""
+        return self.wal.append(epoch, pairs)
+
+    def checkpoint(
+        self,
+        epoch: int,
+        shard_batches: Sequence[ColumnBatch],
+        counters: Optional[Dict[str, int]] = None,
+    ) -> Checkpoint:
+        """Persist a consistent cut and truncate the log it covers."""
+        checkpoint = Checkpoint(
+            epoch=epoch,
+            shard_batches=tuple(shard_batches),
+            counters=dict(counters or {}),
+        )
+        self.store.save(checkpoint)
+        self.wal.truncate_through(epoch)
+        return checkpoint
+
+    def recovery_plan(self) -> Tuple[Checkpoint, List[WALRecord]]:
+        """The rollback target and its replay set.
+
+        Returns ``(latest checkpoint, records after its epoch)``.  Raises
+        ``RuntimeError`` when no checkpoint exists — the session always
+        takes an initial cut at load, so this indicates misuse.
+        """
+        checkpoint = self.store.latest()
+        if checkpoint is None:
+            raise RuntimeError(
+                "no checkpoint available to recover from "
+                "(was the session started with recovery enabled?)"
+            )
+        return checkpoint, self.wal.records_after(checkpoint.epoch)

@@ -23,6 +23,12 @@ built on the compiled scheduling stack (PRs 1–3):
   :class:`MultiprocessingBackend` (shard workers as OS processes exchanging
   pickled element batches over queues).
 
+Fault tolerance: attach a :class:`~repro.runtime.recovery.RecoveryManager`
+(``ShardCoordinator(..., recovery=...)``) and worker death becomes a
+rollback to the last epoch checkpoint plus write-ahead-log replay instead of
+a fatal error — see :mod:`repro.runtime.recovery` and the seeded
+fault-injection harness in :mod:`repro.runtime.faults`.
+
 Entry points: :class:`ShardCoordinator` directly, or
 ``DistributedGammaRuntime(..., backend="inprocess"|"multiprocessing")``.
 """

@@ -34,6 +34,7 @@ firing, which the differential tests exploit.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import List, Optional, Sequence, Tuple
 
 from ...gamma.engine import NonTerminationError
@@ -42,6 +43,7 @@ from ...multiset.element import Element
 from ...multiset.multiset import Multiset
 from ...multiset.partition import partition_counts, partition_pairs
 from ..distributed import DistributedRunResult
+from ..recovery import INITIAL_EPOCH, RecoveryManager, WorkerDied
 from .inprocess import InProcessBackend
 from .mp import MultiprocessingBackend
 from .quiescence import RUNNING, QuiescenceDetector
@@ -75,6 +77,8 @@ class ShardedRunResult(DistributedRunResult):
     exchanges: int = 0
     steals: int = 0
     final_shard_sizes: List[int] = field(default_factory=list)
+    recoveries: int = 0
+    replayed: int = 0
 
 
 class ShardCoordinator:
@@ -118,6 +122,16 @@ class ShardCoordinator:
     steal_threshold:
         A starving shard steals only from a donor holding more than
         ``steal_threshold`` times its own load (plus one).
+    recovery:
+        Optional :class:`~repro.runtime.recovery.RecoveryManager`.  When
+        set, the backend runs *supervised*: a dead worker triggers a
+        rollback to the last checkpoint plus WAL replay instead of a
+        ``RuntimeError``, and the session takes an initial checkpoint at
+        load so there is always a cut to roll back to.
+    checkpoint_rounds:
+        With ``recovery``, additionally checkpoint every N barrier rounds
+        during :meth:`ShardSession.drive` (batch-mode checkpointing; the
+        streaming runtime checkpoints at epoch boundaries instead).
     """
 
     def __init__(
@@ -134,6 +148,8 @@ class ShardCoordinator:
         superstep: bool = True,
         work_stealing: bool = True,
         steal_threshold: float = 2.0,
+        recovery: Optional[RecoveryManager] = None,
+        checkpoint_rounds: Optional[int] = None,
     ) -> None:
         if num_shards <= 0:
             raise ValueError("num_shards must be positive")
@@ -147,6 +163,11 @@ class ShardCoordinator:
             raise ValueError("round_supersteps must be positive (or None)")
         if steal_threshold < 1.0:
             raise ValueError("steal_threshold must be >= 1.0")
+        if checkpoint_rounds is not None:
+            if recovery is None:
+                raise ValueError("checkpoint_rounds requires a RecoveryManager")
+            if checkpoint_rounds <= 0:
+                raise ValueError("checkpoint_rounds must be positive (or None)")
         self.program = program
         self.num_shards = num_shards
         self.backend_name = backend
@@ -159,6 +180,8 @@ class ShardCoordinator:
         self.superstep = superstep
         self.work_stealing = work_stealing
         self.steal_threshold = steal_threshold
+        self.recovery = recovery
+        self.checkpoint_rounds = checkpoint_rounds
         self.routing = RoutingTable(program.reactions, num_shards)
 
     # -- execution ----------------------------------------------------------------
@@ -196,6 +219,8 @@ class ShardCoordinator:
             compiled=self.compiled,
             superstep=self.superstep,
         )
+        if self.recovery is not None:
+            backend.supervised = True
         session = ShardSession(self, backend)
         session._load(source)
         return session
@@ -250,6 +275,7 @@ class ShardSession:
     def __init__(self, coordinator: ShardCoordinator, backend) -> None:
         self.coordinator = coordinator
         self.backend = backend
+        self.recovery = coordinator.recovery
         self.detector = QuiescenceDetector(coordinator.num_shards)
         self.rounds = 0
         self.firings = 0
@@ -259,15 +285,26 @@ class ShardSession:
         self.exchanges = 0
         self.steals = 0
         self.injected = 0
+        self.recoveries = 0
+        self.replayed = 0
+        self.recovery_seconds: List[float] = []
         self.per_shard_firings = [0] * coordinator.num_shards
+        self._rounds_since_checkpoint = 0
+        self._last_checkpoint_epoch = INITIAL_EPOCH
         self._final_sizes: List[int] = []
         self._closed = False
 
     # -- lifecycle ----------------------------------------------------------------
     def _load(self, source: Multiset) -> None:
-        """Ship the initial hash partitions to the shards (one batch each)."""
+        """Ship the initial hash partitions to the shards (one batch each).
+
+        With recovery enabled, an initial checkpoint is taken right after the
+        load — the run is never without a cut to roll back to.
+        """
         self.backend.load(partition_counts(source, self.coordinator.num_shards))
         self.messages += self.coordinator.num_shards
+        if self.recovery is not None:
+            self.checkpoint(epoch=INITIAL_EPOCH)
 
     def close(self) -> None:
         """Stop the backend workers (idempotent)."""
@@ -284,7 +321,9 @@ class ShardSession:
         """Mark the stream exhausted: :meth:`drive` runs to *drained*."""
         self.detector.close_stream()
 
-    def inject(self, pairs: Sequence[Tuple[Element, int]]) -> int:
+    def inject(
+        self, pairs: Sequence[Tuple[Element, int]], epoch: Optional[int] = None
+    ) -> int:
         """Admit streamed elements, routed to their stable-hash home shards.
 
         Each ``(element, count)`` pair is shipped to ``home_of(element)`` —
@@ -292,9 +331,32 @@ class ShardSession:
         across the element's whole lifetime.  Touched shards have their
         phase-1 stability invalidated (the next :meth:`drive` re-probes
         them); untouched shards stay parked.  Returns copies admitted.
+
+        With recovery enabled the batch is appended to the write-ahead log
+        *before* any shard sees it — durable before visible — tagged with
+        ``epoch`` (the streaming runtime passes its pump index; the default
+        is the first epoch after the last checkpoint).  If a worker dies
+        during the admission, the rollback's WAL replay delivers this very
+        batch, so the call still returns the admitted copies.
         """
-        batches = partition_pairs(list(pairs), self.coordinator.num_shards)
-        copies = self.backend.ingest_batches(batches)
+        pairs = list(pairs)
+        record = None
+        if self.recovery is not None:
+            if epoch is None:
+                epoch = self._last_checkpoint_epoch + 1
+            record = self.recovery.log_injection(epoch, pairs)
+        batches = partition_pairs(pairs, self.coordinator.num_shards)
+        try:
+            copies = self.backend.ingest_batches(batches)
+        except WorkerDied as failure:
+            checkpoint_epoch = self._recover_from(failure)
+            if record is not None and record.epoch > checkpoint_epoch:
+                # The replay already admitted this batch (and invalidated the
+                # touched shards' phase-1 verdicts); don't deliver it twice.
+                admitted = record.copies()
+                self.injected += admitted
+                return admitted
+            copies = self._guarded(self.backend.ingest_batches, batches)
         for shard, count in enumerate(copies):
             self.detector.injected(shard, count)
         self.messages += sum(1 for batch in batches if batch)
@@ -305,7 +367,91 @@ class ShardSession:
     def snapshot(self) -> Multiset:
         """Consistent global multiset at the current barrier (non-destructive)."""
         self.messages += self.coordinator.num_shards
-        return self.backend.snapshot_all()
+        return self._guarded(self.backend.snapshot_all)
+
+    # -- recovery -----------------------------------------------------------------
+    def checkpoint(self, epoch: Optional[int] = None) -> int:
+        """Capture a consistent cut of every shard into the checkpoint store.
+
+        Call only at a barrier (between :meth:`drive` rounds / after a
+        returned verdict) — that is what makes the cut consistent.  ``epoch``
+        tags the cut for WAL truncation and replay selection; the streaming
+        runtime passes its pump index, batch mode defaults to the current
+        round count.  Returns the epoch checkpointed.
+        """
+        if self.recovery is None:
+            raise RuntimeError("checkpoint() requires a RecoveryManager")
+        if epoch is None:
+            epoch = max(self.rounds, self._last_checkpoint_epoch)
+        batches = self._guarded(self.backend.snapshot_shard_batches)
+        self.messages += self.coordinator.num_shards
+        self.recovery.checkpoint(
+            epoch,
+            batches,
+            counters={
+                "rounds": self.rounds,
+                "firings": self.firings,
+                "supersteps": self.supersteps,
+                "injected": self.injected,
+                "migrations": self.migrations,
+            },
+        )
+        self._last_checkpoint_epoch = epoch
+        self._rounds_since_checkpoint = 0
+        return epoch
+
+    def _recover_from(self, failure: WorkerDied) -> int:
+        """Roll back to the latest checkpoint and replay logged admissions.
+
+        Restores *every* shard (not just the dead one — elements migrated
+        since the checkpoint make a single-shard restore inconsistent),
+        resets the quiescence detector, then re-injects each WAL record
+        newer than the checkpoint in sequence order.  A worker dying during
+        the recovery itself restarts it, bounded by the manager's
+        ``max_recoveries`` budget.  Returns the checkpoint epoch restored.
+
+        Session counters are *not* rewound: they count work performed,
+        including work redone after a crash (rewinding them would corrupt
+        the streaming runtime's per-epoch deltas and the round budgets).
+        """
+        if self.recovery is None:
+            raise failure
+        began = perf_counter()
+        while True:
+            self.recovery.note_failure(failure)
+            checkpoint, records = self.recovery.recovery_plan()
+            try:
+                self.backend.recover(list(checkpoint.shard_batches))
+                self.messages += self.coordinator.num_shards
+                self.detector.rollback()
+                for record in records:
+                    batches = partition_pairs(
+                        record.pairs(), self.coordinator.num_shards
+                    )
+                    copies = self.backend.ingest_batches(batches)
+                    for shard, count in enumerate(copies):
+                        self.detector.injected(shard, count)
+                    self.messages += sum(1 for batch in batches if batch)
+                    self.replayed += record.copies()
+                break
+            except WorkerDied as again:
+                failure = again
+        self.recoveries += 1
+        self.recovery_seconds.append(perf_counter() - began)
+        return checkpoint.epoch
+
+    def _guarded(self, operation, *args):
+        """Run a backend call, recovering and retrying on worker death.
+
+        Without a recovery manager the backend never raises
+        :class:`WorkerDied` (it tears down and raises ``RuntimeError``), so
+        the except branch only engages under supervision.
+        """
+        while True:
+            try:
+                return operation(*args)
+            except WorkerDied as failure:
+                self._recover_from(failure)
 
     # -- the barrier loop ---------------------------------------------------------
     def drive(self, max_new_rounds: Optional[int] = None) -> str:
@@ -322,77 +468,99 @@ class ShardSession:
         :data:`~repro.runtime.sharding.quiescence.RUNNING` and a later drive
         continues from the same state.  Raises :class:`NonTerminationError`
         on exhausted session-wide budgets.
+
+        Under supervision, a worker death anywhere in a round triggers
+        rollback recovery (see :meth:`_recover_from`) and the loop resumes;
+        with ``checkpoint_rounds`` set on the coordinator, a fresh cut is
+        captured every N rounds so the rollback never rewinds far.
         """
         coordinator = self.coordinator
-        detector = self.detector
-        backend = self.backend
         round_limit = None if max_new_rounds is None else self.rounds + max_new_rounds
         while True:
             if round_limit is not None and self.rounds >= round_limit:
                 return RUNNING
-            if self.rounds >= coordinator.max_rounds:
-                raise NonTerminationError(
-                    f"sharded run exceeded {coordinator.max_rounds} rounds "
-                    f"on {coordinator.program.name!r}"
-                )
-            remaining = coordinator.max_supersteps - self.supersteps
-            if remaining <= 0:
-                raise NonTerminationError(
-                    f"sharded run exceeded {coordinator.max_supersteps} supersteps "
-                    f"on {coordinator.program.name!r}"
-                )
-            round_cap = (
-                remaining
-                if coordinator.round_supersteps is None
-                else min(coordinator.round_supersteps, remaining)
-            )
-            reports = backend.superstep_all(
-                max_supersteps=round_cap, budget=coordinator.superstep_budget
-            )
-            self.messages += coordinator.num_shards
-            self.rounds += 1
-            fired = 0
-            for report in reports:
-                fired += report.fired
-                self.per_shard_firings[report.shard] += report.fired
-                self.supersteps += report.supersteps
-                detector.record_local(report.shard, report.stable)
-            self.firings += fired
-
-            if fired:
-                if coordinator.work_stealing:
-                    moved, batches = coordinator._rebalance(
-                        backend, reports, detector
-                    )
-                    self.migrations += moved
-                    self.messages += batches
-                    self.steals += batches
+            if (
+                self.recovery is not None
+                and coordinator.checkpoint_rounds is not None
+                and self._rounds_since_checkpoint >= coordinator.checkpoint_rounds
+            ):
+                self.checkpoint()
+            try:
+                verdict = self._drive_round()
+            except WorkerDied as failure:
+                self._recover_from(failure)
                 continue
-
-            # Every shard is locally stable: plan the exchange.
-            histograms = backend.label_counts()
-            self.messages += coordinator.num_shards
-            plan = coordinator.routing.migration_plan(histograms)
-            verdict = detector.verdict(plan_empty=not plan)
-            if verdict != RUNNING:
-                # The quiescence-round histograms are the current global
-                # distribution — nothing mutates until the next injection.
-                self._final_sizes = [sum(c.values()) for c in histograms]
+            if verdict is not None:
                 return verdict
-            moved, batches = backend.execute_transfers(plan, detector)
-            if not moved:
-                raise RuntimeError(
-                    "exchange plan moved nothing while matches may remain "
-                    "(sharding protocol invariant violated)"
-                )
-            self.migrations += moved
-            self.messages += batches
-            self.exchanges += 1
+
+    def _drive_round(self) -> Optional[str]:
+        """One barrier round; returns a non-``RUNNING`` verdict or ``None``."""
+        coordinator = self.coordinator
+        detector = self.detector
+        backend = self.backend
+        if self.rounds >= coordinator.max_rounds:
+            raise NonTerminationError(
+                f"sharded run exceeded {coordinator.max_rounds} rounds "
+                f"on {coordinator.program.name!r}"
+            )
+        remaining = coordinator.max_supersteps - self.supersteps
+        if remaining <= 0:
+            raise NonTerminationError(
+                f"sharded run exceeded {coordinator.max_supersteps} supersteps "
+                f"on {coordinator.program.name!r}"
+            )
+        round_cap = (
+            remaining
+            if coordinator.round_supersteps is None
+            else min(coordinator.round_supersteps, remaining)
+        )
+        reports = backend.superstep_all(
+            max_supersteps=round_cap, budget=coordinator.superstep_budget
+        )
+        self.messages += coordinator.num_shards
+        self.rounds += 1
+        self._rounds_since_checkpoint += 1
+        fired = 0
+        for report in reports:
+            fired += report.fired
+            self.per_shard_firings[report.shard] += report.fired
+            self.supersteps += report.supersteps
+            detector.record_local(report.shard, report.stable)
+        self.firings += fired
+
+        if fired:
+            if coordinator.work_stealing:
+                moved, batches = coordinator._rebalance(backend, reports, detector)
+                self.migrations += moved
+                self.messages += batches
+                self.steals += batches
+            return None
+
+        # Every shard is locally stable: plan the exchange.
+        histograms = backend.label_counts()
+        self.messages += coordinator.num_shards
+        plan = coordinator.routing.migration_plan(histograms)
+        verdict = detector.verdict(plan_empty=not plan)
+        if verdict != RUNNING:
+            # The quiescence-round histograms are the current global
+            # distribution — nothing mutates until the next injection.
+            self._final_sizes = [sum(c.values()) for c in histograms]
+            return verdict
+        moved, batches = backend.execute_transfers(plan, detector)
+        if not moved:
+            raise RuntimeError(
+                "exchange plan moved nothing while matches may remain "
+                "(sharding protocol invariant violated)"
+            )
+        self.migrations += moved
+        self.messages += batches
+        self.exchanges += 1
+        return None
 
     # -- results ------------------------------------------------------------------
     def result(self) -> ShardedRunResult:
         """Collect the final multiset and wrap the session's accounting."""
-        final = self.backend.collect_final()
+        final = self._guarded(self.backend.collect_final)
         self.messages += self.coordinator.num_shards
         return ShardedRunResult(
             final=final,
@@ -407,4 +575,6 @@ class ShardSession:
             exchanges=self.exchanges,
             steals=self.steals,
             final_shard_sizes=list(self._final_sizes),
+            recoveries=self.recoveries,
+            replayed=self.replayed,
         )

@@ -11,9 +11,10 @@ backends make identical scheduling decisions for the same seed.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ...gamma.reaction import Reaction
+from ...multiset.columnar import from_column_batch, to_column_batch
 from ...multiset.element import Element
 from ...multiset.multiset import Multiset
 from .quiescence import QuiescenceDetector
@@ -24,7 +25,14 @@ __all__ = ["InProcessBackend"]
 
 
 class InProcessBackend:
-    """Shard backend executing every worker in the coordinator's process."""
+    """Shard backend executing every worker in the coordinator's process.
+
+    The backend also implements the recovery surface
+    (:meth:`snapshot_shard_batches` / :meth:`recover`): there are no
+    processes to die here, but the fault-injection harness simulates a crash
+    by wiping a worker's state, so the full checkpoint/rollback/replay path
+    is exercised — deterministically and cheaply — without forking.
+    """
 
     name = "inprocess"
 
@@ -39,12 +47,19 @@ class InProcessBackend:
     ) -> None:
         """Create (but do not load) ``num_shards`` local shard workers."""
         self.routing = routing
+        self.num_shards = num_shards
+        self._worker_args = (tuple(reactions), seed, compiled, superstep)
+        self.supervised = False
         self.workers: List[ShardWorker] = [
-            ShardWorker(
-                shard, reactions, seed=seed, compiled=compiled, superstep=superstep
-            )
-            for shard in range(num_shards)
+            self._fresh_worker(shard) for shard in range(num_shards)
         ]
+
+    def _fresh_worker(self, shard: int) -> ShardWorker:
+        """Build a brand-new (empty) worker for ``shard``."""
+        reactions, seed, compiled, superstep = self._worker_args
+        return ShardWorker(
+            shard, reactions, seed=seed, compiled=compiled, superstep=superstep
+        )
 
     # -- protocol ----------------------------------------------------------------
     def load(self, partitions: Sequence[Sequence[Tuple[Element, int]]]) -> None:
@@ -142,6 +157,25 @@ class InProcessBackend:
     def sizes(self) -> List[int]:
         """Current partition sizes (element copies per shard)."""
         return [len(worker.multiset) for worker in self.workers]
+
+    # -- recovery ----------------------------------------------------------------
+    def snapshot_shard_batches(self) -> List[Any]:
+        """Every shard's partition as column batches (checkpoint capture)."""
+        return [to_column_batch(worker.counts()) for worker in self.workers]
+
+    def recover(self, shard_batches: Sequence[Any]) -> List[int]:
+        """Roll every shard back to a checkpoint cut.
+
+        Each worker is rebuilt from scratch (fresh scheduler, same derived
+        seed) and reloaded with its shard's checkpoint batch — the same
+        semantics as the multiprocessing ``reset`` broadcast.  Returns the
+        empty list: in-process workers have no processes to respawn.
+        """
+        for shard, batch in enumerate(shard_batches):
+            self.workers[shard].close()
+            self.workers[shard] = self._fresh_worker(shard)
+            self.workers[shard].ingest(from_column_batch(batch))
+        return []
 
     def stop(self) -> None:
         """Detach every worker's scheduler (idempotent)."""

@@ -22,14 +22,30 @@ coordinator broadcasts ``step`` to every worker before collecting any reply,
 so local supersteps of different shards genuinely overlap — this is the
 backend that turns the coordinator's superstep barrier into real multi-core
 execution.
+
+**Supervision.**  Every reply read polls the worker's liveness: a dead
+process is detected within :data:`_LIVENESS_INTERVAL` seconds instead of
+blocking until the reply timeout.  Unsupervised (the default), death or an
+``("error", ...)`` reply tears the backend down and raises ``RuntimeError``
+— the PR 5 fail-loudly contract.  With :attr:`MultiprocessingBackend.
+supervised` set (done by sessions holding a
+:class:`~repro.runtime.recovery.RecoveryManager`), the backend instead
+raises :class:`~repro.runtime.recovery.WorkerDied` and leaves the surviving
+workers up, so the session can :meth:`~MultiprocessingBackend.recover`:
+respawn dead processes, broadcast a ``reset`` that rebuilds every worker
+from a checkpoint batch, and discard the stale replies the aborted round
+left behind (each reply queue is drained until the distinctive ``reset_ok``
+acknowledgement — commands are served strictly in order, so everything
+before it is garbage from the dead round).
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import queue
+import time
 import traceback
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ...gamma.reaction import Reaction
 from ...multiset.columnar import (
@@ -39,6 +55,7 @@ from ...multiset.columnar import (
 )
 from ...multiset.element import Element
 from ...multiset.multiset import Multiset
+from ..recovery import WorkerDied
 from .quiescence import QuiescenceDetector
 from .routing import RoutingTable, Transfer
 from .shard import LocalReport, ShardWorker
@@ -47,6 +64,10 @@ __all__ = ["MultiprocessingBackend"]
 
 #: Seconds a queue read may block before the backend declares the worker dead.
 _REPLY_TIMEOUT = 300.0
+
+#: Poll granularity of reply reads: a dead worker is detected within about
+#: this many seconds regardless of :data:`_REPLY_TIMEOUT`.
+_LIVENESS_INTERVAL = 0.05
 
 
 def _shard_worker_main(
@@ -104,6 +125,23 @@ def _shard_worker_main(
                 replies.put(("batch", to_column_batch(pairs)))
             elif command == "snapshot":
                 replies.put(("batch", to_column_batch(worker.counts())))
+            elif command == "reset":
+                # Recovery restore: discard whatever state this worker holds
+                # and rebuild it from a checkpoint batch.  The distinctive
+                # reply kind lets the coordinator drain stale replies from an
+                # aborted round off this queue until the acknowledgement.
+                worker.close()
+                worker = ShardWorker(
+                    shard, reactions, seed=seed, compiled=compiled,
+                    superstep=superstep,
+                )
+                worker.ingest(from_column_batch(payload))
+                replies.put(("reset_ok", shard))
+            elif command == "sleep":
+                # Fault-injection hook: delay the *next* replies without
+                # killing the worker (no reply of its own), so tests can pin
+                # that liveness polling never declares a slow worker dead.
+                time.sleep(payload)
             else:  # pragma: no cover - protocol bug
                 raise ValueError(f"unknown shard command {command!r}")
     except BaseException:
@@ -133,50 +171,99 @@ class MultiprocessingBackend:
         self.routing = routing
         self.num_shards = num_shards
         methods = multiprocessing.get_all_start_methods()
-        context = multiprocessing.get_context(
+        self._context = multiprocessing.get_context(
             "fork" if "fork" in methods else None
         )
-        self._commands = [context.Queue() for _ in range(num_shards)]
-        self._replies = [context.Queue() for _ in range(num_shards)]
-        self._processes = [
-            context.Process(
-                target=_shard_worker_main,
-                args=(
-                    shard,
-                    tuple(reactions),
-                    num_shards,
-                    seed,
-                    compiled,
-                    superstep,
-                    self._commands[shard],
-                    self._replies[shard],
-                ),
-                daemon=True,
-            )
-            for shard in range(num_shards)
-        ]
-        for process in self._processes:
-            process.start()
+        self._worker_args = (tuple(reactions), num_shards, seed, compiled, superstep)
+        self._commands: List[Any] = [None] * num_shards
+        self._replies: List[Any] = [None] * num_shards
+        self._processes: List[Any] = [None] * num_shards
+        for shard in range(num_shards):
+            self._spawn(shard)
         self._stopped = False
+        #: When True, worker death raises :class:`WorkerDied` (leaving the
+        #: backend up for :meth:`recover`) instead of tearing everything down.
+        self.supervised = False
 
     # -- plumbing ----------------------------------------------------------------
+    def _spawn(self, shard: int) -> None:
+        """(Re)create shard ``shard``'s queues and worker process."""
+        reactions, num_shards, seed, compiled, superstep = self._worker_args
+        self._commands[shard] = self._context.Queue()
+        self._replies[shard] = self._context.Queue()
+        self._processes[shard] = self._context.Process(
+            target=_shard_worker_main,
+            args=(
+                shard,
+                reactions,
+                num_shards,
+                seed,
+                compiled,
+                superstep,
+                self._commands[shard],
+                self._replies[shard],
+            ),
+            daemon=True,
+        )
+        self._processes[shard].start()
+
     def _send(self, shard: int, command: str, payload: Any = None) -> None:
         self._commands[shard].put((command, payload))
 
+    def _dead(self, shard: int, reason: str) -> "Exception":
+        """Build the error for a lost worker, per supervision mode.
+
+        Supervised: :class:`WorkerDied`, backend left running so the session
+        can :meth:`recover`.  Unsupervised: full teardown plus
+        ``RuntimeError`` — the fail-loudly contract.
+        """
+        if self.supervised:
+            return WorkerDied(shard, reason)
+        self.stop()
+        return RuntimeError(f"shard {shard} worker {reason}")
+
+    def _next_reply(self, shard: int, expected: str) -> Tuple[str, Any]:
+        """Read shard ``shard``'s next reply, polling process liveness.
+
+        Blocks at most :data:`_REPLY_TIMEOUT` seconds total, but checks
+        ``is_alive()`` every :data:`_LIVENESS_INTERVAL`, so a killed worker
+        surfaces within the poll interval instead of the full timeout.  After
+        observing death, one last non-blocking read drains a reply that may
+        have been enqueued before the process died.
+        """
+        replies = self._replies[shard]
+        process = self._processes[shard]
+        deadline = time.monotonic() + _REPLY_TIMEOUT
+        while True:
+            try:
+                return replies.get(timeout=_LIVENESS_INTERVAL)
+            except queue.Empty:
+                pass
+            if not process.is_alive():
+                try:
+                    return replies.get_nowait()
+                except queue.Empty:
+                    raise self._dead(
+                        shard, f"died awaiting {expected!r} reply"
+                    ) from None
+            if time.monotonic() >= deadline:
+                if self.supervised:
+                    # An unresponsive-but-alive worker under supervision is
+                    # indistinguishable from a livelock: reclaim it the same
+                    # way a crash would be handled.
+                    process.kill()
+                    process.join(timeout=10)
+                raise self._dead(
+                    shard,
+                    f"unresponsive for {_REPLY_TIMEOUT:.0f}s awaiting "
+                    f"{expected!r} reply (process "
+                    f"{'alive' if process.is_alive() else 'dead'})",
+                ) from None
+
     def _recv(self, shard: int, expected: str) -> Any:
-        try:
-            kind, payload = self._replies[shard].get(timeout=_REPLY_TIMEOUT)
-        except queue.Empty:
-            alive = self._processes[shard].is_alive()
-            self.stop()
-            raise RuntimeError(
-                f"shard {shard} worker unresponsive for {_REPLY_TIMEOUT:.0f}s "
-                f"awaiting {expected!r} reply "
-                f"(process {'alive' if alive else 'dead'})"
-            ) from None
+        kind, payload = self._next_reply(shard, expected)
         if kind == "error":
-            self.stop()
-            raise RuntimeError(f"shard {shard} worker failed:\n{payload}")
+            raise self._dead(shard, f"failed:\n{payload}")
         if kind != expected:  # pragma: no cover - protocol bug
             raise RuntimeError(
                 f"shard {shard}: expected {expected!r} reply, got {kind!r}"
@@ -288,19 +375,85 @@ class MultiprocessingBackend:
         Safe between rounds: workers serve commands strictly in order, so a
         snapshot taken at a barrier observes a consistent global state.
         """
-        for shard in range(self.num_shards):
-            self._send(shard, "snapshot")
         snapshot = Multiset()
-        for shard in range(self.num_shards):
-            snapshot.add_counts(from_column_batch(self._recv(shard, "batch")))
+        for batch in self.snapshot_shard_batches():
+            snapshot.add_counts(from_column_batch(batch))
         return snapshot
 
     def collect_final(self) -> Multiset:
         """Union of every shard's partition (the run's final multiset)."""
         return self.snapshot_all()
 
+    # -- recovery ----------------------------------------------------------------
+    def snapshot_shard_batches(self) -> List[Any]:
+        """Every shard's partition as column batches (checkpoint capture).
+
+        Broadcast before any reply is read, so the shards serialize
+        concurrently; taken at a barrier this is a consistent cut in the
+        exact wire format :meth:`recover` restores from.
+        """
+        for shard in range(self.num_shards):
+            self._send(shard, "snapshot")
+        return [self._recv(shard, "batch") for shard in range(self.num_shards)]
+
+    def dead_shards(self) -> List[int]:
+        """Shards whose worker process is not alive."""
+        return [
+            shard
+            for shard, process in enumerate(self._processes)
+            if not process.is_alive()
+        ]
+
+    def respawn(self, shards: Iterable[int]) -> None:
+        """Replace the given shards' processes (and queues) with fresh ones.
+
+        The old process is killed and joined; its queues are discarded
+        (their contents are garbage from the aborted round) and replaced, so
+        the respawned worker starts from an empty, unambiguous channel.
+        """
+        for shard in shards:
+            process = self._processes[shard]
+            if process.is_alive():  # pragma: no cover - respawning a survivor
+                process.kill()
+            process.join(timeout=10)
+            for channel in (self._commands[shard], self._replies[shard]):
+                try:
+                    channel.close()
+                    channel.cancel_join_thread()
+                except (OSError, ValueError):  # pragma: no cover - teardown race
+                    pass
+            self._spawn(shard)
+
+    def recover(self, shard_batches: Sequence[Any]) -> List[int]:
+        """Roll every shard back to a checkpoint cut; returns respawned shards.
+
+        Dead workers are respawned first, then every worker — survivor or
+        respawn — receives ``reset`` with its shard's checkpoint batch.
+        Survivors may still owe replies from the round the death aborted;
+        because commands are served strictly in order, draining each reply
+        queue until the distinctive ``reset_ok`` acknowledgement discards
+        exactly that stale traffic and nothing else.
+        """
+        respawned = self.dead_shards()
+        self.respawn(respawned)
+        for shard in range(self.num_shards):
+            self._send(shard, "reset", shard_batches[shard])
+        for shard in range(self.num_shards):
+            while True:
+                kind, payload = self._next_reply(shard, "reset_ok")
+                if kind == "reset_ok":
+                    break
+                if kind == "error":
+                    raise self._dead(shard, f"failed during reset:\n{payload}")
+        return respawned
+
     def stop(self) -> None:
-        """Terminate every worker process (idempotent)."""
+        """Terminate every worker process (idempotent, safe after failures).
+
+        Every teardown step is individually guarded: a worker that already
+        died, a queue broken by that death, or a process that ignores
+        ``stop`` must not keep the coordinator from reclaiming the rest.
+        """
         if self._stopped:
             return
         self._stopped = True
@@ -311,10 +464,16 @@ class MultiprocessingBackend:
                 except (OSError, ValueError):  # pragma: no cover - teardown race
                     pass
         for process in self._processes:
-            process.join(timeout=10)
-            if process.is_alive():  # pragma: no cover - stuck worker
-                process.terminate()
+            try:
                 process.join(timeout=10)
-        for queue in (*self._commands, *self._replies):
-            queue.close()
-            queue.cancel_join_thread()
+                if process.is_alive():  # pragma: no cover - stuck worker
+                    process.kill()
+                    process.join(timeout=10)
+            except (OSError, ValueError):  # pragma: no cover - teardown race
+                pass
+        for channel in (*self._commands, *self._replies):
+            try:
+                channel.close()
+                channel.cancel_join_thread()
+            except (OSError, ValueError):  # pragma: no cover - teardown race
+                pass

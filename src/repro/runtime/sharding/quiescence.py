@@ -120,6 +120,22 @@ class QuiescenceDetector:
         if copies:
             self._stable[shard] = False
 
+    # -- recovery -----------------------------------------------------------------
+    def rollback(self) -> None:
+        """Reset protocol state after a checkpoint restore.
+
+        Recovery rewinds every shard to the last consistent cut: whatever
+        stability the shards had reported since is void (their partitions
+        just changed), and any migration that was in flight when the worker
+        died either never happened from the restored cut's point of view or
+        is about to be re-planned.  Phase-1 verdicts and the in-flight count
+        therefore reset to the detector's initial state; stream attachment
+        (:attr:`stream_open`) is control-plane state owned by the streaming
+        runtime and survives the rollback.
+        """
+        self._stable = [False] * self.num_shards
+        self._in_flight = 0
+
     # -- verdicts -----------------------------------------------------------------
     @property
     def in_flight(self) -> int:

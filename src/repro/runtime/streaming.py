@@ -60,6 +60,7 @@ from ..gamma.scheduler import ReactionScheduler
 from ..gamma.tracer import Trace
 from ..multiset.element import Element
 from ..multiset.multiset import Multiset
+from .recovery import RecoveryManager
 from .sharding import ShardCoordinator, ShardSession
 from .sharding.quiescence import DRAINED, IDLE
 
@@ -156,7 +157,11 @@ class IngestQueue:
 
         The backpressure path for threaded producers.  Raises ``TimeoutError``
         when ``timeout`` (seconds) elapses without room, and ``ValueError``
-        if the queue is closed (before or while waiting).
+        if the queue is closed (before or while waiting).  A :meth:`close`
+        from another thread wakes blocked puts *promptly* — the wait
+        predicate includes the closed flag and ``close`` notifies under the
+        condition, so a shutdown never has to ride out the timeout (pinned
+        by ``tests/runtime/test_streaming.py``).
         """
         if count <= 0:
             raise ValueError(f"count must be positive, got {count}")
@@ -280,6 +285,8 @@ class StreamRunResult:
     steps: int
     per_epoch: List[EpochReport] = field(default_factory=list)
     stable: bool = True
+    recoveries: int = 0
+    replayed: int = 0
 
     def values_with_label(self, label: str) -> List:
         """Values of the final multiset's elements carrying ``label``."""
@@ -338,6 +345,17 @@ class StreamingGammaRuntime:
         the columnar kernel; unseeded parallel streams collect supersteps
         through the columnar mask sweeps.  Seeded runs keep the mirror but
         stay on the object path (selection must consume the RNG).
+    recovery:
+        Optional :class:`~repro.runtime.recovery.RecoveryManager` (sharded
+        backends only).  Every admitted epoch batch is written to the
+        manager's WAL *before* any shard sees it, epoch checkpoints are
+        captured every ``checkpoint_interval`` pumps, and a worker death
+        rolls back to the last checkpoint and replays the logged epochs
+        instead of failing the stream.
+    checkpoint_interval:
+        Pumps between checkpoints when ``recovery`` is set (default 1 —
+        checkpoint every epoch; raise it to trade recovery rewind distance
+        for lower checkpoint overhead).
 
     Drive it either *scripted* — ``run(initial, schedule=[batch, ...])``
     plays one batch per epoch — or *live*: start producer threads against
@@ -361,6 +379,8 @@ class StreamingGammaRuntime:
         max_batch: Optional[int] = None,
         compiled: bool = True,
         columnar: bool = False,
+        recovery: Optional[RecoveryManager] = None,
+        checkpoint_interval: int = 1,
     ) -> None:
         if backend not in STREAM_BACKENDS:
             raise ValueError(
@@ -371,6 +391,14 @@ class StreamingGammaRuntime:
             raise ValueError("steps_per_epoch must be positive (or None)")
         if max_steps <= 0:
             raise ValueError("max_steps must be positive")
+        if recovery is not None and backend not in _SHARDED_BACKENDS:
+            raise ValueError(
+                f"recovery requires a sharded backend {_SHARDED_BACKENDS}, "
+                f"got {backend!r} (engine backends hold all state in this "
+                f"process; there is no worker to lose)"
+            )
+        if checkpoint_interval <= 0:
+            raise ValueError("checkpoint_interval must be positive")
         self.program = program
         self.backend = backend
         self.seed = seed
@@ -385,6 +413,9 @@ class StreamingGammaRuntime:
         self.max_batch = max_batch
         self.compiled = compiled
         self.columnar = columnar
+        self.recovery = recovery
+        self.checkpoint_interval = checkpoint_interval
+        self._epochs_since_checkpoint = 0
         # Live-run state (created by start()).
         self._engine: Optional[GammaEngine] = None
         self._scheduler: Optional[ReactionScheduler] = None
@@ -431,6 +462,7 @@ class StreamingGammaRuntime:
                 seed=self.seed,
                 max_rounds=self.max_steps,
                 compiled=self.compiled,
+                recovery=self.recovery,
             )
             self._session = coordinator.start(source)
             self._session.open_stream()
@@ -465,7 +497,10 @@ class StreamingGammaRuntime:
             try:
                 # Capture the final state before the workers go away, so
                 # result() keeps working after close() on every backend.
-                self._final = self._session.backend.snapshot_all()
+                # session.snapshot() is recovery-guarded: with a manager
+                # attached, even a worker dying right here is rolled back
+                # and the snapshot retried.
+                self._final = self._session.snapshot()
             except (OSError, RuntimeError, ValueError):
                 # Teardown after a worker failure: the backend already shut
                 # its queues; keep result() raising instead of deadlocking.
@@ -508,7 +543,7 @@ class StreamingGammaRuntime:
             budget = min(budget, self.steps_per_epoch)
         if self._session is not None:
             if batch:
-                self._session.inject(batch)
+                self._session.inject(batch, epoch=len(self._reports))
             if self.queue.exhausted:
                 self._session.close_stream()
             verdict = self._session.drive(
@@ -519,6 +554,14 @@ class StreamingGammaRuntime:
             stable = verdict in (IDLE, DRAINED)
             self._steps = self._session.rounds
             self._firings = self._session.firings
+            if self.recovery is not None:
+                # The barrier between drive calls is a consistent cut even
+                # when the verdict is RUNNING (per-epoch cap hit): no firing
+                # or migration is in progress between rounds.
+                self._epochs_since_checkpoint += 1
+                if self._epochs_since_checkpoint >= self.checkpoint_interval:
+                    self._session.checkpoint(epoch=len(self._reports))
+                    self._epochs_since_checkpoint = 0
         else:
             assert self._engine is not None and self._scheduler is not None
             assert self._multiset is not None and self._trace is not None
@@ -639,7 +682,7 @@ class StreamingGammaRuntime:
                     )
                 final = self._final.copy()
             else:
-                final = self._session.backend.snapshot_all()
+                final = self._session.snapshot()
         elif self._multiset is not None:
             final = self._multiset.copy()
         else:
@@ -653,4 +696,6 @@ class StreamingGammaRuntime:
             steps=self._steps,
             per_epoch=list(self._reports),
             stable=self._stable and self.queue.exhausted,
+            recoveries=self._session.recoveries if self._session is not None else 0,
+            replayed=self._session.replayed if self._session is not None else 0,
         )

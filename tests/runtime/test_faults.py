@@ -1,0 +1,192 @@
+"""Tests for the seeded fault-injection harness."""
+
+import multiprocessing
+import time
+
+import pytest
+
+from repro.gamma import run
+from repro.gamma.stdlib import sum_reduction, values_multiset
+from repro.runtime.faults import (
+    DELAY,
+    KILL,
+    KILL_ON_EXCHANGE,
+    FaultEvent,
+    FaultInjector,
+    FaultSchedule,
+    install_faults,
+)
+from repro.runtime.recovery import RecoveryManager, WorkerDied
+from repro.runtime.sharding import ShardCoordinator
+
+FORK_AVAILABLE = "fork" in multiprocessing.get_all_start_methods()
+
+
+class TestFaultEvent:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultEvent("explode", 0, 1)
+        with pytest.raises(ValueError, match="shard"):
+            FaultEvent(KILL, -1, 1)
+        with pytest.raises(ValueError, match="1-based"):
+            FaultEvent(KILL, 0, 0)
+        with pytest.raises(ValueError, match="delay"):
+            FaultEvent(DELAY, 0, 1, delay=-0.1)
+
+    def test_valid_event_round_trips_fields(self):
+        event = FaultEvent(DELAY, 2, 3, delay=0.05)
+        assert (event.kind, event.shard, event.at, event.delay) == (
+            DELAY, 2, 3, 0.05
+        )
+
+
+class TestFaultSchedule:
+    def test_generate_is_deterministic_in_the_seed(self):
+        first = FaultSchedule.generate(42, 4, kills=2, delays=2, exchange_kills=1)
+        second = FaultSchedule.generate(42, 4, kills=2, delays=2, exchange_kills=1)
+        assert first.pending == second.pending
+        assert len(first.pending) == 5
+        different = FaultSchedule.generate(43, 4, kills=2, delays=2, exchange_kills=1)
+        assert first.pending != different.pending
+
+    def test_generate_respects_bounds(self):
+        schedule = FaultSchedule.generate(7, 3, kills=5, max_round=2)
+        for event in schedule.pending:
+            assert 0 <= event.shard < 3
+            assert 1 <= event.at <= 2
+        with pytest.raises(ValueError, match="num_shards"):
+            FaultSchedule.generate(7, 0)
+
+    def test_due_consumes_matching_events_once(self):
+        events = [
+            FaultEvent(KILL, 0, 1),
+            FaultEvent(KILL, 1, 3),
+            FaultEvent(KILL_ON_EXCHANGE, 0, 1),
+        ]
+        schedule = FaultSchedule(events)
+        assert schedule.due((KILL,), 1) == [FaultEvent(KILL, 0, 1)]
+        # Already consumed: a later counter only yields the round-3 kill.
+        assert schedule.due((KILL,), 5) == [FaultEvent(KILL, 1, 3)]
+        assert not schedule.exhausted()
+        assert schedule.due((KILL_ON_EXCHANGE,), 1)
+        assert schedule.exhausted()
+
+    def test_late_events_never_fire_before_their_round(self):
+        schedule = FaultSchedule([FaultEvent(KILL, 0, 4)])
+        assert schedule.due((KILL,), 3) == []
+        assert schedule.pending
+
+
+class TestFaultInjectorInProcess:
+    def _session(self, recovery=None, shards=2):
+        coordinator = ShardCoordinator(
+            sum_reduction(),
+            shards,
+            backend="inprocess",
+            seed=3,
+            recovery=recovery,
+            checkpoint_rounds=1 if recovery else None,
+        )
+        return coordinator.start(values_multiset(range(1, 13)))
+
+    def test_delegates_untouched_attributes(self):
+        session = self._session()
+        try:
+            injector = install_faults(session, FaultSchedule([]))
+            assert session.backend is injector
+            assert injector.num_shards == 2
+            assert injector.sizes() == session.backend.sizes()
+        finally:
+            session.close()
+
+    def test_kill_wipes_worker_and_raises(self):
+        session = self._session()
+        try:
+            injector = install_faults(
+                session, FaultSchedule([FaultEvent(KILL, 1, 1)])
+            )
+            with pytest.raises(WorkerDied, match="shard 1"):
+                injector.superstep_all()
+            # The crash destroyed the shard's partition, like a real SIGKILL.
+            assert injector.sizes()[1] == 0
+            assert injector.schedule.applied == [FaultEvent(KILL, 1, 1)]
+        finally:
+            session.close()
+
+    def test_shard_index_wraps_to_live_shards(self):
+        session = self._session(shards=2)
+        try:
+            injector = install_faults(
+                session, FaultSchedule([FaultEvent(KILL, 5, 1)])
+            )
+            with pytest.raises(WorkerDied, match="shard 1"):
+                injector.superstep_all()
+        finally:
+            session.close()
+
+    def test_delay_sleeps_without_raising(self):
+        session = self._session()
+        try:
+            injector = install_faults(
+                session, FaultSchedule([FaultEvent(DELAY, 0, 1, delay=0.05)])
+            )
+            began = time.monotonic()
+            reports = injector.superstep_all()
+            assert time.monotonic() - began >= 0.05
+            assert len(reports) == 2
+        finally:
+            session.close()
+
+    def test_round_counter_advances_per_superstep_call(self):
+        session = self._session()
+        try:
+            injector = install_faults(
+                session, FaultSchedule([FaultEvent(KILL, 0, 2)])
+            )
+            injector.superstep_all()  # round 1: event not due yet
+            with pytest.raises(WorkerDied):
+                injector.superstep_all()  # round 2: fires
+            assert injector.rounds_seen == 2
+        finally:
+            session.close()
+
+    def test_full_drive_with_schedule_recovers(self):
+        reference = run(
+            sum_reduction(), values_multiset(range(1, 13)), engine="sequential"
+        ).final
+        session = self._session(recovery=RecoveryManager())
+        schedule = FaultSchedule.generate(21, 2, kills=1, max_round=2)
+        install_faults(session, schedule)
+        try:
+            session.drive()
+            result = session.result()
+        finally:
+            session.close()
+        assert result.final == reference
+        assert result.recoveries == len(schedule.applied)
+
+
+@pytest.mark.skipif(not FORK_AVAILABLE, reason="fork start method unavailable")
+class TestFaultInjectorMultiprocessing:
+    def test_real_kill_recovers_through_supervision(self):
+        reference = run(
+            sum_reduction(), values_multiset(range(1, 17)), engine="sequential"
+        ).final
+        coordinator = ShardCoordinator(
+            sum_reduction(),
+            2,
+            backend="multiprocessing",
+            seed=9,
+            recovery=RecoveryManager(),
+            checkpoint_rounds=1,
+        )
+        session = coordinator.start(values_multiset(range(1, 17)))
+        install_faults(session, FaultSchedule([FaultEvent(KILL, 0, 2)]))
+        try:
+            session.drive()
+            result = session.result()
+        finally:
+            session.close()
+        assert result.final == reference
+        assert result.recoveries >= 1
+        assert result.replayed == 0  # batch run: nothing WAL'd to replay

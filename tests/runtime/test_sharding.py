@@ -472,9 +472,13 @@ class TestMultiprocessingBackendFailurePaths:
     """Failure handling of the process-backed shard protocol.
 
     The happy paths are covered by the coordinator/conformance tests; these
-    pin what happens when a worker process dies mid-round or a worker hits
-    an internal error — the backend must fail loudly and tear its queues
-    and processes down instead of deadlocking the coordinator.
+    pin both sides of the failure contract.  *Unsupervised* (no
+    :class:`RecoveryManager`): a dead or erroring worker must fail loudly —
+    detected within the liveness poll interval, not the full reply timeout —
+    and tear queues and processes down instead of deadlocking the
+    coordinator.  *Supervised*: the same deaths surface as ``WorkerDied``
+    and the session recovers to the correct stable multiset (the PR 5
+    "loud RuntimeError" crash surface upgraded to recovery assertions).
     """
 
     @staticmethod
@@ -485,23 +489,47 @@ class TestMultiprocessingBackendFailurePaths:
 
         return MultiprocessingBackend(program.reactions, shards, routing)
 
-    def test_worker_killed_mid_round_raises_and_tears_down(self, monkeypatch):
-        from repro.runtime.sharding import mp as mp_module
+    def test_worker_killed_mid_round_raises_and_tears_down(self):
+        import time
 
         backend = self._make_backend()
-        # A dead worker never replies; shrink the liveness timeout so the
-        # detection path runs in test time.
-        monkeypatch.setattr(mp_module, "_REPLY_TIMEOUT", 0.2)
         victim = backend._processes[0]
         victim.terminate()
         victim.join(timeout=10)
         assert not victim.is_alive()
-        with pytest.raises(RuntimeError, match="unresponsive.*dead"):
+        # Liveness polling detects the death within the poll interval — no
+        # timeout shrink needed, the 300s reply timeout never comes into it.
+        began = time.monotonic()
+        with pytest.raises(RuntimeError, match="died awaiting"):
             backend.superstep_all()
+        assert time.monotonic() - began < 10
         # The failure tore everything down: every process joined, another
         # stop is a no-op instead of hanging on dead queues.
         assert all(not process.is_alive() for process in backend._processes)
         backend.stop()
+
+    def test_unresponsive_live_worker_still_times_out(self, monkeypatch):
+        from repro.runtime.sharding import mp as mp_module
+
+        backend = self._make_backend()
+        monkeypatch.setattr(mp_module, "_REPLY_TIMEOUT", 0.3)
+        # The worker sleeps past the (shrunken) reply timeout but stays
+        # alive: polling must report *unresponsive*, not death.
+        backend._send(0, "sleep", 2.0)
+        with pytest.raises(RuntimeError, match="unresponsive.*alive"):
+            backend.superstep_all()
+        backend.stop()
+
+    def test_delayed_reply_is_not_mistaken_for_death(self):
+        backend = self._make_backend()
+        try:
+            # A reply slower than many liveness polls (but within the reply
+            # timeout) arrives normally — slow is not dead.
+            backend._send(0, "sleep", 0.5)
+            reports = backend.superstep_all()
+            assert len(reports) == 2
+        finally:
+            backend.stop()
 
     def test_worker_error_reply_raises_and_stops_cleanly(self):
         backend = self._make_backend()
@@ -524,10 +552,17 @@ class TestMultiprocessingBackendFailurePaths:
         backend.stop()
         backend.stop()
 
-    def test_coordinator_surfaces_worker_failure(self, monkeypatch):
-        from repro.runtime.sharding import mp as mp_module
+    def test_stop_idempotent_after_worker_death(self):
+        backend = self._make_backend()
+        backend._processes[0].kill()
+        backend._processes[0].join(timeout=10)
+        # stop() must reclaim the survivors and tolerate the dead worker's
+        # broken channel — twice.
+        backend.stop()
+        backend.stop()
+        assert all(not process.is_alive() for process in backend._processes)
 
-        monkeypatch.setattr(mp_module, "_REPLY_TIMEOUT", 0.2)
+    def test_coordinator_surfaces_worker_failure(self):
         program = sum_reduction()
         coordinator = ShardCoordinator(program, 2, backend="multiprocessing")
         session = coordinator.start(values_multiset(range(1, 9)))
@@ -535,8 +570,66 @@ class TestMultiprocessingBackendFailurePaths:
             backend = session.backend
             backend._processes[1].terminate()
             backend._processes[1].join(timeout=10)
-            with pytest.raises(RuntimeError, match="unresponsive"):
+            with pytest.raises(RuntimeError, match="died awaiting"):
                 session.drive()
+        finally:
+            session.close()
+
+    # -- supervised: death recovers instead of failing ---------------------------
+    def test_killed_worker_recovers_to_sequential_result(self):
+        from repro.runtime import RecoveryManager
+
+        program = sum_reduction()
+        initial = values_multiset(range(1, 33))
+        reference = run(program, initial.copy(), engine="sequential").final
+        coordinator = ShardCoordinator(
+            program,
+            2,
+            backend="multiprocessing",
+            recovery=RecoveryManager(),
+            checkpoint_rounds=1,
+        )
+        session = coordinator.start(initial.copy())
+        try:
+            session.backend._processes[0].kill()
+            session.drive()
+            result = session.result()
+        finally:
+            session.close()
+        assert result.final == reference
+        assert result.recoveries >= 1
+        assert session.recovery_seconds
+
+    def test_supervised_death_respawns_worker_process(self):
+        from repro.runtime import RecoveryManager
+
+        program = sum_reduction()
+        coordinator = ShardCoordinator(
+            program, 2, backend="multiprocessing", recovery=RecoveryManager()
+        )
+        session = coordinator.start(values_multiset(range(1, 17)))
+        try:
+            old_pid = session.backend._processes[1].pid
+            session.backend._processes[1].kill()
+            session.drive()
+            new_pid = session.backend._processes[1].pid
+            assert session.backend._processes[1].is_alive()
+            assert new_pid != old_pid
+        finally:
+            session.close()
+
+    def test_recovery_budget_exhaustion_raises(self):
+        from repro.runtime import RecoveryManager, WorkerDied
+
+        manager = RecoveryManager(max_recoveries=1)
+        coordinator = ShardCoordinator(
+            sum_reduction(), 2, backend="multiprocessing", recovery=manager
+        )
+        session = coordinator.start(values_multiset(range(1, 9)))
+        try:
+            session._recover_from(WorkerDied(0, "test"))
+            with pytest.raises(RuntimeError, match="recovery budget exhausted"):
+                session._recover_from(WorkerDied(0, "test"))
         finally:
             session.close()
 

@@ -131,6 +131,30 @@ class TestIngestQueue:
         queue.offer(Element(1, "x", 0))
         assert queue.wait_for_input(timeout=0.01)
 
+    def test_cross_thread_close_wakes_blocked_put_promptly(self):
+        # Pins the shutdown contract: a producer blocked on backpressure must
+        # observe close() within the condition's wake, not sleep out its full
+        # timeout (or forever, with no timeout).
+        queue = IngestQueue(capacity=1)
+        queue.offer(Element(0, "x", 0))
+        outcome = {}
+
+        def producer():
+            began = time.monotonic()
+            try:
+                queue.put(Element(1, "x", 0), timeout=30.0)
+            except ValueError:
+                outcome["waited"] = time.monotonic() - began
+
+        thread = threading.Thread(target=producer)
+        thread.start()
+        time.sleep(0.05)  # let the producer block on the full queue
+        queue.close()
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        # Woken by close(), far before the 30s timeout could expire.
+        assert outcome["waited"] < 5.0
+
     def test_invalid_arguments(self):
         with pytest.raises(ValueError):
             IngestQueue(capacity=0)
