@@ -34,6 +34,7 @@ from _report import PhaseProfiler, emit_json, emit_report, profile_enabled
 from repro.analysis import format_table
 from repro.gamma import SequentialEngine, run
 from repro.workloads import make_workload
+from repro.api import RuntimeConfig
 
 FAST_MODE = os.environ.get("BENCH_FAST", "") not in ("", "0")
 
@@ -125,13 +126,7 @@ def test_report_columnar_scaling():
             # allows, else the columnar path (bit-identical traces, pinned
             # by the differential test suite) — the object baselines are
             # exactly what becomes intractable at the larger sizes.
-            reference = run(
-                workload.program,
-                workload.initial.copy(),
-                engine="sequential",
-                max_steps=MAX_STEPS,
-                columnar=size > caps["compiled"],
-            )
+            reference = run(workload.program, workload.initial.copy(), config=RuntimeConfig(engine="sequential", max_steps=MAX_STEPS, columnar=size > caps["compiled"]))
             throughput = {}
             for mode in MODES:
                 if size > caps[mode]:

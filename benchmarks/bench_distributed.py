@@ -15,18 +15,19 @@ from repro.analysis import format_table
 from repro.gamma import run as run_gamma
 from repro.runtime import DistributedGammaRuntime
 from repro.workloads import make_workload
+from repro.api import RuntimeConfig
 
 PARTITIONS = (1, 2, 4, 8, 16)
 
 
 def test_report_partition_sweep(benchmark):
     _w = make_workload('sum_reduction', size=32, seed=11)
-    benchmark(lambda: DistributedGammaRuntime(_w.program, 4, seed=3).run(_w.initial))
+    benchmark(lambda: DistributedGammaRuntime(_w.program, 4, config=RuntimeConfig(seed=3)).run(_w.initial))
     workload = make_workload("sum_reduction", size=64, seed=11)
     reference = run_gamma(workload.program, workload.initial, engine="sequential").final
     rows = []
     for partitions in PARTITIONS:
-        runtime = DistributedGammaRuntime(workload.program, partitions, seed=3)
+        runtime = DistributedGammaRuntime(workload.program, partitions, config=RuntimeConfig(seed=3))
         result = runtime.run(workload.initial)
         rows.append([
             partitions,
@@ -53,7 +54,7 @@ def test_report_partition_sweep(benchmark):
 @pytest.mark.parametrize("partitions", (1, 4, 16))
 def test_bench_distributed_runtime(benchmark, partitions):
     workload = make_workload("sum_reduction", size=48, seed=5)
-    runtime = DistributedGammaRuntime(workload.program, partitions, seed=1)
+    runtime = DistributedGammaRuntime(workload.program, partitions, config=RuntimeConfig(seed=1))
     result = benchmark(runtime.run, workload.initial)
     assert sorted(result.values_with_label(workload.label)) == workload.expected_sorted()
 
@@ -61,6 +62,6 @@ def test_bench_distributed_runtime(benchmark, partitions):
 @pytest.mark.parametrize("workload_name", ["min_element", "prime_sieve"])
 def test_bench_distributed_workloads(benchmark, workload_name):
     workload = make_workload(workload_name, size=24, seed=2)
-    runtime = DistributedGammaRuntime(workload.program, 4, seed=0)
+    runtime = DistributedGammaRuntime(workload.program, 4, config=RuntimeConfig(seed=0))
     result = benchmark(runtime.run, workload.initial)
     assert sorted(result.values_with_label(workload.label)) == workload.expected_sorted()

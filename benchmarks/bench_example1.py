@@ -16,6 +16,7 @@ from repro.dataflow import run_graph
 from repro.gamma import run as run_gamma
 from repro.gamma.dsl import format_program
 from repro.workloads.paper_examples import example1_expected_result, example1_graph
+from repro.api import RuntimeConfig
 
 
 @pytest.fixture(scope="module")
@@ -40,7 +41,7 @@ def test_report_example1(benchmark, graph, conversion):
         ["reactions (paper: R1, R2, R3)", len(conversion.program)],
         ["initial multiset", str(conversion.initial.to_tuples())],
         ["dataflow result m", df_result.single_output("m")],
-        ["gamma result m", run_gamma(conversion.program, engine="sequential").final.values_with_label("m")[0]],
+        ["gamma result m", run_gamma(conversion.program, config=RuntimeConfig(engine="sequential")).final.values_with_label("m")[0]],
         ["expected m", example1_expected_result()],
         ["equivalence checks passed", f"{len(report.outcomes)}/{len(report.outcomes)}"],
     ]
@@ -65,5 +66,5 @@ def test_bench_dataflow_interpreter(benchmark, graph):
 
 @pytest.mark.parametrize("engine", ["sequential", "chaotic", "max-parallel"])
 def test_bench_gamma_engines(benchmark, conversion, engine):
-    result = benchmark(lambda: run_gamma(conversion.program, engine=engine, seed=0))
+    result = benchmark(lambda: run_gamma(conversion.program, config=RuntimeConfig(engine=engine, seed=0)))
     assert result.final.values_with_label("m") == [0]

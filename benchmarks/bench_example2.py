@@ -14,6 +14,7 @@ from repro.core import dataflow_to_gamma
 from repro.dataflow import run_graph
 from repro.gamma import run as run_gamma
 from repro.workloads.paper_examples import example2_expected_result, example2_graph
+from repro.api import RuntimeConfig
 
 
 @pytest.fixture(scope="module")
@@ -27,7 +28,7 @@ def test_report_example2(benchmark, default_graph):
 
     counts = default_graph.counts_by_kind()
     df_result = run_graph(default_graph)
-    gamma_result = run_gamma(conversion.program, engine="chaotic", seed=1)
+    gamma_result = run_gamma(conversion.program, config=RuntimeConfig(engine="chaotic", seed=1))
     rows = [
         ["inctag vertices (paper: R11-R13)", counts["inctag"]],
         ["steer vertices (paper: R15-R17)", counts["steer"]],
@@ -58,7 +59,7 @@ def test_bench_dataflow_loop(benchmark, trip_count):
 @pytest.mark.parametrize("trip_count", [2, 8, 32])
 def test_bench_gamma_loop(benchmark, trip_count):
     conversion = dataflow_to_gamma(example2_graph(y=1, z=trip_count, x=0))
-    result = benchmark(lambda: run_gamma(conversion.program, engine="sequential"))
+    result = benchmark(lambda: run_gamma(conversion.program, config=RuntimeConfig(engine="sequential")))
     assert result.final.values_with_label("Cout") == [trip_count]
 
 
@@ -70,7 +71,7 @@ def test_report_trip_count_scaling(benchmark):
         graph = example2_graph(y=1, z=z, x=0)
         df = run_graph(graph)
         conversion = dataflow_to_gamma(graph)
-        gm = run_gamma(conversion.program, engine="sequential")
+        gm = run_gamma(conversion.program, config=RuntimeConfig(engine="sequential"))
         rows.append([z, df.total_firings, gm.firings, df.single_output("Cout")])
     emit_report(
         "E2_trip_count_scaling",

@@ -18,17 +18,18 @@ from repro.gamma.dsl import compile_source
 from repro.gamma.stdlib import values_multiset
 from repro.workloads import make_workload
 from repro.workloads.paper_listings import EQ2_MIN_ELEMENT
+from repro.api import RuntimeConfig
 
 SIZES = (16, 64, 256)
 
 
 def test_report_min_element_scaling(benchmark):
-    benchmark(lambda: run_gamma(compile_source(EQ2_MIN_ELEMENT), values_multiset(range(16, 0, -1)), engine='sequential'))
+    benchmark(lambda: run_gamma(compile_source(EQ2_MIN_ELEMENT), values_multiset(range(16, 0, -1)), config=RuntimeConfig(engine='sequential')))
     program = compile_source(EQ2_MIN_ELEMENT, name="eq2")
     rows = []
     for size in SIZES:
         initial = values_multiset(range(size, 0, -1))
-        sequential = run_gamma(program, initial, engine="sequential")
+        sequential = run_gamma(program, initial, config=RuntimeConfig(engine="sequential"))
         metrics = gamma_parallelism(program, initial, num_pes=None, seed=0)
         rows.append([
             size,
@@ -54,7 +55,7 @@ def test_report_min_element_scaling(benchmark):
 def test_bench_min_sequential(benchmark, size):
     program = compile_source(EQ2_MIN_ELEMENT, name="eq2")
     initial = values_multiset(range(size, 0, -1))
-    result = benchmark(lambda: run_gamma(program, initial, engine="sequential"))
+    result = benchmark(lambda: run_gamma(program, initial, config=RuntimeConfig(engine="sequential")))
     assert result.final.values_with_label("x") == [1]
 
 
@@ -75,6 +76,6 @@ def test_bench_min_via_dataflow_emulation(benchmark, size):
 def test_bench_classic_workloads(benchmark, workload_name):
     workload = make_workload(workload_name, size=32, seed=2)
     result = benchmark(
-        lambda: run_gamma(workload.program, workload.initial, engine="chaotic", seed=0)
+        lambda: run_gamma(workload.program, workload.initial, config=RuntimeConfig(engine="chaotic", seed=0))
     )
     assert sorted(result.final.values_with_label(workload.label)) == workload.expected_sorted()

@@ -36,6 +36,7 @@ from repro.runtime.faults import FaultEvent, FaultSchedule, install_faults
 from repro.runtime.recovery import RecoveryManager
 from repro.runtime.streaming import StreamingGammaRuntime
 from repro.workloads import make_workload
+from repro.api import RuntimeConfig
 
 FAST_MODE = os.environ.get("BENCH_FAST", "") not in ("", "0")
 FORK_AVAILABLE = "fork" in multiprocessing.get_all_start_methods()
@@ -75,14 +76,7 @@ def _run_stream(workload, reference, interval, backend="inprocess"):
     best = None
     for _ in range(REPEATS):
         recovery = RecoveryManager() if interval is not None else None
-        runtime = StreamingGammaRuntime(
-            workload.program,
-            backend=backend,
-            num_shards=NUM_SHARDS,
-            seed=3,
-            recovery=recovery,
-            checkpoint_interval=interval if interval is not None else 1,
-        )
+        runtime = StreamingGammaRuntime(workload.program, config=RuntimeConfig(backend=backend, shards=NUM_SHARDS, seed=3, recovery=recovery, checkpoint_interval=interval if interval is not None else 1))
         start = time.perf_counter()
         result = runtime.run(initial.copy(), schedule=batches)
         elapsed = time.perf_counter() - start
@@ -100,7 +94,7 @@ def test_report_checkpoint_overhead():
 
     for size in SIZES:
         workload = make_workload("min_element", size=size, seed=7)
-        reference = run(workload.program, workload.initial.copy(), engine="sequential")
+        reference = run(workload.program, workload.initial.copy(), config=RuntimeConfig(engine="sequential"))
         baseline_rate = None
         for interval in INTERVALS:
             seconds, result = _run_stream(workload, reference, interval)
@@ -179,16 +173,9 @@ def _measure_recovery_latency():
     backend = "multiprocessing" if FORK_AVAILABLE else "inprocess"
     size = 200 if FAST_MODE else 1_000
     workload = make_workload("min_element", size=size, seed=7)
-    reference = run(workload.program, workload.initial.copy(), engine="sequential")
+    reference = run(workload.program, workload.initial.copy(), config=RuntimeConfig(engine="sequential"))
     initial, batches = _split(workload)
-    runtime = StreamingGammaRuntime(
-        workload.program,
-        backend=backend,
-        num_shards=NUM_SHARDS,
-        seed=3,
-        recovery=RecoveryManager(),
-        checkpoint_interval=1,
-    )
+    runtime = StreamingGammaRuntime(workload.program, config=RuntimeConfig(backend=backend, shards=NUM_SHARDS, seed=3, recovery=RecoveryManager(), checkpoint_interval=1))
     runtime.start(initial.copy())
     install_faults(runtime._session, FaultSchedule([FaultEvent("kill", 1, 3)]))
     result = runtime.run(schedule=batches)

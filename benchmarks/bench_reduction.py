@@ -22,6 +22,7 @@ from repro.workloads.paper_listings import (
     EXAMPLE2_INIT,
     EXAMPLE2_REDUCED,
 )
+from repro.api import RuntimeConfig
 
 
 def _rows(reports):
@@ -64,7 +65,7 @@ def test_report_example2_granularity(benchmark):
         granularity_report("original (R11-R19)", conversion.program, conversion.initial),
         granularity_report("paper Rd11-Rd16", paper_reduced, paper_reduced.initial),
     ]
-    benchmark(lambda: run_gamma(paper_reduced, engine="chaotic", seed=0))
+    benchmark(lambda: run_gamma(paper_reduced, config=RuntimeConfig(engine="chaotic", seed=0)))
     emit_report(
         "E3_example2_granularity",
         format_table(HEADERS, _rows(reports), title="E3: Example 2 granularity ablation"),
@@ -72,7 +73,7 @@ def test_report_example2_granularity(benchmark):
     assert reports[0].reactions == 9
     assert reports[1].reactions == 6
     # Both compute the same accumulator value (16 with the default inputs).
-    result = run_gamma(paper_reduced, engine="chaotic", seed=1)
+    result = run_gamma(paper_reduced, config=RuntimeConfig(engine="chaotic", seed=1))
     assert result.final.values_with_label("C12") == [16]
 
 
@@ -80,5 +81,5 @@ def test_report_example2_granularity(benchmark):
 def test_bench_example1_variants(benchmark, variant):
     conversion = dataflow_to_gamma(example1_graph())
     program = conversion.program if variant == "original" else reduce_program(conversion.program).program
-    result = benchmark(lambda: run_gamma(program, conversion.initial, engine="chaotic", seed=0))
+    result = benchmark(lambda: run_gamma(program, conversion.initial, config=RuntimeConfig(engine="chaotic", seed=0)))
     assert result.final.values_with_label("m") == [0]

@@ -21,6 +21,7 @@ from repro.analysis import format_table
 from repro.gamma import SequentialEngine, run as run_gamma
 from repro.gamma.stdlib import sum_reduction, values_multiset
 from repro.workloads import make_workload
+from repro.api import RuntimeConfig
 
 ENGINES = ("sequential", "chaotic", "max-parallel")
 WORKLOADS = ("min_element", "sum_reduction", "prime_sieve", "exchange_sort", "gcd")
@@ -28,13 +29,13 @@ WORKLOADS = ("min_element", "sum_reduction", "prime_sieve", "exchange_sort", "gc
 
 def test_report_scheduler_comparison(benchmark):
     _w = make_workload('min_element', size=16, seed=4)
-    benchmark(lambda: run_gamma(_w.program, _w.initial, engine='sequential'))
+    benchmark(lambda: run_gamma(_w.program, _w.initial, config=RuntimeConfig(engine='sequential')))
     rows = []
     for name in WORKLOADS:
         workload = make_workload(name, size=24, seed=4)
         finals = set()
         for engine in ENGINES:
-            result = run_gamma(workload.program, workload.initial, engine=engine, seed=7)
+            result = run_gamma(workload.program, workload.initial, config=RuntimeConfig(engine=engine, seed=7))
             finals.add(tuple(sorted(map(str, result.final.values_with_label(workload.label)))))
             rows.append([name, engine, result.firings, result.steps,
                          round(result.firings / max(result.steps, 1), 2)])
@@ -54,7 +55,7 @@ def test_report_scheduler_comparison(benchmark):
 def test_bench_engines(benchmark, engine, workload_name):
     workload = make_workload(workload_name, size=32, seed=1)
     result = benchmark(
-        lambda: run_gamma(workload.program, workload.initial, engine=engine, seed=3)
+        lambda: run_gamma(workload.program, workload.initial, config=RuntimeConfig(engine=engine, seed=3))
     )
     assert sorted(result.final.values_with_label(workload.label)) == workload.expected_sorted()
 

@@ -31,6 +31,7 @@ from repro.gamma import run
 from repro.runtime import DistributedGammaRuntime
 
 from repro.workloads import make_workload
+from repro.api import RuntimeConfig
 
 FAST_MODE = os.environ.get("BENCH_FAST", "") not in ("", "0")
 FORK_AVAILABLE = "fork" in multiprocessing.get_all_start_methods()
@@ -66,9 +67,7 @@ def _run_to_quiescence(workload, reference, backend, repeats=3):
     """
     best = None
     for _ in range(repeats):
-        runtime = DistributedGammaRuntime(
-            workload.program, SHARDS, seed=3, backend=backend
-        )
+        runtime = DistributedGammaRuntime(workload.program, SHARDS, config=RuntimeConfig(seed=3, backend=backend))
         multiset = workload.initial.copy()
         start = time.perf_counter()
         result = runtime.run(multiset)
@@ -88,9 +87,7 @@ def test_report_sharded_runtime_scaling():
     for name in WORKLOADS:
         for size in SIZES:
             workload = make_workload(name, size=size, seed=7)
-            reference = run(
-                workload.program, workload.initial.copy(), engine="sequential"
-            )
+            reference = run(workload.program, workload.initial.copy(), config=RuntimeConfig(engine="sequential"))
             throughput = {}
             backends = ["legacy", "inprocess"]
             if size == SIZES[-1] and FORK_AVAILABLE:
@@ -134,15 +131,13 @@ def test_report_sharded_runtime_scaling():
     equivalent = {}
     for name in EQUIVALENCE_WORKLOADS:
         workload = make_workload(name, size=32, seed=5)
-        reference = run(workload.program, workload.initial.copy(), engine="sequential")
+        reference = run(workload.program, workload.initial.copy(), config=RuntimeConfig(engine="sequential"))
         agreed = True
         backends = ["legacy", "inprocess"]
         if FORK_AVAILABLE:
             backends.append("multiprocessing")
         for backend in backends:
-            result = DistributedGammaRuntime(
-                workload.program, SHARDS, seed=9, backend=backend
-            ).run(workload.initial.copy())
+            result = DistributedGammaRuntime(workload.program, SHARDS, config=RuntimeConfig(seed=9, backend=backend)).run(workload.initial.copy())
             agreed = agreed and result.final == reference.final
         equivalent[name] = agreed
     assert all(equivalent.values()), equivalent

@@ -15,6 +15,7 @@ from repro.core import dataflow_to_gamma
 from repro.gamma.stdlib import sum_reduction, values_multiset
 from repro.runtime import GammaSimulator, simulate_graph, simulate_program
 from repro.workloads.paper_examples import example2_graph
+from repro.api import RuntimeConfig
 
 PE_COUNTS = (1, 2, 4, 8)
 
@@ -26,7 +27,7 @@ def test_report_speedup_curves(benchmark):
     rows = []
     for pes in PE_COUNTS:
         df = simulate_graph(graph, num_pes=pes, seed=0).metrics
-        gm = simulate_program(conversion.program, conversion.initial, num_pes=pes, seed=0).metrics
+        gm = simulate_program(conversion.program, conversion.initial, num_pes=pes, config=RuntimeConfig(seed=0)).metrics
         rows.append([pes, round(df.speedup, 3), round(gm.speedup, 3),
                      round(df.utilization, 3), round(gm.utilization, 3)])
     text = format_table(
@@ -40,7 +41,7 @@ def test_report_speedup_curves(benchmark):
     initial = values_multiset(range(1, 65))
     rows2 = []
     for pes in PE_COUNTS + (16, 32):
-        gm = simulate_program(program, initial, num_pes=pes, seed=0).metrics
+        gm = simulate_program(program, initial, num_pes=pes, config=RuntimeConfig(seed=0)).metrics
         rows2.append([pes, gm.steps, round(gm.speedup, 2), round(gm.utilization, 3)])
     text += "\n\n" + format_table(
         ["PEs", "steps", "speedup", "utilization"],

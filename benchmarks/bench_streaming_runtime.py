@@ -32,6 +32,7 @@ from repro.gamma import run
 from repro.multiset import Multiset
 from repro.runtime.streaming import StreamingGammaRuntime
 from repro.workloads import make_workload
+from repro.api import RuntimeConfig
 
 FAST_MODE = os.environ.get("BENCH_FAST", "") not in ("", "0")
 
@@ -77,12 +78,7 @@ def _run_batch(workload, backend, repeats=3):
     result = None
     for _ in range(repeats):
         start = time.perf_counter()
-        result = run(
-            workload.program,
-            workload.initial.copy(),
-            engine=backend,
-            seed=3,
-        )
+        result = run(workload.program, workload.initial.copy(), config=RuntimeConfig(engine=backend, seed=3))
         elapsed = time.perf_counter() - start
         if best is None or elapsed < best:
             best = elapsed
@@ -94,9 +90,7 @@ def _run_stream(workload, backend, reference, repeats=3):
     initial, batches = _split(workload)
     best = None
     for _ in range(repeats):
-        runtime = StreamingGammaRuntime(
-            workload.program, backend=backend, seed=3
-        )
+        runtime = StreamingGammaRuntime(workload.program, config=RuntimeConfig(backend=backend, seed=3))
         start = time.perf_counter()
         result = runtime.run(initial.copy(), schedule=batches)
         elapsed = time.perf_counter() - start
@@ -226,10 +220,8 @@ def test_streamed_sharded_backend_equivalence():
     """Structural check: streamed sharded runs match batch runs too."""
     workload = make_workload("min_element", size=64, seed=5)
     initial, batches = _split(workload)
-    reference = run(workload.program, workload.initial.copy(), engine="sequential")
-    result = StreamingGammaRuntime(
-        workload.program, backend="inprocess", num_shards=4, seed=3
-    ).run(initial.copy(), schedule=batches)
+    reference = run(workload.program, workload.initial.copy(), config=RuntimeConfig(engine="sequential"))
+    result = StreamingGammaRuntime(workload.program, config=RuntimeConfig(backend="inprocess", shards=4, seed=3)).run(initial.copy(), schedule=batches)
     assert result.final == reference.final
 
 

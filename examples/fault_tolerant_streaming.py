@@ -30,6 +30,7 @@ from repro.runtime import (
     StreamingGammaRuntime,
     install_faults,
 )
+from repro.api import RuntimeConfig
 
 SMOKE = os.environ.get("EXAMPLES_SMOKE", "") not in ("", "0")
 SIZE = 60 if SMOKE else 600
@@ -50,14 +51,7 @@ def main() -> None:
 
     print(f"== fault-tolerant streaming ({BACKEND} backend, 4 shards) ==")
     recovery = RecoveryManager()  # in-memory store + WAL; disk variants exist
-    runtime = StreamingGammaRuntime(
-        sum_reduction(),
-        backend=BACKEND,
-        num_shards=4,
-        seed=0,
-        recovery=recovery,
-        checkpoint_interval=1,  # checkpoint at every epoch barrier
-    )
+    runtime = StreamingGammaRuntime(sum_reduction(), config=RuntimeConfig(backend=BACKEND, shards=4, seed=0, recovery=recovery, checkpoint_interval=1))
     runtime.start(values_multiset(head))
 
     # Kill shard 2's worker at the third barrier round — mid-stream, after
@@ -81,7 +75,7 @@ def main() -> None:
 
     # The crash-inclusive differential: identical to one batch run over
     # initial ∪ injected, exactly as if no worker had ever died.
-    batch = run(sum_reduction(), values_multiset(values), engine="sequential")
+    batch = run(sum_reduction(), values_multiset(values), config=RuntimeConfig(engine="sequential"))
     agree = result.final == batch.final
     print(f"streamed-with-crash result == batch result over the union: {agree}")
     assert agree

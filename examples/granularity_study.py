@@ -18,6 +18,7 @@ from repro.gamma import run as run_gamma
 from repro.gamma.dsl import compile_source, format_program
 from repro.workloads.paper_examples import example1_graph, example2_graph
 from repro.workloads.paper_listings import EXAMPLE2_INIT, EXAMPLE2_REDUCED
+from repro.api import RuntimeConfig
 
 
 def main() -> None:
@@ -52,10 +53,10 @@ def main() -> None:
 
     # 3. Example 2: the paper's hand-reduced Rd11-Rd16 listing.
     paper_reduced = compile_source(EXAMPLE2_INIT + EXAMPLE2_REDUCED, name="rd11_16")
-    result = run_gamma(paper_reduced, engine="chaotic", seed=0)
+    result = run_gamma(paper_reduced, config=RuntimeConfig(engine="chaotic", seed=0))
     print(f"\nPaper's reduced Example 2 (6 reactions): stable multiset {result.final.to_tuples()}")
     original = dataflow_to_gamma(example2_graph())
-    original_result = run_gamma(original.program, engine="chaotic", seed=0)
+    original_result = run_gamma(original.program, config=RuntimeConfig(engine="chaotic", seed=0))
     print(f"Original 9-reaction program:              stable multiset "
           f"{original_result.final.restrict_labels(['Cout']).to_tuples()}")
     print("(both carry the accumulator value 16 = 10 + 3*2; the reduced version "

@@ -17,6 +17,7 @@ from repro.dataflow import run_graph
 from repro.frontend import compile_source_to_graph
 from repro.gamma import run as run_gamma
 from repro.gamma.dsl import format_program
+from repro.api import RuntimeConfig
 
 SOURCE = """
 int y = 2; int z = 3; int x = 10;
@@ -39,7 +40,7 @@ def main() -> None:
     print(f"\nGenerated {len(conversion.program)} reactions:")
     print(format_program(conversion.program))
 
-    result = run_gamma(conversion.program, engine="chaotic", seed=1)
+    result = run_gamma(conversion.program, config=RuntimeConfig(engine="chaotic", seed=1))
     print("Gamma result:", result.final.values_with_label("x"),
           f"({result.firings} reaction firings)")
 

@@ -16,6 +16,7 @@ from repro.dataflow.dot import to_dot
 from repro.gamma import run as run_gamma
 from repro.gamma.dsl import format_program
 from repro.workloads.paper_examples import example1_graph
+from repro.api import RuntimeConfig
 
 
 def main() -> None:
@@ -35,7 +36,7 @@ def main() -> None:
 
     # 3. Run the Gamma program with every engine.
     for engine in ("sequential", "chaotic", "max-parallel"):
-        result = run_gamma(conversion.program, engine=engine, seed=0)
+        result = run_gamma(conversion.program, config=RuntimeConfig(engine=engine, seed=0))
         print(f"Gamma [{engine:12s}] m = {result.final.values_with_label('m')}  "
               f"({result.firings} firings in {result.steps} steps)")
 

@@ -32,6 +32,7 @@ from repro.gamma import run
 from repro.runtime import DistributedGammaRuntime
 from repro.runtime.sharding import RoutingTable
 from repro.workloads import make_workload
+from repro.api import RuntimeConfig
 
 SMOKE = os.environ.get("EXAMPLES_SMOKE", "") not in ("", "0")
 SIZE = 500 if SMOKE else 5_000
@@ -40,7 +41,7 @@ SHARDS = 4
 
 def main() -> None:
     workload = make_workload("min_element", size=SIZE, seed=7)
-    reference = run(workload.program, workload.initial.copy(), engine="sequential")
+    reference = run(workload.program, workload.initial.copy(), config=RuntimeConfig(engine="sequential"))
     print(f"min_element over {SIZE} elements, {SHARDS} shards")
     print(f"sequential reference: {reference.firings} firings\n")
 
@@ -59,9 +60,7 @@ def main() -> None:
         backends.append("multiprocessing")
     rows = []
     for backend in backends:
-        runtime = DistributedGammaRuntime(
-            workload.program, SHARDS, seed=3, backend=backend
-        )
+        runtime = DistributedGammaRuntime(workload.program, SHARDS, config=RuntimeConfig(seed=3, backend=backend))
         start = time.perf_counter()
         result = runtime.run(workload.initial.copy())
         elapsed = time.perf_counter() - start
@@ -87,9 +86,7 @@ def main() -> None:
     )
 
     # 3. The sharded result carries protocol-level accounting.
-    sharded = DistributedGammaRuntime(
-        workload.program, SHARDS, seed=3, backend="inprocess"
-    ).run(workload.initial.copy())
+    sharded = DistributedGammaRuntime(workload.program, SHARDS, config=RuntimeConfig(seed=3, backend="inprocess")).run(workload.initial.copy())
     print("\nSharded protocol accounting (inprocess):")
     print(f"  rounds={sharded.rounds} supersteps={sharded.supersteps}")
     print(f"  exchanges={sharded.exchanges} steals={sharded.steals}")

@@ -20,6 +20,7 @@ from repro.gamma import run
 from repro.gamma.stdlib import min_element, sum_reduction, values_multiset
 from repro.multiset import Element, Multiset
 from repro.runtime import IngestQueue, StreamingGammaRuntime
+from repro.api import RuntimeConfig
 
 SMOKE = os.environ.get("EXAMPLES_SMOKE", "") not in ("", "0")
 SIZE = 40 if SMOKE else 400
@@ -34,7 +35,7 @@ def scripted_stream():
     chunk = max(1, len(tail) // EPOCHS)
     batches = [tail[i : i + chunk] for i in range(0, len(tail), chunk)]
 
-    runtime = StreamingGammaRuntime(sum_reduction(), backend="sequential")
+    runtime = StreamingGammaRuntime(sum_reduction(), config=RuntimeConfig(backend="sequential"))
     runtime.start(values_multiset(head))
     report = runtime.pump()  # epoch 0: stabilize the initial multiset
     print(f"epoch 0: initial stabilized in {report.steps} steps")
@@ -64,7 +65,7 @@ def backpressure_demo():
     """A bounded queue pushes back when injection outpaces stabilization."""
     print("== backpressure (capacity 4) ==")
     queue = IngestQueue(capacity=4)
-    runtime = StreamingGammaRuntime(min_element(), backend="sequential", queue=queue)
+    runtime = StreamingGammaRuntime(min_element(), queue=queue, config=RuntimeConfig(backend="sequential"))
     runtime.start(values_multiset([50]))
     admitted = refused = 0
     for value in range(12):
@@ -96,9 +97,7 @@ def sharded_stream():
         [Element(v, "x", 0) for v in tail[i : i + chunk]]
         for i in range(0, len(tail), chunk)
     ]
-    runtime = StreamingGammaRuntime(
-        sum_reduction(), backend="inprocess", num_shards=4, seed=0
-    )
+    runtime = StreamingGammaRuntime(sum_reduction(), config=RuntimeConfig(backend="inprocess", shards=4, seed=0))
     result = runtime.run(values_multiset(head), schedule=batches)
     print(
         f"drained on shards: sum={result.final.values_with_label('x')} "
@@ -110,9 +109,7 @@ def sharded_stream():
 def differential_check(streamed):
     """Stream-then-drain equals one batch run over initial ∪ injected."""
     print("== differential check ==")
-    batch = run(
-        sum_reduction(), values_multiset(range(1, SIZE + 1)), engine="sequential"
-    )
+    batch = run(sum_reduction(), values_multiset(range(1, SIZE + 1)), config=RuntimeConfig(engine="sequential"))
     agree = streamed.final == batch.final
     print(f"streamed result == batch result over the union: {agree}")
     assert agree

@@ -15,7 +15,9 @@ The package provides:
 * :mod:`repro.runtime`   — simulated parallel runtimes (multi-PE dataflow simulator,
   parallel Gamma scheduler, distributed multiset),
 * :mod:`repro.analysis`  — parallelism / granularity / memoization analyses,
-* :mod:`repro.workloads` — workload generators for the benchmark harness.
+* :mod:`repro.workloads` — workload generators for the benchmark harness,
+* :mod:`repro.api`       — the unified configuration surface
+  (:class:`~repro.api.RuntimeConfig`) and one-stop entry-point facade.
 """
 
 __version__ = "1.0.0"
@@ -29,4 +31,5 @@ __all__ = [
     "runtime",
     "analysis",
     "workloads",
+    "api",
 ]

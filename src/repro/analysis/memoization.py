@@ -69,9 +69,10 @@ def reuse_from_gamma(
     seed: Optional[int] = None,
 ) -> ReuseStatistics:
     """Reuse statistics of one Gamma execution."""
+    from ..api import RuntimeConfig
     from ..gamma.engine import run as run_gamma
 
-    result = run_gamma(program, initial, engine=engine, seed=seed)
+    result = run_gamma(program, initial, config=RuntimeConfig(engine=engine, seed=seed))
     stats = result.trace.reuse_statistics()
     return ReuseStatistics(total=stats["total"], unique=stats["unique"])
 

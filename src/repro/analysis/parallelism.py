@@ -100,7 +100,11 @@ def gamma_parallelism(
         engine = MaxParallelEngine(seed=seed)
         result = engine.run(program, initial)
         return ParallelRunMetrics.from_profile(result.parallelism_profile(), num_pes=None)
-    return simulate_program(program, initial, num_pes=num_pes, seed=seed).metrics
+    from ..api import RuntimeConfig
+
+    return simulate_program(
+        program, initial, num_pes=num_pes, config=RuntimeConfig(seed=seed)
+    ).metrics
 
 
 def measured_parallelism(

@@ -33,7 +33,12 @@ def shard_balance(loads: Sequence[int]) -> float:
 
 @dataclass(frozen=True)
 class ShardLoadReport:
-    """Summary of one distributed run's load and communication profile."""
+    """Summary of one distributed run's load and communication profile.
+
+    ``scale_events`` and ``group_migrations`` report what the elasticity
+    layer did during the run (always 0 for legacy results and for sharded
+    runs without an :class:`~repro.runtime.elasticity.ElasticityPolicy`).
+    """
 
     firings: int
     migrations: int
@@ -41,6 +46,8 @@ class ShardLoadReport:
     firing_balance: float
     migrations_per_firing: float
     messages_per_firing: float
+    scale_events: int = 0
+    group_migrations: int = 0
 
 
 def communication_volume(result: DistributedRunResult) -> Dict[str, float]:
@@ -80,4 +87,6 @@ def shard_load_report(result: DistributedRunResult) -> ShardLoadReport:
         firing_balance=shard_balance(result.per_partition_firings),
         migrations_per_firing=volume["migrations_per_firing"],
         messages_per_firing=volume["messages_per_firing"],
+        scale_events=getattr(result, "scale_events", 0),
+        group_migrations=getattr(result, "group_migrations", 0),
     )

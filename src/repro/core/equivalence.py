@@ -108,6 +108,8 @@ def check_dataflow_vs_gamma(
     on the graph's output edges, against the stable Gamma multiset restricted
     to the same labels.
     """
+    from ..api import RuntimeConfig
+
     report = EquivalenceReport(subject=f"dataflow→gamma({graph.name})")
     df_result = run_graph(graph, root_values=root_values)
     expected = df_result.outputs_as_multiset()
@@ -118,7 +120,9 @@ def check_dataflow_vs_gamma(
     for engine in engines:
         engine_seeds: Iterable[Optional[int]] = seeds if engine != "sequential" else (None,)
         for seed in engine_seeds:
-            result = run_gamma(conversion.program, engine=engine, seed=seed)
+            result = run_gamma(
+                conversion.program, config=RuntimeConfig(engine=engine, seed=seed)
+            )
             actual = result.final.restrict_labels(output_labels)
             name = engine if seed is None else f"{engine}[seed={seed}]"
             report.add(name, expected, actual)

@@ -69,7 +69,10 @@ from __future__ import annotations
 import random
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple, Union
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..api import RuntimeConfig
 
 from ..multiset.element import Element
 from ..multiset.multiset import Multiset
@@ -607,37 +610,38 @@ def run(
     compiled: Optional[bool] = None,
     parallel: Union[None, bool, int] = None,
     columnar: Optional[bool] = None,
-) -> ExecutionResult:
-    """Run a Gamma program with the named engine.
+    config: Optional["RuntimeConfig"] = None,
+):
+    """Run a Gamma program — the unified batch entry point.
 
-    ``engine`` may be an engine instance or one of ``"sequential"``,
-    ``"chaotic"``, ``"max-parallel"``, ``"parallel"``.  ``seed`` is forwarded
-    to the nondeterministic engines; ``max_steps`` and ``raise_on_budget``
-    configure the step budget (defaults: ``DEFAULT_MAX_STEPS``, raise);
-    ``compiled`` selects the compiled reaction pipeline (default) or the
-    interpreted baseline (``compiled=False``); ``columnar=True`` turns on
-    the vectorized columnar execution path where the chosen engine supports
-    it (identical results and traces — see :mod:`repro.gamma.vectorized`).
+    The preferred configuration surface is ``config``, a
+    :class:`repro.api.RuntimeConfig`::
 
-    ``parallel`` selects the batched superstep backend: ``parallel=True``
-    runs :class:`ParallelEngine` with inline production evaluation and
-    ``parallel=N`` (an int) additionally spreads production evaluation over
-    ``N`` pool workers (see :class:`ParallelEngine` for what that does and
-    does not buy).  ``parallel=False``/``None`` leaves the chosen engine
-    untouched — the default path is bit-identical to earlier releases.  A
-    truthy ``parallel`` takes precedence over ``engine="sequential"`` (the
-    default string is indistinguishable from an explicit one — the same
-    tolerance the ``seed`` argument gets); any *other* engine name raises
-    ``ValueError``.
+        run(program, initial, config=RuntimeConfig(engine="chaotic", seed=7))
+        run(program, initial, config=RuntimeConfig(backend="inprocess", shards=4))
 
-    Passing an engine *instance* together with ``seed``, ``max_steps``,
-    ``raise_on_budget``, ``compiled`` or ``parallel`` raises ``ValueError``:
-    an instance carries its own configuration and the extra arguments would
-    be silently ignored.  On the string path, ``seed`` is deliberately
-    tolerated (and unused) for ``engine="sequential"`` so one seed can be
-    forwarded while sweeping all engine names — the idiom the benchmarks and
-    equivalence tests rely on.
+    With ``config.backend`` set the call routes through
+    :class:`~repro.runtime.distributed.DistributedGammaRuntime` (returning its
+    :class:`~repro.runtime.distributed.DistributedRunResult`); otherwise one of
+    the single-process engines runs and an
+    :class:`~repro.gamma.trace.ExecutionResult` is returned.  All conflict
+    rules live in :meth:`RuntimeConfig.validate`.
+
+    ``engine`` may also be an engine *instance*; instances carry their own
+    configuration, so combining one with any other keyword (or ``config``)
+    raises ``ValueError``.
+
+    The remaining keywords are the legacy configuration surface.  They still
+    work — each call builds the equivalent ``RuntimeConfig`` internally — but
+    emit a ``DeprecationWarning`` (message prefix ``"legacy keyword
+    configuration"``).  They cannot be combined with ``config``.  As before,
+    ``seed`` is tolerated (and unused) for ``engine="sequential"`` so one
+    seed can be forwarded while sweeping all engine names, and
+    ``parallel=False`` / ``columnar=False`` are normalized to "unset" so
+    sweeps can forward uniform flag values.
     """
+    from ..api import RuntimeConfig, _legacy_names, _reject_config_mix, _warn_legacy
+
     if parallel is False:
         # "No parallel backend" is the default: an explicit False must behave
         # like None everywhere (including the engine-instance conflict check),
@@ -656,6 +660,7 @@ def run(
                 ("compiled", compiled),
                 ("parallel", parallel),
                 ("columnar", columnar),
+                ("config", config),
             )
             if value is not None
         ]
@@ -664,33 +669,60 @@ def run(
                 f"cannot combine an engine instance with {', '.join(conflicting)}; "
                 f"configure the engine directly instead"
             )
-        runner = engine
+        return engine.run(program, initial)
+
+    # The default engine="sequential" string is indistinguishable from an
+    # explicit one, so only a non-default name counts as a legacy keyword.
+    legacy = _legacy_names(
+        (
+            ("engine", engine if engine != "sequential" else None),
+            ("seed", seed),
+            ("max_steps", max_steps),
+            ("raise_on_budget", raise_on_budget),
+            ("compiled", compiled),
+            ("parallel", parallel),
+            ("columnar", columnar),
+        )
+    )
+    if config is not None:
+        _reject_config_mix(legacy)
+        cfg = config
     else:
-        if parallel is not None:
-            if engine not in ("sequential", "parallel"):
-                raise ValueError(
-                    f"parallel={parallel!r} selects the 'parallel' engine and cannot "
-                    f"be combined with engine={engine!r}"
-                )
-            engine = "parallel"
-        try:
-            cls = _ENGINES[engine]
-        except KeyError as exc:
-            raise ValueError(
-                f"unknown engine {engine!r}; expected one of {sorted(_ENGINES)}"
-            ) from exc
-        kwargs = {
-            "max_steps": DEFAULT_MAX_STEPS if max_steps is None else max_steps,
-            "raise_on_budget": True if raise_on_budget is None else raise_on_budget,
-            "compiled": True if compiled is None else compiled,
-            "columnar": False if columnar is None else columnar,
-        }
-        if cls is ParallelEngine:
-            kwargs["workers"] = parallel if isinstance(parallel, int) and not isinstance(parallel, bool) else None
-        if cls is not SequentialEngine:
-            kwargs["seed"] = seed
-        runner = cls(**kwargs)
-    return runner.run(program, initial)
+        cfg = RuntimeConfig(
+            engine=engine if engine != "sequential" else None,
+            seed=seed,
+            max_steps=max_steps,
+            raise_on_budget=raise_on_budget,
+            compiled=compiled,
+            parallel=parallel,
+            columnar=columnar,
+        )
+    cfg.validate("engine")
+    if config is None and legacy:
+        _warn_legacy("run()", legacy)
+
+    if cfg.backend is not None:
+        from ..runtime.distributed import DistributedGammaRuntime
+
+        return DistributedGammaRuntime(program, config=cfg).run(initial)
+
+    engine_name = "parallel" if cfg.parallel is not None else (cfg.engine or "sequential")
+    cls = _ENGINES[engine_name]
+    kwargs = {
+        "max_steps": DEFAULT_MAX_STEPS if cfg.max_steps is None else cfg.max_steps,
+        "raise_on_budget": True if cfg.raise_on_budget is None else cfg.raise_on_budget,
+        "compiled": True if cfg.compiled is None else cfg.compiled,
+        "columnar": False if cfg.columnar is None else cfg.columnar,
+    }
+    if cls is ParallelEngine:
+        kwargs["workers"] = (
+            cfg.parallel
+            if isinstance(cfg.parallel, int) and not isinstance(cfg.parallel, bool)
+            else None
+        )
+    if cls is not SequentialEngine:
+        kwargs["seed"] = cfg.seed
+    return cls(**kwargs).run(program, initial)
 
 
 # Backwards-friendly alias used throughout examples.

@@ -10,6 +10,9 @@
 * :class:`StreamingGammaRuntime` — online execution: continuous element
   injection into a live run on any backend
   (:mod:`repro.runtime.streaming`),
+* :class:`ElasticityPolicy` — online elasticity for the sharded runtimes:
+  label-group migration between shards and shard split/merge/autoscale at
+  superstep barriers (:mod:`repro.runtime.elasticity`),
 * :class:`RecoveryManager` — fault tolerance for the sharded runtimes:
   epoch checkpoints, an ingest write-ahead log, and rollback recovery from
   worker death (:mod:`repro.runtime.recovery`), exercised by the seeded
@@ -19,6 +22,7 @@
 
 from .df_simulator import DataflowSimulationResult, DataflowSimulator, simulate_graph
 from .distributed import DistributedGammaRuntime, DistributedMultiset, DistributedRunResult
+from .elasticity import ElasticityDecision, ElasticityPlan, ElasticityPolicy
 from .faults import FaultEvent, FaultInjector, FaultSchedule, install_faults
 from .gamma_simulator import GammaSimulationResult, GammaSimulator, simulate_program
 from .metrics import ParallelRunMetrics, speedup_curve
@@ -49,6 +53,7 @@ __all__ = [
     "DistributedGammaRuntime", "DistributedMultiset", "DistributedRunResult",
     "ShardCoordinator", "ShardedRunResult",
     "StreamingGammaRuntime", "StreamRunResult", "EpochReport", "IngestQueue",
+    "ElasticityPolicy", "ElasticityPlan", "ElasticityDecision",
     "RecoveryManager", "WorkerDied", "Checkpoint", "CheckpointStore",
     "MemoryCheckpointStore", "DiskCheckpointStore",
     "WriteAheadLog", "MemoryWriteAheadLog", "DiskWriteAheadLog", "WALRecord",

@@ -41,7 +41,10 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..api import RuntimeConfig
 
 from ..gamma.engine import NonTerminationError
 from ..gamma.matching import Match, Matcher
@@ -163,15 +166,27 @@ class DistributedGammaRuntime:
     def __init__(
         self,
         program: GammaProgram,
-        num_partitions: int,
+        num_partitions: Optional[int] = None,
         seed: Optional[int] = None,
-        max_steps: int = 1_000_000,
+        max_steps: Optional[int] = None,
         firings_per_worker_step=_UNSET_FIRINGS,
-        compiled: bool = True,
+        compiled: Optional[bool] = None,
         local_batches: bool = False,
-        backend: str = "legacy",
+        backend: Optional[str] = None,
+        config: Optional["RuntimeConfig"] = None,
     ) -> None:
         """Configure a distributed run.
+
+        The preferred configuration surface is ``config``, a
+        :class:`repro.api.RuntimeConfig` validated against the
+        ``"distributed"`` surface; the partition count may come positionally
+        (``num_partitions``) or as ``config.shards`` (they must agree when
+        both are given).  ``config`` is also the *only* way to enable the
+        fault-tolerance and elasticity layers here (``config.recovery``,
+        ``config.checkpoint_interval``, ``config.elasticity`` — sharded
+        backends only).  The ``seed`` / ``max_steps`` / ``compiled`` /
+        ``backend`` keywords are the legacy surface: still honored, but they
+        emit a ``DeprecationWarning`` and cannot be combined with ``config``.
 
         ``local_batches=True`` switches every legacy worker to superstep
         firing: per global step a worker extracts a maximal disjoint set of
@@ -187,26 +202,69 @@ class DistributedGammaRuntime:
         backend.  ``max_steps`` bounds the barrier rounds, and ``seed``
         drives the shards' derived scheduler seeds.
         """
-        if backend not in self.BACKENDS:
-            raise ValueError(
-                f"unknown backend {backend!r}; expected one of {self.BACKENDS}"
+        from ..api import RuntimeConfig, _legacy_names, _reject_config_mix, _warn_legacy
+
+        legacy = _legacy_names(
+            (
+                ("seed", seed),
+                ("max_steps", max_steps),
+                ("compiled", compiled),
+                ("backend", backend),
             )
+        )
+        if config is not None:
+            _reject_config_mix(legacy)
+            cfg = config
+        else:
+            cfg = RuntimeConfig(
+                backend=backend,
+                shards=num_partitions,
+                seed=seed,
+                max_steps=max_steps,
+                compiled=compiled,
+            )
+        cfg.validate("distributed")
+        if config is not None and num_partitions is not None:
+            if cfg.shards is not None and cfg.shards != num_partitions:
+                raise ValueError(
+                    f"num_partitions={num_partitions} conflicts with "
+                    f"config.shards={cfg.shards}"
+                )
+        shards = num_partitions if num_partitions is not None else cfg.shards
+        if shards is None:
+            raise ValueError(
+                "num_partitions is required (positionally or as config.shards)"
+            )
+        if shards <= 0:
+            raise ValueError("shards must be positive")
+        if config is None and legacy:
+            _warn_legacy("DistributedGammaRuntime", legacy)
+
+        resolved_backend = cfg.backend if cfg.backend is not None else "legacy"
         self._explicit_firings = firings_per_worker_step is not _UNSET_FIRINGS
         if not self._explicit_firings:
             firings_per_worker_step = 1
-        if backend == "legacy" and local_batches is False and firings_per_worker_step is None:
+        if (
+            resolved_backend == "legacy"
+            and local_batches is False
+            and firings_per_worker_step is None
+        ):
             raise ValueError(
                 "firings_per_worker_step=None (uncapped) requires local_batches=True"
             )
         self.program = program
-        self.num_partitions = num_partitions
-        self.backend = backend
-        self.seed = seed
-        self.max_steps = max_steps
+        self.num_partitions = shards
+        self.backend = resolved_backend
+        self.seed = cfg.seed
+        self.max_steps = 1_000_000 if cfg.max_steps is None else cfg.max_steps
         self.firings_per_worker_step = firings_per_worker_step
-        self.compiled = compiled
+        self.compiled = True if cfg.compiled is None else cfg.compiled
         self.local_batches = local_batches
-        self._rng = random.Random(seed)
+        # Config-only layers (no legacy keyword ever existed for these).
+        self.recovery = cfg.recovery
+        self.checkpoint_interval = cfg.checkpoint_interval
+        self.elasticity = cfg.elasticity
+        self._rng = random.Random(self.seed)
 
     def run(self, initial: Optional[Multiset] = None) -> DistributedRunResult:
         """Run the program over ``num_partitions`` partitions to stability.
@@ -216,6 +274,11 @@ class DistributedGammaRuntime:
         budget is exhausted and ``ValueError`` when no initial multiset is
         available.
         """
+        # Re-seeded per run, NOT once in __init__: one runtime object must
+        # produce identical traces on consecutive run() calls with a fixed
+        # seed (the first run used to advance a shared RNG, silently making
+        # the second run diverge).
+        self._rng = random.Random(self.seed)
         if self.backend != "legacy":
             return self._run_sharded(initial)
         source = initial if initial is not None else self.program.initial
@@ -342,6 +405,9 @@ class DistributedGammaRuntime:
             max_rounds=self.max_steps,
             superstep_budget=budget,
             compiled=self.compiled,
+            recovery=self.recovery,
+            checkpoint_rounds=self.checkpoint_interval,
+            elasticity=self.elasticity,
         )
         return coordinator.run(initial)
 

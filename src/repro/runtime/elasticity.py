@@ -1,0 +1,310 @@
+"""Online elasticity for the sharded runtime: repartitioning and autoscaling.
+
+The sharded runtime (PR 4-7) fixes shard count and label placement when a
+session starts: the routing table hashes every union-find label group to a
+static home shard.  Under a skewed workload — a traffic spike on one label
+family — that serializes the cluster: every element of the hot family routes
+to one shard while the others idle.  This module closes the loop the ROADMAP
+calls *adaptive elasticity*, using the per-round metrics the runtime already
+computes (shard sizes from the local reports, label histograms from the
+exchange planner, :func:`repro.analysis.sharding.shard_balance`):
+
+* **group migration** — the union-find label groups in
+  :class:`~repro.runtime.sharding.routing.RoutingTable` are the migration
+  unit.  A hot group is re-homed (:meth:`RoutingTable.assign`) onto the
+  least-loaded shard and its elements move through the existing column-batch
+  exchange machinery, so future exchanges keep the group there.
+* **split / merge** — when the mean partition size crosses the split (or
+  merge) threshold, the policy asks the session to resize the shard set.  A
+  resize is a *planned, loss-free recovery*: snapshot every shard through
+  the column-batch wire format, repartition, rebuild the workers (respawning
+  or retiring processes on the multiprocessing backend), and re-home the
+  routing table — the same checkpoint-rebuild machinery PR 7's crash
+  recovery uses, minus the crash.
+
+Decisions are *seeded and deterministic*: for a fixed seed (including
+``None``) the policy makes identical decisions for identical observations,
+so conformance fuzzing and the cross-backend determinism guarantee (the
+in-process and multiprocessing backends see the same sizes and histograms)
+survive elasticity.  All decisions are recorded on
+:attr:`ElasticityPolicy.decisions` for tests and diagnostics.
+
+Hysteresis keeps the policy from thrashing: pressure must persist for
+``patience`` consecutive rounds before the policy acts, and after acting it
+stays quiet for ``cooldown`` rounds so the runtime can absorb the move.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["ElasticityDecision", "ElasticityPlan", "ElasticityPolicy"]
+
+
+@dataclass(frozen=True)
+class ElasticityDecision:
+    """One recorded policy decision.
+
+    ``action`` is ``"migrate"``, ``"split"`` or ``"merge"``; ``detail`` is a
+    human-readable summary (group, source/destination shard, copies, or the
+    old/new shard counts).  The decision log is the artifact the determinism
+    tests compare across repeats and across backends.
+    """
+
+    round: int
+    action: str
+    detail: str
+
+
+@dataclass(frozen=True)
+class ElasticityPlan:
+    """What the policy wants done at the current barrier.
+
+    Either ``new_shards`` is set (resize the shard set; migrations are
+    pointless in the same round because the resize re-homes every group) or
+    ``moves`` lists ``(group_root, destination_shard)`` re-homings to apply
+    through the exchange machinery.
+    """
+
+    moves: Tuple[Tuple[str, int], ...] = ()
+    new_shards: Optional[int] = None
+
+
+class ElasticityPolicy:
+    """Seeded, deterministic rebalancing policy for :class:`ShardSession`.
+
+    Parameters
+    ----------
+    seed:
+        Decision seed.  ``None`` breaks ties by lowest shard index (fully
+        deterministic, matching the runtime's unseeded convention); an int
+        seeds a private RNG used *only* to break exact load ties, so every
+        decision is a pure function of (seed, observation sequence).
+    migrate_imbalance:
+        Shard-balance threshold (``max_load * shards / total``, the metric
+        of :func:`repro.analysis.sharding.shard_balance`) above which hot
+        label groups are migrated off the most-loaded shard.
+    split_threshold:
+        Mean copies per shard above which the shard set doubles (capped at
+        ``max_shards``).
+    merge_threshold:
+        Mean copies per shard below which the shard set halves (floored at
+        ``min_shards``).  Must be below ``split_threshold`` — the gap is
+        the resize hysteresis band.
+    patience:
+        Consecutive pressured rounds required before the policy acts.
+    cooldown:
+        Quiet rounds after every action before pressure accumulates again.
+    min_shards / max_shards:
+        Bounds of the autoscaled shard count.
+    max_moves_per_round:
+        Cap on group migrations planned at one barrier.
+    """
+
+    def __init__(
+        self,
+        seed: Optional[int] = None,
+        migrate_imbalance: float = 1.5,
+        split_threshold: int = 4096,
+        merge_threshold: int = 8,
+        patience: int = 2,
+        cooldown: int = 4,
+        min_shards: int = 1,
+        max_shards: int = 16,
+        max_moves_per_round: int = 2,
+    ) -> None:
+        if migrate_imbalance < 1.0:
+            raise ValueError("migrate_imbalance must be >= 1.0")
+        if merge_threshold < 0 or split_threshold <= merge_threshold:
+            raise ValueError(
+                "split_threshold must exceed merge_threshold (the hysteresis band)"
+            )
+        if patience < 1:
+            raise ValueError("patience must be >= 1")
+        if cooldown < 0:
+            raise ValueError("cooldown must be >= 0")
+        if not (1 <= min_shards <= max_shards):
+            raise ValueError("need 1 <= min_shards <= max_shards")
+        if max_moves_per_round < 1:
+            raise ValueError("max_moves_per_round must be >= 1")
+        self.seed = seed
+        self.migrate_imbalance = migrate_imbalance
+        self.split_threshold = split_threshold
+        self.merge_threshold = merge_threshold
+        self.patience = patience
+        self.cooldown = cooldown
+        self.min_shards = min_shards
+        self.max_shards = max_shards
+        self.max_moves_per_round = max_moves_per_round
+        self.decisions: List[ElasticityDecision] = []
+        self._rng = random.Random(seed)
+        self._hot_rounds = 0
+        self._cooldown_left = 0
+
+    def reset(self) -> None:
+        """Rearm the policy for a fresh session (decision log cleared).
+
+        Called by :meth:`ShardCoordinator.start` so one policy object can
+        drive consecutive runs with identical behavior per seed.
+        """
+        self.decisions = []
+        self._rng = random.Random(self.seed)
+        self._hot_rounds = 0
+        self._cooldown_left = 0
+
+    # -- observation --------------------------------------------------------------
+    def pressure(self, sizes: Sequence[int]) -> bool:
+        """Cheap per-round check: is rebalancing pressure sustained?
+
+        Fed the per-shard sizes every barrier round (they come free with the
+        local reports — no extra messages).  Returns ``True`` only when the
+        imbalance or a resize watermark persisted for ``patience``
+        consecutive rounds outside the cooldown window; only then does the
+        session pay for label histograms and call :meth:`plan`.
+        """
+        if self._cooldown_left > 0:
+            self._cooldown_left -= 1
+            return False
+        total = sum(sizes)
+        shards = len(sizes)
+        if total <= 0 or shards == 0:
+            self._hot_rounds = 0
+            return False
+        mean = total / shards
+        imbalance = max(sizes) * shards / total
+        pressured = (
+            imbalance > self.migrate_imbalance
+            or (mean > self.split_threshold and shards < self.max_shards)
+            or (mean < self.merge_threshold and shards > self.min_shards)
+        )
+        if not pressured:
+            self._hot_rounds = 0
+            return False
+        self._hot_rounds += 1
+        return self._hot_rounds >= self.patience
+
+    # -- planning -----------------------------------------------------------------
+    def plan(
+        self,
+        round: int,
+        sizes: Sequence[int],
+        histograms: Sequence[Mapping[str, int]],
+        routing,
+    ) -> Optional[ElasticityPlan]:
+        """Decide what to do at this barrier; ``None`` means stand pat.
+
+        ``sizes`` and ``histograms`` are the per-shard loads and label
+        histograms at the barrier; ``routing`` is the session's
+        :class:`~repro.runtime.sharding.routing.RoutingTable`.  Resizes take
+        priority over migrations (a resize re-homes every group anyway).
+        Wildcard programs are inert: they already run on a single gather
+        shard and no placement can change that.
+        """
+        self._hot_rounds = 0
+        self._cooldown_left = self.cooldown
+        if routing.wildcard:
+            return None
+        shards = len(sizes)
+        total = sum(sizes)
+        if total <= 0 or shards == 0:
+            return None
+        mean = total / shards
+        if mean > self.split_threshold and shards < self.max_shards:
+            new_shards = min(shards * 2, self.max_shards)
+            self.decisions.append(
+                ElasticityDecision(round, "split", f"{shards}->{new_shards}")
+            )
+            return ElasticityPlan(new_shards=new_shards)
+        if mean < self.merge_threshold and shards > self.min_shards:
+            new_shards = max((shards + 1) // 2, self.min_shards)
+            self.decisions.append(
+                ElasticityDecision(round, "merge", f"{shards}->{new_shards}")
+            )
+            return ElasticityPlan(new_shards=new_shards)
+        if max(sizes) * shards / total <= self.migrate_imbalance:
+            return None
+        moves = self._plan_moves(round, sizes, histograms, routing)
+        if not moves:
+            return None
+        return ElasticityPlan(moves=tuple(moves))
+
+    def _plan_moves(
+        self,
+        round: int,
+        sizes: Sequence[int],
+        histograms: Sequence[Mapping[str, int]],
+        routing,
+    ) -> List[Tuple[str, int]]:
+        """Greedy hot-group offloading with simulated load updates."""
+        loads = list(sizes)
+        planned: Dict[str, int] = {}
+        moves: List[Tuple[str, int]] = []
+        for _ in range(self.max_moves_per_round):
+            total = sum(loads)
+            if total <= 0:
+                break
+            hottest = max(range(len(loads)), key=lambda s: (loads[s], -s))
+            if loads[hottest] * len(loads) / total <= self.migrate_imbalance:
+                break
+            coldest = self._coldest(loads, exclude=hottest)
+            if coldest is None:
+                break
+            gap = loads[hottest] - loads[coldest]
+            if gap <= 1:
+                break
+            candidate = self._pick_group(
+                hottest, gap, histograms, routing, planned
+            )
+            if candidate is None:
+                break
+            copies, root = candidate
+            planned[root] = coldest
+            moves.append((root, coldest))
+            loads[hottest] -= copies
+            loads[coldest] += copies
+            self.decisions.append(
+                ElasticityDecision(
+                    round,
+                    "migrate",
+                    f"{root}:{hottest}->{coldest} ({copies} copies)",
+                )
+            )
+        return moves
+
+    def _coldest(self, loads: Sequence[int], exclude: int) -> Optional[int]:
+        """Least-loaded shard other than ``exclude`` (seeded tie-break)."""
+        candidates = [s for s in range(len(loads)) if s != exclude]
+        if not candidates:
+            return None
+        low = min(loads[s] for s in candidates)
+        ties = [s for s in candidates if loads[s] == low]
+        if len(ties) == 1 or self.seed is None:
+            return ties[0]
+        return self._rng.choice(ties)
+
+    def _pick_group(
+        self,
+        hottest: int,
+        gap: int,
+        histograms: Sequence[Mapping[str, int]],
+        routing,
+        planned: Mapping[str, int],
+    ) -> Optional[Tuple[int, str]]:
+        """Largest group homed on ``hottest`` that fits in the load gap."""
+        candidates: List[Tuple[int, str]] = []
+        for root in sorted(routing.groups):
+            if root in planned or routing.destination(root) != hottest:
+                continue
+            copies = sum(
+                histograms[hottest].get(label, 0)
+                for label in routing.groups[root]
+            )
+            if copies > 0:
+                candidates.append((copies, root))
+        candidates.sort(key=lambda pair: (-pair[0], pair[1]))
+        for copies, root in candidates:
+            if copies <= gap:
+                return copies, root
+        return None

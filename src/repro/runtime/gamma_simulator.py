@@ -19,7 +19,10 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..api import RuntimeConfig
 
 from ..gamma.engine import NonTerminationError
 from ..gamma.program import GammaProgram
@@ -127,10 +130,40 @@ def simulate_program(
     initial: Optional[Multiset] = None,
     num_pes: Optional[int] = None,
     seed: Optional[int] = None,
-    compiled: bool = True,
-    columnar: bool = False,
+    compiled: Optional[bool] = None,
+    columnar: Optional[bool] = None,
+    config: Optional["RuntimeConfig"] = None,
 ) -> GammaSimulationResult:
-    """Convenience wrapper around :class:`GammaSimulator`."""
+    """Convenience wrapper around :class:`GammaSimulator`.
+
+    The preferred configuration surface is ``config``, a
+    :class:`repro.api.RuntimeConfig` validated against the ``"simulator"``
+    surface (``seed`` / ``max_steps`` / ``compiled`` / ``columnar``).  The
+    equivalent legacy keywords still work but emit a ``DeprecationWarning``
+    and cannot be combined with ``config``; ``num_pes`` is the simulator's
+    resource model, not runtime configuration, so it stays a keyword on
+    either path.
+    """
+    from ..api import RuntimeConfig, _legacy_names, _reject_config_mix, _warn_legacy
+
+    if columnar is False:
+        columnar = None
+    legacy = _legacy_names(
+        (("seed", seed), ("compiled", compiled), ("columnar", columnar))
+    )
+    if config is not None:
+        _reject_config_mix(legacy)
+        cfg = config
+    else:
+        cfg = RuntimeConfig(seed=seed, compiled=compiled, columnar=columnar)
+    cfg.validate("simulator")
+    if config is None and legacy:
+        _warn_legacy("simulate_program()", legacy)
     return GammaSimulator(
-        program, num_pes=num_pes, seed=seed, compiled=compiled, columnar=columnar
+        program,
+        num_pes=num_pes,
+        seed=cfg.seed,
+        max_steps=DEFAULT_MAX_STEPS if cfg.max_steps is None else cfg.max_steps,
+        compiled=True if cfg.compiled is None else cfg.compiled,
+        columnar=bool(cfg.columnar),
     ).run(initial)

@@ -39,15 +39,17 @@ from typing import List, Optional, Sequence, Tuple
 
 from ...gamma.engine import NonTerminationError
 from ...gamma.program import GammaProgram
+from ...multiset.columnar import from_column_batch, to_column_batch
 from ...multiset.element import Element
 from ...multiset.multiset import Multiset
 from ...multiset.partition import partition_counts, partition_pairs
 from ..distributed import DistributedRunResult
+from ..elasticity import ElasticityPolicy
 from ..recovery import INITIAL_EPOCH, RecoveryManager, WorkerDied
 from .inprocess import InProcessBackend
 from .mp import MultiprocessingBackend
 from .quiescence import RUNNING, QuiescenceDetector
-from .routing import RoutingTable
+from .routing import RoutingTable, Transfer
 
 __all__ = ["ShardCoordinator", "ShardSession", "ShardedRunResult", "SHARD_BACKENDS"]
 
@@ -79,6 +81,8 @@ class ShardedRunResult(DistributedRunResult):
     final_shard_sizes: List[int] = field(default_factory=list)
     recoveries: int = 0
     replayed: int = 0
+    scale_events: int = 0
+    group_migrations: int = 0
 
 
 class ShardCoordinator:
@@ -132,6 +136,13 @@ class ShardCoordinator:
         With ``recovery``, additionally checkpoint every N barrier rounds
         during :meth:`ShardSession.drive` (batch-mode checkpointing; the
         streaming runtime checkpoints at epoch boundaries instead).
+    elasticity:
+        Optional :class:`~repro.runtime.elasticity.ElasticityPolicy`.  When
+        set, the session watches per-round load pressure and — at superstep
+        barriers — migrates hot label groups between shards and splits or
+        merges the shard set when the policy's hysteresis thresholds are
+        crossed (see :mod:`repro.runtime.elasticity`).  ``num_shards``
+        becomes the *starting* shard count.
     """
 
     def __init__(
@@ -150,6 +161,7 @@ class ShardCoordinator:
         steal_threshold: float = 2.0,
         recovery: Optional[RecoveryManager] = None,
         checkpoint_rounds: Optional[int] = None,
+        elasticity: Optional[ElasticityPolicy] = None,
     ) -> None:
         if num_shards <= 0:
             raise ValueError("num_shards must be positive")
@@ -182,6 +194,8 @@ class ShardCoordinator:
         self.steal_threshold = steal_threshold
         self.recovery = recovery
         self.checkpoint_rounds = checkpoint_rounds
+        self.elasticity = elasticity
+        self._initial_shards = num_shards
         self.routing = RoutingTable(program.reactions, num_shards)
 
     # -- execution ----------------------------------------------------------------
@@ -211,6 +225,12 @@ class ShardCoordinator:
         source = initial if initial is not None else self.program.initial
         if source is None:
             raise ValueError("an initial multiset is required")
+        if self.elasticity is not None:
+            # Rearm the policy and restore the starting topology, so one
+            # coordinator drives consecutive elastic runs identically.
+            self.elasticity.reset()
+            self.num_shards = self._initial_shards
+            self.routing.rehome(self._initial_shards)
         backend = _BACKENDS[self.backend_name](
             self.program.reactions,
             self.num_shards,
@@ -287,10 +307,13 @@ class ShardSession:
         self.injected = 0
         self.recoveries = 0
         self.replayed = 0
+        self.scale_events = 0
+        self.group_migrations = 0
         self.recovery_seconds: List[float] = []
         self.per_shard_firings = [0] * coordinator.num_shards
         self._rounds_since_checkpoint = 0
         self._last_checkpoint_epoch = INITIAL_EPOCH
+        self._last_injected_epoch = INITIAL_EPOCH
         self._final_sizes: List[int] = []
         self._closed = False
 
@@ -344,6 +367,7 @@ class ShardSession:
         if self.recovery is not None:
             if epoch is None:
                 epoch = self._last_checkpoint_epoch + 1
+            self._last_injected_epoch = max(self._last_injected_epoch, epoch)
             record = self.recovery.log_injection(epoch, pairs)
         batches = partition_pairs(pairs, self.coordinator.num_shards)
         try:
@@ -420,8 +444,19 @@ class ShardSession:
         while True:
             self.recovery.note_failure(failure)
             checkpoint, records = self.recovery.recovery_plan()
+            shard_batches = list(checkpoint.shard_batches)
+            if len(shard_batches) != self.coordinator.num_shards:
+                # The latest checkpoint predates an elastic resize: decode it
+                # and repartition over the current topology before restoring.
+                pairs: List[Tuple[Element, int]] = []
+                for batch in shard_batches:
+                    pairs.extend(from_column_batch(batch))
+                shard_batches = [
+                    to_column_batch(part)
+                    for part in partition_pairs(pairs, self.coordinator.num_shards)
+                ]
             try:
-                self.backend.recover(list(checkpoint.shard_batches))
+                self.backend.recover(shard_batches)
                 self.messages += self.coordinator.num_shards
                 self.detector.rollback()
                 for record in records:
@@ -534,6 +569,8 @@ class ShardSession:
                 self.migrations += moved
                 self.messages += batches
                 self.steals += batches
+            if coordinator.elasticity is not None:
+                self._elastic_step(reports)
             return None
 
         # Every shard is locally stable: plan the exchange.
@@ -557,6 +594,107 @@ class ShardSession:
         self.exchanges += 1
         return None
 
+    # -- elasticity ---------------------------------------------------------------
+    def _elastic_step(self, reports) -> None:
+        """Consult the elasticity policy at this barrier and apply its plan.
+
+        Cheap path first: the per-shard sizes already travel with the local
+        reports, so :meth:`ElasticityPolicy.pressure` costs no messages.
+        Only under sustained pressure does the session fetch label
+        histograms and ask for a plan — a resize (:meth:`_resize`) or a set
+        of group re-homings executed through the ordinary exchange
+        machinery (the quiescence detector accounts the moves like any
+        other migration, so stability bookkeeping stays sound).
+        """
+        coordinator = self.coordinator
+        policy = coordinator.elasticity
+        sizes = [0] * coordinator.num_shards
+        for report in reports:
+            sizes[report.shard] = report.size
+        if not policy.pressure(sizes):
+            return
+        histograms = self._guarded(self.backend.label_counts)
+        self.messages += coordinator.num_shards
+        plan = policy.plan(self.rounds, sizes, histograms, coordinator.routing)
+        if plan is None:
+            return
+        if plan.new_shards is not None:
+            self._resize(plan.new_shards)
+            return
+        transfers: List[Transfer] = []
+        for root, destination in plan.moves:
+            coordinator.routing.assign(root, destination)
+            members = coordinator.routing.groups[root]
+            for source, counts in enumerate(histograms):
+                if source == destination:
+                    continue
+                labels = tuple(
+                    sorted(label for label in members if counts.get(label, 0) > 0)
+                )
+                if labels:
+                    transfers.append(
+                        Transfer(source=source, destination=destination, labels=labels)
+                    )
+        if transfers:
+            moved, batches = self._guarded(
+                self.backend.execute_transfers, transfers, self.detector
+            )
+            self.migrations += moved
+            self.messages += batches
+        self.group_migrations += len(plan.moves)
+
+    def _resize(self, new_shards: int) -> None:
+        """Scale the shard set to ``new_shards`` as a planned, loss-free rebuild.
+
+        Reuses the recovery wire format end to end: snapshot every shard as
+        column batches at this barrier (a consistent cut — no firing or
+        migration is in flight), repartition the union over the new count,
+        and hand the backend the new partitions (the multiprocessing backend
+        spawns or retires worker processes; in-process rebuilds its worker
+        list).  The routing table is re-homed, the quiescence detector is
+        rebuilt at the new width (stream state preserved), and — with
+        recovery attached — a fresh checkpoint is taken immediately so a
+        later rollback never restores a stale topology.
+        """
+        coordinator = self.coordinator
+        batches = self._guarded(self.backend.snapshot_shard_batches)
+        self.messages += coordinator.num_shards
+        pairs: List[Tuple[Element, int]] = []
+        for batch in batches:
+            pairs.extend(from_column_batch(batch))
+        partitions = partition_pairs(pairs, new_shards)
+        while True:
+            try:
+                self.backend.resize(new_shards, partitions)
+                break
+            except WorkerDied as failure:
+                if self.recovery is None:  # pragma: no cover - unsupervised resize
+                    raise
+                # Bounded by the recovery budget; resize() respawns dead
+                # workers first, so the retry is idempotent.
+                self.recovery.note_failure(failure)
+        self.messages += new_shards
+        coordinator.num_shards = new_shards
+        coordinator.routing.rehome(new_shards)
+        stream_open = self.detector.stream_open
+        self.detector = QuiescenceDetector(new_shards)
+        if stream_open:
+            self.detector.open_stream()
+        folded = [0] * new_shards
+        for shard, fired in enumerate(self.per_shard_firings):
+            folded[shard % new_shards] += fired
+        self.per_shard_firings = folded
+        self.scale_events += 1
+        if self.recovery is not None:
+            if stream_open:
+                # Streaming epochs are pump indexes: reusing the round-based
+                # default here would jump the WAL truncation point past
+                # records that may still need replay.
+                epoch = max(self._last_checkpoint_epoch, self._last_injected_epoch)
+                self.checkpoint(epoch=epoch)
+            else:
+                self.checkpoint()
+
     # -- results ------------------------------------------------------------------
     def result(self) -> ShardedRunResult:
         """Collect the final multiset and wrap the session's accounting."""
@@ -577,4 +715,6 @@ class ShardSession:
             final_shard_sizes=list(self._final_sizes),
             recoveries=self.recoveries,
             replayed=self.replayed,
+            scale_events=self.scale_events,
+            group_migrations=self.group_migrations,
         )

@@ -158,6 +158,28 @@ class InProcessBackend:
         """Current partition sizes (element copies per shard)."""
         return [len(worker.multiset) for worker in self.workers]
 
+    # -- elasticity --------------------------------------------------------------
+    def resize(
+        self,
+        num_shards: int,
+        partitions: Sequence[Sequence[Tuple[Element, int]]],
+    ) -> None:
+        """Rebuild the worker set at ``num_shards`` and load ``partitions``.
+
+        The elastic scale path: every worker is torn down and recreated
+        (fresh scheduler, per-shard derived seed for the *new* shard index)
+        and each new shard ingests its repartitioned batch.  The caller — a
+        :class:`~repro.runtime.sharding.coordinator.ShardSession` — owns
+        snapshotting the old state and repartitioning it.
+        """
+        for worker in self.workers:
+            worker.close()
+        self.num_shards = num_shards
+        self.workers = [self._fresh_worker(shard) for shard in range(num_shards)]
+        for worker, batch in zip(self.workers, partitions):
+            if batch:
+                worker.ingest(batch)
+
     # -- recovery ----------------------------------------------------------------
     def snapshot_shard_batches(self) -> List[Any]:
         """Every shard's partition as column batches (checkpoint capture)."""

@@ -384,6 +384,66 @@ class MultiprocessingBackend:
         """Union of every shard's partition (the run's final multiset)."""
         return self.snapshot_all()
 
+    # -- elasticity --------------------------------------------------------------
+    def resize(
+        self,
+        num_shards: int,
+        partitions: Sequence[Sequence[Tuple[Element, int]]],
+    ) -> None:
+        """Autoscale to ``num_shards`` worker processes and load ``partitions``.
+
+        Growing spawns fresh processes for the new shard indexes; shrinking
+        stops and reclaims the excess ones.  Every remaining worker then
+        receives a ``reset`` with its repartitioned batch — the same
+        checkpoint-restore broadcast :meth:`recover` uses, so a scale event
+        is a planned, loss-free rebuild.  Dead workers are respawned first,
+        which makes a resize retried after a mid-resize death idempotent.
+
+        Surviving workers keep their original worker-side routing tables
+        (stale ``num_shards``); that is harmless because workers only use
+        routing for routability checks, which are home-independent.
+        """
+        self.respawn(self.dead_shards())
+        reactions, _, seed, compiled, superstep = self._worker_args
+        self._worker_args = (reactions, num_shards, seed, compiled, superstep)
+        if num_shards > self.num_shards:
+            for shard in range(self.num_shards, num_shards):
+                self._commands.append(None)
+                self._replies.append(None)
+                self._processes.append(None)
+                self._spawn(shard)
+        elif num_shards < self.num_shards:
+            for shard in range(num_shards, self.num_shards):
+                process = self._processes[shard]
+                if process.is_alive():
+                    try:
+                        self._commands[shard].put(("stop", None))
+                    except (OSError, ValueError):  # pragma: no cover - teardown race
+                        pass
+                process.join(timeout=10)
+                if process.is_alive():  # pragma: no cover - stuck worker
+                    process.kill()
+                    process.join(timeout=10)
+                for channel in (self._commands[shard], self._replies[shard]):
+                    try:
+                        channel.close()
+                        channel.cancel_join_thread()
+                    except (OSError, ValueError):  # pragma: no cover - teardown race
+                        pass
+            del self._commands[num_shards:]
+            del self._replies[num_shards:]
+            del self._processes[num_shards:]
+        self.num_shards = num_shards
+        for shard in range(num_shards):
+            self._send(shard, "reset", to_column_batch(partitions[shard]))
+        for shard in range(num_shards):
+            while True:
+                kind, payload = self._next_reply(shard, "reset_ok")
+                if kind == "reset_ok":
+                    break
+                if kind == "error":
+                    raise self._dead(shard, f"failed during resize:\n{payload}")
+
     # -- recovery ----------------------------------------------------------------
     def snapshot_shard_batches(self) -> List[Any]:
         """Every shard's partition as column batches (checkpoint capture).

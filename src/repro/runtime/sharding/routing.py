@@ -106,6 +106,12 @@ class RoutingTable:
         self.groups: Dict[str, FrozenSet[str]] = {
             root: frozenset(members) for root, members in groups.items()
         }
+        #: Union-find root of each grouped label (the group's canonical label).
+        self._root: Dict[str, str] = {
+            label: root for root, members in self.groups.items() for label in members
+        }
+        #: Elastic home overrides, keyed by group root (see :meth:`assign`).
+        self._overrides: Dict[str, int] = {}
         # The gather shard used when a wildcard reaction makes every label
         # consumable: hash the empty string so the choice is stable and does
         # not privilege shard 0 for every program.
@@ -121,11 +127,55 @@ class RoutingTable:
 
         Inert labels (consumed by no reaction) are never migrated.  With a
         wildcard reaction in the program every label routes to the single
-        gather shard.
+        gather shard.  An elastic override (:meth:`assign`) takes precedence
+        over the hashed home for the whole group.
         """
         if self.wildcard:
             return self._gather
-        return self._home.get(label)
+        root = self._root.get(label)
+        if root is None:
+            return None
+        override = self._overrides.get(root)
+        if override is not None:
+            return override
+        return self._home[label]
+
+    def assign(self, root: str, shard: int) -> None:
+        """Override a label group's home shard (elastic group migration).
+
+        ``root`` is a group's canonical label (a key of :attr:`groups`);
+        every member label of the group now routes to ``shard``, so future
+        exchange plans keep the group there.  Only the coordinator-side
+        table needs overrides: the worker-side tables of the multiprocessing
+        backend are used solely for routability checks, which are
+        home-independent.
+        """
+        if root not in self.groups:
+            raise ValueError(f"unknown label group root {root!r}")
+        if not 0 <= shard < self.num_shards:
+            raise ValueError(
+                f"shard {shard} out of range for {self.num_shards} shards"
+            )
+        self._overrides[root] = shard
+
+    def rehome(self, num_shards: int) -> None:
+        """Recompute every home for a resized shard set.
+
+        Called when the session splits or merges shards: hashed homes are
+        recomputed modulo the new count and every elastic override is
+        dropped (the post-resize load distribution is new evidence — the
+        policy re-derives any overrides it still wants).
+        """
+        if num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        self.num_shards = num_shards
+        self._overrides.clear()
+        self._gather = _stable_label_hash("") % num_shards
+        self._home = {
+            label: _stable_label_hash(root) % num_shards
+            for root, members in self.groups.items()
+            for label in members
+        }
 
     def is_routable(self, label: str) -> bool:
         """True when ``label`` participates in some reaction's footprint."""

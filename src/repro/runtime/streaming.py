@@ -46,7 +46,10 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Iterable, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..api import RuntimeConfig
 
 from ..gamma.engine import (
     ChaoticEngine,
@@ -287,6 +290,8 @@ class StreamRunResult:
     stable: bool = True
     recoveries: int = 0
     replayed: int = 0
+    scale_events: int = 0
+    group_migrations: int = 0
 
     def values_with_label(self, label: str) -> List:
         """Values of the final multiset's elements carrying ``label``."""
@@ -356,6 +361,13 @@ class StreamingGammaRuntime:
         Pumps between checkpoints when ``recovery`` is set (default 1 —
         checkpoint every epoch; raise it to trade recovery rewind distance
         for lower checkpoint overhead).
+    config.elasticity:
+        Optional :class:`~repro.runtime.elasticity.ElasticityPolicy`
+        (sharded backends only, config surface only): the coordinator
+        consults it at superstep barriers and may migrate label groups
+        between shards or split/merge the shard set while the stream is
+        live — ``result().scale_events`` / ``.group_migrations`` report
+        what it did.
 
     Drive it either *scripted* — ``run(initial, schedule=[batch, ...])``
     plays one batch per epoch — or *live*: start producer threads against
@@ -367,54 +379,88 @@ class StreamingGammaRuntime:
     def __init__(
         self,
         program: GammaProgram,
-        backend: str = "sequential",
+        backend: Optional[str] = None,
         seed: Optional[int] = None,
-        num_shards: int = 4,
+        num_shards: Optional[int] = None,
         queue: Optional[IngestQueue] = None,
         queue_capacity: Optional[int] = None,
         epoch_limit: Optional[int] = None,
         steps_per_epoch: Optional[int] = None,
-        max_steps: int = 1_000_000,
+        max_steps: Optional[int] = None,
         workers: Optional[int] = None,
         max_batch: Optional[int] = None,
-        compiled: bool = True,
-        columnar: bool = False,
+        compiled: Optional[bool] = None,
+        columnar: Optional[bool] = None,
         recovery: Optional[RecoveryManager] = None,
-        checkpoint_interval: int = 1,
+        checkpoint_interval: Optional[int] = None,
+        config: Optional["RuntimeConfig"] = None,
     ) -> None:
-        if backend not in STREAM_BACKENDS:
-            raise ValueError(
-                f"unknown streaming backend {backend!r}; "
-                f"expected one of {STREAM_BACKENDS}"
+        """Configure the stream; ``config`` is the preferred surface.
+
+        A :class:`repro.api.RuntimeConfig` (validated against the
+        ``"streaming"`` surface) carries ``backend`` / ``shards`` / ``seed``
+        / ``max_steps`` / ``compiled`` / ``columnar`` / ``recovery`` /
+        ``checkpoint_interval`` / ``elasticity``.  The equivalent legacy
+        keywords still work but emit a ``DeprecationWarning`` and cannot be
+        combined with ``config``.  Stream-plumbing arguments (``queue``,
+        ``queue_capacity``, ``epoch_limit``, ``steps_per_epoch``,
+        ``workers``, ``max_batch``) are not configuration — they stay
+        keywords on either path.
+        """
+        from ..api import RuntimeConfig, _legacy_names, _reject_config_mix, _warn_legacy
+
+        if columnar is False:
+            columnar = None
+        legacy = _legacy_names(
+            (
+                ("backend", backend),
+                ("seed", seed),
+                ("num_shards", num_shards),
+                ("max_steps", max_steps),
+                ("compiled", compiled),
+                ("columnar", columnar),
+                ("recovery", recovery),
+                ("checkpoint_interval", checkpoint_interval),
             )
+        )
+        if config is not None:
+            _reject_config_mix(legacy)
+            cfg = config
+        else:
+            cfg = RuntimeConfig(
+                backend=backend,
+                shards=num_shards,
+                seed=seed,
+                max_steps=max_steps,
+                compiled=compiled,
+                columnar=columnar,
+                recovery=recovery,
+                checkpoint_interval=checkpoint_interval,
+            )
+        cfg.validate("streaming")
         if steps_per_epoch is not None and steps_per_epoch <= 0:
             raise ValueError("steps_per_epoch must be positive (or None)")
-        if max_steps <= 0:
-            raise ValueError("max_steps must be positive")
-        if recovery is not None and backend not in _SHARDED_BACKENDS:
-            raise ValueError(
-                f"recovery requires a sharded backend {_SHARDED_BACKENDS}, "
-                f"got {backend!r} (engine backends hold all state in this "
-                f"process; there is no worker to lose)"
-            )
-        if checkpoint_interval <= 0:
-            raise ValueError("checkpoint_interval must be positive")
+        if config is None and legacy:
+            _warn_legacy("StreamingGammaRuntime", legacy)
         self.program = program
-        self.backend = backend
-        self.seed = seed
-        self.num_shards = num_shards
+        self.backend = cfg.backend if cfg.backend is not None else "sequential"
+        self.seed = cfg.seed
+        self.num_shards = cfg.shards if cfg.shards is not None else 4
         self.queue = queue if queue is not None else IngestQueue(
-            capacity=queue_capacity, seed=seed
+            capacity=queue_capacity, seed=cfg.seed
         )
         self.epoch_limit = epoch_limit
         self.steps_per_epoch = steps_per_epoch
-        self.max_steps = max_steps
+        self.max_steps = 1_000_000 if cfg.max_steps is None else cfg.max_steps
         self.workers = workers
         self.max_batch = max_batch
-        self.compiled = compiled
-        self.columnar = columnar
-        self.recovery = recovery
-        self.checkpoint_interval = checkpoint_interval
+        self.compiled = True if cfg.compiled is None else cfg.compiled
+        self.columnar = bool(cfg.columnar)
+        self.recovery = cfg.recovery
+        self.checkpoint_interval = (
+            1 if cfg.checkpoint_interval is None else cfg.checkpoint_interval
+        )
+        self.elasticity = cfg.elasticity
         self._epochs_since_checkpoint = 0
         # Live-run state (created by start()).
         self._engine: Optional[GammaEngine] = None
@@ -463,6 +509,7 @@ class StreamingGammaRuntime:
                 max_rounds=self.max_steps,
                 compiled=self.compiled,
                 recovery=self.recovery,
+                elasticity=self.elasticity,
             )
             self._session = coordinator.start(source)
             self._session.open_stream()
@@ -698,4 +745,8 @@ class StreamingGammaRuntime:
             stable=self._stable and self.queue.exhausted,
             recoveries=self._session.recoveries if self._session is not None else 0,
             replayed=self._session.replayed if self._session is not None else 0,
+            scale_events=self._session.scale_events if self._session is not None else 0,
+            group_migrations=(
+                self._session.group_migrations if self._session is not None else 0
+            ),
         )

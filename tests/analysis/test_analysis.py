@@ -24,6 +24,7 @@ from repro.gamma.stdlib import min_element, sum_reduction, values_multiset
 from repro.workloads.expressions import ExpressionSpec, random_expression_graph
 from repro.workloads.loops import accumulation
 from repro.workloads.paper_examples import example1_graph, example2_graph
+from repro.api import RuntimeConfig
 
 
 class TestStaticParallelism:
@@ -115,7 +116,7 @@ class TestMemoization:
         graph = accumulation(y=2, z=7, x=3).graph()
         conversion = dataflow_to_gamma(graph)
         memoized = run_with_memoization(conversion.program, conversion.initial)
-        reference = run(conversion.program, engine="sequential")
+        reference = run(conversion.program, config=RuntimeConfig(engine="sequential"))
         assert memoized.final == reference.final
         assert memoized.firings == memoized.computed + memoized.replayed
         assert memoized.replayed > 0

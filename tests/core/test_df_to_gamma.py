@@ -8,6 +8,7 @@ from repro.dataflow.nodes import ArithmeticNode, RootNode
 from repro.gamma import run
 from repro.workloads.expressions import ExpressionSpec, random_expression_graph
 from repro.workloads.loops import LOOP_KERNELS
+from repro.api import RuntimeConfig
 
 
 class TestStructuralRules:
@@ -22,7 +23,7 @@ class TestStructuralRules:
         add = conversion.program["add"]
         # The add vertex fans out to both inputs of the multiply: two productions.
         assert len(add.branches[0].productions) == 2
-        result = run(conversion.program, engine="sequential")
+        result = run(conversion.program, config=RuntimeConfig(engine="sequential"))
         assert result.final.values_with_label("sq") == [49]
 
     def test_root_with_fanout_creates_multiple_initial_elements(self):
@@ -34,7 +35,7 @@ class TestStructuralRules:
         conversion = dataflow_to_gamma(b.build())
         # x and y each feed two consumers: 4 initial elements.
         assert len(conversion.initial) == 4
-        result = run(conversion.program, engine="chaotic", seed=0)
+        result = run(conversion.program, config=RuntimeConfig(engine="chaotic", seed=0))
         assert result.final.values_with_label("o1") == [7]
         assert result.final.values_with_label("o2") == [10]
 
@@ -45,7 +46,7 @@ class TestStructuralRules:
         conversion = dataflow_to_gamma(b.build())
         reaction = conversion.program["dec"]
         assert reaction.arity == 1
-        result = run(conversion.program, engine="sequential")
+        result = run(conversion.program, config=RuntimeConfig(engine="sequential"))
         assert result.final.values_with_label("r") == [8]
 
     def test_comparison_node_yields_two_branches(self):
@@ -56,7 +57,7 @@ class TestStructuralRules:
         conversion = dataflow_to_gamma(b.build())
         reaction = conversion.program["lt"]
         assert len(reaction.branches) == 2
-        result = run(conversion.program, engine="sequential")
+        result = run(conversion.program, config=RuntimeConfig(engine="sequential"))
         assert result.final.values_with_label("r") == [1]
 
     def test_node_without_consumers_produces_nothing(self):
@@ -64,7 +65,7 @@ class TestStructuralRules:
         x = b.root(1, "x", node_id="x")
         b.arith_imm("+", x, 1, node_id="dead")
         conversion = dataflow_to_gamma(b.build())
-        result = run(conversion.program, engine="sequential")
+        result = run(conversion.program, config=RuntimeConfig(engine="sequential"))
         assert len(result.final) == 0
 
     def test_root_value_override(self):

@@ -17,6 +17,7 @@ from repro.workloads.paper_examples import (
     example1_expected_result,
     example1_graph,
 )
+from repro.api import RuntimeConfig
 
 
 class TestConversionStructure:
@@ -74,12 +75,12 @@ class TestBehaviouralEquivalence:
         graph = example1_graph()
         assert run_graph(graph).single_output("m") == 0
         conversion = dataflow_to_gamma(graph)
-        result = run(conversion.program, engine="sequential")
+        result = run(conversion.program, config=RuntimeConfig(engine="sequential"))
         assert result.final.values_with_label("m") == [0]
 
     def test_all_engines_agree(self, engine_name):
         conversion = dataflow_to_gamma(example1_graph())
-        result = run(conversion.program, engine=engine_name, seed=11)
+        result = run(conversion.program, config=RuntimeConfig(engine=engine_name, seed=11))
         assert result.final.restrict_labels(["m"]).to_tuples() == [(0, "m", 0)]
 
     @pytest.mark.parametrize(
@@ -95,5 +96,5 @@ class TestBehaviouralEquivalence:
     def test_exact_firing_count(self):
         """Three reactions fire exactly once each (one per dataflow vertex)."""
         conversion = dataflow_to_gamma(example1_graph())
-        result = run(conversion.program, engine="sequential")
+        result = run(conversion.program, config=RuntimeConfig(engine="sequential"))
         assert result.trace.firing_counts() == {"R1": 1, "R2": 1, "R3": 1}

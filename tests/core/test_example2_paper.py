@@ -17,6 +17,7 @@ from repro.workloads.paper_examples import (
     example2_expected_result,
     example2_graph,
 )
+from repro.api import RuntimeConfig
 
 
 class TestConversionStructure:
@@ -101,14 +102,14 @@ class TestBehaviouralEquivalence:
         expected = example2_expected_result()
         assert run_graph(graph).single_output("Cout") == expected
         conversion = dataflow_to_gamma(graph)
-        result = run(conversion.program, engine="chaotic", seed=9)
+        result = run(conversion.program, config=RuntimeConfig(engine="chaotic", seed=9))
         assert result.final.values_with_label("Cout") == [expected]
 
     @pytest.mark.parametrize("y,z,x", [(2, 3, 10), (1, 1, 0), (5, 0, 7), (3, 8, -4), (0, 6, 2)])
     def test_sweep_all_engines(self, y, z, x, engine_name):
         graph = example2_graph(y, z, x)
         conversion = dataflow_to_gamma(graph)
-        result = run(conversion.program, engine=engine_name, seed=1)
+        result = run(conversion.program, config=RuntimeConfig(engine=engine_name, seed=1))
         assert result.final.restrict_labels(["Cout"]).to_tuples() == [
             (example2_expected_result(y, z, x), "Cout", z + 1 if z > 0 else 1)
         ]
@@ -127,8 +128,8 @@ class TestBehaviouralEquivalence:
         """Each loop iteration fires the 9 converted reactions a fixed number of times."""
         conversion_small = dataflow_to_gamma(example2_graph(y=1, z=2, x=0))
         conversion_large = dataflow_to_gamma(example2_graph(y=1, z=6, x=0))
-        small = run(conversion_small.program, engine="sequential").firings
-        large = run(conversion_large.program, engine="sequential").firings
+        small = run(conversion_small.program, config=RuntimeConfig(engine="sequential")).firings
+        large = run(conversion_large.program, config=RuntimeConfig(engine="sequential")).firings
         # 4 extra iterations, each costing a fixed number of reaction firings.
         assert (large - small) % 4 == 0
         assert large > small
@@ -140,5 +141,5 @@ class TestBehaviouralEquivalence:
         conversion = dataflow_to_gamma(graph)
         r17 = conversion.program["R17"]
         assert r17.branches[1].productions == ()  # by 0 else
-        result = run(conversion.program, engine="chaotic", seed=0)
+        result = run(conversion.program, config=RuntimeConfig(engine="chaotic", seed=0))
         assert len(result.final) == 0

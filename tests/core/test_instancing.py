@@ -20,6 +20,7 @@ from repro.gamma.stdlib import (
     values_multiset,
 )
 from repro.workloads.paper_examples import example2_expected_result, example2_graph
+from repro.api import RuntimeConfig
 
 
 class TestFig4Instancing:
@@ -77,7 +78,7 @@ class TestExecutionViaDataflow:
         initial = values_multiset(values)
         emulated = execute_via_dataflow(program, initial, seed=1)
         assert sorted(emulated.final.values_with_label("x")) == expected
-        native = run(program, initial, engine="sequential")
+        native = run(program, initial, config=RuntimeConfig(engine="sequential"))
         assert emulated.final == native.final
 
     def test_sieve_via_dataflow(self):

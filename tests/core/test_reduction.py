@@ -18,6 +18,7 @@ from repro.workloads.paper_listings import (
     EXAMPLE2_REDUCED,
     example2_init_source,
 )
+from repro.api import RuntimeConfig
 
 
 class TestExample1Reduction:
@@ -36,7 +37,7 @@ class TestExample1Reduction:
     def test_reduced_program_is_equivalent(self, x, y, k, j):
         conversion = dataflow_to_gamma(example1_graph(x, y, k, j))
         reduced = reduce_program(conversion.program)
-        result = run(reduced.program, conversion.initial, engine="chaotic", seed=0)
+        result = run(reduced.program, conversion.initial, config=RuntimeConfig(engine="chaotic", seed=0))
         assert result.final.values_with_label("m") == [example1_expected_result(x, y, k, j)]
 
     def test_reduced_matches_papers_rd1_listing(self):
@@ -44,8 +45,8 @@ class TestExample1Reduction:
         conversion = dataflow_to_gamma(example1_graph())
         automatic = reduce_program(conversion.program)
         manual = compile_source(EXAMPLE1_INIT + EXAMPLE1_REDUCED)
-        ours = run(automatic.program, conversion.initial, engine="sequential").final
-        paper = run(manual, engine="sequential").final
+        ours = run(automatic.program, conversion.initial, config=RuntimeConfig(engine="sequential")).final
+        paper = run(manual, config=RuntimeConfig(engine="sequential")).final
         assert ours.restrict_labels(["m"]) == paper.restrict_labels(["m"])
         assert granularity_metrics(automatic.program)["mean_arity"] == 4.0
 
@@ -83,7 +84,7 @@ class TestExpansion:
         assert len(expanded.program) == 3
         metrics = granularity_metrics(expanded.program)
         assert metrics["mean_arity"] == 2.0
-        result = run(expanded.program, conversion.initial, engine="chaotic", seed=1)
+        result = run(expanded.program, conversion.initial, config=RuntimeConfig(engine="chaotic", seed=1))
         assert result.final.values_with_label("m") == [example1_expected_result()]
 
     def test_expansion_of_already_fine_program_is_identity(self):
@@ -106,14 +107,14 @@ class TestExample2Reduction:
         conversion = dataflow_to_gamma(example2_graph())
         reduced = reduce_program(conversion.program)
         assert len(reduced.program) == 9
-        result = run(reduced.program, conversion.initial, engine="chaotic", seed=2)
+        result = run(reduced.program, conversion.initial, config=RuntimeConfig(engine="chaotic", seed=2))
         assert result.final.values_with_label("Cout") == [example2_expected_result()]
 
     @pytest.mark.parametrize("y,z,x", [(2, 3, 10), (1, 6, 0), (5, 1, 5)])
     def test_papers_reduced_listing_is_equivalent_on_the_accumulator(self, y, z, x):
         """The paper's hand-reduced Rd11–Rd16 leave the final accumulator on C12."""
         program = compile_source(example2_init_source(y, z, x) + EXAMPLE2_REDUCED)
-        result = run(program, engine="chaotic", seed=1)
+        result = run(program, config=RuntimeConfig(engine="chaotic", seed=1))
         assert result.final.values_with_label("C12") == [example2_expected_result(y, z, x)]
 
     def test_papers_reduced_listing_has_six_reactions(self):

@@ -23,6 +23,7 @@ from repro.workloads.paper_listings import (
     example1_init_source,
     example2_init_source,
 )
+from repro.api import RuntimeConfig
 
 
 class TestListingsParse:
@@ -48,30 +49,30 @@ class TestListingsParse:
 class TestListingsExecute:
     def test_eq2_min_element(self):
         program = compile_source(EQ2_MIN_ELEMENT)
-        result = run(program, values_multiset([9, 4, 7, 1, 3]), engine="chaotic", seed=0)
+        result = run(program, values_multiset([9, 4, 7, 1, 3]), config=RuntimeConfig(engine="chaotic", seed=0))
         assert result.final.to_tuples() == [(1, "x", 0)]
 
     def test_example1_listing_computes_m(self):
         program = compile_source(EXAMPLE1_INIT + EXAMPLE1_REACTIONS)
-        result = run(program, engine="sequential")
+        result = run(program, config=RuntimeConfig(engine="sequential"))
         assert result.final.values_with_label("m") == [example1_expected_result()]
 
     def test_example1_reduced_equivalent(self):
         program = compile_source(EXAMPLE1_INIT + EXAMPLE1_REDUCED)
-        result = run(program, engine="chaotic", seed=1)
+        result = run(program, config=RuntimeConfig(engine="chaotic", seed=1))
         assert result.final.values_with_label("m") == [example1_expected_result()]
 
     @pytest.mark.parametrize("x,y,k,j", [(1, 5, 3, 2), (10, -3, 4, 4), (0, 0, 0, 0)])
     def test_example1_listing_for_other_inputs(self, x, y, k, j):
         program = compile_source(example1_init_source(x, y, k, j) + EXAMPLE1_REACTIONS)
-        result = run(program, engine="chaotic", seed=2)
+        result = run(program, config=RuntimeConfig(engine="chaotic", seed=2))
         assert result.final.values_with_label("m") == [example1_expected_result(x, y, k, j)]
 
     def test_example2_listing_terminates_empty(self):
         """The paper's verbatim 9-reaction listing discards everything at loop
         exit (`by 0 else` on every steer) — the stable multiset is empty."""
         program = compile_source(EXAMPLE2_INIT + EXAMPLE2_REACTIONS)
-        result = run(program, engine="chaotic", seed=1)
+        result = run(program, config=RuntimeConfig(engine="chaotic", seed=1))
         assert len(result.final) == 0
         assert result.firings > 0
 
@@ -79,15 +80,15 @@ class TestListingsExecute:
     def test_example2_reduced_keeps_accumulator(self, y, z, x):
         """The reduced 6-reaction listing leaves the final accumulator on C12."""
         program = compile_source(example2_init_source(y, z, x) + EXAMPLE2_REDUCED)
-        result = run(program, engine="chaotic", seed=3)
+        result = run(program, config=RuntimeConfig(engine="chaotic", seed=3))
         assert result.final.values_with_label("C12") == [example2_expected_result(y, z, x)]
 
     def test_listing_matches_algorithm1_conversion(self):
         """Executing the hand-written R1–R3 equals executing the generated reactions."""
         listing = compile_source(EXAMPLE1_INIT + EXAMPLE1_REACTIONS)
         generated = dataflow_to_gamma(example1_graph())
-        listing_result = run(listing, engine="sequential").final.restrict_labels(["m"])
-        generated_result = run(generated.program, engine="sequential").final.restrict_labels(["m"])
+        listing_result = run(listing, config=RuntimeConfig(engine="sequential")).final.restrict_labels(["m"])
+        generated_result = run(generated.program, config=RuntimeConfig(engine="sequential")).final.restrict_labels(["m"])
         assert listing_result == generated_result
 
 
@@ -106,7 +107,7 @@ class TestRoundTrip:
         program = compile_source(EXAMPLE1_INIT + EXAMPLE1_REACTIONS)
         text = format_program(program)
         reparsed = compile_source(text)
-        assert run(reparsed, engine="sequential").final == run(program, engine="sequential").final
+        assert run(reparsed, config=RuntimeConfig(engine="sequential")).final == run(program, config=RuntimeConfig(engine="sequential")).final
 
     def test_format_reaction_contains_paper_keywords(self):
         program = compile_source(EXAMPLE2_REACTIONS)

@@ -8,6 +8,7 @@ from repro.gamma.dsl import compile_source, format_expr, format_multiset, format
 from repro.gamma.expr import BinOp, BoolOp, Compare, Const, Not, Var
 from repro.gamma.stdlib import values_multiset
 from repro.workloads.paper_examples import example1_graph, example2_graph
+from repro.api import RuntimeConfig
 
 
 class TestFormatExpr:
@@ -38,8 +39,8 @@ class TestFormatProgram:
         conversion = dataflow_to_gamma(example2_graph())
         text = format_program(conversion.program)
         reparsed = compile_source(text)
-        original = run(conversion.program, engine="sequential").final.restrict_labels(["Cout"])
-        again = run(reparsed, engine="sequential").final.restrict_labels(["Cout"])
+        original = run(conversion.program, config=RuntimeConfig(engine="sequential")).final.restrict_labels(["Cout"])
+        again = run(reparsed, config=RuntimeConfig(engine="sequential")).final.restrict_labels(["Cout"])
         assert original == again
 
     def test_format_multiset(self):

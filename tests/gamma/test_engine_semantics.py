@@ -26,6 +26,7 @@ from repro.gamma.stdlib import (
     values_multiset,
 )
 from repro.multiset import Multiset
+from repro.api import RuntimeConfig
 
 # Engine sweeps come from the shared parametrized ``engine_name`` fixture
 # (tests/conftest.py), not a module-local list.
@@ -33,7 +34,7 @@ from repro.multiset import Multiset
 
 class TestTermination:
     def test_stable_state_reached(self, engine_name):
-        result = run(sum_reduction(), values_multiset([1, 2, 3, 4]), engine=engine_name, seed=0)
+        result = run(sum_reduction(), values_multiset([1, 2, 3, 4]), config=RuntimeConfig(engine=engine_name, seed=0))
         assert result.final.to_tuples() == [(10, "x", 0)]
         assert result.stable
 
@@ -41,7 +42,7 @@ class TestTermination:
         # Eq. 1: if no condition holds, the result is the initial multiset.
         program = min_element()
         single = values_multiset([42])
-        result = run(program, single, engine=engine_name, seed=0)
+        result = run(program, single, config=RuntimeConfig(engine=engine_name, seed=0))
         assert result.final == single
         assert result.firings == 0
         assert result.steps == 0
@@ -55,34 +56,34 @@ class TestTermination:
         )
         program = GammaProgram([looping])
         with pytest.raises(NonTerminationError):
-            run(program, values_multiset([1]), engine="sequential", max_steps=100)
+            run(program, values_multiset([1]), config=RuntimeConfig(engine="sequential", max_steps=100))
 
     def test_missing_initial_multiset_raises(self):
         with pytest.raises(ValueError):
-            run(sum_reduction(), None, engine="sequential")
+            run(sum_reduction(), None, config=RuntimeConfig(engine="sequential"))
 
     def test_unknown_engine_rejected(self):
         with pytest.raises(ValueError):
-            run(sum_reduction(), values_multiset([1, 2]), engine="quantum")
+            run(sum_reduction(), values_multiset([1, 2]), config=RuntimeConfig(engine="quantum"))
 
 
 class TestSchedulerIndependence:
     @pytest.mark.parametrize("seed", [0, 1, 7])
     def test_confluent_results_do_not_depend_on_schedule(self, engine_name, seed):
         values = [9, 1, 7, 3, 5, 11, 2]
-        result = run(min_element(), values_multiset(values), engine=engine_name, seed=seed)
+        result = run(min_element(), values_multiset(values), config=RuntimeConfig(engine=engine_name, seed=seed))
         assert result.final.to_tuples() == [(1, "x", 0)]
 
     def test_sum_firing_count_is_schedule_invariant(self, engine_name):
         values = list(range(1, 17))
-        result = run(sum_reduction(), values_multiset(values), engine=engine_name, seed=3)
+        result = run(sum_reduction(), values_multiset(values), config=RuntimeConfig(engine=engine_name, seed=3))
         # n values always need exactly n-1 pairwise combinations.
         assert result.firings == len(values) - 1
 
     def test_sieve_result_stable_across_seeds(self):
         initial = values_multiset(range(2, 40))
         results = {
-            tuple(sorted(run(prime_sieve(), initial, engine="chaotic", seed=s).final.values_with_label("x")))
+            tuple(sorted(run(prime_sieve(), initial, config=RuntimeConfig(engine="chaotic", seed=s)).final.values_with_label("x")))
             for s in range(5)
         }
         assert len(results) == 1
@@ -92,8 +93,8 @@ class TestSchedulerIndependence:
 
 class TestEngineSpecifics:
     def test_sequential_is_deterministic(self):
-        a = run(max_element(), values_multiset([4, 9, 2]), engine="sequential")
-        b = run(max_element(), values_multiset([4, 9, 2]), engine="sequential")
+        a = run(max_element(), values_multiset([4, 9, 2]), config=RuntimeConfig(engine="sequential"))
+        b = run(max_element(), values_multiset([4, 9, 2]), config=RuntimeConfig(engine="sequential"))
         assert a.trace.firing_counts() == b.trace.firing_counts()
         assert a.final == b.final
 
@@ -127,7 +128,7 @@ class TestComposition:
 
         program = mk_min("x") | mk_max("y")
         initial = values_multiset([5, 2, 9], label="x") + values_multiset([5, 2, 9], label="y")
-        result = run(program, initial, engine="chaotic", seed=0)
+        result = run(program, initial, config=RuntimeConfig(engine="chaotic", seed=0))
         assert result.final.values_with_label("x") == [2]
         assert result.final.values_with_label("y") == [9]
 
@@ -135,7 +136,7 @@ class TestComposition:
         from repro.gamma.stdlib import count_threshold
 
         program = count_threshold(5)
-        result = run(program, values_multiset([7, 3, 9, 1, 4]), engine="sequential")
+        result = run(program, values_multiset([7, 3, 9, 1, 4]), config=RuntimeConfig(engine="sequential"))
         assert result.final.values_with_label("count") == [2]
 
     def test_conditional_branches_route_like_steer(self):
@@ -148,7 +149,7 @@ class TestComposition:
             ],
         )
         program = GammaProgram([steer_like])
-        taken = run(program, Multiset([(10, "data", 0), (1, "ctl", 0)]), engine="sequential")
+        taken = run(program, Multiset([(10, "data", 0), (1, "ctl", 0)]), config=RuntimeConfig(engine="sequential"))
         assert taken.final.to_tuples() == [(10, "true_out", 0)]
-        not_taken = run(program, Multiset([(10, "data", 0), (0, "ctl", 0)]), engine="sequential")
+        not_taken = run(program, Multiset([(10, "data", 0), (0, "ctl", 0)]), config=RuntimeConfig(engine="sequential"))
         assert not_taken.final.to_tuples() == [(10, "false_out", 0)]

@@ -16,6 +16,7 @@ from repro.gamma.reaction import Branch, Reaction
 from repro.gamma.stdlib import min_element, sum_reduction, values_multiset
 from repro.multiset import Multiset
 from repro.workloads import CLASSIC_WORKLOADS, make_workload
+from repro.api import RuntimeConfig
 
 
 def _trace_key(result):
@@ -95,20 +96,20 @@ class TestParallelEngine:
 class TestRunParallelWiring:
     def test_parallel_true_selects_parallel_engine(self):
         workload = make_workload("min_element", size=16, seed=3)
-        result = run(workload.program, workload.initial, parallel=True)
+        result = run(workload.program, workload.initial, config=RuntimeConfig(parallel=True))
         assert result.engine == "parallel"
         assert result.values_with_label("x") == workload.expected_values
 
     def test_parallel_int_sets_worker_count_without_changing_the_trace(self):
         workload = make_workload("min_element", size=16, seed=3)
-        inline = run(workload.program, workload.initial, parallel=True, seed=7)
-        pooled = run(workload.program, workload.initial, parallel=4, seed=7)
+        inline = run(workload.program, workload.initial, config=RuntimeConfig(parallel=True, seed=7))
+        pooled = run(workload.program, workload.initial, config=RuntimeConfig(parallel=4, seed=7))
         assert _trace_key(inline) == _trace_key(pooled)
 
     def test_parallel_false_is_the_sequential_default(self):
         workload = make_workload("min_element", size=16, seed=3)
         default = run(workload.program, workload.initial)
-        explicit = run(workload.program, workload.initial, parallel=False)
+        explicit = run(workload.program, workload.initial, config=RuntimeConfig(parallel=False))
         assert explicit.engine == default.engine == "sequential"
         assert _trace_key(explicit) == _trace_key(default)
 
@@ -116,8 +117,7 @@ class TestRunParallelWiring:
         # Sweep idiom: a uniform parallel=False must not conflict with
         # explicit engine names or instances.
         workload = make_workload("min_element", size=8, seed=0)
-        by_name = run(workload.program, workload.initial, engine="chaotic",
-                      seed=1, parallel=False)
+        by_name = run(workload.program, workload.initial, config=RuntimeConfig(engine="chaotic", seed=1, parallel=False))
         assert by_name.engine == "chaotic"
         by_instance = run(workload.program, workload.initial,
                           engine=SequentialEngine(), parallel=False)
@@ -125,13 +125,13 @@ class TestRunParallelWiring:
 
     def test_parallel_engine_name_is_runnable(self):
         workload = make_workload("sum_reduction", size=16, seed=3)
-        result = run(workload.program, workload.initial, engine="parallel")
+        result = run(workload.program, workload.initial, config=RuntimeConfig(engine="parallel"))
         assert result.engine == "parallel"
 
     def test_parallel_conflicts_with_other_engines(self):
         workload = make_workload("min_element", size=8, seed=0)
         with pytest.raises(ValueError, match="parallel"):
-            run(workload.program, workload.initial, engine="chaotic", parallel=2)
+            run(workload.program, workload.initial, config=RuntimeConfig(engine="chaotic", parallel=2))
         with pytest.raises(ValueError, match="parallel"):
             run(workload.program, workload.initial, engine=ParallelEngine(), parallel=2)
 

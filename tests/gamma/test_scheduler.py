@@ -21,6 +21,7 @@ from repro.gamma.pattern import pattern, template
 from repro.gamma.reaction import Branch, Reaction
 from repro.gamma.stdlib import min_element, sum_reduction, values_multiset
 from repro.multiset import Multiset
+from repro.api import RuntimeConfig
 
 
 def _rewrite(name, src_label, dst_label):
@@ -127,14 +128,7 @@ class TestRunArgumentConflicts:
         assert result.final.values_with_label("x") == [6]
 
     def test_named_engine_still_accepts_everything(self):
-        result = run(
-            sum_reduction(),
-            values_multiset([1, 2, 3]),
-            engine="chaotic",
-            seed=4,
-            max_steps=50,
-            raise_on_budget=False,
-        )
+        result = run(sum_reduction(), values_multiset([1, 2, 3]), config=RuntimeConfig(engine="chaotic", seed=4, max_steps=50, raise_on_budget=False))
         assert result.stable
 
 
@@ -146,24 +140,17 @@ class TestBudgetModes:
             [Branch(productions=[template("a", "x", "t")])],
         )
         with pytest.raises(NonTerminationError):
-            run(GammaProgram([looping]), values_multiset([1]), engine="sequential", max_steps=10)
+            run(GammaProgram([looping]), values_multiset([1]), config=RuntimeConfig(engine="sequential", max_steps=10))
 
     def test_partial_result_when_budget_disabled(self, engine_name):
-        result = run(
-            sum_reduction(),
-            values_multiset(range(1, 33)),
-            engine=engine_name,
-            seed=0,
-            max_steps=3,
-            raise_on_budget=False,
-        )
+        result = run(sum_reduction(), values_multiset(range(1, 33)), config=RuntimeConfig(engine=engine_name, seed=0, max_steps=3, raise_on_budget=False))
         assert not result.stable
         assert result.steps == 3
         # The partial multiset conserves the sum even mid-run.
         assert sum(result.final.values_with_label("x")) == sum(range(1, 33))
 
     def test_completed_run_is_stable(self):
-        result = run(sum_reduction(), values_multiset([1, 2, 3]), engine="sequential")
+        result = run(sum_reduction(), values_multiset([1, 2, 3]), config=RuntimeConfig(engine="sequential"))
         assert result.stable
         assert result.final.values_with_label("x") == [6]
 

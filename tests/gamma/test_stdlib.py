@@ -19,11 +19,12 @@ from repro.gamma.stdlib import (
     sum_reduction,
     values_multiset,
 )
+from repro.api import RuntimeConfig
 
 
 class TestReductions:
     def test_min(self, engine_name):
-        result = run(min_element(), values_multiset([8, 3, 11, 5]), engine=engine_name, seed=1)
+        result = run(min_element(), values_multiset([8, 3, 11, 5]), config=RuntimeConfig(engine=engine_name, seed=1))
         assert result.final.values_with_label("x") == [3]
 
     def test_min_is_eq2_shape(self):
@@ -33,51 +34,51 @@ class TestReductions:
         assert len(reaction.branches) == 1
 
     def test_max(self):
-        result = run(max_element(), values_multiset([8, 3, 11, 5]), engine="chaotic", seed=0)
+        result = run(max_element(), values_multiset([8, 3, 11, 5]), config=RuntimeConfig(engine="chaotic", seed=0))
         assert result.final.values_with_label("x") == [11]
 
     def test_sum(self):
-        result = run(sum_reduction(), values_multiset(range(1, 11)), engine="chaotic", seed=0)
+        result = run(sum_reduction(), values_multiset(range(1, 11)), config=RuntimeConfig(engine="chaotic", seed=0))
         assert result.final.values_with_label("x") == [55]
 
     def test_product(self):
-        result = run(product_reduction(), values_multiset([2, 3, 4]), engine="sequential")
+        result = run(product_reduction(), values_multiset([2, 3, 4]), config=RuntimeConfig(engine="sequential"))
         assert result.final.values_with_label("x") == [24]
 
     def test_gcd(self):
         values = [24, 36, 60]
-        result = run(gcd_program(), values_multiset(values), engine="chaotic", seed=2)
+        result = run(gcd_program(), values_multiset(values), config=RuntimeConfig(engine="chaotic", seed=2))
         assert result.final.values_with_label("x") == [math.gcd(*values[:2], values[2])]
 
     def test_gcd_single_element_already_stable(self):
-        result = run(gcd_program(), values_multiset([17]), engine="sequential")
+        result = run(gcd_program(), values_multiset([17]), config=RuntimeConfig(engine="sequential"))
         assert result.final.values_with_label("x") == [17]
 
 
 class TestSetAndOrderPrograms:
     def test_prime_sieve(self):
-        result = run(prime_sieve(), values_multiset(range(2, 50)), engine="chaotic", seed=4)
+        result = run(prime_sieve(), values_multiset(range(2, 50)), config=RuntimeConfig(engine="chaotic", seed=4))
         primes = sorted(result.final.values_with_label("x"))
         assert primes == [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47]
 
     def test_remove_duplicates(self):
-        result = run(remove_duplicates(), values_multiset([1, 1, 2, 3, 3, 3]), engine="sequential")
+        result = run(remove_duplicates(), values_multiset([1, 1, 2, 3, 3, 3]), config=RuntimeConfig(engine="sequential"))
         assert sorted(result.final.values_with_label("x")) == [1, 2, 3]
 
     @pytest.mark.parametrize("seed", [0, 1, 2])
     def test_exchange_sort(self, seed):
         values = [9, 2, 7, 1, 8, 3]
-        result = run(exchange_sort(), indexed_multiset(values), engine="chaotic", seed=seed)
+        result = run(exchange_sort(), indexed_multiset(values), config=RuntimeConfig(engine="chaotic", seed=seed))
         by_tag = sorted(result.final, key=lambda e: e.tag)
         assert [e.value for e in by_tag] == sorted(values)
 
     def test_exchange_sort_preserves_tags_as_indices(self):
         values = [5, 4, 3]
-        result = run(exchange_sort(), indexed_multiset(values), engine="sequential")
+        result = run(exchange_sort(), indexed_multiset(values), config=RuntimeConfig(engine="sequential"))
         assert sorted(e.tag for e in result.final) == [0, 1, 2]
 
     def test_count_threshold_sequential_composition(self):
-        result = run(count_threshold(10), values_multiset([4, 11, 25, 3, 10]), engine="sequential")
+        result = run(count_threshold(10), values_multiset([4, 11, 25, 3, 10]), config=RuntimeConfig(engine="sequential"))
         assert result.final.values_with_label("count") == [3]
 
 
@@ -94,5 +95,5 @@ class TestRegistry:
             assert len(program) >= 1, name
 
     def test_custom_label(self):
-        result = run(min_element("vals"), values_multiset([4, 2], label="vals"), engine="sequential")
+        result = run(min_element("vals"), values_multiset([4, 2], label="vals"), config=RuntimeConfig(engine="sequential"))
         assert result.final.values_with_label("vals") == [2]

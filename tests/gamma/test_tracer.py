@@ -3,17 +3,18 @@
 from repro.gamma import MaxParallelEngine, run
 from repro.gamma.stdlib import sum_reduction, values_multiset
 from repro.gamma.tracer import Trace
+from repro.api import RuntimeConfig
 
 
 class TestTraceRecording:
     def test_firing_counts(self):
-        result = run(sum_reduction(), values_multiset([1, 2, 3, 4]), engine="sequential")
+        result = run(sum_reduction(), values_multiset([1, 2, 3, 4]), config=RuntimeConfig(engine="sequential"))
         counts = result.trace.firing_counts()
         assert counts == {"Rsum": 3}
         assert result.trace.num_firings == 3
 
     def test_firings_of(self):
-        result = run(sum_reduction(), values_multiset([1, 2, 3]), engine="sequential")
+        result = run(sum_reduction(), values_multiset([1, 2, 3]), config=RuntimeConfig(engine="sequential"))
         assert len(result.trace.firings_of("Rsum")) == 2
         assert result.trace.firings_of("other") == []
 

@@ -23,6 +23,7 @@ from repro.gamma.stdlib import (
 )
 from repro.multiset import columnar as columnar_module
 from repro.workloads import make_workload
+from repro.api import RuntimeConfig
 
 PAPER_WORKLOADS = (
     "min_element",
@@ -46,8 +47,12 @@ def _fingerprint(result):
 
 
 def _differential(program, initial, engine="sequential", **kwargs):
-    plain = run(program, initial.copy(), engine=engine, **kwargs)
-    columnar = run(program, initial.copy(), engine=engine, columnar=True, **kwargs)
+    plain = run(program, initial.copy(), config=RuntimeConfig(engine=engine, **kwargs))
+    columnar = run(
+        program,
+        initial.copy(),
+        config=RuntimeConfig(engine=engine, columnar=True, **kwargs),
+    )
     assert _fingerprint(columnar) == _fingerprint(plain)
     assert columnar.final.counts() == plain.final.counts()
     assert columnar.steps == plain.steps
@@ -189,31 +194,15 @@ class TestBailPaths:
     def test_budget_exhaustion_message_is_identical(self):
         workload = make_workload("min_element", size=12, seed=0)
         with pytest.raises(NonTerminationError) as plain_err:
-            run(workload.program, workload.initial.copy(), max_steps=3)
+            run(workload.program, workload.initial.copy(), config=RuntimeConfig(max_steps=3))
         with pytest.raises(NonTerminationError) as columnar_err:
-            run(
-                workload.program,
-                workload.initial.copy(),
-                max_steps=3,
-                columnar=True,
-            )
+            run(workload.program, workload.initial.copy(), config=RuntimeConfig(max_steps=3, columnar=True))
         assert str(columnar_err.value) == str(plain_err.value)
 
     def test_partial_drain_resyncs_the_multiset(self):
         workload = make_workload("min_element", size=12, seed=0)
-        plain = run(
-            workload.program,
-            workload.initial.copy(),
-            max_steps=4,
-            raise_on_budget=False,
-        )
-        columnar = run(
-            workload.program,
-            workload.initial.copy(),
-            max_steps=4,
-            raise_on_budget=False,
-            columnar=True,
-        )
+        plain = run(workload.program, workload.initial.copy(), config=RuntimeConfig(max_steps=4, raise_on_budget=False))
+        columnar = run(workload.program, workload.initial.copy(), config=RuntimeConfig(max_steps=4, raise_on_budget=False, columnar=True))
         assert not plain.stable and not columnar.stable
         assert columnar.steps == plain.steps == 4
         assert columnar.final.counts() == plain.final.counts()
@@ -229,10 +218,8 @@ class TestRuntimeIntegration:
         union = workload.initial.copy()
         for element, count in extra.counts().items():
             union.add(element, count)
-        reference = run(workload.program, union, columnar=True)
-        runtime = StreamingGammaRuntime(
-            workload.program, backend="sequential", columnar=True
-        )
+        reference = run(workload.program, union, config=RuntimeConfig(columnar=True))
+        runtime = StreamingGammaRuntime(workload.program, config=RuntimeConfig(backend="sequential", columnar=True))
         result = runtime.run(
             workload.initial.copy(),
             schedule=[list(extra.counts().keys())],
@@ -244,12 +231,8 @@ class TestRuntimeIntegration:
         from repro.runtime.gamma_simulator import simulate_program
 
         workload = make_workload("min_element", size=10, seed=5)
-        plain = simulate_program(
-            workload.program, workload.initial.copy(), seed=7
-        )
-        columnar = simulate_program(
-            workload.program, workload.initial.copy(), seed=7, columnar=True
-        )
+        plain = simulate_program(workload.program, workload.initial.copy(), config=RuntimeConfig(seed=7))
+        columnar = simulate_program(workload.program, workload.initial.copy(), config=RuntimeConfig(seed=7, columnar=True))
         assert columnar.final == plain.final
         assert columnar.total_firings == plain.total_firings
 

@@ -22,6 +22,7 @@ from repro.gamma import run
 from repro.gamma.dsl import compile_source, format_program
 from repro.runtime import DistributedGammaRuntime, simulate_graph, simulate_program
 from repro.workloads import make_workload
+from repro.api import RuntimeConfig
 
 
 SOURCE = """
@@ -47,7 +48,7 @@ class TestSourceToEverything:
         # 3. Gamma program -> textual Gamma code -> parsed back -> same result
         text = format_program(conversion.program)
         reparsed = compile_source(text)
-        assert run(reparsed, engine="chaotic", seed=4).final.values_with_label("x") == [EXPECTED]
+        assert run(reparsed, config=RuntimeConfig(engine="chaotic", seed=4)).final.values_with_label("x") == [EXPECTED]
 
         # 4. Algorithm 2 + Fig. 4 instancing: execute the Gamma program through
         #    replicated dataflow graphs only
@@ -60,7 +61,7 @@ class TestSourceToEverything:
 
         # 6. Reduction keeps the observable result
         reduced = reduce_program(conversion.program)
-        result = run(reduced.program, conversion.initial, engine="chaotic", seed=1)
+        result = run(reduced.program, conversion.initial, config=RuntimeConfig(engine="chaotic", seed=1))
         assert result.final.values_with_label("x") == [EXPECTED]
 
         # 7. Serialization round-trips the graph
@@ -75,7 +76,7 @@ class TestSourceToEverything:
 
     def test_distributed_execution_of_converted_program(self):
         workload = make_workload("sum_reduction", size=24, seed=9)
-        distributed = DistributedGammaRuntime(workload.program, 4, seed=1).run(workload.initial)
+        distributed = DistributedGammaRuntime(workload.program, 4, config=RuntimeConfig(seed=1)).run(workload.initial)
         assert sorted(distributed.values_with_label("x")) == workload.expected_sorted()
 
     def test_simulators_match_reference_results(self):
@@ -83,5 +84,5 @@ class TestSourceToEverything:
         df = simulate_graph(graph, num_pes=3, seed=7)
         assert df.output_values("x") == [EXPECTED]
         conversion = dataflow_to_gamma(graph)
-        gamma = simulate_program(conversion.program, conversion.initial, num_pes=3, seed=7)
+        gamma = simulate_program(conversion.program, conversion.initial, num_pes=3, config=RuntimeConfig(seed=7))
         assert gamma.final.values_with_label("x") == [EXPECTED]

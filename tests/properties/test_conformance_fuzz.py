@@ -31,9 +31,11 @@ from generators import BACKENDS, SHARD_COUNTS, conformance_cases
 from repro.gamma import ParallelEngine, run
 from repro.multiset import ColumnarStore, Element, Multiset
 from repro.multiset import columnar as columnar_module
+from repro.runtime import ElasticityPolicy
 from repro.runtime.sharding import ShardCoordinator
 from repro.runtime.streaming import StreamingGammaRuntime
 from repro.workloads import make_workload
+from repro.api import RuntimeConfig
 
 FORK_AVAILABLE = "fork" in multiprocessing.get_all_start_methods()
 
@@ -58,11 +60,11 @@ def _execute(program, initial, backend, seed, shards):
         return ShardCoordinator(
             program, shards, backend=backend, seed=seed
         ).run(initial.copy()).final
-    return run(program, initial.copy(), engine=backend, seed=seed).final
+    return run(program, initial.copy(), config=RuntimeConfig(engine=backend, seed=seed)).final
 
 
 def _reference(program, initial):
-    return run(program, initial.copy(), engine="sequential").final
+    return run(program, initial.copy(), config=RuntimeConfig(engine="sequential")).final
 
 
 class TestGeneratedProgramConformance:
@@ -154,6 +156,120 @@ class TestWorkloadConformance:
         assert final == reference
 
 
+def _churny_policy(policy_seed):
+    """An elasticity policy tuned to rebalance/resize as often as it can.
+
+    Hair-trigger thresholds (one hot round suffices, no cooldown, a narrow
+    hysteresis band) maximize migrations and scale events per run, so the
+    differential exercises the move/resize machinery, not the steady state.
+    """
+    return ElasticityPolicy(
+        seed=policy_seed,
+        patience=1,
+        cooldown=0,
+        migrate_imbalance=1.2,
+        split_threshold=8,
+        merge_threshold=2,
+        min_shards=1,
+        max_shards=8,
+    )
+
+
+class TestElasticConformance:
+    """PR 8 acceptance: elastic sharded runs ≡ the sequential stable multiset.
+
+    Same differential contract as the static sharded rows above, but with an
+    :class:`ElasticityPolicy` live at every barrier — group migrations and
+    split/merge resizes must be invisible in the final multiset.
+    """
+
+    @given(
+        case=conformance_cases(),
+        shards=shard_counts,
+        seed=seeds,
+        policy_seed=seeds,
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_elastic_inprocess_reaches_the_sequential_stable_multiset(
+        self, case, shards, seed, policy_seed
+    ):
+        reference = _reference(case.program, case.initial)
+        final = ShardCoordinator(
+            case.program,
+            shards,
+            backend="inprocess",
+            seed=seed,
+            elasticity=_churny_policy(policy_seed),
+        ).run(case.initial.copy()).final
+        assert final == reference
+
+    @given(
+        name=st.sampled_from(WORKLOADS),
+        size=st.integers(min_value=2, max_value=20),
+        shards=shard_counts,
+        seed=seeds,
+        policy_seed=seeds,
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_elastic_runs_agree_on_classic_workloads(
+        self, name, size, shards, seed, policy_seed
+    ):
+        workload = make_workload(name, size=size, seed=3)
+        reference = _reference(workload.program, workload.initial)
+        final = ShardCoordinator(
+            workload.program,
+            shards,
+            backend="inprocess",
+            seed=seed,
+            elasticity=_churny_policy(policy_seed),
+        ).run(workload.initial.copy()).final
+        assert final == reference
+
+    @pytest.mark.skipif(not FORK_AVAILABLE, reason="fork start method unavailable")
+    @given(case=conformance_cases(), shards=shard_counts, seed=seeds)
+    @settings(
+        max_examples=4,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_elastic_multiprocessing_conforms(self, case, shards, seed):
+        reference = _reference(case.program, case.initial)
+        final = ShardCoordinator(
+            case.program,
+            shards,
+            backend="multiprocessing",
+            seed=seed,
+            elasticity=_churny_policy(0),
+        ).run(case.initial.copy()).final
+        assert final == reference
+
+    @given(
+        case=conformance_cases(with_schedule=True),
+        shards=shard_counts,
+        seed=seeds,
+        policy_seed=seeds,
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_elastic_stream_drain_equals_batch_over_union(
+        self, case, shards, seed, policy_seed
+    ):
+        reference = _reference(case.program, case.batch_union())
+        runtime = StreamingGammaRuntime(
+            case.program,
+            config=RuntimeConfig(
+                backend="inprocess",
+                seed=seed,
+                shards=shards,
+                elasticity=_churny_policy(policy_seed),
+            ),
+        )
+        result = runtime.run(
+            case.initial.copy(), schedule=[list(batch) for batch in case.schedule]
+        )
+        assert result.stable
+        assert result.final == reference
+
+
 #: Streaming backends swept by the drain-equals-batch property (the
 #: multiprocessing variant lives in tests/runtime/test_streaming.py — one
 #: process pool per Hypothesis example is too slow to fuzz here).
@@ -173,9 +289,7 @@ class TestStreamingConformance:
     ):
         """ISSUE 5 acceptance: stream-then-drain ≡ batch over initial ∪ injected."""
         reference = _reference(case.program, case.batch_union())
-        runtime = StreamingGammaRuntime(
-            case.program, backend=backend, seed=seed, num_shards=shards
-        )
+        runtime = StreamingGammaRuntime(case.program, config=RuntimeConfig(backend=backend, seed=seed, shards=shards))
         result = runtime.run(
             case.initial.copy(), schedule=[list(batch) for batch in case.schedule]
         )
@@ -192,9 +306,7 @@ class TestStreamingConformance:
     @settings(max_examples=25, deadline=None)
     def test_seeded_streams_are_reproducible(self, case, backend, shards, seed):
         def profile():
-            result = StreamingGammaRuntime(
-                case.program, backend=backend, seed=seed, num_shards=shards
-            ).run(
+            result = StreamingGammaRuntime(case.program, config=RuntimeConfig(backend=backend, seed=seed, shards=shards)).run(
                 case.initial.copy(),
                 schedule=[list(batch) for batch in case.schedule],
             )
@@ -238,9 +350,7 @@ class TestColumnarConformance:
         self, case, backend, seed
     ):
         reference = _reference(case.program, case.initial)
-        final = run(
-            case.program, case.initial.copy(), engine=backend, seed=seed, columnar=True
-        ).final
+        final = run(case.program, case.initial.copy(), config=RuntimeConfig(engine=backend, seed=seed, columnar=True)).final
         assert final == reference
 
     @given(
@@ -256,16 +366,8 @@ class TestColumnarConformance:
     ):
         """Same firings, same order, same bindings — not just the same result."""
         workload = make_workload(name, size=size, seed=data_seed)
-        plain = run(
-            workload.program, workload.initial.copy(), engine=engine, seed=seed
-        )
-        columnar = run(
-            workload.program,
-            workload.initial.copy(),
-            engine=engine,
-            seed=seed,
-            columnar=True,
-        )
+        plain = run(workload.program, workload.initial.copy(), config=RuntimeConfig(engine=engine, seed=seed))
+        columnar = run(workload.program, workload.initial.copy(), config=RuntimeConfig(engine=engine, seed=seed, columnar=True))
         assert _trace_fingerprint(columnar) == _trace_fingerprint(plain)
         assert columnar.final == plain.final
 

@@ -28,6 +28,7 @@ from repro.runtime.faults import DELAY, FaultSchedule, install_faults
 from repro.runtime.recovery import RecoveryManager
 from repro.runtime.sharding import ShardCoordinator
 from repro.runtime.streaming import StreamingGammaRuntime
+from repro.api import RuntimeConfig
 
 FORK_AVAILABLE = "fork" in multiprocessing.get_all_start_methods()
 
@@ -39,7 +40,7 @@ shard_counts = st.sampled_from(SHARD_COUNTS)
 
 
 def _reference(program, initial):
-    return run(program, initial.copy(), engine="sequential").final
+    return run(program, initial.copy(), config=RuntimeConfig(engine="sequential")).final
 
 
 def _crash_count(schedule):
@@ -139,14 +140,7 @@ class TestStreamingCrashRecovery:
         schedule = FaultSchedule.generate(
             fault_seed, shards, kills=2, max_round=6
         )
-        runtime = StreamingGammaRuntime(
-            case.program,
-            backend="inprocess",
-            seed=13,
-            num_shards=shards,
-            recovery=RecoveryManager(),
-            checkpoint_interval=interval,
-        )
+        runtime = StreamingGammaRuntime(case.program, config=RuntimeConfig(backend="inprocess", seed=13, shards=shards, recovery=RecoveryManager(), checkpoint_interval=interval))
         runtime.start(case.initial.copy())
         install_faults(runtime._session, schedule)
         result = runtime.run(schedule=case.schedule)

@@ -15,6 +15,7 @@ from repro.gamma.stdlib import (
     values_multiset,
 )
 from repro.multiset import Element, Multiset
+from repro.api import RuntimeConfig
 
 elements = st.builds(
     Element,
@@ -68,10 +69,10 @@ class TestGammaEngineProperties:
         # copy of the minimum survives in the stable multiset.
         expected_min = [min(values)] * values.count(min(values))
         assert sorted(
-            run(min_element(), initial, engine=engine, seed=seed).final.values_with_label("x")
+            run(min_element(), initial, config=RuntimeConfig(engine=engine, seed=seed)).final.values_with_label("x")
         ) == expected_min
-        assert run(max_element(), initial, engine=engine, seed=seed).final.values_with_label("x") == [max(values)]
-        assert run(sum_reduction(), initial, engine=engine, seed=seed).final.values_with_label("x") == [sum(values)]
+        assert run(max_element(), initial, config=RuntimeConfig(engine=engine, seed=seed)).final.values_with_label("x") == [max(values)]
+        assert run(sum_reduction(), initial, config=RuntimeConfig(engine=engine, seed=seed)).final.values_with_label("x") == [sum(values)]
 
     @given(
         values=st.lists(st.integers(min_value=-50, max_value=50), min_size=1, max_size=10),
@@ -79,7 +80,7 @@ class TestGammaEngineProperties:
     )
     @settings(max_examples=30, deadline=None)
     def test_exchange_sort_sorts(self, values, seed):
-        result = run(exchange_sort(), indexed_multiset(values), engine="chaotic", seed=seed)
+        result = run(exchange_sort(), indexed_multiset(values), config=RuntimeConfig(engine="chaotic", seed=seed))
         by_tag = sorted(result.final, key=lambda e: e.tag)
         assert [e.value for e in by_tag] == sorted(values)
         # The multiset of values is preserved (a permutation).
@@ -88,7 +89,7 @@ class TestGammaEngineProperties:
     @given(upper=st.integers(min_value=2, max_value=40), seed=st.integers(min_value=0, max_value=100))
     @settings(max_examples=20, deadline=None)
     def test_sieve_yields_primes(self, upper, seed):
-        result = run(prime_sieve(), values_multiset(range(2, upper + 1)), engine="chaotic", seed=seed)
+        result = run(prime_sieve(), values_multiset(range(2, upper + 1)), config=RuntimeConfig(engine="chaotic", seed=seed))
         survivors = sorted(result.final.values_with_label("x"))
         primes = [n for n in range(2, upper + 1) if all(n % d for d in range(2, int(n**0.5) + 1))]
         assert survivors == primes
@@ -99,5 +100,5 @@ class TestGammaEngineProperties:
     )
     @settings(max_examples=30, deadline=None)
     def test_firing_count_of_binary_reductions(self, values, seed):
-        result = run(sum_reduction(), values_multiset(values), engine="chaotic", seed=seed)
+        result = run(sum_reduction(), values_multiset(values), config=RuntimeConfig(engine="chaotic", seed=seed))
         assert result.firings == len(values) - 1

@@ -15,6 +15,7 @@ from repro.core import (
     execute_via_dataflow,
     reduce_program,
 )
+from repro.api import RuntimeConfig
 from repro.dataflow import run_graph
 from repro.gamma import run as run_gamma
 from repro.workloads.expressions import ExpressionSpec, random_expression_graph
@@ -91,5 +92,7 @@ def test_loop_example_equivalence_over_inputs(y, z, x, seed):
     expected = example2_expected_result(y, z, x)
     assert run_graph(graph).single_output("Cout") == expected
     conversion = dataflow_to_gamma(graph)
-    result = run_gamma(conversion.program, engine="chaotic", seed=seed)
+    result = run_gamma(
+        conversion.program, config=RuntimeConfig(engine="chaotic", seed=seed)
+    )
     assert result.final.values_with_label("Cout") == [expected]

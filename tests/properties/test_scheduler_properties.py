@@ -18,6 +18,7 @@ from repro.multiset import Element, LabelTagIndex, Multiset
 from repro.workloads import make_workload
 
 import pytest
+from repro.api import RuntimeConfig
 
 elements = st.builds(
     Element,
@@ -112,7 +113,7 @@ class TestCrossEngineObservableEquivalence:
         finals = set()
         for seed in SEEDS:
             for engine in ("sequential", "chaotic", "max-parallel"):
-                result = run(workload.program, workload.initial, engine=engine, seed=seed)
+                result = run(workload.program, workload.initial, config=RuntimeConfig(engine=engine, seed=seed))
                 assert result.stable
                 finals.add(result.final)
         assert len(finals) == 1, f"{workload_name}: schedulers disagree"

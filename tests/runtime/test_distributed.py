@@ -15,6 +15,7 @@ from repro.runtime import (
     DistributedMultiset,
     DistributedRunResult,
 )
+from repro.api import RuntimeConfig
 
 
 class TestDistributedMultiset:
@@ -127,27 +128,27 @@ class TestDistributedRuntime:
     def test_results_match_centralized_execution(self, partitions):
         program = sum_reduction()
         initial = values_multiset(range(1, 41))
-        distributed = DistributedGammaRuntime(program, partitions, seed=3).run(initial)
-        reference = run(program, initial, engine="sequential")
+        distributed = DistributedGammaRuntime(program, partitions, config=RuntimeConfig(seed=3)).run(initial)
+        reference = run(program, initial, config=RuntimeConfig(engine="sequential"))
         assert distributed.final == reference.final
 
     def test_min_element_distributed(self):
         program = min_element()
         initial = values_multiset([9, 4, 11, 2, 6, 13])
-        result = DistributedGammaRuntime(program, 3, seed=0).run(initial)
+        result = DistributedGammaRuntime(program, 3, config=RuntimeConfig(seed=0)).run(initial)
         assert result.values_with_label("x") == [2]
 
     def test_sieve_distributed(self):
         program = prime_sieve()
         initial = values_multiset(range(2, 25))
-        result = DistributedGammaRuntime(program, 4, seed=1).run(initial)
+        result = DistributedGammaRuntime(program, 4, config=RuntimeConfig(seed=1)).run(initial)
         assert sorted(result.values_with_label("x")) == [2, 3, 5, 7, 11, 13, 17, 19, 23]
 
     def test_communication_grows_with_partitions(self):
         program = sum_reduction()
         initial = values_multiset(range(1, 65))
-        single = DistributedGammaRuntime(program, 1, seed=2).run(initial)
-        many = DistributedGammaRuntime(program, 8, seed=2).run(initial)
+        single = DistributedGammaRuntime(program, 1, config=RuntimeConfig(seed=2)).run(initial)
+        many = DistributedGammaRuntime(program, 8, config=RuntimeConfig(seed=2)).run(initial)
         assert many.messages > single.messages
         assert many.migrations >= single.migrations
         assert single.firings == many.firings == 63
@@ -155,14 +156,14 @@ class TestDistributedRuntime:
     def test_steps_decrease_with_partitions(self):
         program = sum_reduction()
         initial = values_multiset(range(1, 65))
-        single = DistributedGammaRuntime(program, 1, seed=2).run(initial)
-        many = DistributedGammaRuntime(program, 8, seed=2).run(initial)
+        single = DistributedGammaRuntime(program, 1, config=RuntimeConfig(seed=2)).run(initial)
+        many = DistributedGammaRuntime(program, 8, config=RuntimeConfig(seed=2)).run(initial)
         assert many.steps < single.steps
 
     def test_per_partition_accounting(self):
         program = sum_reduction()
         initial = values_multiset(range(1, 17))
-        result = DistributedGammaRuntime(program, 4, seed=5).run(initial)
+        result = DistributedGammaRuntime(program, 4, config=RuntimeConfig(seed=5)).run(initial)
         assert sum(result.per_partition_firings) == result.firings
         assert result.communication_ratio >= 0.0
 
@@ -195,7 +196,7 @@ class TestCommunicationRatio:
 
     def test_stable_initial_run_reports_infinite_ratio(self):
         program = min_element()
-        result = DistributedGammaRuntime(program, 2, seed=0).run(
+        result = DistributedGammaRuntime(program, 2, config=RuntimeConfig(seed=0)).run(
             values_multiset([3])
         )
         assert result.firings == 0 and result.messages > 0
@@ -207,7 +208,7 @@ class TestLegacyWorkStealing:
 
     @staticmethod
     def _runtime(seed=0):
-        return DistributedGammaRuntime(sum_reduction(), 3, seed=seed)
+        return DistributedGammaRuntime(sum_reduction(), 3, config=RuntimeConfig(seed=seed))
 
     def test_steal_one_moves_one_element_from_a_donor(self):
         runtime = self._runtime()
@@ -250,7 +251,7 @@ class TestLegacyWorkStealing:
         assert len(dm.partitions[0]) == 6
 
     def test_pull_elements_preserves_multiplicities(self):
-        runtime = DistributedGammaRuntime(sum_reduction(), 2, seed=0)
+        runtime = DistributedGammaRuntime(sum_reduction(), 2, config=RuntimeConfig(seed=0))
         dm = DistributedMultiset(2)
         element = Element(1, "x", 0)
         other = 1 - dm.home_of(element)
@@ -265,30 +266,23 @@ class TestLocalBatchFiring:
     def test_results_match_centralized_execution(self, partitions):
         program = sum_reduction()
         initial = values_multiset(range(1, 41))
-        distributed = DistributedGammaRuntime(
-            program, partitions, seed=3, local_batches=True,
-            firings_per_worker_step=None,
-        ).run(initial)
-        reference = run(program, initial, engine="sequential")
+        distributed = DistributedGammaRuntime(program, partitions, local_batches=True, firings_per_worker_step=None, config=RuntimeConfig(seed=3)).run(initial)
+        reference = run(program, initial, config=RuntimeConfig(engine="sequential"))
         assert distributed.final == reference.final
         assert distributed.firings == 39
 
     def test_batches_compress_steps(self):
         program = sum_reduction()
         initial = values_multiset(range(1, 65))
-        one_at_a_time = DistributedGammaRuntime(program, 2, seed=2).run(initial)
-        batched = DistributedGammaRuntime(
-            program, 2, seed=2, local_batches=True, firings_per_worker_step=None
-        ).run(initial)
+        one_at_a_time = DistributedGammaRuntime(program, 2, config=RuntimeConfig(seed=2)).run(initial)
+        batched = DistributedGammaRuntime(program, 2, local_batches=True, firings_per_worker_step=None, config=RuntimeConfig(seed=2)).run(initial)
         assert batched.firings == one_at_a_time.firings == 63
         assert batched.steps < one_at_a_time.steps
 
     def test_batch_cap_respected(self):
         program = sum_reduction()
         initial = values_multiset(range(1, 33))
-        capped = DistributedGammaRuntime(
-            program, 1, seed=0, local_batches=True, firings_per_worker_step=4
-        ).run(initial)
+        capped = DistributedGammaRuntime(program, 1, local_batches=True, firings_per_worker_step=4, config=RuntimeConfig(seed=0)).run(initial)
         assert capped.final == run(program, initial).final
         # With one partition and a cap of 4 the 31 firings need >= 8 steps.
         assert capped.steps >= 8

@@ -18,6 +18,7 @@ from repro.runtime.faults import (
 )
 from repro.runtime.recovery import RecoveryManager, WorkerDied
 from repro.runtime.sharding import ShardCoordinator
+from repro.api import RuntimeConfig
 
 FORK_AVAILABLE = "fork" in multiprocessing.get_all_start_methods()
 
@@ -151,9 +152,7 @@ class TestFaultInjectorInProcess:
             session.close()
 
     def test_full_drive_with_schedule_recovers(self):
-        reference = run(
-            sum_reduction(), values_multiset(range(1, 13)), engine="sequential"
-        ).final
+        reference = run(sum_reduction(), values_multiset(range(1, 13)), config=RuntimeConfig(engine="sequential")).final
         session = self._session(recovery=RecoveryManager())
         schedule = FaultSchedule.generate(21, 2, kills=1, max_round=2)
         install_faults(session, schedule)
@@ -169,9 +168,7 @@ class TestFaultInjectorInProcess:
 @pytest.mark.skipif(not FORK_AVAILABLE, reason="fork start method unavailable")
 class TestFaultInjectorMultiprocessing:
     def test_real_kill_recovers_through_supervision(self):
-        reference = run(
-            sum_reduction(), values_multiset(range(1, 17)), engine="sequential"
-        ).final
+        reference = run(sum_reduction(), values_multiset(range(1, 17)), config=RuntimeConfig(engine="sequential")).final
         coordinator = ShardCoordinator(
             sum_reduction(),
             2,

@@ -22,6 +22,7 @@ from repro.runtime.recovery import (
     WorkerDied,
 )
 from repro.runtime.sharding import QuiescenceDetector, ShardCoordinator
+from repro.api import RuntimeConfig
 
 
 def _pairs(values, label="x"):
@@ -236,7 +237,7 @@ class TestSessionRecoveryInProcess:
     def test_simulated_crash_recovers_to_sequential_result(self):
         program = sum_reduction()
         initial = values_multiset(range(1, 41))
-        reference = run(program, initial.copy(), engine="sequential").final
+        reference = run(program, initial.copy(), config=RuntimeConfig(engine="sequential")).final
         manager = RecoveryManager()
         coordinator = ShardCoordinator(
             program,
@@ -276,7 +277,7 @@ class TestSessionRecoveryInProcess:
         # that makes single-shard restore unsound; global rollback handles it.
         program = sum_reduction()
         initial = values_multiset(range(1, 25))
-        reference = run(program, initial.copy(), engine="sequential").final
+        reference = run(program, initial.copy(), config=RuntimeConfig(engine="sequential")).final
         coordinator = ShardCoordinator(
             program,
             2,
@@ -307,7 +308,7 @@ class TestSessionRecoveryInProcess:
     def test_disk_durability_end_to_end(self, tmp_path):
         program = sum_reduction()
         initial = values_multiset(range(1, 21))
-        reference = run(program, initial.copy(), engine="sequential").final
+        reference = run(program, initial.copy(), config=RuntimeConfig(engine="sequential")).final
         manager = RecoveryManager(
             store=DiskCheckpointStore(tmp_path / "ckpts"),
             wal=DiskWriteAheadLog(tmp_path / "wal.pkl"),
@@ -347,14 +348,7 @@ class TestStreamingRecoveryInProcess:
     def _stream(self, kill_round, interval=1, shards=3):
         program = sum_reduction()
         manager = RecoveryManager()
-        runtime = StreamingGammaRuntime(
-            program,
-            backend="inprocess",
-            seed=5,
-            num_shards=shards,
-            recovery=manager,
-            checkpoint_interval=interval,
-        )
+        runtime = StreamingGammaRuntime(program, config=RuntimeConfig(backend="inprocess", seed=5, shards=shards, recovery=manager, checkpoint_interval=interval))
         runtime.start(values_multiset(range(1, 21)))
         install_faults(
             runtime._session, FaultSchedule([FaultEvent("kill", 0, kill_round)])
@@ -371,9 +365,7 @@ class TestStreamingRecoveryInProcess:
     @pytest.mark.parametrize("kill_round", [1, 3, 5])
     def test_drained_stream_survives_crash(self, kill_round):
         program = sum_reduction()
-        reference = run(
-            program, values_multiset(range(1, 41)), engine="sequential"
-        ).final
+        reference = run(program, values_multiset(range(1, 41)), config=RuntimeConfig(engine="sequential")).final
         result, manager = self._stream(kill_round)
         assert result.final == reference
         assert result.recoveries == 1
@@ -381,14 +373,7 @@ class TestStreamingRecoveryInProcess:
 
     def test_wal_records_are_durable_before_visible(self):
         manager = RecoveryManager()
-        runtime = StreamingGammaRuntime(
-            sum_reduction(),
-            backend="inprocess",
-            num_shards=2,
-            recovery=manager,
-            # Never checkpoint after load, so every injection stays logged.
-            checkpoint_interval=10_000,
-        )
+        runtime = StreamingGammaRuntime(sum_reduction(), config=RuntimeConfig(backend="inprocess", shards=2, recovery=manager, checkpoint_interval=10_000))
         runtime.start(values_multiset(range(1, 5)))
         runtime.pump()
         for element, _ in _pairs([100, 200]):
@@ -401,13 +386,7 @@ class TestStreamingRecoveryInProcess:
 
     def test_checkpoint_interval_spaces_checkpoints(self):
         manager = RecoveryManager(store=MemoryCheckpointStore(keep=None))
-        runtime = StreamingGammaRuntime(
-            sum_reduction(),
-            backend="inprocess",
-            num_shards=2,
-            recovery=manager,
-            checkpoint_interval=2,
-        )
+        runtime = StreamingGammaRuntime(sum_reduction(), config=RuntimeConfig(backend="inprocess", shards=2, recovery=manager, checkpoint_interval=2))
         runtime.run(
             values_multiset(range(1, 5)),
             schedule=[[Element(value=v, label="x")] for v in (10, 20, 30, 40)],
@@ -419,13 +398,6 @@ class TestStreamingRecoveryInProcess:
 
     def test_recovery_rejected_on_engine_backends(self):
         with pytest.raises(ValueError, match="sharded backend"):
-            StreamingGammaRuntime(
-                sum_reduction(), backend="sequential", recovery=RecoveryManager()
-            )
+            StreamingGammaRuntime(sum_reduction(), config=RuntimeConfig(backend="sequential", recovery=RecoveryManager()))
         with pytest.raises(ValueError, match="checkpoint_interval"):
-            StreamingGammaRuntime(
-                sum_reduction(),
-                backend="inprocess",
-                recovery=RecoveryManager(),
-                checkpoint_interval=0,
-            )
+            StreamingGammaRuntime(sum_reduction(), config=RuntimeConfig(backend="inprocess", recovery=RecoveryManager(), checkpoint_interval=0))

@@ -28,6 +28,7 @@ from repro.runtime.sharding import (
     ShardedRunResult,
     ShardWorker,
 )
+from repro.api import RuntimeConfig
 
 FORK_AVAILABLE = "fork" in multiprocessing.get_all_start_methods()
 
@@ -274,7 +275,7 @@ class TestShardCoordinator:
     def test_matches_sequential_engine(self, shards):
         program = sum_reduction()
         initial = values_multiset(range(1, 41))
-        reference = run(program, initial, engine="sequential")
+        reference = run(program, initial, config=RuntimeConfig(engine="sequential"))
         result = ShardCoordinator(program, shards, seed=3).run(initial)
         assert result.final == reference.final
         assert isinstance(result, ShardedRunResult)
@@ -285,7 +286,7 @@ class TestShardCoordinator:
         from repro.gamma.stdlib import indexed_multiset
 
         initial = indexed_multiset([5, 3, 8, 1, 9, 2])
-        reference = run(program, initial, engine="sequential")
+        reference = run(program, initial, config=RuntimeConfig(engine="sequential"))
         result = ShardCoordinator(program, 3).run(initial)
         assert result.final == reference.final
 
@@ -339,7 +340,7 @@ class TestShardCoordinator:
         initial = Multiset([(5, "x")] * 64)
         balanced = ShardCoordinator(program, 4, superstep_budget=2).run(initial)
         assert balanced.steals > 0
-        assert balanced.final == run(program, initial, engine="sequential").final
+        assert balanced.final == run(program, initial, config=RuntimeConfig(engine="sequential")).final
         disabled = ShardCoordinator(
             program, 4, superstep_budget=2, work_stealing=False
         ).run(initial)
@@ -351,19 +352,19 @@ class TestShardCoordinator:
         initial = values_multiset(range(1, 33))
         result = ShardCoordinator(program, 1, superstep_budget=4).run(initial)
         assert result.supersteps >= 8
-        assert result.final == run(program, initial, engine="sequential").final
+        assert result.final == run(program, initial, config=RuntimeConfig(engine="sequential")).final
 
     def test_non_superstep_mode(self):
         program = sum_reduction()
         initial = values_multiset(range(1, 17))
         result = ShardCoordinator(program, 2, superstep=False).run(initial)
-        assert result.final == run(program, initial, engine="sequential").final
+        assert result.final == run(program, initial, config=RuntimeConfig(engine="sequential")).final
 
     def test_interpreted_mode(self):
         program = sum_reduction()
         initial = values_multiset(range(1, 17))
         result = ShardCoordinator(program, 2, compiled=False).run(initial)
-        assert result.final == run(program, initial, engine="sequential").final
+        assert result.final == run(program, initial, config=RuntimeConfig(engine="sequential")).final
 
     def test_divergent_program_raises(self):
         grow = Reaction(
@@ -424,45 +425,31 @@ class TestDistributedRuntimeBackends:
     def test_results_match_centralized_execution(self, backend, partitions):
         program = sum_reduction()
         initial = values_multiset(range(1, 41))
-        distributed = DistributedGammaRuntime(
-            program, partitions, seed=3, backend=backend
-        ).run(initial)
-        reference = run(program, initial, engine="sequential")
+        distributed = DistributedGammaRuntime(program, partitions, config=RuntimeConfig(seed=3, backend=backend)).run(initial)
+        reference = run(program, initial, config=RuntimeConfig(engine="sequential"))
         assert distributed.final == reference.final
         assert distributed.firings == 39
 
     def test_unknown_backend_rejected(self):
         with pytest.raises(ValueError, match="backend"):
-            DistributedGammaRuntime(sum_reduction(), 2, backend="nope")
+            DistributedGammaRuntime(sum_reduction(), 2, config=RuntimeConfig(backend="nope"))
 
     def test_sharded_result_type(self):
-        result = DistributedGammaRuntime(
-            sum_reduction(), 2, backend="inprocess"
-        ).run(values_multiset(range(1, 9)))
+        result = DistributedGammaRuntime(sum_reduction(), 2, config=RuntimeConfig(backend="inprocess")).run(values_multiset(range(1, 9)))
         assert isinstance(result, ShardedRunResult)
         assert result.backend == "inprocess"
 
     def test_explicit_firing_cap_respected_with_local_batches(self):
-        result = DistributedGammaRuntime(
-            sum_reduction(),
-            1,
-            backend="inprocess",
-            local_batches=True,
-            firings_per_worker_step=4,
-        ).run(values_multiset(range(1, 33)))
+        result = DistributedGammaRuntime(sum_reduction(), 1, local_batches=True, firings_per_worker_step=4, config=RuntimeConfig(backend="inprocess")).run(values_multiset(range(1, 33)))
         assert result.supersteps >= 8
 
     def test_explicit_firing_cap_of_one_is_honored(self):
         # An explicit cap of 1 reproduces the one-firing-per-superstep cost
         # model (31 firings -> >= 31 supersteps); only the *unset* default
         # widens to maximal batches.
-        capped = DistributedGammaRuntime(
-            sum_reduction(), 1, backend="inprocess", firings_per_worker_step=1
-        ).run(values_multiset(range(1, 33)))
+        capped = DistributedGammaRuntime(sum_reduction(), 1, firings_per_worker_step=1, config=RuntimeConfig(backend="inprocess")).run(values_multiset(range(1, 33)))
         assert capped.supersteps >= 31
-        unset = DistributedGammaRuntime(
-            sum_reduction(), 1, backend="inprocess"
-        ).run(values_multiset(range(1, 33)))
+        unset = DistributedGammaRuntime(sum_reduction(), 1, config=RuntimeConfig(backend="inprocess")).run(values_multiset(range(1, 33)))
         assert unset.supersteps < capped.supersteps
         assert unset.final == capped.final
 
@@ -581,7 +568,7 @@ class TestMultiprocessingBackendFailurePaths:
 
         program = sum_reduction()
         initial = values_multiset(range(1, 33))
-        reference = run(program, initial.copy(), engine="sequential").final
+        reference = run(program, initial.copy(), config=RuntimeConfig(engine="sequential")).final
         coordinator = ShardCoordinator(
             program,
             2,
@@ -640,7 +627,7 @@ class TestMultiprocessingBackend:
     def test_matches_sequential_engine(self, shards):
         program = sum_reduction()
         initial = values_multiset(range(1, 33))
-        reference = run(program, initial, engine="sequential")
+        reference = run(program, initial, config=RuntimeConfig(engine="sequential"))
         result = ShardCoordinator(
             program, shards, backend="multiprocessing", seed=3
         ).run(initial)
@@ -663,7 +650,5 @@ class TestMultiprocessingBackend:
     def test_runtime_front_door(self):
         program = min_element()
         initial = values_multiset([9, 4, 11, 2, 6, 13])
-        result = DistributedGammaRuntime(
-            program, 3, seed=0, backend="multiprocessing"
-        ).run(initial)
+        result = DistributedGammaRuntime(program, 3, config=RuntimeConfig(seed=0, backend="multiprocessing")).run(initial)
         assert result.values_with_label("x") == [2]

@@ -18,6 +18,7 @@ from repro.workloads.paper_examples import (
     example2_expected_result,
     example2_graph,
 )
+from repro.api import RuntimeConfig
 
 
 class TestPEPool:
@@ -113,13 +114,13 @@ class TestGammaSimulator:
     def test_results_match_sequential_engine(self):
         program = sum_reduction()
         initial = values_multiset(range(1, 33))
-        result = simulate_program(program, initial, num_pes=4, seed=0)
+        result = simulate_program(program, initial, num_pes=4, config=RuntimeConfig(seed=0))
         assert result.final.values_with_label("x") == [sum(range(1, 33))]
 
     def test_pe_bound_caps_step_width(self):
         program = sum_reduction()
         initial = values_multiset(range(1, 33))
-        result = simulate_program(program, initial, num_pes=4, seed=0)
+        result = simulate_program(program, initial, num_pes=4, config=RuntimeConfig(seed=0))
         assert result.metrics.max_parallelism <= 4
 
     def test_parallelism_matches_dataflow_side(self):

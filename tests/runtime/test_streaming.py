@@ -28,6 +28,7 @@ from repro.runtime.sharding.quiescence import (
     QuiescenceDetector,
 )
 from repro.runtime.streaming import STREAM_BACKENDS
+from repro.api import RuntimeConfig
 
 FORK_AVAILABLE = "fork" in multiprocessing.get_all_start_methods()
 
@@ -240,10 +241,8 @@ class TestStreamingGammaRuntime:
         program = sum_reduction()
         initial = values_multiset(range(1, 9))
         injected = elements(range(9, 21))
-        reference = run(program, union(initial, injected), engine="sequential")
-        runtime = StreamingGammaRuntime(
-            program, backend=stream_backend, seed=5, num_shards=3
-        )
+        reference = run(program, union(initial, injected), config=RuntimeConfig(engine="sequential"))
+        runtime = StreamingGammaRuntime(program, config=RuntimeConfig(backend=stream_backend, seed=5, shards=3))
         result = runtime.run(
             initial, schedule=[injected[i : i + 4] for i in range(0, 12, 4)]
         )
@@ -261,14 +260,12 @@ class TestStreamingGammaRuntime:
         program = min_element()
         initial = values_multiset([9, 14, 11])
         injected = elements([4, 17, 2, 8])
-        reference = run(program, union(initial, injected), engine="sequential")
-        result = StreamingGammaRuntime(
-            program, backend="multiprocessing", seed=2, num_shards=2
-        ).run(initial, schedule=[injected[:2], injected[2:]])
+        reference = run(program, union(initial, injected), config=RuntimeConfig(engine="sequential"))
+        result = StreamingGammaRuntime(program, config=RuntimeConfig(backend="multiprocessing", seed=2, shards=2)).run(initial, schedule=[injected[:2], injected[2:]])
         assert result.final == reference.final
 
     def test_incremental_pump_and_snapshot(self):
-        runtime = StreamingGammaRuntime(min_element(), backend="sequential")
+        runtime = StreamingGammaRuntime(min_element(), config=RuntimeConfig(backend="sequential"))
         runtime.start(values_multiset([9, 5, 7]))
         report = runtime.pump()
         assert report.epoch == 0 and report.injected == 0 and report.stable
@@ -285,9 +282,7 @@ class TestStreamingGammaRuntime:
 
     def test_sharded_routed_injection(self):
         program = sum_reduction()
-        runtime = StreamingGammaRuntime(
-            program, backend="inprocess", num_shards=4, seed=1
-        )
+        runtime = StreamingGammaRuntime(program, config=RuntimeConfig(backend="inprocess", shards=4, seed=1))
         runtime.start(values_multiset(range(1, 9)))
         runtime.pump()
         session = runtime._session
@@ -307,9 +302,7 @@ class TestStreamingGammaRuntime:
 
     def test_steps_per_epoch_interleaves_injection(self):
         program = sum_reduction()
-        runtime = StreamingGammaRuntime(
-            program, backend="sequential", steps_per_epoch=2
-        )
+        runtime = StreamingGammaRuntime(program, steps_per_epoch=2, config=RuntimeConfig(backend="sequential"))
         runtime.start(values_multiset(range(1, 9)))
         report = runtime.pump()
         assert report.steps == 2 and not report.stable  # capped mid-drain
@@ -324,9 +317,7 @@ class TestStreamingGammaRuntime:
         # pump runs at most steps_per_epoch rounds and reports unstable,
         # later pumps continue from the same shard state.
         program = sum_reduction()
-        runtime = StreamingGammaRuntime(
-            program, backend="inprocess", num_shards=2, steps_per_epoch=1
-        )
+        runtime = StreamingGammaRuntime(program, steps_per_epoch=1, config=RuntimeConfig(backend="inprocess", shards=2))
         runtime.start(values_multiset(range(1, 17)))
         report = runtime.pump()
         assert report.steps == 1 and not report.stable
@@ -339,7 +330,7 @@ class TestStreamingGammaRuntime:
 
     def test_result_readable_after_close_on_sharded_backends(self):
         program = sum_reduction()
-        runtime = StreamingGammaRuntime(program, backend="inprocess", num_shards=2)
+        runtime = StreamingGammaRuntime(program, config=RuntimeConfig(backend="inprocess", shards=2))
         result = runtime.run(
             values_multiset([1, 2, 3]), schedule=[elements([4, 5])]
         )  # run() closes the session on the way out
@@ -350,9 +341,7 @@ class TestStreamingGammaRuntime:
     @pytest.mark.skipif(not FORK_AVAILABLE, reason="fork start method unavailable")
     def test_result_readable_after_close_on_multiprocessing(self):
         program = min_element()
-        runtime = StreamingGammaRuntime(
-            program, backend="multiprocessing", num_shards=2
-        )
+        runtime = StreamingGammaRuntime(program, config=RuntimeConfig(backend="multiprocessing", shards=2))
         result = runtime.run(values_multiset([7, 3, 9]), schedule=[elements([1])])
         assert runtime.result().final == result.final
         assert runtime.result().final.values_with_label("x") == [1]
@@ -363,9 +352,7 @@ class TestStreamingGammaRuntime:
         schedule = [elements([10, 11, 12]), elements([13, 14])]
 
         def profile(backend):
-            result = StreamingGammaRuntime(
-                program, backend=backend, seed=9, num_shards=2
-            ).run(initial, schedule=schedule)
+            result = StreamingGammaRuntime(program, config=RuntimeConfig(backend=backend, seed=9, shards=2)).run(initial, schedule=schedule)
             return (
                 result.final,
                 result.firings,
@@ -390,13 +377,13 @@ class TestStreamingGammaRuntime:
             ],
         )
         program = GammaProgram([grow], name="diverge")
-        runtime = StreamingGammaRuntime(program, backend="sequential", max_steps=32)
+        runtime = StreamingGammaRuntime(program, config=RuntimeConfig(backend="sequential", max_steps=32))
         with pytest.raises(NonTerminationError):
             runtime.run(values_multiset([1]), schedule=[])
 
     def test_live_mode_with_producer_thread(self):
         program = sum_reduction()
-        runtime = StreamingGammaRuntime(program, backend="sequential")
+        runtime = StreamingGammaRuntime(program, config=RuntimeConfig(backend="sequential"))
 
         def producer():
             for v in range(5, 9):
@@ -412,27 +399,27 @@ class TestStreamingGammaRuntime:
         assert result.injected == 4
 
     def test_live_mode_timeout_on_silent_producer(self):
-        runtime = StreamingGammaRuntime(sum_reduction(), backend="sequential")
+        runtime = StreamingGammaRuntime(sum_reduction(), config=RuntimeConfig(backend="sequential"))
         with pytest.raises(TimeoutError):
             runtime.run(values_multiset([1, 2]), wait_timeout=0.05)
 
     def test_pure_stream_without_initial(self):
         program = GammaProgram(sum_reduction().reactions, name="pure-stream")
-        result = StreamingGammaRuntime(program, backend="sequential").run(
+        result = StreamingGammaRuntime(program, config=RuntimeConfig(backend="sequential")).run(
             schedule=[elements([1, 2]), elements([3, 4])]
         )
         assert result.final.values_with_label("x") == [10]
 
     def test_invalid_configuration(self):
         with pytest.raises(ValueError):
-            StreamingGammaRuntime(sum_reduction(), backend="carrier-pigeon")
+            StreamingGammaRuntime(sum_reduction(), config=RuntimeConfig(backend="carrier-pigeon"))
         with pytest.raises(ValueError):
             StreamingGammaRuntime(sum_reduction(), steps_per_epoch=0)
         with pytest.raises(ValueError):
-            StreamingGammaRuntime(sum_reduction(), max_steps=0)
+            StreamingGammaRuntime(sum_reduction(), config=RuntimeConfig(max_steps=0))
 
     def test_lifecycle_errors(self):
-        runtime = StreamingGammaRuntime(sum_reduction(), backend="sequential")
+        runtime = StreamingGammaRuntime(sum_reduction(), config=RuntimeConfig(backend="sequential"))
         with pytest.raises(RuntimeError):
             runtime.snapshot()  # not started
         runtime.start(values_multiset([1, 2]))

@@ -12,6 +12,7 @@ from repro.workloads import (
     make_workload,
     random_expression_graph,
 )
+from repro.api import RuntimeConfig
 
 
 class TestExpressionGenerator:
@@ -67,7 +68,7 @@ class TestClassicWorkloads:
     @pytest.mark.parametrize("name", CLASSIC_WORKLOADS)
     def test_expected_values_match_execution(self, name):
         workload = make_workload(name, size=12, seed=7)
-        result = run(workload.program, workload.initial, engine="chaotic", seed=0)
+        result = run(workload.program, workload.initial, config=RuntimeConfig(engine="chaotic", seed=0))
         assert sorted(result.final.values_with_label(workload.label)) == workload.expected_sorted()
 
     def test_sizes_are_respected(self):
