@@ -1,0 +1,189 @@
+"""Network runtime benchmark: the socket transport vs the queue transport.
+
+Compares the two subprocess shard backends of
+:class:`~repro.runtime.sharding.ShardCoordinator` running each workload to
+the globally quiescent state and reporting firing throughput:
+
+* ``multiprocessing`` — shard workers behind ``multiprocessing`` queues
+  (pickled command tuples, no framing): the in-box baseline;
+* ``network`` — the same protocol as length-prefixed frames over loopback
+  TCP (:mod:`repro.runtime.net`), plus per-run wire-volume accounting.
+
+The network transport pays for framing and socket hops; the acceptance
+criterion (wired into the CI bench-gate) bounds that cost: network firing
+throughput must stay >= 0.5x multiprocessing on ``min_element`` at 10^4
+elements.  Every timed run is checked against the sequential compiled
+engine's stable multiset, so throughput can never come from dropping work.
+
+Set ``BENCH_FAST=1`` for the CI smoke mode: tiny sizes, same JSON schema.
+"""
+
+import multiprocessing
+import os
+import time
+
+import pytest
+from _report import emit_json, emit_report
+from repro.analysis import format_table
+from repro.api import RuntimeConfig
+from repro.gamma import run
+from repro.runtime.sharding import ShardCoordinator
+from repro.workloads import make_workload
+
+FAST_MODE = os.environ.get("BENCH_FAST", "") not in ("", "0")
+FORK_AVAILABLE = "fork" in multiprocessing.get_all_start_methods()
+
+#: Sizes swept (both backends pay per-process startup; the interesting spread
+#: is at the top size, where transport cost per firing dominates).
+SIZES = (100, 1_000) if FAST_MODE else (100, 1_000, 10_000)
+#: Workloads swept.
+WORKLOADS = ("min_element", "sum_reduction")
+#: Shard count used for both backends.
+SHARDS = 4
+#: Acceptance: required network/multiprocessing throughput ratio at 10^4.
+ACCEPTANCE_SIZE = 10_000
+ACCEPTANCE_WORKLOAD = "min_element"
+ACCEPTANCE_RATIO = 0.5
+
+#: Workloads for the structural (correctness) sweep across both backends.
+EQUIVALENCE_WORKLOADS = ("min_element", "sum_reduction", "prime_sieve", "gcd")
+
+#: Smallest size whose throughput ratio enters the gated ``speedups`` map
+#: (sub-millisecond runs produce noise-dominated ratios).
+SPEEDUP_MIN_SIZE = 1_000
+
+
+def _run_to_quiescence(workload, reference, backend, repeats=3):
+    """Best-of-``repeats`` full sharded run; returns (seconds, result)."""
+    best = None
+    for _ in range(repeats):
+        coordinator = ShardCoordinator(
+            workload.program, SHARDS, backend=backend, seed=3
+        )
+        multiset = workload.initial.copy()
+        start = time.perf_counter()
+        result = coordinator.run(multiset)
+        elapsed = time.perf_counter() - start
+        assert result.final == reference.final, (workload.name, backend)
+        if best is None or elapsed < best[0]:
+            best = (elapsed, result)
+    return best
+
+
+@pytest.mark.skipif(not FORK_AVAILABLE, reason="fork start method unavailable")
+def test_report_network_runtime_scaling():
+    """Socket transport vs queue transport, full runs to global quiescence."""
+    records = []
+    rows = []
+    speedups = {}
+
+    for name in WORKLOADS:
+        for size in SIZES:
+            workload = make_workload(name, size=size, seed=7)
+            reference = run(
+                workload.program,
+                workload.initial.copy(),
+                config=RuntimeConfig(engine="sequential"),
+            )
+            throughput = {}
+            wire = {}
+            for backend in ("multiprocessing", "network"):
+                seconds, result = _run_to_quiescence(workload, reference, backend)
+                throughput[backend] = (
+                    result.firings / seconds if seconds > 0 else float("inf")
+                )
+                wire[backend] = result.wire_bytes
+                records.append(
+                    {
+                        "workload": name,
+                        "backend": backend,
+                        "mode": "sharded",
+                        "size": size,
+                        "shards": SHARDS,
+                        "seconds": seconds,
+                        "rounds": result.rounds,
+                        "firings": result.firings,
+                        "migrations": result.migrations,
+                        "messages": result.messages,
+                        "wire_bytes": result.wire_bytes,
+                        "firings_per_second": throughput[backend],
+                    }
+                )
+            ratio = throughput["network"] / throughput["multiprocessing"]
+            if size >= SPEEDUP_MIN_SIZE:
+                speedups[f"{name}@{size}"] = ratio
+            rows.append(
+                [
+                    name,
+                    size,
+                    f"{throughput['multiprocessing']:.0f}",
+                    f"{throughput['network']:.0f}",
+                    f"{wire['network'] / 1024:.0f} KiB",
+                    f"{ratio:.2f}x",
+                ]
+            )
+
+    # -- structural: both transports reach the sequential stable state ----------
+    equivalent = {}
+    for name in EQUIVALENCE_WORKLOADS:
+        workload = make_workload(name, size=32, seed=5)
+        reference = run(
+            workload.program,
+            workload.initial.copy(),
+            config=RuntimeConfig(engine="sequential"),
+        )
+        agreed = True
+        for backend in ("multiprocessing", "network"):
+            result = ShardCoordinator(
+                workload.program, SHARDS, backend=backend, seed=9
+            ).run(workload.initial.copy())
+            agreed = agreed and result.final == reference.final
+        equivalent[name] = agreed
+    assert all(equivalent.values()), equivalent
+
+    emit_report(
+        "E14_network_runtime",
+        format_table(
+            ["workload", "size", "mp f/s", "network f/s", "wire", "net/mp"],
+            rows,
+            title="E14: network shard transport vs multiprocessing queues",
+        ),
+    )
+    payload_path = emit_json(
+        "BENCH_network_runtime",
+        experiment="network_runtime",
+        results=records,
+        speedups=speedups,
+        equivalent=equivalent,
+        acceptance={
+            "workload": ACCEPTANCE_WORKLOAD,
+            "size": ACCEPTANCE_SIZE,
+            "required_ratio": ACCEPTANCE_RATIO,
+        },
+        fast_mode=FAST_MODE,
+    )
+    assert payload_path.exists()
+
+    key = f"{ACCEPTANCE_WORKLOAD}@{ACCEPTANCE_SIZE}"
+    if key in speedups:  # the acceptance size is not swept in fast mode
+        assert speedups[key] >= ACCEPTANCE_RATIO, (
+            f"expected >={ACCEPTANCE_RATIO}x of multiprocessing at "
+            f"{ACCEPTANCE_SIZE}, got {speedups[key]:.2f}x"
+        )
+
+
+def test_json_schema_is_stable():
+    """The committed BENCH_network_runtime.json keeps its envelope keys."""
+    import json
+    from pathlib import Path
+
+    path = Path(__file__).parent / "reports" / "BENCH_network_runtime.json"
+    if not path.exists():  # first run in a fresh checkout: scaling test writes it
+        return
+    payload = json.loads(path.read_text())
+    assert payload["schema_version"] == 1
+    assert payload["experiment"] == "network_runtime"
+    assert {"workload", "backend", "size", "shards", "wire_bytes"} <= set(
+        payload["results"][0]
+    )
+    assert "speedups" in payload and "equivalent" in payload

@@ -38,6 +38,8 @@ class ShardLoadReport:
     ``scale_events`` and ``group_migrations`` report what the elasticity
     layer did during the run (always 0 for legacy results and for sharded
     runs without an :class:`~repro.runtime.elasticity.ElasticityPolicy`).
+    ``injected`` and ``wire_bytes`` report the ingest-path copies and the
+    network transport's socket traffic (both 0 off the network backend).
     """
 
     firings: int
@@ -48,14 +50,21 @@ class ShardLoadReport:
     messages_per_firing: float
     scale_events: int = 0
     group_migrations: int = 0
+    injected: int = 0
+    wire_bytes: int = 0
 
 
 def communication_volume(result: DistributedRunResult) -> Dict[str, float]:
     """Communication metrics of a distributed run, normalized per firing.
 
-    Returns ``{"migrations", "messages", "migrations_per_firing",
-    "messages_per_firing"}``.  The per-firing ratios use the same division
-    semantics as :attr:`DistributedRunResult.communication_ratio`: a run that
+    Returns ``{"migrations", "messages", "injected", "wire_bytes",
+    "migrations_per_firing", "messages_per_firing"}``.  ``injected`` counts
+    element copies that entered through the ingest path (gateway or direct
+    stream injection) rather than the initial load, and ``wire_bytes`` the
+    socket bytes the network transport moved — both 0 for in-process and
+    multiprocessing results, which communicate without a wire.  The
+    per-firing ratios use the same division semantics as
+    :attr:`DistributedRunResult.communication_ratio`: a run that
     communicated without firing reports ``inf``, a run that did neither
     reports ``0.0``.
     """
@@ -68,6 +77,8 @@ def communication_volume(result: DistributedRunResult) -> Dict[str, float]:
     return {
         "migrations": float(result.migrations),
         "messages": float(result.messages),
+        "injected": float(getattr(result, "injected", 0)),
+        "wire_bytes": float(getattr(result, "wire_bytes", 0)),
         "migrations_per_firing": ratio(result.migrations),
         "messages_per_firing": ratio(result.messages),
     }
@@ -89,4 +100,6 @@ def shard_load_report(result: DistributedRunResult) -> ShardLoadReport:
         messages_per_firing=volume["messages_per_firing"],
         scale_events=getattr(result, "scale_events", 0),
         group_migrations=getattr(result, "group_migrations", 0),
+        injected=getattr(result, "injected", 0),
+        wire_bytes=getattr(result, "wire_bytes", 0),
     )

@@ -69,15 +69,16 @@ _APPLICABLE = {
     ),
     "streaming": frozenset(
         {"backend", "shards", "seed", "max_steps", "compiled", "columnar",
-         "recovery", "checkpoint_interval", "elasticity"}
+         "recovery", "checkpoint_interval", "elasticity", "gateway_capacity",
+         "gateway_tenant_quota"}
     ),
     "simulator": frozenset({"seed", "max_steps", "compiled", "columnar"}),
 }
 
 _FIELDS = (
     "engine", "compiled", "parallel", "columnar", "backend", "shards",
-    "recovery", "checkpoint_interval", "elasticity", "seed", "max_steps",
-    "raise_on_budget",
+    "recovery", "checkpoint_interval", "elasticity", "gateway_capacity",
+    "gateway_tenant_quota", "seed", "max_steps", "raise_on_budget",
 )
 
 
@@ -121,6 +122,14 @@ class RuntimeConfig:
     elasticity:
         An :class:`~repro.runtime.elasticity.ElasticityPolicy` (sharded
         backends only): online group migration and shard autoscaling.
+    gateway_capacity:
+        Streaming surface only: capacity (element copies) of the ingest
+        queue behind :meth:`StreamingGammaRuntime.serve_gateway` — the
+        global backpressure bound producers feel through the socket.
+    gateway_tenant_quota:
+        Streaming surface only: per-tenant cap on pending copies admitted
+        through the gateway (must not exceed ``gateway_capacity`` when both
+        are set).
     seed:
         Scheduling/admission seed; ``None`` is fully deterministic
         declaration-order scheduling.
@@ -139,6 +148,8 @@ class RuntimeConfig:
     recovery: Optional[Any] = None
     checkpoint_interval: Optional[int] = None
     elasticity: Optional[Any] = None
+    gateway_capacity: Optional[int] = None
+    gateway_tenant_quota: Optional[int] = None
     seed: Optional[int] = None
     max_steps: Optional[int] = None
     raise_on_budget: Optional[bool] = None
@@ -262,6 +273,19 @@ class RuntimeConfig:
                 f"elasticity requires a sharded backend {_SHARDED_BACKENDS}, "
                 f"got {backend!r} (engine backends have no shards to rebalance)"
             )
+        if self.gateway_capacity is not None and self.gateway_capacity <= 0:
+            raise ValueError("gateway_capacity must be positive")
+        if self.gateway_tenant_quota is not None:
+            if self.gateway_tenant_quota <= 0:
+                raise ValueError("gateway_tenant_quota must be positive")
+            if (
+                self.gateway_capacity is not None
+                and self.gateway_tenant_quota > self.gateway_capacity
+            ):
+                raise ValueError(
+                    f"gateway_tenant_quota={self.gateway_tenant_quota} exceeds "
+                    f"gateway_capacity={self.gateway_capacity}"
+                )
 
 
 # -- legacy-shim helpers (used by every entry point) ------------------------------

@@ -4,7 +4,7 @@
 * :class:`GammaSimulator` — step-synchronous PE-bounded parallel Gamma execution,
 * :class:`DistributedGammaRuntime` — partitioned distributed multiset execution
   (legacy simulated loop, or the sharded subsystem via
-  ``backend="inprocess"``/``"multiprocessing"``),
+  ``backend="inprocess"``/``"multiprocessing"``/``"network"``),
 * :class:`ShardCoordinator` — direct access to the sharded protocol
   (:mod:`repro.runtime.sharding`),
 * :class:`StreamingGammaRuntime` — online execution: continuous element
@@ -39,6 +39,12 @@ from .recovery import (
     WorkerDied,
     WriteAheadLog,
 )
+from .net import (
+    FrameError,
+    GatewayClient,
+    IngestGateway,
+    NetworkBackend,
+)
 from .sharding import ShardCoordinator, ShardedRunResult
 from .streaming import (
     EpochReport,
@@ -58,6 +64,7 @@ __all__ = [
     "MemoryCheckpointStore", "DiskCheckpointStore",
     "WriteAheadLog", "MemoryWriteAheadLog", "DiskWriteAheadLog", "WALRecord",
     "FaultSchedule", "FaultEvent", "FaultInjector", "install_faults",
+    "NetworkBackend", "IngestGateway", "GatewayClient", "FrameError",
     "ParallelRunMetrics", "speedup_curve",
     "PEPool", "ProcessingElement",
 ]

@@ -161,7 +161,7 @@ class DistributedGammaRuntime:
     """
 
     #: Backend names accepted by :class:`DistributedGammaRuntime`.
-    BACKENDS = ("legacy", "inprocess", "multiprocessing")
+    BACKENDS = ("legacy", "inprocess", "multiprocessing", "network")
 
     def __init__(
         self,

@@ -6,8 +6,11 @@ This module provides:
 * :class:`FaultEvent` — one scheduled fault: kill a shard's worker at a
   barrier round (``"kill"``), delay its replies without killing it
   (``"delay"`` — pins that liveness polling never declares a slow worker
-  dead), or kill it at the Nth exchange (``"kill_on_exchange"`` — a crash
-  while migrations are in flight, the hardest cut to recover);
+  dead), kill it at the Nth exchange (``"kill_on_exchange"`` — a crash
+  while migrations are in flight, the hardest cut to recover), or sever
+  its transport without killing the process (``"drop_connection"`` — a
+  network partition; only the network backend can distinguish this from a
+  crash, and it must treat both as worker death);
 * :class:`FaultSchedule` — a consumable set of events, either hand-built or
   derived deterministically from a seed (:meth:`FaultSchedule.generate`),
   which is what lets Hypothesis shrink crash scenarios in the conformance
@@ -40,7 +43,8 @@ __all__ = ["FaultEvent", "FaultSchedule", "FaultInjector", "install_faults"]
 KILL = "kill"
 DELAY = "delay"
 KILL_ON_EXCHANGE = "kill_on_exchange"
-_KINDS = (KILL, DELAY, KILL_ON_EXCHANGE)
+DROP_CONNECTION = "drop_connection"
+_KINDS = (KILL, DELAY, KILL_ON_EXCHANGE, DROP_CONNECTION)
 
 
 @dataclass(frozen=True)
@@ -48,8 +52,8 @@ class FaultEvent:
     """One scheduled fault.
 
     ``at`` is 1-based: the fault applies at the start of the ``at``-th
-    barrier round (``kill``/``delay``) or the ``at``-th exchange
-    (``kill_on_exchange``) — "at or after", so an event scheduled past the
+    barrier round (``kill``/``delay``/``drop_connection``) or the ``at``-th
+    exchange (``kill_on_exchange``) — "at or after", so an event scheduled past the
     end of a short run simply never fires.  ``delay`` (seconds) is only
     meaningful for ``delay`` events.
     """
@@ -95,6 +99,7 @@ class FaultSchedule:
         kills: int = 1,
         delays: int = 0,
         exchange_kills: int = 0,
+        drops: int = 0,
         max_round: int = 4,
         max_delay: float = 0.2,
     ) -> "FaultSchedule":
@@ -125,6 +130,14 @@ class FaultSchedule:
             events.append(
                 FaultEvent(
                     KILL_ON_EXCHANGE, rng.randrange(num_shards), rng.randint(1, 2)
+                )
+            )
+        for _ in range(drops):
+            events.append(
+                FaultEvent(
+                    DROP_CONNECTION,
+                    rng.randrange(num_shards),
+                    rng.randint(1, max_round),
                 )
             )
         return cls(events)
@@ -176,7 +189,9 @@ class FaultInjector:
     def superstep_all(self, *args: Any, **kwargs: Any):
         """Apply due round faults, then run the round on the real backend."""
         self.rounds_seen += 1
-        for event in self.schedule.due((KILL, DELAY), self.rounds_seen):
+        for event in self.schedule.due(
+            (KILL, DELAY, DROP_CONNECTION), self.rounds_seen
+        ):
             self._apply(event)
         return self._backend.superstep_all(*args, **kwargs)
 
@@ -192,6 +207,16 @@ class FaultInjector:
         backend = self._backend
         shard = event.shard % backend.num_shards
         self.schedule.applied.append(event)
+        if event.kind == DROP_CONNECTION:
+            # Checked before the ``_processes`` branches: the network backend
+            # has worker processes too, but a partition severs only the
+            # transport — the server process survives (briefly), yet the
+            # coordinator must treat the dead connection exactly like a
+            # crash.  Backends without a transport degrade to a kill.
+            if hasattr(backend, "drop_connection"):
+                backend.drop_connection(shard)
+                return
+            event = FaultEvent(KILL, event.shard, event.at)
         if event.kind == DELAY:
             if hasattr(backend, "_processes"):
                 # The worker sleeps before serving its next command; replies

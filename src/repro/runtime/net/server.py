@@ -1,0 +1,213 @@
+"""Asyncio shard server: one shard's worker behind a framed socket.
+
+The data plane of the network backend.  Each shard server owns a
+:class:`~repro.runtime.sharding.shard.ShardWorker` and serves the *same*
+command protocol the multiprocessing backend speaks over queues
+(:func:`repro.runtime.sharding.mp._shard_worker_main`), transported as
+length-prefixed frames (:mod:`repro.runtime.net.frames`) over a loopback TCP
+connection.
+
+Wire protocol (control plane → shard server, strict request/reply order)::
+
+    ("hello", {shard, num_shards, seed, compiled, superstep, reactions})
+        -> ("welcome", {"shard": shard})         membership handshake; the
+                                                 server builds its worker and
+                                                 routing table from this frame
+    ("load"|"ingest", column_batch)  -> ("ok", copies)
+    ("step", (max_supersteps, budget))
+        -> ("report", (shard, fired, supersteps, size, stable))
+                                                 ``stable`` is this shard's
+                                                 quiescence vote, riding the
+                                                 step reply exactly as in the
+                                                 queue protocol
+    ("labels", None)                 -> ("labels", {label: count})
+    ("extract_labels", [label...])   -> ("batch", column_batch)
+    ("extract_some", limit)          -> ("batch", column_batch)
+    ("snapshot", None)               -> ("batch", column_batch)
+    ("reset", column_batch)          -> ("reset_ok", shard)    checkpoint
+                                                 restore; the distinctive kind
+                                                 lets the client drain stale
+                                                 replies of an aborted round
+    ("sleep", seconds)               -> no reply (fault-injection delay hook)
+    ("stop", None)                   -> ("stopped", shard), then close
+
+Any exception is reported as ``("error", traceback_text)`` before the
+connection closes, so the control plane fails loudly instead of hanging.  A
+dropped connection (client abort, network fault) simply ends the handler —
+the control plane observes the EOF on its side as a dead worker.
+
+:func:`shard_server_main` is the subprocess entry point: it binds an
+ephemeral loopback port, reports the port number back through a
+``multiprocessing`` pipe, serves until its (single) control connection ends,
+and exits.  :func:`handle_shard_connection` is deliberately spawnable with
+``asyncio.start_server`` inside a test process too, so the protocol logic is
+exercised under coverage without crossing a process boundary.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import traceback
+from typing import Any, Tuple
+
+from ...multiset.columnar import from_column_batch, to_column_batch
+from ..sharding.routing import RoutingTable
+from ..sharding.shard import ShardWorker
+from .frames import ConnectionClosed, FrameError, read_frame, write_frame
+
+__all__ = ["handle_shard_connection", "shard_server_main"]
+
+
+def _build_worker(config: dict) -> Tuple[ShardWorker, RoutingTable]:
+    """Construct the shard worker + routing table a ``hello`` frame describes."""
+    reactions = tuple(config["reactions"])
+    worker = ShardWorker(
+        config["shard"],
+        reactions,
+        seed=config["seed"],
+        compiled=config["compiled"],
+        superstep=config["superstep"],
+    )
+    routing = RoutingTable(reactions, config["num_shards"])
+    return worker, routing
+
+
+async def handle_shard_connection(
+    reader: "asyncio.StreamReader", writer: "asyncio.StreamWriter"
+) -> None:
+    """Serve one control-plane connection until ``stop`` or disconnect.
+
+    The first frame must be the ``hello`` handshake; every later frame is a
+    ``(command, payload)`` request answered in strict order.  Errors are
+    reported as ``("error", traceback)`` replies; a dropped connection ends
+    the handler silently (the peer already knows).
+    """
+    worker = None
+    try:
+        try:
+            hello, _ = await read_frame(reader)
+        except FrameError:
+            return  # peer vanished before the handshake
+        command, config = hello
+        if command != "hello":
+            await write_frame(
+                writer, ("error", f"expected 'hello' handshake, got {command!r}")
+            )
+            return
+        worker, routing = _build_worker(config)
+        shard = worker.shard
+        reactions = tuple(config["reactions"])
+        await write_frame(writer, ("welcome", {"shard": shard}))
+        while True:
+            try:
+                frame, _ = await read_frame(reader)
+            except (ConnectionClosed, FrameError, ConnectionError):
+                return  # control plane dropped us; nothing left to reply to
+            command, payload = frame
+            if command == "stop":
+                worker.close()
+                worker = None
+                await write_frame(writer, ("stopped", shard))
+                return
+            if command == "load" or command == "ingest":
+                copies = worker.ingest(from_column_batch(payload))
+                await write_frame(writer, ("ok", copies))
+            elif command == "step":
+                max_supersteps, budget = payload
+                report = worker.run_local(
+                    max_supersteps=max_supersteps, budget=budget
+                )
+                await write_frame(
+                    writer,
+                    (
+                        "report",
+                        (
+                            report.shard,
+                            report.fired,
+                            report.supersteps,
+                            report.size,
+                            report.stable,
+                        ),
+                    ),
+                )
+            elif command == "labels":
+                await write_frame(writer, ("labels", worker.label_counts()))
+            elif command == "extract_labels":
+                pairs = worker.extract_labels(payload)
+                await write_frame(writer, ("batch", to_column_batch(pairs)))
+            elif command == "extract_some":
+                pairs = worker.extract_some(payload, routing)
+                await write_frame(writer, ("batch", to_column_batch(pairs)))
+            elif command == "snapshot":
+                await write_frame(writer, ("batch", to_column_batch(worker.counts())))
+            elif command == "reset":
+                # Checkpoint restore: rebuild the worker from scratch and
+                # ingest the checkpoint batch, mirroring the queue protocol.
+                worker.close()
+                worker = ShardWorker(
+                    shard,
+                    reactions,
+                    seed=config["seed"],
+                    compiled=config["compiled"],
+                    superstep=config["superstep"],
+                )
+                worker.ingest(from_column_batch(payload))
+                await write_frame(writer, ("reset_ok", shard))
+            elif command == "sleep":
+                # Fault-injection hook: delay the *next* reply without dying.
+                await asyncio.sleep(payload)
+            else:
+                raise ValueError(f"unknown shard command {command!r}")
+    except BaseException:
+        try:
+            await write_frame(writer, ("error", traceback.format_exc()))
+        except Exception:  # pragma: no cover - peer gone while reporting
+            pass
+    finally:
+        if worker is not None:
+            worker.close()
+        try:
+            writer.close()
+        except Exception:  # pragma: no cover - transport already torn down
+            pass
+
+
+async def serve_one_connection(port_callback) -> None:
+    """Serve shard connections on an ephemeral loopback port until one ends.
+
+    ``port_callback`` receives the bound port once the socket is listening.
+    The server exits when its first completed connection ends — the control
+    plane holds exactly one connection per shard server and respawns a fresh
+    process instead of reconnecting, so a single-shot lifetime keeps process
+    management unambiguous.
+    """
+    done = asyncio.Event()
+
+    async def handler(reader: Any, writer: Any) -> None:
+        try:
+            await handle_shard_connection(reader, writer)
+        finally:
+            done.set()
+
+    server = await asyncio.start_server(handler, "127.0.0.1", 0)
+    try:
+        port_callback(server.sockets[0].getsockname()[1])
+        await done.wait()
+    finally:
+        server.close()
+        await server.wait_closed()
+
+
+def shard_server_main(conn: Any) -> None:
+    """Shard-server subprocess entry: bind, report the port, serve, exit.
+
+    ``conn`` is the write end of a ``multiprocessing.Pipe``; the bound
+    ephemeral port is sent through it (then the pipe is closed) so the parent
+    can connect without any port-assignment race.
+    """
+
+    def report(port: int) -> None:
+        conn.send(port)
+        conn.close()
+
+    asyncio.run(serve_one_connection(report))

@@ -55,12 +55,26 @@ __all__ = ["ShardCoordinator", "ShardSession", "ShardedRunResult", "SHARD_BACKEN
 
 #: Backend names accepted by :class:`ShardCoordinator` (and, with
 #: ``"legacy"``, by :class:`~repro.runtime.distributed.DistributedGammaRuntime`).
-SHARD_BACKENDS = ("inprocess", "multiprocessing")
+SHARD_BACKENDS = ("inprocess", "multiprocessing", "network")
 
 _BACKENDS = {
     "inprocess": InProcessBackend,
     "multiprocessing": MultiprocessingBackend,
 }
+
+
+def _backend_class(name: str):
+    """Resolve a backend name to its class.
+
+    The network backend is registered lazily: :mod:`repro.runtime.net`
+    imports this package's leaf modules, so a module-level import here would
+    cycle through the package ``__init__``.
+    """
+    if name not in _BACKENDS and name == "network":
+        from ..net.backend import NetworkBackend
+
+        _BACKENDS[name] = NetworkBackend
+    return _BACKENDS[name]
 
 
 @dataclass
@@ -83,6 +97,8 @@ class ShardedRunResult(DistributedRunResult):
     replayed: int = 0
     scale_events: int = 0
     group_migrations: int = 0
+    injected: int = 0
+    wire_bytes: int = 0
 
 
 class ShardCoordinator:
@@ -96,7 +112,8 @@ class ShardCoordinator:
         Shard count; the initial multiset is hash-partitioned over the
         shards by :meth:`Element.stable_hash`.
     backend:
-        ``"inprocess"`` (default) or ``"multiprocessing"`` — see
+        ``"inprocess"`` (default), ``"multiprocessing"``, or ``"network"``
+        (shard servers behind framed loopback sockets) — see
         :data:`SHARD_BACKENDS`.
     seed:
         Optional run seed; forwarded to the shards' schedulers through
@@ -165,7 +182,7 @@ class ShardCoordinator:
     ) -> None:
         if num_shards <= 0:
             raise ValueError("num_shards must be positive")
-        if backend not in _BACKENDS:
+        if backend not in SHARD_BACKENDS:
             raise ValueError(
                 f"unknown shard backend {backend!r}; expected one of {SHARD_BACKENDS}"
             )
@@ -231,7 +248,7 @@ class ShardCoordinator:
             self.elasticity.reset()
             self.num_shards = self._initial_shards
             self.routing.rehome(self._initial_shards)
-        backend = _BACKENDS[self.backend_name](
+        backend = _backend_class(self.backend_name)(
             self.program.reactions,
             self.num_shards,
             self.routing,
@@ -717,4 +734,6 @@ class ShardSession:
             replayed=self.replayed,
             scale_events=self.scale_events,
             group_migrations=self.group_migrations,
+            injected=self.injected,
+            wire_bytes=getattr(self.backend, "wire_bytes", 0),
         )

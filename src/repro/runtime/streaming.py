@@ -25,7 +25,7 @@ of their scheduling machinery:
 * **Backends** — the single-process engines (``"sequential"``,
   ``"chaotic"``, ``"parallel"``) run one persistent scheduler drained
   epoch-by-epoch through :meth:`~repro.gamma.engine.GammaEngine.drain`; the
-  sharded backends (``"inprocess"``, ``"multiprocessing"``) hold a
+  sharded backends (``"inprocess"``, ``"multiprocessing"``, ``"network"``) hold a
   :class:`~repro.runtime.sharding.ShardSession` whose routed injection
   ships each epoch batch to the elements' stable-hash home shards, and
   whose extended :class:`~repro.runtime.sharding.QuiescenceDetector`
@@ -76,10 +76,12 @@ __all__ = [
 ]
 
 #: Backend names accepted by :class:`StreamingGammaRuntime`.
-STREAM_BACKENDS = ("sequential", "chaotic", "parallel", "inprocess", "multiprocessing")
+STREAM_BACKENDS = (
+    "sequential", "chaotic", "parallel", "inprocess", "multiprocessing", "network",
+)
 
 _ENGINE_BACKENDS = ("sequential", "chaotic", "parallel")
-_SHARDED_BACKENDS = ("inprocess", "multiprocessing")
+_SHARDED_BACKENDS = ("inprocess", "multiprocessing", "network")
 
 
 def _coerce(element: Any) -> Element:
@@ -121,6 +123,7 @@ class IngestQueue:
         self._pending = 0
         self._closed = False
         self._condition = threading.Condition()
+        self._take_listeners: List[Any] = []
 
     # -- producer side ------------------------------------------------------------
     def offer(self, element: Any, count: int = 1) -> bool:
@@ -154,6 +157,28 @@ class IngestQueue:
                 break
             admitted += 1
         return admitted
+
+    def offer_batch(self, pairs: Sequence[Tuple[Any, int]]) -> bool:
+        """Atomic all-or-nothing admission of ``(element, count)`` pairs.
+
+        Either every pair is admitted (``True``) or none is (``False`` when
+        the batch would exceed capacity) — the gateway's no-partial-batch
+        guarantee rides on this.  Elements are coerced like :meth:`offer`;
+        raises ``ValueError`` on a closed queue or a non-positive count.
+        """
+        coerced = [(_coerce(element), count) for element, count in pairs]
+        if any(count <= 0 for _, count in coerced):
+            raise ValueError("every count must be positive")
+        copies = sum(count for _, count in coerced)
+        with self._condition:
+            if self._closed:
+                raise ValueError("cannot offer to a closed IngestQueue")
+            if self.capacity is not None and self._pending + copies > self.capacity:
+                return False
+            self._entries.extend(coerced)
+            self._pending += copies
+            self._condition.notify_all()
+            return True
 
     def put(self, element: Any, count: int = 1, timeout: Optional[float] = None) -> None:
         """Blocking admission: wait for capacity, then enqueue.
@@ -190,6 +215,15 @@ class IngestQueue:
         with self._condition:
             self._closed = True
             self._condition.notify_all()
+
+    def add_take_listener(self, listener: Any) -> None:
+        """Register ``listener(copies)`` to run after each non-empty take.
+
+        Called outside the queue lock with the copies the take removed —
+        the hook the ingestion gateway uses to retire per-tenant accounting
+        as the runtime drains epochs.  Listeners must not raise.
+        """
+        self._take_listeners.append(listener)
 
     # -- runtime side -------------------------------------------------------------
     @property
@@ -235,6 +269,9 @@ class IngestQueue:
             self._pending -= taken
             if taken:
                 self._condition.notify_all()
+        if taken:
+            for listener in self._take_listeners:
+                listener(taken)
         if self._rng is not None and len(batch) > 1:
             self._rng.shuffle(batch)
         return batch
@@ -292,6 +329,7 @@ class StreamRunResult:
     replayed: int = 0
     scale_events: int = 0
     group_migrations: int = 0
+    wire_bytes: int = 0
 
     def values_with_label(self, label: str) -> List:
         """Values of the final multiset's elements carrying ``label``."""
@@ -316,8 +354,9 @@ class StreamingGammaRuntime:
     backend:
         One of :data:`STREAM_BACKENDS`: ``"sequential"`` / ``"chaotic"`` /
         ``"parallel"`` drive a single-process engine over one persistent
-        scheduler; ``"inprocess"`` / ``"multiprocessing"`` drive a sharded
-        :class:`~repro.runtime.sharding.ShardSession` with routed injection.
+        scheduler; ``"inprocess"`` / ``"multiprocessing"`` / ``"network"``
+        drive a sharded :class:`~repro.runtime.sharding.ShardSession` with
+        routed injection.
     seed:
         Scheduling seed (forwarded to the engine or the shard workers) and,
         unless a pre-built ``queue`` is supplied, the admission seed.
@@ -446,9 +485,13 @@ class StreamingGammaRuntime:
         self.backend = cfg.backend if cfg.backend is not None else "sequential"
         self.seed = cfg.seed
         self.num_shards = cfg.shards if cfg.shards is not None else 4
+        if queue_capacity is None:
+            queue_capacity = cfg.gateway_capacity
         self.queue = queue if queue is not None else IngestQueue(
             capacity=queue_capacity, seed=cfg.seed
         )
+        self.gateway_tenant_quota = cfg.gateway_tenant_quota
+        self._gateway: Optional[Any] = None
         self.epoch_limit = epoch_limit
         self.steps_per_epoch = steps_per_epoch
         self.max_steps = 1_000_000 if cfg.max_steps is None else cfg.max_steps
@@ -536,6 +579,8 @@ class StreamingGammaRuntime:
         if self._closed:
             return
         self._closed = True
+        if self._gateway is not None:
+            self._gateway.close()
         if self._scheduler is not None:
             self._scheduler.detach()
         if isinstance(self._engine, ParallelEngine):
@@ -555,6 +600,28 @@ class StreamingGammaRuntime:
             self._session.close()
 
     # -- producer conveniences ----------------------------------------------------
+    def serve_gateway(self, host: str = "127.0.0.1") -> Any:
+        """Start (or return) the socket ingestion gateway over this queue.
+
+        Binds an :class:`~repro.runtime.net.gateway.IngestGateway` on an
+        ephemeral ``host`` port (loopback by default) in front of
+        ``self.queue``, with the config's ``gateway_tenant_quota`` as the
+        per-tenant admission cap (the queue's own capacity — settable via
+        ``gateway_capacity`` — is the global bound).  Idempotent: one
+        gateway per runtime; :meth:`close` stops it.  Producers connect with
+        :class:`~repro.runtime.net.gateway.GatewayClient` (or any codec-
+        speaking client) and are backpressured, never dropped.
+        """
+        if self._closed:
+            raise RuntimeError("streaming runtime is closed")
+        if self._gateway is None:
+            from .net.gateway import IngestGateway
+
+            self._gateway = IngestGateway(
+                self.queue, tenant_quota=self.gateway_tenant_quota, host=host
+            )
+        return self._gateway
+
     def inject(self, element: Any, count: int = 1) -> bool:
         """Offer ``count`` copies to the stream (non-blocking); see :meth:`IngestQueue.offer`."""
         return self.queue.offer(element, count)
@@ -748,5 +815,13 @@ class StreamingGammaRuntime:
             scale_events=self._session.scale_events if self._session is not None else 0,
             group_migrations=(
                 self._session.group_migrations if self._session is not None else 0
+            ),
+            wire_bytes=(
+                (
+                    getattr(self._session.backend, "wire_bytes", 0)
+                    if self._session is not None
+                    else 0
+                )
+                + (self._gateway.wire_bytes if self._gateway is not None else 0)
             ),
         )

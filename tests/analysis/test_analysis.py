@@ -218,6 +218,38 @@ class TestShardingAnalysis:
         )
         assert communication_volume(chatty)["messages_per_firing"] == float("inf")
 
+    def test_communication_volume_counts_ingest_and_wire_traffic(self):
+        """Regression: gateway-injected copies and network frame overhead
+        were invisible to the communication report (it predated the ingest
+        and socket paths)."""
+        from repro.analysis import communication_volume, shard_load_report
+        from repro.multiset import Multiset
+        from repro.runtime.sharding.coordinator import ShardedRunResult
+
+        result = ShardedRunResult(
+            final=Multiset(), steps=3, firings=10, migrations=2, messages=6,
+            injected=5, wire_bytes=4096,
+        )
+        volume = communication_volume(result)
+        assert volume["injected"] == pytest.approx(5.0)
+        assert volume["wire_bytes"] == pytest.approx(4096.0)
+        report = shard_load_report(result)
+        assert report.injected == 5
+        assert report.wire_bytes == 4096
+
+    def test_communication_volume_defaults_wire_keys_to_zero(self):
+        """Results without an ingest path or a wire still report the keys."""
+        from repro.analysis import communication_volume
+        from repro.multiset import Multiset
+        from repro.runtime import DistributedRunResult
+
+        legacy = DistributedRunResult(
+            final=Multiset(), steps=2, firings=4, migrations=2, messages=8
+        )
+        volume = communication_volume(legacy)
+        assert volume["injected"] == 0.0
+        assert volume["wire_bytes"] == 0.0
+
     def test_shard_load_report_from_sharded_run(self):
         from repro.analysis import shard_load_report
         from repro.runtime.sharding import ShardCoordinator

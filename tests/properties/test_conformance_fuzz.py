@@ -14,11 +14,13 @@ with a single differential harness.  Two input sources drive it:
 
 The pinned contract: for any program × initial multiset × seed, every
 backend — sequential, chaotic, max-parallel, parallel supersteps, sharded
-in-process, sharded multiprocessing — reaches exactly the stable multiset
-the sequential compiled engine computes.  A second property extends the
-contract to the streaming runtime: after a seeded injection schedule drains,
-the final multiset equals a batch run over ``initial ∪ injected``, on every
-streaming backend (the ISSUE 5 acceptance differential).
+in-process, sharded multiprocessing, sharded over loopback TCP — reaches
+exactly the stable multiset the sequential compiled engine computes.  A
+second property extends the contract to the streaming runtime: after a
+seeded injection schedule drains, the final multiset equals a batch run
+over ``initial ∪ injected``, on every streaming backend (the ISSUE 5
+acceptance differential); the network variant feeds the schedule through
+the socket ingestion gateway instead of direct injection (ISSUE 9).
 """
 
 import multiprocessing
@@ -56,7 +58,7 @@ shard_counts = st.sampled_from(SHARD_COUNTS)
 
 def _execute(program, initial, backend, seed, shards):
     """Run ``program`` on ``backend`` and return its stable multiset."""
-    if backend == "inprocess" or backend == "multiprocessing":
+    if backend in ("inprocess", "multiprocessing", "network"):
         return ShardCoordinator(
             program, shards, backend=backend, seed=seed
         ).run(initial.copy()).final
@@ -154,6 +156,95 @@ class TestWorkloadConformance:
             workload.program, workload.initial, "multiprocessing", seed, shards
         )
         assert final == reference
+
+
+#: Shard counts the ISSUE 9 acceptance pins for the network transport.
+NETWORK_SHARD_COUNTS = (1, 2, 4)
+
+
+class TestNetworkConformance:
+    """ISSUE 9 acceptance: the socket transport is protocol-invisible.
+
+    Same differential as the sharded rows above, but the shards are
+    loopback-TCP subprocesses behind :class:`NetworkBackend` — framing,
+    handshakes, and reply collection must not perturb the stable multiset.
+    Few examples: every example boots a server fleet.
+    """
+
+    @pytest.mark.skipif(not FORK_AVAILABLE, reason="fork start method unavailable")
+    @given(case=conformance_cases(), shards=st.sampled_from(NETWORK_SHARD_COUNTS), seed=seeds)
+    @settings(
+        max_examples=4,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_network_backend_conforms(self, case, shards, seed):
+        reference = _reference(case.program, case.initial)
+        final = _execute(case.program, case.initial, "network", seed, shards)
+        assert final == reference
+
+    @pytest.mark.skipif(not FORK_AVAILABLE, reason="fork start method unavailable")
+    @given(
+        name=st.sampled_from(WORKLOADS),
+        size=st.integers(min_value=2, max_value=16),
+        shards=st.sampled_from(NETWORK_SHARD_COUNTS),
+        seed=seeds,
+    )
+    @settings(
+        max_examples=4,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_network_backend_agrees_on_classic_workloads(
+        self, name, size, shards, seed
+    ):
+        workload = make_workload(name, size=size, seed=5)
+        reference = _reference(workload.program, workload.initial)
+        final = _execute(workload.program, workload.initial, "network", seed, shards)
+        assert final == reference
+
+    @pytest.mark.skipif(not FORK_AVAILABLE, reason="fork start method unavailable")
+    @given(
+        case=conformance_cases(with_schedule=True),
+        shards=st.sampled_from(NETWORK_SHARD_COUNTS),
+        seed=seeds,
+    )
+    @settings(
+        max_examples=3,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_gateway_fed_stream_drain_equals_batch_over_union(
+        self, case, shards, seed
+    ):
+        """Injection through the socket gateway ≡ direct batch injection."""
+        from repro.runtime.net import GatewayClient
+
+        reference = _reference(case.program, case.batch_union())
+        runtime = StreamingGammaRuntime(
+            case.program,
+            config=RuntimeConfig(backend="network", seed=seed, shards=shards),
+        )
+        gateway = runtime.serve_gateway()
+        client = GatewayClient(gateway.port)
+        try:
+            runtime.start(case.initial.copy())
+            for batch in case.schedule:
+                if batch:
+                    client.put(list(batch))
+                runtime.pump()
+            runtime.close_stream()
+            while not runtime.drained:
+                runtime.pump()
+            result = runtime.result()
+        finally:
+            client.close()
+            runtime.close()
+        assert result.stable
+        assert result.final == reference
+        assert result.injected == len(case.injected_elements())
+        assert result.wire_bytes > 0
+        assert gateway.injected == len(case.injected_elements())
 
 
 def _churny_policy(policy_seed):

@@ -11,7 +11,9 @@ pins the same property against a batch run over ``initial ∪ injected``
 Faults are injected by :mod:`repro.runtime.faults`: against the in-process
 backend a kill wipes the shard's partition (deterministic, no forking, the
 cheap leg run at every tier-1 invocation); against the multiprocessing
-backend it is a real ``SIGKILL`` (fork-gated, few examples).  The CI
+backend it is a real ``SIGKILL`` (fork-gated, few examples); against the
+network backend a kill SIGKILLs the shard's TCP server and a
+``drop_connection`` severs its socket without killing it (ISSUE 9).  The CI
 ``chaos`` job raises ``CHAOS_EXAMPLES`` to widen the sweep.
 """
 
@@ -118,6 +120,90 @@ class TestBatchCrashRecovery:
         if schedule.applied:
             # A SIGKILL mid-protocol may surface once (or, rarely, be
             # re-observed during rollback), so only the lower bound is exact.
+            assert result.recoveries >= 1
+
+
+class TestNetworkCrashRecovery:
+    """ISSUE 9: death over the wire — SIGKILL and severed connections.
+
+    Against the network backend a ``kill`` SIGKILLs the shard's server
+    process (death surfaces as EOF on its socket) and a ``drop_connection``
+    severs the transport while the process briefly survives; both must read
+    as :class:`WorkerDied` and recover through the checkpoint/WAL path to
+    the sequential stable multiset.
+    """
+
+    @pytest.mark.skipif(not FORK_AVAILABLE, reason="fork start method unavailable")
+    @given(
+        case=conformance_cases(),
+        fault_seed=fault_seeds,
+        shards=st.sampled_from((2, 4)),
+    )
+    @settings(
+        max_examples=max(2, CHAOS_EXAMPLES // 4),
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_killed_network_run_recovers_to_sequential_result(
+        self, case, fault_seed, shards
+    ):
+        reference = _reference(case.program, case.initial)
+        schedule = FaultSchedule.generate(fault_seed, shards, kills=1, max_round=3)
+        coordinator = ShardCoordinator(
+            case.program,
+            shards,
+            backend="network",
+            seed=7,
+            recovery=RecoveryManager(),
+            checkpoint_rounds=1,
+        )
+        session = coordinator.start(case.initial.copy())
+        install_faults(session, schedule)
+        try:
+            session.drive()
+            result = session.result()
+        finally:
+            session.close()
+        assert result.final == reference
+        if schedule.applied:
+            assert result.recoveries >= 1
+
+    @pytest.mark.skipif(not FORK_AVAILABLE, reason="fork start method unavailable")
+    @given(
+        case=conformance_cases(),
+        fault_seed=fault_seeds,
+        shards=st.sampled_from((2, 4)),
+    )
+    @settings(
+        max_examples=max(2, CHAOS_EXAMPLES // 4),
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_dropped_connection_recovers_to_sequential_result(
+        self, case, fault_seed, shards
+    ):
+        """A severed transport, not a dead process, still rolls back cleanly."""
+        reference = _reference(case.program, case.initial)
+        schedule = FaultSchedule.generate(
+            fault_seed, shards, kills=0, drops=1, max_round=3
+        )
+        coordinator = ShardCoordinator(
+            case.program,
+            shards,
+            backend="network",
+            seed=7,
+            recovery=RecoveryManager(),
+            checkpoint_rounds=1,
+        )
+        session = coordinator.start(case.initial.copy())
+        install_faults(session, schedule)
+        try:
+            session.drive()
+            result = session.result()
+        finally:
+            session.close()
+        assert result.final == reference
+        if schedule.applied:
             assert result.recoveries >= 1
 
 

@@ -1,0 +1,210 @@
+"""Frame-codec properties: the wire format's three pinned safety contracts.
+
+The network transport (ISSUE 9) rides entirely on
+:mod:`repro.runtime.net.frames`; these properties pin the codec invariants
+the transport's correctness argument depends on:
+
+* **round-trip** — ``decode_frame(encode_frame(x)) == x`` for arbitrary
+  nested payloads, and for every column batch the shard protocol ships;
+* **no partial delivery** — truncating an encoded frame at *any* byte
+  boundary raises :class:`FrameTruncated`; corrupting the type tag raises
+  :class:`FrameCorrupt`; an oversized length prefix raises
+  :class:`FrameTooLarge`.  No malformed input hangs the decoder or yields
+  half a message;
+* **typed failures** — every decode error is a :class:`FrameError`
+  (a ``ValueError``), never a bare ``struct.error`` or ``IndexError``.
+
+The incremental :class:`FrameDecoder` must agree with the one-shot
+:func:`decode_frame` under arbitrary chunking — including one byte at a
+time — since TCP is free to fragment however it likes.
+"""
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.multiset import Element
+from repro.multiset.columnar import from_column_batch, to_column_batch
+from repro.runtime.net.frames import (
+    DEFAULT_MAX_FRAME,
+    FrameCorrupt,
+    FrameDecoder,
+    FrameError,
+    FrameTooLarge,
+    FrameTruncated,
+    decode_frame,
+    encode_frame,
+)
+
+_PREFIX_SIZE = 4
+
+#: Scalar leaves of the frame-value universe (including > 64-bit ints).
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**80), max_value=2**80),
+    st.floats(allow_nan=False),
+    st.text(max_size=20),
+    st.binary(max_size=20),
+)
+
+#: Arbitrarily nested payloads: scalars under lists, tuples, and dicts.
+payloads = st.recursive(
+    scalars,
+    lambda inner: st.one_of(
+        st.lists(inner, max_size=4),
+        st.lists(inner, max_size=4).map(tuple),
+        st.dictionaries(
+            st.one_of(st.text(max_size=6), st.integers()), inner, max_size=4
+        ),
+    ),
+    max_leaves=24,
+)
+
+element_values = st.one_of(
+    st.integers(min_value=-(2**40), max_value=2**40),
+    st.text(max_size=8),
+    st.tuples(st.integers(min_value=-100, max_value=100), st.integers()),
+)
+elements = st.builds(
+    Element,
+    value=element_values,
+    label=st.sampled_from(("x", "y", "data", "acc")),
+    tag=st.integers(min_value=0, max_value=3),
+)
+element_counts = st.lists(
+    st.tuples(elements, st.integers(min_value=1, max_value=5)), max_size=24
+)
+
+
+class TestRoundTrip:
+    @given(value=payloads)
+    @settings(max_examples=200, deadline=None)
+    def test_arbitrary_payloads_round_trip(self, value):
+        data = encode_frame(value)
+        decoded, consumed = decode_frame(data)
+        assert decoded == value
+        assert consumed == len(data)
+
+    @given(pairs=element_counts)
+    @settings(max_examples=100, deadline=None)
+    def test_column_batches_round_trip(self, pairs):
+        """The shard protocol's batch wire format crosses the codec intact."""
+        batch = to_column_batch(pairs)
+        decoded, _ = decode_frame(encode_frame(batch))
+        assert decoded == batch
+        assert from_column_batch(decoded) == pairs
+
+    @given(value=payloads)
+    @settings(max_examples=100, deadline=None)
+    def test_nan_free_round_trip_preserves_type_structure(self, value):
+        """Tuples stay tuples, lists stay lists — the protocol relies on it."""
+        decoded, _ = decode_frame(encode_frame(value))
+        assert type(decoded) is type(value)
+
+    @given(values=st.lists(payloads, min_size=1, max_size=5))
+    @settings(max_examples=100, deadline=None)
+    def test_concatenated_frames_decode_in_order(self, values):
+        buffer = b"".join(encode_frame(value) for value in values)
+        decoded = []
+        while buffer:
+            value, consumed = decode_frame(buffer)
+            decoded.append(value)
+            buffer = buffer[consumed:]
+        assert decoded == values
+
+
+class TestNoPartialDelivery:
+    @given(value=payloads, data=st.data())
+    @settings(max_examples=150, deadline=None)
+    def test_every_truncation_raises_frame_truncated(self, value, data):
+        encoded = encode_frame(value)
+        cut = data.draw(st.integers(min_value=0, max_value=len(encoded) - 1))
+        with pytest.raises(FrameTruncated):
+            decode_frame(encoded[:cut])
+
+    @given(value=payloads)
+    @settings(max_examples=100, deadline=None)
+    def test_corrupt_type_tag_raises_frame_corrupt(self, value):
+        encoded = bytearray(encode_frame(value))
+        encoded[_PREFIX_SIZE] = 0xFF  # no tag uses 0xff
+        with pytest.raises(FrameCorrupt):
+            decode_frame(bytes(encoded))
+
+    @given(extra=st.integers(min_value=1, max_value=2**20))
+    @settings(max_examples=50, deadline=None)
+    def test_oversized_prefix_raises_frame_too_large(self, extra):
+        data = struct.pack(">I", DEFAULT_MAX_FRAME + extra)
+        with pytest.raises(FrameTooLarge):
+            decode_frame(data)
+        with pytest.raises(FrameTooLarge):
+            FrameDecoder().feed(data)
+
+    @given(value=payloads)
+    @settings(max_examples=50, deadline=None)
+    def test_sender_side_cap_raises_before_any_bytes_ship(self, value):
+        """Every encodable body is at least one byte, so a zero cap refuses all."""
+        with pytest.raises(FrameTooLarge):
+            encode_frame(value, max_frame=0)
+
+    @given(value=payloads, junk=st.binary(min_size=1, max_size=8))
+    @settings(max_examples=100, deadline=None)
+    def test_trailing_body_bytes_raise_frame_corrupt(self, value, junk):
+        """A body longer than its value is a lie, not padding."""
+        encoded = encode_frame(value)
+        body = encoded[_PREFIX_SIZE:] + junk
+        inflated = struct.pack(">I", len(body)) + body
+        with pytest.raises(FrameCorrupt):
+            decode_frame(inflated)
+
+    @given(corruption=st.binary(min_size=_PREFIX_SIZE, max_size=64))
+    @settings(max_examples=200, deadline=None)
+    def test_arbitrary_bytes_fail_typed_or_decode(self, corruption):
+        """Garbage input never escapes the FrameError family (or decodes)."""
+        try:
+            decode_frame(corruption, max_frame=2**16)
+        except FrameError:
+            pass  # FrameTruncated / FrameCorrupt / FrameTooLarge all qualify
+
+
+class TestIncrementalDecoder:
+    @given(values=st.lists(payloads, min_size=1, max_size=4), data=st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_arbitrary_chunking_yields_the_same_frames(self, values, data):
+        stream = b"".join(encode_frame(value) for value in values)
+        decoder = FrameDecoder()
+        out = []
+        position = 0
+        while position < len(stream):
+            step = data.draw(
+                st.integers(min_value=1, max_value=len(stream) - position)
+            )
+            out.extend(decoder.feed(stream[position : position + step]))
+            position += step
+        assert out == values
+        assert decoder.pending_bytes == 0
+
+    @given(value=payloads)
+    @settings(max_examples=100, deadline=None)
+    def test_byte_by_byte_feed_completes_exactly_once(self, value):
+        stream = encode_frame(value)
+        decoder = FrameDecoder()
+        completions = []
+        for index in range(len(stream)):
+            frames = decoder.feed(stream[index : index + 1])
+            if frames:
+                completions.append((index, frames))
+        assert completions == [(len(stream) - 1, [value])]
+
+    @given(value=payloads)
+    @settings(max_examples=50, deadline=None)
+    def test_pending_bytes_tracks_the_incomplete_frame(self, value):
+        stream = encode_frame(value)
+        decoder = FrameDecoder()
+        half = len(stream) // 2
+        assert decoder.feed(stream[:half]) == []
+        assert decoder.pending_bytes == half
+        assert decoder.feed(stream[half:]) == [value]
+        assert decoder.pending_bytes == 0

@@ -183,6 +183,36 @@ class TestValidationMatrix:
                 checkpoint_interval=0,
             ).validate("streaming")
 
+    def test_gateway_field_rules(self):
+        with pytest.raises(ValueError, match="gateway_capacity must be positive"):
+            RuntimeConfig(gateway_capacity=0).validate("streaming")
+        with pytest.raises(ValueError, match="gateway_tenant_quota must be positive"):
+            RuntimeConfig(gateway_tenant_quota=-1).validate("streaming")
+        with pytest.raises(
+            ValueError, match="gateway_tenant_quota=8 exceeds gateway_capacity=4"
+        ):
+            RuntimeConfig(
+                gateway_capacity=4, gateway_tenant_quota=8
+            ).validate("streaming")
+        # quota == capacity is the boundary case and is allowed
+        RuntimeConfig(gateway_capacity=4, gateway_tenant_quota=4).validate("streaming")
+
+    def test_gateway_fields_are_streaming_only(self):
+        with pytest.raises(
+            ValueError, match="config field gateway_capacity=.* does not apply"
+        ):
+            RuntimeConfig(gateway_capacity=8).validate("engine")
+        with pytest.raises(
+            ValueError, match="config field gateway_tenant_quota=.* does not apply"
+        ):
+            RuntimeConfig(
+                backend="inprocess", gateway_tenant_quota=8
+            ).validate("distributed")
+
+    def test_network_backend_validates_on_both_sharded_surfaces(self):
+        RuntimeConfig(backend="network", shards=2).validate("distributed")
+        RuntimeConfig(backend="network", shards=2).validate("streaming")
+
     def test_checkpoint_interval_requires_recovery_in_batch_mode(self):
         with pytest.raises(
             ValueError, match="checkpoint_interval requires a RecoveryManager"
