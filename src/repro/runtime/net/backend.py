@@ -41,6 +41,7 @@ from __future__ import annotations
 import asyncio
 import multiprocessing
 import os
+import secrets
 import threading
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -96,17 +97,29 @@ class NetworkBackend:
     ) -> None:
         """Spawn ``num_shards`` shard servers and complete their handshakes.
 
-        Servers are spawned *before* the event-loop thread starts (forking
-        with live threads is deprecated), then connected concurrently from
-        the loop.  Construction fails fast — an unreachable or misbehaving
-        server aborts the whole backend.
+        Server processes use the ``forkserver`` start method when available
+        (``spawn`` otherwise) — never ``fork``: respawn, resize, and
+        recovery all launch servers while the backend's event-loop thread
+        (and possibly executor threads) are alive, and forking a
+        multi-threaded parent is deprecated and deadlock-prone.  The
+        forkserver helper forks from a clean, thread-free process instead,
+        with :mod:`repro.runtime.net.server` preloaded so each shard server
+        skips the import cost.  Construction fails fast — an unreachable or
+        misbehaving server aborts the whole backend.
         """
         self.routing = routing
         self.num_shards = num_shards
         methods = multiprocessing.get_all_start_methods()
         self._context = multiprocessing.get_context(
-            "fork" if "fork" in methods else None
+            "forkserver" if "forkserver" in methods else "spawn"
         )
+        if hasattr(self._context, "set_forkserver_preload"):
+            self._context.set_forkserver_preload(["repro.runtime.net.server"])
+        #: Per-backend shared secret: servers receive it through the spawn
+        #: arguments and refuse (silently) any connection that does not
+        #: present it first, so no unauthenticated peer ever reaches the
+        #: pickle-bearing part of the protocol.
+        self._auth = secrets.token_bytes(32)
         self._hello = {
             "num_shards": num_shards,
             "seed": seed,
@@ -147,7 +160,7 @@ class NetworkBackend:
         """Spawn shard ``shard``'s server process and learn its port."""
         parent_conn, child_conn = self._context.Pipe(duplex=False)
         process = self._context.Process(
-            target=shard_server_main, args=(child_conn,), daemon=True
+            target=shard_server_main, args=(child_conn, self._auth), daemon=True
         )
         process.start()
         child_conn.close()
@@ -161,10 +174,16 @@ class NetworkBackend:
         self._processes[shard] = process
 
     async def _connect(self, shard: int) -> None:
-        """Open shard ``shard``'s connection and run the membership handshake."""
+        """Open shard ``shard``'s connection and run the membership handshake.
+
+        The ``auth`` preamble presents the spawn-time token before the
+        pickle-bearing ``hello``; a server that was not ours (or a hijacked
+        port) stays silent and the handshake read fails loudly.
+        """
         reader, writer = await asyncio.open_connection("127.0.0.1", self._ports[shard])
         self._readers[shard] = reader
         self._writers[shard] = writer
+        await self._post(shard, "auth", self._auth)
         hello = dict(self._hello)
         hello["shard"] = shard
         await self._post(shard, "hello", hello)
@@ -232,8 +251,11 @@ class NetworkBackend:
         if reader is None:
             raise WorkerDied(shard, f"no connection awaiting {expected!r} reply")
         try:
+            # allow_pickle: replies come from the server *we* spawned on a
+            # port it alone bound and reported over the spawn pipe, so batch
+            # values of any picklable type can ride home.
             frame, size = await asyncio.wait_for(
-                read_frame(reader), timeout=self._timeout
+                read_frame(reader, allow_pickle=True), timeout=self._timeout
             )
         except asyncio.TimeoutError:
             process = self._processes[shard]

@@ -8,8 +8,15 @@ third-party codec), covering the value universe the shard protocol actually
 ships: ``None``, bools, arbitrary-precision ints, floats, strings, bytes,
 lists, tuples, and string/int-keyed dicts — which includes the column-batch
 element wire format (:func:`~repro.multiset.columnar.to_column_batch`)
-unchanged.  Values outside that universe (none cross the wire today) fall
-back to a tagged stdlib pickle, so the codec is total over picklable Python.
+unchanged.  Values outside that universe (the handshake's reaction tuple is
+the only one that crosses the wire today) fall back to a tagged stdlib
+pickle — but because ``pickle.loads`` is arbitrary code execution, the
+*decoder* rejects that tag by default: every ``decode`` entry point takes
+``allow_pickle`` (default ``False``, raising :class:`FramePickleRejected`),
+and only the backend↔shard-server channel — which authenticates the peer
+with a spawn-time token first (:mod:`repro.runtime.net.server`) — opts in.
+Network-facing endpoints (the ingestion gateway, the pre-auth server
+socket) never decode a pickle from the wire.
 
 Safety properties, pinned by ``tests/properties/test_frame_properties.py``:
 
@@ -22,7 +29,9 @@ Safety properties, pinned by ``tests/properties/test_frame_properties.py``:
   hangs the decoder or yields half a message;
 * **typed failures** — every decode error is a :class:`FrameError`
   (a ``ValueError``), so transport code has one exception family to map to
-  :class:`~repro.runtime.recovery.WorkerDied`.
+  :class:`~repro.runtime.recovery.WorkerDied`.  Hostile bodies that would
+  otherwise escape the family — an unhashable dict key, nesting past
+  :data:`MAX_DEPTH` — are converted to :class:`FrameCorrupt`.
 
 :class:`FrameDecoder` is the incremental (feed-bytes, get-objects) variant
 used by synchronous socket clients; :func:`read_frame` / :func:`write_frame`
@@ -40,9 +49,11 @@ __all__ = [
     "FrameError",
     "FrameTruncated",
     "FrameCorrupt",
+    "FramePickleRejected",
     "FrameTooLarge",
     "ConnectionClosed",
     "DEFAULT_MAX_FRAME",
+    "MAX_DEPTH",
     "encode_frame",
     "decode_frame",
     "FrameDecoder",
@@ -54,6 +65,12 @@ __all__ = [
 #: batch encodes to a few megabytes; 64 MiB leaves an order of magnitude of
 #: headroom while still rejecting a garbage length prefix immediately.
 DEFAULT_MAX_FRAME = 64 * 1024 * 1024
+
+#: Cap on value nesting, enforced symmetrically by encoder and decoder so
+#: everything encodable is decodable.  Real protocol payloads are at most a
+#: handful of levels deep; the cap exists so a hostile body of nested list
+#: tags raises :class:`FrameCorrupt` instead of ``RecursionError``.
+MAX_DEPTH = 128
 
 _PREFIX = struct.Struct(">I")
 _I64 = struct.Struct(">q")
@@ -76,6 +93,10 @@ class FrameCorrupt(FrameError):
     """The frame's body contradicts itself (bad tag, bad length, bad UTF-8)."""
 
 
+class FramePickleRejected(FrameCorrupt):
+    """A pickle-tagged value arrived on an endpoint that forbids pickles."""
+
+
 class FrameTooLarge(FrameError):
     """A length prefix (or an encoded value) exceeds the frame-size cap."""
 
@@ -86,8 +107,10 @@ class ConnectionClosed(FrameError):
 
 # -- encoding ----------------------------------------------------------------------
 
-def _encode_value(value: Any, out: List[bytes]) -> None:
+def _encode_value(value: Any, out: List[bytes], depth: int = 0) -> None:
     """Append ``value``'s tagged encoding to ``out`` (recursive)."""
+    if depth > MAX_DEPTH:
+        raise FrameError(f"value nesting exceeds the depth cap ({MAX_DEPTH})")
     if value is None:
         out.append(b"N")
     elif value is True:
@@ -119,18 +142,18 @@ def _encode_value(value: Any, out: List[bytes]) -> None:
         out.append(b"l")
         out.append(_U32.pack(len(value)))
         for item in value:
-            _encode_value(item, out)
+            _encode_value(item, out, depth + 1)
     elif type(value) is tuple:
         out.append(b"t")
         out.append(_U32.pack(len(value)))
         for item in value:
-            _encode_value(item, out)
+            _encode_value(item, out, depth + 1)
     elif type(value) is dict:
         out.append(b"m")
         out.append(_U32.pack(len(value)))
         for key, item in value.items():
-            _encode_value(key, out)
-            _encode_value(item, out)
+            _encode_value(key, out, depth + 1)
+            _encode_value(item, out, depth + 1)
     else:
         # Total-coverage fallback: anything else (bools/ints subclasses,
         # Fractions, frozensets...) rides a tagged stdlib pickle.  The shard
@@ -183,8 +206,12 @@ class _Body:
         return raw
 
 
-def _decode_value(body: _Body) -> Any:
+def _decode_value(body: _Body, allow_pickle: bool, depth: int = 0) -> Any:
     """Decode one tagged value from ``body`` (recursive)."""
+    if depth > MAX_DEPTH:
+        raise FrameCorrupt(
+            f"frame body nests values deeper than the cap ({MAX_DEPTH})"
+        )
     tag = body.take(1)
     if tag == b"N":
         return None
@@ -210,15 +237,31 @@ def _decode_value(body: _Body) -> Any:
         return body.take(length)
     if tag == b"l" or tag == b"t":
         (count,) = _U32.unpack(body.take(4))
-        items = [_decode_value(body) for _ in range(count)]
+        items = [_decode_value(body, allow_pickle, depth + 1) for _ in range(count)]
         return items if tag == b"l" else tuple(items)
     if tag == b"m":
         (count,) = _U32.unpack(body.take(4))
-        return {_decode_value(body): _decode_value(body) for _ in range(count)}
+        try:
+            return {
+                _decode_value(body, allow_pickle, depth + 1): _decode_value(
+                    body, allow_pickle, depth + 1
+                )
+                for _ in range(count)
+            }
+        except TypeError as exc:
+            # A well-formed body can still name an unhashable key (a list).
+            raise FrameCorrupt(f"unhashable dict key in frame body: {exc}") from None
     if tag == b"p":
         (length,) = _U32.unpack(body.take(4))
+        raw = body.take(length)
+        if not allow_pickle:
+            raise FramePickleRejected(
+                "pickle-tagged value rejected (this endpoint decodes with "
+                "allow_pickle=False; only the authenticated backend/server "
+                "channel accepts pickles)"
+            )
         try:
-            return pickle.loads(body.take(length))
+            return pickle.loads(raw)
         except FrameCorrupt:
             raise
         except Exception as exc:
@@ -227,7 +270,9 @@ def _decode_value(body: _Body) -> Any:
 
 
 def decode_frame(
-    data: bytes, max_frame: int = DEFAULT_MAX_FRAME
+    data: bytes,
+    max_frame: int = DEFAULT_MAX_FRAME,
+    allow_pickle: bool = False,
 ) -> Tuple[Any, int]:
     """Decode the first complete frame in ``data``; returns ``(value, consumed)``.
 
@@ -236,7 +281,9 @@ def decode_frame(
     :class:`FrameTruncated` when ``data`` ends mid-frame,
     :class:`FrameTooLarge` when the prefix exceeds ``max_frame`` (checked
     before any body byte is needed), and :class:`FrameCorrupt` when the body
-    is malformed or does not use exactly its declared length.
+    is malformed or does not use exactly its declared length.  Pickle-tagged
+    values raise :class:`FramePickleRejected` unless ``allow_pickle`` is
+    set — reserve it for peers authenticated out of band.
     """
     if len(data) < _PREFIX.size:
         raise FrameTruncated(
@@ -251,7 +298,10 @@ def decode_frame(
             f"frame claims {length} body bytes, only {len(data) - _PREFIX.size} present"
         )
     body = _Body(data, _PREFIX.size, total)
-    value = _decode_value(body)
+    try:
+        value = _decode_value(body, allow_pickle)
+    except RecursionError:  # pragma: no cover - depth cap fires first
+        raise FrameCorrupt("frame body nests values beyond the recursion limit") from None
     if body.pos != total:
         raise FrameCorrupt(
             f"frame body has {total - body.pos} trailing bytes after its value"
@@ -269,9 +319,16 @@ class FrameDecoder:
     and the socket-level tests.
     """
 
-    def __init__(self, max_frame: int = DEFAULT_MAX_FRAME) -> None:
-        """Create an empty decoder with the given frame-size cap."""
+    def __init__(
+        self, max_frame: int = DEFAULT_MAX_FRAME, allow_pickle: bool = False
+    ) -> None:
+        """Create an empty decoder with the given frame-size cap.
+
+        ``allow_pickle`` mirrors :func:`decode_frame` — leave it off unless
+        the peer is authenticated.
+        """
         self.max_frame = max_frame
+        self.allow_pickle = allow_pickle
         self._buffer = bytearray()
 
     @property
@@ -294,7 +351,9 @@ class FrameDecoder:
             total = _PREFIX.size + length
             if len(self._buffer) < total:
                 return frames
-            value, consumed = decode_frame(bytes(self._buffer), self.max_frame)
+            value, consumed = decode_frame(
+                bytes(self._buffer), self.max_frame, self.allow_pickle
+            )
             del self._buffer[:consumed]
             frames.append(value)
 
@@ -302,7 +361,9 @@ class FrameDecoder:
 # -- asyncio-stream helpers --------------------------------------------------------
 
 async def read_frame(
-    reader: "asyncio.StreamReader", max_frame: int = DEFAULT_MAX_FRAME
+    reader: "asyncio.StreamReader",
+    max_frame: int = DEFAULT_MAX_FRAME,
+    allow_pickle: bool = False,
 ) -> Tuple[Any, int]:
     """Read one frame from ``reader``; returns ``(value, wire_bytes)``.
 
@@ -310,6 +371,7 @@ async def read_frame(
     Raises :class:`ConnectionClosed` on a clean EOF at a frame boundary,
     :class:`FrameTruncated` on EOF mid-frame, :class:`FrameTooLarge` before
     reading an oversized body, and :class:`FrameCorrupt` on a bad body.
+    ``allow_pickle`` mirrors :func:`decode_frame`.
     """
     try:
         prefix = await reader.readexactly(_PREFIX.size)
@@ -328,7 +390,7 @@ async def read_frame(
         raise FrameTruncated(
             f"stream closed after {len(exc.partial)} of {length} body bytes"
         ) from None
-    value, consumed = decode_frame(prefix + body, max_frame)
+    value, consumed = decode_frame(prefix + body, max_frame, allow_pickle)
     return value, consumed
 
 
@@ -350,14 +412,19 @@ def recv_frame(sock, decoder: FrameDecoder, timeout: Optional[float] = None) -> 
     The synchronous-client counterpart of :func:`read_frame` (used by
     :class:`~repro.runtime.net.gateway.GatewayClient` and tests): receives
     chunks until the decoder completes a frame.  Raises
-    :class:`ConnectionClosed` on EOF at a frame boundary and
+    :class:`ConnectionClosed` on EOF at a frame boundary (or on a peer that
+    aborted the connection — a reset while waiting for a reply means the
+    same thing to a request/reply client: no reply is coming) and
     :class:`FrameTruncated` on EOF mid-frame; ``timeout`` (seconds) is
     applied per ``recv`` via the socket's own timeout (``None`` blocks
     indefinitely).
     """
     sock.settimeout(timeout)
     while True:
-        chunk = sock.recv(65536)
+        try:
+            chunk = sock.recv(65536)
+        except ConnectionResetError:
+            raise ConnectionClosed("peer aborted the connection") from None
         if not chunk:
             if decoder.pending_bytes:
                 raise FrameTruncated(

@@ -136,6 +136,9 @@ class IngestGateway:
         self._pending: Dict[str, int] = {}
         self._ledger: Deque[Tuple[str, int]] = deque()
         self._closed = False
+        # Live producer writers (loop-thread access only), so close() can
+        # abort them and a blocked client sees EOF instead of hanging.
+        self._writers: set = set()
         queue.add_take_listener(self._on_take)
         self._loop = asyncio.new_event_loop()
         self._thread = threading.Thread(
@@ -189,12 +192,17 @@ class IngestGateway:
         capacity refuses immediately.  Blocking: waits (bounded by
         ``timeout`` seconds) for quota and capacity together; every queue
         drain re-checks the predicate, so the wait mirrors
-        :meth:`IngestQueue.put`'s condition loop.
+        :meth:`IngestQueue.put`'s condition loop.  :meth:`close` wakes every
+        waiter, and a woken waiter that finds the gateway closed refuses —
+        it must never go back to sleep on a condition nobody will signal
+        again.
         """
         copies = sum(count for _, count in pairs)
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._state:
             while True:
+                if self._closed:
+                    return ("refused", "gateway closed")
                 over_quota = (
                     self.tenant_quota is not None
                     and self._pending.get(tenant, 0) + copies > self.tenant_quota
@@ -230,6 +238,7 @@ class IngestGateway:
     ) -> None:
         """Serve one producer connection until it closes."""
         loop = asyncio.get_running_loop()
+        self._writers.add(writer)
         try:
             try:
                 hello, size = await read_frame(reader)
@@ -273,7 +282,12 @@ class IngestGateway:
                     payload.get("timeout"),
                 )
                 self.wire_bytes += await write_frame(writer, reply)
+        except (ConnectionError, OSError):
+            return  # transport died mid-reply (producer gone or close() abort)
+        except RuntimeError:  # pragma: no cover - close() race
+            return  # executor already shut down under a just-arrived offer
         finally:
+            self._writers.discard(writer)
             try:
                 writer.close()
             except Exception:  # pragma: no cover - transport already gone
@@ -282,20 +296,40 @@ class IngestGateway:
     def close(self) -> None:
         """Stop listening and release the loop thread (idempotent).
 
-        Waiting admissions are woken (their clients see a refusal or
-        timeout); elements already admitted stay in the queue.
+        Waiting admissions are woken and refuse (``_admit`` re-checks the
+        closed flag, so no waiter sleeps forever on a queue nobody drains);
+        established producer connections are aborted, so a client blocked on
+        its reply sees :class:`ConnectionClosed` instead of hanging; the
+        loop's default executor — where admissions block — is shut down
+        before the loop stops, so no executor thread outlives the gateway or
+        stalls interpreter exit.  Elements already admitted stay in the
+        queue.
         """
         if self._closed:
             return
-        self._closed = True
         with self._state:
+            self._closed = True
             self._state.notify_all()
 
         def shutdown() -> None:
             self._server.close()
-            self._loop.stop()
+            # Abort, not close: discard buffered replies and surface a
+            # prompt EOF/reset to producers mid-request.
+            for writer in list(self._writers):
+                transport = writer.transport
+                if transport is not None:
+                    transport.abort()
 
         self._loop.call_soon_threadsafe(shutdown)
+        try:
+            # Runs after shutdown() (FIFO loop scheduling); joins the
+            # executor threads, which _admit's closed-check lets finish.
+            asyncio.run_coroutine_threadsafe(
+                self._loop.shutdown_default_executor(), self._loop
+            ).result(timeout=10)
+        except Exception:  # pragma: no cover - loop already unusable
+            pass
+        self._loop.call_soon_threadsafe(self._loop.stop)
         self._thread.join(timeout=10)
         if not self._thread.is_alive():
             self._loop.close()

@@ -9,6 +9,12 @@ connection.
 
 Wire protocol (control plane → shard server, strict request/reply order)::
 
+    ("auth", token_bytes)            -> no reply  spawn-time shared secret;
+                                                 required first when the
+                                                 server was launched with a
+                                                 token — a missing or wrong
+                                                 token closes the connection
+                                                 without a reply
     ("hello", {shard, num_shards, seed, compiled, superstep, reactions})
         -> ("welcome", {"shard": shard})         membership handshake; the
                                                  server builds its worker and
@@ -36,19 +42,33 @@ connection closes, so the control plane fails loudly instead of hanging.  A
 dropped connection (client abort, network fault) simply ends the handler —
 the control plane observes the EOF on its side as a dead worker.
 
+**Trust boundary.**  The ``hello`` frame ships the reaction tuple as a
+tagged pickle, and ``pickle.loads`` is arbitrary code execution — so a
+spawned server *requires* the ``auth`` preamble before it will decode
+anything pickle-bearing: the backend generates a random token per run and
+hands it to the server through the spawn pipe (never the network), and the
+server compares in constant time.  Until the token matches, frames are
+decoded with ``allow_pickle=False`` (a crafted pickle frame is just a
+:class:`~repro.runtime.net.frames.FramePickleRejected` and a closed
+connection), so any local process that race-connects to the loopback port
+gets nothing.  A failed authentication does not count as the server's one
+control connection — the real control plane can still connect.
+
 :func:`shard_server_main` is the subprocess entry point: it binds an
 ephemeral loopback port, reports the port number back through a
 ``multiprocessing`` pipe, serves until its (single) control connection ends,
 and exits.  :func:`handle_shard_connection` is deliberately spawnable with
-``asyncio.start_server`` inside a test process too, so the protocol logic is
-exercised under coverage without crossing a process boundary.
+``asyncio.start_server`` inside a test process too (no token, so no auth
+preamble), so the protocol logic is exercised under coverage without
+crossing a process boundary.
 """
 
 from __future__ import annotations
 
 import asyncio
+import hmac
 import traceback
-from typing import Any, Tuple
+from typing import Any, Optional, Tuple
 
 from ...multiset.columnar import from_column_batch, to_column_batch
 from ..sharding.routing import RoutingTable
@@ -73,42 +93,63 @@ def _build_worker(config: dict) -> Tuple[ShardWorker, RoutingTable]:
 
 
 async def handle_shard_connection(
-    reader: "asyncio.StreamReader", writer: "asyncio.StreamWriter"
-) -> None:
+    reader: "asyncio.StreamReader",
+    writer: "asyncio.StreamWriter",
+    auth_token: Optional[bytes] = None,
+) -> bool:
     """Serve one control-plane connection until ``stop`` or disconnect.
 
-    The first frame must be the ``hello`` handshake; every later frame is a
+    With an ``auth_token`` set, the first frame must be ``("auth", token)``
+    — decoded pickle-free, compared in constant time, and answered with
+    silence: a wrong or missing token just closes the connection (returns
+    ``False``, so a single-shot server does not count it as its control
+    connection).  Then the ``hello`` handshake, whose reaction tuple is the
+    one pickle-bearing frame of the protocol; every later frame is a
     ``(command, payload)`` request answered in strict order.  Errors are
     reported as ``("error", traceback)`` replies; a dropped connection ends
-    the handler silently (the peer already knows).
+    the handler silently (the peer already knows).  Returns ``True`` once
+    the connection got past authentication.
     """
     worker = None
     try:
+        if auth_token is not None:
+            try:
+                auth, _ = await read_frame(reader)  # allow_pickle=False
+            except FrameError:
+                return False  # hostile or vanished peer; say nothing
+            if (
+                not isinstance(auth, tuple)
+                or len(auth) != 2
+                or auth[0] != "auth"
+                or not isinstance(auth[1], bytes)
+                or not hmac.compare_digest(auth[1], auth_token)
+            ):
+                return False
         try:
-            hello, _ = await read_frame(reader)
+            hello, _ = await read_frame(reader, allow_pickle=True)
         except FrameError:
-            return  # peer vanished before the handshake
+            return True  # peer vanished before the handshake
         command, config = hello
         if command != "hello":
             await write_frame(
                 writer, ("error", f"expected 'hello' handshake, got {command!r}")
             )
-            return
+            return True
         worker, routing = _build_worker(config)
         shard = worker.shard
         reactions = tuple(config["reactions"])
         await write_frame(writer, ("welcome", {"shard": shard}))
         while True:
             try:
-                frame, _ = await read_frame(reader)
+                frame, _ = await read_frame(reader, allow_pickle=True)
             except (ConnectionClosed, FrameError, ConnectionError):
-                return  # control plane dropped us; nothing left to reply to
+                return True  # control plane dropped us; nothing left to reply to
             command, payload = frame
             if command == "stop":
                 worker.close()
                 worker = None
                 await write_frame(writer, ("stopped", shard))
-                return
+                return True
             if command == "load" or command == "ingest":
                 copies = worker.ingest(from_column_batch(payload))
                 await write_frame(writer, ("ok", copies))
@@ -163,6 +204,7 @@ async def handle_shard_connection(
             await write_frame(writer, ("error", traceback.format_exc()))
         except Exception:  # pragma: no cover - peer gone while reporting
             pass
+        return True
     finally:
         if worker is not None:
             worker.close()
@@ -172,22 +214,28 @@ async def handle_shard_connection(
             pass
 
 
-async def serve_one_connection(port_callback) -> None:
+async def serve_one_connection(
+    port_callback, auth_token: Optional[bytes] = None
+) -> None:
     """Serve shard connections on an ephemeral loopback port until one ends.
 
     ``port_callback`` receives the bound port once the socket is listening.
-    The server exits when its first completed connection ends — the control
-    plane holds exactly one connection per shard server and respawns a fresh
-    process instead of reconnecting, so a single-shot lifetime keeps process
-    management unambiguous.
+    The server exits when its first completed *authenticated* connection
+    ends — the control plane holds exactly one connection per shard server
+    and respawns a fresh process instead of reconnecting, so a single-shot
+    lifetime keeps process management unambiguous, and a stranger failing
+    the ``auth_token`` preamble cannot end the server's lifetime out from
+    under the real control plane.
     """
     done = asyncio.Event()
 
     async def handler(reader: Any, writer: Any) -> None:
+        served = False
         try:
-            await handle_shard_connection(reader, writer)
+            served = await handle_shard_connection(reader, writer, auth_token)
         finally:
-            done.set()
+            if served:
+                done.set()
 
     server = await asyncio.start_server(handler, "127.0.0.1", 0)
     try:
@@ -198,16 +246,18 @@ async def serve_one_connection(port_callback) -> None:
         await server.wait_closed()
 
 
-def shard_server_main(conn: Any) -> None:
+def shard_server_main(conn: Any, auth_token: Optional[bytes] = None) -> None:
     """Shard-server subprocess entry: bind, report the port, serve, exit.
 
     ``conn`` is the write end of a ``multiprocessing.Pipe``; the bound
     ephemeral port is sent through it (then the pipe is closed) so the parent
-    can connect without any port-assignment race.
+    can connect without any port-assignment race.  ``auth_token`` arrives
+    through the spawn arguments — the same trusted channel — and gates the
+    socket (see the module docstring's trust boundary).
     """
 
     def report(port: int) -> None:
         conn.send(port)
         conn.close()
 
-    asyncio.run(serve_one_connection(report))
+    asyncio.run(serve_one_connection(report, auth_token))

@@ -29,9 +29,11 @@ from repro.multiset import Element
 from repro.multiset.columnar import from_column_batch, to_column_batch
 from repro.runtime.net.frames import (
     DEFAULT_MAX_FRAME,
+    MAX_DEPTH,
     FrameCorrupt,
     FrameDecoder,
     FrameError,
+    FramePickleRejected,
     FrameTooLarge,
     FrameTruncated,
     decode_frame,
@@ -208,3 +210,65 @@ class TestIncrementalDecoder:
         assert decoder.pending_bytes == half
         assert decoder.feed(stream[half:]) == [value]
         assert decoder.pending_bytes == 0
+
+
+def _frame(body: bytes) -> bytes:
+    """Wrap a handcrafted body in its length prefix."""
+    return struct.pack(">I", len(body)) + body
+
+
+class TestHostileBodies:
+    """Adversarial inputs a network-facing decoder must refuse, typed.
+
+    ``pickle.loads`` on attacker bytes is arbitrary code execution, so the
+    pickle tag is opt-in per decode call and *off* by default; the other
+    cases pin that well-formed-looking bodies (unhashable dict keys, nesting
+    bombs) stay inside the :class:`FrameError` family instead of leaking
+    ``TypeError``/``RecursionError`` past the transport's exception mapping.
+    """
+
+    def test_pickle_tag_rejected_by_default(self):
+        data = encode_frame(frozenset({1, 2}))  # no native tag: rides pickle
+        with pytest.raises(FramePickleRejected):
+            decode_frame(data)
+        with pytest.raises(FramePickleRejected):
+            FrameDecoder().feed(data)
+
+    def test_pickle_tag_accepted_on_the_trusted_channel(self):
+        data = encode_frame(frozenset({1, 2}))
+        value, consumed = decode_frame(data, allow_pickle=True)
+        assert value == frozenset({1, 2})
+        assert consumed == len(data)
+        assert FrameDecoder(allow_pickle=True).feed(data) == [frozenset({1, 2})]
+
+    def test_pickle_nested_inside_a_container_is_still_rejected(self):
+        data = encode_frame({"batch": [frozenset({3})]})
+        with pytest.raises(FramePickleRejected):
+            decode_frame(data)
+
+    def test_unhashable_dict_key_is_frame_corrupt(self):
+        # A map whose single key is an (empty) list: well-formed on the wire,
+        # unhashable in Python.  {[]: None} cannot be encoded, only crafted.
+        body = b"m" + struct.pack(">I", 1) + b"l" + struct.pack(">I", 0) + b"N"
+        with pytest.raises(FrameCorrupt):
+            decode_frame(_frame(body))
+
+    def test_nesting_bomb_is_frame_corrupt_not_recursion_error(self):
+        body = (b"l" + struct.pack(">I", 1)) * (MAX_DEPTH + 8) + b"N"
+        with pytest.raises(FrameCorrupt):
+            decode_frame(_frame(body))
+
+    def test_encoder_enforces_the_same_depth_cap(self):
+        """Symmetric caps: everything encodable stays decodable."""
+        nested = None
+        for _ in range(MAX_DEPTH + 8):
+            nested = [nested]
+        with pytest.raises(FrameError):
+            encode_frame(nested)
+
+    def test_values_at_the_depth_cap_round_trip(self):
+        nested = None
+        for _ in range(MAX_DEPTH):
+            nested = [nested]
+        value, _ = decode_frame(encode_frame(nested))
+        assert value == nested

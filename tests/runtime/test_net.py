@@ -206,6 +206,69 @@ class TestServerProtocol:
 
         asyncio.run(scenario())
 
+    def test_wrong_auth_token_is_refused_silently(self):
+        """A spawned-style server answers a bad token with a closed socket.
+
+        The failed attempt must not end the single-shot server's lifetime:
+        the real control plane authenticates afterwards and is served.
+        """
+        program = sum_reduction()
+
+        async def scenario():
+            ports = []
+            task = asyncio.ensure_future(
+                serve_one_connection(ports.append, auth_token=b"s3cret")
+            )
+            while not ports:
+                await asyncio.sleep(0.01)
+
+            reader, writer = await asyncio.open_connection("127.0.0.1", ports[0])
+            with pytest.raises((ConnectionClosed, ConnectionError)):
+                await write_frame(writer, ("auth", b"wrong"))
+                await write_frame(writer, ("hello", _hello_config(program)))
+                await asyncio.wait_for(read_frame(reader), timeout=10)
+            writer.close()
+            assert not task.done()  # stranger did not consume the lifetime
+
+            reader, writer = await asyncio.open_connection("127.0.0.1", ports[0])
+            await write_frame(writer, ("auth", b"s3cret"))
+            await write_frame(writer, ("hello", _hello_config(program)))
+            welcome, _ = await asyncio.wait_for(read_frame(reader), timeout=10)
+            assert welcome == ("welcome", {"shard": 0})
+            await write_frame(writer, ("stop", None))
+            await read_frame(reader)
+            writer.close()
+            await asyncio.wait_for(task, timeout=10)
+
+        asyncio.run(scenario())
+
+    def test_pickled_hello_never_reaches_an_unauthenticated_decoder(self):
+        """REVIEW: the pickle-bearing hello is worthless without the token.
+
+        A local process that race-connects and fires the handshake directly
+        (its reactions tuple rides a pickle — the RCE vector) must get a
+        closed connection, not a ``pickle.loads`` of its payload.
+        """
+        program = sum_reduction()
+
+        async def scenario():
+            ports = []
+            task = asyncio.ensure_future(
+                serve_one_connection(ports.append, auth_token=b"s3cret")
+            )
+            while not ports:
+                await asyncio.sleep(0.01)
+            reader, writer = await asyncio.open_connection("127.0.0.1", ports[0])
+            with pytest.raises((ConnectionClosed, ConnectionError)):
+                await write_frame(writer, ("hello", _hello_config(program)))
+                await asyncio.wait_for(read_frame(reader), timeout=10)
+            writer.close()
+            task.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await task
+
+        asyncio.run(scenario())
+
 
 @fork_only
 class TestNetworkBackend:
@@ -341,6 +404,26 @@ class TestNetworkBackend:
         assert _reply_timeout() == 7.5
         monkeypatch.delenv("REPRO_NET_TIMEOUT")
         assert _reply_timeout() == 300.0
+
+    def test_respawn_never_forks_the_threaded_backend(self):
+        """REVIEW: respawn launches servers while the loop thread is live.
+
+        The backend must therefore use a thread-safe start method (fork of a
+        multi-threaded parent is deprecated and deadlock-prone) — and a
+        respawn under the running loop must produce a working server.
+        """
+        program = sum_reduction()
+        reactions = list(program.reactions)
+        backend = NetworkBackend(reactions, 1, RoutingTable(reactions, 1), seed=2)
+        try:
+            assert backend._context.get_start_method() in ("forkserver", "spawn")
+            backend.load(partition_counts(values_multiset([1, 2]), 1))
+            backend.respawn([0])  # loop + executor threads are running now
+            assert backend.dead_shards() == []
+            report = backend.superstep_all()[0]
+            assert report.stable  # fresh (empty) worker answers the protocol
+        finally:
+            backend.stop()
 
 
 class TestIngestQueueBatchAdmission:
@@ -536,6 +619,76 @@ class TestGatewayAdmissionControl:
         finally:
             gateway.close()
             queue.close()
+
+    def test_close_wakes_a_blocked_put_instead_of_stranding_it(self):
+        """REVIEW: close() must not leave a waiter asleep on a full queue.
+
+        A blocking put with no timeout parks an executor thread on the
+        admission condition; close() has to wake it into a refusal (or a
+        dropped connection — both surface as ``ValueError`` client-side),
+        join the executor, and release the loop thread.
+        """
+        queue = IngestQueue(capacity=1)
+        gateway = IngestGateway(queue)
+        filler = GatewayClient(gateway.port)
+        blocked = GatewayClient(gateway.port)
+        outcome = []
+        try:
+            assert filler.put(Element(1, "x")) == 1  # queue is now full
+
+            def producer():
+                try:
+                    outcome.append(blocked.put(Element(2, "x"), timeout=None))
+                except ValueError as exc:  # ConnectionClosed is a ValueError too
+                    outcome.append(exc)
+
+            thread = threading.Thread(target=producer)
+            thread.start()
+            time.sleep(0.2)  # let the offer reach the admission wait
+            gateway.close()
+            thread.join(timeout=10)
+            assert not thread.is_alive()  # woken, not stranded
+            assert len(outcome) == 1
+            assert isinstance(outcome[0], ValueError)  # refused or cut, not admitted
+            assert not gateway._thread.is_alive()
+            assert queue.pending == 1  # the blocked element was never admitted
+        finally:
+            filler.close()
+            blocked.close()
+            gateway.close()
+            queue.close()
+
+    def test_pickle_bearing_offer_is_refused_not_loaded(self):
+        """REVIEW: the gateway must never unpickle bytes off the wire."""
+        import socket
+
+        from repro.runtime.net.frames import (
+            FrameDecoder,
+            FrameError,
+            encode_frame,
+            recv_frame,
+        )
+
+        queue = IngestQueue()
+        gateway = IngestGateway(queue)
+        try:
+            sock = socket.create_connection(("127.0.0.1", gateway.port), timeout=10)
+            decoder = FrameDecoder()
+            sock.sendall(encode_frame(("hello", {"tenant": "evil"})))
+            kind, _ = recv_frame(sock, decoder, timeout=10)
+            assert kind == "welcome"
+            # a column batch whose value column smuggles a pickled object
+            batch = ([frozenset({1})], ["x"], [0], [1])
+            sock.sendall(
+                encode_frame(("offer", {"batch": batch, "block": False, "timeout": None}))
+            )
+            with pytest.raises((FrameError, OSError)):
+                recv_frame(sock, decoder, timeout=10)  # connection cut, no reply
+            sock.close()
+        finally:
+            gateway.close()
+            queue.close()
+        assert gateway.injected == 0  # nothing was admitted, nothing executed
 
     def test_direct_gateway_ledger_tracks_queue_drains(self):
         queue = IngestQueue(capacity=10)
