@@ -25,6 +25,14 @@ from .parallelism import (
     graph_width,
     measured_parallelism,
 )
+from .reaction_graph import (
+    DependencyEdge,
+    DependencyGraph,
+    dependency_graph,
+    flow_weights,
+    hot_label_report,
+    to_networkx,
+)
 from .report import format_dict, format_profile, format_table, section
 from .sharding import (
     ShardLoadReport,
@@ -43,4 +51,6 @@ __all__ = [
     "reuse_from_dataflow", "reuse_from_gamma", "run_with_memoization",
     "ReuseStatistics", "MemoizationCache", "MemoizedRunResult",
     "format_table", "format_profile", "format_dict", "section",
+    "dependency_graph", "flow_weights", "hot_label_report", "to_networkx",
+    "DependencyGraph", "DependencyEdge",
 ]

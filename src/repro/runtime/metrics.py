@@ -33,7 +33,15 @@ class ParallelRunMetrics:
 
     @classmethod
     def from_profile(cls, profile: Sequence[int], num_pes: Optional[int] = None) -> "ParallelRunMetrics":
-        profile = [int(width) for width in profile if width > 0]
+        """Build metrics from a per-step width profile, stall steps included.
+
+        A zero-width entry is a *stall*: a wall step where no PE did useful
+        work.  Stalls count toward ``steps`` (keeping the field contract
+        ``steps == len(profile)``) but contribute no ``work``, so speedup and
+        utilization honestly reflect idle capacity instead of being inflated
+        by silently dropping the idle steps.
+        """
+        profile = [int(width) for width in profile]
         return cls(profile=profile, num_pes=num_pes, steps=len(profile), work=sum(profile))
 
     @property
@@ -72,6 +80,13 @@ def speedup_curve(run, pe_counts: Sequence[int]) -> Dict[int, float]:
 
     ``run`` is a callable ``num_pes -> ParallelRunMetrics`` (typically a
     partial application of one of the simulators); the returned mapping is
-    what the speedup benchmarks print.
+    what the speedup benchmarks print.  Duplicate PE counts are deduplicated
+    explicitly (first occurrence wins, insertion order preserved) rather
+    than re-simulated and silently collapsed into one dict key.
     """
-    return {int(p): run(int(p)).speedup for p in pe_counts}
+    curve: Dict[int, float] = {}
+    for count in pe_counts:
+        count = int(count)
+        if count not in curve:
+            curve[count] = run(count).speedup
+    return curve

@@ -197,6 +197,12 @@ class IngestGateway:
         it must never go back to sleep on a condition nobody will signal
         again.
         """
+        if block and timeout is not None and timeout < 0:
+            # A lapsed deadline (raw clients can ship one) is an immediate
+            # timeout refusal: nothing is attempted, so the producer can
+            # rely on "timeout == not admitted" even for negative waits.
+            self.timeouts += 1
+            return ("timeout", timeout)
         copies = sum(count for _, count in pairs)
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._state:
@@ -393,9 +399,18 @@ class GatewayClient:
 
         Raises ``TimeoutError`` when ``timeout`` seconds pass without
         capacity (the elements were *not* admitted) and ``ValueError`` when
-        the stream has closed.
+        the stream has closed.  A negative ``timeout`` — a deadline that
+        lapsed before the call — raises ``TimeoutError`` immediately
+        *without sending the offer*: the old behavior forwarded the negative
+        remainder into the socket timeout, which blew up client-side after
+        the frame was already on the wire, so the batch could be admitted
+        while the producer saw an error.
         """
         pairs = _coerce_pairs(elements)
+        if timeout is not None and timeout < 0:
+            raise TimeoutError(
+                f"no gateway capacity within {timeout}s (deadline already lapsed)"
+            )
         wire_timeout = None if timeout is None else timeout + self._timeout
         kind, payload = self._request(
             ("offer", {"batch": to_column_batch(pairs), "block": True, "timeout": timeout}),

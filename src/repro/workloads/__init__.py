@@ -1,5 +1,6 @@
 """Workload generators and the paper's own examples/listings."""
 
+from .chemistry import WASTE_LABEL, ChemistryWorkload, PoolFeeder, make_soup, multiset_mass
 from .classic import CLASSIC_WORKLOADS, ClassicWorkload, make_workload
 from .expressions import ExpressionSpec, expression_sweep, random_expression_graph
 from .loops import (
@@ -19,6 +20,13 @@ from .paper_examples import (
     example1_graph,
     example2_expected_result,
     example2_graph,
+)
+from .stoichiometry import (
+    NetworkReaction,
+    ReactionNetwork,
+    condensation_network,
+    engelhardt_network,
+    species_multiset,
 )
 from .paper_listings import (
     ALL_LISTINGS,
@@ -46,4 +54,8 @@ __all__ = [
     "LoopKernel", "accumulation", "factorial", "fibonacci", "gcd_loop", "triangular",
     "LOOP_KERNELS",
     "ClassicWorkload", "make_workload", "CLASSIC_WORKLOADS",
+    # reaction-network pack (chemistry soups + stoichiometric models)
+    "ChemistryWorkload", "PoolFeeder", "make_soup", "multiset_mass", "WASTE_LABEL",
+    "NetworkReaction", "ReactionNetwork", "condensation_network",
+    "engelhardt_network", "species_multiset",
 ]

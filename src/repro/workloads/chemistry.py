@@ -1,0 +1,347 @@
+"""Seeded chemistry soups: terminating, mass-conserving, non-confluent.
+
+The conformance fuzz suite needs confluent programs because it compares
+stable multisets across backends.  Chemistry soups deliberately drop the
+confluence requirement — different schedules reach different stable states —
+and replace the oracle with a **conserved quantity**: every reaction family
+preserves total *mass* (the sum of ``value * count`` over all elements,
+waste included), so any backend's final multiset must carry exactly the
+initial mass.  That makes the soups the workload of choice for the
+invariant-based conformance rows and for the load-balance benchmarks, where
+a skewed soup exposes placement quality.
+
+A soup is a union of independent *blocks*.  Each block owns a chain of
+species labels and draws reactions from four families (``N`` = species per
+block, species position ``i`` in ``0..N-1``):
+
+* **condense** — ``a@s_i, b@s_j -> (a+b)@s_k``: mass equal, molecule count
+  strictly down.  A condense chain over adjacent species joins the whole
+  block into one routing group (shared footprints), which keeps blocks
+  migratable as units under elasticity.
+* **transform** — ``x@s_i -> x@s_j`` with ``j > i``: mass and count equal,
+  species position strictly up.
+* **catalytic** — ``c@s_i, x@s_j -> c@s_i, x@s_k`` with ``k > j``: the
+  catalyst survives, the substrate moves up-chain.
+* **decay** — ``x@s_i -> (x-1)@s_i, 1@waste`` guarded by ``x > T`` with
+  ``T >= 1``: non-waste mass strictly down, total mass preserved (the unit
+  lands on the inert waste label no reaction consumes).
+
+Termination follows from the lexicographic potential (non-waste mass,
+molecule count, sum of ``N - position``): every family strictly decreases
+it, and element values never drop below 1.
+
+:class:`PoolFeeder` replays a soup's molecule pool as a streamed injection
+schedule, either directly into a :class:`~repro.api.StreamingGammaRuntime`
+or over the wire through an ingestion gateway, so the same workload drives
+batch, streaming, and network-fed conformance rows.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from ..gamma.expr import BinOp, Compare, Const, Var
+from ..gamma.pattern import ElementTemplate, pattern, template
+from ..gamma.program import GammaProgram
+from ..gamma.reaction import Branch, Reaction
+from ..multiset.element import Element
+from ..multiset.multiset import Multiset
+from ..multiset.partition import home_of
+
+__all__ = ["ChemistryWorkload", "PoolFeeder", "make_soup", "WASTE_LABEL"]
+
+#: Inert label decay routes unit masses to; no soup reaction consumes it.
+WASTE_LABEL = "waste"
+
+
+def multiset_mass(multiset: Multiset) -> int:
+    """Total mass of a multiset: ``sum(value * count)`` over all elements."""
+    return sum(element.value * count for element, count in multiset.counts().items())
+
+
+@dataclass(frozen=True)
+class ChemistryWorkload:
+    """A generated soup: program, molecule pool, and its conserved mass."""
+
+    name: str
+    program: GammaProgram
+    initial: Multiset
+    #: Non-waste species labels, grouped per block in chain order.
+    species: Tuple[Tuple[str, ...], ...]
+    waste_label: str
+    #: Mass of ``initial`` — the value every execution must preserve.
+    initial_mass: int
+
+    def mass(self, multiset: Multiset) -> int:
+        """Mass of ``multiset`` under this workload's invariant."""
+        return multiset_mass(multiset)
+
+    def all_species(self) -> Tuple[str, ...]:
+        """Every non-waste species label, flattened across blocks."""
+        return tuple(label for block in self.species for label in block)
+
+
+def _condense(name: str, left: str, right: str, target: str) -> Reaction:
+    """``a@left, b@right -> (a+b)@target`` — mass equal, count down."""
+    return Reaction(
+        name=name,
+        replace=[pattern("a", left, "t1"), pattern("b", right, "t2")],
+        branches=[
+            Branch(
+                productions=[
+                    ElementTemplate(
+                        value=BinOp("+", Var("a"), Var("b")),
+                        label=Const(target),
+                        tag=Const(0),
+                    )
+                ]
+            )
+        ],
+    )
+
+
+def _transform(name: str, source: str, target: str) -> Reaction:
+    """``x@source -> x@target`` — position strictly up the block chain."""
+    return Reaction(
+        name=name,
+        replace=[pattern("a", source, "t")],
+        branches=[Branch(productions=[template("a", target, Const(0))])],
+    )
+
+
+def _catalytic(name: str, catalyst: str, substrate: str, target: str) -> Reaction:
+    """``c@catalyst, x@substrate -> c@catalyst, x@target`` (substrate up-chain)."""
+    return Reaction(
+        name=name,
+        replace=[pattern("c", catalyst, "t1"), pattern("x", substrate, "t2")],
+        branches=[
+            Branch(
+                productions=[
+                    template("c", catalyst, Const(0)),
+                    template("x", target, Const(0)),
+                ]
+            )
+        ],
+    )
+
+
+def _decay(name: str, source: str, waste: str, threshold: int) -> Reaction:
+    """``x@source -> (x-1)@source, 1@waste where x > threshold`` (mass moves)."""
+    return Reaction(
+        name=name,
+        replace=[pattern("a", source, "t")],
+        branches=[
+            Branch(
+                productions=[
+                    ElementTemplate(
+                        value=BinOp("-", Var("a"), Const(1)),
+                        label=Const(source),
+                        tag=Const(0),
+                    ),
+                    template(Const(1), waste, Const(0)),
+                ]
+            )
+        ],
+        guard=Compare(">", Var("a"), Const(threshold)),
+    )
+
+
+def make_soup(
+    blocks: int = 2,
+    species_per_block: int = 4,
+    molecules: int = 32,
+    seed: int = 0,
+    value_low: int = 1,
+    value_high: int = 9,
+    skew: float = 0.0,
+    decay_threshold: int = 2,
+    label_base: Optional[Callable[[int], str]] = None,
+    element_home: Optional[Tuple[int, int]] = None,
+) -> ChemistryWorkload:
+    """Generate a seeded chemistry soup.
+
+    Parameters
+    ----------
+    blocks, species_per_block:
+        Number of independent reaction blocks and species per block
+        (``species_per_block >= 2`` so the condense chain exists).
+    molecules, value_low, value_high:
+        Pool size and the value range molecules draw from (values must stay
+        ``>= 1`` so decay never drops a value below 1).
+    seed:
+        Drives every random choice; equal seeds give equal workloads.
+    skew:
+        Probability mass routed to block 0: each molecule lands in block 0
+        with probability ``skew`` and uniformly otherwise, so ``skew=0.9``
+        yields the hot-block pools the balance benchmarks need.
+    decay_threshold:
+        Guard constant ``T >= 1`` of the decay family.
+    label_base:
+        Block index -> label prefix (default ``b{index}``); the benchmarks
+        override it to steer routing-group homes.
+    element_home:
+        Optional ``(shard, num_shards)``: bump each molecule's value until
+        its hash placement under
+        :func:`~repro.multiset.partition.home_of` is ``shard``, so a
+        benchmark can pin the whole pool onto one shard.
+    """
+    if blocks < 1:
+        raise ValueError("blocks must be at least 1")
+    if species_per_block < 2:
+        raise ValueError("species_per_block must be at least 2")
+    if value_low < 1:
+        raise ValueError("value_low must be at least 1 (decay keeps values >= 1)")
+    if value_high < value_low:
+        raise ValueError("value_high must be >= value_low")
+    if not 0.0 <= skew <= 1.0:
+        raise ValueError("skew must be within [0, 1]")
+    if decay_threshold < 1:
+        raise ValueError("decay_threshold must be at least 1")
+    base = label_base if label_base is not None else (lambda index: f"b{index}")
+    rng = random.Random(seed)
+
+    species: List[Tuple[str, ...]] = []
+    reactions: List[Reaction] = []
+    for block in range(blocks):
+        labels = tuple(f"{base(block)}s{i}" for i in range(species_per_block))
+        species.append(labels)
+        # The condense chain: adjacent species react, joining the block's
+        # labels into one routing group; targets are free (mass conserves
+        # regardless), which is what makes the soup non-confluent.
+        for i in range(species_per_block - 1):
+            target = labels[rng.randrange(species_per_block)]
+            reactions.append(
+                _condense(f"B{block}_condense{i}", labels[i], labels[i + 1], target)
+            )
+        for index in range(rng.randint(1, 2)):
+            i = rng.randrange(species_per_block - 1)
+            j = rng.randrange(i + 1, species_per_block)
+            reactions.append(
+                _transform(f"B{block}_transform{index}", labels[i], labels[j])
+            )
+        if species_per_block >= 3 and rng.random() < 0.75:
+            j = rng.randrange(species_per_block - 1)
+            k = rng.randrange(j + 1, species_per_block)
+            catalyst = labels[rng.randrange(species_per_block)]
+            reactions.append(
+                _catalytic(f"B{block}_catalytic0", catalyst, labels[j], labels[k])
+            )
+        decay_source = labels[rng.randrange(species_per_block)]
+        reactions.append(
+            _decay(f"B{block}_decay0", decay_source, WASTE_LABEL, decay_threshold)
+        )
+
+    pool = Multiset()
+    for _ in range(molecules):
+        if blocks > 1 and rng.random() < skew:
+            block = 0
+        else:
+            block = rng.randrange(blocks)
+        labels = species[block]
+        label = labels[rng.randrange(len(labels))]
+        value = rng.randint(value_low, value_high)
+        element = Element(value=value, label=label, tag=0)
+        if element_home is not None:
+            shard, num_shards = element_home
+            while home_of(element, num_shards) != shard:
+                element = Element(value=element.value + 1, label=label, tag=0)
+        pool.add(element)
+
+    program = GammaProgram(reactions, name=f"soup_seed{seed}")
+    return ChemistryWorkload(
+        name=f"chemistry_soup(blocks={blocks}, species={species_per_block}, "
+        f"molecules={molecules}, seed={seed})",
+        program=program,
+        initial=pool,
+        species=tuple(species),
+        waste_label=WASTE_LABEL,
+        initial_mass=multiset_mass(pool),
+    )
+
+
+class PoolFeeder:
+    """Replays a soup's molecule pool as a continuously-fed stream.
+
+    The pool is shuffled (seeded), split into a held-back starting multiset
+    plus fixed-size injection batches, and offered to a streaming runtime —
+    directly (:meth:`feed`) or through an ingestion gateway over a real
+    socket (:meth:`feed_via_gateway`).  :meth:`batch_union` reconstructs the
+    batch-equivalent input, so invariant checks can compare a streamed run
+    against the mass of the full pool.
+    """
+
+    def __init__(
+        self,
+        workload: ChemistryWorkload,
+        batch_size: int = 8,
+        hold_back: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        if not 0.0 <= hold_back <= 1.0:
+            raise ValueError("hold_back must be within [0, 1]")
+        self.workload = workload
+        self.batch_size = batch_size
+        elements: List[Element] = list(workload.initial)
+        random.Random(seed).shuffle(elements)
+        held = int(len(elements) * hold_back)
+        self.initial = Multiset(elements[:held])
+        self._streamed = elements[held:]
+        self._batches = tuple(
+            tuple(self._streamed[start : start + batch_size])
+            for start in range(0, len(self._streamed), batch_size)
+        )
+
+    def schedule(self) -> Tuple[Tuple[Element, ...], ...]:
+        """The injection batches, in feeding order."""
+        return self._batches
+
+    def elements(self) -> List[Element]:
+        """All streamed elements, flattened in feeding order."""
+        return list(self._streamed)
+
+    def injected_mass(self) -> int:
+        """Mass of the streamed elements (pool mass minus the held-back part)."""
+        return sum(element.value for element in self._streamed)
+
+    def batch_union(self) -> Multiset:
+        """Held-back multiset plus every streamed element — the full pool."""
+        union = self.initial.copy()
+        for element in self._streamed:
+            union.add(element)
+        return union
+
+    def feed(self, runtime: Any) -> Any:
+        """Drive ``runtime`` (a streaming runtime) with the scripted schedule."""
+        return runtime.run(self.initial.copy(), schedule=self.schedule())
+
+    def feed_via_gateway(self, runtime: Any, tenant: str = "feeder") -> Any:
+        """Drive ``runtime`` through its socket gateway, one put per batch.
+
+        Serves the runtime's gateway, connects a
+        :class:`~repro.runtime.net.gateway.GatewayClient`, and alternates
+        blocking puts with pumps until the pool is exhausted, then drains.
+        The runtime is closed before returning (matching :meth:`feed`, which
+        delegates to ``runtime.run``).
+        """
+        from ..runtime.net.gateway import GatewayClient
+
+        gateway = runtime.serve_gateway()
+        client = GatewayClient(gateway.port, tenant=tenant)
+        try:
+            runtime.start(self.initial.copy())
+            runtime.pump()
+            for batch in self._batches:
+                if batch:
+                    client.put(list(batch))
+                runtime.pump()
+            runtime.close_stream()
+            while not runtime.drained:
+                runtime.pump()
+            return runtime.result()
+        finally:
+            client.close()
+            runtime.close()

@@ -90,7 +90,10 @@ def make_workload(name: str, size: int = 32, seed: int = 0) -> ClassicWorkload:
         return ClassicWorkload(
             name, remove_duplicates(), values_multiset(values), sorted(set(values))
         )
-    raise KeyError(f"unknown classic workload {name!r}")
+    raise ValueError(
+        f"unknown classic workload {name!r}; "
+        f"valid names: {', '.join(CLASSIC_WORKLOADS)}"
+    )
 
 
 #: Names accepted by :func:`make_workload`, in benchmark order.

@@ -1,0 +1,370 @@
+"""Stoichiometric reaction networks and their conserved quantities.
+
+Chemical reaction networks give the reproduction a workload family whose
+correctness is checkable on *every* backend even where exact stable multisets
+differ: a reaction network carries **conserved quantities** (mass, charge,
+moiety totals) that any schedule must preserve, so non-confluent programs —
+out of reach for the stable-multiset differential of the conformance suite —
+still get a machine-checkable oracle.
+
+The module has three layers:
+
+* :class:`NetworkReaction` / :class:`ReactionNetwork` — a plain stoichiometric
+  model: species, reactions with integer coefficients, and the stoichiometric
+  matrix ``S`` (species x reactions, net production per firing).
+* **Conservation analysis** — :meth:`ReactionNetwork.conserved_quantities`
+  derives a basis of the left null space of ``S`` (vectors ``y`` with
+  ``y^T S = 0``) by exact Gauss-Jordan elimination over ``Fraction``, scaled
+  to primitive integer vectors.  :meth:`ReactionNetwork.invariant_value`
+  evaluates such a vector against a runtime multiset, which is what the
+  invariant-based conformance rows assert before/after execution.
+* **Gamma translation** — :meth:`ReactionNetwork.to_gamma_program` maps each
+  network reaction to a Gamma reaction consuming one element per reactant
+  copy and producing one element per product copy (species name = element
+  label), the same species-per-label encoding the Signal2RGraph line of work
+  uses for signalling pathways.
+
+Two builders ship ready-made networks: :func:`engelhardt_network` (a mouse
+olfactory signalling pathway encoded as weighted edges, catalytic edges
+marked by weight 1) and :func:`condensation_network` (polymerization
+``s_i + s_j -> s_{i+j}`` — terminating, mass-conserving, and deliberately
+*non-confluent*, the workhorse of the sharded-backend invariant rows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from math import gcd
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..gamma.expr import Const
+from ..gamma.pattern import pattern, template
+from ..gamma.program import GammaProgram
+from ..gamma.reaction import Branch, Reaction
+from ..multiset.element import Element
+from ..multiset.multiset import Multiset
+
+__all__ = [
+    "NetworkReaction",
+    "ReactionNetwork",
+    "engelhardt_network",
+    "condensation_network",
+    "species_multiset",
+]
+
+
+@dataclass(frozen=True)
+class NetworkReaction:
+    """One reaction of a stoichiometric model.
+
+    ``reactants`` and ``products`` are ``(species, coefficient)`` pairs with
+    positive integer coefficients.  A species may appear on both sides
+    (catalysts have net coefficient zero but still gate the Gamma firing).
+    """
+
+    name: str
+    reactants: Tuple[Tuple[str, int], ...]
+    products: Tuple[Tuple[str, int], ...]
+
+    def __post_init__(self) -> None:
+        for side_name, side in (("reactant", self.reactants), ("product", self.products)):
+            for species, coefficient in side:
+                if coefficient <= 0:
+                    raise ValueError(
+                        f"reaction {self.name!r}: {side_name} {species!r} has "
+                        f"non-positive coefficient {coefficient}"
+                    )
+
+    def net_coefficient(self, species: str) -> int:
+        """Net production of ``species`` per firing (products minus reactants)."""
+        produced = sum(c for s, c in self.products if s == species)
+        consumed = sum(c for s, c in self.reactants if s == species)
+        return produced - consumed
+
+
+@dataclass(frozen=True)
+class ReactionNetwork:
+    """A set of species and the stoichiometric reactions over them."""
+
+    species: Tuple[str, ...]
+    reactions: Tuple[NetworkReaction, ...]
+    name: str = "network"
+    _index: Dict[str, int] = field(init=False, repr=False, compare=False, default=None)
+
+    def __post_init__(self) -> None:
+        if len(set(self.species)) != len(self.species):
+            raise ValueError("species names must be unique")
+        known = set(self.species)
+        for reaction in self.reactions:
+            for species, _ in (*reaction.reactants, *reaction.products):
+                if species not in known:
+                    raise ValueError(
+                        f"reaction {reaction.name!r} references unknown "
+                        f"species {species!r}"
+                    )
+        object.__setattr__(self, "_index", {s: i for i, s in enumerate(self.species)})
+
+    # -- construction ---------------------------------------------------------------
+    @classmethod
+    def from_weighted_edges(
+        cls,
+        edges: Iterable[Tuple[int, int, int, int]],
+        names: Dict[int, str],
+        name: str = "network",
+    ) -> "ReactionNetwork":
+        """Build a network from ``(source, target, weight, reaction_id)`` edges.
+
+        The encoding follows the weighted reaction graphs of the signalling
+        literature (Signal2RGraph): edges sharing a ``reaction_id`` form one
+        reaction whose reactants are the distinct sources and whose products
+        are the distinct targets.  Weight 1 marks a *catalytic* edge — its
+        source is re-produced by the reaction (net coefficient zero), any
+        other weight consumes the source.
+        """
+        grouped: Dict[int, List[Tuple[int, int, int]]] = {}
+        order: List[int] = []
+        for source, target, weight, reaction_id in edges:
+            if reaction_id not in grouped:
+                grouped[reaction_id] = []
+                order.append(reaction_id)
+            grouped[reaction_id].append((source, target, weight))
+        species: List[str] = []
+        for node in sorted(names):
+            if names[node] not in species:
+                species.append(names[node])
+        reactions: List[NetworkReaction] = []
+        for reaction_id in order:
+            group = grouped[reaction_id]
+            reactant_counts: Dict[str, int] = {}
+            product_counts: Dict[str, int] = {}
+            for source, target, weight in group:
+                source_name, target_name = names[source], names[target]
+                if source_name not in reactant_counts:
+                    reactant_counts[source_name] = 1
+                product_counts[target_name] = product_counts.get(target_name, 0) + 1
+                if weight == 1 and source_name not in product_counts:
+                    product_counts[source_name] = 1
+            reactions.append(
+                NetworkReaction(
+                    name=f"r{reaction_id}",
+                    reactants=tuple(reactant_counts.items()),
+                    products=tuple(product_counts.items()),
+                )
+            )
+        return cls(species=tuple(species), reactions=tuple(reactions), name=name)
+
+    # -- stoichiometry --------------------------------------------------------------
+    def stoichiometric_matrix(self) -> List[List[int]]:
+        """``S[i][k]`` = net production of species ``i`` by reaction ``k``."""
+        return [
+            [reaction.net_coefficient(species) for reaction in self.reactions]
+            for species in self.species
+        ]
+
+    def conserved_quantities(self) -> List[Tuple[int, ...]]:
+        """A basis of conservation vectors, as primitive integer tuples.
+
+        A vector ``y`` (one entry per species) is conserved iff
+        ``y^T S = 0`` — equivalently ``S^T y = 0`` — so the basis is the
+        kernel of ``S^T``, computed by exact Gauss-Jordan elimination over
+        :class:`~fractions.Fraction`.  Each basis vector is scaled to
+        primitive integers (multiplied by the LCM of denominators, divided
+        by the GCD, sign fixed so the first nonzero entry is positive).
+        """
+        transpose = [
+            [Fraction(reaction.net_coefficient(species)) for species in self.species]
+            for reaction in self.reactions
+        ]
+        return [_primitive(vector) for vector in _kernel(transpose, len(self.species))]
+
+    def invariant_value(self, vector: Sequence[int], multiset: Multiset) -> int:
+        """Evaluate a conservation vector against a runtime multiset.
+
+        The value is ``sum(vector[i] * count_of(species[i]))`` over label
+        counts — the runtime encoding puts the species name in the element
+        *label*, so element values and tags do not participate.
+        """
+        if len(vector) != len(self.species):
+            raise ValueError(
+                f"vector has {len(vector)} entries for {len(self.species)} species"
+            )
+        counts = multiset.label_counts()
+        return sum(
+            coefficient * counts.get(species, 0)
+            for coefficient, species in zip(vector, self.species)
+        )
+
+    def invariant_values(self, multiset: Multiset) -> Tuple[int, ...]:
+        """All conserved-quantity values of ``multiset``, in basis order."""
+        return tuple(
+            self.invariant_value(vector, multiset)
+            for vector in self.conserved_quantities()
+        )
+
+    # -- Gamma translation ----------------------------------------------------------
+    def to_gamma_program(self) -> GammaProgram:
+        """Translate the network into a Gamma program over labelled elements.
+
+        Each reaction consumes one element per reactant copy (label = species
+        name, value and tag unconstrained) and produces one unit element per
+        product copy.  Reactions with no reactants cannot be expressed — a
+        Gamma reaction must consume at least one element — and raise
+        ``ValueError``.
+        """
+        gamma_reactions: List[Reaction] = []
+        for reaction in self.reactions:
+            replace = []
+            slot = 0
+            for species, coefficient in reaction.reactants:
+                for _ in range(coefficient):
+                    replace.append(pattern(f"v{slot}", species, f"t{slot}"))
+                    slot += 1
+            if not replace:
+                raise ValueError(
+                    f"reaction {reaction.name!r} has no reactants; Gamma "
+                    f"reactions must consume at least one element"
+                )
+            productions = [
+                template(Const(1), species, Const(0))
+                for species, coefficient in reaction.products
+                for _ in range(coefficient)
+            ]
+            gamma_reactions.append(
+                Reaction(
+                    name=reaction.name,
+                    replace=replace,
+                    branches=[Branch(productions=productions)],
+                )
+            )
+        return GammaProgram(gamma_reactions, name=self.name)
+
+
+def species_multiset(counts: Dict[str, int], value: int = 1) -> Multiset:
+    """A multiset with ``counts[species]`` unit elements per species label."""
+    multiset = Multiset()
+    for species, count in counts.items():
+        if count < 0:
+            raise ValueError(f"negative count {count} for species {species!r}")
+        if count:
+            multiset.add(Element(value=value, label=species, tag=0), count)
+    return multiset
+
+
+# -- exact linear algebra (pure python, no numpy) -------------------------------------
+
+def _kernel(matrix: List[List[Fraction]], columns: int) -> List[List[Fraction]]:
+    """Basis of ``{y : matrix @ y = 0}`` by Gauss-Jordan over Fractions."""
+    rows = [row[:] for row in matrix]
+    pivot_of_column: Dict[int, int] = {}
+    rank = 0
+    for column in range(columns):
+        pivot_row = next(
+            (r for r in range(rank, len(rows)) if rows[r][column] != 0), None
+        )
+        if pivot_row is None:
+            continue
+        rows[rank], rows[pivot_row] = rows[pivot_row], rows[rank]
+        pivot = rows[rank][column]
+        rows[rank] = [entry / pivot for entry in rows[rank]]
+        for r in range(len(rows)):
+            if r != rank and rows[r][column] != 0:
+                factor = rows[r][column]
+                rows[r] = [a - factor * b for a, b in zip(rows[r], rows[rank])]
+        pivot_of_column[column] = rank
+        rank += 1
+    basis: List[List[Fraction]] = []
+    for free in range(columns):
+        if free in pivot_of_column:
+            continue
+        vector = [Fraction(0)] * columns
+        vector[free] = Fraction(1)
+        for column, row in pivot_of_column.items():
+            vector[column] = -rows[row][free]
+        basis.append(vector)
+    return basis
+
+
+def _primitive(vector: List[Fraction]) -> Tuple[int, ...]:
+    """Scale a rational vector to coprime integers, first nonzero positive."""
+    lcm = 1
+    for entry in vector:
+        lcm = lcm * entry.denominator // gcd(lcm, entry.denominator)
+    integers = [int(entry * lcm) for entry in vector]
+    divisor = 0
+    for entry in integers:
+        divisor = gcd(divisor, entry)
+    if divisor > 1:
+        integers = [entry // divisor for entry in integers]
+    first = next((entry for entry in integers if entry != 0), 0)
+    if first < 0:
+        integers = [-entry for entry in integers]
+    return tuple(integers)
+
+
+# -- ready-made networks ---------------------------------------------------------------
+
+#: Node names of the Engelhardt mouse olfactory signalling pathway.
+ENGELHARDT_SPECIES = {
+    1: "ACM2", 2: "Gbg", 3: "Gas", 4: "GRK6", 5: "Gao", 6: "Gai",
+    7: "RGS14", 8: "AC2", 9: "AC5", 10: "cAMP-GEF1", 11: "PKA",
+    12: "GRK2", 13: "cAMP", 14: "AMP", 15: "Tubulin",
+}
+
+#: Weighted edges ``(source, target, weight, reaction_id)`` of the pathway;
+#: weight 1 marks a catalytic source (re-produced by its reaction).
+ENGELHARDT_EDGES = (
+    (1, 2, 0, 1), (1, 3, 0, 2), (1, 6, 0, 3), (1, 5, 0, 4),
+    (11, 4, 0, 5), (11, 7, 0, 6), (7, 6, 1, 7), (7, 5, 1, 8),
+    (3, 9, 0, 9), (3, 8, 0, 9), (6, 9, 1, 10), (2, 8, 0, 11),
+    (2, 9, 1, 11), (12, 10, 1, 12), (11, 12, 0, 13), (10, 7, 0, 14),
+    (9, 13, 0, 15), (8, 13, 0, 15), (11, 14, 0, 16), (13, 10, 0, 17),
+    (13, 14, 0, 18), (5, 15, 0, 19), (14, 15, 0, 20), (12, 15, 0, 21),
+    (11, 15, 0, 22), (4, 1, 1, 23), (13, 11, 0, 24), (11, 9, 1, 25),
+    (10, 15, 0, 26),
+)
+
+
+def engelhardt_network() -> ReactionNetwork:
+    """The Engelhardt mouse olfactory signalling pathway as a reaction network.
+
+    Encoded from the weighted reaction-graph representation used by the
+    Signal2RGraph line of work.  The Gamma translation of this network is
+    *divergent* (catalytic reactions keep producing), so engine-backend
+    checks against it must run under a step budget with
+    ``raise_on_budget=False`` and assert invariants on the partial result.
+    """
+    return ReactionNetwork.from_weighted_edges(
+        ENGELHARDT_EDGES, ENGELHARDT_SPECIES, name="engelhardt_olfactory"
+    )
+
+
+def condensation_network(max_weight: int, prefix: str = "s") -> ReactionNetwork:
+    """Polymerization ``s_i + s_j -> s_{i+j}``: terminating, non-confluent.
+
+    Species ``s_1 .. s_max_weight`` carry molecular weight equal to their
+    index; every firing strictly reduces the molecule count, so the program
+    terminates, while the final multiset depends on pairing order — exactly
+    the shape the invariant conformance rows need.  The left null space of
+    its stoichiometric matrix is one-dimensional, spanned by the weight
+    vector ``(1, 2, ..., max_weight)``.
+    """
+    if max_weight < 2:
+        raise ValueError("max_weight must be at least 2")
+    species = tuple(f"{prefix}{i}" for i in range(1, max_weight + 1))
+    reactions = []
+    for i in range(1, max_weight + 1):
+        for j in range(i, max_weight + 1 - i):
+            reactants = ((species[i - 1], 2),) if i == j else (
+                (species[i - 1], 1), (species[j - 1], 1)
+            )
+            reactions.append(
+                NetworkReaction(
+                    name=f"c{i}_{j}",
+                    reactants=reactants,
+                    products=((species[i + j - 1], 1),),
+                )
+            )
+    return ReactionNetwork(
+        species=species, reactions=tuple(reactions), name=f"condensation_{max_weight}"
+    )

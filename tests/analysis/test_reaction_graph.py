@@ -1,0 +1,146 @@
+"""Tests for the reaction-dependency-graph analysis."""
+
+import pytest
+
+from repro.analysis import (
+    dependency_graph,
+    flow_weights,
+    hot_label_report,
+    to_networkx,
+)
+from repro.analysis.reaction_graph import WILDCARD
+from repro.api import RuntimeConfig, run
+from repro.gamma.expr import Compare, Const, Var
+from repro.gamma.pattern import pattern, template
+from repro.gamma.program import GammaProgram
+from repro.gamma.reaction import Branch, Reaction
+from repro.gamma.stdlib import sum_reduction, values_multiset
+from repro.workloads import WASTE_LABEL, condensation_network, make_soup
+
+
+def _two_stage_program():
+    """map: a@in -> a@mid; fold: a@mid, b@mid -> a+b@mid."""
+    mapper = Reaction(
+        name="Rmap",
+        replace=[pattern("a", "in", "t")],
+        branches=[Branch(productions=[template("a", "mid", Const(0))])],
+    )
+    from repro.gamma.expr import BinOp
+
+    folder = Reaction(
+        name="Rfold",
+        replace=[pattern("a", "mid", "t1"), pattern("b", "mid", "t2")],
+        branches=[
+            Branch(productions=[template(BinOp("+", Var("a"), Var("b")), "mid", Const(0))])
+        ],
+    )
+    return GammaProgram([mapper, folder], name="two_stage")
+
+
+class TestDependencyGraph:
+    def test_self_enabling_fold_has_a_self_edge(self):
+        graph = dependency_graph(sum_reduction())
+        assert graph.nodes == ("Rsum",)
+        assert len(graph.edges) == 1
+        edge = graph.edges[0]
+        assert (edge.producer, edge.consumer) == ("Rsum", "Rsum")
+        assert edge.labels == frozenset({"x"})
+
+    def test_two_stage_pipeline_edges(self):
+        graph = dependency_graph(_two_stage_program())
+        pairs = {(edge.producer, edge.consumer): edge.labels for edge in graph.edges}
+        assert pairs == {
+            ("Rmap", "Rfold"): frozenset({"mid"}),
+            ("Rfold", "Rfold"): frozenset({"mid"}),
+        }
+        assert graph.successors("Rmap") == ["Rfold"]
+        assert sorted(graph.predecessors("Rfold")) == ["Rfold", "Rmap"]
+
+    def test_inert_waste_never_carries_an_edge(self):
+        """Soup decay produces waste; nothing consumes it, so no edge names it."""
+        workload = make_soup(blocks=2, seed=5)
+        graph = dependency_graph(workload.program)
+        for edge in graph.edges:
+            assert WASTE_LABEL not in edge.labels
+
+    def test_components_mirror_soup_blocks(self):
+        """Blocks are label-disjoint: no dependency edge crosses blocks."""
+        workload = make_soup(blocks=3, seed=1)
+        graph = dependency_graph(workload.program)
+        for edge in graph.edges:
+            assert edge.producer.split("_")[0] == edge.consumer.split("_")[0]
+
+    def test_variable_label_consumer_depends_on_everything(self):
+        eraser = Reaction(
+            name="Rerase",
+            replace=[pattern("a")],  # label unconstrained (variable)
+            branches=[Branch(productions=[])],
+            guard=Compare(">", Var("a"), Const(100)),
+        )
+        program = GammaProgram([*_two_stage_program().reactions, eraser], name="wild")
+        graph = dependency_graph(program)
+        pairs = {(edge.producer, edge.consumer): edge.labels for edge in graph.edges}
+        assert pairs[("Rmap", "Rerase")] == frozenset({"mid", WILDCARD})
+        assert pairs[("Rfold", "Rerase")] == frozenset({"mid", WILDCARD})
+        # the eraser produces nothing: no outgoing edges
+        assert graph.successors("Rerase") == []
+
+
+class TestTraceAnalyses:
+    def _traced_run(self, program, initial):
+        return run(program, initial, config=RuntimeConfig(engine="sequential", seed=0))
+
+    def test_flow_weights_bound_the_pipeline_flow(self):
+        program = _two_stage_program()
+        result = self._traced_run(program, values_multiset(range(1, 9), label="in"))
+        weights = flow_weights(result.trace)
+        # 8 mapped elements; the fold consumed 14 mid elements (7 firings x 2)
+        # and produced 7: the map->fold bound is min(8, 14) = 8.
+        assert weights[("Rmap", "Rfold")] == 8
+        assert weights[("Rfold", "Rfold")] == 7
+        assert ("Rfold", "Rmap") not in weights  # nothing flows backwards
+
+    def test_hot_label_report_orders_by_traffic(self):
+        program = _two_stage_program()
+        result = self._traced_run(program, values_multiset(range(1, 9), label="in"))
+        report = hot_label_report(result.trace)
+        assert report[0][0] == "mid"  # 8 produced + 14 consumed + 7 produced
+        assert report == [("mid", 14, 15), ("in", 8, 0)]
+        assert hot_label_report(result.trace, top=1) == [("mid", 14, 15)]
+
+    def test_condensation_hot_labels_expose_the_monomers(self):
+        network = condensation_network(4)
+        from repro.workloads import species_multiset
+
+        result = self._traced_run(
+            network.to_gamma_program(), species_multiset({"s1": 8, "s2": 2})
+        )
+        report = dict((label, (c, p)) for label, c, p in hot_label_report(result.trace))
+        assert "s1" in report
+        consumed, produced = report["s1"]
+        assert consumed > produced  # monomers are net-consumed by condensation
+
+
+class TestNetworkxExport:
+    def test_export_is_gated_on_the_optional_dependency(self):
+        graph = dependency_graph(_two_stage_program())
+        try:
+            import networkx  # noqa: F401
+        except ImportError:
+            with pytest.raises(ImportError, match="networkx"):
+                to_networkx(graph)
+            return
+        digraph = to_networkx(graph)
+        assert set(digraph.nodes) == {"Rmap", "Rfold"}
+        assert digraph.edges[("Rmap", "Rfold")]["labels"] == ["mid"]
+
+    def test_export_with_trace_attaches_weights(self):
+        pytest.importorskip("networkx")
+        program = _two_stage_program()
+        result = run(
+            program,
+            values_multiset(range(1, 9), label="in"),
+            config=RuntimeConfig(engine="sequential", seed=0),
+        )
+        digraph = to_networkx(dependency_graph(program), result.trace)
+        assert digraph.edges[("Rmap", "Rfold")]["weight"] == 8

@@ -39,6 +39,13 @@ exchanges), parked-reaction wakeups, and work stealing.
 streamed injection batches over a program's consumable labels, so the same
 cases drive both the batch conformance property and the streaming-vs-batch
 differential property.
+
+The reaction-network workload pack adds two deliberately **non-confluent**
+strategies whose oracle is a conserved quantity instead of the stable
+multiset: `chemistry_soups` (seeded soups whose total mass is invariant) and
+`stoichiometric_cases` (condensation networks whose molecular-weight vector
+is the left null space of the stoichiometric matrix).  Backends may disagree
+on the exact final multiset for these; they must all preserve the invariant.
 """
 
 from __future__ import annotations
@@ -56,10 +63,12 @@ from repro.multiset import Element, Multiset
 
 __all__ = [
     "ConformanceCase",
+    "chemistry_soups",
     "conformance_cases",
     "initial_for",
     "injection_schedules",
     "random_programs",
+    "stoichiometric_cases",
     "BACKENDS",
     "SHARD_COUNTS",
 ]
@@ -251,3 +260,45 @@ def conformance_cases(draw, with_schedule: bool = False) -> ConformanceCase:
     initial = draw(initial_for(program))
     schedule = draw(injection_schedules(program)) if with_schedule else ()
     return ConformanceCase(program=program, initial=initial, schedule=schedule)
+
+
+# -- reaction-network strategies (invariant oracle, non-confluent programs) ----------
+
+@st.composite
+def chemistry_soups(draw, max_molecules: int = 14):
+    """A seeded chemistry soup (terminating, mass-conserving, non-confluent).
+
+    Returns a :class:`repro.workloads.ChemistryWorkload`; the conformance
+    property asserts ``workload.mass(final) == workload.initial_mass`` on
+    every backend rather than comparing stable multisets.
+    """
+    from repro.workloads import make_soup
+
+    return make_soup(
+        blocks=draw(st.integers(min_value=1, max_value=2)),
+        species_per_block=draw(st.integers(min_value=2, max_value=4)),
+        molecules=draw(st.integers(min_value=4, max_value=max_molecules)),
+        seed=draw(st.integers(min_value=0, max_value=10_000)),
+        skew=draw(st.sampled_from([0.0, 0.5, 0.9])),
+    )
+
+
+@st.composite
+def stoichiometric_cases(draw, max_weight: int = 5):
+    """A condensation network plus a random species pool.
+
+    Returns ``(network, initial)``; the property asserts the network's
+    conserved quantities (the molecular-weight vector) are equal before and
+    after execution on every backend.
+    """
+    from repro.workloads import condensation_network, species_multiset
+
+    size = draw(st.integers(min_value=2, max_value=max_weight))
+    network = condensation_network(size)
+    counts = {
+        species: draw(st.integers(min_value=0, max_value=5))
+        for species in network.species
+    }
+    if not any(counts.values()):
+        counts[network.species[0]] = 2
+    return network, species_multiset(counts)

@@ -29,7 +29,13 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from generators import BACKENDS, SHARD_COUNTS, conformance_cases
+from generators import (
+    BACKENDS,
+    SHARD_COUNTS,
+    chemistry_soups,
+    conformance_cases,
+    stoichiometric_cases,
+)
 from repro.gamma import ParallelEngine, run
 from repro.multiset import ColumnarStore, Element, Multiset
 from repro.multiset import columnar as columnar_module
@@ -531,3 +537,143 @@ class TestColumnarStoreRoundTrip:
         batch = columnar_module.to_column_batch(entries)
         assert columnar_module.column_batch_copies(batch) == len(multiset)
         assert columnar_module.from_column_batch(batch) == entries
+
+
+class TestInvariantConformance:
+    """ISSUE 10: non-confluent reaction networks under the invariant oracle.
+
+    Chemistry soups and stoichiometric models are deliberately *not*
+    confluent — backends may (and do) reach different stable multisets — so
+    the differential above does not apply.  What every backend must agree on
+    is the **conserved quantity**: total mass for the soups, the left-null-
+    space invariants of the stoichiometric matrix for the networks.
+    """
+
+    @given(
+        workload=chemistry_soups(),
+        backend=st.sampled_from(BACKENDS),
+        shards=shard_counts,
+        seed=seeds,
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_every_backend_conserves_soup_mass(self, workload, backend, shards, seed):
+        final = _execute(workload.program, workload.initial, backend, seed, shards)
+        assert workload.mass(final) == workload.initial_mass
+        assert all(element.value >= 1 for element in final)
+
+    @given(
+        case=stoichiometric_cases(),
+        backend=st.sampled_from(BACKENDS),
+        shards=shard_counts,
+        seed=seeds,
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_every_backend_conserves_stoichiometric_invariants(
+        self, case, backend, shards, seed
+    ):
+        network, initial = case
+        program = network.to_gamma_program()
+        before = network.invariant_values(initial)
+        final = _execute(program, initial, backend, seed, shards)
+        assert network.invariant_values(final) == before
+
+    @given(
+        workload=chemistry_soups(),
+        backend=st.sampled_from(STREAMING_BACKENDS),
+        shards=shard_counts,
+        seed=seeds,
+        batch_size=st.integers(min_value=1, max_value=6),
+        hold_back=st.sampled_from([0.0, 0.3, 0.7, 1.0]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_streamed_soup_conserves_the_pool_mass(
+        self, workload, backend, shards, seed, batch_size, hold_back
+    ):
+        """The continuously-fed client: stream the pool, mass still balances."""
+        from repro.workloads import PoolFeeder
+
+        feeder = PoolFeeder(
+            workload, batch_size=batch_size, hold_back=hold_back, seed=seed or 0
+        )
+        runtime = StreamingGammaRuntime(
+            workload.program,
+            config=RuntimeConfig(backend=backend, seed=seed, shards=shards),
+        )
+        result = feeder.feed(runtime)
+        assert workload.mass(result.final) == workload.initial_mass
+        assert result.injected == len(feeder.elements())
+
+    @pytest.mark.skipif(not FORK_AVAILABLE, reason="fork start method unavailable")
+    @given(workload=chemistry_soups(), shards=shard_counts, seed=seeds)
+    @settings(
+        max_examples=4,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_multiprocessing_backend_conserves_soup_mass(
+        self, workload, shards, seed
+    ):
+        final = _execute(workload.program, workload.initial, "multiprocessing", seed, shards)
+        assert workload.mass(final) == workload.initial_mass
+
+
+class TestNetworkInvariantConformance:
+    """The invariant oracle across loopback-TCP shard fleets and the gateway."""
+
+    @pytest.mark.skipif(not FORK_AVAILABLE, reason="fork start method unavailable")
+    @given(
+        workload=chemistry_soups(),
+        shards=st.sampled_from(NETWORK_SHARD_COUNTS),
+        seed=seeds,
+    )
+    @settings(
+        max_examples=3,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_network_backend_conserves_soup_mass(self, workload, shards, seed):
+        final = _execute(workload.program, workload.initial, "network", seed, shards)
+        assert workload.mass(final) == workload.initial_mass
+
+    @pytest.mark.skipif(not FORK_AVAILABLE, reason="fork start method unavailable")
+    @given(
+        case=stoichiometric_cases(),
+        shards=st.sampled_from(NETWORK_SHARD_COUNTS),
+        seed=seeds,
+    )
+    @settings(
+        max_examples=3,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_network_backend_conserves_stoichiometric_invariants(
+        self, case, shards, seed
+    ):
+        network, initial = case
+        before = network.invariant_values(initial)
+        final = _execute(network.to_gamma_program(), initial, "network", seed, shards)
+        assert network.invariant_values(final) == before
+
+    @pytest.mark.skipif(not FORK_AVAILABLE, reason="fork start method unavailable")
+    @given(
+        workload=chemistry_soups(max_molecules=10),
+        shards=st.sampled_from(NETWORK_SHARD_COUNTS),
+        seed=seeds,
+    )
+    @settings(
+        max_examples=2,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_gateway_fed_soup_stream_conserves_mass(self, workload, shards, seed):
+        """Feed the pool over the socket gateway into a network shard fleet."""
+        from repro.workloads import PoolFeeder
+
+        feeder = PoolFeeder(workload, batch_size=4, hold_back=0.5, seed=seed or 0)
+        runtime = StreamingGammaRuntime(
+            workload.program,
+            config=RuntimeConfig(backend="network", seed=seed, shards=shards),
+        )
+        result = feeder.feed_via_gateway(runtime)
+        assert workload.mass(result.final) == workload.initial_mass
+        assert result.injected == len(feeder.elements())

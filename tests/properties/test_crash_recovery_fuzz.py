@@ -24,7 +24,7 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from generators import SHARD_COUNTS, conformance_cases
+from generators import SHARD_COUNTS, chemistry_soups, conformance_cases
 from repro.gamma import run
 from repro.runtime.faults import DELAY, FaultSchedule, install_faults
 from repro.runtime.recovery import RecoveryManager
@@ -232,3 +232,122 @@ class TestStreamingCrashRecovery:
         result = runtime.run(schedule=case.schedule)
         assert result.final == reference
         assert result.recoveries == _crash_count(schedule)
+
+
+class TestChemistryCrashRecovery:
+    """ISSUE 10: crashes under the invariant oracle, not the differential.
+
+    Chemistry soups are non-confluent, so a recovered run need not match any
+    particular reference multiset — but rollback and WAL replay must never
+    create or destroy mass.  The soup rows thereby catch a failure class the
+    confluent rows cannot: a replay that double-applies (or drops) an epoch
+    changes total mass even when the program itself tolerates reordering.
+    """
+
+    @given(
+        workload=chemistry_soups(),
+        fault_seed=fault_seeds,
+        shards=shard_counts,
+        seed=st.none() | st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(
+        max_examples=CHAOS_EXAMPLES,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_killed_inprocess_soup_run_conserves_mass(
+        self, workload, fault_seed, shards, seed
+    ):
+        schedule = FaultSchedule.generate(
+            fault_seed, shards, kills=2, delays=1, exchange_kills=1, max_delay=0.01
+        )
+        coordinator = ShardCoordinator(
+            workload.program,
+            shards,
+            backend="inprocess",
+            seed=seed,
+            recovery=RecoveryManager(),
+            checkpoint_rounds=1,
+        )
+        session = coordinator.start(workload.initial.copy())
+        install_faults(session, schedule)
+        try:
+            session.drive()
+            result = session.result()
+        finally:
+            session.close()
+        assert workload.mass(result.final) == workload.initial_mass
+        assert result.recoveries == _crash_count(schedule)
+
+    @given(
+        workload=chemistry_soups(max_molecules=10),
+        fault_seed=fault_seeds,
+        shards=shard_counts,
+        interval=st.sampled_from((1, 2, 4)),
+        batch_size=st.integers(min_value=1, max_value=5),
+    )
+    @settings(
+        max_examples=CHAOS_EXAMPLES,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_crashed_soup_stream_conserves_the_pool_mass(
+        self, workload, fault_seed, shards, interval, batch_size
+    ):
+        from repro.workloads import PoolFeeder
+
+        feeder = PoolFeeder(workload, batch_size=batch_size, hold_back=0.5, seed=3)
+        schedule = FaultSchedule.generate(fault_seed, shards, kills=2, max_round=6)
+        runtime = StreamingGammaRuntime(
+            workload.program,
+            config=RuntimeConfig(
+                backend="inprocess",
+                seed=13,
+                shards=shards,
+                recovery=RecoveryManager(),
+                checkpoint_interval=interval,
+            ),
+        )
+        runtime.start(feeder.initial.copy())
+        install_faults(runtime._session, schedule)
+        result = runtime.run(schedule=feeder.schedule())
+        assert workload.mass(result.final) == workload.initial_mass
+        assert result.recoveries == _crash_count(schedule)
+
+
+class TestNetworkChemistryCrashRecovery:
+    """Soup mass survives SIGKILLed TCP shard servers (invariant oracle)."""
+
+    @pytest.mark.skipif(not FORK_AVAILABLE, reason="fork start method unavailable")
+    @given(
+        workload=chemistry_soups(max_molecules=10),
+        fault_seed=fault_seeds,
+        shards=st.sampled_from((2, 4)),
+    )
+    @settings(
+        max_examples=max(2, CHAOS_EXAMPLES // 4),
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_killed_network_soup_run_conserves_mass(
+        self, workload, fault_seed, shards
+    ):
+        schedule = FaultSchedule.generate(fault_seed, shards, kills=1, max_round=3)
+        coordinator = ShardCoordinator(
+            workload.program,
+            shards,
+            backend="network",
+            seed=7,
+            recovery=RecoveryManager(),
+            checkpoint_rounds=1,
+        )
+        session = coordinator.start(workload.initial.copy())
+        install_faults(session, schedule)
+        try:
+            session.drive()
+            result = session.result()
+        finally:
+            session.close()
+        assert workload.mass(result.final) == workload.initial_mass
+        if schedule.applied:
+            assert result.recoveries >= 1

@@ -581,6 +581,65 @@ class TestGatewayAdmissionControl:
             runtime.close()
         assert gateway.timeouts == 1
 
+    def test_lapsed_deadline_put_refuses_before_sending(self):
+        """Regression (ISSUE 10): a negative timeout leaked into the socket.
+
+        ``put(timeout=-40)`` used to compute ``wire_timeout = -40 + 30`` and
+        blow up in ``settimeout`` *after* the offer frame was on the wire, so
+        the batch could be admitted server-side while the producer saw an
+        error.  A lapsed deadline must be an immediate ``TimeoutError`` with
+        nothing sent and nothing admitted.
+        """
+        queue = IngestQueue(capacity=10)
+        gateway = IngestGateway(queue)
+        client = GatewayClient(gateway.port)
+        try:
+            with pytest.raises(TimeoutError):
+                client.put(Element(1, "x"), timeout=-40)
+            # a well-formed request on the same connection still works, so
+            # nothing was half-sent by the refused call
+            assert client.put(Element(2, "x"), timeout=5) == 1
+        finally:
+            client.close()
+            gateway.close()
+            queue.close()
+        assert queue.pending == 1  # only the well-formed put was admitted
+        assert gateway.injected == 1
+
+    def test_raw_negative_timeout_offer_times_out_without_admission(self):
+        """A raw client shipping a lapsed deadline gets an immediate timeout.
+
+        The server-side guard: ``block=True`` with a negative timeout replies
+        ``("timeout", t)`` without attempting admission, even though capacity
+        is available, so "timeout == not admitted" holds for negative waits.
+        """
+        import socket
+
+        from repro.runtime.net.frames import FrameDecoder, encode_frame, recv_frame
+        from repro.multiset.columnar import to_column_batch
+
+        queue = IngestQueue(capacity=10)
+        gateway = IngestGateway(queue)
+        try:
+            sock = socket.create_connection(("127.0.0.1", gateway.port), timeout=10)
+            decoder = FrameDecoder()
+            sock.sendall(encode_frame(("hello", {"tenant": "late"})))
+            kind, _ = recv_frame(sock, decoder, timeout=10)
+            assert kind == "welcome"
+            batch = to_column_batch([(Element(1, "x"), 1)])
+            sock.sendall(
+                encode_frame(("offer", {"batch": batch, "block": True, "timeout": -5}))
+            )
+            kind, payload = recv_frame(sock, decoder, timeout=10)
+            assert (kind, payload) == ("timeout", -5)
+            sock.close()
+        finally:
+            gateway.close()
+            queue.close()
+        assert gateway.timeouts == 1
+        assert gateway.injected == 0
+        assert queue.pending == 0  # nothing admitted despite free capacity
+
     def test_closed_stream_rejects_producers(self):
         runtime, gateway = self._runtime()
         client = GatewayClient(gateway.port)

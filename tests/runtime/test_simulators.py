@@ -58,11 +58,31 @@ class TestPEPool:
 class TestMetrics:
     def test_from_profile(self):
         metrics = ParallelRunMetrics.from_profile([4, 2, 1, 0], num_pes=4)
-        assert metrics.steps == 3
+        # The trailing stall is a wall step: steps == len(profile).
+        assert metrics.steps == 4
         assert metrics.work == 7
         assert metrics.max_parallelism == 4
-        assert metrics.speedup == pytest.approx(7 / 3)
-        assert metrics.utilization == pytest.approx(7 / 12)
+        assert metrics.speedup == pytest.approx(7 / 4)
+        assert metrics.utilization == pytest.approx(7 / 16)
+
+    def test_stall_steps_deflate_speedup_and_utilization(self):
+        """Regression (ISSUE 10): zero-width steps were silently dropped.
+
+        A profile with interleaved stalls used to report the same speedup
+        and utilization as a stall-free run (here 6/3 = 2.0 and 6/6 = 1.0
+        at 2 PEs) — idle wall time vanished from the accounting.  Stalls
+        must count as steps with zero work.
+        """
+        stalled = ParallelRunMetrics.from_profile([2, 0, 2, 0, 0, 2], num_pes=2)
+        busy = ParallelRunMetrics.from_profile([2, 2, 2], num_pes=2)
+        assert stalled.profile == [2, 0, 2, 0, 0, 2]
+        assert stalled.steps == 6
+        assert stalled.work == busy.work == 6
+        assert busy.speedup == pytest.approx(2.0)
+        assert stalled.speedup == pytest.approx(1.0)  # not the inflated 2.0
+        assert busy.utilization == pytest.approx(1.0)
+        assert stalled.utilization == pytest.approx(0.5)  # not the inflated 1.0
+        assert stalled.average_parallelism == pytest.approx(1.0)
 
     def test_empty_profile(self):
         metrics = ParallelRunMetrics.from_profile([])
@@ -76,6 +96,19 @@ class TestMetrics:
         )
         assert curve[1] == pytest.approx(1.0)
         assert curve[4] >= curve[2] >= curve[1]
+
+    def test_speedup_curve_deduplicates_pe_counts_explicitly(self):
+        """Duplicate PE counts are simulated once and keep insertion order."""
+        calls = []
+
+        def run(pes):
+            calls.append(pes)
+            return ParallelRunMetrics.from_profile([pes, pes], num_pes=pes)
+
+        curve = speedup_curve(run, [4, 2, 4, 2, 1])
+        assert calls == [4, 2, 1]  # each distinct count simulated exactly once
+        assert list(curve) == [4, 2, 1]  # first-occurrence order preserved
+        assert curve[4] == pytest.approx(4.0)
 
 
 class TestDataflowSimulator:

@@ -1,0 +1,164 @@
+"""Tests for the chemistry-soup generator and the pool feeder."""
+
+import pytest
+
+from repro.api import RuntimeConfig, StreamingGammaRuntime, run
+from repro.multiset import Multiset
+from repro.multiset.partition import home_of
+from repro.workloads import (
+    WASTE_LABEL,
+    PoolFeeder,
+    make_soup,
+    multiset_mass,
+)
+
+
+class TestSoupGenerator:
+    def test_deterministic_for_same_seed(self):
+        a = make_soup(seed=11)
+        b = make_soup(seed=11)
+        assert [r.name for r in a.program.reactions] == [
+            r.name for r in b.program.reactions
+        ]
+        assert a.initial == b.initial
+        assert a.initial_mass == b.initial_mass
+
+    def test_different_seeds_differ(self):
+        assert make_soup(seed=1).initial != make_soup(seed=2).initial
+
+    def test_pool_size_and_mass_accounting(self):
+        workload = make_soup(molecules=40, seed=3)
+        assert len(workload.initial) == 40
+        assert workload.initial_mass == multiset_mass(workload.initial)
+        assert workload.mass(workload.initial) == workload.initial_mass
+
+    def test_waste_is_inert(self):
+        """No reaction consumes the waste label: decayed mass never re-enters."""
+        workload = make_soup(blocks=3, seed=5)
+        for reaction in workload.program.reactions:
+            assert WASTE_LABEL not in reaction.consumed_labels()
+        assert WASTE_LABEL not in workload.all_species()
+
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("engine", ["sequential", "chaotic", "parallel"])
+    def test_terminates_and_conserves_mass(self, seed, engine):
+        """The tentpole invariant: every schedule preserves total mass."""
+        workload = make_soup(blocks=2, species_per_block=4, molecules=24, seed=seed)
+        result = run(
+            workload.program,
+            workload.initial.copy(),
+            config=RuntimeConfig(engine=engine, seed=seed),
+        )
+        assert workload.mass(result.final) == workload.initial_mass
+        # decay's guard keeps every value at or above 1
+        assert all(element.value >= 1 for element in result.final)
+
+    def test_soups_are_not_confluent(self):
+        """Different schedules may reach different stable multisets — the
+        reason the conformance rows check the invariant, not the multiset."""
+        finals = set()
+        workload = make_soup(blocks=1, species_per_block=4, molecules=20, seed=2)
+        for seed in range(8):
+            result = run(
+                workload.program,
+                workload.initial.copy(),
+                config=RuntimeConfig(engine="chaotic", seed=seed),
+            )
+            finals.add(frozenset(result.final.counts().items()))
+            assert workload.mass(result.final) == workload.initial_mass
+        assert len(finals) > 1
+
+    def test_skew_concentrates_molecules_on_block_zero(self):
+        workload = make_soup(blocks=4, molecules=200, seed=7, skew=0.9)
+        hot = set(workload.species[0])
+        hot_count = sum(
+            count
+            for label, count in workload.initial.label_counts().items()
+            if label in hot
+        )
+        assert hot_count >= 150  # ~0.9 + 0.1/4 of 200, with seed noise
+
+    def test_element_home_pins_the_pool_to_one_shard(self):
+        workload = make_soup(molecules=30, seed=9, element_home=(0, 4))
+        for element in workload.initial:
+            assert home_of(element, 4) == 0
+            assert element.value >= 1
+
+    def test_label_base_override_names_the_blocks(self):
+        workload = make_soup(blocks=2, seed=0, label_base=lambda b: f"zone{b}_")
+        assert workload.species[0][0] == "zone0_s0"
+        assert workload.species[1][0] == "zone1_s0"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"blocks": 0},
+            {"species_per_block": 1},
+            {"value_low": 0},
+            {"value_high": 0, "value_low": 1},
+            {"skew": 1.5},
+            {"decay_threshold": 0},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            make_soup(**kwargs)
+
+
+class TestPoolFeeder:
+    def test_batch_union_reconstructs_the_pool(self):
+        workload = make_soup(molecules=25, seed=4)
+        feeder = PoolFeeder(workload, batch_size=4, hold_back=0.4, seed=1)
+        assert feeder.batch_union() == workload.initial
+        assert (
+            multiset_mass(feeder.initial) + feeder.injected_mass()
+            == workload.initial_mass
+        )
+
+    def test_schedule_batches_cover_the_streamed_elements(self):
+        workload = make_soup(molecules=23, seed=6)
+        feeder = PoolFeeder(workload, batch_size=5, hold_back=0.3, seed=0)
+        batches = feeder.schedule()
+        assert all(len(batch) <= 5 for batch in batches)
+        assert [e for batch in batches for e in batch] == feeder.elements()
+        assert len(feeder.initial) + len(feeder.elements()) == 23
+
+    def test_hold_back_extremes(self):
+        workload = make_soup(molecules=10, seed=8)
+        all_upfront = PoolFeeder(workload, hold_back=1.0)
+        assert all_upfront.initial == workload.initial
+        assert all_upfront.schedule() == ()
+        all_streamed = PoolFeeder(workload, hold_back=0.0)
+        assert len(all_streamed.initial) == 0
+        assert len(all_streamed.elements()) == 10
+
+    def test_invalid_parameters_rejected(self):
+        workload = make_soup(seed=0)
+        with pytest.raises(ValueError):
+            PoolFeeder(workload, batch_size=0)
+        with pytest.raises(ValueError):
+            PoolFeeder(workload, hold_back=2.0)
+
+    @pytest.mark.parametrize("backend", ["sequential", "inprocess"])
+    def test_fed_stream_conserves_the_pool_mass(self, backend):
+        workload = make_soup(blocks=2, species_per_block=3, molecules=20, seed=3)
+        feeder = PoolFeeder(workload, batch_size=4, hold_back=0.5, seed=2)
+        runtime = StreamingGammaRuntime(
+            workload.program,
+            config=RuntimeConfig(backend=backend, shards=2 if backend != "sequential" else None, seed=5),
+        )
+        result = feeder.feed(runtime)
+        assert workload.mass(result.final) == workload.initial_mass
+        assert result.injected == len(feeder.elements())
+
+    def test_gateway_fed_stream_conserves_the_pool_mass(self):
+        """The continuously-fed client path: socket gateway, blocking puts."""
+        workload = make_soup(blocks=2, species_per_block=3, molecules=18, seed=12)
+        feeder = PoolFeeder(workload, batch_size=3, hold_back=0.5, seed=4)
+        runtime = StreamingGammaRuntime(
+            workload.program,
+            config=RuntimeConfig(backend="inprocess", shards=2, seed=7),
+        )
+        result = feeder.feed_via_gateway(runtime)
+        assert workload.mass(result.final) == workload.initial_mass
+        assert result.injected == len(feeder.elements())

@@ -1,0 +1,223 @@
+"""Tests for stoichiometric networks and the conserved-quantity oracle."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.api import RuntimeConfig, run
+from repro.gamma.expr import BinOp, Const, Var
+from repro.gamma.pattern import ElementTemplate, pattern, template
+from repro.gamma.program import GammaProgram
+from repro.gamma.reaction import Branch, Reaction
+from repro.workloads import (
+    NetworkReaction,
+    ReactionNetwork,
+    condensation_network,
+    engelhardt_network,
+    species_multiset,
+)
+
+
+def _rref(rows):
+    """Reduced row-echelon form over Fractions (test-local span helper)."""
+    rows = [[Fraction(x) for x in row] for row in rows]
+    rank = 0
+    for column in range(len(rows[0]) if rows else 0):
+        pivot = next((r for r in range(rank, len(rows)) if rows[r][column] != 0), None)
+        if pivot is None:
+            continue
+        rows[rank], rows[pivot] = rows[pivot], rows[rank]
+        lead = rows[rank][column]
+        rows[rank] = [x / lead for x in rows[rank]]
+        for r in range(len(rows)):
+            if r != rank and rows[r][column] != 0:
+                factor = rows[r][column]
+                rows[r] = [a - factor * b for a, b in zip(rows[r], rows[rank])]
+        rank += 1
+    return [row for row in rows if any(row)]
+
+
+def _same_span(vectors_a, vectors_b):
+    return _rref(list(vectors_a)) == _rref(list(vectors_b))
+
+
+def enzyme_kinetics():
+    """Michaelis-Menten: E + S -> ES, ES -> E + S, ES -> E + P."""
+    return ReactionNetwork(
+        species=("E", "S", "ES", "P"),
+        reactions=(
+            NetworkReaction("bind", (("E", 1), ("S", 1)), (("ES", 1),)),
+            NetworkReaction("unbind", (("ES", 1),), (("E", 1), ("S", 1))),
+            NetworkReaction("catalyze", (("ES", 1),), (("E", 1), ("P", 1))),
+        ),
+        name="enzyme_kinetics",
+    )
+
+
+class TestStoichiometricMatrix:
+    def test_enzyme_kinetics_matrix_hand_checked(self):
+        matrix = enzyme_kinetics().stoichiometric_matrix()
+        # rows: E, S, ES, P; columns: bind, unbind, catalyze
+        assert matrix == [
+            [-1, 1, 1],
+            [-1, 1, 0],
+            [1, -1, -1],
+            [0, 0, 1],
+        ]
+
+    def test_catalyst_has_net_coefficient_zero(self):
+        reaction = NetworkReaction("cat", (("C", 1), ("X", 1)), (("C", 1), ("Y", 1)))
+        assert reaction.net_coefficient("C") == 0
+        assert reaction.net_coefficient("X") == -1
+        assert reaction.net_coefficient("Y") == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetworkReaction("bad", (("A", 0),), (("B", 1),))
+        with pytest.raises(ValueError):
+            ReactionNetwork(("A", "A"), ())
+        with pytest.raises(ValueError):
+            ReactionNetwork(
+                ("A",), (NetworkReaction("r", (("A", 1),), (("B", 1),)),)
+            )
+
+
+class TestConservedQuantities:
+    """The left-null-space derivation against hand-computed vectors."""
+
+    def test_enzyme_kinetics_conservation_basis(self):
+        """Total enzyme E + ES and total substrate S + ES + P are conserved."""
+        derived = enzyme_kinetics().conserved_quantities()
+        hand = [(1, 0, 1, 0), (0, 1, 1, 1)]  # over (E, S, ES, P)
+        assert len(derived) == 2
+        matrix = enzyme_kinetics().stoichiometric_matrix()
+        for vector in hand + derived:
+            for column in range(3):
+                assert sum(vector[i] * matrix[i][column] for i in range(4)) == 0
+        assert _same_span(derived, hand)
+
+    def test_simple_synthesis_conservation_basis(self):
+        """A + B -> C conserves A + C and B + C (two independent moieties)."""
+        network = ReactionNetwork(
+            ("A", "B", "C"),
+            (NetworkReaction("syn", (("A", 1), ("B", 1)), (("C", 1),)),),
+        )
+        derived = network.conserved_quantities()
+        assert len(derived) == 2
+        assert _same_span(derived, [(1, 0, 1), (0, 1, 1)])
+
+    def test_condensation_weight_vector_is_the_unique_invariant(self):
+        for size in (2, 3, 5):
+            network = condensation_network(size)
+            assert network.conserved_quantities() == [tuple(range(1, size + 1))]
+
+    def test_basis_vectors_are_primitive_integers(self):
+        """Fraction-valued kernel vectors come out scaled and sign-fixed."""
+        # 2A -> B has kernel (1/2 scaled): y_A + 2 y_B with S = [[-2],[1]]
+        network = ReactionNetwork(
+            ("A", "B"), (NetworkReaction("dimerize", (("A", 2),), (("B", 1),)),)
+        )
+        assert network.conserved_quantities() == [(1, 2)]
+
+    def test_invariant_value_counts_labels(self):
+        network = condensation_network(3)
+        multiset = species_multiset({"s1": 4, "s3": 2})
+        assert network.invariant_value((1, 2, 3), multiset) == 4 + 6
+        assert network.invariant_values(multiset) == (10,)
+        with pytest.raises(ValueError):
+            network.invariant_value((1, 2), multiset)
+
+    def test_engelhardt_pathway_has_no_nontrivial_invariant(self):
+        """The signalling pathway's S has full row rank: empty basis, and the
+        invariant oracle degenerates to the always-true check."""
+        assert engelhardt_network().conserved_quantities() == []
+
+
+class TestGammaTranslation:
+    def test_condensation_run_preserves_the_invariant(self):
+        network = condensation_network(5)
+        program = network.to_gamma_program()
+        initial = species_multiset({"s1": 7, "s2": 4, "s3": 1})
+        before = network.invariant_values(initial)
+        for engine, seed in (("sequential", 0), ("chaotic", 3), ("parallel", 1)):
+            result = run(
+                program, initial.copy(), config=RuntimeConfig(engine=engine, seed=seed)
+            )
+            assert network.invariant_values(result.final) == before
+
+    def test_zero_reactant_reaction_rejected(self):
+        network = ReactionNetwork(
+            ("A",), (NetworkReaction("spawn", (), (("A", 1),)),)
+        )
+        with pytest.raises(ValueError, match="no reactants"):
+            network.to_gamma_program()
+
+    def test_coefficients_expand_to_element_copies(self):
+        network = ReactionNetwork(
+            ("A", "B"), (NetworkReaction("dimerize", (("A", 2),), (("B", 1),)),)
+        )
+        program = network.to_gamma_program()
+        assert program.reactions[0].arity == 2
+        result = run(
+            program,
+            species_multiset({"A": 5}),
+            config=RuntimeConfig(engine="sequential"),
+        )
+        # 5 monomers -> 2 dimers + 1 leftover monomer
+        assert result.final.label_counts() == {"A": 1, "B": 2}
+
+    def test_mass_violating_program_is_caught_by_the_invariant(self):
+        """The oracle's point: a buggy translation trips the conserved value."""
+        network = condensation_network(3)
+        # deliberately wrong: s1 + s1 -> s3 (weight 2 in, weight 3 out)
+        buggy = GammaProgram(
+            [
+                Reaction(
+                    name="c1_1",
+                    replace=[pattern("a", "s1", "t1"), pattern("b", "s1", "t2")],
+                    branches=[Branch(productions=[template(Const(1), "s3", Const(0))])],
+                )
+            ],
+            name="buggy_condensation",
+        )
+        initial = species_multiset({"s1": 4})
+        before = network.invariant_values(initial)
+        result = run(buggy, initial.copy(), config=RuntimeConfig(engine="sequential"))
+        assert network.invariant_values(result.final) != before
+
+    def test_divergent_pathway_checked_under_step_budget(self):
+        """Engelhardt translation diverges; partial results still validate."""
+        network = engelhardt_network()
+        program = network.to_gamma_program()
+        initial = species_multiset({species: 2 for species in network.species})
+        result = run(
+            program,
+            initial.copy(),
+            config=RuntimeConfig(
+                engine="sequential", seed=0, max_steps=40, raise_on_budget=False
+            ),
+        )
+        # dim-0 basis: the invariant tuple is empty on both sides — the
+        # degenerate (vacuously true) case the conformance rows tolerate
+        assert network.invariant_values(result.final) == network.invariant_values(initial)
+
+
+class TestWeightedEdgeImport:
+    def test_engelhardt_structure(self):
+        network = engelhardt_network()
+        assert len(network.species) == 15
+        assert len(network.reactions) == 26
+        by_name = {reaction.name: reaction for reaction in network.reactions}
+        # catalytic edge (7 -> 6, weight 1): RGS14 consumed and re-produced
+        r7 = by_name["r7"]
+        assert r7.reactants == (("RGS14", 1),)
+        assert dict(r7.products) == {"Gai": 1, "RGS14": 1}
+        assert r7.net_coefficient("RGS14") == 0
+        # two-target reaction 9: Gas -> AC5 + AC2
+        r9 = by_name["r9"]
+        assert r9.reactants == (("Gas", 1),)
+        assert dict(r9.products) == {"AC5": 1, "AC2": 1}
+
+    def test_species_multiset_rejects_negative_counts(self):
+        with pytest.raises(ValueError):
+            species_multiset({"A": -1})

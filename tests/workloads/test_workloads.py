@@ -75,6 +75,11 @@ class TestClassicWorkloads:
         workload = make_workload("sum_reduction", size=50, seed=1)
         assert len(workload.initial) == 50
 
-    def test_unknown_name_rejected(self):
-        with pytest.raises(KeyError):
+    def test_unknown_name_rejected_with_the_valid_names_listed(self):
+        """Regression (ISSUE 10): a bare KeyError named no valid workloads."""
+        with pytest.raises(ValueError) as excinfo:
             make_workload("quantum_sort")
+        message = str(excinfo.value)
+        assert "quantum_sort" in message
+        for name in CLASSIC_WORKLOADS:
+            assert name in message
